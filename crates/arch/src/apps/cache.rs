@@ -1,0 +1,200 @@
+//! A high-associativity cache tag store backed by a TCAM — the second
+//! classic CAM workload. TCAM lookup makes full associativity a single
+//! parallel compare instead of a way-by-way tag RAM read.
+
+use ferrotcam::{BehavioralTcam, TernaryWord};
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected by the tag store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully associative tag store of `ways` lines with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct AssocTagStore {
+    tag_bits: usize,
+    ways: usize,
+    tcam: BehavioralTcam,
+    /// Tag per way (`None` = invalid).
+    tags: Vec<Option<u64>>,
+    /// LRU timestamps.
+    last_use: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl AssocTagStore {
+    /// Store with `ways` lines of `tag_bits`-bit tags.
+    ///
+    /// # Panics
+    /// Panics if `tag_bits` is 0 or > 64.
+    #[must_use]
+    pub fn new(tag_bits: usize, ways: usize) -> Self {
+        assert!(tag_bits > 0 && tag_bits <= 64, "tag width 1..=64");
+        let mut tcam = BehavioralTcam::new(tag_bits);
+        for _ in 0..ways {
+            // Invalid lines hold a never-matching pattern? A TCAM has no
+            // "never match" state, so validity is tracked beside the
+            // array and the match vector is masked.
+            tcam.store(TernaryWord::wildcard(tag_bits));
+        }
+        Self {
+            tag_bits,
+            ways,
+            tcam,
+            tags: vec![None; ways],
+            last_use: vec![0; ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of ways.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Collected statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn query_bits(&self, tag: u64) -> Vec<bool> {
+        (0..self.tag_bits)
+            .rev()
+            .map(|i| (tag >> i) & 1 == 1)
+            .collect()
+    }
+
+    /// Look up a tag; on hit returns the way index and refreshes LRU.
+    pub fn lookup(&mut self, tag: u64) -> Option<usize> {
+        self.clock += 1;
+        let q = self.query_bits(tag);
+        let outcome = self.tcam.search(&q);
+        let way = outcome
+            .matches
+            .iter()
+            .copied()
+            .find(|&w| self.tags[w] == Some(tag));
+        match way {
+            Some(w) => {
+                self.stats.hits += 1;
+                self.last_use[w] = self.clock;
+                Some(w)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a tag (after a miss): fills an invalid way or evicts the
+    /// LRU way. Returns `(way, evicted_tag)`.
+    pub fn install(&mut self, tag: u64) -> (usize, Option<u64>) {
+        self.clock += 1;
+        let way = match self.tags.iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let w = (0..self.ways)
+                    .min_by_key(|&w| self.last_use[w])
+                    .expect("at least one way");
+                self.stats.evictions += 1;
+                w
+            }
+        };
+        let evicted = self.tags[way];
+        self.tags[way] = Some(tag);
+        self.last_use[way] = self.clock;
+        self.tcam
+            .write(way, TernaryWord::from_u64(tag, self.tag_bits));
+        (way, evicted)
+    }
+
+    /// Convenience: lookup, installing on miss. Returns `true` on hit.
+    pub fn access(&mut self, tag: u64) -> bool {
+        if self.lookup(tag).is_some() {
+            true
+        } else {
+            self.install(tag);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = AssocTagStore::new(16, 4);
+        assert!(!c.access(0xBEEF));
+        assert!(c.access(0xBEEF));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = AssocTagStore::new(8, 2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // refresh 1
+        c.access(3); // evicts 2
+        assert!(c.access(1), "1 must survive");
+        assert!(!c.access(2), "2 must have been evicted");
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn invalid_ways_never_hit() {
+        let mut c = AssocTagStore::new(8, 4);
+        // Wildcard placeholder rows must not produce spurious hits.
+        assert_eq!(c.lookup(0xAB), None);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_tags_land_in_distinct_ways() {
+        let mut c = AssocTagStore::new(8, 4);
+        let (w1, _) = c.install(0x11);
+        let (w2, _) = c.install(0x22);
+        assert_ne!(w1, w2);
+        assert_eq!(c.lookup(0x11), Some(w1));
+        assert_eq!(c.lookup(0x22), Some(w2));
+    }
+
+    #[test]
+    fn hit_rate_tracks_locality() {
+        let mut c = AssocTagStore::new(16, 8);
+        // 90% of accesses to a hot set of 4 tags.
+        for i in 0..1000u64 {
+            let tag = if i % 10 < 9 { i % 4 } else { 1000 + i };
+            c.access(tag);
+        }
+        assert!(c.stats().hit_rate() > 0.8, "rate = {}", c.stats().hit_rate());
+    }
+}

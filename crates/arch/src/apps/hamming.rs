@@ -1,0 +1,161 @@
+//! Approximate (Hamming-distance) matching on a TCAM — the one-shot-
+//! learning / hyperdimensional-computing workload of the paper's
+//! motivation ([5], [7]).
+//!
+//! Prototypes are stored as ternary words; classification returns the
+//! nearest stored prototype. Ternary `X` digits implement per-feature
+//! masking (attention), as in CAM-based few-shot learners.
+
+use ferrotcam::{BehavioralTcam, TernaryWord};
+use serde::{Deserialize, Serialize};
+
+/// A labelled nearest-match result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    /// Class label of the winning prototype.
+    pub label: u32,
+    /// Row index of the winning prototype.
+    pub row: usize,
+    /// Hamming mismatches between query and winner.
+    pub distance: usize,
+}
+
+/// A one-shot classifier over ternary prototypes.
+#[derive(Debug, Clone, Default)]
+pub struct HammingClassifier {
+    tcam: BehavioralTcam,
+    labels: Vec<u32>,
+}
+
+impl HammingClassifier {
+    /// Classifier with `width`-digit prototypes.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self {
+            tcam: BehavioralTcam::new(width),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of stored prototypes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no prototypes are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Store a prototype with a class label ("one-shot" enrolment).
+    ///
+    /// # Panics
+    /// Panics on word-width mismatch.
+    pub fn enroll(&mut self, prototype: TernaryWord, label: u32) -> usize {
+        self.tcam.store(prototype);
+        self.labels.push(label);
+        self.labels.len() - 1
+    }
+
+    /// Exact-match classification (distance 0 required).
+    #[must_use]
+    pub fn classify_exact(&self, query: &[bool]) -> Option<Classification> {
+        self.tcam.search(query).best().map(|row| Classification {
+            label: self.labels[row],
+            row,
+            distance: 0,
+        })
+    }
+
+    /// Nearest-prototype classification (minimum Hamming mismatches;
+    /// ties break to the lowest row, like a priority encoder).
+    #[must_use]
+    pub fn classify_nearest(&self, query: &[bool]) -> Option<Classification> {
+        self.tcam.nearest(query).first().map(|&(row, distance)| {
+            Classification {
+                label: self.labels[row],
+                row,
+                distance,
+            }
+        })
+    }
+
+    /// All prototypes within `threshold` mismatches (best-first) — the
+    /// multi-match primitive of CAM-based similarity search.
+    #[must_use]
+    pub fn within(&self, query: &[bool], threshold: usize) -> Vec<Classification> {
+        self.tcam
+            .nearest(query)
+            .into_iter()
+            .take_while(|&(_, d)| d <= threshold)
+            .map(|(row, distance)| Classification {
+                label: self.labels[row],
+                row,
+                distance,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier() -> HammingClassifier {
+        let mut c = HammingClassifier::new(8);
+        c.enroll("11110000".parse().unwrap(), 0);
+        c.enroll("00001111".parse().unwrap(), 1);
+        c.enroll("1010XXXX".parse().unwrap(), 2); // masked features
+        c
+    }
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn exact_match_finds_prototype() {
+        let c = classifier();
+        let hit = c.classify_exact(&bits("11110000")).unwrap();
+        assert_eq!(hit.label, 0);
+        assert!(c.classify_exact(&bits("11111111")).is_none());
+    }
+
+    #[test]
+    fn nearest_classifies_noisy_queries() {
+        let c = classifier();
+        // One bit flipped from class 0's prototype.
+        let hit = c.classify_nearest(&bits("11110001")).unwrap();
+        assert_eq!(hit.label, 0);
+        assert_eq!(hit.distance, 1);
+    }
+
+    #[test]
+    fn masked_digits_do_not_count() {
+        let c = classifier();
+        // Matches class 2's unmasked half exactly, any low nibble.
+        let hit = c.classify_nearest(&bits("10101111")).unwrap();
+        assert_eq!(hit.label, 2);
+        assert_eq!(hit.distance, 0);
+    }
+
+    #[test]
+    fn threshold_search_orders_by_distance() {
+        let c = classifier();
+        let all = c.within(&bits("11110001"), 8);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].distance <= w[1].distance));
+        let near = c.within(&bits("11110001"), 1);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].label, 0);
+    }
+
+    #[test]
+    fn empty_classifier_returns_none() {
+        let c = HammingClassifier::new(4);
+        assert!(c.classify_nearest(&[true; 4]).is_none());
+        assert!(c.is_empty());
+    }
+}

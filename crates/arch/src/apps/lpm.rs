@@ -1,0 +1,185 @@
+//! Longest-prefix-match IP routing on a TCAM — the classic network-
+//! router workload the paper's introduction motivates.
+//!
+//! Prefixes are stored most-specific-first so the TCAM's priority
+//! encoder (lowest matching row wins) implements LPM directly.
+
+use crate::encoder::{EncodeResult, PriorityEncoder};
+use ferrotcam::{BehavioralTcam, TernaryWord};
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Network address (host order).
+    pub addr: u32,
+    /// Prefix length in bits (0–32).
+    pub prefix_len: u8,
+    /// Opaque next-hop identifier.
+    pub next_hop: u32,
+}
+
+impl Route {
+    /// Whether this route covers `ip`.
+    #[must_use]
+    pub fn covers(&self, ip: u32) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let shift = 32 - self.prefix_len as u32;
+        (ip >> shift) == (self.addr >> shift)
+    }
+}
+
+/// A TCAM-backed IPv4 forwarding table.
+#[derive(Debug, Clone)]
+pub struct RouterTable {
+    tcam: BehavioralTcam,
+    routes: Vec<Route>,
+}
+
+impl Default for RouterTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterTable {
+    /// Empty table (32-bit words).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tcam: BehavioralTcam::new(32),
+            routes: Vec::new(),
+        }
+    }
+
+    /// Number of installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Install a route, keeping rows ordered by descending prefix
+    /// length so priority encoding realises LPM.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len > 32`.
+    pub fn insert(&mut self, route: Route) {
+        assert!(route.prefix_len <= 32, "IPv4 prefix length ≤ 32");
+        let pos = self
+            .routes
+            .partition_point(|r| r.prefix_len >= route.prefix_len);
+        self.routes.insert(pos, route);
+        // Insert the TCAM row at the same priority position (O(n),
+        // not a full-image rebuild).
+        self.tcam.insert(
+            pos,
+            TernaryWord::from_prefix(u64::from(route.addr), route.prefix_len as usize, 32),
+        );
+    }
+
+    /// One-cycle TCAM lookup: longest matching prefix's next hop.
+    #[must_use]
+    pub fn lookup(&self, ip: u32) -> Option<&Route> {
+        let query: Vec<bool> = (0..32).rev().map(|i| (ip >> i) & 1 == 1).collect();
+        let outcome = self.tcam.search(&query);
+        let mut match_vec = vec![false; self.routes.len()];
+        for &m in &outcome.matches {
+            match_vec[m] = true;
+        }
+        PriorityEncoder::new(self.routes.len())
+            .encode(&match_vec)
+            .address()
+            .map(|a| &self.routes[a])
+    }
+
+    /// Reference LPM by linear scan (for property tests).
+    #[must_use]
+    pub fn lookup_naive(&self, ip: u32) -> Option<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.covers(ip))
+            .max_by_key(|r| r.prefix_len)
+    }
+
+    /// Match result kind for instrumentation.
+    #[must_use]
+    pub fn classify(&self, ip: u32) -> EncodeResult {
+        let query: Vec<bool> = (0..32).rev().map(|i| (ip >> i) & 1 == 1).collect();
+        let outcome = self.tcam.search(&query);
+        let mut match_vec = vec![false; self.routes.len()];
+        for &m in &outcome.matches {
+            match_vec[m] = true;
+        }
+        PriorityEncoder::new(self.routes.len()).encode(&match_vec)
+    }
+
+    /// The underlying TCAM image (for energy accounting).
+    #[must_use]
+    pub fn tcam(&self) -> &BehavioralTcam {
+        &self.tcam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    fn table() -> RouterTable {
+        let mut t = RouterTable::new();
+        t.insert(Route { addr: ip(10, 0, 0, 0), prefix_len: 8, next_hop: 1 });
+        t.insert(Route { addr: ip(10, 1, 0, 0), prefix_len: 16, next_hop: 2 });
+        t.insert(Route { addr: ip(10, 1, 2, 0), prefix_len: 24, next_hop: 3 });
+        t.insert(Route { addr: 0, prefix_len: 0, next_hop: 99 }); // default
+        t
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let t = table();
+        assert_eq!(t.lookup(ip(10, 1, 2, 7)).unwrap().next_hop, 3);
+        assert_eq!(t.lookup(ip(10, 1, 9, 9)).unwrap().next_hop, 2);
+        assert_eq!(t.lookup(ip(10, 9, 9, 9)).unwrap().next_hop, 1);
+        assert_eq!(t.lookup(ip(8, 8, 8, 8)).unwrap().next_hop, 99);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let t = table();
+        for addr in [ip(10, 1, 2, 3), ip(10, 1, 0, 1), ip(10, 200, 0, 1), ip(1, 2, 3, 4)] {
+            assert_eq!(
+                t.lookup(addr).map(|r| r.next_hop),
+                t.lookup_naive(addr).map(|r| r.next_hop),
+                "addr {addr:08x}"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_without_default_route() {
+        let mut t = RouterTable::new();
+        t.insert(Route { addr: ip(192, 168, 0, 0), prefix_len: 16, next_hop: 7 });
+        assert!(t.lookup(ip(8, 8, 8, 8)).is_none());
+        assert_eq!(t.classify(ip(8, 8, 8, 8)), EncodeResult::Miss);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut t = RouterTable::new();
+        // Insert least-specific first.
+        t.insert(Route { addr: ip(10, 0, 0, 0), prefix_len: 8, next_hop: 1 });
+        t.insert(Route { addr: ip(10, 1, 2, 0), prefix_len: 24, next_hop: 3 });
+        assert_eq!(t.lookup(ip(10, 1, 2, 9)).unwrap().next_hop, 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Application workloads exercising the TCAM: routing, caching, and
+//! approximate matching.
+
+pub mod cache;
+pub mod hamming;
+pub mod lpm;
+
+pub use cache::{AssocTagStore, CacheStats};
+pub use hamming::{Classification, HammingClassifier};
+pub use lpm::{Route, RouterTable};

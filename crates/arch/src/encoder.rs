@@ -1,0 +1,115 @@
+//! Match-address priority encoder: converts the per-row match vector
+//! into the address of the highest-priority (lowest-index) match, the
+//! final stage of a CAM lookup (Fig. 2's "Encoder").
+
+use serde::{Deserialize, Serialize};
+
+/// Result of encoding a match vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodeResult {
+    /// No row matched.
+    Miss,
+    /// Exactly one row matched.
+    Unique(usize),
+    /// Several rows matched; the payload is the highest-priority one.
+    Multiple(usize),
+}
+
+impl EncodeResult {
+    /// The winning address, if any.
+    #[must_use]
+    pub fn address(self) -> Option<usize> {
+        match self {
+            EncodeResult::Miss => None,
+            EncodeResult::Unique(a) | EncodeResult::Multiple(a) => Some(a),
+        }
+    }
+}
+
+/// A priority encoder over `rows` match lines (lowest index wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityEncoder {
+    rows: usize,
+}
+
+impl PriorityEncoder {
+    /// Encoder for an array with `rows` match lines.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        Self { rows }
+    }
+
+    /// Number of match lines.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Encode a match vector.
+    ///
+    /// # Panics
+    /// Panics if `matches.len() != self.rows()`.
+    #[must_use]
+    pub fn encode(&self, matches: &[bool]) -> EncodeResult {
+        assert_eq!(matches.len(), self.rows, "match vector width mismatch");
+        let mut iter = matches.iter().enumerate().filter(|&(_, &m)| m);
+        match (iter.next(), iter.next()) {
+            (None, _) => EncodeResult::Miss,
+            (Some((a, _)), None) => EncodeResult::Unique(a),
+            (Some((a, _)), Some(_)) => EncodeResult::Multiple(a),
+        }
+    }
+
+    /// Logic depth of a tree priority encoder (gate levels) — the
+    /// latency model used for array-level roll-ups.
+    #[must_use]
+    pub fn logic_depth(&self) -> usize {
+        (self.rows.max(2) as f64).log2().ceil() as usize
+    }
+
+    /// Rough energy per encode (J): one CV² per node over `2·rows`
+    /// internal nodes at 0.8 V with ~0.1 fF each.
+    #[must_use]
+    pub fn energy_per_encode(&self) -> f64 {
+        2.0 * self.rows as f64 * 0.1e-15 * 0.8 * 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_unique_multiple() {
+        let e = PriorityEncoder::new(4);
+        assert_eq!(e.encode(&[false; 4]), EncodeResult::Miss);
+        assert_eq!(e.encode(&[false, true, false, false]), EncodeResult::Unique(1));
+        assert_eq!(
+            e.encode(&[false, true, false, true]),
+            EncodeResult::Multiple(1)
+        );
+        assert_eq!(e.encode(&[false, true, false, true]).address(), Some(1));
+        assert_eq!(e.encode(&[false; 4]).address(), None);
+    }
+
+    #[test]
+    fn priority_is_lowest_index() {
+        let e = PriorityEncoder::new(8);
+        let mut v = vec![false; 8];
+        v[6] = true;
+        v[2] = true;
+        assert_eq!(e.encode(&v).address(), Some(2));
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        assert_eq!(PriorityEncoder::new(64).logic_depth(), 6);
+        assert_eq!(PriorityEncoder::new(65).logic_depth(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let _ = PriorityEncoder::new(4).encode(&[true; 3]);
+    }
+}

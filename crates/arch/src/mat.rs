@@ -1,0 +1,273 @@
+//! Array- and mat-level roll-up: functional search plus energy/latency
+//! accounting that combines per-row circuit metrics with the actual
+//! early-termination statistics of the stored data.
+
+use crate::driver::{DriverPlan, SubarrayDims};
+use crate::encoder::{EncodeResult, PriorityEncoder};
+use ferrotcam::fom::SearchMetrics;
+use ferrotcam::{BehavioralTcam, DesignKind, TernaryWord};
+use ferrotcam_eval::tech::TechNode;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one array search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchCost {
+    /// Total energy across all rows (J).
+    pub energy: f64,
+    /// Search latency (s): the slowest row plus encoder depth.
+    pub latency: f64,
+    /// Rows early-terminated after step 1.
+    pub step1_misses: usize,
+}
+
+/// A TCAM subarray: functional contents plus circuit-level cost model.
+#[derive(Debug, Clone)]
+pub struct TcamArray {
+    design: DesignKind,
+    dims: SubarrayDims,
+    tcam: BehavioralTcam,
+    metrics: Option<SearchMetrics>,
+    encoder: PriorityEncoder,
+}
+
+impl TcamArray {
+    /// Empty array of `dims` for `design`.
+    #[must_use]
+    pub fn new(design: DesignKind, dims: SubarrayDims) -> Self {
+        Self {
+            design,
+            dims,
+            tcam: BehavioralTcam::new(dims.cols),
+            metrics: None,
+            encoder: PriorityEncoder::new(dims.rows),
+        }
+    }
+
+    /// Attach per-row circuit metrics (from
+    /// `ferrotcam::fom::characterize_search`) to enable energy/latency
+    /// accounting.
+    pub fn set_metrics(&mut self, metrics: SearchMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Design of this array.
+    #[must_use]
+    pub fn design(&self) -> DesignKind {
+        self.design
+    }
+
+    /// Dimensions.
+    #[must_use]
+    pub fn dims(&self) -> SubarrayDims {
+        self.dims
+    }
+
+    /// The functional contents.
+    #[must_use]
+    pub fn contents(&self) -> &BehavioralTcam {
+        &self.tcam
+    }
+
+    /// Store a word in the next free row.
+    ///
+    /// # Panics
+    /// Panics when the array is full or the word width is wrong.
+    pub fn store(&mut self, word: TernaryWord) -> usize {
+        assert!(self.tcam.len() < self.dims.rows, "array full");
+        self.tcam.store(word)
+    }
+
+    /// Overwrite a row.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or out-of-range row.
+    pub fn write(&mut self, row: usize, word: TernaryWord) {
+        self.tcam.write(row, word);
+    }
+
+    /// Whether all rows are populated.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.tcam.len() >= self.dims.rows
+    }
+
+    /// Search: returns the encoded match address plus, when metrics are
+    /// attached, the energy/latency cost with per-row early termination.
+    ///
+    /// # Panics
+    /// Panics if the query width differs from the array width.
+    #[must_use]
+    pub fn search(&self, query: &[bool]) -> (EncodeResult, Option<SearchCost>) {
+        let outcome = self.tcam.search(query);
+        let mut match_vec = vec![false; self.dims.rows];
+        for &m in &outcome.matches {
+            match_vec[m] = true;
+        }
+        let encoded = self.encoder.encode(&match_vec);
+        let cost = self.metrics.as_ref().map(|m| {
+            let populated = self.tcam.len();
+            let e1 = m.energy_1step;
+            let e2 = m.energy_2step.unwrap_or(m.energy_1step);
+            let full_rows = populated - outcome.step1_misses;
+            let energy = outcome.step1_misses as f64 * e1
+                + full_rows as f64 * e2
+                + self.encoder.energy_per_encode();
+            let latency = m.latency() + self.encoder.logic_depth() as f64 * 10e-12;
+            SearchCost {
+                energy,
+                latency,
+                step1_misses: outcome.step1_misses,
+            }
+        });
+        (encoded, cost)
+    }
+
+    /// Average per-cell search energy over a query workload (J/cell) —
+    /// the quantity Table IV's "Average*" row reports, but with the
+    /// *measured* miss rate of this content instead of an assumed 90 %.
+    ///
+    /// # Panics
+    /// Panics if metrics were not attached.
+    #[must_use]
+    pub fn workload_energy_per_cell<'a>(
+        &self,
+        queries: impl IntoIterator<Item = &'a [bool]>,
+    ) -> f64 {
+        assert!(self.metrics.is_some(), "attach metrics first");
+        let mut total = 0.0;
+        let mut searches = 0usize;
+        for q in queries {
+            let (_, cost) = self.search(q);
+            total += cost.expect("metrics attached").energy;
+            searches += 1;
+        }
+        if searches == 0 {
+            return 0.0;
+        }
+        total / (searches * self.tcam.len().max(1) * self.dims.cols) as f64
+    }
+}
+
+/// A mat: four 90°-rotated subarrays sharing HV driver banks (Fig. 6a).
+#[derive(Debug, Clone)]
+pub struct Mat {
+    /// The four subarrays.
+    pub subarrays: Vec<TcamArray>,
+    /// The shared driver plan.
+    pub drivers: DriverPlan,
+}
+
+impl Mat {
+    /// Build a mat of four subarrays with shared drivers at `v_drive`.
+    #[must_use]
+    pub fn new(design: DesignKind, dims: SubarrayDims, v_drive: f64) -> Self {
+        Self {
+            subarrays: (0..4).map(|_| TcamArray::new(design, dims)).collect(),
+            drivers: DriverPlan::new(dims, 4, true, v_drive),
+        }
+    }
+
+    /// Total mat area: cells plus shared drivers (m²).
+    #[must_use]
+    pub fn area(&self, tech: &TechNode) -> f64 {
+        let dims = self.drivers.dims;
+        let cells: f64 = self
+            .subarrays
+            .iter()
+            .map(|s| ferrotcam_eval::layout::array_core_area(s.design(), dims.rows, dims.cols, tech))
+            .sum();
+        cells + self.drivers.total_area()
+    }
+
+    /// Total words the mat can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.subarrays.len() * self.drivers.dims.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam::Ternary;
+
+    fn small_metrics() -> SearchMetrics {
+        SearchMetrics {
+            design: DesignKind::T15Dg,
+            word_len: 8,
+            latency_1step: 200e-12,
+            latency_2step: Some(450e-12),
+            energy_1step: 1e-15,
+            energy_2step: Some(2e-15),
+        }
+    }
+
+    fn filled_array() -> TcamArray {
+        let dims = SubarrayDims { rows: 4, cols: 8 };
+        let mut a = TcamArray::new(DesignKind::T15Dg, dims);
+        a.store(TernaryWord::from_u64(0x12, 8));
+        a.store(TernaryWord::from_u64(0x34, 8));
+        a.store(TernaryWord::from_prefix(0x30, 4, 8));
+        a.set_metrics(small_metrics());
+        a
+    }
+
+    #[test]
+    fn search_returns_priority_match() {
+        let a = filled_array();
+        // 0x34 = 00110100 matches row 1 exactly and prefix row 2 (0011XXXX).
+        let q: Vec<bool> = (0..8).rev().map(|i| (0x34u32 >> i) & 1 == 1).collect();
+        let (res, cost) = a.search(&q);
+        assert_eq!(res, EncodeResult::Multiple(1));
+        let cost = cost.unwrap();
+        // Row 0 (0x12) differs from 0x34 in a step-1 position → one miss.
+        assert!(cost.step1_misses >= 1);
+        assert!(cost.energy > 0.0 && cost.latency > 450e-12);
+    }
+
+    #[test]
+    fn early_termination_reduces_energy() {
+        let a = filled_array();
+        // Query that mismatches every row in step 1 vs one that matches.
+        let q_miss: Vec<bool> = vec![true; 8];
+        let q_hit: Vec<bool> = (0..8).rev().map(|i| (0x12u32 >> i) & 1 == 1).collect();
+        let (_, c_miss) = a.search(&q_miss);
+        let (_, c_hit) = a.search(&q_hit);
+        assert!(c_miss.unwrap().energy < c_hit.unwrap().energy);
+    }
+
+    #[test]
+    fn array_capacity_enforced() {
+        let dims = SubarrayDims { rows: 2, cols: 4 };
+        let mut a = TcamArray::new(DesignKind::Sg2, dims);
+        a.store(TernaryWord::wildcard(4));
+        a.store(TernaryWord::wildcard(4));
+        assert!(a.is_full());
+    }
+
+    #[test]
+    fn workload_energy_is_positive_per_cell() {
+        let a = filled_array();
+        let q1: Vec<bool> = vec![true; 8];
+        let q2: Vec<bool> = vec![false; 8];
+        let e = a.workload_energy_per_cell([q1.as_slice(), q2.as_slice()]);
+        assert!(e > 0.0 && e < 1e-14, "e = {e:.3e}");
+    }
+
+    #[test]
+    fn mat_aggregates_area_and_capacity() {
+        let mat = Mat::new(DesignKind::T15Dg, SubarrayDims::paper(), 2.0);
+        assert_eq!(mat.capacity(), 256);
+        let t = ferrotcam_eval::tech::tech_14nm();
+        let area = mat.area(&t);
+        // 4 × 64×64 cells at ~0.16 µm² ≈ 2600 µm² plus drivers.
+        assert!(area > 2e-9 && area < 4e-9, "area = {area:.3e}");
+    }
+
+    #[test]
+    fn column_states_follow_contents() {
+        let a = filled_array();
+        let col = a.contents().column(0);
+        assert_eq!(col[0], Ternary::Zero);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests of the application layer: TCAM LPM equals the linear
+//! scan reference, and the cache tag store never lies about residency.
+
+use ferrotcam_arch::apps::{AssocTagStore, Route, RouterTable};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn routes() -> impl Strategy<Value = Vec<Route>> {
+    proptest::collection::vec(
+        (any::<u32>(), 0u8..=32, any::<u32>()).prop_map(|(addr, prefix_len, next_hop)| Route {
+            addr,
+            prefix_len,
+            next_hop,
+        }),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lpm_equals_linear_scan(rs in routes(), ips in proptest::collection::vec(any::<u32>(), 1..16)) {
+        let mut t = RouterTable::new();
+        for r in &rs {
+            t.insert(*r);
+        }
+        for ip in ips {
+            let got = t.lookup(ip).map(|r| (r.prefix_len, r.covers(ip)));
+            let reference = t.lookup_naive(ip).map(|r| (r.prefix_len, true));
+            // Same prefix length and actually covering; next hops can
+            // differ between equal-length duplicates, which is a real
+            // TCAM ambiguity resolved by row priority.
+            prop_assert_eq!(got, reference, "ip {:08x}", ip);
+        }
+    }
+
+    #[test]
+    fn cache_residency_is_truthful(tags in proptest::collection::vec(0u64..64, 1..200)) {
+        let mut c = AssocTagStore::new(16, 8);
+        let mut resident: Vec<u64> = Vec::new(); // model, LRU order (front = oldest)
+        let mut seen = HashSet::new();
+        for t in tags {
+            seen.insert(t);
+            let hit = c.lookup(t).is_some();
+            let model_hit = resident.contains(&t);
+            prop_assert_eq!(hit, model_hit, "tag {}", t);
+            if hit {
+                resident.retain(|&x| x != t);
+                resident.push(t);
+            } else {
+                c.install(t);
+                if resident.len() == 8 {
+                    resident.remove(0);
+                }
+                resident.push(t);
+            }
+        }
+        // Every resident tag must still hit.
+        for &t in &resident.clone() {
+            prop_assert!(c.lookup(t).is_some());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Throughput of the behavioural TCAM layer: parallel ternary search,
+//! nearest-match, and LPM lookup at router-like scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ferrotcam::{BehavioralTcam, Ternary, TernaryWord};
+use ferrotcam_arch::apps::{Route, RouterTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_tcam(rng: &mut StdRng, rows: usize, width: usize) -> BehavioralTcam {
+    let mut t = BehavioralTcam::new(width);
+    for _ in 0..rows {
+        let w: TernaryWord = (0..width)
+            .map(|_| {
+                if rng.random_bool(0.1) {
+                    Ternary::X
+                } else if rng.random_bool(0.5) {
+                    Ternary::One
+                } else {
+                    Ternary::Zero
+                }
+            })
+            .collect();
+        t.store(w);
+    }
+    t
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("behav_search");
+    for rows in [64usize, 256, 1024] {
+        let t = random_tcam(&mut rng, rows, 64);
+        let q: Vec<bool> = (0..64).map(|_| rng.random_bool(0.5)).collect();
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &t, |b, t| {
+            b.iter(|| black_box(t.search(black_box(&q))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = random_tcam(&mut rng, 256, 64);
+    let q: Vec<bool> = (0..64).map(|_| rng.random_bool(0.5)).collect();
+    c.bench_function("behav_nearest_256x64", |b| {
+        b.iter(|| black_box(t.nearest(black_box(&q))))
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut table = RouterTable::new();
+    for _ in 0..512 {
+        table.insert(Route {
+            addr: rng.random(),
+            prefix_len: rng.random_range(8..=28),
+            next_hop: rng.random(),
+        });
+    }
+    let ips: Vec<u32> = (0..64).map(|_| rng.random()).collect();
+    c.bench_function("lpm_lookup_512_prefixes", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            black_box(table.lookup(black_box(ips[i])))
+        })
+    });
+}
+
+criterion_group!(benches, bench_search, bench_nearest, bench_lpm);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Full row-transient cost per design — the simulation workload behind
+//! Table IV and Fig. 7 (short 8-cell words to keep bench time bounded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::fom::one_mismatch;
+use ferrotcam::build_search_row;
+use std::hint::black_box;
+
+fn bench_row_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_search_transient_8cells");
+    g.sample_size(10);
+    for design in DesignKind::ALL {
+        let params = DesignParams::preset(design);
+        let (stored, query) = one_mismatch(8, 0);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let mut sim = build_search_row(
+                        params,
+                        &stored,
+                        &query,
+                        SearchTiming::default(),
+                        RowParasitics::default(),
+                        design.is_two_step(),
+                    )
+                    .expect("build");
+                    black_box(sim.run().expect("run").total_energy())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dc_op(c: &mut Criterion) {
+    // DC operating point of a 16-cell 1.5T1DG row (Newton + gmin path).
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let (stored, query) = one_mismatch(16, 0);
+    c.bench_function("dc_operating_point_16cells", |b| {
+        b.iter(|| {
+            let sim = build_search_row(
+                &params,
+                &stored,
+                &query,
+                SearchTiming::default(),
+                RowParasitics::default(),
+                false,
+            )
+            .expect("build");
+            black_box(
+                ferrotcam_spice::operating_point(
+                    &sim.circuit,
+                    &ferrotcam_spice::DcOpts::default(),
+                )
+                .expect("op"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_row_transient, bench_dc_op);
+criterion_main!(benches);

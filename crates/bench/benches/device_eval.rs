@@ -1,0 +1,57 @@
+//! Device-model evaluation cost: the per-Newton-iteration kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrotcam_device::calib;
+use ferrotcam_device::fefet::{Fefet, VthState};
+use ferrotcam_device::ferro::{PreisachFilm, PreisachParams};
+use ferrotcam_device::mosfet::{ekv_ids, MosfetParams};
+use ferrotcam_spice::nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
+use ferrotcam_spice::NodeId;
+use std::hint::black_box;
+
+fn bench_ekv(c: &mut Criterion) {
+    let p = MosfetParams::nmos_14nm(50.0);
+    c.bench_function("ekv_ids_eval", |b| {
+        let mut vg = 0.0;
+        b.iter(|| {
+            vg = (vg + 0.001) % 1.2;
+            black_box(ekv_ids(&p, p.vth0, black_box(vg), 0.5, 0.0, 300.0))
+        })
+    });
+}
+
+fn bench_fefet_stamps(c: &mut Criterion) {
+    let g = NodeId::GROUND;
+    let mut dev = Fefet::new("f", g, g, g, g, calib::dg_fefet_14nm());
+    dev.program(VthState::Lvt);
+    let mut st = DeviceStamps::new(4);
+    let ctx = EvalCtx::default();
+    c.bench_function("dg_fefet_eval_stamps", |b| {
+        b.iter(|| {
+            st.clear();
+            dev.eval(black_box(&[0.4, 0.15, 0.05, 2.0]), &mut st, &ctx);
+            black_box(&st);
+        })
+    });
+}
+
+fn bench_preisach(c: &mut Criterion) {
+    let mut film = PreisachFilm::new(PreisachParams {
+        num_domains: 128,
+        vc_mean: 1.6,
+        vc_sigma: 0.125,
+        p_sat: 0.1,
+        area: 1e-15,
+    });
+    c.bench_function("preisach_apply_128_domains", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 0.01) % 4.0 - 2.0;
+            film.apply(black_box(v));
+            black_box(film.polarization())
+        })
+    });
+}
+
+criterion_group!(benches, bench_ekv, bench_fefet_stamps, bench_preisach);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Sparse vs dense LU on MNA-shaped systems: the scaling that makes
+//! array-size circuit simulation feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferrotcam_spice::matrix::sparse::{SparseLu, Triplets};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Build an MNA-like banded + random-fill system of dimension `n`.
+fn mna_like(n: usize, rng: &mut StdRng) -> Triplets {
+    let mut t = Triplets::new(n);
+    for i in 0..n {
+        t.add(i, i, 4.0 + rng.random::<f64>());
+        if i + 1 < n {
+            t.add(i, i + 1, -1.0);
+            t.add(i + 1, i, -1.0);
+        }
+        // Sparse long-range couplings (voltage-source rows etc.).
+        for _ in 0..2 {
+            let j = rng.random_range(0..n);
+            t.add(i, j, 0.1 * rng.random::<f64>());
+        }
+    }
+    t
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut g = c.benchmark_group("sparse_lu_factor_solve");
+    for n in [64usize, 256, 1024] {
+        let t = mna_like(n, &mut rng);
+        let csc = t.to_csc();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &csc, |bch, csc| {
+            bch.iter(|| {
+                let lu = SparseLu::factor(black_box(csc)).expect("factor");
+                black_box(lu.solve(black_box(&b)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dense_lu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut g = c.benchmark_group("dense_lu_factor_solve");
+    for n in [64usize, 256] {
+        let t = mna_like(n, &mut rng);
+        let d = t.to_csc().to_dense();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &d, |bch, d| {
+            bch.iter(|| black_box(d.solve(black_box(&b)).expect("solve")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let t = mna_like(512, &mut rng);
+    c.bench_function("triplets_to_csc_512", |b| {
+        b.iter(|| black_box(t.to_csc()))
+    });
+}
+
+criterion_group!(benches, bench_sparse_lu, bench_dense_lu, bench_assembly);
+criterion_main!(benches);

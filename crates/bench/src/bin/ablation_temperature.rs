@@ -1,0 +1,74 @@
+//! **Ablation: temperature** — the divider margins of the 1.5T1Fe cell
+//! versus temperature. The subthreshold slope degrades as `n·kT/q·ln10`,
+//! softening the MVT ('X') state's off-behaviour; the hold margin
+//! therefore shrinks with temperature while the (strong-inversion)
+//! discharge drive barely moves. Emits `ablation_temperature.csv`.
+
+use ferrotcam::cell::{DesignKind, DesignParams};
+use ferrotcam::margins::build_divider_circuit;
+use ferrotcam_bench::write_artifact;
+use ferrotcam_device::fefet::VthState;
+use ferrotcam_spice::{operating_point, DcOpts, NewtonOpts};
+use std::fmt::Write as _;
+
+fn level_at(
+    params: &DesignParams,
+    state: VthState,
+    query: bool,
+    temp: f64,
+) -> f64 {
+    let (ckt, slbar) =
+        build_divider_circuit(params, params.fefet(), state, query).expect("build");
+    let opts = DcOpts {
+        newton: NewtonOpts {
+            temp,
+            ..NewtonOpts::default()
+        },
+        time: 0.0,
+    };
+    operating_point(&ckt, &opts).expect("op").voltage(slbar)
+}
+
+fn main() {
+    println!("== Ablation: divider margins vs temperature (1.5T1DG-Fe) ==\n");
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let vth_tml = params.tml.vth0;
+    let mut csv = String::from("temp_c,discharge_margin_mv,hold_margin_mv\n");
+    println!("{:>7} {:>14} {:>10}", "T (°C)", "discharge mV", "hold mV");
+
+    let mut margins = Vec::new();
+    for t_c in [-40.0f64, 0.0, 27.0, 85.0, 125.0] {
+        let t_k = t_c + 273.15;
+        // Mismatch cases.
+        let v_mis = level_at(&params, VthState::Lvt, false, t_k)
+            .min(level_at(&params, VthState::Hvt, true, t_k));
+        // Hold cases (worst of match + X).
+        let v_hold = level_at(&params, VthState::Hvt, false, t_k)
+            .max(level_at(&params, VthState::Lvt, true, t_k))
+            .max(level_at(&params, VthState::Mvt, false, t_k))
+            .max(level_at(&params, VthState::Mvt, true, t_k));
+        let discharge = (v_mis - vth_tml) * 1e3;
+        let hold = (vth_tml - v_hold) * 1e3;
+        println!("{t_c:>7.0} {discharge:>14.1} {hold:>10.1}");
+        let _ = writeln!(csv, "{t_c:.0},{discharge:.1},{hold:.1}");
+        margins.push((t_c, discharge, hold));
+    }
+    write_artifact("ablation_temperature.csv", &csv);
+
+    // The hold margin must shrink monotonically with temperature.
+    for w in margins.windows(2) {
+        assert!(
+            w[1].2 <= w[0].2 + 1.0,
+            "hold margin must degrade with T: {w:?}"
+        );
+    }
+    let (t0, _, h0) = margins[0];
+    let (t1, _, h1) = *margins.last().expect("non-empty");
+    println!(
+        "\nhold margin degrades {:.1} mV from {t0:.0} °C to {t1:.0} °C \
+         (subthreshold-slope softening of the MVT state); all corners stay \
+         functional.",
+        h0 - h1
+    );
+    assert!(margins.iter().all(|&(_, d, h)| d > 0.0 && h > 0.0));
+}

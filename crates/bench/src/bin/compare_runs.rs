@@ -1,0 +1,85 @@
+//! **Regression comparer** — diff two `table4.json` result files (e.g.
+//! before/after a calibration change) and flag metric movements beyond
+//! a threshold. Usage:
+//!
+//! ```text
+//! compare_runs <old.json> <new.json> [tolerance-percent]
+//! ```
+//!
+//! Exits non-zero when any metric moved more than the tolerance,
+//! making it usable as a CI gate on the measured artefacts.
+
+use ferrotcam_eval::report::FomRow;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Vec<FomRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return if new == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (new - old) / old * 100.0
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: compare_runs <old.json> <new.json> [tolerance-percent]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tol: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+
+    let (old, new) = match (load(&old_path), load(&new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0usize;
+    println!("{:<12} {:<22} {:>10} {:>10} {:>8}", "design", "metric", "old", "new", "Δ%");
+    for o in &old {
+        let Some(n) = new.iter().find(|r| r.design == o.design) else {
+            println!("{:<12} row removed", o.design);
+            regressions += 1;
+            continue;
+        };
+        let metrics: [(&str, f64, f64); 4] = [
+            ("cell_area_um2", o.cell_area_um2, n.cell_area_um2),
+            ("latency_ps", o.latency_ps, n.latency_ps),
+            ("energy_avg_fj", o.energy_avg_fj, n.energy_avg_fj),
+            (
+                "write_energy_fj",
+                o.write_energy_fj.unwrap_or(0.0),
+                n.write_energy_fj.unwrap_or(0.0),
+            ),
+        ];
+        for (name, ov, nv) in metrics {
+            let d = pct(ov, nv);
+            let flag = if d.abs() > tol { regressions += 1; "  <-- moved" } else { "" };
+            if ov != 0.0 || nv != 0.0 {
+                println!(
+                    "{:<12} {:<22} {:>10.3} {:>10.3} {:>7.1}%{flag}",
+                    o.design, name, ov, nv, d
+                );
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("\n{regressions} metric(s) moved beyond ±{tol}%");
+        ExitCode::FAILURE
+    } else {
+        println!("\nall metrics within ±{tol}%");
+        ExitCode::SUCCESS
+    }
+}

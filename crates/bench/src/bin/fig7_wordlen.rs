@@ -1,0 +1,78 @@
+//! **Fig. 7** — word-length design-space exploration: search latency (a)
+//! and per-cell search energy (b) versus word length for the four FeFET
+//! TCAM designs.
+//!
+//! Reproduction targets (Sec. V-C): latency grows with word length for
+//! every design but with a *flatter slope* for the 1.5T1Fe cells; the
+//! 2FeFET designs' energy/cell *falls* with word length (SA/precharge
+//! amortisation) while the 1.5T1Fe designs' energy/cell *rises* (the
+//! divider burns for the whole, longer, sense window).
+//!
+//! Emits `fig7_latency.csv` and `fig7_energy.csv` (rows: word length,
+//! columns: designs).
+
+use ferrotcam::fom::characterize_search;
+use ferrotcam::DesignKind;
+use ferrotcam_bench::{paper, write_artifact};
+use ferrotcam_eval::parasitics::row_parasitics;
+use ferrotcam_eval::tech::tech_14nm;
+use std::fmt::Write as _;
+
+const WORD_LENGTHS: [usize; 5] = [8, 16, 32, 64, 128];
+
+fn main() {
+    println!("== Fig. 7: word-length impact on search latency and energy ==");
+    let tech = tech_14nm();
+    let designs = DesignKind::FEFET_DESIGNS;
+
+    let mut latency = vec![vec![0.0f64; designs.len()]; WORD_LENGTHS.len()];
+    let mut energy = vec![vec![0.0f64; designs.len()]; WORD_LENGTHS.len()];
+
+    for (di, &design) in designs.iter().enumerate() {
+        let par = row_parasitics(design, &tech);
+        for (ni, &n) in WORD_LENGTHS.iter().enumerate() {
+            let m = characterize_search(design, n, par).expect("characterisation");
+            latency[ni][di] = m.latency() * 1e12;
+            energy[ni][di] = m.energy_avg_per_cell(paper::STEP1_MISS_RATE) * 1e15;
+            println!(
+                "{design:<11} N={n:<4} latency {:7.1} ps  energy {:.4} fJ/cell",
+                latency[ni][di], energy[ni][di]
+            );
+        }
+    }
+
+    let header = {
+        let mut h = String::from("word_len");
+        for d in designs {
+            let _ = write!(h, ",{}", d.name());
+        }
+        h.push('\n');
+        h
+    };
+    let mut lat_csv = header.clone();
+    let mut en_csv = header;
+    for (ni, &n) in WORD_LENGTHS.iter().enumerate() {
+        let _ = write!(lat_csv, "{n}");
+        let _ = write!(en_csv, "{n}");
+        for di in 0..designs.len() {
+            let _ = write!(lat_csv, ",{:.2}", latency[ni][di]);
+            let _ = write!(en_csv, ",{:.5}", energy[ni][di]);
+        }
+        lat_csv.push('\n');
+        en_csv.push('\n');
+    }
+    write_artifact("fig7_latency.csv", &lat_csv);
+    write_artifact("fig7_energy.csv", &en_csv);
+
+    // Trend summary (the claims of Sec. V-C).
+    let first = 0;
+    let last = WORD_LENGTHS.len() - 1;
+    for (di, &design) in designs.iter().enumerate() {
+        let lat_growth = latency[last][di] / latency[first][di];
+        let en_trend = energy[last][di] / energy[first][di];
+        println!(
+            "{design:<11} latency x{lat_growth:.2} from N=8 to N=128; energy/cell x{en_trend:.2} ({})",
+            if en_trend < 1.0 { "amortising" } else { "divider-dominated" }
+        );
+    }
+}

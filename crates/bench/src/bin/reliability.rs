@@ -1,0 +1,91 @@
+//! **Reliability extension** (paper Sec. I–II motivations): endurance,
+//! retention and accumulated read disturb of the SG vs DG flavours —
+//! the device-level case for the double gate, quantified. Emits
+//! `reliability.csv`.
+
+use ferrotcam_bench::write_artifact;
+use ferrotcam_device::reliability::{EnduranceModel, ReadDisturbModel, RetentionModel};
+use ferrotcam_device::{calib, FefetParams};
+use std::fmt::Write as _;
+
+struct Flavour {
+    name: &'static str,
+    params: FefetParams,
+    t_fe: f64,
+    v_read: f64,
+    bg_read: bool,
+}
+
+fn main() {
+    println!("== Reliability: endurance / retention / read disturb ==\n");
+    let flavours = [
+        Flavour {
+            name: "SG-FeFET (±4V, FG read)",
+            params: calib::sg_fefet_14nm(),
+            t_fe: calib::T_FE_SG,
+            v_read: 1.2,
+            bg_read: false,
+        },
+        Flavour {
+            name: "DG-FeFET (±2V, BG read)",
+            params: calib::dg_fefet_14nm(),
+            t_fe: calib::T_FE_DG,
+            v_read: 2.0,
+            bg_read: true,
+        },
+    ];
+
+    let mut csv = String::from(
+        "flavour,endurance_cycles,window_at_1e9_cycles,retention_years_equiv_85c,\
+         reads_to_10pct_disturb\n",
+    );
+    let retention = RetentionModel::default();
+    const TEN_YEARS: f64 = 10.0 * 365.25 * 24.0 * 3600.0;
+
+    for f in &flavours {
+        let endurance = EnduranceModel::for_fefet(&f.params, f.t_fe);
+        let disturb = ReadDisturbModel::for_read_path(&f.params, f.v_read, f.bg_read);
+        let nf = endurance.cycles_to_failure();
+        let w1e9 = endurance.window_remaining(1e9);
+        let ret_85 = retention.window_remaining(TEN_YEARS, 273.15 + 85.0);
+        let reads = disturb.reads_to_10_percent();
+        println!("{}", f.name);
+        println!("  endurance (median cycles)     : {nf:.2e}");
+        println!("  window left after 1e9 cycles  : {:.0}%", w1e9 * 100.0);
+        println!("  window left after 10y @ 85 C  : {:.0}%", ret_85 * 100.0);
+        println!(
+            "  reads to 10% disturb          : {}",
+            if reads.is_infinite() {
+                "disturb-free (separated read path)".to_string()
+            } else {
+                format!("{reads:.2e}")
+            }
+        );
+        let _ = writeln!(
+            csv,
+            "{},{:.3e},{:.4},{:.4},{}",
+            f.name,
+            nf,
+            w1e9,
+            ret_85,
+            if reads.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{reads:.3e}")
+            }
+        );
+        println!();
+    }
+    write_artifact("reliability.csv", &csv);
+
+    let sg_end = EnduranceModel::for_fefet(&flavours[0].params, flavours[0].t_fe);
+    let dg_end = EnduranceModel::for_fefet(&flavours[1].params, flavours[1].t_fe);
+    println!(
+        "headline: DG endurance {:.0e} cycles (paper: >1e10) vs SG {:.0e}; \
+         the BG read path removes read disturb entirely — the paper's two \
+         device-level selling points.",
+        dg_end.cycles_to_failure(),
+        sg_end.cycles_to_failure()
+    );
+    assert!(dg_end.cycles_to_failure() >= 1e10);
+}

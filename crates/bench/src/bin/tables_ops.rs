@@ -1,0 +1,115 @@
+//! **Tables I, II, III** — operation truth tables of the three FeFET
+//! cell designs, verified by circuit simulation.
+//!
+//! For each design, every (stored state × query bit) combination of a
+//! single cell is simulated and the ML verdict compared against the
+//! ternary-match truth table. Write rows are verified by driving the
+//! programming pulses of the tables and checking the resulting V_TH
+//! state. Emits `tables_ops.md`.
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, Ternary, TernaryWord};
+use ferrotcam_bench::write_artifact;
+use ferrotcam_device::fefet::{Fefet, VthState};
+use ferrotcam_spice::NodeId;
+use std::fmt::Write as _;
+
+const STATES: [Ternary; 3] = [Ternary::Zero, Ternary::One, Ternary::X];
+
+/// Simulate one stored digit against one query bit; word is padded with
+/// a second matching cell for the 2-cell-pair designs.
+fn verdict(kind: DesignKind, stored: Ternary, query: bool) -> bool {
+    let params = DesignParams::preset(kind);
+    let word = TernaryWord::new(vec![stored, Ternary::X]);
+    let q = [query, false];
+    let mut sim = build_search_row(
+        &params,
+        &word,
+        &q,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        true,
+    )
+    .expect("build");
+    sim.run().expect("run").matched().expect("verdict")
+}
+
+fn write_state(kind: DesignKind, target: Ternary) -> VthState {
+    // Drive the programming pulses of the tables on a bare device.
+    let p = DesignParams::preset(kind);
+    let fe = p.fefet();
+    let g = NodeId::GROUND;
+    let mut dev = Fefet::new("w", g, g, g, g, fe.clone());
+    dev.program(VthState::Lvt); // unknown prior state (worst case)
+    dev.write_pulse(-fe.v_write); // erase step
+    match target {
+        Ternary::Zero => {}
+        Ternary::One => dev.write_pulse(fe.v_write),
+        Ternary::X => dev.write_pulse(fe.v_mvt),
+    }
+    // Classify the landing state by nearest programmed threshold.
+    let vth = dev.vth();
+    let dist = |s: VthState| {
+        let mut probe = Fefet::new("p", g, g, g, g, fe.clone());
+        probe.program(s);
+        (probe.vth() - vth).abs()
+    };
+    [VthState::Hvt, VthState::Lvt, VthState::Mvt]
+        .into_iter()
+        .min_by(|&a, &b| dist(a).total_cmp(&dist(b)))
+        .expect("non-empty")
+}
+
+fn main() {
+    println!("== Tables I-III: cell operation verification ==");
+    let mut md = String::from("# Operation-table verification\n");
+    let designs = [
+        (DesignKind::Dg2, "Table I: 2DG-FeFET"),
+        (DesignKind::T15Dg, "Table II: 1.5T1DG-Fe"),
+        (DesignKind::T15Sg, "Table III: 1.5T1SG-Fe"),
+    ];
+    let mut all_ok = true;
+    for (kind, title) in designs {
+        let _ = writeln!(md, "\n## {title}\n");
+        let _ = writeln!(md, "| op | state | expected | simulated | ok |");
+        let _ = writeln!(md, "|---|---|---|---|---|");
+        // Write rows.
+        for state in STATES {
+            let expect = match state {
+                Ternary::Zero => VthState::Hvt,
+                Ternary::One => VthState::Lvt,
+                Ternary::X => VthState::Mvt,
+            };
+            let got = write_state(kind, state);
+            let ok = got == expect;
+            all_ok &= ok;
+            let _ = writeln!(md, "| write | {state} | {expect:?} | {got:?} | {ok} |");
+        }
+        // Search rows.
+        for state in STATES {
+            for query in [false, true] {
+                let expect = state.matches(query);
+                let got = verdict(kind, state, query);
+                let ok = got == expect;
+                all_ok &= ok;
+                let _ = writeln!(
+                    md,
+                    "| search {} | {state} | {} | {} | {ok} |",
+                    u8::from(query),
+                    if expect { "match" } else { "miss" },
+                    if got { "match" } else { "miss" },
+                );
+                println!(
+                    "{kind:<12} stored {state} query {}: {} (expected {}) {}",
+                    u8::from(query),
+                    if got { "match" } else { "miss " },
+                    if expect { "match" } else { "miss " },
+                    if ok { "ok" } else { "MISMATCH" }
+                );
+            }
+        }
+    }
+    write_artifact("tables_ops.md", &md);
+    assert!(all_ok, "operation-table verification failed");
+    println!("all operation tables verified");
+}

@@ -1,0 +1,244 @@
+//! Static (DC) margin analysis of the 1.5T1Fe voltage divider.
+//!
+//! For margin and Monte-Carlo work the full transient is overkill: the
+//! SL_bar level that drives TML is a DC operating point of the divider
+//! at the search bias (Fig. 5(b)/(c)). This module solves exactly that —
+//! one small Newton solve per (stored state, query) combination — and
+//! reduces the six combinations to the two numbers that matter:
+//!
+//! * **discharge margin** — how far above the TML threshold the weakest
+//!   *mismatch* case sits (must be > 0 to pull the ML down in time), and
+//! * **hold margin** — how far below the TML threshold the strongest
+//!   *match* case stays (must be > 0 or 'X'/match rows leak the ML).
+
+use crate::cell::{DesignKind, DesignParams};
+use crate::ternary::Ternary;
+use ferrotcam_device::fefet::{Fefet, VthState};
+use ferrotcam_device::mosfet::Mosfet;
+use ferrotcam_spice::prelude::*;
+
+/// Build the standalone 1.5T divider circuit (one cell's FeFET plus the
+/// shared TN/TP) at the static search bias for (`state`, `query`).
+/// Returns the circuit and the SL_bar node. The select line is driven by
+/// the source named `"BG"` (DG) or `"FG"` (SG), so callers can
+/// [`ferrotcam_spice::dc_sweep`] it for transfer curves.
+///
+/// # Errors
+/// Propagates circuit-construction failures.
+///
+/// # Panics
+/// Panics for non-1.5T designs.
+pub fn build_divider_circuit(
+    params: &DesignParams,
+    fefet_card: &ferrotcam_device::FefetParams,
+    state: VthState,
+    query: bool,
+) -> Result<(Circuit, NodeId)> {
+    assert!(params.kind.is_t15(), "divider analysis is a 1.5T concept");
+    let is_dg = params.kind == DesignKind::T15Dg;
+    let vdd = params.vdd;
+
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::gnd();
+    let vdd_n = ckt.node("vdd");
+    let slbar = ckt.node("slbar");
+    let wrsl = ckt.node("wrsl");
+    let slp = ckt.node("slp");
+    let fg = ckt.node("fg");
+    let bg = ckt.node("bg");
+    ckt.vsource("VDD", vdd_n, gnd, Waveform::dc(vdd));
+    // Static search bias (Tables II/III): '0' → Wr/SL = SL = VDD,
+    // BL = V_b; '1' → all low, FG grounded.
+    let (v_wrsl, v_sl, v_bl) = if query {
+        (0.0, 0.0, 0.0)
+    } else {
+        (vdd, vdd, params.v_bias)
+    };
+    ckt.vsource("WRSL", wrsl, gnd, Waveform::dc(v_wrsl));
+    ckt.vsource("SLP", slp, gnd, Waveform::dc(v_sl));
+    let (v_fg, v_bg) = if is_dg {
+        (v_bl, params.v_search)
+    } else {
+        (params.v_search, 0.0)
+    };
+    ckt.vsource("FG", fg, gnd, Waveform::dc(v_fg));
+    ckt.vsource("BG", bg, gnd, Waveform::dc(v_bg));
+
+    let mut fe = Fefet::new("fe", wrsl, fg, slbar, bg, fefet_card.clone());
+    fe.program(state);
+    ckt.device(Box::new(fe));
+    ckt.device(Box::new(Mosfet::new("tn", slbar, slp, gnd, gnd, params.tn.clone())));
+    ckt.device(Box::new(Mosfet::new(
+        "tp",
+        slbar,
+        slp,
+        vdd_n,
+        vdd_n,
+        params.tp.clone(),
+    )));
+
+    Ok((ckt, slbar))
+}
+
+/// DC SL_bar level for one stored state against one query bit, using
+/// the given (possibly V_TH-skewed) FeFET card.
+///
+/// # Errors
+/// Propagates DC convergence failures.
+///
+/// # Panics
+/// Panics for non-1.5T designs.
+pub fn divider_level(
+    params: &DesignParams,
+    fefet_card: &ferrotcam_device::FefetParams,
+    state: VthState,
+    query: bool,
+) -> Result<f64> {
+    let (ckt, slbar) = build_divider_circuit(params, fefet_card, state, query)?;
+    let sol = operating_point(&ckt, &DcOpts::default())?;
+    Ok(sol.voltage(slbar))
+}
+
+/// The two static search margins of a 1.5T design (V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchMargins {
+    /// Weakest mismatch drive above the TML threshold (positive = the
+    /// ML discharges on every mismatch).
+    pub discharge: f64,
+    /// Strongest match/hold level below the TML threshold (positive =
+    /// no match or 'X' row leaks the ML).
+    pub hold: f64,
+}
+
+impl SearchMargins {
+    /// Whether both margins are positive (a functional cell).
+    #[must_use]
+    pub fn functional(&self) -> bool {
+        self.discharge > 0.0 && self.hold > 0.0
+    }
+
+    /// The limiting (smaller) margin.
+    #[must_use]
+    pub fn worst(&self) -> f64 {
+        self.discharge.min(self.hold)
+    }
+}
+
+/// All six (state × query) SL_bar levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DividerLevels {
+    /// `levels[s][q]`: s ∈ {0:'0', 1:'1', 2:'X'}, q ∈ {0, 1}.
+    pub levels: [[f64; 2]; 3],
+}
+
+impl DividerLevels {
+    /// Solve all six combinations for a (possibly skewed) card.
+    ///
+    /// # Errors
+    /// Propagates DC convergence failures.
+    pub fn solve(
+        params: &DesignParams,
+        card: &ferrotcam_device::FefetParams,
+    ) -> Result<Self> {
+        let states = [VthState::Hvt, VthState::Lvt, VthState::Mvt];
+        let mut levels = [[0.0; 2]; 3];
+        for (si, &s) in states.iter().enumerate() {
+            for (qi, q) in [false, true].into_iter().enumerate() {
+                levels[si][qi] = divider_level(params, card, s, q)?;
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// Reduce to search margins against the TML threshold.
+    #[must_use]
+    pub fn margins(&self, vth_tml: f64) -> SearchMargins {
+        // Mismatches: stored '0' vs query '1' (levels[0][1]) and stored
+        // '1' vs query '0' (levels[1][0]).
+        let discharge = self.levels[0][1].min(self.levels[1][0]) - vth_tml;
+        // Holds: the four matching combinations.
+        let hold_max = self.levels[0][0]
+            .max(self.levels[1][1])
+            .max(self.levels[2][0])
+            .max(self.levels[2][1]);
+        SearchMargins {
+            discharge,
+            hold: vth_tml - hold_max,
+        }
+    }
+
+    /// Level for a stored ternary digit against a query bit.
+    #[must_use]
+    pub fn level(&self, stored: Ternary, query: bool) -> f64 {
+        let si = match stored {
+            Ternary::Zero => 0,
+            Ternary::One => 1,
+            Ternary::X => 2,
+        };
+        self.levels[si][usize::from(query)]
+    }
+}
+
+/// Convenience: nominal margins of a design (no skew).
+///
+/// # Errors
+/// Propagates DC convergence failures.
+pub fn nominal_margins(kind: DesignKind) -> Result<SearchMargins> {
+    let params = DesignParams::preset(kind);
+    let levels = DividerLevels::solve(&params, params.fefet())?;
+    Ok(levels.margins(params.tml.vth0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_designs_are_functional_with_margin() {
+        for kind in [DesignKind::T15Dg, DesignKind::T15Sg] {
+            let m = nominal_margins(kind).expect("margins");
+            assert!(
+                m.functional(),
+                "{kind}: discharge {:.3}, hold {:.3}",
+                m.discharge,
+                m.hold
+            );
+            assert!(m.worst() > 0.05, "{kind}: worst margin {:.3}", m.worst());
+        }
+    }
+
+    #[test]
+    fn levels_follow_the_divider_equations() {
+        // Eq. 2/3 qualitative checks: mismatch levels high, match low,
+        // X always low.
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let lv = DividerLevels::solve(&params, params.fefet()).expect("solve");
+        let vth = params.tml.vth0;
+        assert!(lv.level(Ternary::One, false) > vth + 0.1); // S0 stored 1
+        assert!(lv.level(Ternary::Zero, true) > vth + 0.2); // S1 stored 0
+        assert!(lv.level(Ternary::Zero, false) < 0.1);
+        assert!(lv.level(Ternary::One, true) < 0.1);
+        assert!(lv.level(Ternary::X, false) < vth - 0.05);
+        assert!(lv.level(Ternary::X, true) < vth - 0.05);
+    }
+
+    #[test]
+    fn vth_skew_eventually_breaks_the_cell() {
+        // Push V_TH up until the mismatch drive disappears — the margin
+        // analysis must detect the failure.
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let skewed = ferrotcam_device::variability::skewed_fefet(params.fefet(), 0.5);
+        let lv = DividerLevels::solve(&params, &skewed).expect("solve");
+        let m = lv.margins(params.tml.vth0);
+        assert!(!m.functional() || m.worst() < 0.05, "skewed cell too healthy: {m:?}");
+    }
+
+    #[test]
+    fn static_levels_match_transient_verdicts() {
+        // Cross-validation: DC margins agree with the transient tests
+        // already proven in cell::t15 — a positive discharge margin for
+        // the S0 mismatch and positive hold for X.
+        let m = nominal_margins(DesignKind::T15Dg).expect("margins");
+        assert!(m.discharge > 0.0 && m.hold > 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-level-cell (MLC) CAM extension.
+//!
+//! The paper's related work (Rajaei et al. [24]) stores *multi-bit*
+//! symbols in a single FeFET by programming more than three threshold
+//! levels. The Preisach film supports this directly: partial writes at
+//! graded voltages place the polarisation at any fraction, and each
+//! fraction maps to a distinct V_TH (and hence search resistance).
+//!
+//! This module provides the behavioural multi-level CAM (exact and
+//! range matching over base-L digits with wildcards) plus helpers that
+//! map symbol levels to programming voltages through the film's
+//! coercive-voltage distribution — and tests proving the levels stay
+//! distinguishable on the calibrated devices.
+
+use ferrotcam_device::ferro::probit;
+use ferrotcam_device::FefetParams;
+use serde::{Deserialize, Serialize};
+
+/// A single multi-level digit: a symbol in `0..levels`, or wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlcDigit {
+    /// A stored symbol.
+    Symbol(u8),
+    /// Matches any query symbol.
+    Any,
+}
+
+impl MlcDigit {
+    /// Whether a query symbol matches.
+    #[must_use]
+    pub fn matches(self, query: u8) -> bool {
+        match self {
+            MlcDigit::Symbol(s) => s == query,
+            MlcDigit::Any => true,
+        }
+    }
+}
+
+/// A behavioural multi-level CAM: words of base-`levels` digits.
+#[derive(Debug, Clone)]
+pub struct MlcTcam {
+    levels: u8,
+    width: usize,
+    rows: Vec<Vec<MlcDigit>>,
+}
+
+impl MlcTcam {
+    /// CAM storing `width` digits of `levels` levels each.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ levels ≤ 16` (the paper-class MLC range).
+    #[must_use]
+    pub fn new(levels: u8, width: usize) -> Self {
+        assert!((2..=16).contains(&levels), "levels in 2..=16");
+        Self {
+            levels,
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Symbols per digit.
+    #[must_use]
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Store a word; returns the row index.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or out-of-range symbols.
+    pub fn store(&mut self, word: Vec<MlcDigit>) -> usize {
+        assert_eq!(word.len(), self.width, "word width mismatch");
+        for d in &word {
+            if let MlcDigit::Symbol(s) = d {
+                assert!(*s < self.levels, "symbol {s} out of range");
+            }
+        }
+        self.rows.push(word);
+        self.rows.len() - 1
+    }
+
+    /// Exact-match search: rows matching every digit.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn search(&self, query: &[u8]) -> Vec<usize> {
+        assert_eq!(query.len(), self.width, "query width mismatch");
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                row.iter()
+                    .zip(query)
+                    .all(|(d, &q)| d.matches(q))
+                    .then_some(i)
+            })
+            .collect()
+    }
+
+    /// Tolerant search: a digit matches when `|stored − query| ≤ tol`
+    /// (symbol distance), the analog-CAM style range match.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn search_within(&self, query: &[u8], tol: u8) -> Vec<usize> {
+        assert_eq!(query.len(), self.width, "query width mismatch");
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                row.iter()
+                    .zip(query)
+                    .all(|(d, &q)| match d {
+                        MlcDigit::Any => true,
+                        MlcDigit::Symbol(s) => s.abs_diff(q) <= tol,
+                    })
+                    .then_some(i)
+            })
+            .collect()
+    }
+
+    /// Bits of information per cell.
+    #[must_use]
+    pub fn bits_per_cell(&self) -> f64 {
+        f64::from(self.levels).log2()
+    }
+}
+
+/// Normalised polarisation target for symbol `level` of `levels`
+/// (evenly spaced in `[−1, +1]`).
+///
+/// # Panics
+/// Panics when `level ≥ levels` or `levels < 2`.
+#[must_use]
+pub fn polarization_for_level(level: u8, levels: u8) -> f64 {
+    assert!(levels >= 2 && level < levels);
+    -1.0 + 2.0 * f64::from(level) / f64::from(levels - 1)
+}
+
+/// Programming voltage that lands the film at symbol `level` when
+/// applied from the erased state: the inverse-CDF of the coercive
+/// distribution at the target up-fraction.
+///
+/// # Panics
+/// Panics when `level ≥ levels`.
+#[must_use]
+pub fn write_voltage_for_level(params: &FefetParams, level: u8, levels: u8) -> f64 {
+    let frac = (polarization_for_level(level, levels) + 1.0) / 2.0;
+    let f = &params.ferro;
+    if frac <= 0.0 {
+        return 0.0; // stay erased
+    }
+    if frac >= 1.0 {
+        return params.v_write;
+    }
+    f.vc_mean + f.vc_sigma * probit(frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam_device::calib;
+    use ferrotcam_device::fefet::Fefet;
+    use ferrotcam_spice::units::TEMP_NOMINAL;
+    use ferrotcam_spice::NodeId;
+
+    #[test]
+    fn exact_and_range_search() {
+        let mut cam = MlcTcam::new(4, 3);
+        cam.store(vec![
+            MlcDigit::Symbol(0),
+            MlcDigit::Symbol(3),
+            MlcDigit::Any,
+        ]);
+        cam.store(vec![
+            MlcDigit::Symbol(1),
+            MlcDigit::Symbol(2),
+            MlcDigit::Symbol(2),
+        ]);
+        assert_eq!(cam.search(&[0, 3, 1]), vec![0]);
+        assert_eq!(cam.search(&[1, 2, 2]), vec![1]);
+        assert!(cam.search(&[2, 2, 2]).is_empty());
+        // Range search with tolerance 1 picks up the near miss.
+        assert_eq!(cam.search_within(&[2, 2, 2], 1), vec![1]);
+        assert!((cam.bits_per_cell() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn symbol_range_enforced() {
+        let mut cam = MlcTcam::new(4, 1);
+        cam.store(vec![MlcDigit::Symbol(4)]);
+    }
+
+    #[test]
+    fn level_polarizations_are_evenly_spaced() {
+        let p: Vec<f64> = (0..4).map(|l| polarization_for_level(l, 4)).collect();
+        assert_eq!(p[0], -1.0);
+        assert_eq!(p[3], 1.0);
+        assert!((p[1] + 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_writes_land_on_levels() {
+        // Program all four levels through real write pulses and check
+        // the film lands within 10% of each target.
+        let params = calib::dg_fefet_14nm();
+        let g = NodeId::GROUND;
+        for level in 0..4u8 {
+            let mut dev = Fefet::new("f", g, g, g, g, params.clone());
+            dev.write_pulse(-params.v_write); // erase
+            let vw = write_voltage_for_level(&params, level, 4);
+            if vw > 0.0 {
+                dev.write_pulse(vw);
+            }
+            let target = polarization_for_level(level, 4);
+            let got = dev.film().normalized();
+            assert!(
+                (got - target).abs() < 0.1,
+                "level {level}: p = {got:.2}, want {target:.2} (vw = {vw:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn four_levels_have_distinguishable_resistances() {
+        // The search-side requirement: the four V_TH levels must map to
+        // monotonically ordered, well-separated channel resistances at
+        // the read bias.
+        let params = calib::dg_fefet_14nm();
+        let g = NodeId::GROUND;
+        let mut rs = Vec::new();
+        for level in 0..4u8 {
+            let mut dev = Fefet::new("f", g, g, g, g, params.clone());
+            dev.set_polarization(polarization_for_level(level, 4));
+            rs.push(dev.resistance(0.2, 0.0, 0.0, 2.0, TEMP_NOMINAL));
+        }
+        for w in rs.windows(2) {
+            assert!(
+                w[0] > 2.0 * w[1],
+                "adjacent levels too close: {:.2e} vs {:.2e}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Drive-waveform construction for search and write operations.
+
+use crate::cell::SearchTiming;
+use ferrotcam_spice::Waveform;
+
+/// A single-step drive: `idle` outside the step window, `active` inside.
+#[must_use]
+pub fn step_pulse(idle: f64, active: f64, start: f64, end: f64, edge: f64) -> Waveform {
+    if (idle - active).abs() < 1e-15 {
+        return Waveform::dc(idle);
+    }
+    Waveform::pwl(vec![
+        (0.0, idle),
+        (start, idle),
+        (start + edge, active),
+        (end, active),
+        (end + edge, idle),
+    ])
+}
+
+/// A two-step drive for per-pair lines (Wr/SL, SL): value `v1` during
+/// step 1's evaluate window, `v2` during step 2's (skipped when
+/// `enable2` is false), `idle` otherwise. Evaluate windows trail the
+/// select assertion by [`SearchTiming::select_lead`].
+#[must_use]
+pub fn two_step_wave(
+    idle: f64,
+    v1: f64,
+    v2: f64,
+    t: &SearchTiming,
+    enable2: bool,
+) -> Waveform {
+    let mut pts = vec![(0.0, idle)];
+    let mut seg = |(start, end): (f64, f64), v: f64| {
+        if (v - idle).abs() > 1e-15 {
+            pts.push((start, idle));
+            pts.push((start + t.edge, v));
+            pts.push((end, v));
+            pts.push((end + t.edge, idle));
+        }
+    };
+    seg(t.drive_window(false), v1);
+    if enable2 {
+        seg(t.drive_window(true), v2);
+    }
+    Waveform::pwl(pts)
+}
+
+/// The select pulse for SeL_a (`step2 = false`) or SeL_b (`true`).
+#[must_use]
+pub fn select_pulse(v_sel: f64, t: &SearchTiming, step2: bool) -> Waveform {
+    let (s, e) = t.select_window(step2);
+    step_pulse(0.0, v_sel, s, e, t.edge)
+}
+
+/// Precharge gate waveform: low (PMOS on) during the precharge phase,
+/// high afterwards.
+#[must_use]
+pub fn precharge_gate(vdd: f64, t: &SearchTiming) -> Waveform {
+    Waveform::pwl(vec![
+        (0.0, 0.0),
+        (t.t_precharge - t.edge, 0.0),
+        (t.t_precharge, vdd),
+    ])
+}
+
+/// A write pulse: 0 → `level` → 0, with `width` at level.
+#[must_use]
+pub fn write_pulse(level: f64, delay: f64, width: f64, edge: f64) -> Waveform {
+    Waveform::pulse(0.0, level, delay, edge, edge, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_pulse_values() {
+        let w = step_pulse(0.8, 0.0, 1e-9, 2e-9, 10e-12);
+        assert_eq!(w.value(0.5e-9), 0.8);
+        assert_eq!(w.value(1.5e-9), 0.0);
+        assert_eq!(w.value(3e-9), 0.8);
+    }
+
+    #[test]
+    fn step_pulse_degenerates_to_dc() {
+        let w = step_pulse(0.8, 0.8, 1e-9, 2e-9, 10e-12);
+        assert_eq!(w, Waveform::dc(0.8));
+    }
+
+    #[test]
+    fn two_step_wave_levels() {
+        let t = SearchTiming::default();
+        // S0 in step 1 (stay at VDD), S1 in step 2 (drop to 0).
+        let w = two_step_wave(0.8, 0.8, 0.0, &t, true);
+        let mid1 = (t.step1_start() + t.step1_end()) / 2.0;
+        let mid2 = (t.step2_start() + t.step2_end()) / 2.0;
+        assert_eq!(w.value(mid1), 0.8);
+        assert_eq!(w.value(mid2), 0.0);
+        assert_eq!(w.value(t.t_stop(true)), 0.8);
+    }
+
+    #[test]
+    fn two_step_wave_respects_enable() {
+        let t = SearchTiming::default();
+        let w = two_step_wave(0.8, 0.0, 0.0, &t, false);
+        let mid2 = (t.step2_start() + t.step2_end()) / 2.0;
+        assert_eq!(w.value(mid2), 0.8, "step 2 must be suppressed");
+    }
+
+    #[test]
+    fn select_pulses_are_disjoint() {
+        let t = SearchTiming::default();
+        let a = select_pulse(2.0, &t, false);
+        let b = select_pulse(2.0, &t, true);
+        let mid1 = (t.step1_start() + t.step1_end()) / 2.0;
+        let mid2 = (t.step2_start() + t.step2_end()) / 2.0;
+        assert_eq!(a.value(mid1), 2.0);
+        assert_eq!(b.value(mid1), 0.0);
+        assert_eq!(a.value(mid2), 0.0);
+        assert_eq!(b.value(mid2), 2.0);
+    }
+
+    #[test]
+    fn precharge_gate_turns_off_at_phase_end() {
+        let t = SearchTiming::default();
+        let w = precharge_gate(0.8, &t);
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.value(t.t_precharge + 1e-12), 0.8);
+    }
+}

@@ -1,0 +1,97 @@
+//! Match-line sense amplifier: a two-inverter buffer whose output follows
+//! the ML logically (`1` = match). Its switching energy is drawn from the
+//! shared VDD rail and therefore lands in the search-energy accounting.
+
+use ferrotcam_device::mosfet::{Mosfet, MosfetParams};
+use ferrotcam_spice::{Circuit, NodeId, Result};
+
+/// Attach a sense amplifier to `ml`; returns the output node name
+/// (`"<prefix>_out"`).
+///
+/// # Errors
+/// Propagates circuit-construction errors.
+pub fn attach_sense_amp(
+    ckt: &mut Circuit,
+    ml: NodeId,
+    vdd: NodeId,
+    prefix: &str,
+) -> Result<String> {
+    let mid = ckt.node(&format!("{prefix}_mid"));
+    let out_name = format!("{prefix}_out");
+    let out = ckt.node(&out_name);
+    let gnd = Circuit::gnd();
+
+    // Inverter 1: ml → mid.
+    ckt.device(Box::new(Mosfet::new(
+        &format!("{prefix}_p1"),
+        mid,
+        ml,
+        vdd,
+        vdd,
+        MosfetParams::pmos_14nm(60.0),
+    )));
+    ckt.device(Box::new(Mosfet::new(
+        &format!("{prefix}_n1"),
+        mid,
+        ml,
+        gnd,
+        gnd,
+        MosfetParams::nmos_14nm(30.0),
+    )));
+    // Inverter 2: mid → out.
+    ckt.device(Box::new(Mosfet::new(
+        &format!("{prefix}_p2"),
+        out,
+        mid,
+        vdd,
+        vdd,
+        MosfetParams::pmos_14nm(60.0),
+    )));
+    ckt.device(Box::new(Mosfet::new(
+        &format!("{prefix}_n2"),
+        out,
+        mid,
+        gnd,
+        gnd,
+        MosfetParams::nmos_14nm(30.0),
+    )));
+    // Output load (next-stage gate + wire).
+    ckt.capacitor(&format!("{prefix}_cload"), out, gnd, 0.2e-15)?;
+    Ok(out_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam_spice::prelude::*;
+
+    /// The SA output must track the ML logically through a full swing.
+    #[test]
+    fn sa_follows_ml() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let ml = ckt.node("ml");
+        ckt.vsource("VDD", vdd, Circuit::gnd(), Waveform::dc(0.8));
+        // Drive ML: high then low.
+        ckt.vsource(
+            "VML",
+            ml,
+            Circuit::gnd(),
+            Waveform::pulse(0.8, 0.0, 1e-9, 50e-12, 50e-12, 2e-9),
+        );
+        let out = attach_sense_amp(&mut ckt, ml, vdd, "sa").unwrap();
+        let mut opts = TranOpts::to_time(2e-9);
+        opts.dt_max = 5e-12;
+        let tr = transient(&mut ckt, &opts).unwrap();
+        let sig = format!("v({out})");
+        // Before the ML falls: match (out high).
+        assert!(tr.value_at(&sig, 0.9e-9).unwrap() > 0.7);
+        // After: mismatch (out low).
+        assert!(tr.value_at(&sig, 1.8e-9).unwrap() < 0.1);
+        // The output transition lags the ML edge by a finite delay.
+        let t_ml = tr.cross("v(ml)", 0.4, Edge::Falling, 1).unwrap().unwrap();
+        let t_sa = tr.cross(&sig, 0.4, Edge::Falling, 1).unwrap().unwrap();
+        assert!(t_sa > t_ml, "SA must lag ML: {t_sa} vs {t_ml}");
+        assert!(t_sa - t_ml < 100e-12, "SA delay too large");
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain-text table files: load and save behavioural TCAM contents.
+//!
+//! Format: one ternary word per line (`0`, `1`, `X` digits); blank lines
+//! and `#` comments are ignored. All words must share one width. This is
+//! the interchange format the CLI's `table` command and downstream
+//! tooling use.
+
+use crate::behav::BehavioralTcam;
+use crate::ternary::TernaryWord;
+use std::fmt;
+use std::path::Path;
+
+/// Error loading a table file.
+#[derive(Debug)]
+pub enum TableIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse (1-based line number, message).
+    Parse(usize, String),
+    /// Words of differing widths.
+    WidthMismatch {
+        /// Line of the offending word.
+        line: usize,
+        /// Width found.
+        got: usize,
+        /// Width established by the first word.
+        expected: usize,
+    },
+    /// No words in the file.
+    Empty,
+}
+
+impl fmt::Display for TableIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TableIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            TableIoError::WidthMismatch { line, got, expected } => write!(
+                f,
+                "line {line}: word width {got} differs from the first word's {expected}"
+            ),
+            TableIoError::Empty => write!(f, "table file holds no words"),
+        }
+    }
+}
+
+impl std::error::Error for TableIoError {}
+
+impl From<std::io::Error> for TableIoError {
+    fn from(e: std::io::Error) -> Self {
+        TableIoError::Io(e)
+    }
+}
+
+/// Parse table text into words.
+///
+/// # Errors
+/// Returns [`TableIoError`] for unparsable lines, inconsistent widths,
+/// or an empty table.
+pub fn parse_table(text: &str) -> Result<Vec<TernaryWord>, TableIoError> {
+    let mut words = Vec::new();
+    let mut expected = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let word: TernaryWord = line
+            .parse()
+            .map_err(|e: crate::ternary::ParseTernaryError| {
+                TableIoError::Parse(i + 1, e.to_string())
+            })?;
+        match expected {
+            None => expected = Some(word.len()),
+            Some(w) if w != word.len() => {
+                return Err(TableIoError::WidthMismatch {
+                    line: i + 1,
+                    got: word.len(),
+                    expected: w,
+                })
+            }
+            _ => {}
+        }
+        words.push(word);
+    }
+    if words.is_empty() {
+        return Err(TableIoError::Empty);
+    }
+    Ok(words)
+}
+
+/// Load a table file into a [`BehavioralTcam`].
+///
+/// # Errors
+/// Propagates [`parse_table`] and I/O errors.
+pub fn load_table(path: &Path) -> Result<BehavioralTcam, TableIoError> {
+    let text = std::fs::read_to_string(path)?;
+    let words = parse_table(&text)?;
+    let mut tcam = BehavioralTcam::new(words[0].len());
+    for w in words {
+        tcam.store(w);
+    }
+    Ok(tcam)
+}
+
+/// Render a TCAM's contents as table text (round-trips through
+/// [`parse_table`]).
+#[must_use]
+pub fn render_table(tcam: &BehavioralTcam) -> String {
+    let mut s = String::with_capacity(tcam.len() * (tcam.width() + 1));
+    for row in tcam.rows() {
+        s.push_str(&row.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Save a TCAM to a table file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_table(tcam: &BehavioralTcam, path: &Path) -> Result<(), TableIoError> {
+    std::fs::write(path, render_table(tcam))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_comments_and_blanks() {
+        let text = "# router table\n10X1\n\n0110  # rack prefix\n";
+        let words = parse_table(text).unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].to_string(), "10X1");
+        assert_eq!(words[1].to_string(), "0110");
+    }
+
+    #[test]
+    fn width_mismatch_reported_with_line() {
+        let err = parse_table("1010\n10\n").unwrap_err();
+        match err {
+            TableIoError::WidthMismatch { line, got, expected } => {
+                assert_eq!((line, got, expected), (2, 2, 4));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_digit_reported_with_line() {
+        let err = parse_table("10Z1\n").unwrap_err();
+        assert!(matches!(err, TableIoError::Parse(1, _)), "{err}");
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(matches!(parse_table("# nothing\n"), Err(TableIoError::Empty)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ferrotcam-table-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tcam");
+        let mut tcam = BehavioralTcam::new(4);
+        tcam.store("10X1".parse().unwrap());
+        tcam.store("0000".parse().unwrap());
+        save_table(&tcam, &path).unwrap();
+        let loaded = load_table(&path).unwrap();
+        assert_eq!(loaded.rows(), tcam.rows());
+        std::fs::remove_file(path).ok();
+    }
+}

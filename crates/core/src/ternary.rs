@@ -1,0 +1,307 @@
+//! Ternary values and words: the logical content of a TCAM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One ternary digit: `0`, `1`, or the wildcard `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ternary {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Don't-care: matches both query values (only storable, not
+    /// queryable, in the designs of this paper).
+    X,
+}
+
+impl Ternary {
+    /// Whether a stored digit matches a query bit.
+    ///
+    /// ```
+    /// use ferrotcam::ternary::Ternary;
+    /// assert!(Ternary::X.matches(false));
+    /// assert!(Ternary::One.matches(true));
+    /// assert!(!Ternary::Zero.matches(true));
+    /// ```
+    #[must_use]
+    pub fn matches(self, query: bool) -> bool {
+        match self {
+            Ternary::Zero => !query,
+            Ternary::One => query,
+            Ternary::X => true,
+        }
+    }
+
+    /// Build from a bool.
+    #[must_use]
+    pub fn from_bit(b: bool) -> Self {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+}
+
+impl fmt::Display for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ternary::Zero => "0",
+            Ternary::One => "1",
+            Ternary::X => "X",
+        })
+    }
+}
+
+/// Error parsing a ternary word from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTernaryError {
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for ParseTernaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ternary digit {:?} (expected 0, 1, x or X)", self.ch)
+    }
+}
+
+impl std::error::Error for ParseTernaryError {}
+
+/// A fixed-width ternary word, most-significant digit first.
+///
+/// ```
+/// use ferrotcam::ternary::TernaryWord;
+/// let w: TernaryWord = "10X1".parse()?;
+/// assert_eq!(w.len(), 4);
+/// assert!(w.matches_query(&[true, false, false, true]));
+/// assert!(w.matches_query(&[true, false, true, true]));
+/// assert!(!w.matches_query(&[false, false, true, true]));
+/// # Ok::<(), ferrotcam::ternary::ParseTernaryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TernaryWord(Vec<Ternary>);
+
+impl TernaryWord {
+    /// Word of all-`X` (matches everything) of width `n`.
+    #[must_use]
+    pub fn wildcard(n: usize) -> Self {
+        Self(vec![Ternary::X; n])
+    }
+
+    /// Word from raw digits.
+    #[must_use]
+    pub fn new(digits: Vec<Ternary>) -> Self {
+        Self(digits)
+    }
+
+    /// Binary word from bits (no wildcards).
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Self(bits.iter().map(|&b| Ternary::from_bit(b)).collect())
+    }
+
+    /// Binary word from the low `n` bits of `value` (MSB first).
+    #[must_use]
+    pub fn from_u64(value: u64, n: usize) -> Self {
+        Self(
+            (0..n)
+                .rev()
+                .map(|i| Ternary::from_bit((value >> i) & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// An IPv4-style prefix: `prefix_len` leading bits of `value`
+    /// followed by wildcards, total width `n`.
+    #[must_use]
+    pub fn from_prefix(value: u64, prefix_len: usize, n: usize) -> Self {
+        let mut d = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            if n - 1 - i < prefix_len {
+                d.push(Ternary::from_bit((value >> i) & 1 == 1));
+            } else {
+                d.push(Ternary::X);
+            }
+        }
+        Self(d)
+    }
+
+    /// Number of digits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the word has no digits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The digits, MSB first.
+    #[must_use]
+    pub fn digits(&self) -> &[Ternary] {
+        &self.0
+    }
+
+    /// Digit at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn digit(&self, i: usize) -> Ternary {
+        self.0[i]
+    }
+
+    /// Number of wildcard digits.
+    #[must_use]
+    pub fn wildcard_count(&self) -> usize {
+        self.0.iter().filter(|&&d| d == Ternary::X).count()
+    }
+
+    /// Whether a binary query matches this stored word.
+    ///
+    /// # Panics
+    /// Panics if the query width differs from the word width.
+    #[must_use]
+    pub fn matches_query(&self, query: &[bool]) -> bool {
+        assert_eq!(query.len(), self.len(), "query width mismatch");
+        self.0.iter().zip(query).all(|(&d, &q)| d.matches(q))
+    }
+
+    /// Indices of mismatching digits for a query.
+    ///
+    /// # Panics
+    /// Panics if the query width differs from the word width.
+    #[must_use]
+    pub fn mismatch_positions(&self, query: &[bool]) -> Vec<usize> {
+        assert_eq!(query.len(), self.len(), "query width mismatch");
+        self.0
+            .iter()
+            .zip(query)
+            .enumerate()
+            .filter_map(|(i, (&d, &q))| (!d.matches(q)).then_some(i))
+            .collect()
+    }
+
+    /// Hamming-style mismatch count against a binary query (wildcards
+    /// never mismatch).
+    ///
+    /// # Panics
+    /// Panics if the query width differs from the word width.
+    #[must_use]
+    pub fn mismatch_count(&self, query: &[bool]) -> usize {
+        self.mismatch_positions(query).len()
+    }
+
+    /// Iterate over digits.
+    pub fn iter(&self) -> std::slice::Iter<'_, Ternary> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Ternary> for TernaryWord {
+    fn from_iter<I: IntoIterator<Item = Ternary>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a TernaryWord {
+    type Item = &'a Ternary;
+    type IntoIter = std::slice::Iter<'a, Ternary>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for TernaryWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.0 {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TernaryWord {
+    type Err = ParseTernaryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Ok(Ternary::Zero),
+                '1' => Ok(Ternary::One),
+                'x' | 'X' => Ok(Ternary::X),
+                ch => Err(ParseTernaryError { ch }),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(TernaryWord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let w: TernaryWord = "10X01x".parse().unwrap();
+        assert_eq!(w.to_string(), "10X01X");
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.wildcard_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let e = "10Z".parse::<TernaryWord>().unwrap_err();
+        assert_eq!(e.ch, 'Z');
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let w = TernaryWord::wildcard(8);
+        assert!(w.matches_query(&[true; 8]));
+        assert!(w.matches_query(&[false; 8]));
+    }
+
+    #[test]
+    fn from_u64_msb_first() {
+        let w = TernaryWord::from_u64(0b1010, 4);
+        assert_eq!(w.to_string(), "1010");
+        let w = TernaryWord::from_u64(3, 6);
+        assert_eq!(w.to_string(), "000011");
+    }
+
+    #[test]
+    fn prefix_construction() {
+        let w = TernaryWord::from_prefix(0b1100, 2, 4);
+        assert_eq!(w.to_string(), "11XX");
+        assert!(w.matches_query(&[true, true, false, true]));
+        assert!(!w.matches_query(&[true, false, false, true]));
+    }
+
+    #[test]
+    fn mismatch_positions_and_count() {
+        let w: TernaryWord = "1X00".parse().unwrap();
+        let q = [false, true, false, true];
+        assert_eq!(w.mismatch_positions(&q), vec![0, 3]);
+        assert_eq!(w.mismatch_count(&q), 2);
+        assert!(!w.matches_query(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let w = TernaryWord::wildcard(4);
+        let _ = w.matches_query(&[true; 3]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let w: TernaryWord = [Ternary::One, Ternary::X].into_iter().collect();
+        assert_eq!(w.to_string(), "1X");
+    }
+}

@@ -1,0 +1,269 @@
+//! Array-level 3-step write with half-select inhibit.
+//!
+//! BLs are shared column-wise, so writing one row exposes every other
+//! row's FeFETs to the write voltages. The classic V/2 inhibit scheme
+//! (the C-AND scheme of the paper's layout reference [27]) biases
+//! unselected rows' channels at ±V_w/2 so their ferroelectric films see
+//! at most half the write voltage — safely below the coercive
+//! distribution (the calibration guarantees `V_w/2 < V_c,min`).
+//!
+//! The write of a row proceeds in the paper's 3-step order:
+//! 1. **erase** — BL = −V_w on every column, selected channel at 0
+//!    (all cells of the row → HVT),
+//! 2. **set** — BL = +V_w ('1') / +V_m ('X') / 0 ('0') per column,
+//! 3. release.
+//!
+//! Simulating this at array scale exercises the Preisach hysteresis of
+//! every device in-circuit and yields the *array-level* write energy,
+//! including the BL swing across unselected rows — overhead the
+//! cell-level Table IV number does not show.
+
+use crate::cell::DesignParams;
+use crate::ternary::{Ternary, TernaryWord};
+use ferrotcam_device::fefet::{Fefet, VthState};
+use ferrotcam_spice::prelude::*;
+
+/// Result of an array write simulation.
+#[derive(Debug, Clone)]
+pub struct ArrayWriteResult {
+    /// Final normalised polarisation of every cell, `[row][col]`.
+    pub polarization: Vec<Vec<f64>>,
+    /// Total energy drawn from all drivers (J).
+    pub energy: f64,
+    /// Energy drawn from the BL drivers alone (J).
+    pub bl_energy: f64,
+}
+
+impl ArrayWriteResult {
+    /// Whether cell `[row][col]` landed in the polarisation band of
+    /// `digit` (|error| < 0.2).
+    #[must_use]
+    pub fn cell_matches(&self, row: usize, col: usize, digit: Ternary) -> bool {
+        let target = match digit {
+            Ternary::Zero => -1.0,
+            Ternary::One => 1.0,
+            Ternary::X => 0.0,
+        };
+        (self.polarization[row][col] - target).abs() < 0.2
+    }
+}
+
+/// Phase timing of the 3-step write.
+const T_PHASE: f64 = 0.4e-9;
+const T_EDGE: f64 = 0.05e-9;
+
+fn phase_window(phase: usize) -> (f64, f64) {
+    let start = 0.05e-9 + phase as f64 * (T_PHASE + 0.1e-9);
+    (start, start + T_PHASE)
+}
+
+fn two_phase_wave(v_erase: f64, v_set: f64) -> Waveform {
+    let (e0, e1) = phase_window(0);
+    let (s0, s1) = phase_window(1);
+    let mut pts = vec![(0.0, 0.0)];
+    for (a, b, v) in [(e0, e1, v_erase), (s0, s1, v_set)] {
+        if v.abs() > 1e-12 {
+            pts.push((a, 0.0));
+            pts.push((a + T_EDGE, v));
+            pts.push((b, v));
+            pts.push((b + T_EDGE, 0.0));
+        }
+    }
+    Waveform::pwl(pts)
+}
+
+/// Simulate writing `word` into `target_row` of a `rows × word.len()`
+/// array whose cells start in the states given by `initial` (one word
+/// per row). Returns final polarisations and driver energies.
+///
+/// # Errors
+/// Propagates simulator failures.
+///
+/// # Panics
+/// Panics if dimensions are inconsistent.
+pub fn simulate_array_write(
+    params: &DesignParams,
+    initial: &[TernaryWord],
+    target_row: usize,
+    word: &TernaryWord,
+) -> Result<ArrayWriteResult> {
+    let rows = initial.len();
+    let cols = word.len();
+    assert!(target_row < rows, "target row in range");
+    assert!(
+        initial.iter().all(|w| w.len() == cols),
+        "all rows share the word length"
+    );
+    let fe = params.fefet();
+    let vw = fe.v_write;
+    let vm = fe.v_mvt;
+
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::gnd();
+
+    // Column BL drivers: erase −Vw, then the per-digit set level.
+    let mut bls = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let set = match word.digit(c) {
+            Ternary::Zero => 0.0,
+            Ternary::One => vw,
+            Ternary::X => vm,
+        };
+        let bl = ckt.node(&format!("bl{c}"));
+        ckt.vsource(&format!("BL{c}"), bl, gnd, two_phase_wave(-vw, set));
+        ckt.capacitor(&format!("cbl{c}"), bl, gnd, 0.05e-15 * rows as f64)?;
+        bls.push(bl);
+    }
+
+    // Row channel (Wr/SL) drivers: selected row at 0; unselected rows
+    // follow the V/2 inhibit: −Vw/2 during erase, +Vw/2 during set.
+    let mut wrsls = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let wrsl = ckt.node(&format!("wrsl{r}"));
+        let wave = if r == target_row {
+            Waveform::dc(0.0)
+        } else {
+            two_phase_wave(-vw / 2.0, vw / 2.0)
+        };
+        ckt.vsource(&format!("WRSL{r}"), wrsl, gnd, wave);
+        wrsls.push(wrsl);
+    }
+
+    // The cell matrix.
+    for (r, row_word) in initial.iter().enumerate() {
+        for c in 0..cols {
+            let mut dev = Fefet::new(
+                &format!("fe_{r}_{c}"),
+                wrsls[r],
+                bls[c],
+                wrsls[r],
+                gnd,
+                fe.clone(),
+            );
+            dev.program(match row_word.digit(c) {
+                Ternary::Zero => VthState::Hvt,
+                Ternary::One => VthState::Lvt,
+                Ternary::X => VthState::Mvt,
+            });
+            ckt.device(Box::new(dev));
+        }
+    }
+
+    let t_stop = phase_window(1).1 + 0.2e-9;
+    let mut opts = TranOpts::to_time(t_stop);
+    opts.dt_max = 10e-12;
+    for r in 0..rows {
+        for c in 0..cols {
+            opts.record_states
+                .push((format!("fe_{r}_{c}"), "p_norm".to_string()));
+        }
+    }
+    let trace = transient(&mut ckt, &opts)?;
+
+    let mut polarization = vec![vec![0.0; cols]; rows];
+    for (r, row) in polarization.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = trace.final_value(&format!("fe_{r}_{c}.p_norm"))?;
+        }
+    }
+    let bl_energy: f64 = (0..cols)
+        .map(|c| trace.source_energy(&format!("BL{c}")).unwrap_or(0.0))
+        .sum();
+    let energy: f64 = trace
+        .signal_names()
+        .iter()
+        .filter(|n| n.starts_with("e("))
+        .map(|n| trace.final_value(n).unwrap_or(0.0))
+        .sum();
+
+    Ok(ArrayWriteResult {
+        polarization,
+        energy,
+        bl_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::DesignKind;
+
+    fn words(strs: &[&str]) -> Vec<TernaryWord> {
+        strs.iter().map(|s| s.parse().expect("word")).collect()
+    }
+
+    #[test]
+    fn target_row_reaches_all_three_states() {
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let initial = words(&["1111", "0000", "XXXX"]);
+        let target: TernaryWord = "01X1".parse().unwrap();
+        let res = simulate_array_write(&params, &initial, 1, &target).expect("write");
+        for (c, &d) in target.digits().iter().enumerate() {
+            assert!(
+                res.cell_matches(1, c, d),
+                "cell (1,{c}) missed {d}: p = {:.2}",
+                res.polarization[1][c]
+            );
+        }
+    }
+
+    #[test]
+    fn unselected_rows_are_undisturbed() {
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let initial = words(&["1111", "0000", "X0X1"]);
+        let target: TernaryWord = "0101".parse().unwrap();
+        let res = simulate_array_write(&params, &initial, 1, &target).expect("write");
+        for (r, row_word) in initial.iter().enumerate() {
+            if r == 1 {
+                continue;
+            }
+            for (c, &d) in row_word.digits().iter().enumerate() {
+                assert!(
+                    res.cell_matches(r, c, d),
+                    "victim ({r},{c}) disturbed from {d}: p = {:.2}",
+                    res.polarization[r][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sg_array_write_works_at_4v() {
+        let params = DesignParams::preset(DesignKind::T15Sg);
+        let initial = words(&["11", "00"]);
+        let target: TernaryWord = "0X".parse().unwrap();
+        let res = simulate_array_write(&params, &initial, 0, &target).expect("write");
+        assert!(res.cell_matches(0, 0, Ternary::Zero));
+        assert!(res.cell_matches(0, 1, Ternary::X));
+        assert!(res.cell_matches(1, 0, Ternary::Zero));
+        assert!(res.cell_matches(1, 1, Ternary::Zero));
+    }
+
+    #[test]
+    fn array_write_energy_exceeds_cell_energy() {
+        // The array write swings the BL across every row's gate: energy
+        // grows with row count.
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let small = simulate_array_write(
+            &params,
+            &words(&["00", "00"]),
+            0,
+            &"11".parse().unwrap(),
+        )
+        .expect("small");
+        let large = simulate_array_write(
+            &params,
+            &words(&["00", "00", "00", "00", "00", "00", "00", "00"]),
+            0,
+            &"11".parse().unwrap(),
+        )
+        .expect("large");
+        assert!(
+            large.bl_energy > small.bl_energy,
+            "BL energy must grow with rows: {:.3e} vs {:.3e}",
+            large.bl_energy,
+            small.bl_energy
+        );
+        assert!(small.energy > 0.0);
+    }
+}

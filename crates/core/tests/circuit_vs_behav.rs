@@ -1,0 +1,84 @@
+//! The headline cross-validation: for random small words and queries,
+//! the circuit-level transient verdict of every TCAM design must equal
+//! the behavioural ternary match.
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, Ternary, TernaryWord};
+use proptest::prelude::*;
+
+fn ternary_digit() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        2 => Just(Ternary::Zero),
+        2 => Just(Ternary::One),
+        1 => Just(Ternary::X),
+    ]
+}
+
+fn circuit_verdict(kind: DesignKind, stored: &TernaryWord, query: &[bool]) -> bool {
+    let params = DesignParams::preset(kind);
+    let mut sim = build_search_row(
+        &params,
+        stored,
+        query,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        true, // run both steps so the verdict is complete
+    )
+    .expect("build row");
+    sim.run().expect("transient").matched().expect("verdict")
+}
+
+fn check(kind: DesignKind, digits: Vec<Ternary>, query: Vec<bool>) {
+    let stored = TernaryWord::new(digits);
+    let expected = stored.matches_query(&query);
+    let got = circuit_verdict(kind, &stored, &query);
+    assert_eq!(
+        got, expected,
+        "{kind}: stored {stored} query {query:?}: circuit said {got}, logic says {expected}"
+    );
+}
+
+proptest! {
+    // Each case is a full transient; keep the counts circuit-sized.
+    #![proptest_config(ProptestConfig{ cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn t15dg_agrees_with_logic(
+        digits in proptest::collection::vec(ternary_digit(), 4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        check(DesignKind::T15Dg, digits, query);
+    }
+
+    #[test]
+    fn t15sg_agrees_with_logic(
+        digits in proptest::collection::vec(ternary_digit(), 4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        check(DesignKind::T15Sg, digits, query);
+    }
+
+    #[test]
+    fn sg2_agrees_with_logic(
+        digits in proptest::collection::vec(ternary_digit(), 4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        check(DesignKind::Sg2, digits, query);
+    }
+
+    #[test]
+    fn dg2_agrees_with_logic(
+        digits in proptest::collection::vec(ternary_digit(), 4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        check(DesignKind::Dg2, digits, query);
+    }
+
+    #[test]
+    fn cmos16t_agrees_with_logic(
+        digits in proptest::collection::vec(ternary_digit(), 4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        check(DesignKind::Cmos16t, digits, query);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests of the behavioural TCAM: two-step search equals the
+//! brute-force ternary match, statistics partition the rows, and
+//! nearest-match is a true arg-min.
+
+use ferrotcam::{BehavioralTcam, Ternary, TernaryWord};
+use proptest::prelude::*;
+
+fn ternary_digit() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        3 => Just(Ternary::Zero),
+        3 => Just(Ternary::One),
+        1 => Just(Ternary::X),
+    ]
+}
+
+fn contents(width: usize) -> impl Strategy<Value = Vec<Vec<Ternary>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(ternary_digit(), width),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn search_equals_naive(rows in contents(12), query in proptest::collection::vec(any::<bool>(), 12)) {
+        let mut t = BehavioralTcam::new(12);
+        for r in rows {
+            t.store(TernaryWord::new(r));
+        }
+        let fast = t.search(&query);
+        prop_assert_eq!(&fast.matches, &t.search_naive(&query));
+        // Partition: matches + step1 + step2 misses == rows.
+        prop_assert_eq!(
+            fast.matches.len() + fast.step1_misses + fast.step2_misses,
+            t.len()
+        );
+    }
+
+    #[test]
+    fn nearest_is_argmin(rows in contents(10), query in proptest::collection::vec(any::<bool>(), 10)) {
+        let mut t = BehavioralTcam::new(10);
+        for r in rows {
+            t.store(TernaryWord::new(r));
+        }
+        let ranked = t.nearest(&query);
+        // Sorted by distance, complete, and distances are correct.
+        prop_assert_eq!(ranked.len(), t.len());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        for &(row, d) in &ranked {
+            prop_assert_eq!(d, t.row(row).expect("row").mismatch_count(&query));
+        }
+    }
+
+    #[test]
+    fn zero_distance_iff_match(rows in contents(8), query in proptest::collection::vec(any::<bool>(), 8)) {
+        let mut t = BehavioralTcam::new(8);
+        for r in rows {
+            t.store(TernaryWord::new(r));
+        }
+        let matches = t.search(&query).matches;
+        for (row, d) in t.nearest(&query) {
+            prop_assert_eq!(d == 0, matches.contains(&row));
+        }
+    }
+
+    #[test]
+    fn prefix_word_matches_its_own_prefix(value in any::<u32>(), len in 0usize..=32) {
+        let w = TernaryWord::from_prefix(u64::from(value), len, 32);
+        let bits: Vec<bool> = (0..32).rev().map(|i| (value >> i) & 1 == 1).collect();
+        prop_assert!(w.matches_query(&bits));
+        prop_assert_eq!(w.wildcard_count(), 32 - len);
+    }
+}

@@ -1,0 +1,87 @@
+//! Scenario-matrix integration tests: longer words, mixed patterns, and
+//! the awkward corners (all-X rows, all-mismatch queries, adjacent-pair
+//! interactions) across all five designs.
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, TernaryWord};
+
+fn verdict(kind: DesignKind, stored: &str, query_str: &str) -> bool {
+    let stored: TernaryWord = stored.parse().unwrap();
+    let query: Vec<bool> = query_str.chars().map(|c| c == '1').collect();
+    let params = DesignParams::preset(kind);
+    let mut sim = build_search_row(
+        &params,
+        &stored,
+        &query,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        true,
+    )
+    .unwrap();
+    sim.run().unwrap().matched().unwrap()
+}
+
+fn check(kind: DesignKind, stored: &str, query: &str) {
+    let expect = stored
+        .parse::<TernaryWord>()
+        .unwrap()
+        .matches_query(&query.chars().map(|c| c == '1').collect::<Vec<_>>());
+    let got = verdict(kind, stored, query);
+    assert_eq!(got, expect, "{kind}: stored {stored} query {query}");
+}
+
+#[test]
+fn all_x_row_matches_any_query_everywhere() {
+    for kind in DesignKind::ALL {
+        check(kind, "XXXXXX", "101010");
+        check(kind, "XXXXXX", "000000");
+    }
+}
+
+#[test]
+fn fully_mismatching_query_discharges_everywhere() {
+    for kind in DesignKind::ALL {
+        check(kind, "101010", "010101");
+    }
+}
+
+#[test]
+fn interleaved_x_and_data_8bit() {
+    for kind in [DesignKind::T15Dg, DesignKind::T15Sg] {
+        check(kind, "1X0X1X0X", "10011100");
+        check(kind, "1X0X1X0X", "11001101");
+        check(kind, "1X0X1X0X", "01011100"); // step-1 miss at digit 0
+        check(kind, "1X0X1X0X", "10011110"); // miss at digit 6 (step 1)
+    }
+}
+
+#[test]
+fn adjacent_pair_independence() {
+    // A mismatch in one pair must not be masked by a strong match in the
+    // other cell of the same pair (they share TP/TN/TML and SL_bar).
+    for kind in [DesignKind::T15Dg, DesignKind::T15Sg] {
+        check(kind, "11", "10"); // cell2 (step 2) mismatches
+        check(kind, "11", "01"); // cell1 (step 1) mismatches
+        check(kind, "00", "01");
+        check(kind, "0X", "01"); // X in the pair, other cell matches
+        check(kind, "X1", "00"); // X in step-1 slot, step-2 mismatch
+    }
+}
+
+#[test]
+fn single_bit_words_on_single_step_designs() {
+    for kind in [DesignKind::Sg2, DesignKind::Dg2, DesignKind::Cmos16t] {
+        check(kind, "1", "1");
+        check(kind, "1", "0");
+        check(kind, "0", "0");
+        check(kind, "X", "1");
+    }
+}
+
+#[test]
+fn twelve_bit_mixed_pattern_2fefet() {
+    for kind in [DesignKind::Sg2, DesignKind::Dg2] {
+        check(kind, "110X00X11010", "110100111010");
+        check(kind, "110X00X11010", "110100111011");
+    }
+}

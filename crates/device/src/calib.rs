@@ -1,0 +1,248 @@
+//! Calibrated 14 nm device presets.
+//!
+//! Numbers are chosen so the devices meet the paper's reported targets
+//! (Fig. 1 and Table IV): SG-FeFET writes at ±4 V with a 1.8 V FG memory
+//! window (t_FE = 10 nm); DG-FeFET writes at ±2 V with a 2.7 V BG-read
+//! window and visibly degraded subthreshold slope (t_FE = 5 nm,
+//! coupling r = 1/3); ON/OFF > 10⁴ at read bias.
+//!
+//! Each TCAM design gets its own work-function flavour (`*_2cell` vs the
+//! 1.5T presets) — the paper explicitly relies on gate work-function
+//! tuning to co-optimise device and circuit, and the 2FeFET and 1.5T1Fe
+//! topologies need differently centred V_TH levels.
+//!
+//! The film's switched polarisation ([`P_SWITCH`], 10 µC/cm²) sets the
+//! write energy; the much smaller window-coupled fraction
+//! ([`p_sat_for_window`], ~2.4 µC/cm²) is implicit in `mw_fg`, which the
+//! FeFET model applies directly as a threshold shift.
+
+use crate::fefet::FefetParams;
+use crate::ferro::PreisachParams;
+use crate::mosfet::{MosfetParams, Polarity};
+use ferrotcam_spice::units::{EPS0, EPS_FE_HFO2};
+
+/// FeFET channel area: 20 nm × 50 nm (paper Sec. V-A).
+pub const FEFET_AREA: f64 = 20e-9 * 50e-9;
+/// SG ferroelectric thickness (m).
+pub const T_FE_SG: f64 = 10e-9;
+/// DG ferroelectric thickness (m).
+pub const T_FE_DG: f64 = 5e-9;
+/// DG back-gate coupling ratio: MW_BG = MW_FG/r = 2.7 V from 0.9 V.
+pub const BG_COUPLING: f64 = 1.0 / 3.0;
+
+/// Switched polarisation of the HfZrO film (C/m²): 10 µC/cm², the
+/// ferroelectric-HfO2 class value. Write energy is dominated by this
+/// switching charge (`E ≈ 2·P·A·V_w`), which is what produces the
+/// paper's write-energy ratios of exactly 2× per halved write voltage
+/// and 2× per halved device count (Table IV row 4).
+pub const P_SWITCH: f64 = 0.10;
+
+/// Polarisation that couples into the threshold shift for a window `mw`
+/// over thickness `t` (much smaller than [`P_SWITCH`]; most switched
+/// charge is screened by trapped interface charge).
+#[must_use]
+pub fn p_sat_for_window(mw: f64, t_fe: f64) -> f64 {
+    mw * (EPS0 * EPS_FE_HFO2 / t_fe) / 2.0
+}
+
+fn fefet_core(vth0: f64) -> MosfetParams {
+    MosfetParams {
+        polarity: Polarity::Nmos,
+        vth0,
+        kp: 300e-6,
+        w: 50e-9,
+        l: 20e-9,
+        n: 1.25,
+        lambda: 0.08,
+        c_gate: 0.0, // FG stack modelled separately via c_fg
+        c_junction: 0.0,
+    }
+}
+
+fn ferro(vc_mean: f64, vc_sigma: f64) -> PreisachParams {
+    PreisachParams {
+        num_domains: 128,
+        vc_mean,
+        vc_sigma,
+        p_sat: P_SWITCH,
+        area: FEFET_AREA,
+    }
+}
+
+/// Series capacitance of the FE stack with the MOS gate.
+fn c_fg(t_fe: f64) -> f64 {
+    let c_fe_areal = EPS0 * EPS_FE_HFO2 / t_fe;
+    let c_mos_areal = 1e-2; // ~1 µF/cm²
+    (c_fe_areal * c_mos_areal) / (c_fe_areal + c_mos_areal) * FEFET_AREA
+}
+
+/// SG-FeFET flavoured for the **1.5T1SG-Fe** voltage-divider cell.
+///
+/// V_TH0 is centred so that (a) an unselected cell (FG = 0) never leaks
+/// into the shared SL_bar node even in the LVT state, and (b) the MVT
+/// state lands between realisable `R_N` and `R_P`. With the fixed 1.8 V
+/// window both constraints pin the read point at V_SeL ≈ 1.2 V — a
+/// documented deviation from Table III's 0.8 V, which is only reachable
+/// with the authors' TCAD-calibrated device (see EXPERIMENTS.md).
+#[must_use]
+pub fn sg_fefet_14nm() -> FefetParams {
+    FefetParams {
+        core: fefet_core(1.12),
+        ferro: ferro(3.2, 0.25),
+        mw_fg: 1.8,
+        bg_coupling: 0.0,
+        c_fg: c_fg(T_FE_SG),
+        c_bg: 0.3e-17,
+        c_junction: 4e-17,
+        v_write: 4.0,
+        v_mvt: 3.2,
+    }
+}
+
+/// DG-FeFET flavoured for the **1.5T1DG-Fe** cell (Table II biases:
+/// V_w = 2 V, V_m = 1.6 V, V_SeL = 2 V, V_b = 0.25 V).
+#[must_use]
+pub fn dg_fefet_14nm() -> FefetParams {
+    FefetParams {
+        core: fefet_core(0.585),
+        ferro: ferro(1.6, 0.125),
+        mw_fg: 0.9,
+        bg_coupling: BG_COUPLING,
+        c_fg: c_fg(T_FE_DG),
+        c_bg: 0.5e-17,
+        // Isolated P-well junction: larger than a logic transistor's
+        // (well sidewall + substrate) — this is what loads 2FeFET
+        // match lines.
+        c_junction: 6e-17,
+        v_write: 2.0,
+        v_mvt: 1.6,
+    }
+}
+
+/// SG-FeFET flavoured for the classic **2FeFET** cell: thresholds
+/// shifted up so the un-driven (gate at 0) LVT device stays off.
+#[must_use]
+pub fn sg_fefet_2cell() -> FefetParams {
+    FefetParams {
+        // High V_TH0: the driven LVT device reads at ~0.2 V overdrive,
+        // giving the µA-class ML discharge the paper's 582 ps implies.
+        core: fefet_core(1.55),
+        ..sg_fefet_14nm()
+    }
+}
+
+/// DG-FeFET flavoured for the **2DG-FeFET** cell (search drives the BG
+/// at V_s = 2 V, Table I).
+#[must_use]
+pub fn dg_fefet_2cell() -> FefetParams {
+    FefetParams {
+        // BG read at V_s = 2 V leaves ~0.17 V FG-equivalent overdrive —
+        // about half the 2SG drive, hence the ~2x longer search latency
+        // of the straightforward DG port (Sec. III-A).
+        core: fefet_core(1.0),
+        ..dg_fefet_14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fefet::{Fefet, VthState};
+    use ferrotcam_spice::units::TEMP_NOMINAL;
+    use ferrotcam_spice::NodeId;
+
+    const T: f64 = TEMP_NOMINAL;
+
+    fn dev(p: FefetParams) -> Fefet {
+        Fefet::new("f", NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, p)
+    }
+
+    #[test]
+    fn dg_bg_window_is_2p7_volts() {
+        let p = dg_fefet_14nm();
+        assert!((p.mw_bg() - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sg_fg_window_is_1p8_volts() {
+        let p = sg_fefet_14nm();
+        assert!((p.mw_fg - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_sat_scales_with_window_over_thickness() {
+        // Identical by construction for both devices: MW ∝ t_FE.
+        let sg = p_sat_for_window(1.8, T_FE_SG);
+        let dg = p_sat_for_window(0.9, T_FE_DG);
+        assert!((sg - dg).abs() < 1e-12);
+        // ~2.4 µC/cm² in SI.
+        assert!((sg - 2.39e-2).abs() < 1e-3, "p_sat = {sg}");
+    }
+
+    #[test]
+    fn dg_write_voltage_is_half_of_sg() {
+        assert_eq!(dg_fefet_14nm().v_write, 2.0);
+        assert_eq!(sg_fefet_14nm().v_write, 4.0);
+    }
+
+    #[test]
+    fn full_write_succeeds_at_rated_voltage_only() {
+        for p in [sg_fefet_14nm(), dg_fefet_14nm()] {
+            let mut f = dev(p.clone());
+            // Rated write saturates:
+            f.write_pulse(-p.v_write);
+            f.write_pulse(p.v_write);
+            assert!(f.film().fraction_up() > 0.99, "full write failed");
+            // Half-select (half the write voltage) must not flip a reset
+            // device — array write disturb immunity.
+            f.write_pulse(-p.v_write);
+            f.write_pulse(p.v_write / 2.0);
+            assert!(
+                f.film().fraction_up() < 0.01,
+                "half-select disturbed the cell: {}",
+                f.film().fraction_up()
+            );
+        }
+    }
+
+    #[test]
+    fn mvt_write_lands_mid_window() {
+        for p in [sg_fefet_14nm(), dg_fefet_14nm()] {
+            let mut f = dev(p.clone());
+            f.write_pulse(-p.v_write);
+            f.write_pulse(p.v_mvt);
+            assert!(
+                f.film().normalized().abs() < 0.1,
+                "MVT off-centre: {}",
+                f.film().normalized()
+            );
+        }
+    }
+
+    #[test]
+    fn dg_on_off_exceeds_1e4_at_read() {
+        let mut f = dev(dg_fefet_14nm());
+        f.program(VthState::Lvt);
+        let i_on = f.drain_current(0.4, 0.0, 0.0, 2.0, T);
+        f.program(VthState::Hvt);
+        let i_off = f.drain_current(0.4, 0.0, 0.0, 2.0, T);
+        assert!(i_on / i_off > 1e4, "ON/OFF = {:.2e}", i_on / i_off);
+    }
+
+    #[test]
+    fn two_cell_flavours_keep_undriven_lvt_off() {
+        // In a 2FeFET cell the matched LVT device sits with gate at 0;
+        // its leakage must be orders below the driven ON current.
+        let mut f = dev(sg_fefet_2cell());
+        f.program(VthState::Lvt);
+        let i_leak = f.drain_current(0.4, 0.0, 0.0, 0.0, T);
+        let i_on = f.drain_current(0.4, 0.8, 0.0, 0.0, T);
+        assert!(i_on / i_leak > 100.0, "ratio = {}", i_on / i_leak);
+
+        let mut g = dev(dg_fefet_2cell());
+        g.program(VthState::Lvt);
+        let i_leak = g.drain_current(0.4, 0.0, 0.0, 0.0, T);
+        let i_on = g.drain_current(0.4, 0.0, 0.0, 2.0, T);
+        assert!(i_on / i_leak > 100.0, "dg ratio = {}", i_on / i_leak);
+    }
+}

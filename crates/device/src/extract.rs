@@ -1,0 +1,96 @@
+//! Parameter extraction from Id–Vg sweeps (V_TH, subthreshold slope,
+//! ON/OFF ratio) — the measurements behind Fig. 1(c)/(d).
+
+/// Threshold voltage by the constant-current method: the gate voltage at
+/// which `|id|` first reaches `i_crit` (linear interpolation); `None` if
+/// the sweep never reaches it.
+#[must_use]
+pub fn vth_constant_current(sweep: &[(f64, f64)], i_crit: f64) -> Option<f64> {
+    for w in sweep.windows(2) {
+        let (v0, i0) = w[0];
+        let (v1, i1) = w[1];
+        if i0.abs() < i_crit && i1.abs() >= i_crit {
+            // Interpolate in log-current for accuracy in subthreshold.
+            let l0 = i0.abs().max(1e-30).ln();
+            let l1 = i1.abs().max(1e-30).ln();
+            let lc = i_crit.ln();
+            let frac = if (l1 - l0).abs() < 1e-30 {
+                0.0
+            } else {
+                (lc - l0) / (l1 - l0)
+            };
+            return Some(v0 + frac * (v1 - v0));
+        }
+    }
+    None
+}
+
+/// Subthreshold slope (V/decade) fitted between the gate voltages where
+/// the current crosses `i_low` and `i_high`; `None` when the sweep does
+/// not span both levels.
+#[must_use]
+pub fn subthreshold_slope(sweep: &[(f64, f64)], i_low: f64, i_high: f64) -> Option<f64> {
+    let v_low = vth_constant_current(sweep, i_low)?;
+    let v_high = vth_constant_current(sweep, i_high)?;
+    let decades = (i_high / i_low).log10();
+    (decades > 0.0).then(|| (v_high - v_low) / decades)
+}
+
+/// Ratio of the largest to the smallest current magnitude in the sweep.
+#[must_use]
+pub fn on_off_ratio(sweep: &[(f64, f64)]) -> f64 {
+    let max = sweep.iter().map(|&(_, i)| i.abs()).fold(0.0, f64::max);
+    let min = sweep
+        .iter()
+        .map(|&(_, i)| i.abs())
+        .fold(f64::INFINITY, f64::min);
+    max / min.max(1e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic exponential-then-square device: SS = 0.1 V/dec below
+    /// vth = 1.0 V.
+    fn synthetic() -> Vec<(f64, f64)> {
+        (0..=200)
+            .map(|k| {
+                let vg = k as f64 * 0.01;
+                let i = if vg < 1.0 {
+                    1e-7 * 10f64.powf((vg - 1.0) / 0.1)
+                } else {
+                    1e-7 + 1e-4 * (vg - 1.0).powi(2)
+                };
+                (vg, i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vth_extraction_hits_knee() {
+        let s = synthetic();
+        let vth = vth_constant_current(&s, 1e-7).unwrap();
+        assert!((vth - 1.0).abs() < 0.02, "vth = {vth}");
+    }
+
+    #[test]
+    fn ss_extraction_matches_construction() {
+        let s = synthetic();
+        let ss = subthreshold_slope(&s, 1e-10, 1e-8).unwrap();
+        assert!((ss - 0.1).abs() < 0.01, "ss = {ss}");
+    }
+
+    #[test]
+    fn missing_levels_return_none() {
+        let s = synthetic();
+        assert!(vth_constant_current(&s, 1.0).is_none());
+        assert!(subthreshold_slope(&s, 1e-30, 1e-25).is_none());
+    }
+
+    #[test]
+    fn on_off_ratio_sane() {
+        let s = synthetic();
+        assert!(on_off_ratio(&s) > 1e3);
+    }
+}

@@ -1,0 +1,171 @@
+//! State-resistance extraction and the paper's Eq. (1) design window.
+//!
+//! The 1.5T1Fe voltage-divider cell only works when
+//!
+//! `R_ON < R_N < R_M < R_P ≪ R_OFF`   (Eq. 1)
+//!
+//! where `R_ON/R_M/R_OFF` are the FeFET channel resistances in the
+//! LVT/MVT/HVT states *at the search-'1' bias* (source grounded, the
+//! bias condition Fig. 5(c) analyses) and `R_N`, `R_P` are the ON
+//! resistances of the shared TN/TP transistors.
+
+use crate::fefet::{FefetParams, Fefet, VthState};
+use ferrotcam_spice::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Which gate the search voltage drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadPath {
+    /// SG-FeFET style: V_SeL on the front gate.
+    FrontGate,
+    /// DG-FeFET style: V_SeL on the back gate (FG optionally biased).
+    BackGate,
+}
+
+/// The three state resistances of a FeFET at a fixed read bias.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResistanceProfile {
+    /// LVT ('1') channel resistance (Ω).
+    pub r_on: f64,
+    /// MVT ('X') channel resistance (Ω).
+    pub r_m: f64,
+    /// HVT ('0') channel resistance (Ω).
+    pub r_off: f64,
+}
+
+impl ResistanceProfile {
+    /// Extract the profile at the search-'1' operating point: drain at
+    /// `vds`, source grounded, select voltage `v_sel` on the path chosen
+    /// by `path`, front-gate bias `v_fg_bias` (the V_b trim; 0 in
+    /// search-'1').
+    #[must_use]
+    pub fn extract(
+        params: &FefetParams,
+        path: ReadPath,
+        v_sel: f64,
+        v_fg_bias: f64,
+        vds: f64,
+        temp: f64,
+    ) -> Self {
+        let mut dev = Fefet::new(
+            "probe",
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            params.clone(),
+        );
+        let (vfg, vbg) = match path {
+            ReadPath::FrontGate => (v_sel, 0.0),
+            ReadPath::BackGate => (v_fg_bias, v_sel),
+        };
+        let mut r_for = |s: VthState| {
+            dev.program(s);
+            dev.resistance(vds, vfg, 0.0, vbg, temp)
+        };
+        Self {
+            r_on: r_for(VthState::Lvt),
+            r_m: r_for(VthState::Mvt),
+            r_off: r_for(VthState::Hvt),
+        }
+    }
+
+    /// Check the full Eq. (1) chain against transistor resistances `r_n`
+    /// and `r_p`. The `≪` is enforced as `r_off ≥ off_margin · r_p`.
+    #[must_use]
+    pub fn satisfies_eq1(&self, r_n: f64, r_p: f64, off_margin: f64) -> bool {
+        self.r_on < r_n
+            && r_n < self.r_m
+            && self.r_m < r_p
+            && r_p * off_margin <= self.r_off
+    }
+
+    /// Ideal divider output `VDD·R_N/(R_FE + R_N)` for search-'0'
+    /// (paper Eq. 2).
+    #[must_use]
+    pub fn divider_search0(&self, state: VthState, vdd: f64, r_n: f64) -> f64 {
+        vdd * r_n / (self.r(state) + r_n)
+    }
+
+    /// Ideal divider output `VDD·R_FE/(R_FE + R_P)` for search-'1'
+    /// (paper Eq. 3).
+    #[must_use]
+    pub fn divider_search1(&self, state: VthState, vdd: f64, r_p: f64) -> f64 {
+        let r_fe = self.r(state);
+        vdd * r_fe / (r_fe + r_p)
+    }
+
+    /// Resistance for a state.
+    #[must_use]
+    pub fn r(&self, state: VthState) -> f64 {
+        match state {
+            VthState::Lvt => self.r_on,
+            VthState::Mvt => self.r_m,
+            VthState::Hvt => self.r_off,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+    use ferrotcam_spice::units::TEMP_NOMINAL;
+
+    const T: f64 = TEMP_NOMINAL;
+
+    #[test]
+    fn dg_profile_is_ordered_and_wide() {
+        let p = calib::dg_fefet_14nm();
+        let prof = ResistanceProfile::extract(&p, ReadPath::BackGate, 2.0, 0.0, 0.2, T);
+        assert!(prof.r_on < prof.r_m && prof.r_m < prof.r_off);
+        assert!(
+            prof.r_off / prof.r_on > 1e4,
+            "window = {:.2e}",
+            prof.r_off / prof.r_on
+        );
+    }
+
+    #[test]
+    fn sg_profile_is_ordered() {
+        let p = calib::sg_fefet_14nm();
+        let prof = ResistanceProfile::extract(&p, ReadPath::FrontGate, 0.8, 0.0, 0.2, T);
+        assert!(prof.r_on < prof.r_m && prof.r_m < prof.r_off);
+    }
+
+    #[test]
+    fn eq1_window_exists_for_dg() {
+        let p = calib::dg_fefet_14nm();
+        let prof = ResistanceProfile::extract(&p, ReadPath::BackGate, 2.0, 0.0, 0.2, T);
+        // There must exist realisable R_N, R_P between the states.
+        let r_n = (prof.r_on * prof.r_m).sqrt();
+        let r_p = (prof.r_m * prof.r_off).sqrt().min(prof.r_m * 4.0);
+        assert!(
+            prof.satisfies_eq1(r_n, r_p, 10.0),
+            "no Eq.1 window: {prof:?} r_n={r_n:.3e} r_p={r_p:.3e}"
+        );
+    }
+
+    #[test]
+    fn divider_voltages_separate_match_from_mismatch() {
+        let p = calib::dg_fefet_14nm();
+        let prof = ResistanceProfile::extract(&p, ReadPath::BackGate, 2.0, 0.0, 0.2, T);
+        let vdd = 0.8;
+        let r_n = (prof.r_on * prof.r_m).sqrt();
+        let r_p = prof.r_m * 4.0;
+        // Search '0': stored '1' is the mismatch (high SL_bar).
+        let v_mis = prof.divider_search0(VthState::Lvt, vdd, r_n);
+        let v_x = prof.divider_search0(VthState::Mvt, vdd, r_n);
+        let v_match = prof.divider_search0(VthState::Hvt, vdd, r_n);
+        assert!(v_mis > 0.45, "v_mis = {v_mis}");
+        assert!(v_x < 0.3, "v_x = {v_x}");
+        assert!(v_match < 0.05);
+        // Search '1': stored '0' is the mismatch.
+        let v_mis1 = prof.divider_search1(VthState::Hvt, vdd, r_p);
+        let v_x1 = prof.divider_search1(VthState::Mvt, vdd, r_p);
+        let v_match1 = prof.divider_search1(VthState::Lvt, vdd, r_p);
+        assert!(v_mis1 > 0.6, "v_mis1 = {v_mis1}");
+        assert!(v_x1 < 0.3, "v_x1 = {v_x1}");
+        assert!(v_match1 < 0.1, "v_match1 = {v_match1}");
+    }
+}

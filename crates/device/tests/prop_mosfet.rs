@@ -1,0 +1,76 @@
+//! Property tests of the EKV MOSFET model: physical laws that must hold
+//! for any reasonable parameter set and bias.
+
+use ferrotcam_device::mosfet::{ekv_ids, MosfetParams, Polarity};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = MosfetParams> {
+    (0.2f64..0.8, 50e-6f64..500e-6, 20f64..200.0, 1.05f64..1.6).prop_map(
+        |(vth0, kp, w_nm, n)| MosfetParams {
+            polarity: Polarity::Nmos,
+            vth0,
+            kp,
+            w: w_nm * 1e-9,
+            l: 20e-9,
+            n,
+            lambda: 0.05,
+            c_gate: 1e-17,
+            c_junction: 1e-17,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drain current grows monotonically with gate voltage.
+    #[test]
+    fn current_monotone_in_vg(p in params(), vd in 0.05f64..1.0, vg in 0.0f64..1.0) {
+        let i1 = ekv_ids(&p, p.vth0, vg, vd, 0.0, 300.0).ids;
+        let i2 = ekv_ids(&p, p.vth0, vg + 0.05, vd, 0.0, 300.0).ids;
+        prop_assert!(i2 >= i1 * 0.999, "{i1} -> {i2}");
+    }
+
+    /// Current grows with drain voltage (no negative output conductance).
+    #[test]
+    fn current_monotone_in_vd(p in params(), vg in 0.2f64..1.2, vd in 0.0f64..0.9) {
+        let i1 = ekv_ids(&p, p.vth0, vg, vd, 0.0, 300.0).ids;
+        let i2 = ekv_ids(&p, p.vth0, vg, vd + 0.05, 0.0, 300.0).ids;
+        prop_assert!(i2 >= i1 - 1e-15);
+    }
+
+    /// Source-drain exchange antisymmetry: I(vd, vs) = −I(vs, vd).
+    #[test]
+    fn source_drain_antisymmetry(p in params(), vg in 0.0f64..1.2, va in 0.0f64..1.0, vb in 0.0f64..1.0) {
+        let fwd = ekv_ids(&p, p.vth0, vg, va, vb, 300.0).ids;
+        let rev = ekv_ids(&p, p.vth0, vg, vb, va, 300.0).ids;
+        prop_assert!((fwd + rev).abs() <= 1e-9 * fwd.abs().max(rev.abs()).max(1e-18));
+    }
+
+    /// Zero V_DS carries zero current.
+    #[test]
+    fn zero_vds_zero_current(p in params(), vg in 0.0f64..1.2, v in 0.0f64..1.0) {
+        let i = ekv_ids(&p, p.vth0, vg, v, v, 300.0).ids;
+        prop_assert!(i.abs() < 1e-15, "i = {i}");
+    }
+
+    /// Conductances match finite differences everywhere (consistent
+    /// Jacobians keep Newton honest).
+    #[test]
+    fn jacobian_consistency(p in params(), vg in 0.0f64..1.2, vd in 0.0f64..1.0, vs in 0.0f64..0.5) {
+        let h = 1e-6;
+        let m = ekv_ids(&p, p.vth0, vg, vd, vs, 300.0);
+        let gm_num = (ekv_ids(&p, p.vth0, vg + h, vd, vs, 300.0).ids
+            - ekv_ids(&p, p.vth0, vg - h, vd, vs, 300.0).ids) / (2.0 * h);
+        let tol = 1e-3 * gm_num.abs().max(1e-12);
+        prop_assert!((m.gm - gm_num).abs() < tol, "gm {} vs {gm_num}", m.gm);
+    }
+
+    /// Raising V_TH can only reduce the current.
+    #[test]
+    fn vth_shift_reduces_current(p in params(), vg in 0.0f64..1.2, vd in 0.05f64..1.0, dv in 0.0f64..0.5) {
+        let i1 = ekv_ids(&p, p.vth0, vg, vd, 0.0, 300.0).ids;
+        let i2 = ekv_ids(&p, p.vth0 + dv, vg, vd, 0.0, 300.0).ids;
+        prop_assert!(i2 <= i1 * 1.001 + 1e-18);
+    }
+}

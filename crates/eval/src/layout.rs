@@ -1,0 +1,143 @@
+//! Layout-rule cell-area estimation (Table IV row 3).
+//!
+//! Cells are modelled as `width × height` boxes: width counts contacted
+//! poly pitches (device columns plus vertical routing tracks), height is
+//! the standard cell-row height, and isolated P-wells add pitch in the
+//! direction their strips run — vertical (column-wise wells of the
+//! 2DG-FeFET design, 2N strips) or horizontal (the row-wise SeL wells of
+//! the 1.5T1DG design, 2M strips). The track/well counts below follow
+//! the designs' signal inventories:
+//!
+//! * 16T CMOS: 16 transistors + SL/SL̄/BL/BL̄/WL routing → widest cell.
+//! * 2SG-FeFET: two FeFETs, BL/BL̄ doubling as SL/SL̄ → narrowest cell.
+//! * 2DG-FeFET: adds separate SL pair (BG read) and two isolated wells
+//!   per cell column.
+//! * 1.5T1SG-Fe: one FeFET + 1.5 shared transistors; the "relatively
+//!   large TP and TN" cost half a track over 2SG (paper Sec. V-B).
+//! * 1.5T1DG-Fe: adds the dedicated BL track (BL and SeL are separate,
+//!   unlike the SG variant's merged BL/SeL) plus the row-well spacing.
+
+use crate::tech::TechNode;
+use ferrotcam::DesignKind;
+use serde::{Deserialize, Serialize};
+
+/// Geometric descriptor of one cell's layout footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellLayout {
+    /// Width in contacted-poly-pitch units (devices + vertical tracks).
+    pub cpp_columns: f64,
+    /// Vertical isolated-well strips crossing the cell (adds width).
+    pub vertical_wells: usize,
+    /// Horizontal well-isolation spacings crossing the cell (adds
+    /// height).
+    pub horizontal_well_spacings: usize,
+}
+
+/// Layout descriptor for a design.
+#[must_use]
+pub fn cell_layout(kind: DesignKind) -> CellLayout {
+    match kind {
+        DesignKind::Cmos16t => CellLayout {
+            cpp_columns: 9.2,
+            vertical_wells: 0,
+            horizontal_well_spacings: 0,
+        },
+        DesignKind::Sg2 => CellLayout {
+            cpp_columns: 3.0,
+            vertical_wells: 0,
+            horizontal_well_spacings: 0,
+        },
+        DesignKind::Dg2 => CellLayout {
+            cpp_columns: 3.5,
+            vertical_wells: 2,
+            horizontal_well_spacings: 0,
+        },
+        DesignKind::T15Sg => CellLayout {
+            cpp_columns: 3.5,
+            vertical_wells: 0,
+            horizontal_well_spacings: 0,
+        },
+        DesignKind::T15Dg => CellLayout {
+            cpp_columns: 4.0,
+            vertical_wells: 0,
+            horizontal_well_spacings: 1,
+        },
+    }
+}
+
+/// Cell width and height (m).
+#[must_use]
+pub fn cell_dimensions(kind: DesignKind, tech: &TechNode) -> (f64, f64) {
+    let l = cell_layout(kind);
+    let w = l.cpp_columns * tech.poly_pitch + l.vertical_wells as f64 * tech.well_pitch;
+    let h = tech.cell_height + l.horizontal_well_spacings as f64 * tech.well_pitch;
+    (w, h)
+}
+
+/// Cell area (m²).
+#[must_use]
+pub fn cell_area(kind: DesignKind, tech: &TechNode) -> f64 {
+    let (w, h) = cell_dimensions(kind, tech);
+    w * h
+}
+
+/// Core array area for an `m × n` array (m², cells only).
+#[must_use]
+pub fn array_core_area(kind: DesignKind, m: usize, n: usize, tech: &TechNode) -> f64 {
+    cell_area(kind, tech) * (m * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::tech_14nm;
+
+    /// The paper's Table IV cell areas (µm²).
+    const PAPER: [(DesignKind, f64); 5] = [
+        (DesignKind::Cmos16t, 0.286),
+        (DesignKind::Sg2, 0.095),
+        (DesignKind::Dg2, 0.204),
+        (DesignKind::T15Sg, 0.108),
+        (DesignKind::T15Dg, 0.156),
+    ];
+
+    #[test]
+    fn areas_match_table4_within_10_percent() {
+        let t = tech_14nm();
+        for (kind, paper_um2) in PAPER {
+            let got = cell_area(kind, &t) * 1e12;
+            let err = (got - paper_um2).abs() / paper_um2;
+            assert!(
+                err < 0.10,
+                "{kind}: {got:.3} µm² vs paper {paper_um2} (err {:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let t = tech_14nm();
+        let a = |k| cell_area(k, &t);
+        assert!(a(DesignKind::Sg2) < a(DesignKind::T15Sg));
+        assert!(a(DesignKind::T15Sg) < a(DesignKind::T15Dg));
+        assert!(a(DesignKind::T15Dg) < a(DesignKind::Dg2));
+        assert!(a(DesignKind::Dg2) < a(DesignKind::Cmos16t));
+    }
+
+    #[test]
+    fn dg_well_penalty_is_visible() {
+        let t = tech_14nm();
+        // DG variants pay for isolation relative to their SG twins.
+        assert!(cell_area(DesignKind::Dg2, &t) > 1.5 * cell_area(DesignKind::Sg2, &t));
+        assert!(cell_area(DesignKind::T15Dg, &t) > 1.2 * cell_area(DesignKind::T15Sg, &t));
+    }
+
+    #[test]
+    fn array_area_scales_linearly() {
+        let t = tech_14nm();
+        let a1 = array_core_area(DesignKind::T15Dg, 64, 64, &t);
+        let a2 = array_core_area(DesignKind::T15Dg, 128, 64, &t);
+        assert!((a2 / a1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Wire-parasitic extraction (the Eva-CAM [15] role): per-cell match
+//! line, select line and internal-node RC from the cell geometry.
+
+use crate::layout::cell_dimensions;
+use crate::tech::TechNode;
+use ferrotcam::{DesignKind, RowParasitics};
+
+/// Extract the per-cell row parasitics a design's cell geometry implies.
+///
+/// The match line and (row-wise) select lines run across the cell
+/// width; the SL_bar node spans roughly half the pair height.
+#[must_use]
+pub fn row_parasitics(kind: DesignKind, tech: &TechNode) -> RowParasitics {
+    let (w, h) = cell_dimensions(kind, tech);
+    RowParasitics {
+        ml_wire_per_cell: w * tech.wire_cap_per_m,
+        // Lumped by default; pass ml_wire_resistance_per_cell() here to
+        // build the distributed rail.
+        ml_wire_res_per_cell: 0.0,
+        sel_wire_per_cell: w * tech.wire_cap_per_m * 0.5,
+        slbar_wire: 0.5 * h * tech.wire_cap_per_m,
+    }
+}
+
+/// Match-line wire resistance contributed by one cell (Ω).
+#[must_use]
+pub fn ml_wire_resistance_per_cell(kind: DesignKind, tech: &TechNode) -> f64 {
+    let (w, _) = cell_dimensions(kind, tech);
+    w * tech.wire_res_per_m
+}
+
+/// Total match-line wire RC time constant for a word of `n` cells (s) —
+/// a quick feasibility probe before full simulation (distributed RC ≈
+/// R·C/2).
+#[must_use]
+pub fn ml_rc_time_constant(kind: DesignKind, n: usize, tech: &TechNode) -> f64 {
+    let r = ml_wire_resistance_per_cell(kind, tech) * n as f64;
+    let c = row_parasitics(kind, tech).ml_wire_per_cell * n as f64;
+    0.5 * r * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::tech_14nm;
+
+    #[test]
+    fn parasitics_scale_with_cell_width() {
+        let t = tech_14nm();
+        let wide = row_parasitics(DesignKind::Cmos16t, &t);
+        let narrow = row_parasitics(DesignKind::Sg2, &t);
+        assert!(wide.ml_wire_per_cell > 2.0 * narrow.ml_wire_per_cell);
+    }
+
+    #[test]
+    fn magnitudes_are_subfemto() {
+        let t = tech_14nm();
+        for kind in DesignKind::ALL {
+            let p = row_parasitics(kind, &t);
+            assert!(p.ml_wire_per_cell > 1e-17 && p.ml_wire_per_cell < 5e-16,
+                "{kind}: {:.2e}", p.ml_wire_per_cell);
+        }
+    }
+
+    #[test]
+    fn wire_rc_is_negligible_vs_discharge() {
+        // The 64-bit ML wire RC must be far below the ~100 ps discharge
+        // times — justifying the lumped-C row model.
+        let t = tech_14nm();
+        let tau = ml_rc_time_constant(DesignKind::T15Dg, 64, &t);
+        assert!(tau < 10e-12, "tau = {tau:.2e}");
+    }
+}

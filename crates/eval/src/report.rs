@@ -1,0 +1,273 @@
+//! Figure-of-merit table assembly and rendering (Table IV).
+
+use ferrotcam::DesignKind;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One design's row in the FoM comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FomRow {
+    /// Design name.
+    pub design: String,
+    /// Write voltage description (e.g. `"±2V, 1.6V"`).
+    pub write_voltage: String,
+    /// Ferroelectric thickness (nm); `None` for CMOS.
+    pub fe_thickness_nm: Option<f64>,
+    /// Cell area (µm²).
+    pub cell_area_um2: f64,
+    /// Average write energy per cell (fJ); `None` where the paper
+    /// reports N.A.
+    pub write_energy_fj: Option<f64>,
+    /// One-step search latency (ps); equals `latency_ps` for
+    /// single-step designs.
+    pub latency_1step_ps: f64,
+    /// Total (two-step where applicable) search latency (ps).
+    pub latency_ps: f64,
+    /// One-step search energy per cell (fJ).
+    pub energy_1step_fj: f64,
+    /// Full-search energy per cell (fJ); `None` for single-step designs.
+    pub energy_2step_fj: Option<f64>,
+    /// Average search energy per cell at the reported step-1 miss rate
+    /// (fJ).
+    pub energy_avg_fj: f64,
+}
+
+/// The published 16T CMOS baseline row ([25], as carried by Table IV).
+#[must_use]
+pub fn cmos_published() -> FomRow {
+    FomRow {
+        design: DesignKind::Cmos16t.name().to_string(),
+        write_voltage: "0.9V".to_string(),
+        fe_thickness_nm: None,
+        cell_area_um2: 0.286,
+        write_energy_fj: None,
+        latency_1step_ps: 235.0,
+        latency_ps: 235.0,
+        energy_1step_fj: 0.53,
+        energy_2step_fj: None,
+        energy_avg_fj: 0.53,
+    }
+}
+
+/// A complete FoM comparison table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FomTable {
+    rows: Vec<FomRow>,
+}
+
+impl FomTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: FomRow) {
+        self.rows.push(row);
+    }
+
+    /// Rows in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[FomRow] {
+        &self.rows
+    }
+
+    /// Find a row by design name.
+    #[must_use]
+    pub fn row(&self, design: &str) -> Option<&FomRow> {
+        self.rows.iter().find(|r| r.design == design)
+    }
+
+    /// Ratio of `baseline`'s metric to each row's (the paper's "(N×)"
+    /// improvement annotations): `(design, ratio)` per row.
+    #[must_use]
+    pub fn improvement_over(
+        &self,
+        baseline: &str,
+        metric: impl Fn(&FomRow) -> f64,
+    ) -> Vec<(String, f64)> {
+        let Some(base) = self.row(baseline).map(&metric) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .map(|r| (r.design.clone(), base / metric(r)))
+            .collect()
+    }
+
+    /// Render as a GitHub-flavoured markdown table with ratio columns
+    /// against the first row.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| FoM | {} |",
+            self.rows
+                .iter()
+                .map(|r| r.design.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(s, "|---{}|", "|---".repeat(self.rows.len()));
+        let base = self.rows.first();
+        let fmt_ratio = |v: f64, b: Option<f64>| match b {
+            Some(b) if b > 0.0 && v > 0.0 => format!("{v:.3} ({:.2}x)", b / v),
+            _ => format!("{v:.3}"),
+        };
+        let row_str = |name: &str, f: &dyn Fn(&FomRow) -> String| {
+            format!(
+                "| {name} | {} |",
+                self.rows.iter().map(f).collect::<Vec<_>>().join(" | ")
+            )
+        };
+        s.push_str(&row_str("Write voltage", &|r| r.write_voltage.clone()));
+        s.push('\n');
+        s.push_str(&row_str("FE thickness (nm)", &|r| {
+            r.fe_thickness_nm.map_or("N.A.".into(), |t| format!("{t:.0}"))
+        }));
+        s.push('\n');
+        s.push_str(&row_str("Cell area (um^2)", &|r| {
+            fmt_ratio(r.cell_area_um2, base.map(|b| b.cell_area_um2))
+        }));
+        s.push('\n');
+        s.push_str(&row_str("Write energy/cell (fJ)", &|r| {
+            match (r.write_energy_fj, base.and_then(|b| b.write_energy_fj)) {
+                (Some(v), b) => fmt_ratio(v, b),
+                (None, _) => "N.A.".into(),
+            }
+        }));
+        s.push('\n');
+        s.push_str(&row_str("Search latency (ps)", &|r| {
+            let total = fmt_ratio(r.latency_ps, base.map(|b| b.latency_ps));
+            if (r.latency_ps - r.latency_1step_ps).abs() > 1e-9 {
+                format!("1 step: {:.0} / total: {total}", r.latency_1step_ps)
+            } else {
+                total
+            }
+        }));
+        s.push('\n');
+        s.push_str(&row_str("Search energy/cell (fJ)", &|r| {
+            let avg = fmt_ratio(r.energy_avg_fj, base.map(|b| b.energy_avg_fj));
+            match r.energy_2step_fj {
+                Some(e2) => format!(
+                    "1 step: {:.3} / 2 steps: {e2:.3} / avg: {avg}",
+                    r.energy_1step_fj
+                ),
+                None => avg,
+            }
+        }));
+        s.push('\n');
+        s
+    }
+
+    /// Render as CSV (one line per design).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "design,write_voltage,fe_thickness_nm,cell_area_um2,write_energy_fj,\
+             latency_1step_ps,latency_ps,energy_1step_fj,energy_2step_fj,energy_avg_fj\n",
+        );
+        for r in &self.rows {
+            // RFC-4180 quoting for fields that may contain commas.
+            let quoted_wv = if r.write_voltage.contains(',') {
+                format!("\"{}\"", r.write_voltage)
+            } else {
+                r.write_voltage.clone()
+            };
+            let _ = writeln!(
+                s,
+                "{},{},{},{:.4},{},{:.1},{:.1},{:.4},{},{:.4}",
+                r.design,
+                quoted_wv,
+                r.fe_thickness_nm.map_or(String::from(""), |t| format!("{t:.0}")),
+                r.cell_area_um2,
+                r.write_energy_fj.map_or(String::from(""), |e| format!("{e:.4}")),
+                r.latency_1step_ps,
+                r.latency_ps,
+                r.energy_1step_fj,
+                r.energy_2step_fj.map_or(String::from(""), |e| format!("{e:.4}")),
+                r.energy_avg_fj,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FomTable {
+        let mut t = FomTable::new();
+        t.push(cmos_published());
+        t.push(FomRow {
+            design: "2SG-FeFET".into(),
+            write_voltage: "±4V".into(),
+            fe_thickness_nm: Some(10.0),
+            cell_area_um2: 0.095,
+            write_energy_fj: Some(1.63),
+            latency_1step_ps: 582.0,
+            latency_ps: 582.0,
+            energy_1step_fj: 0.17,
+            energy_2step_fj: None,
+            energy_avg_fj: 0.17,
+        });
+        t
+    }
+
+    #[test]
+    fn improvement_ratios() {
+        let t = sample();
+        let ratios = t.improvement_over("16T CMOS", |r| r.energy_avg_fj);
+        let sg = ratios.iter().find(|(d, _)| d == "2SG-FeFET").unwrap();
+        assert!((sg.1 - 0.53 / 0.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_contains_all_rows_and_ratio() {
+        let md = sample().to_markdown();
+        assert!(md.contains("2SG-FeFET"));
+        assert!(md.contains("N.A."));
+        assert!(md.contains("(3.01x)"), "area ratio missing:\n{md}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("design,"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let mut t = sample();
+        t.push(FomRow {
+            design: "1.5T1DG-Fe".into(),
+            write_voltage: "±2V, 1.6V".into(),
+            fe_thickness_nm: Some(5.0),
+            cell_area_um2: 0.156,
+            write_energy_fj: Some(0.41),
+            latency_1step_ps: 231.0,
+            latency_ps: 481.0,
+            energy_1step_fj: 0.13,
+            energy_2step_fj: Some(0.21),
+            energy_avg_fj: 0.14,
+        });
+        let csv = t.to_csv();
+        let row = csv.lines().last().unwrap();
+        assert!(row.contains("\"±2V, 1.6V\""), "unquoted comma field: {row}");
+        // Field count must be consistent when respecting quotes.
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let naive_cols = row.split(',').count();
+        assert_eq!(naive_cols, header_cols + 1); // one quoted comma
+    }
+
+    #[test]
+    fn row_lookup() {
+        let t = sample();
+        assert!(t.row("16T CMOS").is_some());
+        assert!(t.row("nope").is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! 14 nm technology constants used by the layout and parasitic models.
+
+use serde::{Deserialize, Serialize};
+
+/// A technology node description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Human-readable name.
+    pub name: String,
+    /// Contacted poly (gate) pitch (m).
+    pub poly_pitch: f64,
+    /// Metal-1 routing pitch (m).
+    pub m1_pitch: f64,
+    /// Standard-cell-row height used by the area model (m).
+    pub cell_height: f64,
+    /// Extra pitch consumed by one isolated P-well strip, including the
+    /// well-to-well spacing the paper calls out (m).
+    pub well_pitch: f64,
+    /// Wire capacitance per length (F/m).
+    pub wire_cap_per_m: f64,
+    /// Wire resistance per length (Ω/m).
+    pub wire_res_per_m: f64,
+}
+
+/// The 14 nm FDSOI-class node of the paper's evaluation.
+#[must_use]
+pub fn tech_14nm() -> TechNode {
+    TechNode {
+        name: "14nm FDSOI".to_string(),
+        poly_pitch: 78e-9,
+        m1_pitch: 64e-9,
+        cell_height: 0.40e-6,
+        well_pitch: 120e-9,
+        wire_cap_per_m: 0.2e-9, // 0.2 fF/µm
+        wire_res_per_m: 20e6,   // 20 Ω/µm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_constants_are_physical() {
+        let t = tech_14nm();
+        assert!(t.poly_pitch > t.m1_pitch / 2.0 && t.poly_pitch < 200e-9);
+        assert!(t.cell_height > 0.1e-6 && t.cell_height < 1e-6);
+        assert!(t.well_pitch > t.poly_pitch);
+        // 1 µm of wire ≈ 0.2 fF.
+        assert!((t.wire_cap_per_m * 1e-6 - 0.2e-15).abs() < 1e-18);
+    }
+}

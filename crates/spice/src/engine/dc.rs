@@ -1,0 +1,222 @@
+//! DC operating-point analysis with gmin and source stepping fallbacks.
+
+use super::{NewtonOpts, System};
+use crate::error::{Error, Result};
+use crate::netlist::{Circuit, NodeId};
+use crate::nonlinear::DeviceStamps;
+
+/// Options for [`operating_point`].
+#[derive(Debug, Clone, Default)]
+pub struct DcOpts {
+    /// Newton parameters.
+    pub newton: NewtonOpts,
+    /// Evaluate sources at this time (default 0).
+    pub time: f64,
+}
+
+/// A solved operating point.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    x: Vec<f64>,
+    num_nodes: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(x: Vec<f64>, num_nodes: usize) -> Self {
+        Self { x, num_nodes }
+    }
+
+    /// Node voltage (0 for ground).
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        let i = node.index();
+        if i == 0 {
+            0.0
+        } else {
+            self.x[i - 1]
+        }
+    }
+
+    /// Branch current of voltage source `branch` (the value returned by
+    /// [`Circuit::vsource`]), flowing `p → n` through the source.
+    #[must_use]
+    pub fn branch_current(&self, branch: usize) -> f64 {
+        self.x[(self.num_nodes - 1) + branch]
+    }
+
+    /// The raw solution vector (node voltages then branch currents).
+    #[must_use]
+    pub fn as_vec(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Gmin stepping ladder: progressively relax the shunt, reconverging from
+/// the previous rung.
+const GMIN_LADDER: [f64; 6] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-11, 1e-12];
+
+/// Source stepping ramp.
+const SRC_STEPS: usize = 10;
+
+/// Compute the DC operating point of `ckt`.
+///
+/// Capacitors are open; each independent source is evaluated at
+/// `opts.time`. Tries plain Newton first, then gmin stepping, then source
+/// stepping.
+///
+/// # Errors
+/// [`Error::NonConvergence`] if every strategy fails, or
+/// [`Error::SingularMatrix`] for a structurally defective circuit.
+pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
+    let sys = System::new(ckt);
+    let mut stamps: Vec<DeviceStamps> = ckt
+        .devices()
+        .iter()
+        .map(|d| DeviceStamps::new(d.terminals().len()))
+        .collect();
+    let x0 = vec![0.0; sys.nvars];
+
+    // 1. Plain Newton from zero.
+    match sys.newton(
+        &x0,
+        opts.time,
+        1.0,
+        &opts.newton,
+        opts.newton.gmin,
+        None,
+        &mut stamps,
+        "dc",
+    ) {
+        Ok((x, _)) => return Ok(Solution::new(x, sys.num_nodes)),
+        Err(Error::SingularMatrix { .. }) => {
+            // Structural problem — stepping will not fix a floating
+            // subcircuit; retry once with a heavy shunt before giving up.
+        }
+        Err(_) => {}
+    }
+
+    // 2. Gmin stepping.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for &gmin in &GMIN_LADDER {
+        let gmin = gmin.max(opts.newton.gmin);
+        match sys.newton(
+            &x,
+            opts.time,
+            1.0,
+            &opts.newton,
+            gmin,
+            None,
+            &mut stamps,
+            "dc",
+        ) {
+            Ok((xn, _)) => x = xn,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(Solution::new(x, sys.num_nodes));
+    }
+
+    // 3. Source stepping.
+    let mut x = x0;
+    for step in 1..=SRC_STEPS {
+        let scale = step as f64 / SRC_STEPS as f64;
+        let (xn, _) = sys.newton(
+            &x,
+            opts.time,
+            scale,
+            &opts.newton,
+            opts.newton.gmin.max(1e-9),
+            None,
+            &mut stamps,
+            "dc",
+        )?;
+        x = xn;
+    }
+    // Final polish at full sources and user gmin.
+    let (x, _) = sys.newton(
+        &x,
+        opts.time,
+        1.0,
+        &opts.newton,
+        opts.newton.gmin,
+        None,
+        &mut stamps,
+        "dc",
+    )?;
+    Ok(Solution::new(x, sys.num_nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn ladder_network() {
+        // Three-rung R ladder driven by 3 V: analytically solvable.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.vsource("V1", a, Circuit::gnd(), Waveform::dc(3.0));
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.resistor("R2", b, c, 1e3).unwrap();
+        ckt.resistor("R3", c, Circuit::gnd(), 1e3).unwrap();
+        let sol = operating_point(&ckt, &DcOpts::default()).unwrap();
+        assert!((sol.voltage(a) - 3.0).abs() < 1e-6);
+        assert!((sol.voltage(b) - 2.0).abs() < 1e-4);
+        assert!((sol.voltage(c) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn capacitor_is_open_in_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(), Waveform::dc(1.0));
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.capacitor("C1", b, Circuit::gnd(), 1e-12).unwrap();
+        let sol = operating_point(&ckt, &DcOpts::default()).unwrap();
+        // No DC path to ground through C: b floats to a's potential
+        // (through R1, held by gmin at ~1 V).
+        assert!((sol.voltage(b) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn source_time_is_respected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            Waveform::pwl(vec![(0.0, 0.0), (1e-9, 2.0)]),
+        );
+        ckt.resistor("R1", a, Circuit::gnd(), 1e3).unwrap();
+        let sol = operating_point(
+            &ckt,
+            &DcOpts {
+                time: 1e-9,
+                ..DcOpts::default()
+            },
+        )
+        .unwrap();
+        assert!((sol.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        // 1 mA pulled from ground into a (p=gnd flows to n=a ⇒ enters a).
+        ckt.isource("I1", Circuit::gnd(), a, Waveform::dc(1e-3));
+        ckt.resistor("R1", a, Circuit::gnd(), 1e3).unwrap();
+        let sol = operating_point(&ckt, &DcOpts::default()).unwrap();
+        assert!((sol.voltage(a) - 1.0).abs() < 1e-4, "v = {}", sol.voltage(a));
+    }
+}

@@ -1,0 +1,498 @@
+//! Simulation engine: MNA assembly and the damped Newton–Raphson core
+//! shared by DC and transient analyses.
+
+pub mod ac;
+pub mod dc;
+pub mod sweep;
+pub mod transient;
+
+use crate::error::{Error, Result};
+use crate::matrix::sparse::{SparseLu, Triplets};
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::nonlinear::{DeviceStamps, EvalCtx};
+
+/// Absolute node-voltage convergence tolerance (V).
+const VNTOL: f64 = 1e-6;
+/// Absolute branch-current convergence tolerance (A).
+const ABSTOL: f64 = 1e-12;
+/// Relative convergence tolerance.
+const RELTOL: f64 = 1e-4;
+
+/// Newton damping and iteration limits shared by both analyses.
+#[derive(Debug, Clone)]
+pub struct NewtonOpts {
+    /// Maximum Newton iterations per solve attempt.
+    pub max_iters: usize,
+    /// Maximum per-iteration node-voltage change (V); larger updates are
+    /// scaled down (damped Newton). Keeps exponential device models from
+    /// overflowing.
+    pub vlimit: f64,
+    /// Shunt conductance from every node to ground (S).
+    pub gmin: f64,
+    /// Simulation temperature (K).
+    pub temp: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            vlimit: 0.4,
+            gmin: 1e-12,
+            temp: crate::units::TEMP_NOMINAL,
+        }
+    }
+}
+
+/// Companion-model state for charge storage during transient analysis.
+#[derive(Debug, Clone)]
+pub(crate) struct Companion {
+    /// Integration coefficient: BE → 1/dt, trapezoidal → 2/dt.
+    pub coeff: f64,
+    /// Whether the trapezoidal correction term (previous current) applies.
+    pub trapezoidal: bool,
+    /// Per linear capacitor: previous branch charge.
+    pub cap_q_prev: Vec<f64>,
+    /// Per linear capacitor: previous branch current.
+    pub cap_i_prev: Vec<f64>,
+    /// Per device: previous terminal charges (flattened, offsets parallel
+    /// to `dev_offsets`).
+    pub dev_q_prev: Vec<f64>,
+    /// Per device: previous terminal charge currents.
+    pub dev_i_prev: Vec<f64>,
+    /// Start offset of each device's terminals in the flat arrays.
+    pub dev_offsets: Vec<usize>,
+}
+
+/// The assembled view of a circuit: variable numbering plus stamping.
+pub(crate) struct System<'a> {
+    pub ckt: &'a Circuit,
+    pub num_nodes: usize,
+    pub nvars: usize,
+    /// Index of each capacitor element within `ckt.elements()` (companion
+    /// state is indexed by position in this list).
+    pub cap_elems: Vec<usize>,
+}
+
+impl<'a> System<'a> {
+    pub fn new(ckt: &'a Circuit) -> Self {
+        let num_nodes = ckt.num_nodes();
+        let nvars = (num_nodes - 1) + ckt.num_branches();
+        let cap_elems = ckt
+            .elements()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, Element::Capacitor { .. }).then_some(i))
+            .collect();
+        Self {
+            ckt,
+            num_nodes,
+            nvars,
+            cap_elems,
+        }
+    }
+
+    /// MNA variable of a node (`None` for ground).
+    #[inline]
+    pub fn var_of(&self, node: NodeId) -> Option<usize> {
+        let i = node.index();
+        (i != 0).then(|| i - 1)
+    }
+
+    /// MNA variable of a voltage-source branch.
+    #[inline]
+    pub fn branch_var(&self, branch: usize) -> usize {
+        (self.num_nodes - 1) + branch
+    }
+
+    /// Voltage of `node` in solution vector `x`.
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.var_of(node) {
+            Some(v) => x[v],
+            None => 0.0,
+        }
+    }
+
+    /// Fresh companion state (all charges continue from `x` at accept
+    /// time; initialised lazily by the transient driver).
+    pub fn new_companion(&self, coeff: f64, trapezoidal: bool) -> Companion {
+        let mut dev_offsets = Vec::with_capacity(self.ckt.devices().len() + 1);
+        let mut total = 0usize;
+        for d in self.ckt.devices() {
+            dev_offsets.push(total);
+            total += d.terminals().len();
+        }
+        dev_offsets.push(total);
+        Companion {
+            coeff,
+            trapezoidal,
+            cap_q_prev: vec![0.0; self.cap_elems.len()],
+            cap_i_prev: vec![0.0; self.cap_elems.len()],
+            dev_q_prev: vec![0.0; total],
+            dev_i_prev: vec![0.0; total],
+            dev_offsets,
+        }
+    }
+
+    /// Assemble the linearised MNA system around operating point `x`.
+    ///
+    /// `source_scale` scales all independent sources (source stepping);
+    /// `companion` enables charge storage (transient); `stamps` is a
+    /// per-device scratch buffer owned by the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        &self,
+        x: &[f64],
+        time: f64,
+        source_scale: f64,
+        ctx: &EvalCtx,
+        companion: Option<&Companion>,
+        tri: &mut Triplets,
+        rhs: &mut [f64],
+        stamps: &mut [DeviceStamps],
+    ) {
+        tri.clear();
+        rhs.fill(0.0);
+
+        // Shunt gmin keeps floating nodes solvable and aids convergence.
+        for v in 0..self.num_nodes - 1 {
+            tri.add(v, v, ctx.gmin);
+        }
+
+        let mut cap_pos = 0usize;
+        for elem in self.ckt.elements() {
+            match elem {
+                Element::Resistor { p, n, ohms, .. } => {
+                    self.stamp_conductance(tri, *p, *n, 1.0 / ohms);
+                }
+                Element::Capacitor { p, n, farads, .. } => {
+                    if let Some(comp) = companion {
+                        let vp = self.voltage(x, *p);
+                        let vn = self.voltage(x, *n);
+                        let q0 = farads * (vp - vn);
+                        let geq = comp.coeff * farads;
+                        self.stamp_conductance(tri, *p, *n, geq);
+                        // i ≈ coeff·(q0 + C·Δv − q_prev) [− i_prev if trap]
+                        // constants → RHS with opposite sign.
+                        let mut i_const =
+                            comp.coeff * (q0 - comp.cap_q_prev[cap_pos]) - geq * (vp - vn);
+                        if comp.trapezoidal {
+                            i_const -= comp.cap_i_prev[cap_pos];
+                        }
+                        self.stamp_current_pn(rhs, *p, *n, i_const);
+                    }
+                    cap_pos += 1;
+                }
+                Element::VSource {
+                    p, n, wave, branch, ..
+                } => {
+                    let bv = self.branch_var(*branch);
+                    if let Some(vp) = self.var_of(*p) {
+                        tri.add(vp, bv, 1.0);
+                        tri.add(bv, vp, 1.0);
+                    }
+                    if let Some(vn) = self.var_of(*n) {
+                        tri.add(vn, bv, -1.0);
+                        tri.add(bv, vn, -1.0);
+                    }
+                    // Keep the branch row well-scaled even if both ends
+                    // are ground (degenerate but legal).
+                    if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
+                        tri.add(bv, bv, 1.0);
+                    }
+                    rhs[bv] += wave.value(time) * source_scale;
+                }
+                Element::ISource { p, n, wave, .. } => {
+                    let j = wave.value(time) * source_scale;
+                    self.stamp_current_pn(rhs, *p, *n, j);
+                }
+                Element::Vcvs {
+                    p, n, cp, cn, gain, branch, ..
+                } => {
+                    let bv = self.branch_var(*branch);
+                    if let Some(vp) = self.var_of(*p) {
+                        tri.add(vp, bv, 1.0);
+                        tri.add(bv, vp, 1.0);
+                    }
+                    if let Some(vn) = self.var_of(*n) {
+                        tri.add(vn, bv, -1.0);
+                        tri.add(bv, vn, -1.0);
+                    }
+                    // Branch row: v_p − v_n − gain·(v_cp − v_cn) = 0.
+                    if let Some(vc) = self.var_of(*cp) {
+                        tri.add(bv, vc, -gain);
+                    }
+                    if let Some(vc) = self.var_of(*cn) {
+                        tri.add(bv, vc, *gain);
+                    }
+                    if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
+                        tri.add(bv, bv, 1.0);
+                    }
+                }
+                Element::Vccs { p, n, cp, cn, gm, .. } => {
+                    self.stamp_transconductance(tri, *p, *n, *cp, *cn, *gm);
+                }
+            }
+        }
+
+        // Nonlinear devices.
+        for (di, dev) in self.ckt.devices().iter().enumerate() {
+            let terms = dev.terminals();
+            let t = terms.len();
+            let st = &mut stamps[di];
+            st.clear();
+            let vt: Vec<f64> = terms.iter().map(|&nd| self.voltage(x, nd)).collect();
+            dev.eval(&vt, st, ctx);
+            // Static currents: stamp G and move the Taylor constant to RHS.
+            for a in 0..t {
+                let Some(ra) = self.var_of(terms[a]) else {
+                    continue;
+                };
+                let mut i_const = st.i[a];
+                for b in 0..t {
+                    let g = st.gi[a * t + b];
+                    if g != 0.0 {
+                        if let Some(cb) = self.var_of(terms[b]) {
+                            tri.add(ra, cb, g);
+                        }
+                        i_const -= g * vt[b];
+                    }
+                }
+                rhs[ra] -= i_const;
+            }
+            // Charge storage via companion model.
+            if let Some(comp) = companion {
+                let off = comp.dev_offsets[di];
+                for a in 0..t {
+                    let Some(ra) = self.var_of(terms[a]) else {
+                        continue;
+                    };
+                    let mut i_const = comp.coeff * (st.q[a] - comp.dev_q_prev[off + a]);
+                    if comp.trapezoidal {
+                        i_const -= comp.dev_i_prev[off + a];
+                    }
+                    for b in 0..t {
+                        let c = st.cq[a * t + b];
+                        if c != 0.0 {
+                            let geq = comp.coeff * c;
+                            if let Some(cb) = self.var_of(terms[b]) {
+                                tri.add(ra, cb, geq);
+                            }
+                            i_const -= geq * vt[b];
+                        }
+                    }
+                    rhs[ra] -= i_const;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn stamp_conductance(&self, tri: &mut Triplets, p: NodeId, n: NodeId, g: f64) {
+        let vp = self.var_of(p);
+        let vn = self.var_of(n);
+        if let Some(a) = vp {
+            tri.add(a, a, g);
+        }
+        if let Some(b) = vn {
+            tri.add(b, b, g);
+        }
+        if let (Some(a), Some(b)) = (vp, vn) {
+            tri.add(a, b, -g);
+            tri.add(b, a, -g);
+        }
+    }
+
+    /// Constant current `j` flowing from `p` to `n` through an element:
+    /// RHS gets `−j` at `p`, `+j` at `n`.
+    #[inline]
+    fn stamp_current_pn(&self, rhs: &mut [f64], p: NodeId, n: NodeId, j: f64) {
+        if let Some(a) = self.var_of(p) {
+            rhs[a] -= j;
+        }
+        if let Some(b) = self.var_of(n) {
+            rhs[b] += j;
+        }
+    }
+
+    #[inline]
+    fn stamp_transconductance(
+        &self,
+        tri: &mut Triplets,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) {
+        for (out, sign_o) in [(p, 1.0), (n, -1.0)] {
+            let Some(r) = self.var_of(out) else { continue };
+            for (ctrl, sign_c) in [(cp, 1.0), (cn, -1.0)] {
+                if let Some(c) = self.var_of(ctrl) {
+                    tri.add(r, c, gm * sign_o * sign_c);
+                }
+            }
+        }
+    }
+
+    /// One damped Newton solve. Returns `(x, iterations)` on convergence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn newton(
+        &self,
+        x0: &[f64],
+        time: f64,
+        source_scale: f64,
+        opts: &NewtonOpts,
+        gmin: f64,
+        companion: Option<&Companion>,
+        stamps: &mut [DeviceStamps],
+        analysis: &'static str,
+    ) -> Result<(Vec<f64>, usize)> {
+        let mut x = x0.to_vec();
+        let mut tri = Triplets::new(self.nvars);
+        let mut rhs = vec![0.0; self.nvars];
+        let ctx = EvalCtx {
+            temp: opts.temp,
+            gmin,
+            time,
+        };
+        for iter in 1..=opts.max_iters {
+            self.assemble(
+                &x,
+                time,
+                source_scale,
+                &ctx,
+                companion,
+                &mut tri,
+                &mut rhs,
+                stamps,
+            );
+            let lu = SparseLu::factor(&tri.to_csc())?;
+            let x_new = lu.solve(&rhs);
+
+            // Convergence check on the raw (undamped) update.
+            let nnode_vars = self.num_nodes - 1;
+            let mut converged = true;
+            let mut max_dv = 0.0f64;
+            for v in 0..self.nvars {
+                let d = (x_new[v] - x[v]).abs();
+                let (atol, val) = if v < nnode_vars {
+                    (VNTOL, x_new[v].abs().max(x[v].abs()))
+                } else {
+                    (ABSTOL, x_new[v].abs().max(x[v].abs()))
+                };
+                if d > atol + RELTOL * val {
+                    converged = false;
+                }
+                if v < nnode_vars {
+                    max_dv = max_dv.max(d);
+                }
+                if !x_new[v].is_finite() {
+                    return Err(Error::NonConvergence {
+                        analysis,
+                        time,
+                        iterations: iter,
+                    });
+                }
+            }
+            if converged && iter > 1 {
+                return Ok((x_new, iter));
+            }
+            // Damped update.
+            if max_dv > opts.vlimit {
+                let scale = opts.vlimit / max_dv;
+                for v in 0..self.nvars {
+                    x[v] += (x_new[v] - x[v]) * scale;
+                }
+            } else {
+                x = x_new;
+            }
+        }
+        Err(Error::NonConvergence {
+            analysis,
+            time,
+            iterations: opts.max_iters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(), Waveform::dc(2.0));
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.resistor("R2", b, Circuit::gnd(), 1e3).unwrap();
+        let sys = System::new(&ckt);
+        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let x0 = vec![0.0; sys.nvars];
+        let (x, _) = sys
+            .newton(&x0, 0.0, 1.0, &NewtonOpts::default(), 1e-12, None, &mut stamps, "dc")
+            .unwrap();
+        assert!((sys.voltage(&x, a) - 2.0).abs() < 1e-6);
+        assert!((sys.voltage(&x, b) - 1.0).abs() < 1e-4);
+        // Branch current: 2V across 2k = 1 mA flowing a->gnd inside source
+        // means −1 mA through the source p→n convention.
+        let i = x[sys.branch_var(0)];
+        assert!((i + 1e-3).abs() < 1e-6, "i = {i}");
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", inp, Circuit::gnd(), Waveform::dc(0.25));
+        ckt.vcvs("E1", out, Circuit::gnd(), inp, Circuit::gnd(), 4.0);
+        ckt.resistor("RL", out, Circuit::gnd(), 1e3).unwrap();
+        let sys = System::new(&ckt);
+        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let (x, _) = sys
+            .newton(
+                &vec![0.0; sys.nvars],
+                0.0,
+                1.0,
+                &NewtonOpts::default(),
+                1e-12,
+                None,
+                &mut stamps,
+                "dc",
+            )
+            .unwrap();
+        assert!((sys.voltage(&x, out) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_injects_current() {
+        // V1 = 1 V on ctrl; VCCS gm = 1 mS drives current into load 1k.
+        let mut ckt = Circuit::new();
+        let ctrl = ckt.node("ctrl");
+        let out = ckt.node("out");
+        ckt.vsource("V1", ctrl, Circuit::gnd(), Waveform::dc(1.0));
+        ckt.vccs("G1", Circuit::gnd(), out, ctrl, Circuit::gnd(), 1e-3);
+        ckt.resistor("RL", out, Circuit::gnd(), 1e3).unwrap();
+        let sys = System::new(&ckt);
+        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let (x, _) = sys
+            .newton(
+                &vec![0.0; sys.nvars],
+                0.0,
+                1.0,
+                &NewtonOpts::default(),
+                1e-12,
+                None,
+                &mut stamps,
+                "dc",
+            )
+            .unwrap();
+        // i(gnd→out) = gm·1 V = 1 mA into out's load → v(out) = +1 V.
+        assert!((sys.voltage(&x, out) - 1.0).abs() < 1e-4);
+    }
+}

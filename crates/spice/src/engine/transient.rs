@@ -1,0 +1,498 @@
+//! Transient analysis with adaptive stepping and source breakpoints.
+
+use super::dc::{operating_point, DcOpts};
+use super::{NewtonOpts, System};
+use crate::error::{Error, Result};
+use crate::netlist::{Circuit, Element};
+use crate::nonlinear::{DeviceStamps, EvalCtx};
+use crate::probe::Trace;
+
+/// Time-integration method for charge storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order, L-stable. The robust default for strongly nonlinear
+    /// switching circuits.
+    #[default]
+    BackwardEuler,
+    /// Second-order, A-stable; more accurate on smooth waveforms but can
+    /// ring on hard discontinuities.
+    Trapezoidal,
+}
+
+/// Options for [`transient`].
+#[derive(Debug, Clone)]
+pub struct TranOpts {
+    /// End time (s).
+    pub t_stop: f64,
+    /// Initial step (s).
+    pub dt_init: f64,
+    /// Largest allowed step (s).
+    pub dt_max: f64,
+    /// Smallest allowed step before declaring failure (s).
+    pub dt_min: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Newton parameters.
+    pub newton: NewtonOpts,
+    /// Skip the initial DC operating point and start from the node
+    /// initial conditions declared on the circuit (SPICE `uic`).
+    pub uic: bool,
+    /// Device internal states to record, as `(device_name, state_key)`;
+    /// recorded as signal `"<device>.<key>"`.
+    pub record_states: Vec<(String, String)>,
+}
+
+impl TranOpts {
+    /// Reasonable defaults for a run to `t_stop`: `dt_init = t_stop/1e4`,
+    /// `dt_max = t_stop/200`, backward Euler.
+    #[must_use]
+    pub fn to_time(t_stop: f64) -> Self {
+        Self {
+            t_stop,
+            dt_init: t_stop / 1e4,
+            dt_max: t_stop / 200.0,
+            dt_min: t_stop / 1e12,
+            integrator: Integrator::default(),
+            newton: NewtonOpts::default(),
+            uic: false,
+            record_states: Vec::new(),
+        }
+    }
+}
+
+/// Relative slack when deciding whether a step lands on a breakpoint.
+const BP_SNAP: f64 = 1e-12;
+
+/// Run a transient analysis on `ckt` (mutable: history-dependent devices
+/// advance their internal state as time moves forward).
+///
+/// Recorded signals: `v(<node>)` for every non-ground node, `i(<vsrc>)`
+/// and `e(<vsrc>)` (cumulative energy **delivered by** the source) for
+/// every voltage source, plus any requested device states.
+///
+/// # Errors
+/// * [`Error::NonConvergence`] / [`Error::TimeStepTooSmall`] when Newton
+///   cannot be rescued by step shrinking;
+/// * [`Error::SingularMatrix`] for structurally defective circuits.
+pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
+    // --- Initial solution ------------------------------------------------
+    let mut x: Vec<f64> = if opts.uic {
+        let sysdim = {
+            let sys = System::new(ckt);
+            sys.nvars
+        };
+        let mut x0 = vec![0.0; sysdim];
+        for &(node, v) in ckt.initial_conditions() {
+            if node.index() > 0 {
+                x0[node.index() - 1] = v;
+            }
+        }
+        x0
+    } else {
+        let dc = DcOpts {
+            newton: opts.newton.clone(),
+            time: 0.0,
+        };
+        operating_point(ckt, &dc)?.as_vec().to_vec()
+    };
+
+    // --- Static bookkeeping ----------------------------------------------
+    let vsrc: Vec<(String, usize, crate::netlist::NodeId, crate::netlist::NodeId)> = ckt
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource {
+                name, p, n, branch, ..
+            } => Some((name.clone(), *branch, *p, *n)),
+            _ => None,
+        })
+        .collect();
+    let node_names: Vec<String> = ckt
+        .signal_nodes()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+
+    let mut signal_names: Vec<String> =
+        node_names.iter().map(|n| format!("v({n})")).collect();
+    for (name, ..) in &vsrc {
+        signal_names.push(format!("i({name})"));
+        signal_names.push(format!("e({name})"));
+    }
+    let state_probe: Vec<(usize, String, String)> = opts
+        .record_states
+        .iter()
+        .filter_map(|(dev_name, key)| {
+            ckt.devices()
+                .iter()
+                .position(|d| d.name() == dev_name)
+                .map(|di| (di, dev_name.clone(), key.clone()))
+        })
+        .collect();
+    for (_, dev, key) in &state_probe {
+        signal_names.push(format!("{dev}.{key}"));
+    }
+    let mut trace = Trace::with_signals(signal_names);
+
+    // Breakpoints from every source waveform.
+    let mut bps: Vec<f64> = ckt
+        .elements()
+        .iter()
+        .flat_map(|e| match e {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                wave.breakpoints(opts.t_stop)
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+    bps.push(opts.t_stop);
+    bps.sort_by(f64::total_cmp);
+    bps.dedup_by(|a, b| (*a - *b).abs() < opts.t_stop * BP_SNAP);
+
+    // --- Companion state ---------------------------------------------------
+    let trapezoidal = opts.integrator == Integrator::Trapezoidal;
+    let (mut comp, mut stamps) = {
+        let sys = System::new(ckt);
+        let comp = sys.new_companion(0.0, trapezoidal);
+        let stamps: Vec<DeviceStamps> = ckt
+            .devices()
+            .iter()
+            .map(|d| DeviceStamps::new(d.terminals().len()))
+            .collect();
+        (comp, stamps)
+    };
+    let ctx0 = EvalCtx {
+        temp: opts.newton.temp,
+        gmin: opts.newton.gmin,
+        time: 0.0,
+    };
+    seed_charges(ckt, &x, &ctx0, &mut comp, &mut stamps);
+
+    // Per-source cumulative delivered energy and last power sample.
+    let mut energy = vec![0.0f64; vsrc.len()];
+    let mut power_prev = vec![0.0f64; vsrc.len()];
+    record_point(
+        ckt, &x, 0.0, &vsrc, &mut energy, &mut power_prev, true, &state_probe, &mut trace,
+    );
+
+    // --- Time march --------------------------------------------------------
+    let mut t = 0.0f64;
+    let mut dt = opts.dt_init.min(opts.dt_max);
+    let mut bp_iter = bps.iter().copied().peekable();
+
+    while t < opts.t_stop * (1.0 - BP_SNAP) {
+        // Next breakpoint strictly after t.
+        while let Some(&bp) = bp_iter.peek() {
+            if bp <= t * (1.0 + BP_SNAP) + f64::MIN_POSITIVE {
+                bp_iter.next();
+            } else {
+                break;
+            }
+        }
+        let next_bp = bp_iter.peek().copied().unwrap_or(opts.t_stop);
+
+        let mut dt_eff = dt.min(opts.dt_max).min(opts.t_stop - t);
+        if t + dt_eff >= next_bp - opts.t_stop * BP_SNAP {
+            dt_eff = next_bp - t;
+        }
+
+        let t_new = t + dt_eff;
+        comp.coeff = if trapezoidal { 2.0 / dt_eff } else { 1.0 / dt_eff };
+
+        let attempt = {
+            let sys = System::new(ckt);
+            sys.newton(
+                &x,
+                t_new,
+                1.0,
+                &opts.newton,
+                opts.newton.gmin,
+                Some(&comp),
+                &mut stamps,
+                "transient",
+            )
+        };
+        match attempt {
+            Ok((x_new, iters)) => {
+                // Accept: advance companion state and device history.
+                let ctx = EvalCtx {
+                    temp: opts.newton.temp,
+                    gmin: opts.newton.gmin,
+                    time: t_new,
+                };
+                advance_state(ckt, &x_new, &ctx, &mut comp, &mut stamps);
+                x = x_new;
+                t = t_new;
+                record_point(
+                    ckt, &x, t, &vsrc, &mut energy, &mut power_prev, false, &state_probe,
+                    &mut trace,
+                );
+                if iters <= 10 {
+                    dt = (dt * 1.4).min(opts.dt_max);
+                } else if iters > 25 {
+                    dt *= 0.7;
+                }
+            }
+            Err(Error::SingularMatrix { .. }) if dt_eff <= opts.dt_min * 4.0 => {
+                return Err(Error::SingularMatrix { index: 0 });
+            }
+            Err(_) => {
+                dt = dt_eff * 0.25;
+                if dt < opts.dt_min {
+                    return Err(Error::TimeStepTooSmall { time: t, dt });
+                }
+            }
+        }
+    }
+    Ok(trace)
+}
+
+/// Evaluate charge state at `x` and store it as the companion history
+/// (used once at t = 0; charge currents start at zero).
+fn seed_charges(
+    ckt: &Circuit,
+    x: &[f64],
+    ctx: &EvalCtx,
+    comp: &mut super::Companion,
+    stamps: &mut [DeviceStamps],
+) {
+    let sys = System::new(ckt);
+    let mut cap_pos = 0usize;
+    for elem in ckt.elements() {
+        if let Element::Capacitor { p, n, farads, .. } = elem {
+            comp.cap_q_prev[cap_pos] =
+                farads * (sys.voltage(x, *p) - sys.voltage(x, *n));
+            comp.cap_i_prev[cap_pos] = 0.0;
+            cap_pos += 1;
+        }
+    }
+    for (di, dev) in ckt.devices().iter().enumerate() {
+        let terms = dev.terminals();
+        let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
+        let st = &mut stamps[di];
+        st.clear();
+        dev.eval(&vt, st, ctx);
+        let off = comp.dev_offsets[di];
+        for a in 0..terms.len() {
+            comp.dev_q_prev[off + a] = st.q[a];
+            comp.dev_i_prev[off + a] = 0.0;
+        }
+    }
+}
+
+/// After an accepted step: update charge/current history and let devices
+/// commit internal state (ferroelectric polarisation etc.).
+fn advance_state(
+    ckt: &mut Circuit,
+    x: &[f64],
+    ctx: &EvalCtx,
+    comp: &mut super::Companion,
+    stamps: &mut [DeviceStamps],
+) {
+    let coeff = comp.coeff;
+    let trap = comp.trapezoidal;
+    {
+        let sys = System::new(ckt);
+        let mut cap_pos = 0usize;
+        for elem in ckt.elements() {
+            if let Element::Capacitor { p, n, farads, .. } = elem {
+                let q_new = farads * (sys.voltage(x, *p) - sys.voltage(x, *n));
+                let mut i_new = coeff * (q_new - comp.cap_q_prev[cap_pos]);
+                if trap {
+                    i_new -= comp.cap_i_prev[cap_pos];
+                }
+                comp.cap_q_prev[cap_pos] = q_new;
+                comp.cap_i_prev[cap_pos] = i_new;
+                cap_pos += 1;
+            }
+        }
+        for (di, dev) in ckt.devices().iter().enumerate() {
+            let terms = dev.terminals();
+            let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
+            let st = &mut stamps[di];
+            st.clear();
+            dev.eval(&vt, st, ctx);
+            let off = comp.dev_offsets[di];
+            for a in 0..terms.len() {
+                let q_new = st.q[a];
+                let mut i_new = coeff * (q_new - comp.dev_q_prev[off + a]);
+                if trap {
+                    i_new -= comp.dev_i_prev[off + a];
+                }
+                comp.dev_q_prev[off + a] = q_new;
+                comp.dev_i_prev[off + a] = i_new;
+            }
+        }
+    }
+    // Device state commit needs &mut: gather terminal voltages first.
+    let volt_sets: Vec<Vec<f64>> = {
+        let sys = System::new(ckt);
+        ckt.devices()
+            .iter()
+            .map(|d| d.terminals().iter().map(|&nd| sys.voltage(x, nd)).collect())
+            .collect()
+    };
+    for (dev, vt) in ckt.devices_mut().iter_mut().zip(&volt_sets) {
+        dev.commit(vt, ctx);
+    }
+}
+
+/// Append one record to the trace, integrating per-source energy.
+#[allow(clippy::too_many_arguments)]
+fn record_point(
+    ckt: &Circuit,
+    x: &[f64],
+    t: f64,
+    vsrc: &[(String, usize, crate::netlist::NodeId, crate::netlist::NodeId)],
+    energy: &mut [f64],
+    power_prev: &mut [f64],
+    first: bool,
+    state_probe: &[(usize, String, String)],
+    trace: &mut Trace,
+) {
+    let sys = System::new(ckt);
+    let mut row: Vec<f64> = Vec::with_capacity(sys.nvars + vsrc.len() + state_probe.len());
+    for v in 0..sys.num_nodes - 1 {
+        row.push(x[v]);
+    }
+    let dt = if first || trace.is_empty() {
+        0.0
+    } else {
+        t - *trace.time().last().expect("non-empty trace")
+    };
+    for (k, (_, branch, p, n)) in vsrc.iter().enumerate() {
+        let i = x[sys.branch_var(*branch)];
+        let v = sys.voltage(x, *p) - sys.voltage(x, *n);
+        // i flows p→n *through* the source, so power delivered = −v·i.
+        let p_del = -v * i;
+        if !first {
+            energy[k] += 0.5 * (p_del + power_prev[k]) * dt;
+        }
+        power_prev[k] = p_del;
+        row.push(i);
+        row.push(energy[k]);
+    }
+    for (di, _, key) in state_probe {
+        row.push(ckt.devices()[*di].state(key).unwrap_or(0.0));
+    }
+    trace.push(t, &row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::probe::Edge;
+    use crate::waveform::Waveform;
+
+    /// RC charging: v(t) = V·(1 − e^(−t/RC)).
+    #[test]
+    fn rc_step_response_backward_euler() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let r = 1e3;
+        let c = 1e-9; // tau = 1 us
+        ckt.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            Waveform::pulse(0.0, 1.0, 1e-7, 1e-9, 1e-9, 1.0),
+        );
+        ckt.resistor("R1", a, b, r).unwrap();
+        ckt.capacitor("C1", b, Circuit::gnd(), c).unwrap();
+        let mut opts = TranOpts::to_time(5e-6);
+        opts.dt_max = 5e-9;
+        let tr = transient(&mut ckt, &opts).unwrap();
+        // After 1 tau (t = delay + 1us): v = 1 − 1/e ≈ 0.632.
+        let v = tr.value_at("v(b)", 1e-7 + 1e-6).unwrap();
+        assert!((v - 0.6321).abs() < 0.01, "v = {v}");
+        // After 5 tau: fully charged.
+        let v5 = tr.value_at("v(b)", 1e-7 + 4.8e-6).unwrap();
+        assert!(v5 > 0.99, "v5 = {v5}");
+    }
+
+    #[test]
+    fn rc_trapezoidal_matches_analytic_closely() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0),
+        );
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.capacitor("C1", b, Circuit::gnd(), 1e-9).unwrap();
+        let mut opts = TranOpts::to_time(3e-6);
+        opts.integrator = Integrator::Trapezoidal;
+        opts.dt_max = 10e-9;
+        let tr = transient(&mut ckt, &opts).unwrap();
+        for frac in [0.5, 1.0, 2.0] {
+            let t = frac * 1e-6;
+            let v = tr.value_at("v(b)", t).unwrap();
+            let expect = 1.0 - (-frac).exp();
+            assert!((v - expect).abs() < 5e-3, "t={t}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn source_energy_matches_cv2_for_full_charge() {
+        // Charging C through R from an ideal source costs E = C·V² total
+        // from the source (half stored, half burned in R).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0),
+        );
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.capacitor("C1", b, Circuit::gnd(), 1e-12).unwrap();
+        let mut opts = TranOpts::to_time(20e-9); // 20 tau
+        opts.dt_max = 2e-11;
+        let tr = transient(&mut ckt, &opts).unwrap();
+        let e = tr.source_energy("V1").unwrap();
+        let cv2 = 1e-12 * 1.0 * 1.0;
+        assert!((e - cv2).abs() < 0.05 * cv2, "E = {e}, CV² = {cv2}");
+    }
+
+    #[test]
+    fn uic_starts_from_initial_conditions() {
+        // Precharged cap discharging through R.
+        let mut ckt = Circuit::new();
+        let b = ckt.node("b");
+        ckt.resistor("R1", b, Circuit::gnd(), 1e3).unwrap();
+        ckt.capacitor("C1", b, Circuit::gnd(), 1e-9).unwrap();
+        ckt.initial_condition(b, 1.0);
+        let mut opts = TranOpts::to_time(3e-6);
+        opts.uic = true;
+        opts.dt_max = 10e-9;
+        let tr = transient(&mut ckt, &opts).unwrap();
+        let v0 = tr.value_at("v(b)", 0.0).unwrap();
+        assert!((v0 - 1.0).abs() < 1e-9);
+        let v1 = tr.value_at("v(b)", 1e-6).unwrap();
+        assert!((v1 - (-1.0f64).exp()).abs() < 0.01, "v(tau) = {v1}");
+    }
+
+    #[test]
+    fn pulse_edge_timing_via_cross() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.2e-9, 0.2e-9, 1e-9),
+        );
+        ckt.resistor("R1", a, Circuit::gnd(), 1e3).unwrap();
+        let tr = transient(&mut ckt, &TranOpts::to_time(4e-9)).unwrap();
+        let t_rise = tr.cross("v(a)", 0.5, Edge::Rising, 1).unwrap().unwrap();
+        assert!((t_rise - 1.1e-9).abs() < 0.05e-9, "t_rise = {t_rise}");
+        let t_fall = tr.cross("v(a)", 0.5, Edge::Falling, 1).unwrap().unwrap();
+        assert!((t_fall - 2.3e-9).abs() < 0.05e-9, "t_fall = {t_fall}");
+    }
+}

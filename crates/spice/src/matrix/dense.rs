@@ -1,0 +1,268 @@
+//! Dense matrix with LU factorisation (partial pivoting).
+//!
+//! Used as the reference solver for property tests and for very small
+//! systems; the production path is [`crate::matrix::sparse`].
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A row-major dense square-capable matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, " {:10.3e}", self[(r, c)])?;
+            }
+            writeln!(f, " ]")?;
+        }
+        Ok(())
+    }
+}
+
+impl DenseMatrix {
+    /// Create a zero-filled `rows × cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice; all rows must share a length.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reset every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Add `v` to entry `(r, c)`.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self[(r, c)] += v;
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// LU-factorise (in a copy) and solve `self * x = b`.
+    ///
+    /// # Errors
+    /// Returns [`Error::SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let lu = DenseLu::factor(self)?;
+        Ok(lu.solve(b))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// LU factorisation with partial pivoting of a square [`DenseMatrix`].
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+}
+
+/// Pivots smaller than this (relative to the column maximum scale) are
+/// treated as structurally singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl DenseLu {
+    /// Factor `a` as `P·a = L·U`.
+    ///
+    /// # Errors
+    /// Returns [`Error::SingularMatrix`] on a vanishing pivot.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &DenseMatrix) -> Result<Self> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let (piv_row, piv_val) = (k..n)
+                .map(|r| (r, lu[(r, k)].abs()))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty pivot range");
+            if piv_val < PIVOT_EPS {
+                return Err(Error::SingularMatrix { index: k });
+            }
+            if piv_row != k {
+                perm.swap(k, piv_row);
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(piv_row, c)];
+                    lu[(piv_row, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for r in k + 1..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor != 0.0 {
+                    for c in k + 1..n {
+                        let u = lu[(k, c)];
+                        lu[(r, c)] -= factor * u;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, perm })
+    }
+
+    /// Solve `a * x = b` using the stored factors.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factored dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n);
+        // Apply permutation, forward-substitute L (unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut s = x[r];
+            for c in 0..r {
+                s -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = s;
+        }
+        // Back-substitute U.
+        for r in (0..n).rev() {
+            let mut s = x[r];
+            for c in r + 1..n {
+                s -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = s / self.lu[(r, r)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        // 2x + y = 5 ; x + 3y + z = 10 ; y + 2z = 7  => x=1.625, y=1.75, z=2.625
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 2.0],
+        ]);
+        let x = a.solve(&[5.0, 10.0, 7.0]).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip([5.0, 10.0, 7.0]) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero requires a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(Error::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

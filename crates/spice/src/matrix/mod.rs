@@ -1,0 +1,11 @@
+//! Linear-algebra kernels for modified nodal analysis.
+//!
+//! Two solver paths exist: a dense LU ([`dense::DenseMatrix`]) used as a
+//! reference and for tiny systems, and the production sparse LU
+//! ([`sparse::SparseLu`]) for array-scale circuits.
+
+pub mod dense;
+pub mod sparse;
+
+pub use dense::{DenseLu, DenseMatrix};
+pub use sparse::{solve_triplets, CscMatrix, SparseLu, Triplets};

@@ -1,0 +1,169 @@
+//! Interface implemented by nonlinear, possibly state-holding devices
+//! (MOSFETs, FeFETs, diodes).
+//!
+//! The engine linearises each device at every Newton iteration from the
+//! currents/charges and their Jacobians reported through [`DeviceStamps`].
+//! Charge storage uses the charge formulation (`Q(v)` rather than `C`),
+//! which is what lets the ferroelectric hysteresis integrate correctly.
+
+use crate::netlist::NodeId;
+use std::fmt;
+
+/// Evaluation context shared by all devices.
+#[derive(Debug, Clone)]
+pub struct EvalCtx {
+    /// Simulation temperature in kelvin.
+    pub temp: f64,
+    /// Extra conductance from ground to every node (gmin stepping).
+    pub gmin: f64,
+    /// Current simulation time (0 for DC).
+    pub time: f64,
+}
+
+impl Default for EvalCtx {
+    fn default() -> Self {
+        Self {
+            temp: crate::units::TEMP_NOMINAL,
+            gmin: 1e-12,
+            time: 0.0,
+        }
+    }
+}
+
+/// Output buffers a device fills during [`NonlinearDevice::eval`].
+///
+/// All quantities use the *into-device* sign convention: `i[t]` is the
+/// static current flowing from node `terminals()[t]` into the device and
+/// `q[t]` the charge stored on that terminal.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStamps {
+    /// Static terminal currents (A), length `T`.
+    pub i: Vec<f64>,
+    /// Terminal charges (C), length `T`.
+    pub q: Vec<f64>,
+    /// `di[t]/dv[u]` row-major `T × T` (S).
+    pub gi: Vec<f64>,
+    /// `dq[t]/dv[u]` row-major `T × T` (F).
+    pub cq: Vec<f64>,
+}
+
+impl DeviceStamps {
+    /// Allocate buffers for a `t`-terminal device.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        Self {
+            i: vec![0.0; t],
+            q: vec![0.0; t],
+            gi: vec![0.0; t * t],
+            cq: vec![0.0; t * t],
+        }
+    }
+
+    /// Zero all buffers (engine calls this before each `eval`).
+    pub fn clear(&mut self) {
+        self.i.fill(0.0);
+        self.q.fill(0.0);
+        self.gi.fill(0.0);
+        self.cq.fill(0.0);
+    }
+
+    /// Number of terminals these buffers were sized for.
+    #[must_use]
+    pub fn terminals(&self) -> usize {
+        self.i.len()
+    }
+
+    /// Accumulate a conductance `g` between terminal indices `a` and `b`
+    /// plus the current `i` it carries from `a` to `b` (helper for
+    /// two-terminal branches inside multi-terminal devices).
+    pub fn add_branch_current(&mut self, a: usize, b: usize, i: f64, g: f64) {
+        let t = self.terminals();
+        self.i[a] += i;
+        self.i[b] -= i;
+        self.gi[a * t + a] += g;
+        self.gi[a * t + b] -= g;
+        self.gi[b * t + a] -= g;
+        self.gi[b * t + b] += g;
+    }
+
+    /// Accumulate a charge branch: charge `q` stored from `a` to `b` with
+    /// incremental capacitance `c`.
+    pub fn add_branch_charge(&mut self, a: usize, b: usize, q: f64, c: f64) {
+        let t = self.terminals();
+        self.q[a] += q;
+        self.q[b] -= q;
+        self.cq[a * t + a] += c;
+        self.cq[a * t + b] -= c;
+        self.cq[b * t + a] -= c;
+        self.cq[b * t + b] += c;
+    }
+}
+
+/// A nonlinear device living in a [`crate::netlist::Circuit`].
+///
+/// Implementations evaluate currents/charges as pure functions of the
+/// terminal voltages; history-dependent devices (ferroelectrics) keep
+/// internal state which is only advanced in [`NonlinearDevice::commit`],
+/// called once per *accepted* time step.
+pub trait NonlinearDevice: fmt::Debug + Send {
+    /// Instance name (unique within a circuit by convention).
+    fn name(&self) -> &str;
+
+    /// Terminal nodes, in the device's canonical order.
+    fn terminals(&self) -> &[NodeId];
+
+    /// Evaluate currents, charges and Jacobians at terminal voltages `v`
+    /// (same order as [`Self::terminals`]). Buffers arrive zeroed.
+    fn eval(&self, v: &[f64], out: &mut DeviceStamps, ctx: &EvalCtx);
+
+    /// Accept the state at the end of a converged time step. Default: no-op.
+    fn commit(&mut self, v: &[f64], ctx: &EvalCtx) {
+        let _ = (v, ctx);
+    }
+
+    /// Expose a named internal state (e.g. `"polarization"`) for probing.
+    fn state(&self, key: &str) -> Option<f64> {
+        let _ = key;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_current_is_antisymmetric() {
+        let mut s = DeviceStamps::new(3);
+        s.add_branch_current(0, 2, 1e-3, 1e-4);
+        assert_eq!(s.i[0], 1e-3);
+        assert_eq!(s.i[2], -1e-3);
+        assert_eq!(s.i[1], 0.0);
+        assert_eq!(s.gi[0], 1e-4);
+        assert_eq!(s.gi[2], -1e-4);
+        assert_eq!(s.gi[2 * 3 + 2], 1e-4);
+        // Row sums zero (floating device: no net current creation).
+        let i_sum: f64 = s.i.iter().sum();
+        assert!(i_sum.abs() < 1e-18);
+    }
+
+    #[test]
+    fn branch_charge_mirrors_current_layout() {
+        let mut s = DeviceStamps::new(2);
+        s.add_branch_charge(0, 1, 2e-15, 1e-15);
+        assert_eq!(s.q[0], 2e-15);
+        assert_eq!(s.q[1], -2e-15);
+        assert_eq!(s.cq[0], 1e-15);
+        assert_eq!(s.cq[3], 1e-15);
+        assert_eq!(s.cq[1], -1e-15);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = DeviceStamps::new(2);
+        s.add_branch_current(0, 1, 1.0, 1.0);
+        s.add_branch_charge(0, 1, 1.0, 1.0);
+        s.clear();
+        assert!(s.i.iter().chain(&s.q).chain(&s.gi).chain(&s.cq).all(|&x| x == 0.0));
+    }
+}

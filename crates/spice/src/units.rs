@@ -1,0 +1,93 @@
+//! Physical constants and SI-prefix helpers.
+//!
+//! All quantities in this workspace are plain SI `f64` values (volts, amps,
+//! seconds, farads, ohms, metres). These helpers exist so netlists and
+//! device cards read like their SPICE counterparts:
+//!
+//! ```
+//! use ferrotcam_spice::units::{femto, nano, pico};
+//! let c_ml = femto(2.5);   // 2.5 fF
+//! let t_stop = nano(3.0);  // 3 ns
+//! let dt = pico(1.0);      // 1 ps
+//! assert!(c_ml < dt); // both are just f64 seconds/farads
+//! ```
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+/// Elementary charge (C).
+pub const Q_ELECTRON: f64 = 1.602_176_634e-19;
+/// Vacuum permittivity (F/m).
+pub const EPS0: f64 = 8.854_187_8128e-12;
+/// Relative permittivity of SiO2.
+pub const EPS_SIO2: f64 = 3.9;
+/// Relative permittivity of ferroelectric HfO2 (doped HfZrO, typical).
+pub const EPS_FE_HFO2: f64 = 30.0;
+/// Default simulation temperature (K) — 300 K ≈ 27 °C.
+pub const TEMP_NOMINAL: f64 = 300.0;
+
+/// Thermal voltage kT/q at temperature `t_kelvin` (volts).
+///
+/// ```
+/// let ut = ferrotcam_spice::units::thermal_voltage(300.0);
+/// assert!((ut - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(t_kelvin: f64) -> f64 {
+    BOLTZMANN * t_kelvin / Q_ELECTRON
+}
+
+macro_rules! prefix_fn {
+    ($(#[$doc:meta] $name:ident => $scale:expr;)*) => {
+        $(
+            #[$doc]
+            #[must_use]
+            pub fn $name(x: f64) -> f64 { x * $scale }
+        )*
+    };
+}
+
+prefix_fn! {
+    /// Multiply by 1e-18 (atto).
+    atto => 1e-18;
+    /// Multiply by 1e-15 (femto).
+    femto => 1e-15;
+    /// Multiply by 1e-12 (pico).
+    pico => 1e-12;
+    /// Multiply by 1e-9 (nano).
+    nano => 1e-9;
+    /// Multiply by 1e-6 (micro).
+    micro => 1e-6;
+    /// Multiply by 1e-3 (milli).
+    milli => 1e-3;
+    /// Multiply by 1e3 (kilo).
+    kilo => 1e3;
+    /// Multiply by 1e6 (mega).
+    mega => 1e6;
+    /// Multiply by 1e9 (giga).
+    giga => 1e9;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_scale() {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs();
+        assert!(close(femto(1.0), 1e-15));
+        assert!(close(pico(2.0), 2e-12));
+        assert!(close(nano(3.0), 3e-9));
+        assert!(close(micro(4.0), 4e-6));
+        assert!(close(milli(5.0), 5e-3));
+        assert!(close(kilo(6.0), 6e3));
+        assert!(close(mega(7.0), 7e6));
+        assert!(close(giga(8.0), 8e9));
+        assert!(close(atto(9.0), 9e-18));
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temp() {
+        let ut = thermal_voltage(TEMP_NOMINAL);
+        assert!(ut > 0.0258 && ut < 0.0259, "ut = {ut}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: the sparse LU must agree with the dense reference on
+//! arbitrary diagonally-dominant systems, and transient energy must be
+//! conserved on RC networks.
+
+use ferrotcam_spice::matrix::dense::DenseMatrix;
+use ferrotcam_spice::matrix::sparse::{solve_triplets, Triplets};
+use ferrotcam_spice::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random diagonally dominant system of dimension 3..=24
+/// with random off-diagonal fill.
+fn dd_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
+    (3usize..=24).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0..n, 0..n, -1.0f64..1.0),
+            0..4 * n,
+        );
+        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+        (Just(n), entries, rhs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_matches_dense((n, entries, rhs) in dd_system()) {
+        let mut t = Triplets::new(n);
+        let mut d = DenseMatrix::zeros(n, n);
+        for &(r, c, v) in &entries {
+            t.add(r, c, v);
+            d.add(r, c, v);
+        }
+        // Make it safely non-singular.
+        for i in 0..n {
+            t.add(i, i, 8.0);
+            d.add(i, i, 8.0);
+        }
+        let xs = solve_triplets(&t, &rhs).expect("sparse solve");
+        let xd = d.solve(&rhs).expect("dense solve");
+        for (a, b) in xs.iter().zip(&xd) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // Residual check against the assembled operator.
+        let y = t.to_csc().mul_vec(&xs);
+        for (yi, bi) in y.iter().zip(&rhs) {
+            prop_assert!((yi - bi).abs() < 1e-8 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn rc_divider_dc_matches_analytic(
+        r1 in 100.0f64..1e6,
+        r2 in 100.0f64..1e6,
+        v in 0.1f64..5.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(), Waveform::dc(v));
+        ckt.resistor("R1", a, b, r1).expect("r1");
+        ckt.resistor("R2", b, Circuit::gnd(), r2).expect("r2");
+        let sol = operating_point(&ckt, &DcOpts::default()).expect("op");
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((sol.voltage(b) - expect).abs() < 1e-3 * v.max(1.0),
+            "{} vs {expect}", sol.voltage(b));
+    }
+
+    #[test]
+    fn source_energy_nonnegative_for_passive_loads(
+        c in 1e-16f64..1e-12,
+        r in 100.0f64..1e5,
+        v in 0.1f64..2.0,
+    ) {
+        // A source driving an RC network can only deliver energy.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(),
+            Waveform::pulse(0.0, v, 0.0, 1e-12, 1e-12, 1.0));
+        ckt.resistor("R1", a, b, r).expect("r");
+        ckt.capacitor("C1", b, Circuit::gnd(), c).expect("c");
+        let tau = r * c;
+        let mut opts = TranOpts::to_time(5.0 * tau);
+        opts.dt_max = tau / 20.0;
+        let tr = transient(&mut ckt, &opts).expect("tran");
+        let e = tr.source_energy("V1").expect("energy");
+        prop_assert!(e >= -1e-20, "negative delivered energy {e}");
+        // And it approaches CV² (half stored, half dissipated).
+        let cv2 = c * v * v;
+        prop_assert!((e - cv2).abs() < 0.12 * cv2, "E {e} vs CV² {cv2}");
+    }
+}

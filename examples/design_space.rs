@@ -1,0 +1,82 @@
+//! Design-space exploration across the four FeFET TCAM designs: given a
+//! capacity and word-length requirement, compare area (cells + HV
+//! drivers), search latency, search energy and write energy, and pick a
+//! winner per optimisation target — a downstream-user view over the
+//! paper's Table IV / Fig. 7 machinery.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use ferrotcam::fom::{characterize_search, characterize_write};
+use ferrotcam::DesignKind;
+use ferrotcam_arch::driver::{DriverPlan, SubarrayDims};
+use ferrotcam_eval::{layout, parasitics::row_parasitics, tech::tech_14nm};
+
+struct Candidate {
+    design: DesignKind,
+    area_mm2: f64,
+    latency_ps: f64,
+    search_fj_per_cell: f64,
+    write_fj_per_cell: f64,
+}
+
+fn main() -> ferrotcam::Result<()> {
+    // Requirement: 8K entries × 32-bit words (a small router block).
+    let dims = SubarrayDims { rows: 64, cols: 32 };
+    let subarrays = 128; // 8192 entries
+    let tech = tech_14nm();
+
+    println!("target: 8K x 32b TCAM block on 14 nm\n");
+    let mut cands = Vec::new();
+    for design in DesignKind::FEFET_DESIGNS {
+        let m = characterize_search(design, dims.cols, row_parasitics(design, &tech))?;
+        let w = characterize_write(design, 1e-18)?;
+        // DG designs share HV drivers (write V == select V); SG cannot.
+        let shared = design.is_dg();
+        let v_drive = if design.is_dg() { 2.0 } else { 4.0 };
+        let plan = DriverPlan::new(dims, subarrays, shared, v_drive);
+        let cell_area =
+            layout::array_core_area(design, dims.rows, dims.cols, &tech) * subarrays as f64;
+        let area = cell_area + plan.total_area();
+        cands.push(Candidate {
+            design,
+            area_mm2: area * 1e6,
+            latency_ps: m.latency() * 1e12,
+            search_fj_per_cell: m.energy_avg_per_cell(0.9) * 1e15,
+            write_fj_per_cell: w.energy_avg() * 1e15,
+        });
+    }
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>13}",
+        "design", "area mm^2", "latency ps", "search fJ/bit", "write fJ/bit"
+    );
+    for c in &cands {
+        println!(
+            "{:<12} {:>10.4} {:>12.0} {:>14.3} {:>13.3}",
+            c.design.name(),
+            c.area_mm2,
+            c.latency_ps,
+            c.search_fj_per_cell,
+            c.write_fj_per_cell
+        );
+    }
+
+    let by = |f: fn(&Candidate) -> f64| {
+        cands
+            .iter()
+            .min_by(|a, b| f(a).total_cmp(&f(b)))
+            .expect("non-empty")
+            .design
+            .name()
+    };
+    println!("\nbest area   : {}", by(|c| c.area_mm2));
+    println!("best latency: {}", by(|c| c.latency_ps));
+    println!("best search : {}", by(|c| c.search_fj_per_cell));
+    println!("best write  : {}", by(|c| c.write_fj_per_cell));
+    println!(
+        "\nThe paper's conclusion in one line: if writes/endurance matter \
+         (2 V, shared drivers) pick 1.5T1DG-Fe; for raw search speed and \
+         energy at mature SG technology pick 1.5T1SG-Fe."
+    );
+    Ok(())
+}

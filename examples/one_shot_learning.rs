@@ -1,0 +1,86 @@
+//! One-shot learning with a ternary CAM (the Ni et al. [5] workload the
+//! paper cites): enrol one noisy prototype per class, then classify
+//! noisy queries by nearest Hamming match, with per-feature `X` masking
+//! for unreliable dimensions.
+//!
+//! Run with: `cargo run --release --example one_shot_learning`
+
+use ferrotcam::{Ternary, TernaryWord};
+use ferrotcam_arch::apps::HammingClassifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 64;
+const CLASSES: usize = 8;
+const NOISE: f64 = 0.08; // bit-flip probability
+const MASK: f64 = 0.05; // unreliable-feature probability
+
+fn random_pattern(rng: &mut StdRng) -> Vec<bool> {
+    (0..DIM).map(|_| rng.random_bool(0.5)).collect()
+}
+
+fn noisy(rng: &mut StdRng, base: &[bool], p: f64) -> Vec<bool> {
+    base.iter()
+        .map(|&b| if rng.random_bool(p) { !b } else { b })
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Ground-truth class centroids.
+    let centroids: Vec<Vec<bool>> = (0..CLASSES).map(|_| random_pattern(&mut rng)).collect();
+
+    // One-shot enrolment: a single noisy example per class, with a few
+    // dimensions masked out as 'X' (unreliable sensors).
+    let mut clf = HammingClassifier::new(DIM);
+    for (label, c) in centroids.iter().enumerate() {
+        let sample = noisy(&mut rng, c, NOISE);
+        let proto: TernaryWord = sample
+            .iter()
+            .map(|&b| {
+                if rng.random_bool(MASK) {
+                    Ternary::X
+                } else if b {
+                    Ternary::One
+                } else {
+                    Ternary::Zero
+                }
+            })
+            .collect();
+        clf.enroll(proto, label as u32);
+    }
+    println!("enrolled {CLASSES} classes, {DIM}-bit prototypes, one shot each");
+
+    // Classify held-out noisy samples.
+    let mut correct = 0;
+    let mut distances = Vec::new();
+    const TRIALS: usize = 400;
+    for _ in 0..TRIALS {
+        let label = rng.random_range(0..CLASSES);
+        let query = noisy(&mut rng, &centroids[label], NOISE);
+        let hit = clf.classify_nearest(&query).expect("non-empty classifier");
+        if hit.label == label as u32 {
+            correct += 1;
+        }
+        distances.push(hit.distance);
+    }
+    let accuracy = correct as f64 / TRIALS as f64;
+    let mean_dist = distances.iter().sum::<usize>() as f64 / distances.len() as f64;
+    println!("accuracy: {:.1}% ({correct}/{TRIALS})", accuracy * 100.0);
+    println!("mean best-match Hamming distance: {mean_dist:.1} of {DIM} bits");
+
+    // Random 64-bit patterns sit ~32 bits apart; same-class noisy pairs
+    // ~2·noise·64 ≈ 10. One-shot TCAM classification must exploit that gap.
+    assert!(accuracy > 0.95, "one-shot accuracy collapsed: {accuracy}");
+    assert!(mean_dist < 16.0);
+
+    // Threshold search: all classes within distance 16 of a query.
+    let query = noisy(&mut rng, &centroids[0], NOISE);
+    let near = clf.within(&query, 16);
+    println!(
+        "classes within 16 bits of a class-0 query: {:?}",
+        near.iter().map(|c| (c.label, c.distance)).collect::<Vec<_>>()
+    );
+    assert_eq!(near.first().expect("at least class 0").label, 0);
+}

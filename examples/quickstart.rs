@@ -1,0 +1,61 @@
+//! Quickstart: store ternary words in a TCAM, search it functionally,
+//! then run the same search as a full circuit-level transient of the
+//! paper's 1.5T1DG-Fe design and watch the two results agree.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, BehavioralTcam, TernaryWord};
+
+fn main() -> ferrotcam::Result<()> {
+    // --- Functional view -------------------------------------------------
+    let mut tcam = BehavioralTcam::new(8);
+    tcam.store("10110010".parse().expect("valid"));
+    tcam.store("101100XX".parse().expect("valid")); // wildcarded tail
+    tcam.store("01010101".parse().expect("valid"));
+
+    let query = [true, false, true, true, false, false, true, true]; // 10110011
+    let outcome = tcam.search(&query);
+    println!("functional search for 10110011:");
+    println!("  matches: {:?} (row 1 matches through its Xs)", outcome.matches);
+    println!("  step-1 miss rate: {:.2}", outcome.step1_miss_rate());
+
+    // --- Circuit view -----------------------------------------------------
+    // Build row 1 as a real 1.5T1DG-Fe word: one DG-FeFET per cell, the
+    // two-step search with early termination, SPICE-level transient.
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let stored: TernaryWord = "101100XX".parse().expect("valid");
+    let mut sim = build_search_row(
+        &params,
+        &stored,
+        &query,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        true, // run both steps (no step-1 miss expected)
+    )?;
+    let run = sim.run()?;
+    println!("\ncircuit-level search of row 1 ({} cells):", stored.len());
+    println!("  ML final voltage : {:.3} V", run.ml_final()?);
+    println!("  SA verdict       : {}", if run.matched()? { "match" } else { "miss" });
+    println!("  energy drawn     : {:.3} fJ", run.total_energy() * 1e15);
+    assert!(run.matched()?, "circuit must agree with the functional model");
+
+    // And a mismatching row for contrast (row 2).
+    let stored2: TernaryWord = "01010101".parse().expect("valid");
+    let mut sim2 = build_search_row(
+        &params,
+        &stored2,
+        &query,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        false, // early termination: step 2 suppressed after the step-1 miss
+    )?;
+    let run2 = sim2.run()?;
+    let latency = run2.latency()?.expect("mismatch fires the SA");
+    println!("\nrow 2 (mismatch, early-terminated):");
+    println!("  SA verdict       : {}", if run2.matched()? { "match" } else { "miss" });
+    println!("  search latency   : {:.0} ps", latency * 1e12);
+    println!("  energy drawn     : {:.3} fJ (step 2 never ran)", run2.total_energy() * 1e15);
+    assert!(!run2.matched()?);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Workspace root crate: re-exports the ferroTCAM stack for the examples
+//! and integration tests. Library users should depend on the individual
+//! crates (`ferrotcam`, `ferrotcam-device`, ...) directly.
+
+pub use ferrotcam as core;
+pub use ferrotcam_arch as arch;
+pub use ferrotcam_device as device;
+pub use ferrotcam_eval as eval;
+pub use ferrotcam_spice as spice;

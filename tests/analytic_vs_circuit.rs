@@ -1,0 +1,59 @@
+//! Integration: the Eva-CAM-style analytical estimator versus the
+//! circuit-level measurements. Analytical DSE is only useful if its
+//! numbers land within a small factor of the SPICE answer and never
+//! invert an ordering — the contract tested here.
+
+use ferrotcam::fom::characterize_search;
+use ferrotcam::DesignKind;
+use ferrotcam_eval::analytic::analytic_search;
+use ferrotcam_eval::parasitics::row_parasitics;
+use ferrotcam_eval::tech::tech_14nm;
+
+const N: usize = 16;
+
+#[test]
+fn analytic_latency_within_a_factor_of_three() {
+    let tech = tech_14nm();
+    for kind in DesignKind::FEFET_DESIGNS {
+        let a = analytic_search(kind, N, &tech);
+        let m = characterize_search(kind, N, row_parasitics(kind, &tech)).unwrap();
+        let ratio = a.latency_1step / m.latency_1step;
+        assert!(
+            (1.0 / 3.0..=3.0).contains(&ratio),
+            "{kind}: analytic {:.3e} vs measured {:.3e} (x{ratio:.2})",
+            a.latency_1step,
+            m.latency_1step
+        );
+    }
+}
+
+#[test]
+fn analytic_energy_within_a_factor_of_three() {
+    let tech = tech_14nm();
+    for kind in DesignKind::FEFET_DESIGNS {
+        let a = analytic_search(kind, N, &tech);
+        let m = characterize_search(kind, N, row_parasitics(kind, &tech)).unwrap();
+        let measured = m.energy_avg_per_cell(0.9);
+        let ratio = a.energy_per_cell / measured;
+        assert!(
+            (1.0 / 3.0..=3.0).contains(&ratio),
+            "{kind}: analytic {:.3e} vs measured {:.3e} (x{ratio:.2})",
+            a.energy_per_cell,
+            measured
+        );
+    }
+}
+
+#[test]
+fn analytic_preserves_the_robust_orderings() {
+    // Within each device class, and the headline 1.5T-beats-2FeFET
+    // crossover at 64-bit words (the N=16 cross-class gap is under
+    // 50 ps in circuit simulation — too tight to demand of a
+    // closed-form model).
+    let tech = tech_14nm();
+    let lat = |k, n| analytic_search(k, n, &tech).latency_1step;
+    assert!(lat(DesignKind::T15Sg, N) < lat(DesignKind::T15Dg, N));
+    assert!(lat(DesignKind::Sg2, N) < lat(DesignKind::Dg2, N));
+    assert!(lat(DesignKind::T15Sg, 64) < lat(DesignKind::Sg2, 64));
+    assert!(lat(DesignKind::T15Dg, 64) < lat(DesignKind::Dg2, 64));
+}

@@ -1,0 +1,59 @@
+//! Integration: back-to-back searches. In steady state each search
+//! cycle must cost about the same energy as the single-search
+//! experiment — validating that the per-search accounting used by the
+//! Table IV harness (single run with counted precharge) is the right
+//! steady-state figure. Also checks the ML recovers between searches.
+
+use ferrotcam::array::build_burst_search;
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, TernaryWord};
+
+#[test]
+fn steady_state_energy_matches_single_search() {
+    let params = DesignParams::preset(DesignKind::Sg2);
+    let stored: TernaryWord = "1000".parse().unwrap();
+    let query = [false; 4];
+    let timing = SearchTiming::default();
+    let par = RowParasitics::default();
+
+    let single = build_search_row(&params, &stored, &query, timing, par, false)
+        .unwrap()
+        .run()
+        .unwrap()
+        .total_energy();
+
+    const CYCLES: usize = 3;
+    let burst = build_burst_search(&params, &stored, &query, timing, par, CYCLES)
+        .unwrap()
+        .run()
+        .unwrap();
+    let per_cycle = burst.total_energy() / CYCLES as f64;
+    let ratio = per_cycle / single;
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "per-cycle {per_cycle:.3e} vs single {single:.3e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn ml_recovers_every_cycle() {
+    let params = DesignParams::preset(DesignKind::Cmos16t);
+    let stored: TernaryWord = "10".parse().unwrap();
+    let query = [false, false]; // mismatch: ML discharges each cycle
+    let timing = SearchTiming::default();
+    let run = build_burst_search(&params, &stored, &query, timing, RowParasitics::default(), 3)
+        .unwrap()
+        .run()
+        .unwrap();
+    let period = timing.t_stop(false);
+    for k in 0..3 {
+        // Just after each precharge phase the ML must be high again...
+        let t_charged = k as f64 * period + timing.t_precharge * 0.95;
+        let v = run.trace.value_at("v(ml)", t_charged).unwrap();
+        assert!(v > 0.7, "cycle {k}: ML not precharged ({v:.2} V)");
+        // ...and discharged again by the end of the evaluate window.
+        let t_end = k as f64 * period + timing.step1_end();
+        let v_end = run.trace.value_at("v(ml)", t_end).unwrap();
+        assert!(v_end < 0.2, "cycle {k}: ML not discharged ({v_end:.2} V)");
+    }
+}

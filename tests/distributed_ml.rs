@@ -1,0 +1,74 @@
+//! Integration: distributed vs lumped match-line model. The paper-style
+//! lumped-C match line is justified when the wire RC is far below the
+//! discharge time; this test builds the same row both ways and checks
+//! the latencies agree within a few percent — and that the verdicts
+//! never differ.
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::fom::one_mismatch;
+use ferrotcam::{build_search_row, TernaryWord};
+use ferrotcam_eval::parasitics::ml_wire_resistance_per_cell;
+use ferrotcam_eval::tech::tech_14nm;
+
+fn latency(kind: DesignKind, par: RowParasitics) -> f64 {
+    let params = DesignParams::preset(kind);
+    let (stored, query) = one_mismatch(16, 0);
+    let mut sim = build_search_row(
+        &params,
+        &stored,
+        &query,
+        SearchTiming::default(),
+        par,
+        false,
+    )
+    .unwrap();
+    sim.run().unwrap().latency().unwrap().expect("SA fires")
+}
+
+#[test]
+fn lumped_ml_approximation_is_accurate() {
+    let tech = tech_14nm();
+    for kind in [DesignKind::Sg2, DesignKind::T15Dg] {
+        let lumped = RowParasitics::default();
+        let distributed = RowParasitics {
+            ml_wire_res_per_cell: ml_wire_resistance_per_cell(kind, &tech),
+            ..lumped
+        };
+        let l_lumped = latency(kind, lumped);
+        let l_dist = latency(kind, distributed);
+        let err = (l_dist - l_lumped).abs() / l_lumped;
+        assert!(
+            err < 0.06,
+            "{kind}: lumped {l_lumped:.3e} vs distributed {l_dist:.3e} ({:.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn verdicts_identical_under_distribution() {
+    let tech = tech_14nm();
+    let kind = DesignKind::T15Dg;
+    let params = DesignParams::preset(kind);
+    let distributed = RowParasitics {
+        ml_wire_res_per_cell: ml_wire_resistance_per_cell(kind, &tech),
+        ..RowParasitics::default()
+    };
+    for (stored, query, expect) in [
+        ("0110", vec![false, true, true, false], true),
+        ("011X", vec![false, true, true, true], true),
+        ("0110", vec![true, true, true, false], false),
+    ] {
+        let stored: TernaryWord = stored.parse().unwrap();
+        let mut sim = build_search_row(
+            &params,
+            &stored,
+            &query,
+            SearchTiming::default(),
+            distributed,
+            true,
+        )
+        .unwrap();
+        assert_eq!(sim.run().unwrap().matched().unwrap(), expect, "{stored}");
+    }
+}

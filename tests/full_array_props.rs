@@ -1,0 +1,53 @@
+//! Property test: full-array circuit search equals the behavioural
+//! model for random small arrays — the strongest equivalence statement
+//! in the workspace (shared column lines, parallel rows, two-step
+//! search with early termination all in one transient).
+
+use ferrotcam::cell::{DesignKind, DesignParams};
+use ferrotcam::full_array::cross_validate_array;
+use ferrotcam::{Ternary, TernaryWord};
+use ferrotcam_arch::encoder::PriorityEncoder;
+use proptest::prelude::*;
+
+fn ternary_digit() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        2 => Just(Ternary::Zero),
+        2 => Just(Ternary::One),
+        1 => Just(Ternary::X),
+    ]
+}
+
+proptest! {
+    // Every case is a multi-row transient: keep the count tight.
+    #![proptest_config(ProptestConfig{ cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_arrays_agree_with_logic(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(ternary_digit(), 4), 2..4),
+        query in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let params = DesignParams::preset(DesignKind::T15Dg);
+        let words: Vec<TernaryWord> =
+            rows.into_iter().map(TernaryWord::new).collect();
+        let (circuit, behav) = cross_validate_array(&params, &words, &query)
+            .expect("array sim");
+        prop_assert_eq!(&circuit, &behav,
+            "words {:?} query {:?}",
+            words.iter().map(|w| w.to_string()).collect::<Vec<_>>(), query);
+    }
+}
+
+#[test]
+fn circuit_array_plus_encoder_returns_priority_address() {
+    // End-to-end: circuit-level match vector into the priority encoder.
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let words: Vec<TernaryWord> = ["10XX", "1011", "0000"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let query = [true, false, true, true];
+    let (circuit, _) = cross_validate_array(&params, &words, &query).unwrap();
+    let addr = PriorityEncoder::new(words.len()).encode(&circuit).address();
+    assert_eq!(addr, Some(0), "both rows 0 and 1 match; 0 wins priority");
+}

@@ -1,0 +1,97 @@
+//! Integration: the Table IV result *shapes* must hold — orderings and
+//! approximate improvement factors across the five designs. Uses 16-bit
+//! words to keep debug-mode runtime bounded; the bench harness
+//! (`table4_fom`) produces the full 64-bit table.
+
+use ferrotcam::fom::{characterize_search, characterize_write};
+use ferrotcam::DesignKind;
+use ferrotcam_eval::layout::cell_area;
+use ferrotcam_eval::parasitics::row_parasitics;
+use ferrotcam_eval::tech::tech_14nm;
+
+const N: usize = 16;
+
+fn search(kind: DesignKind) -> ferrotcam::SearchMetrics {
+    let tech = tech_14nm();
+    characterize_search(kind, N, row_parasitics(kind, &tech)).expect("characterise")
+}
+
+#[test]
+fn write_energy_improvements_match_abstract() {
+    // Abstract: 1.5T1DG achieves 4x write energy vs 2SG; 2DG and 1.5T1SG 2x.
+    let e = |k| characterize_write(k, 1e-18).expect("write").energy_avg();
+    let e_2sg = e(DesignKind::Sg2);
+    assert!((e_2sg / e(DesignKind::Dg2) - 2.0).abs() < 0.4);
+    assert!((e_2sg / e(DesignKind::T15Sg) - 2.0).abs() < 0.4);
+    assert!((e_2sg / e(DesignKind::T15Dg) - 4.0).abs() < 0.8);
+}
+
+#[test]
+fn cell_area_ordering_matches_table4() {
+    let t = tech_14nm();
+    let a = |k| cell_area(k, &t);
+    assert!(a(DesignKind::Sg2) < a(DesignKind::T15Sg));
+    assert!(a(DesignKind::T15Sg) < a(DesignKind::T15Dg));
+    assert!(a(DesignKind::T15Dg) < a(DesignKind::Dg2));
+    assert!(a(DesignKind::Dg2) < a(DesignKind::Cmos16t));
+    // 1.5T1DG-Fe vs 16T CMOS: the paper's 1.83x improvement.
+    let ratio = a(DesignKind::Cmos16t) / a(DesignKind::T15Dg);
+    assert!((ratio - 1.83).abs() < 0.25, "area ratio {ratio}");
+}
+
+#[test]
+fn one_step_latency_ordering() {
+    // 1.5T1SG < 1.5T1DG (higher DG R_ON / degraded SS), and the DG
+    // penalty also orders the 2FeFET pair.
+    let l_15sg = search(DesignKind::T15Sg).latency_1step;
+    let l_15dg = search(DesignKind::T15Dg).latency_1step;
+    let l_2sg = search(DesignKind::Sg2).latency_1step;
+    let l_2dg = search(DesignKind::Dg2).latency_1step;
+    assert!(l_15sg < l_15dg, "{l_15sg} vs {l_15dg}");
+    assert!(l_2sg < l_2dg, "{l_2sg} vs {l_2dg}");
+}
+
+#[test]
+fn two_step_total_is_roughly_double_one_step() {
+    for kind in [DesignKind::T15Sg, DesignKind::T15Dg] {
+        let m = search(kind);
+        let total = m.latency_2step.expect("two-step design");
+        let ratio = total / m.latency_1step;
+        assert!(
+            (1.8..4.5).contains(&ratio),
+            "{kind}: 2-step/1-step = {ratio}"
+        );
+    }
+}
+
+#[test]
+fn early_termination_average_sits_between_bounds() {
+    for kind in [DesignKind::T15Sg, DesignKind::T15Dg] {
+        let m = search(kind);
+        let e1 = m.energy_1step;
+        let e2 = m.energy_2step.expect("two-step design");
+        assert!(e1 < e2, "{kind}: step-1 miss must be cheaper");
+        let avg = m.energy_avg(0.9);
+        assert!(avg > e1 && avg < e2);
+        // 90% early termination saves at least 20% vs always-full search.
+        assert!(avg < 0.8 * e2, "{kind}: avg {avg} vs full {e2}");
+    }
+}
+
+#[test]
+fn t15_beats_2fefet_on_search_energy_within_device_class() {
+    // Table IV: 1.5T1SG avg < 2SG; 1.5T1DG avg < 2DG.
+    let avg = |k: DesignKind| {
+        let m = search(k);
+        m.energy_avg_per_cell(0.9)
+    };
+    assert!(avg(DesignKind::T15Sg) < avg(DesignKind::Sg2) * 1.35);
+    assert!(avg(DesignKind::T15Dg) < avg(DesignKind::Dg2));
+}
+
+#[test]
+fn dg_designs_cost_more_search_energy_than_sg() {
+    let avg = |k: DesignKind| search(k).energy_avg_per_cell(0.9);
+    assert!(avg(DesignKind::T15Dg) > avg(DesignKind::T15Sg));
+    assert!(avg(DesignKind::Dg2) > avg(DesignKind::Sg2));
+}
