@@ -195,6 +195,10 @@ mod tests {
             let tag = if i % 10 < 9 { i % 4 } else { 1000 + i };
             c.access(tag);
         }
-        assert!(c.stats().hit_rate() > 0.8, "rate = {}", c.stats().hit_rate());
+        assert!(
+            c.stats().hit_rate() > 0.8,
+            "rate = {}",
+            c.stats().hit_rate()
+        );
     }
 }

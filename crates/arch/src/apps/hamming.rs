@@ -1,6 +1,6 @@
 //! Approximate (Hamming-distance) matching on a TCAM — the one-shot-
 //! learning / hyperdimensional-computing workload of the paper's
-//! motivation ([5], [7]).
+//! motivation (\[5\], \[7\]).
 //!
 //! Prototypes are stored as ternary words; classification returns the
 //! nearest stored prototype. Ternary `X` digits implement per-feature
@@ -73,13 +73,14 @@ impl HammingClassifier {
     /// ties break to the lowest row, like a priority encoder).
     #[must_use]
     pub fn classify_nearest(&self, query: &[bool]) -> Option<Classification> {
-        self.tcam.nearest(query).first().map(|&(row, distance)| {
-            Classification {
+        self.tcam
+            .nearest(query)
+            .first()
+            .map(|&(row, distance)| Classification {
                 label: self.labels[row],
                 row,
                 distance,
-            }
-        })
+            })
     }
 
     /// All prototypes within `threshold` mismatches (best-first) — the

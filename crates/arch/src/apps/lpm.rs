@@ -138,10 +138,26 @@ mod tests {
 
     fn table() -> RouterTable {
         let mut t = RouterTable::new();
-        t.insert(Route { addr: ip(10, 0, 0, 0), prefix_len: 8, next_hop: 1 });
-        t.insert(Route { addr: ip(10, 1, 0, 0), prefix_len: 16, next_hop: 2 });
-        t.insert(Route { addr: ip(10, 1, 2, 0), prefix_len: 24, next_hop: 3 });
-        t.insert(Route { addr: 0, prefix_len: 0, next_hop: 99 }); // default
+        t.insert(Route {
+            addr: ip(10, 0, 0, 0),
+            prefix_len: 8,
+            next_hop: 1,
+        });
+        t.insert(Route {
+            addr: ip(10, 1, 0, 0),
+            prefix_len: 16,
+            next_hop: 2,
+        });
+        t.insert(Route {
+            addr: ip(10, 1, 2, 0),
+            prefix_len: 24,
+            next_hop: 3,
+        });
+        t.insert(Route {
+            addr: 0,
+            prefix_len: 0,
+            next_hop: 99,
+        }); // default
         t
     }
 
@@ -157,7 +173,12 @@ mod tests {
     #[test]
     fn matches_naive_reference() {
         let t = table();
-        for addr in [ip(10, 1, 2, 3), ip(10, 1, 0, 1), ip(10, 200, 0, 1), ip(1, 2, 3, 4)] {
+        for addr in [
+            ip(10, 1, 2, 3),
+            ip(10, 1, 0, 1),
+            ip(10, 200, 0, 1),
+            ip(1, 2, 3, 4),
+        ] {
             assert_eq!(
                 t.lookup(addr).map(|r| r.next_hop),
                 t.lookup_naive(addr).map(|r| r.next_hop),
@@ -169,7 +190,11 @@ mod tests {
     #[test]
     fn miss_without_default_route() {
         let mut t = RouterTable::new();
-        t.insert(Route { addr: ip(192, 168, 0, 0), prefix_len: 16, next_hop: 7 });
+        t.insert(Route {
+            addr: ip(192, 168, 0, 0),
+            prefix_len: 16,
+            next_hop: 7,
+        });
         assert!(t.lookup(ip(8, 8, 8, 8)).is_none());
         assert_eq!(t.classify(ip(8, 8, 8, 8)), EncodeResult::Miss);
     }
@@ -178,8 +203,16 @@ mod tests {
     fn insertion_order_does_not_matter() {
         let mut t = RouterTable::new();
         // Insert least-specific first.
-        t.insert(Route { addr: ip(10, 0, 0, 0), prefix_len: 8, next_hop: 1 });
-        t.insert(Route { addr: ip(10, 1, 2, 0), prefix_len: 24, next_hop: 3 });
+        t.insert(Route {
+            addr: ip(10, 0, 0, 0),
+            prefix_len: 8,
+            next_hop: 1,
+        });
+        t.insert(Route {
+            addr: ip(10, 1, 2, 0),
+            prefix_len: 24,
+            next_hop: 3,
+        });
         assert_eq!(t.lookup(ip(10, 1, 2, 9)).unwrap().next_hop, 3);
     }
 }

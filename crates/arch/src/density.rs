@@ -54,8 +54,7 @@ pub fn macro_area(
 ) -> MacroArea {
     let cells = array_core_area(design, dims.rows, dims.cols, tech) * subarrays as f64;
     let (_, cell_h) = cell_dimensions(design, tech);
-    let row_periphery =
-        cell_h * ROW_PERIPHERY_WIDTH * (dims.rows * subarrays) as f64;
+    let row_periphery = cell_h * ROW_PERIPHERY_WIDTH * (dims.rows * subarrays) as f64;
     let encoder = ENCODER_AREA_PER_ROW * (dims.rows * subarrays) as f64;
     let (shared, v_drive) = match design {
         DesignKind::T15Dg | DesignKind::Dg2 => (true, 2.0),
@@ -129,7 +128,12 @@ mod tests {
         let t = tech_14nm();
         let dg = macro_area(DesignKind::T15Dg, DIMS, 16, &t);
         let sg = macro_area(DesignKind::T15Sg, DIMS, 16, &t);
-        assert!(dg.drivers < 0.3 * sg.drivers, "{:.3e} vs {:.3e}", dg.drivers, sg.drivers);
+        assert!(
+            dg.drivers < 0.3 * sg.drivers,
+            "{:.3e} vs {:.3e}",
+            dg.drivers,
+            sg.drivers
+        );
     }
 
     #[test]

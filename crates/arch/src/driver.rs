@@ -144,7 +144,10 @@ mod tests {
     fn sharing_halves_drivers_for_square_mats() {
         // A mat = 4 subarrays (Fig. 6(a)).
         let (count_ratio, area_ratio) = sharing_savings(SubarrayDims::paper(), 4, 2.0);
-        assert!((count_ratio - 0.5).abs() < 1e-12, "count ratio {count_ratio}");
+        assert!(
+            (count_ratio - 0.5).abs() < 1e-12,
+            "count ratio {count_ratio}"
+        );
         assert!((area_ratio - 0.5).abs() < 1e-12);
     }
 

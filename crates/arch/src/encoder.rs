@@ -83,7 +83,10 @@ mod tests {
     fn miss_unique_multiple() {
         let e = PriorityEncoder::new(4);
         assert_eq!(e.encode(&[false; 4]), EncodeResult::Miss);
-        assert_eq!(e.encode(&[false, true, false, false]), EncodeResult::Unique(1));
+        assert_eq!(
+            e.encode(&[false, true, false, false]),
+            EncodeResult::Unique(1)
+        );
         assert_eq!(
             e.encode(&[false, true, false, true]),
             EncodeResult::Multiple(1)

@@ -174,7 +174,9 @@ impl Mat {
         let cells: f64 = self
             .subarrays
             .iter()
-            .map(|s| ferrotcam_eval::layout::array_core_area(s.design(), dims.rows, dims.cols, tech))
+            .map(|s| {
+                ferrotcam_eval::layout::array_core_area(s.design(), dims.rows, dims.cols, tech)
+            })
             .sum();
         cells + self.drivers.total_area()
     }

@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn idle_banks_add_no_wait() {
         let queries = [
-            Query { arrival: 0.0, bank: None },
-            Query { arrival: 5e-9, bank: None },
+            Query {
+                arrival: 0.0,
+                bank: None,
+            },
+            Query {
+                arrival: 5e-9,
+                bank: None,
+            },
         ];
         let out = schedule(&queries, 2, 1e-9);
         assert!((out.mean_wait(&queries, 1e-9)).abs() < 1e-15);

@@ -56,7 +56,7 @@ fn bench_lpm(c: &mut Criterion) {
     for _ in 0..512 {
         table.insert(Route {
             addr: rng.random(),
-            prefix_len: rng.random_range(8..=28),
+            prefix_len: rng.random_range(8u8..=28),
             next_hop: rng.random(),
         });
     }

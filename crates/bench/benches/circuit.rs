@@ -2,9 +2,9 @@
 //! Table IV and Fig. 7 (short 8-cell words to keep bench time bounded).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferrotcam::build_search_row;
 use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 use ferrotcam::fom::one_mismatch;
-use ferrotcam::build_search_row;
 use std::hint::black_box;
 
 fn bench_row_transient(c: &mut Criterion) {
@@ -51,11 +51,8 @@ fn bench_dc_op(c: &mut Criterion) {
             )
             .expect("build");
             black_box(
-                ferrotcam_spice::operating_point(
-                    &sim.circuit,
-                    &ferrotcam_spice::DcOpts::default(),
-                )
-                .expect("op"),
+                ferrotcam_spice::operating_point(&sim.circuit, &ferrotcam_spice::DcOpts::default())
+                    .expect("op"),
             )
         })
     });

@@ -2,7 +2,8 @@
 //! array-size circuit simulation feasible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ferrotcam_spice::matrix::sparse::{SparseLu, Triplets};
+use ferrotcam_spice::matrix::sparse::{Refactorization, ScatterMap, SparseLu, Triplets};
+use ferrotcam_spice::matrix::CscMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -42,6 +43,54 @@ fn bench_sparse_lu(c: &mut Criterion) {
     g.finish();
 }
 
+/// Full symbolic+numeric factorization, the Newton iteration-1 cost.
+fn bench_sparse_lu_full_factor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut g = c.benchmark_group("sparse_lu_full_factor");
+    for n in [64usize, 256, 1024] {
+        let csc = mna_like(n, &mut rng).to_csc();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &csc, |bch, csc| {
+            bch.iter(|| black_box(SparseLu::factor(black_box(csc)).expect("factor")))
+        });
+    }
+    g.finish();
+}
+
+/// Numeric-only refactorization on the cached pattern, the Newton
+/// iteration-2..N cost. Same matrices as `sparse_lu_full_factor` so the
+/// two groups are directly comparable.
+fn bench_sparse_lu_refactor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut g = c.benchmark_group("sparse_lu_refactor");
+    for n in [64usize, 256, 1024] {
+        let csc = mna_like(n, &mut rng).to_csc();
+        let mut lu = SparseLu::factor(&csc).expect("factor");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &csc, |bch, csc| {
+            bch.iter(|| {
+                let kind = lu.refactor(black_box(csc)).expect("refactor");
+                assert_eq!(kind, Refactorization::Numeric);
+                black_box(&lu);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Value scatter through a prebuilt `ScatterMap` vs a fresh `to_csc`
+/// (the assembly half of the cached hot path).
+fn bench_scatter(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let t = mna_like(512, &mut rng);
+    let map = ScatterMap::build(&t);
+    let mut out = CscMatrix::default();
+    c.bench_function("scatter_map_512", |b| {
+        b.iter(|| {
+            map.scatter(black_box(&t), &mut out);
+            black_box(&out);
+        })
+    });
+}
+
 fn bench_dense_lu(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(12);
     let mut g = c.benchmark_group("dense_lu_factor_solve");
@@ -59,10 +108,16 @@ fn bench_dense_lu(c: &mut Criterion) {
 fn bench_assembly(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(13);
     let t = mna_like(512, &mut rng);
-    c.bench_function("triplets_to_csc_512", |b| {
-        b.iter(|| black_box(t.to_csc()))
-    });
+    c.bench_function("triplets_to_csc_512", |b| b.iter(|| black_box(t.to_csc())));
 }
 
-criterion_group!(benches, bench_sparse_lu, bench_dense_lu, bench_assembly);
+criterion_group!(
+    benches,
+    bench_sparse_lu,
+    bench_sparse_lu_full_factor,
+    bench_sparse_lu_refactor,
+    bench_scatter,
+    bench_dense_lu,
+    bench_assembly
+);
 criterion_main!(benches);

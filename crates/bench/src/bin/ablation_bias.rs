@@ -18,7 +18,10 @@ fn main() {
     let base = DesignParams::preset(DesignKind::T15Dg);
     let vth_tml = base.tml.vth0;
     println!("TML threshold: {:.0} mV\n", vth_tml * 1e3);
-    println!("{:>6} {:>12} {:>8} {:>11} {:>9}", "Vb mV", "mismatch mV", "X mV", "discharge", "hold");
+    println!(
+        "{:>6} {:>12} {:>8} {:>11} {:>9}",
+        "Vb mV", "mismatch mV", "X mV", "discharge", "hold"
+    );
 
     let mut best_vb = 0.0;
     let mut best_worst = f64::NEG_INFINITY;

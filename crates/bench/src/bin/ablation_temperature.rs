@@ -11,14 +11,8 @@ use ferrotcam_device::fefet::VthState;
 use ferrotcam_spice::{operating_point, DcOpts, NewtonOpts};
 use std::fmt::Write as _;
 
-fn level_at(
-    params: &DesignParams,
-    state: VthState,
-    query: bool,
-    temp: f64,
-) -> f64 {
-    let (ckt, slbar) =
-        build_divider_circuit(params, params.fefet(), state, query).expect("build");
+fn level_at(params: &DesignParams, state: VthState, query: bool, temp: f64) -> f64 {
+    let (ckt, slbar) = build_divider_circuit(params, params.fefet(), state, query).expect("build");
     let opts = DcOpts {
         newton: NewtonOpts {
             temp,
@@ -40,8 +34,12 @@ fn main() {
     for t_c in [-40.0f64, 0.0, 27.0, 85.0, 125.0] {
         let t_k = t_c + 273.15;
         // Mismatch cases.
-        let v_mis = level_at(&params, VthState::Lvt, false, t_k)
-            .min(level_at(&params, VthState::Hvt, true, t_k));
+        let v_mis = level_at(&params, VthState::Lvt, false, t_k).min(level_at(
+            &params,
+            VthState::Hvt,
+            true,
+            t_k,
+        ));
         // Hold cases (worst of match + X).
         let v_hold = level_at(&params, VthState::Hvt, false, t_k)
             .max(level_at(&params, VthState::Lvt, true, t_k))

@@ -1,20 +1,99 @@
-//! **Regression comparer** — diff two `table4.json` result files (e.g.
-//! before/after a calibration change) and flag metric movements beyond
-//! a threshold. Usage:
+//! **Regression comparer** — diff two result files (before/after a
+//! change) and flag metric movements beyond a threshold. Usage:
 //!
 //! ```text
 //! compare_runs <old.json> <new.json> [tolerance-percent]
+//! compare_runs --bench <old.json> <new.json> [tolerance-percent]
 //! ```
 //!
+//! The default mode diffs `table4.json` FoM files; `--bench` diffs the
+//! machine-readable `BENCH_<target>.json` files written by the bench
+//! harness (per-case `ns_per_iter`, regressions = slowdowns only).
 //! Exits non-zero when any metric moved more than the tolerance,
 //! making it usable as a CI gate on the measured artefacts.
 
 use ferrotcam_eval::report::FomRow;
+use serde::Deserialize;
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<Vec<FomRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `BENCH_<target>.json` as written by the bench harness.
+#[derive(Debug, Deserialize)]
+struct BenchFile {
+    target: String,
+    results: Vec<BenchEntry>,
+}
+
+/// One benchmark case in a [`BenchFile`].
+#[derive(Debug, Deserialize)]
+struct BenchEntry {
+    id: String,
+    ns_per_iter: f64,
+    samples: usize,
+    throughput: Option<u64>,
+}
+
+fn load_bench(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Diff two bench result files. Only slowdowns beyond `tol` percent
+/// count as regressions — getting faster is never an error.
+fn compare_bench(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
+    let (old, new) = match (load_bench(old_path), load_bench(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if old.target != new.target {
+        eprintln!(
+            "warning: comparing different targets ({} vs {})",
+            old.target, new.target
+        );
+    }
+    let mut regressions = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}",
+        "benchmark", "old ns/iter", "new ns/iter", "Δ%"
+    );
+    for o in &old.results {
+        let Some(n) = new.results.iter().find(|r| r.id == o.id) else {
+            println!("{:<44} case removed", o.id);
+            regressions += 1;
+            continue;
+        };
+        let _ = (o.samples, o.throughput);
+        let d = pct(o.ns_per_iter, n.ns_per_iter);
+        let flag = if d > tol {
+            regressions += 1;
+            "  <-- slower"
+        } else {
+            ""
+        };
+        println!(
+            "{:<44} {:>14.1} {:>14.1} {:>7.1}%{flag}",
+            o.id, o.ns_per_iter, n.ns_per_iter, d
+        );
+    }
+    for n in &new.results {
+        if !old.results.iter().any(|o| o.id == n.id) {
+            println!("{:<44} new case ({:.1} ns/iter)", n.id, n.ns_per_iter);
+        }
+    }
+    if regressions > 0 {
+        eprintln!("\n{regressions} benchmark(s) slowed beyond +{tol}%");
+        ExitCode::FAILURE
+    } else {
+        println!("\nno benchmark slowed beyond +{tol}%");
+        ExitCode::SUCCESS
+    }
 }
 
 fn pct(old: f64, new: f64) -> f64 {
@@ -25,18 +104,25 @@ fn pct(old: f64, new: f64) -> f64 {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_mode = args.first().is_some_and(|a| a == "--bench");
+    if bench_mode {
+        args.remove(0);
+    }
     let (old_path, new_path) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a.clone(), b.clone()),
         _ => {
-            eprintln!("usage: compare_runs <old.json> <new.json> [tolerance-percent]");
+            eprintln!("usage: compare_runs [--bench] <old.json> <new.json> [tolerance-percent]");
             return ExitCode::FAILURE;
         }
     };
     let tol: f64 = args
         .get(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10.0);
+        .unwrap_or(if bench_mode { 25.0 } else { 10.0 });
+    if bench_mode {
+        return compare_bench(&old_path, &new_path, tol);
+    }
 
     let (old, new) = match (load(&old_path), load(&new_path)) {
         (Ok(a), Ok(b)) => (a, b),
@@ -47,7 +133,10 @@ fn main() -> ExitCode {
     };
 
     let mut regressions = 0usize;
-    println!("{:<12} {:<22} {:>10} {:>10} {:>8}", "design", "metric", "old", "new", "Δ%");
+    println!(
+        "{:<12} {:<22} {:>10} {:>10} {:>8}",
+        "design", "metric", "old", "new", "Δ%"
+    );
     for o in &old {
         let Some(n) = new.iter().find(|r| r.design == o.design) else {
             println!("{:<12} row removed", o.design);
@@ -66,7 +155,12 @@ fn main() -> ExitCode {
         ];
         for (name, ov, nv) in metrics {
             let d = pct(ov, nv);
-            let flag = if d.abs() > tol { regressions += 1; "  <-- moved" } else { "" };
+            let flag = if d.abs() > tol {
+                regressions += 1;
+                "  <-- moved"
+            } else {
+                ""
+            };
             if ov != 0.0 || nv != 0.0 {
                 println!(
                     "{:<12} {:<22} {:>10.3} {:>10.3} {:>7.1}%{flag}",

@@ -11,8 +11,7 @@ use std::fmt::Write as _;
 fn main() {
     println!("== Shared HV driver architecture (mat = 4 subarrays of 64x64) ==");
     let dims = SubarrayDims::paper();
-    let mut csv =
-        String::from("config,v_drive,drivers,area_um2,leakage_nw,utilization_pct\n");
+    let mut csv = String::from("config,v_drive,drivers,area_um2,leakage_nw,utilization_pct\n");
     // Duty cycles: search-heavy workload with rare writes.
     let (search_duty, write_duty) = (0.30, 0.02);
 
@@ -40,8 +39,7 @@ fn main() {
         );
     }
 
-    let (count_ratio, area_ratio) =
-        ferrotcam_arch::driver::sharing_savings(dims, 4, 2.0);
+    let (count_ratio, area_ratio) = ferrotcam_arch::driver::sharing_savings(dims, 4, 2.0);
     println!(
         "sharing: driver count x{count_ratio:.2}, driver area x{area_ratio:.2} \
          (paper: \"the number of drivers is cut in half\")"

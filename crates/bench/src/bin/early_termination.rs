@@ -49,8 +49,7 @@ fn main() {
     let metrics: Vec<_> = [DesignKind::T15Sg, DesignKind::T15Dg]
         .into_iter()
         .map(|k| {
-            characterize_search(k, WORD_LEN, row_parasitics(k, &tech))
-                .expect("characterisation")
+            characterize_search(k, WORD_LEN, row_parasitics(k, &tech)).expect("characterisation")
         })
         .collect();
 

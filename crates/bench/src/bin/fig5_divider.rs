@@ -28,16 +28,19 @@ fn main() {
         let v_max = params.v_search * 1.25;
         let vals = linspace(0.0, v_max, 26);
         // Sweep the select source: "BG" for DG, "FG" for SG.
-        let sel_source = if kind == DesignKind::T15Dg { "BG" } else { "FG" };
+        let sel_source = if kind == DesignKind::T15Dg {
+            "BG"
+        } else {
+            "FG"
+        };
 
         let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
         for (state, label) in STATES {
             for query in [false, true] {
-                let (ckt, slbar) =
-                    build_divider_circuit(&params, params.fefet(), state, query)
-                        .expect("build divider");
-                let sweep = dc_sweep(&ckt, sel_source, &vals, &NewtonOpts::default())
-                    .expect("dc sweep");
+                let (ckt, slbar) = build_divider_circuit(&params, params.fefet(), state, query)
+                    .expect("build divider");
+                let sweep =
+                    dc_sweep(&ckt, sel_source, &vals, &NewtonOpts::default()).expect("dc sweep");
                 let curve: Vec<f64> = sweep
                     .voltage_curve(slbar)
                     .into_iter()

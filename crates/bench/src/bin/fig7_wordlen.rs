@@ -16,7 +16,9 @@ use ferrotcam::DesignKind;
 use ferrotcam_bench::{paper, write_artifact};
 use ferrotcam_eval::parasitics::row_parasitics;
 use ferrotcam_eval::tech::tech_14nm;
+use ferrotcam_spice::parallel::{default_jobs, par_map};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 const WORD_LENGTHS: [usize; 5] = [8, 16, 32, 64, 128];
 
@@ -24,22 +26,50 @@ fn main() {
     println!("== Fig. 7: word-length impact on search latency and energy ==");
     let tech = tech_14nm();
     let designs = DesignKind::FEFET_DESIGNS;
+    let jobs = default_jobs();
+
+    // One independent transient characterisation per (design, word length)
+    // point — fan the grid out over the worker pool. Each point is a pure
+    // function of its inputs, so the grid is bit-identical to a serial run
+    // and `par_map` already returns it in task order.
+    let tasks: Vec<(usize, usize, DesignKind, usize)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(di, &design)| {
+            WORD_LENGTHS
+                .iter()
+                .enumerate()
+                .map(move |(ni, &n)| (di, ni, design, n))
+        })
+        .collect();
+    let started = Instant::now();
+    let points = par_map(&tasks, jobs, |_, &(di, ni, design, n)| {
+        let par = row_parasitics(design, &tech);
+        let m = characterize_search(design, n, par).expect("characterisation");
+        (
+            di,
+            ni,
+            m.latency() * 1e12,
+            m.energy_avg_per_cell(paper::STEP1_MISS_RATE) * 1e15,
+        )
+    });
+    let elapsed = started.elapsed();
 
     let mut latency = vec![vec![0.0f64; designs.len()]; WORD_LENGTHS.len()];
     let mut energy = vec![vec![0.0f64; designs.len()]; WORD_LENGTHS.len()];
-
-    for (di, &design) in designs.iter().enumerate() {
-        let par = row_parasitics(design, &tech);
-        for (ni, &n) in WORD_LENGTHS.iter().enumerate() {
-            let m = characterize_search(design, n, par).expect("characterisation");
-            latency[ni][di] = m.latency() * 1e12;
-            energy[ni][di] = m.energy_avg_per_cell(paper::STEP1_MISS_RATE) * 1e15;
-            println!(
-                "{design:<11} N={n:<4} latency {:7.1} ps  energy {:.4} fJ/cell",
-                latency[ni][di], energy[ni][di]
-            );
-        }
+    for &(di, ni, lat_ps, en_fj) in &points {
+        latency[ni][di] = lat_ps;
+        energy[ni][di] = en_fj;
+        println!(
+            "{:<11} N={:<4} latency {lat_ps:7.1} ps  energy {en_fj:.4} fJ/cell",
+            designs[di], WORD_LENGTHS[ni]
+        );
     }
+    println!(
+        "({} points on {jobs} worker(s) in {:.2} s)",
+        tasks.len(),
+        elapsed.as_secs_f64()
+    );
 
     let header = {
         let mut h = String::from("word_len");

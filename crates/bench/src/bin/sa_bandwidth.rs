@@ -80,7 +80,10 @@ fn main() {
     // switching time constant.
     let gbw = dc_gain * f3db;
     let tau_eff = 1.0 / (2.0 * std::f64::consts::PI * gbw);
-    println!("stage gain   : {dc_gain:.1} V/V ({:.1} dB)", 20.0 * dc_gain.log10());
+    println!(
+        "stage gain   : {dc_gain:.1} V/V ({:.1} dB)",
+        20.0 * dc_gain.log10()
+    );
     println!("-3 dB corner : {:.3} GHz (open-loop pole)", f3db / 1e9);
     println!("GBW          : {:.1} GHz", gbw / 1e9);
     println!("effective tau: {:.1} ps", tau_eff * 1e12);

@@ -1,5 +1,5 @@
 //! **Variability extension** — Monte-Carlo V_TH variation analysis of
-//! the 1.5T1Fe divider (the concern behind the paper's refs [19]/[20]):
+//! the 1.5T1Fe divider (the concern behind the paper's refs \[19\]/\[20\]):
 //! sample per-device V_TH offsets, solve the DC divider margins, and
 //! report functional yield and worst-case margins versus σ(V_TH)
 //! scaling, for both the SG and DG flavours.
@@ -10,12 +10,12 @@
 use ferrotcam::cell::{DesignKind, DesignParams};
 use ferrotcam::margins::DividerLevels;
 use ferrotcam_bench::write_artifact;
-use ferrotcam_device::variability::{skewed_fefet, VthVariation};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ferrotcam_device::variability::{sample_seed, skewed_fefet, VthVariation};
+use ferrotcam_spice::parallel::{default_jobs, par_map};
 use std::fmt::Write as _;
 
 const SAMPLES: usize = 200;
+const SEED: u64 = 0xfe1d;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
@@ -25,27 +25,37 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn main() {
     println!("== Monte-Carlo V_TH variability: divider margins and yield ==");
     let mut csv = String::from("design,sigma_mv,yield_pct,p5_discharge_mv,p5_hold_mv\n");
-    let mut rng = StdRng::seed_from_u64(0xfe1d);
+    let jobs = default_jobs();
+    println!("({jobs} worker(s); per-sample seeds derived from 0x{SEED:x})");
 
-    for kind in [DesignKind::T15Sg, DesignKind::T15Dg] {
+    for (kind_idx, kind) in [DesignKind::T15Sg, DesignKind::T15Dg]
+        .into_iter()
+        .enumerate()
+    {
         let params = DesignParams::preset(kind);
         let nominal_var = VthVariation::for_fefet(params.fefet());
         println!(
             "{kind}: nominal sigma(Vth) = {:.1} mV",
             nominal_var.sigma_vth() * 1e3
         );
-        for scale in [0.5, 1.0, 1.5, 2.0, 3.0] {
+        for (scale_idx, scale) in [0.5, 1.0, 1.5, 2.0, 3.0].into_iter().enumerate() {
             let var = nominal_var.scaled(scale);
+            // One deterministic sample stream per (design, sigma) corner:
+            // results are independent of the worker count.
+            let stream = sample_seed(SEED, (kind_idx * 8 + scale_idx) as u64);
+            let indices: Vec<u64> = (0..SAMPLES as u64).collect();
+            let margins = par_map(&indices, jobs, |_, &i| {
+                let dvth = var.sample_at(stream, i);
+                let card = skewed_fefet(params.fefet(), dvth);
+                // A non-convergent corner counts as a failed sample.
+                DividerLevels::solve(&params, &card)
+                    .ok()
+                    .map(|levels| levels.margins(params.tml.vth0))
+            });
             let mut discharge = Vec::with_capacity(SAMPLES);
             let mut hold = Vec::with_capacity(SAMPLES);
             let mut functional = 0usize;
-            for _ in 0..SAMPLES {
-                let dvth = var.sample(&mut rng);
-                let card = skewed_fefet(params.fefet(), dvth);
-                let Ok(levels) = DividerLevels::solve(&params, &card) else {
-                    continue; // non-convergent corner counts as failure
-                };
-                let m = levels.margins(params.tml.vth0);
+            for m in margins.into_iter().flatten() {
                 if m.functional() {
                     functional += 1;
                 }

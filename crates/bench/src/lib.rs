@@ -52,10 +52,46 @@ pub mod paper {
     #[allow(clippy::type_complexity)]
     pub const TABLE4: [(&str, f64, Option<f64>, f64, f64, f64, Option<f64>, f64); 5] = [
         ("16T CMOS", 0.286, None, 235.0, 235.0, 0.53, None, 0.53),
-        ("2SG-FeFET", 0.095, Some(1.63), 582.0, 582.0, 0.17, None, 0.17),
-        ("2DG-FeFET", 0.204, Some(0.81), 1147.0, 1147.0, 0.25, None, 0.25),
-        ("1.5T1SG-Fe", 0.108, Some(0.82), 159.0, 351.0, 0.11, Some(0.16), 0.12),
-        ("1.5T1DG-Fe", 0.156, Some(0.41), 231.0, 481.0, 0.13, Some(0.21), 0.14),
+        (
+            "2SG-FeFET",
+            0.095,
+            Some(1.63),
+            582.0,
+            582.0,
+            0.17,
+            None,
+            0.17,
+        ),
+        (
+            "2DG-FeFET",
+            0.204,
+            Some(0.81),
+            1147.0,
+            1147.0,
+            0.25,
+            None,
+            0.25,
+        ),
+        (
+            "1.5T1SG-Fe",
+            0.108,
+            Some(0.82),
+            159.0,
+            351.0,
+            0.11,
+            Some(0.16),
+            0.12,
+        ),
+        (
+            "1.5T1DG-Fe",
+            0.156,
+            Some(0.41),
+            231.0,
+            481.0,
+            0.13,
+            Some(0.21),
+            0.14,
+        ),
     ];
 
     /// Fig. 1 device targets: (label, write V, memory window V).

@@ -4,9 +4,9 @@ use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 use ferrotcam::fom::{characterize_search, characterize_write};
 use ferrotcam::margins::nominal_margins;
 use ferrotcam::{build_search_row, TernaryWord};
+use ferrotcam_device::calib;
 use ferrotcam_device::extract::{subthreshold_slope, vth_constant_current};
 use ferrotcam_device::fefet::{Fefet, VthState};
-use ferrotcam_device::calib;
 use ferrotcam_eval::parasitics::row_parasitics;
 use ferrotcam_eval::tech::tech_14nm;
 use ferrotcam_spice::NodeId;
@@ -71,7 +71,9 @@ fn parse_design(s: &str) -> Result<DesignKind, String> {
         "1.5t1sg" | "15t1sg" | "t15sg" | "1.5t1sg-fe" => Ok(DesignKind::T15Sg),
         "1.5t1dg" | "15t1dg" | "t15dg" | "1.5t1dg-fe" => Ok(DesignKind::T15Dg),
         "cmos" | "16t" | "cmos16t" => Ok(DesignKind::Cmos16t),
-        other => Err(format!("unknown design {other:?} (try `ferrotcam designs`)")),
+        other => Err(format!(
+            "unknown design {other:?} (try `ferrotcam designs`)"
+        )),
     }
 }
 
@@ -101,13 +103,21 @@ fn parse_query(s: &str, width: usize) -> Result<Vec<bool>, String> {
 fn designs() -> CliResult {
     println!("available designs:");
     for kind in DesignKind::ALL {
-        let steps = if kind.is_two_step() { "2-step search" } else { "1-step search" };
+        let steps = if kind.is_two_step() {
+            "2-step search"
+        } else {
+            "1-step search"
+        };
         let dev = match kind {
             DesignKind::Cmos16t => "16 transistors".to_string(),
             k => format!(
                 "{} FeFET(s)/cell, {}",
                 DesignParams::preset(k).fefets_per_cell(),
-                if k.is_dg() { "double-gate" } else { "single-gate" }
+                if k.is_dg() {
+                    "double-gate"
+                } else {
+                    "single-gate"
+                }
             ),
         };
         println!("  {:<12} {dev}, {steps}", kind.name());
@@ -115,7 +125,11 @@ fn designs() -> CliResult {
     Ok(())
 }
 
-fn build(design: DesignKind, stored: &TernaryWord, query: &[bool]) -> Result<ferrotcam::SearchSim, String> {
+fn build(
+    design: DesignKind,
+    stored: &TernaryWord,
+    query: &[bool],
+) -> Result<ferrotcam::SearchSim, String> {
     let params = DesignParams::preset(design);
     build_search_row(
         &params,
@@ -144,13 +158,21 @@ fn search(args: &[String]) -> CliResult {
     println!(
         "{}: stored {stored}, query {} -> {}",
         design.name(),
-        query.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>(),
+        query
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>(),
         if matched { "MATCH" } else { "MISS" }
     );
     if let Some(lat) = run.latency().map_err(|e| e.to_string())? {
         println!("  SA fired {:.0} ps after search start", lat * 1e12);
     }
     println!("  energy: {:.3} fJ", run.total_energy() * 1e15);
+    let stats = run.trace.stats();
+    println!(
+        "  solver: {} Newton iters; {} full factor(s) + {} refactor(s); {} rejected step(s)",
+        stats.newton_iters, stats.full_factors, stats.refactors, stats.rejected_steps
+    );
     // Sanity: the logic-level verdict must agree.
     let expect = stored.matches_query(&query);
     if matched != expect {
@@ -160,7 +182,10 @@ fn search(args: &[String]) -> CliResult {
 }
 
 fn characterize(args: &[String]) -> CliResult {
-    let design = parse_design(args.first().ok_or("usage: ferrotcam characterize <design> [word-len]")?)?;
+    let design = parse_design(
+        args.first()
+            .ok_or("usage: ferrotcam characterize <design> [word-len]")?,
+    )?;
     let n: usize = args
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad word length {s:?}")))
@@ -174,7 +199,10 @@ fn characterize(args: &[String]) -> CliResult {
     if let Some(l2) = m.latency_2step {
         println!("  2-step latency : {:.0} ps", l2 * 1e12);
     }
-    println!("  energy, step-1 terminated : {:.3} fJ/cell", m.energy_1step_per_cell() * 1e15);
+    println!(
+        "  energy, step-1 terminated : {:.3} fJ/cell",
+        m.energy_1step_per_cell() * 1e15
+    );
     if let Some(e2) = m.energy_2step_per_cell() {
         println!("  energy, full search       : {:.3} fJ/cell", e2 * 1e15);
     }
@@ -195,7 +223,10 @@ fn write_energy(args: &[String]) -> CliResult {
     println!("  '0' : {:.3} fJ", w.energy_write0 * 1e15);
     println!("  '1' : {:.3} fJ", w.energy_write1 * 1e15);
     println!("  'X' : {:.3} fJ", w.energy_write_x * 1e15);
-    println!("  avg : {:.3} fJ (half '0' / half '1')", w.energy_avg() * 1e15);
+    println!(
+        "  avg : {:.3} fJ (half '0' / half '1')",
+        w.energy_avg() * 1e15
+    );
     Ok(())
 }
 
@@ -206,14 +237,25 @@ fn margins(args: &[String]) -> CliResult {
     }
     let m = nominal_margins(design).map_err(|e| format!("margin solve failed: {e}"))?;
     println!("{} static divider margins:", design.name());
-    println!("  discharge (mismatch drive over TML Vth) : {:+.0} mV", m.discharge * 1e3);
-    println!("  hold (match/'X' below TML Vth)          : {:+.0} mV", m.hold * 1e3);
-    println!("  functional: {}", if m.functional() { "yes" } else { "NO" });
+    println!(
+        "  discharge (mismatch drive over TML Vth) : {:+.0} mV",
+        m.discharge * 1e3
+    );
+    println!(
+        "  hold (match/'X' below TML Vth)          : {:+.0} mV",
+        m.hold * 1e3
+    );
+    println!(
+        "  functional: {}",
+        if m.functional() { "yes" } else { "NO" }
+    );
     Ok(())
 }
 
 fn idvg(args: &[String]) -> CliResult {
-    let flavour = args.first().ok_or("usage: ferrotcam idvg <sg|dg> [--csv]")?;
+    let flavour = args
+        .first()
+        .ok_or("usage: ferrotcam idvg <sg|dg> [--csv]")?;
     let csv = args.iter().any(|a| a == "--csv");
     let (params, bg_read, range) = match flavour.as_str() {
         "sg" => (calib::sg_fefet_14nm(), false, (-1.0, 3.0)),
@@ -277,8 +319,8 @@ fn table_lookup(args: &[String]) -> CliResult {
     let [path, query] = args else {
         return Err("usage: ferrotcam table <file> <query-bits>".into());
     };
-    let tcam = ferrotcam::table_io::load_table(std::path::Path::new(path))
-        .map_err(|e| e.to_string())?;
+    let tcam =
+        ferrotcam::table_io::load_table(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     let q = parse_query(query, tcam.width())?;
     let outcome = tcam.search(&q);
     println!(

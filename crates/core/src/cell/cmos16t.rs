@@ -1,4 +1,4 @@
-//! 16T CMOS NOR-type TCAM baseline [25].
+//! 16T CMOS NOR-type TCAM baseline \[25\].
 //!
 //! Each cell holds two SRAM bits (Q for data, with `Q = Q̄ = 0` encoding
 //! 'X') and a 4-transistor compare network: two series NMOS branches

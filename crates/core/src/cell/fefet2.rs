@@ -1,5 +1,5 @@
 //! The 2FeFET TCAM cell (Fig. 3) — the widely adopted FeFET TCAM design
-//! [13], built in both SG and DG variants.
+//! \[13\], built in both SG and DG variants.
 //!
 //! Per cell, two FeFETs hang drain-to-ML with complementary programmed
 //! states ('1' = LVT/HVT, '0' = HVT/LVT, 'X' = HVT/HVT). The search
@@ -78,10 +78,24 @@ pub(crate) fn build_search_row(
         } else {
             (sl, gnd, slb, gnd)
         };
-        let mut f1 = Fefet::new(&format!("fe{c}a"), scaffold.tap(c), fg1, gnd, bg1, params.fefet().clone());
+        let mut f1 = Fefet::new(
+            &format!("fe{c}a"),
+            scaffold.tap(c),
+            fg1,
+            gnd,
+            bg1,
+            params.fefet().clone(),
+        );
         f1.program(s1);
         ckt.device(Box::new(f1));
-        let mut f2 = Fefet::new(&format!("fe{c}b"), scaffold.tap(c), fg2, gnd, bg2, params.fefet().clone());
+        let mut f2 = Fefet::new(
+            &format!("fe{c}b"),
+            scaffold.tap(c),
+            fg2,
+            gnd,
+            bg2,
+            params.fefet().clone(),
+        );
         f2.program(s2);
         ckt.device(Box::new(f2));
     }
@@ -131,7 +145,11 @@ mod tests {
     #[test]
     fn dg_match_and_mismatch() {
         let m = run(DesignKind::Dg2, "01", &[false, true]);
-        assert!(m.matched().unwrap(), "DG match failed: ml={:.3}", m.ml_final().unwrap());
+        assert!(
+            m.matched().unwrap(),
+            "DG match failed: ml={:.3}",
+            m.ml_final().unwrap()
+        );
         let x = run(DesignKind::Dg2, "01", &[true, true]);
         assert!(!x.matched().unwrap(), "DG mismatch not detected");
     }

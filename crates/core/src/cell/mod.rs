@@ -32,8 +32,12 @@ pub enum DesignKind {
 
 impl DesignKind {
     /// All four FeFET designs (Fig. 7 sweep set).
-    pub const FEFET_DESIGNS: [DesignKind; 4] =
-        [DesignKind::Sg2, DesignKind::Dg2, DesignKind::T15Sg, DesignKind::T15Dg];
+    pub const FEFET_DESIGNS: [DesignKind; 4] = [
+        DesignKind::Sg2,
+        DesignKind::Dg2,
+        DesignKind::T15Sg,
+        DesignKind::T15Dg,
+    ];
 
     /// All five designs (Table IV rows).
     pub const ALL: [DesignKind; 5] = [

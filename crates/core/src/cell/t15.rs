@@ -43,7 +43,10 @@ pub(crate) fn build_search_row(
 ) -> Result<SearchSim> {
     assert!(params.kind.is_t15(), "t15 builder needs a 1.5T design");
     let n = stored.len();
-    assert!(n.is_multiple_of(2), "1.5T1Fe rows pair cells: word length must be even");
+    assert!(
+        n.is_multiple_of(2),
+        "1.5T1Fe rows pair cells: word length must be even"
+    );
     let is_dg = params.kind == DesignKind::T15Dg;
     let vdd = params.vdd;
 
@@ -54,7 +57,12 @@ pub(crate) fn build_search_row(
     // Row-wise select lines (these are the P-well back gates for DG).
     let sela = ckt.node("sela");
     let selb = ckt.node("selb");
-    ckt.vsource("SELA", sela, gnd, ops::select_pulse(params.v_search, &timing, false));
+    ckt.vsource(
+        "SELA",
+        sela,
+        gnd,
+        ops::select_pulse(params.v_search, &timing, false),
+    );
     let selb_wave = if enable_step2 {
         ops::select_pulse(params.v_search, &timing, true)
     } else {
@@ -113,10 +121,24 @@ pub(crate) fn build_search_row(
         };
         let (bg1, bg2) = if is_dg { (sela, selb) } else { (gnd, gnd) };
 
-        let mut f1 = Fefet::new(&format!("fe{c1}"), wrsl, fg1, slbar, bg1, params.fefet().clone());
+        let mut f1 = Fefet::new(
+            &format!("fe{c1}"),
+            wrsl,
+            fg1,
+            slbar,
+            bg1,
+            params.fefet().clone(),
+        );
         f1.program(state_for(stored.digit(c1)));
         ckt.device(Box::new(f1));
-        let mut f2 = Fefet::new(&format!("fe{c2}"), wrsl, fg2, slbar, bg2, params.fefet().clone());
+        let mut f2 = Fefet::new(
+            &format!("fe{c2}"),
+            wrsl,
+            fg2,
+            slbar,
+            bg2,
+            params.fefet().clone(),
+        );
         f2.program(state_for(stored.digit(c2)));
         ckt.device(Box::new(f2));
 
@@ -167,12 +189,7 @@ mod tests {
     use super::*;
     use crate::array::build_search_row;
 
-    fn run(
-        kind: DesignKind,
-        stored: &str,
-        query: &[bool],
-        step2: bool,
-    ) -> crate::array::SearchRun {
+    fn run(kind: DesignKind, stored: &str, query: &[bool], step2: bool) -> crate::array::SearchRun {
         let params = DesignParams::preset(kind);
         let stored: TernaryWord = stored.parse().unwrap();
         let mut sim = build_search_row(
@@ -190,13 +207,22 @@ mod tests {
     #[test]
     fn dg_match_keeps_ml_high() {
         let r = run(DesignKind::T15Dg, "0110", &[false, true, true, false], true);
-        assert!(r.matched().unwrap(), "ML fell on a matching word: {:.3}", r.ml_final().unwrap());
+        assert!(
+            r.matched().unwrap(),
+            "ML fell on a matching word: {:.3}",
+            r.ml_final().unwrap()
+        );
     }
 
     #[test]
     fn dg_step1_mismatch_discharges() {
         // Stored '1' at a step-1 (even) position, query '0' there.
-        let r = run(DesignKind::T15Dg, "1000", &[false, false, false, false], false);
+        let r = run(
+            DesignKind::T15Dg,
+            "1000",
+            &[false, false, false, false],
+            false,
+        );
         assert!(!r.matched().unwrap(), "ML stayed high on a step-1 mismatch");
         let lat = r.latency().unwrap().expect("SA must fire");
         assert!(lat > 0.0 && lat < 600e-12, "latency = {lat:.3e}");
@@ -205,7 +231,12 @@ mod tests {
     #[test]
     fn dg_step2_mismatch_discharges_late() {
         // Mismatch only at an odd (step-2) position.
-        let r = run(DesignKind::T15Dg, "0100", &[false, false, false, false], true);
+        let r = run(
+            DesignKind::T15Dg,
+            "0100",
+            &[false, false, false, false],
+            true,
+        );
         assert!(!r.matched().unwrap());
         let lat = r.latency().unwrap().expect("SA must fire in step 2");
         let t = SearchTiming::default();
@@ -233,7 +264,11 @@ mod tests {
     #[test]
     fn sg_variant_matches_and_mismatches() {
         let m = run(DesignKind::T15Sg, "01", &[false, true], true);
-        assert!(m.matched().unwrap(), "SG match failed: ml = {:.3}", m.ml_final().unwrap());
+        assert!(
+            m.matched().unwrap(),
+            "SG match failed: ml = {:.3}",
+            m.ml_final().unwrap()
+        );
         let x = run(DesignKind::T15Sg, "10", &[false, false], false);
         assert!(!x.matched().unwrap(), "SG mismatch not detected");
     }

@@ -69,7 +69,13 @@ impl SearchMetrics {
 #[must_use]
 pub fn alternating_word(n: usize) -> TernaryWord {
     (0..n)
-        .map(|i| if i % 2 == 0 { Ternary::Zero } else { Ternary::One })
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::Zero
+            } else {
+                Ternary::One
+            }
+        })
         .collect()
 }
 
@@ -85,7 +91,13 @@ pub fn matching_query(n: usize) -> Vec<bool> {
 #[must_use]
 pub fn one_mismatch(n: usize, pos: usize) -> (TernaryWord, Vec<bool>) {
     let stored: TernaryWord = (0..n)
-        .map(|i| if i == pos { Ternary::One } else { Ternary::Zero })
+        .map(|i| {
+            if i == pos {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
         .collect();
     let query = vec![false; n];
     (stored, query)
@@ -222,7 +234,12 @@ fn write_energy_single(
     let mut ckt = Circuit::new();
     let bl = ckt.node("bl");
     let gnd = Circuit::gnd();
-    ckt.vsource("BL", bl, gnd, ops::write_pulse(pulse_level, 100e-12, 600e-12, 50e-12));
+    ckt.vsource(
+        "BL",
+        bl,
+        gnd,
+        ops::write_pulse(pulse_level, 100e-12, 600e-12, 50e-12),
+    );
     ckt.capacitor("cbl", bl, gnd, bl_wire)?;
     let mut dev = Fefet::new("fe", gnd, bl, gnd, gnd, fefet.clone());
     dev.program(initial);
@@ -294,14 +311,34 @@ mod tests {
         // = 1× : 2× : 2× : 4× improvement. Use a tiny BL wire so the
         // switching charge dominates, as in the paper's cell-level FoM.
         let wire = 1e-18;
-        let e_2sg = characterize_write(DesignKind::Sg2, wire).unwrap().energy_avg();
-        let e_2dg = characterize_write(DesignKind::Dg2, wire).unwrap().energy_avg();
-        let e_15sg = characterize_write(DesignKind::T15Sg, wire).unwrap().energy_avg();
-        let e_15dg = characterize_write(DesignKind::T15Dg, wire).unwrap().energy_avg();
+        let e_2sg = characterize_write(DesignKind::Sg2, wire)
+            .unwrap()
+            .energy_avg();
+        let e_2dg = characterize_write(DesignKind::Dg2, wire)
+            .unwrap()
+            .energy_avg();
+        let e_15sg = characterize_write(DesignKind::T15Sg, wire)
+            .unwrap()
+            .energy_avg();
+        let e_15dg = characterize_write(DesignKind::T15Dg, wire)
+            .unwrap()
+            .energy_avg();
         let r = |a: f64, b: f64| a / b;
-        assert!((r(e_2sg, e_2dg) - 2.0).abs() < 0.3, "2SG/2DG = {}", r(e_2sg, e_2dg));
-        assert!((r(e_2sg, e_15sg) - 2.0).abs() < 0.3, "2SG/1.5T1SG = {}", r(e_2sg, e_15sg));
-        assert!((r(e_2sg, e_15dg) - 4.0).abs() < 0.7, "2SG/1.5T1DG = {}", r(e_2sg, e_15dg));
+        assert!(
+            (r(e_2sg, e_2dg) - 2.0).abs() < 0.3,
+            "2SG/2DG = {}",
+            r(e_2sg, e_2dg)
+        );
+        assert!(
+            (r(e_2sg, e_15sg) - 2.0).abs() < 0.3,
+            "2SG/1.5T1SG = {}",
+            r(e_2sg, e_15sg)
+        );
+        assert!(
+            (r(e_2sg, e_15dg) - 4.0).abs() < 0.7,
+            "2SG/1.5T1DG = {}",
+            r(e_2sg, e_15dg)
+        );
         // Absolute scale: 2SG ≈ 1.6 fJ (paper: 1.63 fJ).
         assert!(e_2sg > 1.2e-15 && e_2sg < 2.2e-15, "e_2sg = {e_2sg:.3e}");
     }

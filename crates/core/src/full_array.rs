@@ -48,10 +48,13 @@ pub fn search_full_array(
     par: RowParasitics,
     enable_step2: bool,
 ) -> Result<ArraySearchResult> {
-    assert!(params.kind.is_t15(), "full-array builder is for 1.5T designs");
+    assert!(
+        params.kind.is_t15(),
+        "full-array builder is for 1.5T designs"
+    );
     assert!(!rows.is_empty(), "need at least one row");
     let n = query.len();
-    assert!(n % 2 == 0, "word length must be even");
+    assert!(n.is_multiple_of(2), "word length must be even");
     assert!(rows.iter().all(|w| w.len() == n), "row width mismatch");
     let m = rows.len();
     let is_dg = params.kind == DesignKind::T15Dg;
@@ -65,7 +68,12 @@ pub fn search_full_array(
     // Global select rows (asserted for every row simultaneously).
     let sela = ckt.node("sela");
     let selb = ckt.node("selb");
-    ckt.vsource("SELA", sela, gnd, ops::select_pulse(params.v_search, &timing, false));
+    ckt.vsource(
+        "SELA",
+        sela,
+        gnd,
+        ops::select_pulse(params.v_search, &timing, false),
+    );
     let selb_wave = if enable_step2 {
         ops::select_pulse(params.v_search, &timing, true)
     } else {
@@ -303,6 +311,11 @@ mod tests {
             true,
         )
         .unwrap();
-        assert!(four.energy > 1.4 * two.energy, "{:.3e} vs {:.3e}", four.energy, two.energy);
+        assert!(
+            four.energy > 1.4 * two.energy,
+            "{:.3e} vs {:.3e}",
+            four.energy,
+            two.energy
+        );
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! * [`ternary`]/[`behav`] — ternary words and the functional TCAM,
 //! * [`cell`] — the 2FeFET, 1.5T1Fe (SG/DG) and 16T CMOS cell designs,
-//! * [`array`] — row netlist assembly and search simulation,
+//! * [`array`](mod@array) — row netlist assembly and search simulation,
 //! * [`ops`] — search/write drive waveforms (two-step + early termination),
 //! * [`senseamp`] — match-line sense amplifier,
 //! * [`fom`] — latency/energy figure-of-merit characterisation.

@@ -67,7 +67,14 @@ pub fn build_divider_circuit(
     let mut fe = Fefet::new("fe", wrsl, fg, slbar, bg, fefet_card.clone());
     fe.program(state);
     ckt.device(Box::new(fe));
-    ckt.device(Box::new(Mosfet::new("tn", slbar, slp, gnd, gnd, params.tn.clone())));
+    ckt.device(Box::new(Mosfet::new(
+        "tn",
+        slbar,
+        slp,
+        gnd,
+        gnd,
+        params.tn.clone(),
+    )));
     ckt.device(Box::new(Mosfet::new(
         "tp",
         slbar,
@@ -136,10 +143,7 @@ impl DividerLevels {
     ///
     /// # Errors
     /// Propagates DC convergence failures.
-    pub fn solve(
-        params: &DesignParams,
-        card: &ferrotcam_device::FefetParams,
-    ) -> Result<Self> {
+    pub fn solve(params: &DesignParams, card: &ferrotcam_device::FefetParams) -> Result<Self> {
         let states = [VthState::Hvt, VthState::Lvt, VthState::Mvt];
         let mut levels = [[0.0; 2]; 3];
         for (si, &s) in states.iter().enumerate() {
@@ -230,7 +234,10 @@ mod tests {
         let skewed = ferrotcam_device::variability::skewed_fefet(params.fefet(), 0.5);
         let lv = DividerLevels::solve(&params, &skewed).expect("solve");
         let m = lv.margins(params.tml.vth0);
-        assert!(!m.functional() || m.worst() < 0.05, "skewed cell too healthy: {m:?}");
+        assert!(
+            !m.functional() || m.worst() < 0.05,
+            "skewed cell too healthy: {m:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Multi-level-cell (MLC) CAM extension.
 //!
-//! The paper's related work (Rajaei et al. [24]) stores *multi-bit*
+//! The paper's related work (Rajaei et al. \[24\]) stores *multi-bit*
 //! symbols in a single FeFET by programming more than three threshold
 //! levels. The Preisach film supports this directly: partial writes at
 //! graded voltages place the polarisation at any fraction, and each

@@ -23,13 +23,7 @@ pub fn step_pulse(idle: f64, active: f64, start: f64, end: f64, edge: f64) -> Wa
 /// `enable2` is false), `idle` otherwise. Evaluate windows trail the
 /// select assertion by [`SearchTiming::select_lead`].
 #[must_use]
-pub fn two_step_wave(
-    idle: f64,
-    v1: f64,
-    v2: f64,
-    t: &SearchTiming,
-    enable2: bool,
-) -> Waveform {
+pub fn two_step_wave(idle: f64, v1: f64, v2: f64, t: &SearchTiming, enable2: bool) -> Waveform {
     let mut pts = vec![(0.0, idle)];
     let mut seg = |(start, end): (f64, f64), v: f64| {
         if (v - idle).abs() > 1e-15 {

@@ -35,7 +35,11 @@ impl fmt::Display for TableIoError {
         match self {
             TableIoError::Io(e) => write!(f, "i/o error: {e}"),
             TableIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
-            TableIoError::WidthMismatch { line, got, expected } => write!(
+            TableIoError::WidthMismatch {
+                line,
+                got,
+                expected,
+            } => write!(
                 f,
                 "line {line}: word width {got} differs from the first word's {expected}"
             ),
@@ -141,7 +145,11 @@ mod tests {
     fn width_mismatch_reported_with_line() {
         let err = parse_table("1010\n10\n").unwrap_err();
         match err {
-            TableIoError::WidthMismatch { line, got, expected } => {
+            TableIoError::WidthMismatch {
+                line,
+                got,
+                expected,
+            } => {
                 assert_eq!((line, got, expected), (2, 2, 4));
             }
             other => panic!("wrong error: {other}"),
@@ -156,7 +164,10 @@ mod tests {
 
     #[test]
     fn empty_table_rejected() {
-        assert!(matches!(parse_table("# nothing\n"), Err(TableIoError::Empty)));
+        assert!(matches!(
+            parse_table("# nothing\n"),
+            Err(TableIoError::Empty)
+        ));
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub struct ParseTernaryError {
 
 impl fmt::Display for ParseTernaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid ternary digit {:?} (expected 0, 1, x or X)", self.ch)
+        write!(
+            f,
+            "invalid ternary digit {:?} (expected 0, 1, x or X)",
+            self.ch
+        )
     }
 }
 

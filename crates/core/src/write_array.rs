@@ -2,7 +2,7 @@
 //!
 //! BLs are shared column-wise, so writing one row exposes every other
 //! row's FeFETs to the write voltages. The classic V/2 inhibit scheme
-//! (the C-AND scheme of the paper's layout reference [27]) biases
+//! (the C-AND scheme of the paper's layout reference \[27\]) biases
 //! unselected rows' channels at ±V_w/2 so their ferroelectric films see
 //! at most half the write voltage — safely below the coercive
 //! distribution (the calibration guarantees `V_w/2 < V_c,min`).
@@ -244,13 +244,8 @@ mod tests {
         // The array write swings the BL across every row's gate: energy
         // grows with row count.
         let params = DesignParams::preset(DesignKind::T15Dg);
-        let small = simulate_array_write(
-            &params,
-            &words(&["00", "00"]),
-            0,
-            &"11".parse().unwrap(),
-        )
-        .expect("small");
+        let small = simulate_array_write(&params, &words(&["00", "00"]), 0, &"11".parse().unwrap())
+            .expect("small");
         let large = simulate_array_write(
             &params,
             &words(&["00", "00", "00", "00", "00", "00", "00", "00"]),

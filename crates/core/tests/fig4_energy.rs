@@ -1,0 +1,73 @@
+//! Regression pin for the Fig. 4 search waveforms: total source energy
+//! of the three canonical 1.5T-1DG search cases must not drift when the
+//! solver takes the pattern-cached refactorisation fast path. The
+//! reference values were captured with the plain full-factorisation
+//! Newton loop before the cached path existed.
+
+use ferrotcam::cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
+use ferrotcam::{build_search_row, TernaryWord};
+
+struct Case {
+    name: &'static str,
+    stored: &'static str,
+    query: [bool; 4],
+    step2: bool,
+    /// Pinned total source energy (J) from the pre-fast-path engine.
+    energy: f64,
+}
+
+/// The three Fig. 4 cases: a step-1 miss, a step-2 miss and a full
+/// two-step match, all on the scaled 1.5T-1DG design.
+const CASES: &[Case] = &[
+    Case {
+        name: "step1_miss",
+        stored: "1000",
+        query: [false; 4],
+        step2: false,
+        energy: 1.594_798_062_842_455_3e-15,
+    },
+    Case {
+        name: "step2_miss",
+        stored: "0100",
+        query: [false; 4],
+        step2: true,
+        energy: 1.770_304_714_168_843_3e-15,
+    },
+    Case {
+        name: "match",
+        stored: "0110",
+        query: [false, true, true, false],
+        step2: true,
+        energy: 2.424_931_065_325_923e-15,
+    },
+];
+
+fn run_case(case: &Case) -> f64 {
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let stored: TernaryWord = case.stored.parse().expect("stored word");
+    let mut sim = build_search_row(
+        &params,
+        &stored,
+        &case.query,
+        SearchTiming::default(),
+        RowParasitics::default(),
+        case.step2,
+    )
+    .expect("build row");
+    let run = sim.run().expect("transient");
+    run.total_energy()
+}
+
+#[test]
+fn fig4_energies_pinned() {
+    for case in CASES {
+        let e = run_case(case);
+        let tol = 1e-9 * case.energy.abs();
+        assert!(
+            (e - case.energy).abs() <= tol,
+            "{}: energy {e:.17e} drifted from pinned {:.17e}",
+            case.name,
+            case.energy
+        );
+    }
+}

@@ -14,10 +14,7 @@ fn ternary_digit() -> impl Strategy<Value = Ternary> {
 }
 
 fn contents(width: usize) -> impl Strategy<Value = Vec<Vec<Ternary>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(ternary_digit(), width),
-        1..20,
-    )
+    proptest::collection::vec(proptest::collection::vec(ternary_digit(), width), 1..20)
 }
 
 proptest! {

@@ -154,7 +154,14 @@ mod tests {
     const T: f64 = TEMP_NOMINAL;
 
     fn dev(p: FefetParams) -> Fefet {
-        Fefet::new("f", NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, p)
+        Fefet::new(
+            "f",
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            p,
+        )
     }
 
     #[test]

@@ -122,7 +122,14 @@ pub struct Fefet {
 impl Fefet {
     /// Create a FeFET in the erased (HVT / '0') state.
     #[must_use]
-    pub fn new(name: &str, d: NodeId, fg: NodeId, s: NodeId, bg: NodeId, params: FefetParams) -> Self {
+    pub fn new(
+        name: &str,
+        d: NodeId,
+        fg: NodeId,
+        s: NodeId,
+        bg: NodeId,
+        params: FefetParams,
+    ) -> Self {
         Self {
             name: name.to_string(),
             nodes: [d, fg, s, bg],
@@ -174,7 +181,10 @@ impl Fefet {
     /// Panics for SG devices (no BG path).
     #[must_use]
     pub fn vth_bg(&self) -> f64 {
-        assert!(self.params.bg_coupling > 0.0, "SG-FeFET has no BG read path");
+        assert!(
+            self.params.bg_coupling > 0.0,
+            "SG-FeFET has no BG read path"
+        );
         self.vth() / self.params.bg_coupling
     }
 
@@ -195,14 +205,30 @@ impl Fefet {
 
     /// Front-gate Id–Vg sweep at drain bias `vd` (source, BG grounded).
     #[must_use]
-    pub fn sweep_fg(&self, vg_range: (f64, f64), points: usize, vd: f64, temp: f64) -> Vec<(f64, f64)> {
-        sweep(vg_range, points, |vg| self.drain_current(vd, vg, 0.0, 0.0, temp))
+    pub fn sweep_fg(
+        &self,
+        vg_range: (f64, f64),
+        points: usize,
+        vd: f64,
+        temp: f64,
+    ) -> Vec<(f64, f64)> {
+        sweep(vg_range, points, |vg| {
+            self.drain_current(vd, vg, 0.0, 0.0, temp)
+        })
     }
 
     /// Back-gate Id–Vg sweep at drain bias `vd` (source, FG grounded).
     #[must_use]
-    pub fn sweep_bg(&self, vg_range: (f64, f64), points: usize, vd: f64, temp: f64) -> Vec<(f64, f64)> {
-        sweep(vg_range, points, |vg| self.drain_current(vd, 0.0, 0.0, vg, temp))
+    pub fn sweep_bg(
+        &self,
+        vg_range: (f64, f64),
+        points: usize,
+        vd: f64,
+        temp: f64,
+    ) -> Vec<(f64, f64)> {
+        sweep(vg_range, points, |vg| {
+            self.drain_current(vd, 0.0, 0.0, vg, temp)
+        })
     }
 }
 

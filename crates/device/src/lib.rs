@@ -41,4 +41,4 @@ pub use ferro::{PreisachFilm, PreisachParams};
 pub use mosfet::{Mosfet, MosfetParams, Polarity};
 pub use reliability::{EnduranceModel, ReadDisturbModel, RetentionModel};
 pub use resistance::{ReadPath, ResistanceProfile};
-pub use variability::{skewed_fefet, VthVariation};
+pub use variability::{sample_seed, skewed_fefet, VthVariation};

@@ -227,7 +227,14 @@ pub mod terminal {
 impl Mosfet {
     /// Create a MOSFET named `name` with terminals drain/gate/source/body.
     #[must_use]
-    pub fn new(name: &str, d: NodeId, g: NodeId, s: NodeId, b: NodeId, params: MosfetParams) -> Self {
+    pub fn new(
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        params: MosfetParams,
+    ) -> Self {
         Self {
             name: name.to_string(),
             nodes: [d, g, s, b],
@@ -376,7 +383,11 @@ mod tests {
                 - ekv_ids(&p, p.vth0, vg, vd, vs - h, T).ids)
                 / (2.0 * h);
             let tol = |a: f64| 1e-4 * a.abs().max(1e-12);
-            assert!((m.gm - num_gm).abs() < tol(num_gm), "gm {} vs {num_gm}", m.gm);
+            assert!(
+                (m.gm - num_gm).abs() < tol(num_gm),
+                "gm {} vs {num_gm}",
+                m.gm
+            );
             assert!(
                 (m.gds - num_gds).abs() < tol(num_gds),
                 "gds {} vs {num_gds}",

@@ -3,7 +3,7 @@
 //! The paper's core device argument (Sec. I–II) is that thinning the
 //! ferroelectric and halving the write voltage moves endurance from the
 //! ~10⁵ cycles of ±4 V SG-FeFETs to the >10¹⁰ cycles demonstrated at
-//! ~±2 V [18], because charge trapping and interface degradation grow
+//! ~±2 V \[18\], because charge trapping and interface degradation grow
 //! steeply (≈ exponentially) with the write field. This module provides
 //! compact engineering models of both wear-out axes:
 //!

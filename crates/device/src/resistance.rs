@@ -9,7 +9,7 @@
 //! bias condition Fig. 5(c) analyses) and `R_N`, `R_P` are the ON
 //! resistances of the shared TN/TP transistors.
 
-use crate::fefet::{FefetParams, Fefet, VthState};
+use crate::fefet::{Fefet, FefetParams, VthState};
 use ferrotcam_spice::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -74,10 +74,7 @@ impl ResistanceProfile {
     /// and `r_p`. The `≪` is enforced as `r_off ≥ off_margin · r_p`.
     #[must_use]
     pub fn satisfies_eq1(&self, r_n: f64, r_p: f64, off_margin: f64) -> bool {
-        self.r_on < r_n
-            && r_n < self.r_m
-            && self.r_m < r_p
-            && r_p * off_margin <= self.r_off
+        self.r_on < r_n && r_n < self.r_m && self.r_m < r_p && r_p * off_margin <= self.r_off
     }
 
     /// Ideal divider output `VDD·R_N/(R_FE + R_N)` for search-'0'

@@ -3,13 +3,15 @@
 //!
 //! Scaled FeFETs suffer significant V_TH variation from the granular
 //! ferroelectric domain structure on top of the usual random dopant /
-//! work-function components ([19], [20] in the paper). Both follow an
+//! work-function components (\[19\], \[20\] in the paper). Both follow an
 //! area law (Pelgrom): `σ(V_TH) = A_vt / sqrt(W·L)`, with the
 //! ferroelectric contribution scaling with the per-domain polarisation
 //! quantum.
 
 use crate::fefet::FefetParams;
-use rand::Rng;
+use ferrotcam_spice::parallel::par_map;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rand_distr_like::NormalSampler;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +39,24 @@ mod rand_distr_like {
             self.mean + self.sigma * z
         }
     }
+}
+
+/// One SplitMix64 scrambling step.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG seed for sample `index` of the Monte-Carlo stream `seed`.
+///
+/// Each sample index maps to its own seed, so a batch can be drawn by
+/// any number of workers in any order and stay bit-identical to a
+/// serial draw — worker count never changes the sample values.
+#[must_use]
+pub fn sample_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index.wrapping_add(1)))
 }
 
 /// Variability parameters for a FeFET flavour.
@@ -84,6 +104,34 @@ impl VthVariation {
     /// Draw `n` offsets.
     pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draw the `index`-th offset of the deterministic stream `seed`
+    /// (V, FG-referred).
+    ///
+    /// Unlike [`Self::sample`] this does not advance a shared RNG: the
+    /// sample is a pure function of `(seed, index)` via [`sample_seed`],
+    /// which is what makes parallel Monte-Carlo batches reproducible.
+    #[must_use]
+    pub fn sample_at(&self, seed: u64, index: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed, index));
+        self.sample(&mut rng)
+    }
+
+    /// Draw offsets `0..n` of stream `seed` serially (reference order).
+    #[must_use]
+    pub fn sample_batch(&self, seed: u64, n: usize) -> Vec<f64> {
+        (0..n as u64).map(|i| self.sample_at(seed, i)).collect()
+    }
+
+    /// Draw offsets `0..n` of stream `seed` on `jobs` workers.
+    ///
+    /// Bit-identical to [`Self::sample_batch`] for every worker count,
+    /// because each index derives its own generator.
+    #[must_use]
+    pub fn sample_batch_par(&self, seed: u64, n: usize, jobs: usize) -> Vec<f64> {
+        let indices: Vec<u64> = (0..n as u64).collect();
+        par_map(&indices, jobs, |_, &i| self.sample_at(seed, i))
     }
 
     /// A copy with the sigma scaled by `factor` (for sensitivity
@@ -151,6 +199,38 @@ mod tests {
         let s = skewed_fefet(&p, 0.05);
         assert!((s.core.vth0 - p.core.vth0 - 0.05).abs() < 1e-12);
         assert_eq!(s.mw_fg, p.mw_fg);
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let v = VthVariation::for_fefet(&calib::dg_fefet_14nm());
+        let serial = v.sample_batch(0xfe1d, 257);
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(v.sample_batch_par(0xfe1d, 257, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn indexed_batch_matches_requested_sigma() {
+        let v = VthVariation::for_fefet(&calib::dg_fefet_14nm());
+        let xs = v.sample_batch(42, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.002, "mean = {mean}");
+        assert!(
+            (var.sqrt() / v.sigma_vth() - 1.0).abs() < 0.05,
+            "sd = {} vs {}",
+            var.sqrt(),
+            v.sigma_vth()
+        );
+    }
+
+    #[test]
+    fn distinct_streams_and_indices_decorrelate() {
+        assert_ne!(sample_seed(1, 0), sample_seed(1, 1));
+        assert_ne!(sample_seed(1, 0), sample_seed(2, 0));
+        let v = VthVariation::for_fefet(&calib::dg_fefet_14nm());
+        assert_ne!(v.sample_at(7, 0), v.sample_at(7, 1));
     }
 
     #[test]

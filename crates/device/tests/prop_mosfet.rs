@@ -5,8 +5,8 @@ use ferrotcam_device::mosfet::{ekv_ids, MosfetParams, Polarity};
 use proptest::prelude::*;
 
 fn params() -> impl Strategy<Value = MosfetParams> {
-    (0.2f64..0.8, 50e-6f64..500e-6, 20f64..200.0, 1.05f64..1.6).prop_map(
-        |(vth0, kp, w_nm, n)| MosfetParams {
+    (0.2f64..0.8, 50e-6f64..500e-6, 20f64..200.0, 1.05f64..1.6).prop_map(|(vth0, kp, w_nm, n)| {
+        MosfetParams {
             polarity: Polarity::Nmos,
             vth0,
             kp,
@@ -16,8 +16,8 @@ fn params() -> impl Strategy<Value = MosfetParams> {
             lambda: 0.05,
             c_gate: 1e-17,
             c_junction: 1e-17,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

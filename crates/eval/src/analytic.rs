@@ -1,7 +1,7 @@
 //! Eva-CAM-style closed-form latency/energy estimation.
 //!
 //! The paper evaluates with SPICE but extracts its wire parasitics from
-//! Eva-CAM [15], an *analytical* CAM evaluator. This module is that
+//! Eva-CAM \[15\], an *analytical* CAM evaluator. This module is that
 //! second modality: closed-form RC estimates for search latency and
 //! energy, three orders of magnitude faster than transient simulation —
 //! the tool you sweep a large design space with before committing to
@@ -102,8 +102,7 @@ pub fn analytic_search(design: DesignKind, word_len: usize, tech: &TechNode) -> 
     let r_pull = pulldown_resistance(&params);
     let t_sa = 40e-12;
     let t_settle = if design.is_t15() { 120e-12 } else { 30e-12 };
-    let latency_1step =
-        r_pull * c_ml * (2.0f64).ln() + t_sa + t_settle;
+    let latency_1step = r_pull * c_ml * (2.0f64).ln() + t_sa + t_settle;
     let latency = if design.is_two_step() {
         2.0 * latency_1step + 260e-12 // gap + select leads
     } else {
@@ -134,8 +133,7 @@ pub fn analytic_search(design: DesignKind, word_len: usize, tech: &TechNode) -> 
         0.0
     };
     let e_sa = 1.5e-15; // SA + encoder share per row
-    let per_cell_1step =
-        (e_precharge + e_sa) / word_len as f64 + e_lines_cell + e_static_cell;
+    let per_cell_1step = (e_precharge + e_sa) / word_len as f64 + e_lines_cell + e_static_cell;
     let per_cell_2step = if design.is_two_step() {
         per_cell_1step + e_lines_cell + e_static_cell
     } else {

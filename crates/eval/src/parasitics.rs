@@ -1,4 +1,4 @@
-//! Wire-parasitic extraction (the Eva-CAM [15] role): per-cell match
+//! Wire-parasitic extraction (the Eva-CAM \[15\] role): per-cell match
 //! line, select line and internal-node RC from the cell geometry.
 
 use crate::layout::cell_dimensions;
@@ -57,8 +57,11 @@ mod tests {
         let t = tech_14nm();
         for kind in DesignKind::ALL {
             let p = row_parasitics(kind, &t);
-            assert!(p.ml_wire_per_cell > 1e-17 && p.ml_wire_per_cell < 5e-16,
-                "{kind}: {:.2e}", p.ml_wire_per_cell);
+            assert!(
+                p.ml_wire_per_cell > 1e-17 && p.ml_wire_per_cell < 5e-16,
+                "{kind}: {:.2e}",
+                p.ml_wire_per_cell
+            );
         }
     }
 

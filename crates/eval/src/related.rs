@@ -1,6 +1,6 @@
 //! Published NV-TCAM designs from the paper's related-work discussion
-//! (Sec. II-B), for context tables: the 2T-2R PCM [11], 3T1R [10] and
-//! 2.5T1R [9] RRAM designs, STT-MRAM [12], and the 2FeFET design [13].
+//! (Sec. II-B), for context tables: the 2T-2R PCM \[11\], 3T1R \[10\] and
+//! 2.5T1R \[9\] RRAM designs, STT-MRAM \[12\], and the 2FeFET design \[13\].
 //!
 //! Numbers are as published (different nodes, array sizes and
 //! methodologies — the same caveat the paper's own comparisons carry);
@@ -151,6 +151,9 @@ mod tests {
         let fefet2 = normalized_cell_area(0.290, 45.0);
         let pcm = normalized_cell_area(0.41, 90.0);
         assert!(ours < pcm * 20.0);
-        assert!(ours / fefet2 < 10.0, "ours {ours:.0} F² vs 2FeFET {fefet2:.0} F²");
+        assert!(
+            ours / fefet2 < 10.0,
+            "ours {ours:.0} F² vs 2FeFET {fefet2:.0} F²"
+        );
     }
 }

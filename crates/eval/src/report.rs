@@ -32,7 +32,7 @@ pub struct FomRow {
     pub energy_avg_fj: f64,
 }
 
-/// The published 16T CMOS baseline row ([25], as carried by Table IV).
+/// The published 16T CMOS baseline row (\[25\], as carried by Table IV).
 #[must_use]
 pub fn cmos_published() -> FomRow {
     FomRow {
@@ -125,18 +125,20 @@ impl FomTable {
         s.push_str(&row_str("Write voltage", &|r| r.write_voltage.clone()));
         s.push('\n');
         s.push_str(&row_str("FE thickness (nm)", &|r| {
-            r.fe_thickness_nm.map_or("N.A.".into(), |t| format!("{t:.0}"))
+            r.fe_thickness_nm
+                .map_or("N.A.".into(), |t| format!("{t:.0}"))
         }));
         s.push('\n');
         s.push_str(&row_str("Cell area (um^2)", &|r| {
             fmt_ratio(r.cell_area_um2, base.map(|b| b.cell_area_um2))
         }));
         s.push('\n');
-        s.push_str(&row_str("Write energy/cell (fJ)", &|r| {
-            match (r.write_energy_fj, base.and_then(|b| b.write_energy_fj)) {
-                (Some(v), b) => fmt_ratio(v, b),
-                (None, _) => "N.A.".into(),
-            }
+        s.push_str(&row_str("Write energy/cell (fJ)", &|r| match (
+            r.write_energy_fj,
+            base.and_then(|b| b.write_energy_fj),
+        ) {
+            (Some(v), b) => fmt_ratio(v, b),
+            (None, _) => "N.A.".into(),
         }));
         s.push('\n');
         s.push_str(&row_str("Search latency (ps)", &|r| {
@@ -181,13 +183,16 @@ impl FomTable {
                 "{},{},{},{:.4},{},{:.1},{:.1},{:.4},{},{:.4}",
                 r.design,
                 quoted_wv,
-                r.fe_thickness_nm.map_or(String::from(""), |t| format!("{t:.0}")),
+                r.fe_thickness_nm
+                    .map_or(String::from(""), |t| format!("{t:.0}")),
                 r.cell_area_um2,
-                r.write_energy_fj.map_or(String::from(""), |e| format!("{e:.4}")),
+                r.write_energy_fj
+                    .map_or(String::from(""), |e| format!("{e:.4}")),
                 r.latency_1step_ps,
                 r.latency_ps,
                 r.energy_1step_fj,
-                r.energy_2step_fj.map_or(String::from(""), |e| format!("{e:.4}")),
+                r.energy_2step_fj
+                    .map_or(String::from(""), |e| format!("{e:.4}")),
                 r.energy_avg_fj,
             );
         }

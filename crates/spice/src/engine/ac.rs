@@ -15,7 +15,7 @@
 use super::dc::{operating_point, DcOpts, Solution};
 use super::{NewtonOpts, System};
 use crate::error::{Error, Result};
-use crate::matrix::sparse::{SparseLu, Triplets};
+use crate::matrix::sparse::Triplets;
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::nonlinear::{DeviceStamps, EvalCtx};
 
@@ -96,8 +96,8 @@ impl AcResult {
             let (f0, v0) = w[0];
             let (f1, v1) = w[1];
             if v0 > target && v1 <= target {
-                let lf = f0.ln()
-                    + (target.ln() - v0.ln()) * (f1.ln() - f0.ln()) / (v1.ln() - v0.ln());
+                let lf =
+                    f0.ln() + (target.ln() - v0.ln()) * (f1.ln() - f0.ln()) / (v1.ln() - v0.ln());
                 return Some(lf.exp());
             }
         }
@@ -167,7 +167,10 @@ pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResul
 
     // Capacitances: linear capacitors + device ∂Q/∂V at the OP.
     for elem in ckt.elements() {
-        if let Element::Capacitor { p, n: nn, farads, .. } = elem {
+        if let Element::Capacitor {
+            p, n: nn, farads, ..
+        } = elem
+        {
             let (vp, vn) = (sys.var_of(*p), sys.var_of(*nn));
             if let Some(a) = vp {
                 c_tri.add(a, a, *farads);
@@ -189,7 +192,9 @@ pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResul
         let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
         dev.eval(&vt, st, &ctx);
         for a in 0..t {
-            let Some(ra) = sys.var_of(terms[a]) else { continue };
+            let Some(ra) = sys.var_of(terms[a]) else {
+                continue;
+            };
             for b in 0..t {
                 let c = st.cq[a * t + b];
                 if c != 0.0 {
@@ -201,18 +206,25 @@ pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResul
         }
     }
 
-    // Real-equivalent 2n system per frequency.
-    let g_entries = g_tri.to_csc();
-    let c_entries = c_tri.to_csc();
+    // Real-equivalent 2n system per frequency. The stamp order is
+    // frequency-independent, so the cached solver's scatter plan and LU
+    // pattern survive across the whole frequency grid: every frequency
+    // after the first is a numeric-only refactorisation.
+    let mut g_compressed = crate::matrix::CscMatrix::default();
+    let mut c_compressed = crate::matrix::CscMatrix::default();
+    g_tri.compress_into(&mut g_compressed);
+    c_tri.compress_into(&mut c_compressed);
+    let mut solver = crate::matrix::CachedSolver::new();
+    let mut big = Triplets::new(2 * n);
     let mut solutions = Vec::with_capacity(freqs.len());
     for &f in freqs {
         let w = 2.0 * std::f64::consts::PI * f;
-        let mut big = Triplets::new(2 * n);
-        for (r, c, gv) in g_entries.entries() {
+        big.clear();
+        for (r, c, gv) in g_compressed.entries() {
             big.add(r, c, gv);
             big.add(n + r, n + c, gv);
         }
-        for (r, c, cv) in c_entries.entries() {
+        for (r, c, cv) in c_compressed.entries() {
             big.add(r, n + c, -cv * w);
             big.add(n + r, c, cv * w);
         }
@@ -221,8 +233,7 @@ pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResul
         // sources are AC-grounded (their branch RHS stays 0 — note the
         // DC RHS is *not* reused: AC solves the perturbation).
         b[sys.branch_var(ac_branch)] = 1.0;
-        let lu = SparseLu::factor(&big.to_csc())?;
-        let xs = lu.solve(&b);
+        let xs = solver.solve(&big, &b)?;
         let sol: Vec<Phasor> = (0..n)
             .map(|v| Phasor {
                 re: xs[v],

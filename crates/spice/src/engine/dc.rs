@@ -1,9 +1,8 @@
 //! DC operating-point analysis with gmin and source stepping fallbacks.
 
-use super::{NewtonOpts, System};
+use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, NodeId};
-use crate::nonlinear::DeviceStamps;
 
 /// Options for [`operating_point`].
 #[derive(Debug, Clone, Default)]
@@ -19,11 +18,27 @@ pub struct DcOpts {
 pub struct Solution {
     x: Vec<f64>,
     num_nodes: usize,
+    stats: SimStats,
 }
 
 impl Solution {
     pub(crate) fn new(x: Vec<f64>, num_nodes: usize) -> Self {
-        Self { x, num_nodes }
+        Self {
+            x,
+            num_nodes,
+            stats: SimStats::default(),
+        }
+    }
+
+    pub(crate) fn with_stats(mut self, stats: SimStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Solver work counters for this solve (iterations, factorisations).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
     }
 
     /// Node voltage (0 for ground).
@@ -69,11 +84,10 @@ const SRC_STEPS: usize = 10;
 /// [`Error::SingularMatrix`] for a structurally defective circuit.
 pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     let sys = System::new(ckt);
-    let mut stamps: Vec<DeviceStamps> = ckt
-        .devices()
-        .iter()
-        .map(|d| DeviceStamps::new(d.terminals().len()))
-        .collect();
+    // One workspace for the whole ladder: the gmin/source-stepping rungs
+    // all share the matrix pattern, so only the first solve pays for
+    // symbolic analysis.
+    let mut ws = NewtonWorkspace::new(&sys);
     let x0 = vec![0.0; sys.nvars];
 
     // 1. Plain Newton from zero.
@@ -84,10 +98,10 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
         &opts.newton,
         opts.newton.gmin,
         None,
-        &mut stamps,
+        &mut ws,
         "dc",
     ) {
-        Ok((x, _)) => return Ok(Solution::new(x, sys.num_nodes)),
+        Ok((x, _)) => return Ok(Solution::new(x, sys.num_nodes).with_stats(ws.stats())),
         Err(Error::SingularMatrix { .. }) => {
             // Structural problem — stepping will not fix a floating
             // subcircuit; retry once with a heavy shunt before giving up.
@@ -100,16 +114,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     let mut ok = true;
     for &gmin in &GMIN_LADDER {
         let gmin = gmin.max(opts.newton.gmin);
-        match sys.newton(
-            &x,
-            opts.time,
-            1.0,
-            &opts.newton,
-            gmin,
-            None,
-            &mut stamps,
-            "dc",
-        ) {
+        match sys.newton(&x, opts.time, 1.0, &opts.newton, gmin, None, &mut ws, "dc") {
             Ok((xn, _)) => x = xn,
             Err(_) => {
                 ok = false;
@@ -118,7 +123,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
         }
     }
     if ok {
-        return Ok(Solution::new(x, sys.num_nodes));
+        return Ok(Solution::new(x, sys.num_nodes).with_stats(ws.stats()));
     }
 
     // 3. Source stepping.
@@ -132,7 +137,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
             &opts.newton,
             opts.newton.gmin.max(1e-9),
             None,
-            &mut stamps,
+            &mut ws,
             "dc",
         )?;
         x = xn;
@@ -145,10 +150,10 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
         &opts.newton,
         opts.newton.gmin,
         None,
-        &mut stamps,
+        &mut ws,
         "dc",
     )?;
-    Ok(Solution::new(x, sys.num_nodes))
+    Ok(Solution::new(x, sys.num_nodes).with_stats(ws.stats()))
 }
 
 #[cfg(test)]
@@ -217,6 +222,10 @@ mod tests {
         ckt.isource("I1", Circuit::gnd(), a, Waveform::dc(1e-3));
         ckt.resistor("R1", a, Circuit::gnd(), 1e3).unwrap();
         let sol = operating_point(&ckt, &DcOpts::default()).unwrap();
-        assert!((sol.voltage(a) - 1.0).abs() < 1e-4, "v = {}", sol.voltage(a));
+        assert!(
+            (sol.voltage(a) - 1.0).abs() < 1e-4,
+            "v = {}",
+            sol.voltage(a)
+        );
     }
 }

@@ -7,7 +7,8 @@ pub mod sweep;
 pub mod transient;
 
 use crate::error::{Error, Result};
-use crate::matrix::sparse::{SparseLu, Triplets};
+use crate::matrix::cached::CachedSolver;
+use crate::matrix::sparse::Triplets;
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::nonlinear::{DeviceStamps, EvalCtx};
 
@@ -40,6 +41,87 @@ impl Default for NewtonOpts {
             vlimit: 0.4,
             gmin: 1e-12,
             temp: crate::units::TEMP_NOMINAL,
+        }
+    }
+}
+
+/// Solver work counters for one analysis run.
+///
+/// Exposed on every engine result ([`super::engine::dc::Solution`],
+/// [`crate::probe::Trace`], [`super::engine::sweep::SweepResult`]) so
+/// callers can see how often the pattern-cached fast path
+/// ([`crate::matrix::CachedSolver`]) was hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Newton iterations run (each is one assemble + one linear solve).
+    pub newton_iters: u64,
+    /// Full LU factorisations (symbolic + numeric).
+    pub full_factors: u64,
+    /// Numeric-only refactorisations on a reused pattern.
+    pub refactors: u64,
+    /// Scatter-plan rebuilds caused by a changed assembly pattern.
+    pub pattern_rebuilds: u64,
+    /// Accepted transient timesteps (zero for DC analyses).
+    pub accepted_steps: u64,
+    /// Rejected (re-tried with a smaller dt) transient timesteps.
+    pub rejected_steps: u64,
+}
+
+impl SimStats {
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: SimStats) {
+        self.newton_iters += other.newton_iters;
+        self.full_factors += other.full_factors;
+        self.refactors += other.refactors;
+        self.pattern_rebuilds += other.pattern_rebuilds;
+        self.accepted_steps += other.accepted_steps;
+        self.rejected_steps += other.rejected_steps;
+    }
+}
+
+/// Reusable Newton scratch: assembly buffers, per-device stamp buffers
+/// and the pattern-cached linear solver.
+///
+/// One workspace lives for a whole analysis (all Newton solves of a DC
+/// ladder, every timestep of a transient, every point of a sweep), so
+/// iteration 2 onwards reuses the scatter plan and LU pattern instead of
+/// re-sorting and re-pivoting from scratch.
+#[derive(Debug)]
+pub(crate) struct NewtonWorkspace {
+    pub tri: Triplets,
+    pub rhs: Vec<f64>,
+    pub solver: CachedSolver,
+    pub stamps: Vec<DeviceStamps>,
+    /// Newton iterations run through this workspace.
+    pub newton_iters: u64,
+}
+
+impl NewtonWorkspace {
+    pub fn new(sys: &System<'_>) -> Self {
+        Self {
+            tri: Triplets::new(sys.nvars),
+            rhs: vec![0.0; sys.nvars],
+            solver: CachedSolver::new(),
+            stamps: sys
+                .ckt
+                .devices()
+                .iter()
+                .map(|d| DeviceStamps::new(d.terminals().len()))
+                .collect(),
+            newton_iters: 0,
+        }
+    }
+
+    /// Snapshot of the counters (step counts are the caller's concern).
+    pub fn stats(&self) -> SimStats {
+        let s = self.solver.stats();
+        SimStats {
+            newton_iters: self.newton_iters,
+            full_factors: s.full_factors,
+            refactors: s.refactors,
+            pattern_rebuilds: s.pattern_rebuilds,
+            accepted_steps: 0,
+            rejected_steps: 0,
         }
     }
 }
@@ -208,7 +290,13 @@ impl<'a> System<'a> {
                     self.stamp_current_pn(rhs, *p, *n, j);
                 }
                 Element::Vcvs {
-                    p, n, cp, cn, gain, branch, ..
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gain,
+                    branch,
+                    ..
                 } => {
                     let bv = self.branch_var(*branch);
                     if let Some(vp) = self.var_of(*p) {
@@ -230,7 +318,9 @@ impl<'a> System<'a> {
                         tri.add(bv, bv, 1.0);
                     }
                 }
-                Element::Vccs { p, n, cp, cn, gm, .. } => {
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => {
                     self.stamp_transconductance(tri, *p, *n, *cp, *cn, *gm);
                 }
             }
@@ -337,6 +427,10 @@ impl<'a> System<'a> {
     }
 
     /// One damped Newton solve. Returns `(x, iterations)` on convergence.
+    ///
+    /// The workspace carries the assembly buffers and the pattern-cached
+    /// solver across calls: iteration 2..N (and every later solve on the
+    /// same topology) skips symbolic analysis entirely.
     #[allow(clippy::too_many_arguments)]
     pub fn newton(
         &self,
@@ -346,12 +440,10 @@ impl<'a> System<'a> {
         opts: &NewtonOpts,
         gmin: f64,
         companion: Option<&Companion>,
-        stamps: &mut [DeviceStamps],
+        ws: &mut NewtonWorkspace,
         analysis: &'static str,
     ) -> Result<(Vec<f64>, usize)> {
         let mut x = x0.to_vec();
-        let mut tri = Triplets::new(self.nvars);
-        let mut rhs = vec![0.0; self.nvars];
         let ctx = EvalCtx {
             temp: opts.temp,
             gmin,
@@ -364,12 +456,12 @@ impl<'a> System<'a> {
                 source_scale,
                 &ctx,
                 companion,
-                &mut tri,
-                &mut rhs,
-                stamps,
+                &mut ws.tri,
+                &mut ws.rhs,
+                &mut ws.stamps,
             );
-            let lu = SparseLu::factor(&tri.to_csc())?;
-            let x_new = lu.solve(&rhs);
+            ws.newton_iters += 1;
+            let x_new = ws.solver.solve(&ws.tri, &ws.rhs)?;
 
             // Convergence check on the raw (undamped) update.
             let nnode_vars = self.num_nodes - 1;
@@ -431,10 +523,19 @@ mod tests {
         ckt.resistor("R1", a, b, 1e3).unwrap();
         ckt.resistor("R2", b, Circuit::gnd(), 1e3).unwrap();
         let sys = System::new(&ckt);
-        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let mut ws = NewtonWorkspace::new(&sys);
         let x0 = vec![0.0; sys.nvars];
         let (x, _) = sys
-            .newton(&x0, 0.0, 1.0, &NewtonOpts::default(), 1e-12, None, &mut stamps, "dc")
+            .newton(
+                &x0,
+                0.0,
+                1.0,
+                &NewtonOpts::default(),
+                1e-12,
+                None,
+                &mut ws,
+                "dc",
+            )
             .unwrap();
         assert!((sys.voltage(&x, a) - 2.0).abs() < 1e-6);
         assert!((sys.voltage(&x, b) - 1.0).abs() < 1e-4);
@@ -453,7 +554,7 @@ mod tests {
         ckt.vcvs("E1", out, Circuit::gnd(), inp, Circuit::gnd(), 4.0);
         ckt.resistor("RL", out, Circuit::gnd(), 1e3).unwrap();
         let sys = System::new(&ckt);
-        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let mut ws = NewtonWorkspace::new(&sys);
         let (x, _) = sys
             .newton(
                 &vec![0.0; sys.nvars],
@@ -462,7 +563,7 @@ mod tests {
                 &NewtonOpts::default(),
                 1e-12,
                 None,
-                &mut stamps,
+                &mut ws,
                 "dc",
             )
             .unwrap();
@@ -479,7 +580,7 @@ mod tests {
         ckt.vccs("G1", Circuit::gnd(), out, ctrl, Circuit::gnd(), 1e-3);
         ckt.resistor("RL", out, Circuit::gnd(), 1e3).unwrap();
         let sys = System::new(&ckt);
-        let mut stamps: Vec<DeviceStamps> = Vec::new();
+        let mut ws = NewtonWorkspace::new(&sys);
         let (x, _) = sys
             .newton(
                 &vec![0.0; sys.nvars],
@@ -488,7 +589,7 @@ mod tests {
                 &NewtonOpts::default(),
                 1e-12,
                 None,
-                &mut stamps,
+                &mut ws,
                 "dc",
             )
             .unwrap();

@@ -6,16 +6,16 @@
 //! Fig. 5(b)/(c).
 
 use super::dc::{DcOpts, Solution};
-use super::{NewtonOpts, System};
+use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, Element, NodeId};
-use crate::nonlinear::DeviceStamps;
 
 /// Result of a DC sweep: the swept values and one solution per point.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     values: Vec<f64>,
     solutions: Vec<Solution>,
+    stats: SimStats,
 }
 
 impl SweepResult {
@@ -63,6 +63,12 @@ impl SweepResult {
             .map(|(&v, s)| (v, s.branch_current(branch)))
             .collect()
     }
+
+    /// Solver work counters accumulated over every sweep point.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
 }
 
 /// Sweep the voltage source named `source` through `values`, solving the
@@ -73,7 +79,12 @@ impl SweepResult {
 /// # Errors
 /// * [`Error::UnknownSignal`] when no voltage source has that name;
 /// * DC convergence errors from any sweep point.
-pub fn dc_sweep(ckt: &Circuit, source: &str, values: &[f64], opts: &NewtonOpts) -> Result<SweepResult> {
+pub fn dc_sweep(
+    ckt: &Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOpts,
+) -> Result<SweepResult> {
     // Locate the source's branch so we can override its value.
     let branch = ckt
         .elements()
@@ -87,24 +98,22 @@ pub fn dc_sweep(ckt: &Circuit, source: &str, values: &[f64], opts: &NewtonOpts) 
         })?;
 
     let sys = System::new(ckt);
-    let mut stamps: Vec<DeviceStamps> = ckt
-        .devices()
-        .iter()
-        .map(|d| DeviceStamps::new(d.terminals().len()))
-        .collect();
+    // One workspace for the whole sweep: every point shares the matrix
+    // pattern, so points 2..N only refactor numerically.
+    let mut ws = NewtonWorkspace::new(&sys);
 
     let mut solutions = Vec::with_capacity(values.len());
     let mut x = vec![0.0; sys.nvars];
     let mut warm = false;
     for &v in values {
         let ov = SourceOverride { branch, value: v };
-        let solved = solve_newton_override(&sys, ckt, &x, opts, &ov, &mut stamps);
+        let solved = solve_newton_override(&sys, ckt, &x, opts, &ov, &mut ws);
         let xs = match solved {
             Ok(xs) => xs,
             Err(_) if warm => {
                 // A hard corner: retry cold from zero.
                 let x0 = vec![0.0; sys.nvars];
-                solve_newton_override(&sys, ckt, &x0, opts, &ov, &mut stamps)?
+                solve_newton_override(&sys, ckt, &x0, opts, &ov, &mut ws)?
             }
             Err(e) => return Err(e),
         };
@@ -115,7 +124,50 @@ pub fn dc_sweep(ckt: &Circuit, source: &str, values: &[f64], opts: &NewtonOpts) 
     Ok(SweepResult {
         values: values.to_vec(),
         solutions,
+        stats: ws.stats(),
     })
+}
+
+/// [`dc_sweep`] fanned out over a worker pool: the value list is split
+/// into `jobs` contiguous chunks, each swept independently (cold-started
+/// at its first point, warm-started within the chunk), and the solutions
+/// are reassembled in input order.
+///
+/// Point ordering and result layout are identical to the serial sweep.
+/// Individual solutions can differ from the serial run only through the
+/// warm-start trajectory at chunk boundaries — both paths converge to
+/// the same operating points within Newton tolerance. `jobs <= 1`
+/// delegates to the serial [`dc_sweep`] outright.
+///
+/// # Errors
+/// Same conditions as [`dc_sweep`]; the first failing chunk's error is
+/// returned.
+pub fn dc_sweep_par(
+    ckt: &Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOpts,
+    jobs: usize,
+) -> Result<SweepResult> {
+    let jobs = jobs.max(1).min(values.len().max(1));
+    if jobs <= 1 {
+        return dc_sweep(ckt, source, values, opts);
+    }
+    let chunk_len = values.len().div_ceil(jobs);
+    let chunks: Vec<&[f64]> = values.chunks(chunk_len).collect();
+    let results =
+        crate::parallel::par_map(&chunks, jobs, |_, chunk| dc_sweep(ckt, source, chunk, opts));
+    let mut out = SweepResult {
+        values: values.to_vec(),
+        solutions: Vec::with_capacity(values.len()),
+        stats: SimStats::default(),
+    };
+    for r in results {
+        let r = r?;
+        out.stats.merge(r.stats);
+        out.solutions.extend(r.solutions);
+    }
+    Ok(out)
 }
 
 struct SourceOverride {
@@ -131,14 +183,11 @@ fn solve_newton_override(
     x0: &[f64],
     opts: &NewtonOpts,
     ov: &SourceOverride,
-    stamps: &mut [DeviceStamps],
+    ws: &mut NewtonWorkspace,
 ) -> Result<Vec<f64>> {
-    use crate::matrix::sparse::{SparseLu, Triplets};
     use crate::nonlinear::EvalCtx;
 
     let mut x = x0.to_vec();
-    let mut tri = Triplets::new(sys.nvars);
-    let mut rhs = vec![0.0; sys.nvars];
     let ctx = EvalCtx {
         temp: opts.temp,
         gmin: opts.gmin,
@@ -151,18 +200,25 @@ fn solve_newton_override(
         .elements()
         .iter()
         .find_map(|e| match e {
-            Element::VSource { branch, wave, .. } if *branch == ov.branch => {
-                Some(wave.value(0.0))
-            }
+            Element::VSource { branch, wave, .. } if *branch == ov.branch => Some(wave.value(0.0)),
             _ => None,
         })
         .unwrap_or(0.0);
 
     for iter in 1..=opts.max_iters {
-        sys.assemble(&x, 0.0, 1.0, &ctx, None, &mut tri, &mut rhs, stamps);
-        rhs[bv] += ov.value - nominal;
-        let lu = SparseLu::factor(&tri.to_csc())?;
-        let x_new = lu.solve(&rhs);
+        sys.assemble(
+            &x,
+            0.0,
+            1.0,
+            &ctx,
+            None,
+            &mut ws.tri,
+            &mut ws.rhs,
+            &mut ws.stamps,
+        );
+        ws.rhs[bv] += ov.value - nominal;
+        ws.newton_iters += 1;
+        let x_new = ws.solver.solve(&ws.tri, &ws.rhs)?;
         let mut converged = true;
         let mut max_dv = 0.0f64;
         for v in 0..sys.nvars {
@@ -273,6 +329,45 @@ mod tests {
             // Source current flows p→n internally: −v/R.
             assert!((i + v / 1e3).abs() < 1e-7, "{v} -> {i}");
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_layout() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VIN", a, Circuit::gnd(), W::dc(0.0));
+        ckt.resistor("R1", a, b, 2e3).unwrap();
+        ckt.resistor("R2", b, Circuit::gnd(), 1e3).unwrap();
+        let vals = linspace(0.0, 3.0, 13);
+        let serial = dc_sweep(&ckt, "VIN", &vals, &NewtonOpts::default()).unwrap();
+        for jobs in [1, 2, 4, 32] {
+            let par = dc_sweep_par(&ckt, "VIN", &vals, &NewtonOpts::default(), jobs).unwrap();
+            assert_eq!(par.values(), serial.values());
+            assert_eq!(par.len(), serial.len());
+            for (s, p) in serial.solutions().iter().zip(par.solutions()) {
+                assert!(
+                    (s.voltage(b) - p.voltage(b)).abs() < 1e-9,
+                    "jobs={jobs}: {} vs {}",
+                    s.voltage(b),
+                    p.voltage(b)
+                );
+            }
+            assert!(par.stats().newton_iters > 0);
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_factorisation_across_points() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("VIN", a, Circuit::gnd(), W::dc(0.0));
+        ckt.resistor("R1", a, Circuit::gnd(), 1e3).unwrap();
+        let res = dc_sweep(&ckt, "VIN", &linspace(0.0, 1.0, 9), &NewtonOpts::default()).unwrap();
+        let s = res.stats();
+        assert_eq!(s.full_factors, 1, "only the first solve should factor");
+        assert!(s.refactors >= 8, "later points must refactor: {s:?}");
+        assert_eq!(s.pattern_rebuilds, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Transient analysis with adaptive stepping and source breakpoints.
 
 use super::dc::{operating_point, DcOpts};
-use super::{NewtonOpts, System};
+use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, Element};
 use crate::nonlinear::{DeviceStamps, EvalCtx};
@@ -75,6 +75,7 @@ const BP_SNAP: f64 = 1e-12;
 ///   cannot be rescued by step shrinking;
 /// * [`Error::SingularMatrix`] for structurally defective circuits.
 pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
+    let mut stats = SimStats::default();
     // --- Initial solution ------------------------------------------------
     let mut x: Vec<f64> = if opts.uic {
         let sysdim = {
@@ -93,11 +94,18 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
             newton: opts.newton.clone(),
             time: 0.0,
         };
-        operating_point(ckt, &dc)?.as_vec().to_vec()
+        let sol = operating_point(ckt, &dc)?;
+        stats.merge(sol.stats());
+        sol.as_vec().to_vec()
     };
 
     // --- Static bookkeeping ----------------------------------------------
-    let vsrc: Vec<(String, usize, crate::netlist::NodeId, crate::netlist::NodeId)> = ckt
+    let vsrc: Vec<(
+        String,
+        usize,
+        crate::netlist::NodeId,
+        crate::netlist::NodeId,
+    )> = ckt
         .elements()
         .iter()
         .filter_map(|e| match e {
@@ -113,8 +121,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
         .map(|s| (*s).to_string())
         .collect();
 
-    let mut signal_names: Vec<String> =
-        node_names.iter().map(|n| format!("v({n})")).collect();
+    let mut signal_names: Vec<String> = node_names.iter().map(|n| format!("v({n})")).collect();
     for (name, ..) in &vsrc {
         signal_names.push(format!("i({name})"));
         signal_names.push(format!("e({name})"));
@@ -150,29 +157,38 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
     bps.dedup_by(|a, b| (*a - *b).abs() < opts.t_stop * BP_SNAP);
 
     // --- Companion state ---------------------------------------------------
+    // The workspace lives outside the time loop so the scatter plan and
+    // LU pattern cached on the first step carry across every later step
+    // (the System view is rebuilt per step because devices need `&mut
+    // ckt` on accept, but the matrix pattern is a property of the fixed
+    // topology).
     let trapezoidal = opts.integrator == Integrator::Trapezoidal;
-    let (mut comp, mut stamps) = {
+    let (mut comp, mut ws) = {
         let sys = System::new(ckt);
         let comp = sys.new_companion(0.0, trapezoidal);
-        let stamps: Vec<DeviceStamps> = ckt
-            .devices()
-            .iter()
-            .map(|d| DeviceStamps::new(d.terminals().len()))
-            .collect();
-        (comp, stamps)
+        let ws = NewtonWorkspace::new(&sys);
+        (comp, ws)
     };
     let ctx0 = EvalCtx {
         temp: opts.newton.temp,
         gmin: opts.newton.gmin,
         time: 0.0,
     };
-    seed_charges(ckt, &x, &ctx0, &mut comp, &mut stamps);
+    seed_charges(ckt, &x, &ctx0, &mut comp, &mut ws.stamps);
 
     // Per-source cumulative delivered energy and last power sample.
     let mut energy = vec![0.0f64; vsrc.len()];
     let mut power_prev = vec![0.0f64; vsrc.len()];
     record_point(
-        ckt, &x, 0.0, &vsrc, &mut energy, &mut power_prev, true, &state_probe, &mut trace,
+        ckt,
+        &x,
+        0.0,
+        &vsrc,
+        &mut energy,
+        &mut power_prev,
+        true,
+        &state_probe,
+        &mut trace,
     );
 
     // --- Time march --------------------------------------------------------
@@ -197,7 +213,11 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
         }
 
         let t_new = t + dt_eff;
-        comp.coeff = if trapezoidal { 2.0 / dt_eff } else { 1.0 / dt_eff };
+        comp.coeff = if trapezoidal {
+            2.0 / dt_eff
+        } else {
+            1.0 / dt_eff
+        };
 
         let attempt = {
             let sys = System::new(ckt);
@@ -208,7 +228,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                 &opts.newton,
                 opts.newton.gmin,
                 Some(&comp),
-                &mut stamps,
+                &mut ws,
                 "transient",
             )
         };
@@ -220,11 +240,19 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                     gmin: opts.newton.gmin,
                     time: t_new,
                 };
-                advance_state(ckt, &x_new, &ctx, &mut comp, &mut stamps);
+                advance_state(ckt, &x_new, &ctx, &mut comp, &mut ws.stamps);
                 x = x_new;
                 t = t_new;
+                stats.accepted_steps += 1;
                 record_point(
-                    ckt, &x, t, &vsrc, &mut energy, &mut power_prev, false, &state_probe,
+                    ckt,
+                    &x,
+                    t,
+                    &vsrc,
+                    &mut energy,
+                    &mut power_prev,
+                    false,
+                    &state_probe,
                     &mut trace,
                 );
                 if iters <= 10 {
@@ -237,6 +265,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                 return Err(Error::SingularMatrix { index: 0 });
             }
             Err(_) => {
+                stats.rejected_steps += 1;
                 dt = dt_eff * 0.25;
                 if dt < opts.dt_min {
                     return Err(Error::TimeStepTooSmall { time: t, dt });
@@ -244,6 +273,8 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
             }
         }
     }
+    stats.merge(ws.stats());
+    trace.set_stats(stats);
     Ok(trace)
 }
 
@@ -260,8 +291,7 @@ fn seed_charges(
     let mut cap_pos = 0usize;
     for elem in ckt.elements() {
         if let Element::Capacitor { p, n, farads, .. } = elem {
-            comp.cap_q_prev[cap_pos] =
-                farads * (sys.voltage(x, *p) - sys.voltage(x, *n));
+            comp.cap_q_prev[cap_pos] = farads * (sys.voltage(x, *p) - sys.voltage(x, *n));
             comp.cap_i_prev[cap_pos] = 0.0;
             cap_pos += 1;
         }
@@ -343,7 +373,12 @@ fn record_point(
     ckt: &Circuit,
     x: &[f64],
     t: f64,
-    vsrc: &[(String, usize, crate::netlist::NodeId, crate::netlist::NodeId)],
+    vsrc: &[(
+        String,
+        usize,
+        crate::netlist::NodeId,
+        crate::netlist::NodeId,
+    )],
     energy: &mut [f64],
     power_prev: &mut [f64],
     first: bool,

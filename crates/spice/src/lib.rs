@@ -44,18 +44,21 @@ pub mod error;
 pub mod matrix;
 pub mod netlist;
 pub mod nonlinear;
+pub mod parallel;
 pub mod probe;
 pub mod units;
 pub mod waveform;
 
 pub use engine::ac::{ac_analysis, logspace, AcResult, Phasor};
 pub use engine::dc::{operating_point, DcOpts, Solution};
-pub use engine::sweep::{dc_sweep, linspace, transfer_curve, SweepResult};
+pub use engine::sweep::{dc_sweep, dc_sweep_par, linspace, transfer_curve, SweepResult};
 pub use engine::transient::{transient, Integrator, TranOpts};
-pub use engine::NewtonOpts;
+pub use engine::{NewtonOpts, SimStats};
 pub use error::{Error, Result};
+pub use matrix::{CachedSolver, SolverStats};
 pub use netlist::{Circuit, Element, NodeId};
 pub use nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
+pub use parallel::{default_jobs, par_map};
 pub use probe::{Edge, Trace};
 pub use waveform::Waveform;
 
@@ -63,12 +66,13 @@ pub use waveform::Waveform;
 pub mod prelude {
     pub use crate::engine::ac::{ac_analysis, logspace, AcResult, Phasor};
     pub use crate::engine::dc::{operating_point, DcOpts, Solution};
-    pub use crate::engine::sweep::{dc_sweep, linspace, transfer_curve, SweepResult};
+    pub use crate::engine::sweep::{dc_sweep, dc_sweep_par, linspace, transfer_curve, SweepResult};
     pub use crate::engine::transient::{transient, Integrator, TranOpts};
-    pub use crate::engine::NewtonOpts;
+    pub use crate::engine::{NewtonOpts, SimStats};
     pub use crate::error::{Error, Result};
     pub use crate::netlist::{Circuit, NodeId};
     pub use crate::nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
+    pub use crate::parallel::{default_jobs, par_map};
     pub use crate::probe::{Edge, Trace};
     pub use crate::waveform::Waveform;
 }

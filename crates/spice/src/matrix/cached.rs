@@ -1,0 +1,153 @@
+//! Pattern-cached assembly + factorisation pipeline.
+//!
+//! Newton iterations and consecutive transient timesteps assemble the
+//! same matrix *pattern* over and over with different values. This module
+//! ties [`ScatterMap`] (triplets → CSC without sorting) and
+//! [`SparseLu::refactor`] (numeric-only LU) into one reusable solver that
+//! engines call per iteration: the first solve pays for symbolic
+//! analysis, every following solve on the same topology is a linear-time
+//! scatter plus a numeric refactorisation.
+
+use super::sparse::{CscMatrix, Refactorization, ScatterMap, SparseLu, Triplets};
+use crate::error::Result;
+
+/// Counters describing how much work the cached pipeline avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Full factorisations (first solve, pattern changes, degraded pivots).
+    pub full_factors: u64,
+    /// Numeric-only refactorisations (the fast path).
+    pub refactors: u64,
+    /// Times the scatter plan had to be rebuilt from a new coordinate
+    /// stream.
+    pub pattern_rebuilds: u64,
+}
+
+impl SolverStats {
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, other: SolverStats) {
+        self.full_factors += other.full_factors;
+        self.refactors += other.refactors;
+        self.pattern_rebuilds += other.pattern_rebuilds;
+    }
+}
+
+/// A linear solver that caches the assembly plan and LU pattern across
+/// calls. Produces bit-identical results to the uncached
+/// `SparseLu::factor(&tri.to_csc())` path.
+#[derive(Debug, Default)]
+pub struct CachedSolver {
+    map: Option<ScatterMap>,
+    csc: CscMatrix,
+    lu: Option<SparseLu>,
+    stats: SolverStats,
+}
+
+impl CachedSolver {
+    /// An empty solver; caches fill in on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Solve `A x = b` where `A` is the triplet assembly `tri`.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::Error::SingularMatrix`] when the system
+    /// cannot be factored.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match `tri.dim()`.
+    pub fn solve(&mut self, tri: &Triplets, b: &[f64]) -> Result<Vec<f64>> {
+        match &self.map {
+            Some(map) if map.matches(tri) => map.scatter(tri, &mut self.csc),
+            _ => {
+                let map = ScatterMap::build(tri);
+                map.scatter(tri, &mut self.csc);
+                self.map = Some(map);
+                self.stats.pattern_rebuilds += 1;
+                // Keep any existing factors: `refactor` detects pattern
+                // changes itself and may still hit the numeric path when
+                // only the coordinate *stream* changed, not the merged
+                // pattern.
+            }
+        }
+        match &mut self.lu {
+            Some(lu) => match lu.refactor(&self.csc)? {
+                Refactorization::Numeric => self.stats.refactors += 1,
+                Refactorization::Full => self.stats.full_factors += 1,
+            },
+            None => {
+                self.lu = Some(SparseLu::factor(&self.csc)?);
+                self.stats.full_factors += 1;
+            }
+        }
+        Ok(self.lu.as_ref().expect("factored above").solve(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::sparse::solve_triplets;
+
+    fn stamp(n: usize, scale: f64) -> Triplets {
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, 4.0 * scale);
+            if i + 1 < n {
+                t.add(i, i + 1, -scale);
+                t.add(i + 1, i, -scale);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn cached_matches_uncached_bitwise() {
+        let mut solver = CachedSolver::new();
+        let b = [1.0, 0.5, -0.25, 2.0, 0.0];
+        for step in 1..6 {
+            let t = stamp(5, f64::from(step));
+            let fast = solver.solve(&t, &b).unwrap();
+            let slow = solve_triplets(&t, &b).unwrap();
+            assert_eq!(fast, slow, "step {step} diverged");
+        }
+        let s = solver.stats();
+        assert_eq!(s.full_factors, 1);
+        assert_eq!(s.refactors, 4);
+        assert_eq!(s.pattern_rebuilds, 1);
+    }
+
+    #[test]
+    fn pattern_change_rebuilds_then_recaches() {
+        let mut solver = CachedSolver::new();
+        let b = [1.0, 2.0, 3.0];
+        let t3 = stamp(3, 1.0);
+        solver.solve(&t3, &b).unwrap();
+        // Different structure: extra corner entries.
+        let mut t = stamp(3, 1.0);
+        t.add(0, 2, -0.5);
+        t.add(2, 0, -0.5);
+        let x = solver.solve(&t, &b).unwrap();
+        assert_eq!(x, solve_triplets(&t, &b).unwrap());
+        assert_eq!(solver.stats().pattern_rebuilds, 2);
+        assert_eq!(solver.stats().full_factors, 2);
+        // Same new structure again: back on the fast path.
+        solver.solve(&t, &b).unwrap();
+        assert_eq!(solver.stats().refactors, 1);
+    }
+
+    #[test]
+    fn singular_input_reported() {
+        let mut solver = CachedSolver::new();
+        let t = Triplets::new(2); // all-zero matrix
+        assert!(solver.solve(&t, &[1.0, 1.0]).is_err());
+    }
+}

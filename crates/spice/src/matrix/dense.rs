@@ -230,11 +230,7 @@ mod tests {
     #[test]
     fn known_3x3_system() {
         // 2x + y = 5 ; x + 3y + z = 10 ; y + 2z = 7  => x=1.625, y=1.75, z=2.625
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
         let x = a.solve(&[5.0, 10.0, 7.0]).unwrap();
         let r = a.mul_vec(&x);
         for (ri, bi) in r.iter().zip([5.0, 10.0, 7.0]) {

@@ -15,6 +15,8 @@ use std::fmt;
 pub struct Triplets {
     n: usize,
     entries: Vec<(u32, u32, f64)>,
+    /// Reusable sort scratch for [`Triplets::compress_into`].
+    order: Vec<u32>,
 }
 
 impl Triplets {
@@ -24,6 +26,7 @@ impl Triplets {
         Self {
             n,
             entries: Vec::new(),
+            order: Vec::new(),
         }
     }
 
@@ -65,38 +68,145 @@ impl Triplets {
     /// Compress into CSC form, summing duplicates.
     #[must_use]
     pub fn to_csc(&self) -> CscMatrix {
-        let n = self.n;
-        let mut sorted = self.entries.clone();
-        // Column-major ordering: (col, row).
-        sorted.sort_unstable_by_key(|&(r, c, _)| ((c as u64) << 32) | r as u64);
-        let mut col_ptr = vec![0usize; n + 1];
-        let mut row_idx = Vec::with_capacity(sorted.len());
-        let mut vals: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut order = Vec::new();
+        fill_order(&self.entries, &mut order);
+        let mut out = CscMatrix::default();
+        compress_ordered(self.n, &self.entries, &order, &mut out);
+        out
+    }
+
+    /// Compress into `out`, reusing its buffers and this buffer's sort
+    /// scratch. Produces exactly the same matrix as [`Triplets::to_csc`]
+    /// without any per-call allocation once capacities have grown.
+    pub fn compress_into(&mut self, out: &mut CscMatrix) {
+        let mut order = std::mem::take(&mut self.order);
+        fill_order(&self.entries, &mut order);
+        compress_ordered(self.n, &self.entries, &order, out);
+        self.order = order;
+    }
+}
+
+/// Column-major sort order of `entries` as an index array. Ties (duplicate
+/// coordinates) keep stamping order, so duplicate merging is deterministic
+/// and sums in the same order [`ScatterMap::scatter`] accumulates in —
+/// which keeps the cached and uncached assembly paths bit-identical.
+fn fill_order(entries: &[(u32, u32, f64)], order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..entries.len() as u32);
+    order.sort_unstable_by_key(|&i| {
+        let (r, c, _) = entries[i as usize];
+        ((u64::from(c) << 32) | u64::from(r), i)
+    });
+}
+
+/// Compress `entries` (visited in `order`) into `out`, summing duplicates.
+fn compress_ordered(n: usize, entries: &[(u32, u32, f64)], order: &[u32], out: &mut CscMatrix) {
+    out.n = n;
+    out.col_ptr.clear();
+    out.col_ptr.resize(n + 1, 0);
+    out.row_idx.clear();
+    out.vals.clear();
+    let mut prev: Option<(u32, u32)> = None;
+    for &i in order {
+        let (r, c, v) = entries[i as usize];
+        if prev == Some((r, c)) {
+            *out.vals.last_mut().expect("merge target exists") += v;
+        } else {
+            out.row_idx.push(r as usize);
+            out.vals.push(v);
+            out.col_ptr[c as usize + 1] += 1;
+            prev = Some((r, c));
+        }
+    }
+    for c in 0..n {
+        out.col_ptr[c + 1] += out.col_ptr[c];
+    }
+}
+
+/// Precomputed triplet-to-CSC scatter plan for one assembly *pattern*.
+///
+/// MNA stamping emits the same coordinate stream every Newton iteration
+/// (values change, structure does not). Building this map once per
+/// topology turns each subsequent compression into a single linear pass —
+/// no sort, no merge bookkeeping, no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterMap {
+    n: usize,
+    /// Coordinate stream the map was built from, for cheap validity checks.
+    coords: Vec<(u32, u32)>,
+    /// `slots[i]` = CSC value slot entry `i` accumulates into.
+    slots: Vec<u32>,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl ScatterMap {
+    /// Build the scatter plan for `t`'s current coordinate stream.
+    #[must_use]
+    pub fn build(t: &Triplets) -> Self {
+        let mut order = Vec::new();
+        fill_order(&t.entries, &mut order);
+        let coords: Vec<(u32, u32)> = t.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let mut slots = vec![0u32; t.entries.len()];
+        let mut col_ptr = vec![0usize; t.n + 1];
+        let mut row_idx = Vec::new();
         let mut prev: Option<(u32, u32)> = None;
-        for &(r, c, v) in &sorted {
-            if prev == Some((r, c)) {
-                *vals.last_mut().expect("merge target exists") += v;
-            } else {
+        for &i in &order {
+            let (r, c) = coords[i as usize];
+            if prev != Some((r, c)) {
                 row_idx.push(r as usize);
-                vals.push(v);
                 col_ptr[c as usize + 1] += 1;
                 prev = Some((r, c));
             }
+            slots[i as usize] = (row_idx.len() - 1) as u32;
         }
-        for c in 0..n {
+        for c in 0..t.n {
             col_ptr[c + 1] += col_ptr[c];
         }
-        CscMatrix {
-            n,
+        Self {
+            n: t.n,
+            coords,
+            slots,
             col_ptr,
             row_idx,
-            vals,
+        }
+    }
+
+    /// Whether `t`'s coordinate stream is the one this map was built from.
+    #[must_use]
+    pub fn matches(&self, t: &Triplets) -> bool {
+        t.n == self.n
+            && t.entries.len() == self.coords.len()
+            && t.entries
+                .iter()
+                .zip(&self.coords)
+                .all(|(&(r, c, _), &(mr, mc))| r == mr && c == mc)
+    }
+
+    /// Scatter `t`'s values into `out` along the precomputed plan.
+    /// Duplicates accumulate in stamping order, matching
+    /// [`Triplets::to_csc`] bit for bit.
+    ///
+    /// # Panics
+    /// Panics (debug builds) when `t` does not [`match`](Self::matches)
+    /// this map.
+    pub fn scatter(&self, t: &Triplets, out: &mut CscMatrix) {
+        debug_assert!(self.matches(t), "scatter plan is stale");
+        out.n = self.n;
+        out.col_ptr.clear();
+        out.col_ptr.extend_from_slice(&self.col_ptr);
+        out.row_idx.clear();
+        out.row_idx.extend_from_slice(&self.row_idx);
+        out.vals.clear();
+        out.vals.resize(self.row_idx.len(), 0.0);
+        for (&(_, _, v), &slot) in t.entries.iter().zip(&self.slots) {
+            out.vals[slot as usize] += v;
         }
     }
 }
 
 /// Compressed sparse column matrix.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct CscMatrix {
     n: usize,
     col_ptr: Vec<usize>,
@@ -146,8 +256,7 @@ impl CscMatrix {
     /// Iterate over stored `(row, col, value)` entries in column order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n).flat_map(move |c| {
-            (self.col_ptr[c]..self.col_ptr[c + 1])
-                .map(move |p| (self.row_idx[p], c, self.vals[p]))
+            (self.col_ptr[c]..self.col_ptr[c + 1]).map(move |p| (self.row_idx[p], c, self.vals[p]))
         })
     }
 
@@ -167,7 +276,10 @@ impl CscMatrix {
 /// Left-looking sparse LU factors with partial pivoting.
 ///
 /// Row indices of `L`/`U` are in *pivotal* order after factorisation;
-/// [`SparseLu::solve`] applies the row permutation internally.
+/// [`SparseLu::solve`] applies the row permutation internally. The
+/// factors retain the input matrix's sparsity pattern so
+/// [`SparseLu::refactor`] can redo the numeric work alone (KLU-style)
+/// when the same topology is factored again with new values.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
@@ -179,6 +291,23 @@ pub struct SparseLu {
     u_vals: Vec<f64>,
     /// `pinv[original_row] = pivotal position`.
     pinv: Vec<isize>,
+    /// Pattern of the matrix these factors were computed from, used to
+    /// decide whether a numeric-only refactorisation is valid.
+    a_colptr: Vec<usize>,
+    a_rowidx: Vec<usize>,
+    /// Dense accumulator reused across [`SparseLu::refactor`] calls.
+    work: Vec<f64>,
+}
+
+/// Which path [`SparseLu::refactor`] ended up taking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refactorization {
+    /// Pivot order and sparsity pattern were reused; only the numeric
+    /// values were recomputed.
+    Numeric,
+    /// A full factorisation ran (pattern changed, or a reused pivot
+    /// degraded below the stability threshold).
+    Full,
 }
 
 /// Partial-pivot threshold: prefer the diagonal when it is within this
@@ -204,6 +333,9 @@ impl SparseLu {
             u_rowidx: Vec::with_capacity(a.nnz() * 4),
             u_vals: Vec::with_capacity(a.nnz() * 4),
             pinv: vec![-1; n],
+            a_colptr: a.col_ptr.clone(),
+            a_rowidx: a.row_idx.clone(),
+            work: vec![0.0; n],
         };
         let mut x = vec![0.0f64; n];
         let mut xi = vec![0usize; 2 * n]; // pattern stack + DFS stack
@@ -283,6 +415,100 @@ impl SparseLu {
             *idx = lu.pinv[*idx] as usize;
         }
         Ok(lu)
+    }
+
+    /// Factor `a` again, reusing the stored pivot order and `L`/`U`
+    /// sparsity pattern when `a` has the same pattern these factors were
+    /// built from (KLU-style numeric refactorisation — no DFS, no pivot
+    /// search, no allocation). Falls back to a full [`SparseLu::factor`]
+    /// when the pattern differs or a reused pivot degrades below the
+    /// partial-pivoting threshold, so the result is always as accurate
+    /// as a fresh factorisation. For an unchanged pattern the numeric
+    /// path performs the same arithmetic in the same order as `factor`,
+    /// so the factors are bit-identical.
+    ///
+    /// # Errors
+    /// Returns [`Error::SingularMatrix`] when the fallback full
+    /// factorisation fails.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<Refactorization> {
+        if a.n != self.n || a.col_ptr != self.a_colptr || a.row_idx != self.a_rowidx {
+            *self = Self::factor(a)?;
+            return Ok(Refactorization::Full);
+        }
+        if self.refactor_numeric(a) {
+            Ok(Refactorization::Numeric)
+        } else {
+            *self = Self::factor(a)?;
+            Ok(Refactorization::Full)
+        }
+    }
+
+    /// Numeric-only refactorisation along the stored pattern. Returns
+    /// `false` (leaving partially updated values that the caller must
+    /// replace via full factorisation) when a reused pivot is no longer
+    /// acceptable.
+    fn refactor_numeric(&mut self, a: &CscMatrix) -> bool {
+        let n = self.n;
+        let mut x = std::mem::take(&mut self.work);
+        x.resize(n, 0.0);
+        let mut ok = true;
+        for k in 0..n {
+            // Scatter A(:,k) in pivotal row coordinates. The pattern
+            // matched, so every index is inside the stored reach set.
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                x[self.pinv[a.row_idx[p]] as usize] = a.vals[p];
+            }
+            let u_start = self.u_colptr[k];
+            let u_end = self.u_colptr[k + 1];
+            let ls = self.l_colptr[k];
+            let le = self.l_colptr[k + 1];
+            // Eliminate with the already-rebuilt columns of L, walking
+            // the stored U rows — they are in topological order, exactly
+            // the order `factor` discovered them in.
+            for p in u_start..u_end - 1 {
+                let j = self.u_rowidx[p];
+                let xj = x[j];
+                self.u_vals[p] = xj;
+                if xj != 0.0 {
+                    for q in self.l_colptr[j] + 1..self.l_colptr[j + 1] {
+                        x[self.l_rowidx[q]] -= self.l_vals[q] * xj;
+                    }
+                }
+            }
+            // The stored pivot row for column k is L's unit-diagonal
+            // slot; check it still dominates its column well enough.
+            let pivot = x[k];
+            let mut amax = pivot.abs();
+            for q in ls + 1..le {
+                amax = amax.max(x[self.l_rowidx[q]].abs());
+            }
+            if !pivot.is_finite() || pivot.abs() <= PIVOT_EPS || pivot.abs() < amax * PIVOT_TOL {
+                // Pivot degraded: clear the touched entries and bail out
+                // to a full factorisation with fresh pivoting.
+                for p in u_start..u_end - 1 {
+                    x[self.u_rowidx[p]] = 0.0;
+                }
+                x[k] = 0.0;
+                for q in ls + 1..le {
+                    x[self.l_rowidx[q]] = 0.0;
+                }
+                ok = false;
+                break;
+            }
+            self.u_vals[u_end - 1] = pivot;
+            self.l_vals[ls] = 1.0;
+            for q in ls + 1..le {
+                let i = self.l_rowidx[q];
+                self.l_vals[q] = x[i] / pivot;
+                x[i] = 0.0;
+            }
+            for p in u_start..u_end - 1 {
+                x[self.u_rowidx[p]] = 0.0;
+            }
+            x[k] = 0.0;
+        }
+        self.work = x;
+        ok
     }
 
     /// DFS reachability of column `k`'s pattern over the partial `L`.
@@ -519,6 +745,140 @@ mod tests {
         let xd = d.solve(&b).unwrap();
         for (a, bv) in xs.iter().zip(&xd) {
             assert!((a - bv).abs() < 1e-8, "sparse {a} vs dense {bv}");
+        }
+    }
+
+    /// A small asymmetric system with duplicates and an empty column gap.
+    fn sample_triplets() -> Triplets {
+        let mut t = Triplets::new(4);
+        t.add(0, 0, 2.0);
+        t.add(0, 0, 0.5); // duplicate
+        t.add(1, 0, -1.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 1, 3.0);
+        t.add(2, 2, 2.0);
+        t.add(3, 2, -0.5);
+        t.add(2, 3, -0.5);
+        t.add(3, 3, 1.5);
+        t.add(3, 0, 0.25);
+        t
+    }
+
+    #[test]
+    fn compress_into_matches_to_csc() {
+        let mut t = sample_triplets();
+        let reference = t.to_csc();
+        let mut out = CscMatrix::default();
+        t.compress_into(&mut out);
+        assert_eq!(out, reference);
+        // Re-stamp (same coordinates, new values) and reuse the buffers.
+        t.clear();
+        t.add(0, 0, 7.0);
+        t.add(2, 1, -2.0);
+        t.compress_into(&mut out);
+        assert_eq!(out, t.to_csc());
+    }
+
+    #[test]
+    fn scatter_map_roundtrips_including_duplicates() {
+        let t = sample_triplets();
+        let map = ScatterMap::build(&t);
+        assert!(map.matches(&t));
+        let mut out = CscMatrix::default();
+        map.scatter(&t, &mut out);
+        assert_eq!(out, t.to_csc());
+        // A different coordinate stream must be rejected.
+        let mut other = Triplets::new(4);
+        other.add(1, 1, 1.0);
+        assert!(!map.matches(&other));
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_and_matches_fresh_factor() {
+        let t = sample_triplets();
+        let a1 = t.to_csc();
+        let mut lu = SparseLu::factor(&a1).unwrap();
+        // Same pattern, new values.
+        let mut t2 = Triplets::new(4);
+        for (r, c, v) in a1.entries() {
+            t2.add(r, c, v * 1.7 + f64::from(u8::from(r == c)));
+        }
+        let a2 = t2.to_csc();
+        assert_eq!(lu.refactor(&a2).unwrap(), Refactorization::Numeric);
+        let fresh = SparseLu::factor(&a2).unwrap();
+        let b = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(
+            lu.solve(&b),
+            fresh.solve(&b),
+            "numeric path must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn refactor_detects_pattern_change() {
+        let t = sample_triplets();
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut t2 = sample_triplets();
+        t2.add(1, 3, 0.125); // new structural entry
+        let a2 = t2.to_csc();
+        assert_eq!(lu.refactor(&a2).unwrap(), Refactorization::Full);
+        let b = [1.0, 0.0, -1.0, 2.0];
+        assert_eq!(lu.solve(&b), SparseLu::factor(&a2).unwrap().solve(&b));
+    }
+
+    #[test]
+    fn refactor_falls_back_when_pivot_degrades() {
+        // First factor picks the diagonal; then the diagonal collapses so
+        // reusing that pivot order would be unstable.
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 4.0);
+        t.add(1, 0, 1.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 1, 4.0);
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut t2 = Triplets::new(2);
+        t2.add(0, 0, 1e-9);
+        t2.add(1, 0, 1.0);
+        t2.add(0, 1, 1.0);
+        t2.add(1, 1, 4.0);
+        let a2 = t2.to_csc();
+        assert_eq!(lu.refactor(&a2).unwrap(), Refactorization::Full);
+        let b = [1.0, 2.0];
+        let x = lu.solve(&b);
+        let y = a2.mul_vec(&x);
+        for (yi, bi) in y.iter().zip(&b) {
+            assert!((yi - bi).abs() < 1e-9, "residual {yi} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn refactor_across_many_value_sets() {
+        // Newton-like usage: one pattern, many value sets.
+        let n = 30;
+        let mut state = 0x9e37_79b9u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut coords = Vec::new();
+        for i in 0..n {
+            coords.push((i, i));
+            coords.push((i, (i + 1) % n));
+            coords.push(((i + 2) % n, i));
+        }
+        let build = |rng: &mut dyn FnMut() -> f64| {
+            let mut t = Triplets::new(n);
+            for &(r, c) in &coords {
+                t.add(r, c, rng() + if r == c { 6.0 } else { 0.0 });
+            }
+            t.to_csc()
+        };
+        let mut lu = SparseLu::factor(&build(&mut rng)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        for _ in 0..10 {
+            let a = build(&mut rng);
+            assert_eq!(lu.refactor(&a).unwrap(), Refactorization::Numeric);
+            assert_eq!(lu.solve(&b), SparseLu::factor(&a).unwrap().solve(&b));
         }
     }
 }

@@ -395,13 +395,23 @@ impl Circuit {
                 Element::Capacitor { name, p, n, farads } => {
                     let _ = writeln!(s, "C{name} {} {} {farads:.6e}", node(*p), node(*n));
                 }
-                Element::VSource { name, p, n, wave, .. } => {
+                Element::VSource {
+                    name, p, n, wave, ..
+                } => {
                     let _ = writeln!(s, "V{name} {} {} {}", node(*p), node(*n), spice_wave(wave));
                 }
                 Element::ISource { name, p, n, wave } => {
                     let _ = writeln!(s, "I{name} {} {} {}", node(*p), node(*n), spice_wave(wave));
                 }
-                Element::Vcvs { name, p, n, cp, cn, gain, .. } => {
+                Element::Vcvs {
+                    name,
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gain,
+                    ..
+                } => {
                     let _ = writeln!(
                         s,
                         "E{name} {} {} {} {} {gain:.6e}",
@@ -411,7 +421,14 @@ impl Circuit {
                         node(*cn)
                     );
                 }
-                Element::Vccs { name, p, n, cp, cn, gm } => {
+                Element::Vccs {
+                    name,
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gm,
+                } => {
                     let _ = writeln!(
                         s,
                         "G{name} {} {} {} {} {gm:.6e}",
@@ -445,10 +462,23 @@ impl Circuit {
 fn spice_wave(w: &Waveform) -> String {
     match w {
         Waveform::Dc(v) => format!("DC {v:.6e}"),
-        Waveform::Pulse { v1, v2, delay, rise, fall, width } => format!(
-            "PULSE({v1:.4e} {v2:.4e} {delay:.4e} {rise:.4e} {fall:.4e} {width:.4e})"
-        ),
-        Waveform::PulseTrain { v1, v2, delay, rise, fall, width, period } => format!(
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+        } => format!("PULSE({v1:.4e} {v2:.4e} {delay:.4e} {rise:.4e} {fall:.4e} {width:.4e})"),
+        Waveform::PulseTrain {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!(
             "PULSE({v1:.4e} {v2:.4e} {delay:.4e} {rise:.4e} {fall:.4e} {width:.4e} {period:.4e})"
         ),
         Waveform::Pwl(points) => {
@@ -458,7 +488,12 @@ fn spice_wave(w: &Waveform) -> String {
                 .collect();
             format!("PWL({})", body.join(" "))
         }
-        Waveform::Sine { offset, ampl, freq, delay } => {
+        Waveform::Sine {
+            offset,
+            ampl,
+            freq,
+            delay,
+        } => {
             format!("SIN({offset:.4e} {ampl:.4e} {freq:.4e} {delay:.4e})")
         }
     }
@@ -519,7 +554,12 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), Waveform::dc(1.0));
         c.resistor("R1", a, b, 1e3).unwrap();
         c.capacitor("C1", b, Circuit::gnd(), 1e-12).unwrap();
-        c.isource("I1", Circuit::gnd(), b, Waveform::pulse(0.0, 1e-3, 0.0, 1e-9, 1e-9, 1e-8));
+        c.isource(
+            "I1",
+            Circuit::gnd(),
+            b,
+            Waveform::pulse(0.0, 1e-3, 0.0, 1e-9, 1e-9, 1e-8),
+        );
         c.vccs("G1", b, Circuit::gnd(), a, Circuit::gnd(), 1e-3);
         let s = c.to_spice("test circuit");
         assert!(s.starts_with("* test circuit\n"));

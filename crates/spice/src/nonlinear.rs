@@ -105,7 +105,7 @@ impl DeviceStamps {
 /// terminal voltages; history-dependent devices (ferroelectrics) keep
 /// internal state which is only advanced in [`NonlinearDevice::commit`],
 /// called once per *accepted* time step.
-pub trait NonlinearDevice: fmt::Debug + Send {
+pub trait NonlinearDevice: fmt::Debug + Send + Sync {
     /// Instance name (unique within a circuit by convention).
     fn name(&self) -> &str;
 
@@ -164,6 +164,12 @@ mod tests {
         s.add_branch_current(0, 1, 1.0, 1.0);
         s.add_branch_charge(0, 1, 1.0, 1.0);
         s.clear();
-        assert!(s.i.iter().chain(&s.q).chain(&s.gi).chain(&s.cq).all(|&x| x == 0.0));
+        assert!(s
+            .i
+            .iter()
+            .chain(&s.q)
+            .chain(&s.gi)
+            .chain(&s.cq)
+            .all(|&x| x == 0.0));
     }
 }

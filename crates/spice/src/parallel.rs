@@ -1,0 +1,101 @@
+//! Dependency-free scoped worker pool for embarrassingly parallel sweeps.
+//!
+//! The sweep runners (DC sweeps, Monte Carlo sampling, benchmark grids)
+//! fan independent jobs out over `std::thread::scope` workers. Results
+//! come back in input order regardless of scheduling, so parallel runs
+//! are drop-in replacements for their serial counterparts; callers that
+//! need bit-identical numerics additionally derive any per-job random
+//! state from the job index, never from the worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count to use when the caller has no preference: the
+/// `FERROTCAM_JOBS` environment variable when set (clamped to at least
+/// one), otherwise the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(s) = std::env::var("FERROTCAM_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Apply `f(index, &item)` to every item on up to `jobs` worker threads,
+/// returning results in input order.
+///
+/// Work is claimed dynamically (an atomic cursor), so uneven job costs
+/// balance across workers. With `jobs <= 1` or fewer than two items the
+/// work runs inline on the caller's thread with no pool at all.
+///
+/// # Panics
+/// Propagates the first panic raised inside `f` once all workers have
+/// stopped (the scope joins every thread).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                slots.lock().expect("no poisoned results")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no poisoned results")
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let serial = par_map(&items, 1, f);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(par_map(&items, jobs, f), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: [u8; 0] = [];
+        assert!(par_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u8], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -28,6 +28,7 @@ pub struct Trace {
     signals: Vec<Vec<f64>>,
     names: Vec<String>,
     index: HashMap<String, usize>,
+    stats: crate::engine::SimStats,
 }
 
 impl Trace {
@@ -45,7 +46,19 @@ impl Trace {
             signals,
             names,
             index,
+            stats: crate::engine::SimStats::default(),
         }
+    }
+
+    /// Solver work counters for the run that produced this trace
+    /// (Newton iterations, factorisations, accepted/rejected steps).
+    #[must_use]
+    pub fn stats(&self) -> crate::engine::SimStats {
+        self.stats
+    }
+
+    pub(crate) fn set_stats(&mut self, stats: crate::engine::SimStats) {
+        self.stats = stats;
     }
 
     /// Append one time point. `values` must match the signal count.
@@ -163,7 +176,9 @@ impl Trace {
                     } else {
                         (level - a) / (b - a)
                     };
-                    return Ok(Some(self.time[k - 1] + frac * (self.time[k] - self.time[k - 1])));
+                    return Ok(Some(
+                        self.time[k - 1] + frac * (self.time[k] - self.time[k - 1]),
+                    ));
                 }
             }
         }

@@ -17,7 +17,7 @@ pub const BOLTZMANN: f64 = 1.380_649e-23;
 /// Elementary charge (C).
 pub const Q_ELECTRON: f64 = 1.602_176_634e-19;
 /// Vacuum permittivity (F/m).
-pub const EPS0: f64 = 8.854_187_8128e-12;
+pub const EPS0: f64 = 8.854_187_812_8e-12;
 /// Relative permittivity of SiO2.
 pub const EPS_SIO2: f64 = 3.9;
 /// Relative permittivity of ferroelectric HfO2 (doped HfZrO, typical).

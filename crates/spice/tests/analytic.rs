@@ -50,7 +50,10 @@ fn two_pole_ladder_settles_monotonically() {
     opts.dt_max = 20e-12;
     let tr = transient(&mut ckt, &opts).unwrap();
     let y = tr.signal("v(o)").unwrap();
-    assert!(y.windows(2).all(|w| w[1] >= w[0] - 1e-6), "overshoot/ringing");
+    assert!(
+        y.windows(2).all(|w| w[1] >= w[0] - 1e-6),
+        "overshoot/ringing"
+    );
     assert!((tr.final_value("v(o)").unwrap() - 1.0).abs() < 1e-3);
 }
 

@@ -3,7 +3,10 @@
 //! conserved on RC networks.
 
 use ferrotcam_spice::matrix::dense::DenseMatrix;
-use ferrotcam_spice::matrix::sparse::{solve_triplets, Triplets};
+use ferrotcam_spice::matrix::sparse::{
+    solve_triplets, Refactorization, ScatterMap, SparseLu, Triplets,
+};
+use ferrotcam_spice::matrix::CscMatrix;
 use ferrotcam_spice::prelude::*;
 use proptest::prelude::*;
 
@@ -11,10 +14,7 @@ use proptest::prelude::*;
 /// with random off-diagonal fill.
 fn dd_system() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
     (3usize..=24).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0..n, 0..n, -1.0f64..1.0),
-            0..4 * n,
-        );
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n);
         let rhs = proptest::collection::vec(-10.0f64..10.0, n);
         (Just(n), entries, rhs)
     })
@@ -46,6 +46,55 @@ proptest! {
         for (yi, bi) in y.iter().zip(&rhs) {
             prop_assert!((yi - bi).abs() < 1e-8 * (1.0 + bi.abs()));
         }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor((n, entries, rhs) in dd_system()) {
+        // MNA-shaped: fixed sparsity, several numeric value sets (as in
+        // Newton iterations). The numeric refactorization must agree with
+        // a from-scratch factorization of the same matrix.
+        let build = |scale: f64| {
+            let mut t = Triplets::new(n);
+            for &(r, c, v) in &entries {
+                t.add(r, c, v * scale);
+            }
+            for i in 0..n {
+                t.add(i, i, 8.0 + scale);
+            }
+            t.to_csc()
+        };
+        let a0 = build(1.0);
+        let mut lu = SparseLu::factor(&a0).expect("factor");
+        for step in 1..=4 {
+            let a = build(1.0 + 0.3 * step as f64);
+            let kind = lu.refactor(&a).expect("refactor");
+            prop_assert_eq!(kind, Refactorization::Numeric);
+            let fresh = SparseLu::factor(&a).expect("fresh factor");
+            let xr = lu.solve(&rhs);
+            let xf = fresh.solve(&rhs);
+            for (a, b) in xr.iter().zip(&xf) {
+                prop_assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_map_roundtrips_to_csc((n, entries, _rhs) in dd_system()) {
+        // Scattering through the cached plan must reproduce to_csc()
+        // exactly, including duplicate merging.
+        let mut t = Triplets::new(n);
+        for &(r, c, v) in &entries {
+            t.add(r, c, v);
+        }
+        for i in 0..n {
+            t.add(i, i, 8.0);
+        }
+        let map = ScatterMap::build(&t);
+        prop_assert!(map.matches(&t));
+        let mut scattered = CscMatrix::default();
+        map.scatter(&t, &mut scattered);
+        let direct = t.to_csc();
+        prop_assert_eq!(scattered, direct);
     }
 
     #[test]

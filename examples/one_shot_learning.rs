@@ -80,7 +80,9 @@ fn main() {
     let near = clf.within(&query, 16);
     println!(
         "classes within 16 bits of a class-0 query: {:?}",
-        near.iter().map(|c| (c.label, c.distance)).collect::<Vec<_>>()
+        near.iter()
+            .map(|c| (c.label, c.distance))
+            .collect::<Vec<_>>()
     );
     assert_eq!(near.first().expect("at least class 0").label, 0);
 }

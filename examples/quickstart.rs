@@ -17,7 +17,10 @@ fn main() -> ferrotcam::Result<()> {
     let query = [true, false, true, true, false, false, true, true]; // 10110011
     let outcome = tcam.search(&query);
     println!("functional search for 10110011:");
-    println!("  matches: {:?} (row 1 matches through its Xs)", outcome.matches);
+    println!(
+        "  matches: {:?} (row 1 matches through its Xs)",
+        outcome.matches
+    );
     println!("  step-1 miss rate: {:.2}", outcome.step1_miss_rate());
 
     // --- Circuit view -----------------------------------------------------
@@ -36,9 +39,15 @@ fn main() -> ferrotcam::Result<()> {
     let run = sim.run()?;
     println!("\ncircuit-level search of row 1 ({} cells):", stored.len());
     println!("  ML final voltage : {:.3} V", run.ml_final()?);
-    println!("  SA verdict       : {}", if run.matched()? { "match" } else { "miss" });
+    println!(
+        "  SA verdict       : {}",
+        if run.matched()? { "match" } else { "miss" }
+    );
     println!("  energy drawn     : {:.3} fJ", run.total_energy() * 1e15);
-    assert!(run.matched()?, "circuit must agree with the functional model");
+    assert!(
+        run.matched()?,
+        "circuit must agree with the functional model"
+    );
 
     // And a mismatching row for contrast (row 2).
     let stored2: TernaryWord = "01010101".parse().expect("valid");
@@ -53,9 +62,15 @@ fn main() -> ferrotcam::Result<()> {
     let run2 = sim2.run()?;
     let latency = run2.latency()?.expect("mismatch fires the SA");
     println!("\nrow 2 (mismatch, early-terminated):");
-    println!("  SA verdict       : {}", if run2.matched()? { "match" } else { "miss" });
+    println!(
+        "  SA verdict       : {}",
+        if run2.matched()? { "match" } else { "miss" }
+    );
     println!("  search latency   : {:.0} ps", latency * 1e12);
-    println!("  energy drawn     : {:.3} fJ (step 2 never ran)", run2.total_energy() * 1e15);
+    println!(
+        "  energy drawn     : {:.3} fJ (step 2 never ran)",
+        run2.total_energy() * 1e15
+    );
     assert!(!run2.matched()?);
     Ok(())
 }

@@ -20,16 +20,20 @@ fn main() -> ferrotcam::Result<()> {
     // --- Build a small ISP-style table -----------------------------------
     let mut table = RouterTable::new();
     let prefixes = [
-        (ip(0, 0, 0, 0), 0u8, 0u32),        // default route
-        (ip(10, 0, 0, 0), 8, 1),            // site aggregate
-        (ip(10, 1, 0, 0), 16, 2),           // region
-        (ip(10, 1, 2, 0), 24, 3),           // rack
-        (ip(10, 1, 2, 128), 25, 4),         // half-rack override
+        (ip(0, 0, 0, 0), 0u8, 0u32), // default route
+        (ip(10, 0, 0, 0), 8, 1),     // site aggregate
+        (ip(10, 1, 0, 0), 16, 2),    // region
+        (ip(10, 1, 2, 0), 24, 3),    // rack
+        (ip(10, 1, 2, 128), 25, 4),  // half-rack override
         (ip(192, 168, 0, 0), 16, 5),
         (ip(172, 16, 0, 0), 12, 6),
     ];
     for (addr, len, hop) in prefixes {
-        table.insert(Route { addr, prefix_len: len, next_hop: hop });
+        table.insert(Route {
+            addr,
+            prefix_len: len,
+            next_hop: hop,
+        });
     }
     println!("installed {} prefixes", table.len());
 
@@ -52,9 +56,15 @@ fn main() -> ferrotcam::Result<()> {
             route.next_hop,
             table.lookup_naive(dst).expect("reference").next_hop
         );
-        miss_rate_acc += table.tcam().search(
-            &(0..32).rev().map(|i| (dst >> i) & 1 == 1).collect::<Vec<_>>(),
-        ).step1_miss_rate();
+        miss_rate_acc += table
+            .tcam()
+            .search(
+                &(0..32)
+                    .rev()
+                    .map(|i| (dst >> i) & 1 == 1)
+                    .collect::<Vec<_>>(),
+            )
+            .step1_miss_rate();
     }
     println!("per-next-hop packet counts: {hops:?}");
     let miss_rate = miss_rate_acc / PACKETS as f64;

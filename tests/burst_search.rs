@@ -41,10 +41,17 @@ fn ml_recovers_every_cycle() {
     let stored: TernaryWord = "10".parse().unwrap();
     let query = [false, false]; // mismatch: ML discharges each cycle
     let timing = SearchTiming::default();
-    let run = build_burst_search(&params, &stored, &query, timing, RowParasitics::default(), 3)
-        .unwrap()
-        .run()
-        .unwrap();
+    let run = build_burst_search(
+        &params,
+        &stored,
+        &query,
+        timing,
+        RowParasitics::default(),
+        3,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
     let period = timing.t_stop(false);
     for k in 0..3 {
         // Just after each precharge phase the ML must be high again...

@@ -93,9 +93,9 @@ fn written_states_search_correctly_end_to_end() {
     let stored: TernaryWord = "01X0".parse().expect("word");
 
     for (query, expect) in [
-        (vec![false, true, false, false], true),  // matches through X
-        (vec![false, true, true, false], true),   // matches through X
-        (vec![true, true, false, false], false),  // digit 0 mismatch
+        (vec![false, true, false, false], true), // matches through X
+        (vec![false, true, true, false], true),  // matches through X
+        (vec![true, true, false, false], false), // digit 0 mismatch
         (vec![false, false, false, false], false), // digit 1 mismatch
     ] {
         let mut sim = build_search_row(

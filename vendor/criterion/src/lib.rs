@@ -1,0 +1,288 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Same authoring API (`criterion_group!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`), much simpler measurement: each
+//! benchmark is auto-calibrated to a short batch, sampled a fixed number
+//! of times, and the median ns/iter is reported. Results are printed to
+//! stdout and written as `BENCH_<target>.json` into the results
+//! directory (`$FERROTCAM_RESULTS` or `./results`) so runs can be
+//! compared across commits.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/param` for grouped benches.
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Elements (or bytes) processed per iteration, when declared.
+    pub throughput: Option<u64>,
+}
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+}
+
+/// Identifier of a bench case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Id from the parameter alone (prefixed with the group name).
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures under timing; handed to every benchmark body.
+pub struct Bencher {
+    batch: u64,
+    samples: usize,
+    measured_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median ns per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch costs >= 1 ms, so
+        // per-call timer overhead is amortized away.
+        let mut batch = self.batch.max(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= 1_000_000 || batch >= 1 << 24 {
+                break;
+            }
+            batch = if elapsed == 0 {
+                batch * 64
+            } else {
+                (batch * 2).max(batch + 1)
+            };
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                let total = start.elapsed().as_nanos();
+                let per = u64::try_from(total).unwrap_or(u64::MAX);
+                let batch_f = if batch == 0 { 1.0 } else { batch as f64 };
+                per as f64 / batch_f
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        self.measured_ns = per_iter[per_iter.len() / 2];
+        self.batch = batch;
+    }
+}
+
+/// Top-level benchmark driver; collects results for the final report.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_case(name.to_string(), DEFAULT_SAMPLES, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    fn run_case<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            batch: 1,
+            samples,
+            measured_ns: 0.0,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id,
+            ns_per_iter: b.measured_ns,
+            samples,
+            throughput: throughput.map(Throughput::count),
+        };
+        println!("{:<44} {:>14.1} ns/iter", result.id, result.ns_per_iter);
+        self.results.push(result);
+    }
+
+    /// Print the report and write the `BENCH_<target>.json` artifact.
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {
+        let target = bench_target_name();
+        let path = results_dir().join(format!("BENCH_{target}.json"));
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"target\": \"{target}\",");
+        json.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = r
+                .throughput
+                .map_or_else(|| "null".to_string(), |n| n.to_string());
+            let _ = write!(
+                json,
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.3}, \"samples\": {}, \"throughput\": {}}}",
+                r.id.replace('"', "\\\""),
+                r.ns_per_iter,
+                r.samples,
+                tp
+            );
+            json.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+        if std::fs::create_dir_all(results_dir()).is_ok() {
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 15;
+
+fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("FERROTCAM_RESULTS")
+        .map_or_else(|| std::path::PathBuf::from("results"), Into::into)
+}
+
+/// Best-effort bench target name from argv[0]: strip the directory and
+/// the `-<hash>` suffix cargo appends to bench executables.
+fn bench_target_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Scoped view over a [`Criterion`] with shared group settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration work for the following cases.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one case of this group against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_case(full_id, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (results are recorded as cases run; this exists
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point: run every group, then print/write the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for compatibility with
+/// `criterion::black_box` imports.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

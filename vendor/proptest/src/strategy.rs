@@ -1,0 +1,302 @@
+//! Strategy trait and combinators.
+
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies. Deterministic per test name.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Deterministic RNG for a named property test.
+#[must_use]
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Weighted choice between strategies of a common value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Panics if the total
+    /// weight is zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (weight, strat) in &self.arms {
+            if pick < *weight {
+                return strat.sample(rng);
+            }
+            pick -= *weight;
+        }
+        unreachable!("weighted pick exceeded total")
+    }
+}
+
+/// Values drawn uniformly from the whole domain of `Self`.
+pub trait Arbitrary {
+    /// Draw one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// `any::<T>()` — uniform over `T`'s whole domain.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several decades.
+        let mag: f64 = rng.random();
+        let exp: i32 = rng.random_range(-12..13);
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        sign * mag * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+// Ranges sample uniformly via rand's `SampleRange`.
+impl<T> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: rand::SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = rng_for_test("t");
+        let mut b = rng_for_test("t");
+        let strat = (0u32..100, 0.0f64..1.0);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = rng_for_test("sizes");
+        let strat = collection::vec(0u8..=255, 3..7);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((3..=6).contains(&v.len()));
+        }
+        let fixed = collection::vec(Just(1u8), 4usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn union_honors_weights() {
+        let mut rng = rng_for_test("union");
+        let strat = Union::new(vec![(9, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let ones: usize = (0..2000).map(|_| usize::from(strat.sample(&mut rng))).sum();
+        assert!(ones > 100 && ones < 350, "ones = {ones}");
+    }
+
+    #[test]
+    fn flat_map_dependent_lengths() {
+        let mut rng = rng_for_test("flat");
+        let strat = (1usize..=8).prop_flat_map(|n| (Just(n), collection::vec(0u8..10, n)));
+        for _ in 0..50 {
+            let (n, v) = strat.sample(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a miniature serde: the [`Serialize`]/[`Deserialize`] traits
+//! operate through an owned JSON-shaped data model ([`value::Value`])
+//! instead of upstream serde's visitor architecture. The companion
+//! `serde_derive` proc-macro generates impls for the struct and enum
+//! shapes used in this repository (named structs, tuple/newtype
+//! structs, and enums with unit, newtype, tuple and struct variants,
+//! externally tagged exactly like upstream serde).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+/// A type that can be turned into the [`value::Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a data-model value.
+    fn serialize_value(&self) -> value::Value;
+}
+
+/// A type that can be rebuilt from the [`value::Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a data-model value.
+    ///
+    /// # Errors
+    /// Returns [`value::DeError`] when the value's shape does not match.
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError>;
+}
+
+/// Upstream-compatible alias: our `Deserialize` is always owned.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> value::Value {
+                value::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+                match v {
+                    value::Value::Int(i) => Ok(*i as $t),
+                    value::Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(value::DeError::mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> value::Value {
+                value::Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+                match v {
+                    value::Value::Float(f) => Ok(*f as $t),
+                    value::Value::Int(i) => Ok(*i as $t),
+                    other => Err(value::DeError::mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> value::Value {
+        value::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        match v {
+            value::Value::Bool(b) => Ok(*b),
+            other => Err(value::DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> value::Value {
+        value::Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        match v {
+            value::Value::Str(s) => Ok(s.clone()),
+            other => Err(value::DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> value::Value {
+        value::Value::Str(self.to_string())
+    }
+}
+
+// `&'static str` fields appear in small static context tables
+// (e.g. published-design records). Deserializing one leaks the string;
+// that is bounded by the size of those tables and lets the derive stay
+// lifetime-free.
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        match v {
+            value::Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(value::DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> value::Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> value::Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => value::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        match v {
+            value::Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> value::Value {
+        value::Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        match v {
+            value::Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(value::DeError::mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> value::Value {
+        value::Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> value::Value {
+                value::Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    value::Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(value::DeError::mismatch("tuple", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,95 @@
+//! The owned data model that serialization passes through.
+
+use std::fmt;
+
+/// A JSON-shaped owned value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / absent optional.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (also used for unsigned values that fit).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up `key` in a map value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human label of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Error with a free-form message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Shape-mismatch error.
+    #[must_use]
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        Self::new(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Fetch and deserialize a struct field from a map value. A missing key
+/// deserializes as [`Value::Null`], which lets `Option` fields default
+/// to `None`.
+///
+/// # Errors
+/// Propagates the field's own deserialization error, or a mismatch when
+/// `v` is not a map.
+pub fn from_field<T: crate::Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v {
+        Value::Map(_) => match v.get(key) {
+            Some(field) => {
+                T::deserialize_value(field).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+            }
+            None => T::deserialize_value(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{key}`"))),
+        },
+        other => Err(DeError::mismatch("map", other)),
+    }
+}

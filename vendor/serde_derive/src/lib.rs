@@ -1,0 +1,439 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (the build environment is
+//! offline): a small hand-rolled parser walks the `TokenStream` of the
+//! deriving item and emits impls as source text. Supported shapes are
+//! exactly what this workspace uses — non-generic named structs, tuple
+//! structs (newtypes serialize transparently), unit structs, and enums
+//! with unit / newtype / tuple / struct variants (externally tagged,
+//! like upstream serde's default).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match parse_item(&tokens) {
+        Ok((name, shape)) => {
+            let src = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            src.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor<'a> {
+    toks: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.pos);
+        self.pos += t.is_some() as usize;
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume tokens until a top-level comma (angle-bracket depth 0);
+    /// the comma itself is consumed too.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, Shape), String> {
+    let mut c = Cursor {
+        toks: tokens,
+        pos: 0,
+    };
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected the type name".into()),
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is unsupported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::NamedStruct(parse_named_fields(&fields))))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::TupleStruct(count_tuple_fields(&fields))))
+            }
+            _ => Ok((name, Shape::UnitStruct)),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::Enum(parse_variants(&body)?)))
+            }
+            _ => Err(format!("malformed enum `{name}`")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut c = Cursor {
+        toks: tokens,
+        pos: 0,
+    };
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        match c.next() {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            _ => break,
+        }
+        // `: Type` up to the next top-level comma.
+        c.skip_until_comma();
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += in_segment as usize;
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    count + in_segment as usize
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor {
+        toks: tokens,
+        pos: 0,
+    };
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+            None => break,
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                c.next();
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                c.next();
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Optional discriminant, then the separating comma.
+        c.skip_until_comma();
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+const V: &str = "::serde::value::Value";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::serialize_value(&self.{f})),"
+                );
+            }
+            format!("{V}::Map(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Serialize::serialize_value(&self.{i}),");
+            }
+            format!("{V}::Seq(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => format!("{V}::Null"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => {V}::Str(::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(__f0) => {V}::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Serialize::serialize_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            let _ = write!(items, "::serde::Serialize::serialize_value({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => {V}::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              {V}::Seq(::std::vec![{items}]))]),",
+                            binds.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut entries = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                entries,
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize_value({f})),"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => {V}::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              {V}::Map(::std::vec![{entries}]))]),",
+                            fields.join(",")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> {V} {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let err = "::serde::value::DeError";
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(inits, "{f}: ::serde::value::from_field(__v, {f:?})?,");
+            }
+            format!("::core::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(
+                    items,
+                    "::serde::Deserialize::deserialize_value(&__items[{i}])?,"
+                );
+            }
+            format!(
+                "match __v {{\n\
+                   {V}::Seq(__items) if __items.len() == {n} => \
+                     ::core::result::Result::Ok({name}({items})),\n\
+                   __other => ::core::result::Result::Err({err}::mismatch(\
+                     \"sequence of length {n}\", __other)),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            let _ = write!(
+                                items,
+                                "::serde::Deserialize::deserialize_value(&__items[{i}])?,"
+                            );
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => match __inner {{\n\
+                               {V}::Seq(__items) if __items.len() == {n} => \
+                                 ::core::result::Result::Ok({name}::{vn}({items})),\n\
+                               __other => ::core::result::Result::Err({err}::mismatch(\
+                                 \"sequence of length {n}\", __other)),\n\
+                             }},"
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ =
+                                write!(inits, "{f}: ::serde::value::from_field(__inner, {f:?})?,");
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => ::core::result::Result::Ok(\
+                             {name}::{vn} {{ {inits} }}),"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   {V}::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\n\
+                     __other => ::core::result::Result::Err({err}::new(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                   }},\n\
+                   {V}::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __inner) = &__entries[0];\n\
+                     let _ = __inner;\n\
+                     match __k.as_str() {{\n\
+                       {data_arms}\n\
+                       __other => ::core::result::Result::Err({err}::new(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => ::core::result::Result::Err({err}::mismatch(\
+                     \"externally tagged variant of {name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &{V}) -> ::core::result::Result<Self, {err}> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
