@@ -29,7 +29,41 @@ impl Route {
         let shift = 32 - self.prefix_len as u32;
         (ip >> shift) == (self.addr >> shift)
     }
+
+    /// The network bits of this route (host bits masked off), the
+    /// identity used for duplicate detection: `10.1.2.3/8` and
+    /// `10.0.0.0/8` name the same prefix.
+    #[must_use]
+    pub fn network(&self) -> u32 {
+        if self.prefix_len == 0 {
+            return 0;
+        }
+        let shift = 32 - self.prefix_len as u32;
+        (self.addr >> shift) << shift
+    }
 }
+
+/// Rejected insertion: the table already holds a route for the same
+/// (network, prefix-length) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateRoute {
+    /// The route already installed for this prefix.
+    pub existing: Route,
+}
+
+impl std::fmt::Display for DuplicateRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "prefix {:#010x}/{} already installed (next hop {})",
+            self.existing.network(),
+            self.existing.prefix_len,
+            self.existing.next_hop
+        )
+    }
+}
+
+impl std::error::Error for DuplicateRoute {}
 
 /// A TCAM-backed IPv4 forwarding table.
 #[derive(Debug, Clone)]
@@ -69,10 +103,29 @@ impl RouterTable {
     /// Install a route, keeping rows ordered by descending prefix
     /// length so priority encoding realises LPM.
     ///
+    /// Duplicate (network, prefix-length) pairs are rejected
+    /// deterministically instead of silently shadowing the earlier
+    /// entry — with shadowing, `lookup` (row priority) and
+    /// `lookup_naive` (linear max-scan) could disagree on which
+    /// next hop an equal-length duplicate resolves to.
+    ///
+    /// # Errors
+    /// Returns [`DuplicateRoute`] when the same prefix is already
+    /// installed; the table is unchanged.
+    ///
     /// # Panics
     /// Panics if `prefix_len > 32`.
-    pub fn insert(&mut self, route: Route) {
+    pub fn insert(&mut self, route: Route) -> Result<(), DuplicateRoute> {
         assert!(route.prefix_len <= 32, "IPv4 prefix length ≤ 32");
+        if let Some(existing) = self
+            .routes
+            .iter()
+            .find(|r| r.prefix_len == route.prefix_len && r.network() == route.network())
+        {
+            return Err(DuplicateRoute {
+                existing: *existing,
+            });
+        }
         let pos = self
             .routes
             .partition_point(|r| r.prefix_len >= route.prefix_len);
@@ -83,6 +136,7 @@ impl RouterTable {
             pos,
             TernaryWord::from_prefix(u64::from(route.addr), route.prefix_len as usize, 32),
         );
+        Ok(())
     }
 
     /// One-cycle TCAM lookup: longest matching prefix's next hop.
@@ -142,22 +196,26 @@ mod tests {
             addr: ip(10, 0, 0, 0),
             prefix_len: 8,
             next_hop: 1,
-        });
+        })
+        .unwrap();
         t.insert(Route {
             addr: ip(10, 1, 0, 0),
             prefix_len: 16,
             next_hop: 2,
-        });
+        })
+        .unwrap();
         t.insert(Route {
             addr: ip(10, 1, 2, 0),
             prefix_len: 24,
             next_hop: 3,
-        });
+        })
+        .unwrap();
         t.insert(Route {
             addr: 0,
             prefix_len: 0,
             next_hop: 99,
-        }); // default
+        })
+        .unwrap(); // default
         t
     }
 
@@ -194,7 +252,8 @@ mod tests {
             addr: ip(192, 168, 0, 0),
             prefix_len: 16,
             next_hop: 7,
-        });
+        })
+        .unwrap();
         assert!(t.lookup(ip(8, 8, 8, 8)).is_none());
         assert_eq!(t.classify(ip(8, 8, 8, 8)), EncodeResult::Miss);
     }
@@ -207,12 +266,57 @@ mod tests {
             addr: ip(10, 0, 0, 0),
             prefix_len: 8,
             next_hop: 1,
-        });
+        })
+        .unwrap();
         t.insert(Route {
             addr: ip(10, 1, 2, 0),
             prefix_len: 24,
             next_hop: 3,
-        });
+        })
+        .unwrap();
         assert_eq!(t.lookup(ip(10, 1, 2, 9)).unwrap().next_hop, 3);
+    }
+
+    #[test]
+    fn duplicate_prefix_rejected() {
+        let mut t = table();
+        // Same prefix, different host bits and next hop: rejected,
+        // table unchanged.
+        let err = t
+            .insert(Route {
+                addr: ip(10, 200, 30, 4),
+                prefix_len: 8,
+                next_hop: 42,
+            })
+            .unwrap_err();
+        assert_eq!(err.existing.next_hop, 1);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.lookup(ip(10, 9, 9, 9)).unwrap().next_hop, 1);
+        // Same network at a different length is a distinct route.
+        t.insert(Route {
+            addr: ip(10, 0, 0, 0),
+            prefix_len: 9,
+            next_hop: 8,
+        })
+        .unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_zero_length_default_rejected() {
+        let mut t = RouterTable::new();
+        t.insert(Route {
+            addr: 0,
+            prefix_len: 0,
+            next_hop: 1,
+        })
+        .unwrap();
+        assert!(t
+            .insert(Route {
+                addr: ip(1, 2, 3, 4),
+                prefix_len: 0,
+                next_hop: 2,
+            })
+            .is_err());
     }
 }

@@ -7,4 +7,4 @@ pub mod lpm;
 
 pub use cache::{AssocTagStore, CacheStats};
 pub use hamming::{Classification, HammingClassifier};
-pub use lpm::{Route, RouterTable};
+pub use lpm::{DuplicateRoute, Route, RouterTable};

@@ -13,9 +13,10 @@
 //! use ferrotcam_arch::apps::{Route, RouterTable};
 //!
 //! let mut table = RouterTable::new();
-//! table.insert(Route { addr: 0x0A000000, prefix_len: 8, next_hop: 1 });
-//! table.insert(Route { addr: 0x0A010000, prefix_len: 16, next_hop: 2 });
+//! table.insert(Route { addr: 0x0A000000, prefix_len: 8, next_hop: 1 })?;
+//! table.insert(Route { addr: 0x0A010000, prefix_len: 16, next_hop: 2 })?;
 //! assert_eq!(table.lookup(0x0A010203).unwrap().next_hop, 2);
+//! # Ok::<(), ferrotcam_arch::apps::DuplicateRoute>(())
 //! ```
 
 #![warn(missing_docs)]

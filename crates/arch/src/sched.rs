@@ -72,6 +72,10 @@ pub struct ScheduleOutcome {
     pub stalled: usize,
     /// Makespan (s).
     pub makespan: f64,
+    /// Longest time any single query waited for its bank (s).
+    pub max_wait: f64,
+    /// Total busy time per bank (s), parallel to the bank pool.
+    pub bank_busy: Vec<f64>,
 }
 
 impl ScheduleOutcome {
@@ -96,6 +100,16 @@ impl ScheduleOutcome {
             .sum();
         total / queries.len().max(1) as f64
     }
+
+    /// Fraction of the makespan each bank spent busy (0 when no work
+    /// was scheduled at all).
+    #[must_use]
+    pub fn utilization(&self) -> Vec<f64> {
+        if self.makespan <= 0.0 {
+            return vec![0.0; self.bank_busy.len()];
+        }
+        self.bank_busy.iter().map(|&b| b / self.makespan).collect()
+    }
 }
 
 /// Deterministic greedy scheduler: each query takes its required bank
@@ -107,9 +121,11 @@ impl ScheduleOutcome {
 #[must_use]
 pub fn schedule(queries: &[Query], banks: usize, t_bank: f64) -> ScheduleOutcome {
     let mut free_at = vec![0.0f64; banks];
+    let mut bank_busy = vec![0.0f64; banks];
     let mut completion = Vec::with_capacity(queries.len());
     let mut stalled = 0usize;
     let mut makespan = 0.0f64;
+    let mut max_wait = 0.0f64;
     for q in queries {
         let bank = match q.bank {
             Some(b) => {
@@ -126,9 +142,11 @@ pub fn schedule(queries: &[Query], banks: usize, t_bank: f64) -> ScheduleOutcome
         let start = q.arrival.max(free_at[bank]);
         if start > q.arrival {
             stalled += 1;
+            max_wait = max_wait.max(start - q.arrival);
         }
         let done = start + t_bank;
         free_at[bank] = done;
+        bank_busy[bank] += t_bank;
         completion.push(done);
         makespan = makespan.max(done);
     }
@@ -136,6 +154,8 @@ pub fn schedule(queries: &[Query], banks: usize, t_bank: f64) -> ScheduleOutcome
         completion,
         stalled,
         makespan,
+        max_wait,
+        bank_busy,
     }
 }
 
@@ -182,6 +202,28 @@ mod tests {
         let out = schedule(&queries, 4, 1e-9);
         assert!((out.makespan - 4e-9).abs() < 1e-12);
         assert_eq!(out.stalled, 3);
+        // The last query waited for the three before it.
+        assert!((out.max_wait - 3e-9).abs() < 1e-12);
+        // Bank 0 was busy the whole makespan; banks 1–3 idled.
+        let util = out.utilization();
+        assert!((util[0] - 1.0).abs() < 1e-12);
+        assert!(util[1..].iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn utilization_balances_over_free_banks() {
+        let queries: Vec<Query> = (0..4)
+            .map(|_| Query {
+                arrival: 0.0,
+                bank: None,
+            })
+            .collect();
+        let out = schedule(&queries, 4, 1e-9);
+        // One query per bank, no waiting: everything fully utilised.
+        assert_eq!(out.max_wait, 0.0);
+        assert!(out.utilization().iter().all(|&u| (u - 1.0).abs() < 1e-12));
+        let total_busy: f64 = out.bank_busy.iter().sum();
+        assert!((total_busy - 4e-9).abs() < 1e-12);
     }
 
     #[test]

@@ -22,17 +22,39 @@ proptest! {
     #[test]
     fn lpm_equals_linear_scan(rs in routes(), ips in proptest::collection::vec(any::<u32>(), 1..16)) {
         let mut t = RouterTable::new();
+        let mut accepted = 0usize;
         for r in &rs {
-            t.insert(*r);
+            // Duplicate (network, len) pairs are rejected deterministically;
+            // everything else must land.
+            if t.insert(*r).is_ok() {
+                accepted += 1;
+            }
         }
+        prop_assert_eq!(t.len(), accepted);
         for ip in ips {
-            let got = t.lookup(ip).map(|r| (r.prefix_len, r.covers(ip)));
-            let reference = t.lookup_naive(ip).map(|r| (r.prefix_len, true));
-            // Same prefix length and actually covering; next hops can
-            // differ between equal-length duplicates, which is a real
-            // TCAM ambiguity resolved by row priority.
+            // With duplicates rejected at insert, the TCAM lookup and the
+            // linear-scan reference must agree *exactly*, next hop included:
+            // at most one installed route of any given length covers an IP.
+            let got = t.lookup(ip).map(|r| (r.prefix_len, r.next_hop));
+            let reference = t.lookup_naive(ip).map(|r| (r.prefix_len, r.next_hop));
             prop_assert_eq!(got, reference, "ip {:08x}", ip);
         }
+    }
+
+    #[test]
+    fn duplicate_insert_never_changes_lookups(rs in routes(), ip in any::<u32>()) {
+        let mut t = RouterTable::new();
+        for r in &rs {
+            let _ = t.insert(*r);
+        }
+        let before = t.lookup(ip).map(|r| (r.prefix_len, r.next_hop));
+        // Re-inserting every route (all now duplicates) must fail and
+        // leave the table bit-identical in behaviour.
+        for r in &rs {
+            prop_assert!(t.insert(*r).is_err());
+        }
+        let after = t.lookup(ip).map(|r| (r.prefix_len, r.next_hop));
+        prop_assert_eq!(before, after);
     }
 
     #[test]

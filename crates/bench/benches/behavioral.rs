@@ -54,7 +54,9 @@ fn bench_lpm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut table = RouterTable::new();
     for _ in 0..512 {
-        table.insert(Route {
+        // Random prefixes can collide; duplicates are rejected, which
+        // is fine for a benchmark table.
+        let _ = table.insert(Route {
             addr: rng.random(),
             prefix_len: rng.random_range(8u8..=28),
             next_hop: rng.random(),

@@ -8,9 +8,12 @@
 //!
 //! The default mode diffs `table4.json` FoM files; `--bench` diffs the
 //! machine-readable `BENCH_<target>.json` files written by the bench
-//! harness (per-case `ns_per_iter`, regressions = slowdowns only).
-//! Exits non-zero when any metric moved more than the tolerance,
-//! making it usable as a CI gate on the measured artefacts.
+//! harness. Two bench shapes are understood: per-case `results`
+//! (criterion-style `ns_per_iter`, regressions = slowdowns only) and
+//! throughput-latency `curves` as written by `ferrotcam serve-bench`
+//! (regressions = throughput drops or p99 latency rises). Exits
+//! non-zero when any metric moved more than the tolerance, making it
+//! usable as a CI gate on the measured artefacts.
 
 use ferrotcam_eval::report::FomRow;
 use serde::Deserialize;
@@ -21,11 +24,15 @@ fn load(path: &str) -> Result<Vec<FomRow>, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// `BENCH_<target>.json` as written by the bench harness.
+/// `BENCH_<target>.json` as written by the bench harness: either
+/// per-case `results` (criterion-style) or throughput-latency `curves`
+/// (`ferrotcam serve-bench`).
 #[derive(Debug, Deserialize)]
 struct BenchFile {
     target: String,
-    results: Vec<BenchEntry>,
+    // Optional: each shape of bench file carries one of the two.
+    results: Option<Vec<BenchEntry>>,
+    curves: Option<Vec<CurveEntry>>,
 }
 
 /// One benchmark case in a [`BenchFile`].
@@ -35,6 +42,14 @@ struct BenchEntry {
     ns_per_iter: f64,
     samples: usize,
     throughput: Option<u64>,
+}
+
+/// One throughput-latency curve point in a [`BenchFile`].
+#[derive(Debug, Deserialize)]
+struct CurveEntry {
+    id: String,
+    achieved_qps: f64,
+    p99_ns: f64,
 }
 
 fn load_bench(path: &str) -> Result<BenchFile, String> {
@@ -58,13 +73,24 @@ fn compare_bench(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
             old.target, new.target
         );
     }
-    let mut regressions = 0usize;
-    println!(
-        "{:<44} {:>14} {:>14} {:>8}",
-        "benchmark", "old ns/iter", "new ns/iter", "Δ%"
+    let (old_curves, new_curves) = (
+        old.curves.as_deref().unwrap_or(&[]),
+        new.curves.as_deref().unwrap_or(&[]),
     );
-    for o in &old.results {
-        let Some(n) = new.results.iter().find(|r| r.id == o.id) else {
+    let (old_results, new_results) = (
+        old.results.as_deref().unwrap_or(&[]),
+        new.results.as_deref().unwrap_or(&[]),
+    );
+    let mut regressions = 0usize;
+    regressions += compare_curves(old_curves, new_curves, tol);
+    if !old_results.is_empty() || !new_results.is_empty() {
+        println!(
+            "{:<44} {:>14} {:>14} {:>8}",
+            "benchmark", "old ns/iter", "new ns/iter", "Δ%"
+        );
+    }
+    for o in old_results {
+        let Some(n) = new_results.iter().find(|r| r.id == o.id) else {
             println!("{:<44} case removed", o.id);
             regressions += 1;
             continue;
@@ -82,8 +108,8 @@ fn compare_bench(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
             o.id, o.ns_per_iter, n.ns_per_iter, d
         );
     }
-    for n in &new.results {
-        if !old.results.iter().any(|o| o.id == n.id) {
+    for n in new_results {
+        if !old_results.iter().any(|o| o.id == n.id) {
             println!("{:<44} new case ({:.1} ns/iter)", n.id, n.ns_per_iter);
         }
     }
@@ -94,6 +120,48 @@ fn compare_bench(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
         println!("\nno benchmark slowed beyond +{tol}%");
         ExitCode::SUCCESS
     }
+}
+
+/// Diff two throughput-latency curves (serve-bench files). A point
+/// regresses when its throughput drops beyond `tol` percent or its p99
+/// latency rises beyond `tol` percent; faster/higher is never an error.
+fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
+    if old.is_empty() && new.is_empty() {
+        return 0;
+    }
+    let mut regressions = 0usize;
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "curve point", "old qps", "new qps", "old p99 ns", "new p99 ns", "Δ"
+    );
+    for o in old {
+        let Some(n) = new.iter().find(|c| c.id == o.id) else {
+            println!("{:<28} point removed", o.id);
+            regressions += 1;
+            continue;
+        };
+        let dq = pct(o.achieved_qps, n.achieved_qps);
+        let dl = pct(o.p99_ns, n.p99_ns);
+        let flag = if dq < -tol {
+            regressions += 1;
+            "  <-- slower"
+        } else if dl > tol {
+            regressions += 1;
+            "  <-- higher tail"
+        } else {
+            ""
+        };
+        println!(
+            "{:<28} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>+7.1}%{flag}",
+            o.id, o.achieved_qps, n.achieved_qps, o.p99_ns, n.p99_ns, dq
+        );
+    }
+    for n in new {
+        if !old.iter().any(|o| o.id == n.id) {
+            println!("{:<28} new point ({:.0} qps)", n.id, n.achieved_qps);
+        }
+    }
+    regressions
 }
 
 fn pct(old: f64, new: f64) -> f64 {

@@ -35,6 +35,13 @@ USAGE:
   ferrotcam table <file> <query-bits>
       Load a table file (one ternary word per line, # comments) and
       search it; prints matching rows in priority order.
+  ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
+                        [--width N] [--secs S] [--seed N]
+                        [--characterize <design>]
+      Load-test the serving layer: closed-loop shard sweep, open-loop
+      overload, energy audit. Writes BENCH_serve.json to
+      $FERROTCAM_RESULTS (default ./results). With --smoke the run is
+      bounded to a few seconds and the invariants become hard failures.
 
 DESIGNS: 2sg | 2dg | 1.5t1sg | 1.5t1dg | cmos (aliases accepted)";
 
@@ -56,6 +63,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("idvg") => idvg(&args[1..]),
         Some("export") => export(&args[1..]),
         Some("table") => table_lookup(&args[1..]),
+        Some("serve-bench") => crate::serve_bench::run(&args[1..], parse_design),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

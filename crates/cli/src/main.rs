@@ -7,11 +7,13 @@
 //! ferrotcam idvg <sg|dg> [--csv]
 //! ferrotcam export <design> <stored-word> <query-bits>
 //! ferrotcam designs
+//! ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
 //! ```
 
 use std::process::ExitCode;
 
 mod commands;
+mod serve_bench;
 
 fn main() -> ExitCode {
     // Piping into `head` closes stdout early; exit quietly instead of

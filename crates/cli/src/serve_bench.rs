@@ -1,0 +1,450 @@
+//! `ferrotcam serve-bench` — closed-loop + open-loop load generator
+//! for the serving layer.
+//!
+//! Builds a key-partitioned random table, starts a [`TcamService`]
+//! per configuration, and measures:
+//!
+//! 1. **closed loop** — client threads submit-and-wait as fast as the
+//!    service answers, sweeping the shard count to show throughput
+//!    scaling;
+//! 2. **open loop** — a deterministic SplitMix64 exponential arrival
+//!    process offers load far beyond capacity to show bounded-queue
+//!    load shedding;
+//! 3. **energy audit** — every response's energy attribution is
+//!    checked against the standalone `core::fom` figure for the same
+//!    query.
+//!
+//! Results land in `BENCH_serve.json` (results dir: `$FERROTCAM_RESULTS`
+//! or `./results`), in the throughput-curve format understood by
+//! `compare_runs --bench`. With `--smoke` the run is bounded to a few
+//! seconds and the acceptance invariants (monotone scaling, shedding
+//! under overload, energy match within 1e-9) become hard failures.
+
+use ferrotcam::fom::SearchMetrics;
+use ferrotcam::{DesignKind, TernaryWord};
+use ferrotcam_eval::parasitics::row_parasitics;
+use ferrotcam_eval::tech::tech_14nm;
+use ferrotcam_serve::{Overloaded, ServiceConfig, ServiceMetrics, ShardedTcam, TcamService};
+use rand::split_mix64;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One point on the throughput-latency curve.
+#[derive(Debug, Clone, Serialize)]
+struct CurvePoint {
+    id: String,
+    mode: &'static str,
+    shards: usize,
+    rows: usize,
+    offered_qps: Option<f64>,
+    achieved_qps: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+    shed: u64,
+    max_queue_depth: usize,
+    step1_early_termination_rate: f64,
+    energy_per_query_fj: f64,
+}
+
+/// The `BENCH_serve.json` artefact.
+#[derive(Debug, Serialize)]
+struct ServeBenchFile {
+    target: &'static str,
+    curves: Vec<CurvePoint>,
+}
+
+/// Parsed command-line options.
+struct Opts {
+    smoke: bool,
+    rows: usize,
+    width: usize,
+    shards: Vec<usize>,
+    secs: f64,
+    seed: u64,
+    characterize: Option<DesignKind>,
+}
+
+fn parse_opts(
+    args: &[String],
+    parse_design: impl Fn(&str) -> Result<DesignKind, String>,
+) -> Result<Opts, String> {
+    let mut o = Opts {
+        smoke: false,
+        rows: 16384,
+        width: 64,
+        shards: vec![1, 2, 4],
+        secs: 1.5,
+        seed: 42,
+        characterize: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--smoke" => {
+                o.smoke = true;
+                o.secs = 0.4;
+            }
+            "--rows" => {
+                o.rows = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--width" => {
+                o.width = next("a width")?
+                    .parse()
+                    .map_err(|e| format!("--width: {e}"))?
+            }
+            "--secs" => {
+                o.secs = next("seconds")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?
+            }
+            "--seed" => {
+                o.seed = next("a seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--shards" => {
+                o.shards = next("a list like 1,2,4")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--shards: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if o.shards.is_empty() || o.shards.contains(&0) {
+                    return Err("--shards needs positive counts".into());
+                }
+            }
+            "--characterize" => o.characterize = Some(parse_design(next("a design")?)?),
+            other => return Err(format!("unknown serve-bench flag {other:?}")),
+        }
+    }
+    if o.width == 0 || o.rows == 0 {
+        return Err("--rows and --width must be positive".into());
+    }
+    Ok(o)
+}
+
+/// Table IV figures for the 1.5T1DG-Fe design at 64-bit words, scaled
+/// from the paper's per-cell numbers — the default energy model when
+/// a live SPICE characterisation is not requested.
+fn paper_metrics(width: usize) -> SearchMetrics {
+    SearchMetrics {
+        design: DesignKind::T15Dg,
+        word_len: width,
+        latency_1step: 231e-12,
+        latency_2step: Some(481e-12),
+        energy_1step: 0.13e-15 * width as f64,
+        energy_2step: Some(0.21e-15 * width as f64),
+    }
+}
+
+fn random_query(state: &mut u64, width: usize) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(width);
+    let mut word = 0u64;
+    for i in 0..width {
+        if i % 64 == 0 {
+            word = split_mix64(state);
+        }
+        bits.push((word >> (i % 64)) & 1 == 1);
+    }
+    bits
+}
+
+/// Build a key-partitioned table: every stored word lives on the
+/// shard its own bit-pattern hashes to, so routed queries find their
+/// keys while scanning only `rows / shards` rows.
+fn build_table(opts: &Opts, shards: usize, metrics: &SearchMetrics) -> ShardedTcam {
+    let mut t = ShardedTcam::new(opts.width, shards);
+    let mut state = opts.seed;
+    for _ in 0..opts.rows {
+        let bits = random_query(&mut state, opts.width);
+        let shard = t.route(&bits);
+        t.store_in(shard, TernaryWord::from_bits(&bits));
+    }
+    t.attach_metrics(metrics.clone());
+    t
+}
+
+fn curve_point(
+    id: String,
+    mode: &'static str,
+    shards: usize,
+    rows: usize,
+    offered_qps: Option<f64>,
+    achieved_qps: f64,
+    m: &ServiceMetrics,
+) -> CurvePoint {
+    let shed = m.shed_queue_full + m.shed_rate_limited + m.shed_shutting_down;
+    CurvePoint {
+        id,
+        mode,
+        shards,
+        rows,
+        offered_qps,
+        achieved_qps,
+        p50_ns: m.wall_latency_ns.p50,
+        p95_ns: m.wall_latency_ns.p95,
+        p99_ns: m.wall_latency_ns.p99,
+        shed,
+        max_queue_depth: m.max_queue_depth,
+        step1_early_termination_rate: m.step1_early_termination_rate,
+        energy_per_query_fj: if m.completed == 0 {
+            0.0
+        } else {
+            m.energy_total_j / m.completed as f64 * 1e15
+        },
+    }
+}
+
+/// Closed loop: `clients` threads submit-and-wait until the deadline.
+/// Returns (achieved qps, final metrics).
+fn closed_loop(
+    table: ShardedTcam,
+    opts: &Opts,
+    clients: usize,
+    secs: f64,
+) -> (f64, ServiceMetrics) {
+    let svc = TcamService::start(table, &ServiceConfig::default());
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let completions: u64 = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let client = svc.client();
+                let width = opts.width;
+                let mut state = opts.seed ^ (0x9E37 + c as u64);
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    while Instant::now() < deadline {
+                        let q = random_query(&mut state, width);
+                        match client.submit_routed(c as u32, q) {
+                            Ok(ticket) => {
+                                let _ = ticket.wait();
+                                done += 1;
+                            }
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                    done
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = svc.drain();
+    (completions as f64 / elapsed, metrics)
+}
+
+/// Open loop: offer `offered_qps` with SplitMix64 exponential
+/// inter-arrivals for `secs`, never waiting for responses.
+fn open_loop(table: ShardedTcam, opts: &Opts, offered_qps: f64, secs: f64) -> ServiceMetrics {
+    let cfg = ServiceConfig {
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    };
+    let svc = TcamService::start(table, &cfg);
+    let client = svc.client();
+    let mut state = opts.seed ^ 0xDEAD_BEEF;
+    let started = Instant::now();
+    let horizon = Duration::from_secs_f64(secs);
+    let mut next_arrival = 0.0f64; // seconds since start
+    let mut tickets = Vec::new();
+    loop {
+        let now = started.elapsed();
+        if now >= horizon {
+            break;
+        }
+        // Submit every arrival that is due by now.
+        while next_arrival <= now.as_secs_f64() {
+            // Exponential inter-arrival: -ln(U)/λ, U ∈ (0, 1].
+            let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered_qps;
+            let q = random_query(&mut state, opts.width);
+            match client.submit_routed(0, q) {
+                Ok(t) => tickets.push(t),
+                Err(Overloaded::QueueFull) => {} // counted by the service
+                Err(e) => panic!("unexpected shed: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    drop(tickets); // responses were recorded by the service metrics
+    svc.drain()
+}
+
+/// Audit energy attribution against the standalone `core::fom` figure.
+/// Returns the worst relative deviation observed.
+fn energy_audit(table: ShardedTcam, opts: &Opts, metrics: &SearchMetrics) -> f64 {
+    let svc = TcamService::start(table, &ServiceConfig::default());
+    let client = svc.client();
+    let mut state = opts.seed ^ 0xA0D1;
+    let mut worst = 0.0f64;
+    for _ in 0..64 {
+        let q = random_query(&mut state, opts.width);
+        let resp = client.submit_routed(0, q).expect("idle service").wait();
+        let total = resp.matches.len() + resp.step1_misses + resp.step2_misses;
+        if total == 0 {
+            continue;
+        }
+        let miss_rate = resp.step1_misses as f64 / total as f64;
+        let standalone = total as f64 * metrics.energy_avg(miss_rate);
+        let served = resp.energy_j.expect("metrics attached");
+        let rel = (served - standalone).abs() / standalone.abs().max(1e-30);
+        worst = worst.max(rel);
+    }
+    drop(svc);
+    worst
+}
+
+/// Entry point, called from the command dispatcher.
+pub fn run(
+    args: &[String],
+    parse_design: impl Fn(&str) -> Result<DesignKind, String>,
+) -> Result<(), String> {
+    let opts = parse_opts(args, parse_design)?;
+    let metrics = match opts.characterize {
+        Some(design) => {
+            println!(
+                "characterising {} at {} cells (SPICE)...",
+                design.name(),
+                opts.width
+            );
+            let tech = tech_14nm();
+            ferrotcam::fom::characterize_search(design, opts.width, row_parasitics(design, &tech))
+                .map_err(|e| format!("characterisation failed: {e}"))?
+        }
+        None => paper_metrics(opts.width),
+    };
+    println!(
+        "serve-bench: {} rows x {} digits, shards {:?}, {:.1}s per point{}",
+        opts.rows,
+        opts.width,
+        opts.shards,
+        opts.secs,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+
+    let mut curves = Vec::new();
+
+    // --- Phase 1: closed-loop shard sweep --------------------------------
+    let mut capacities = Vec::new();
+    for &shards in &opts.shards {
+        let table = build_table(&opts, shards, &metrics);
+        let (qps, m) = closed_loop(table, &opts, 2, opts.secs);
+        println!(
+            "  closed  shards={shards:<2} {qps:>10.0} qps   p50 {:>8.1} us   p99 {:>8.1} us",
+            m.wall_latency_ns.p50 / 1e3,
+            m.wall_latency_ns.p99 / 1e3
+        );
+        capacities.push(qps);
+        curves.push(curve_point(
+            format!("closed_shards{shards}"),
+            "closed",
+            shards,
+            opts.rows,
+            None,
+            qps,
+            &m,
+        ));
+    }
+
+    // --- Phase 2: open-loop overload --------------------------------------
+    let &max_shards = opts.shards.iter().max().expect("non-empty");
+    let capacity = capacities
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1.0);
+    let offered = capacity * 3.0;
+    let table = build_table(&opts, max_shards, &metrics);
+    let m_over = open_loop(table, &opts, offered, opts.secs.max(0.5));
+    let achieved = m_over.completed as f64 / opts.secs.max(0.5);
+    let shed_total = m_over.shed_queue_full + m_over.shed_rate_limited + m_over.shed_shutting_down;
+    println!(
+        "  open    shards={max_shards:<2} offered {offered:>8.0} qps -> {achieved:>8.0} qps, shed {shed_total}, max queue depth {}",
+        m_over.max_queue_depth
+    );
+    curves.push(curve_point(
+        format!("open_overload_shards{max_shards}"),
+        "open",
+        max_shards,
+        opts.rows,
+        Some(offered),
+        achieved,
+        &m_over,
+    ));
+
+    // --- Phase 3: energy audit --------------------------------------------
+    let table = build_table(&opts, max_shards, &metrics);
+    let worst_rel = energy_audit(table, &opts, &metrics);
+    println!("  energy  worst |served - fom| / fom = {worst_rel:.3e}");
+
+    // --- Artefact ----------------------------------------------------------
+    let file = ServeBenchFile {
+        target: "serve",
+        curves,
+    };
+    let dir = std::env::var("FERROTCAM_RESULTS").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&file).expect("serialise bench file");
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+
+    // --- Acceptance invariants --------------------------------------------
+    let mut report = String::new();
+    for w in capacities.windows(2) {
+        if w[1] < w[0] * 0.9 {
+            let _ = writeln!(
+                report,
+                "throughput not monotone across shard sweep: {capacities:?}"
+            );
+            break;
+        }
+    }
+    if capacities.len() > 1 && capacities[capacities.len() - 1] <= capacities[0] {
+        let _ = writeln!(
+            report,
+            "no scaling from {} to {} shards: {capacities:?}",
+            opts.shards[0], max_shards
+        );
+    }
+    if shed_total == 0 {
+        let _ = writeln!(report, "overload at {offered:.0} qps shed nothing");
+    }
+    if m_over.max_queue_depth > 256 {
+        let _ = writeln!(
+            report,
+            "queue grew past its bound: {}",
+            m_over.max_queue_depth
+        );
+    }
+    if worst_rel >= 1e-9 {
+        let _ = writeln!(
+            report,
+            "energy attribution deviates from core::fom by {worst_rel:.3e} (>= 1e-9)"
+        );
+    }
+    if report.is_empty() {
+        println!("serve-bench invariants hold: monotone scaling, bounded shedding, energy-true accounting");
+        Ok(())
+    } else if opts.smoke {
+        Err(format!("serve-bench smoke failed:\n{report}"))
+    } else {
+        println!("warning (non-smoke run, not fatal):\n{report}");
+        Ok(())
+    }
+}

@@ -305,6 +305,55 @@ mod tests {
     }
 
     #[test]
+    fn zero_row_array_statistics() {
+        let t = BehavioralTcam::new(4);
+        assert!(t.is_empty());
+        let out = t.search(&[true, false, true, false]);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.step1_misses, 0);
+        assert_eq!(out.step2_misses, 0);
+        assert_eq!(out.best(), None);
+        // The empty-workload convention: a search over zero rows has a
+        // 0.0 miss rate, not NaN.
+        assert_eq!(out.step1_miss_rate(), 0.0);
+        assert_eq!(t.workload_step1_miss_rate(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn all_wildcard_rows_survive_both_steps() {
+        let mut t = BehavioralTcam::new(6);
+        for _ in 0..5 {
+            t.store("XXXXXX".parse().unwrap());
+        }
+        for q in [[false; 6], [true; 6]] {
+            let out = t.search(&q);
+            // Wildcards match everything: no row ever early-terminates,
+            // so step 1 saves no energy at all on this content.
+            assert_eq!(out.matches, vec![0, 1, 2, 3, 4]);
+            assert_eq!(out.step1_misses, 0);
+            assert_eq!(out.step2_misses, 0);
+            assert_eq!(out.step1_miss_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn odd_width_wildcards_and_step_split() {
+        // Width 3: step 1 covers digits {0, 2}, step 2 covers {1}.
+        let mut t = BehavioralTcam::new(3);
+        t.store("XXX".parse().unwrap()); // always matches
+        t.store("X0X".parse().unwrap()); // step-2-only constraint
+        let hit = t.search(&[true, false, true]);
+        assert_eq!(hit.matches, vec![0, 1]);
+        assert_eq!(hit.step1_misses, 0);
+        let miss = t.search(&[true, true, true]);
+        // Row 1 survives step 1 (both step-1 digits are X) and dies in
+        // step 2 — the early-termination stats must say so.
+        assert_eq!(miss.matches, vec![0]);
+        assert_eq!(miss.step1_misses, 0);
+        assert_eq!(miss.step2_misses, 1);
+    }
+
+    #[test]
     fn workload_miss_rate_average() {
         let t = array();
         let q1 = vec![false, true, true, false];

@@ -1,0 +1,127 @@
+//! Batch planning: turning a drained batch of queries into per-bank
+//! work lists plus a modelled hardware schedule.
+//!
+//! Every query expands into one *unit* per shard it must visit (one
+//! for partitioned queries, `n` for fan-out queries). The units are
+//! then run through `ferrotcam_arch::sched::schedule` — the same
+//! greedy bank scheduler the architecture layer uses — so each query
+//! is charged the bank wait it would have seen in silicon, and the
+//! dispatcher learns per-bank utilization and the worst wait of the
+//! batch from the extended [`ScheduleOutcome`].
+
+use ferrotcam_arch::sched::{schedule, Query, ScheduleOutcome};
+
+/// A planned batch: which shard runs which queries, and the flattened
+/// schedule units.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Per-shard job-index lists (`per_shard[s]` = indices into the
+    /// batch whose query must run on shard `s`).
+    pub per_shard: Vec<Vec<usize>>,
+    /// Flattened `(job, shard)` units in dispatch order.
+    pub units: Vec<(usize, usize)>,
+    /// Number of jobs planned.
+    pub jobs: usize,
+}
+
+/// Group a batch into per-shard work lists. `targets[j]` is `Some(s)`
+/// for a partitioned query pinned to shard `s`, `None` for a fan-out
+/// query visiting every shard.
+///
+/// # Panics
+/// Panics if a pinned shard is out of range.
+#[must_use]
+pub fn plan(targets: &[Option<usize>], shards: usize) -> BatchPlan {
+    let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut units = Vec::new();
+    for (j, target) in targets.iter().enumerate() {
+        match *target {
+            Some(s) => {
+                assert!(s < shards, "shard {s} out of range");
+                per_shard[s].push(j);
+                units.push((j, s));
+            }
+            None => {
+                for (s, list) in per_shard.iter_mut().enumerate() {
+                    list.push(j);
+                    units.push((j, s));
+                }
+            }
+        }
+    }
+    BatchPlan {
+        per_shard,
+        units,
+        jobs: targets.len(),
+    }
+}
+
+impl BatchPlan {
+    /// Model the batch on the bank pool: all units arrive together
+    /// (the dispatcher issues the batch as one wave) and serialise per
+    /// bank at `t_bank` each. Returns the schedule plus each job's
+    /// modelled completion time — for fan-out jobs the *slowest* of
+    /// its per-shard units, since a merged answer needs every bank.
+    #[must_use]
+    pub fn schedule(&self, shards: usize, t_bank: f64) -> (ScheduleOutcome, Vec<f64>) {
+        let queries: Vec<Query> = self
+            .units
+            .iter()
+            .map(|&(_, s)| Query {
+                arrival: 0.0,
+                bank: Some(s),
+            })
+            .collect();
+        let outcome = schedule(&queries, shards, t_bank);
+        let mut per_job = vec![0.0f64; self.jobs];
+        for (u, &(j, _)) in self.units.iter().enumerate() {
+            per_job[j] = per_job[j].max(outcome.completion[u]);
+        }
+        (outcome, per_job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_jobs_group_by_shard() {
+        let p = plan(&[Some(0), Some(1), Some(0)], 2);
+        assert_eq!(p.per_shard[0], vec![0, 2]);
+        assert_eq!(p.per_shard[1], vec![1]);
+        assert_eq!(p.units.len(), 3);
+    }
+
+    #[test]
+    fn fanout_jobs_visit_every_shard() {
+        let p = plan(&[None, Some(1)], 3);
+        assert_eq!(p.per_shard[0], vec![0]);
+        assert_eq!(p.per_shard[1], vec![0, 1]);
+        assert_eq!(p.per_shard[2], vec![0]);
+        assert_eq!(p.units.len(), 4);
+    }
+
+    #[test]
+    fn schedule_charges_bank_conflicts() {
+        // Three queries pinned to one of two banks: the pinned bank
+        // serialises, and the batch's modelled completion shows it.
+        let p = plan(&[Some(0), Some(0), Some(0)], 2);
+        let (outcome, per_job) = p.schedule(2, 1e-9);
+        assert!((outcome.makespan - 3e-9).abs() < 1e-15);
+        assert!((outcome.max_wait - 2e-9).abs() < 1e-15);
+        assert!((per_job[2] - 3e-9).abs() < 1e-15);
+        let util = outcome.utilization();
+        assert!(util[0] > 0.99 && util[1] == 0.0);
+    }
+
+    #[test]
+    fn fanout_completion_is_slowest_unit() {
+        // One fan-out job over 2 banks, plus a pinned job congesting
+        // bank 1: the fan-out job finishes only when bank 1 does.
+        let p = plan(&[Some(1), None], 2);
+        let (_, per_job) = p.schedule(2, 1e-9);
+        assert!((per_job[0] - 1e-9).abs() < 1e-15);
+        assert!((per_job[1] - 2e-9).abs() < 1e-15, "waits behind job 0");
+    }
+}

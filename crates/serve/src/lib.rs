@@ -1,0 +1,53 @@
+//! # ferrotcam-serve
+//!
+//! The serving layer of the ferroTCAM workspace: a multi-tenant,
+//! sharded, batched associative-search service over the behavioural
+//! TCAM, with SPICE-calibrated energy and latency attribution on every
+//! response.
+//!
+//! Where the rest of the workspace *simulates* the paper's TCAM, this
+//! crate *serves* it: queries arrive concurrently from many clients,
+//! pass per-tenant admission control ([`admission`]), queue in a
+//! bounded lock-free ring ([`queue`]), get coalesced into per-bank
+//! batches ([`batch`]), execute on sharded behavioural banks
+//! ([`shard`]) over the `spice::parallel` worker pool, and come back
+//! with the exact Table IV early-termination energy the search would
+//! have burned in silicon. Load beyond capacity is shed with typed
+//! [`Overloaded`] errors instead of growing queues without bound, and
+//! a [`ServiceMetrics`] snapshot (latency percentiles, queue depth,
+//! batch sizes, shed counts, step-1 early-termination rate) exports as
+//! JSON at any time.
+//!
+//! ```
+//! use ferrotcam_serve::{ServiceConfig, ShardedTcam, TcamService};
+//! use ferrotcam::TernaryWord;
+//!
+//! let mut table = ShardedTcam::new(8, 2);
+//! for i in 0..16u64 {
+//!     table.store(TernaryWord::from_u64(i, 8));
+//! }
+//! let service = TcamService::start(table, &ServiceConfig::default());
+//! let client = service.client();
+//! let query = vec![false, false, false, false, false, true, false, true];
+//! let response = client.submit(0, query, None)?.wait();
+//! assert_eq!(response.matches, vec![5]);
+//! let metrics = service.drain();
+//! assert_eq!(metrics.completed, 1);
+//! # Ok::<(), ferrotcam_serve::Overloaded>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod batch;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub mod shard;
+
+pub use admission::{Admission, Overloaded, RatePolicy, TenantId, TokenBucket};
+pub use metrics::{Histogram, LatencySummary, MetricsCollector, ResponseSample, ServiceMetrics};
+pub use queue::BoundedQueue;
+pub use service::{SearchResponse, ServiceClient, ServiceConfig, TcamService, Ticket};
+pub use shard::{hash_bits, ShardedTcam};

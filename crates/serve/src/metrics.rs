@@ -1,0 +1,398 @@
+//! Service observability: latency/batch histograms and the exported
+//! [`ServiceMetrics`] snapshot.
+//!
+//! Recording happens on the dispatcher thread (single writer) behind
+//! one uncontended mutex; snapshots are cheap and can be taken from
+//! any thread at any time, including while the service is loaded.
+
+use ferrotcam_arch::sched::ScheduleOutcome;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Power-of-two bucketed histogram over `u64` samples (nanoseconds for
+/// wall latencies, picoseconds for modelled silicon latencies).
+/// Resolution is one octave, which is plenty for tail percentiles.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: f64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0.0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (64 - sample.leading_zeros()).min(63) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += sample as f64;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate `p`-quantile (`0 < p <= 1`): the upper edge of the
+    /// bucket holding the p-th sample, clamped to the observed max.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let upper = if idx == 0 { 0u64 } else { 1u64 << idx };
+                return (upper.min(self.max.max(1))) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Condensed percentile summary.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max as f64,
+        }
+    }
+}
+
+/// Percentile summary of a histogram, in the histogram's native unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper edge).
+    pub p50: f64,
+    /// 95th percentile (bucket upper edge).
+    pub p95: f64,
+    /// 99th percentile (bucket upper edge).
+    pub p99: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+/// Batch-size distribution of the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct BatchStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean queries per batch.
+    pub mean_size: f64,
+    /// Largest batch executed.
+    pub max_size: u64,
+    /// Median batch size (octave resolution).
+    pub p50_size: f64,
+}
+
+/// A point-in-time snapshot of everything the service measures,
+/// exported as JSON for dashboards and the bench harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Sheds: bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Sheds: tenant token bucket dry.
+    pub shed_rate_limited: u64,
+    /// Sheds: service draining.
+    pub shed_shutting_down: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Deepest queue ever observed by the dispatcher (bounded by the
+    /// ring capacity — the no-unbounded-growth witness).
+    pub max_queue_depth: usize,
+    /// Wall-clock submit→response latency (nanoseconds).
+    pub wall_latency_ns: LatencySummary,
+    /// Modelled silicon latency: bank wait + search (picoseconds).
+    pub model_latency_ps: LatencySummary,
+    /// Dispatcher batch-size distribution.
+    pub batch: BatchStats,
+    /// Rows scanned across all responses.
+    pub rows_searched: u64,
+    /// Rows that early-terminated after step 1.
+    pub step1_misses: u64,
+    /// Rows that survived step 1 and missed in step 2.
+    pub step2_misses: u64,
+    /// Total match count across responses.
+    pub matches: u64,
+    /// Aggregate step-1 early-termination rate over all rows searched.
+    pub step1_early_termination_rate: f64,
+    /// Total silicon energy attributed to responses (J).
+    pub energy_total_j: f64,
+    /// Mean modelled utilization per bank over all scheduled batches.
+    pub bank_utilization: Vec<f64>,
+    /// Longest modelled bank wait of any query (s).
+    pub max_sched_wait_s: f64,
+}
+
+impl ServiceMetrics {
+    /// Pretty JSON rendering of the snapshot.
+    ///
+    /// # Panics
+    /// Never: the struct contains only serialisable scalars.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+}
+
+/// The accounting facts of one completed response, recorded with
+/// [`MetricsCollector::on_response`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResponseSample {
+    /// Wall-clock submit→response latency (ns).
+    pub wall_ns: u64,
+    /// Modelled silicon latency (s), if scheduled.
+    pub model_latency_s: Option<f64>,
+    /// Rows scanned for this query.
+    pub rows: usize,
+    /// Rows early-terminated after step 1.
+    pub step1_misses: usize,
+    /// Rows that survived step 1 and missed in step 2.
+    pub step2_misses: usize,
+    /// Matching rows.
+    pub matches: usize,
+    /// Energy attributed (J), if metrics are attached.
+    pub energy_j: Option<f64>,
+}
+
+/// Internal accumulator behind the collector's mutex.
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: u64,
+    completed: u64,
+    shed_queue_full: u64,
+    shed_rate_limited: u64,
+    shed_shutting_down: u64,
+    max_queue_depth: usize,
+    wall: Histogram,
+    model: Histogram,
+    batches: u64,
+    batch_size_sum: u64,
+    batch_size_max: u64,
+    batch_hist: Histogram,
+    rows_searched: u64,
+    step1_misses: u64,
+    step2_misses: u64,
+    matches: u64,
+    energy_total_j: f64,
+    bank_busy_total: Vec<f64>,
+    sched_time_total: f64,
+    max_sched_wait_s: f64,
+}
+
+/// Thread-safe metrics collector shared by clients and the dispatcher.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsCollector {
+    /// Fresh collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request was accepted into the queue, which then held `depth`
+    /// items.
+    pub fn on_submit(&self, depth: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.submitted += 1;
+        m.max_queue_depth = m.max_queue_depth.max(depth);
+    }
+
+    /// A request was shed with `err`.
+    pub fn on_shed(&self, err: crate::admission::Overloaded) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        match err {
+            crate::admission::Overloaded::QueueFull => m.shed_queue_full += 1,
+            crate::admission::Overloaded::RateLimited { .. } => m.shed_rate_limited += 1,
+            crate::admission::Overloaded::ShuttingDown => m.shed_shutting_down += 1,
+        }
+    }
+
+    /// The dispatcher pulled and scheduled a batch of `size` queries.
+    pub fn on_batch(&self, size: usize, sched: &ScheduleOutcome) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.batches += 1;
+        m.batch_size_sum += size as u64;
+        m.batch_size_max = m.batch_size_max.max(size as u64);
+        m.batch_hist.record(size as u64);
+        if m.bank_busy_total.len() < sched.bank_busy.len() {
+            m.bank_busy_total.resize(sched.bank_busy.len(), 0.0);
+        }
+        for (total, &busy) in m.bank_busy_total.iter_mut().zip(&sched.bank_busy) {
+            *total += busy;
+        }
+        m.sched_time_total += sched.makespan;
+        m.max_sched_wait_s = m.max_sched_wait_s.max(sched.max_wait);
+    }
+
+    /// One response went out.
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    pub fn on_response(&self, sample: &ResponseSample) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.completed += 1;
+        m.wall.record(sample.wall_ns);
+        if let Some(lat) = sample.model_latency_s {
+            m.model.record((lat * 1e12).max(0.0) as u64);
+        }
+        m.rows_searched += sample.rows as u64;
+        m.step1_misses += sample.step1_misses as u64;
+        m.step2_misses += sample.step2_misses as u64;
+        m.matches += sample.matches as u64;
+        if let Some(e) = sample.energy_j {
+            m.energy_total_j += e;
+        }
+    }
+
+    /// Snapshot everything; `queue_depth` is sampled by the caller.
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: usize) -> ServiceMetrics {
+        let m = self.inner.lock().expect("metrics lock");
+        let utilization = if m.sched_time_total > 0.0 {
+            m.bank_busy_total
+                .iter()
+                .map(|&b| b / m.sched_time_total)
+                .collect()
+        } else {
+            vec![0.0; m.bank_busy_total.len()]
+        };
+        ServiceMetrics {
+            submitted: m.submitted,
+            completed: m.completed,
+            shed_queue_full: m.shed_queue_full,
+            shed_rate_limited: m.shed_rate_limited,
+            shed_shutting_down: m.shed_shutting_down,
+            queue_depth,
+            max_queue_depth: m.max_queue_depth,
+            wall_latency_ns: m.wall.summary(),
+            model_latency_ps: m.model.summary(),
+            batch: BatchStats {
+                batches: m.batches,
+                mean_size: if m.batches == 0 {
+                    0.0
+                } else {
+                    m.batch_size_sum as f64 / m.batches as f64
+                },
+                max_size: m.batch_size_max,
+                p50_size: m.batch_hist.quantile(0.5),
+            },
+            rows_searched: m.rows_searched,
+            step1_misses: m.step1_misses,
+            step2_misses: m.step2_misses,
+            matches: m.matches,
+            step1_early_termination_rate: if m.rows_searched == 0 {
+                0.0
+            } else {
+                m.step1_misses as f64 / m.rows_searched as f64
+            },
+            energy_total_j: m.energy_total_j,
+            bank_utilization: utilization,
+            max_sched_wait_s: m.max_sched_wait_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = Histogram::default();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Octave resolution: p50 of 1..=1000 lands in the 512 bucket.
+        assert_eq!(h.quantile(0.5), 512.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.summary().max, 1000.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let c = MetricsCollector::new();
+        c.on_submit(1);
+        c.on_response(&ResponseSample {
+            wall_ns: 1500,
+            model_latency_s: Some(1.2e-9),
+            rows: 64,
+            step1_misses: 60,
+            step2_misses: 2,
+            matches: 2,
+            energy_j: Some(3.2e-14),
+        });
+        let snap = c.snapshot(0);
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.max_queue_depth, 1);
+        assert_eq!(snap.completed, 1);
+        assert!((snap.step1_early_termination_rate - 60.0 / 64.0).abs() < 1e-12);
+        let json = snap.to_json();
+        let back: ServiceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn shed_counters_split_by_kind() {
+        use crate::admission::Overloaded;
+        let c = MetricsCollector::new();
+        c.on_shed(Overloaded::QueueFull);
+        c.on_shed(Overloaded::QueueFull);
+        c.on_shed(Overloaded::RateLimited { tenant: 1 });
+        c.on_shed(Overloaded::ShuttingDown);
+        let snap = c.snapshot(3);
+        assert_eq!(snap.shed_queue_full, 2);
+        assert_eq!(snap.shed_rate_limited, 1);
+        assert_eq!(snap.shed_shutting_down, 1);
+        assert_eq!(snap.queue_depth, 3);
+    }
+}

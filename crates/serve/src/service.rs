@@ -1,0 +1,520 @@
+//! The associative-search service: submission, dispatch, drain.
+//!
+//! ```text
+//!  clients ──submit──▶ [admission] ──▶ [bounded queue] ──▶ dispatcher
+//!                          │shed                │shed          │
+//!                          ▼                    ▼              ▼
+//!                      Overloaded           Overloaded   batch planner
+//!                                                             │
+//!                                             par_map over shards (banks)
+//!                                                             │
+//!                                            merge + energy/latency attribution
+//!                                                             │
+//!                                                  tickets resolve ◀┘
+//! ```
+//!
+//! One dispatcher thread owns the drain side of the queue. It pulls up
+//! to `max_batch` requests, plans them into per-bank work lists,
+//! executes the banks on the `ferrotcam_spice::parallel::par_map`
+//! worker pool, charges each query its modelled bank wait (from
+//! `arch::sched`) and its silicon energy (from the attached
+//! `core::fom` metrics), and resolves the per-request tickets.
+//!
+//! Shutdown is a *drain*: new submissions are refused with
+//! [`Overloaded::ShuttingDown`] while every request already accepted
+//! is still executed and answered. The accept counter and the drain
+//! flag share one atomic word, so a request is either atomically
+//! accepted before the drain (and will be answered) or refused — no
+//! request can fall between.
+
+use crate::admission::{Admission, Overloaded, RatePolicy, TenantId};
+use crate::batch;
+use crate::metrics::{MetricsCollector, ResponseSample, ServiceMetrics};
+use crate::queue::BoundedQueue;
+use crate::shard::ShardedTcam;
+use ferrotcam::SearchOutcome;
+use ferrotcam_spice::parallel::{default_jobs, par_map};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// High bit of the state word: the service is draining.
+const DRAIN_BIT: u64 = 1 << 63;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bounded submission-queue capacity (the backpressure horizon).
+    pub queue_capacity: usize,
+    /// Most queries the dispatcher coalesces into one batch.
+    pub max_batch: usize,
+    /// Worker threads for the per-bank batch execution; 0 means the
+    /// `spice::parallel` default (`FERROTCAM_JOBS` or the core count).
+    pub jobs: usize,
+    /// Rate policy for tenants without an explicit one.
+    pub default_policy: RatePolicy,
+    /// Override for the modelled per-bank busy time (s); defaults to
+    /// the attached metrics' two-step latency, else 1 ns.
+    pub t_bank: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 64,
+            jobs: 0,
+            default_policy: RatePolicy::unlimited(),
+            t_bank: None,
+        }
+    }
+}
+
+/// A resolved search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Matching rows as global slot ids, ascending.
+    pub matches: Vec<usize>,
+    /// Rows early-terminated after step 1.
+    pub step1_misses: usize,
+    /// Rows that survived step 1 but missed in step 2.
+    pub step2_misses: usize,
+    /// Rows scanned to answer this query.
+    pub rows_searched: usize,
+    /// Silicon energy this query burned (J); `None` without metrics.
+    pub energy_j: Option<f64>,
+    /// Modelled silicon latency: bank wait + bank busy time (s).
+    pub model_latency_s: f64,
+    /// Wall-clock submit→response latency (ns).
+    pub wall_latency_ns: u64,
+}
+
+/// Handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<SearchResponse>,
+}
+
+impl Ticket {
+    /// Block until the response arrives. Every accepted request is
+    /// answered, even across a drain.
+    ///
+    /// # Panics
+    /// Panics if the service was torn down without drain (a bug — the
+    /// service's `Drop` drains).
+    #[must_use]
+    pub fn wait(self) -> SearchResponse {
+        self.rx
+            .recv()
+            .expect("dispatcher answers every accepted request")
+    }
+
+    /// Non-blocking poll.
+    #[must_use]
+    pub fn try_wait(&self) -> Option<SearchResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One accepted request travelling through the queue.
+#[derive(Debug)]
+struct Job {
+    query: Vec<bool>,
+    shard: Option<usize>,
+    enqueued: Instant,
+    tx: mpsc::Sender<SearchResponse>,
+}
+
+/// Shared state between clients and the dispatcher.
+#[derive(Debug)]
+struct Inner {
+    table: ShardedTcam,
+    queue: BoundedQueue<Job>,
+    admission: Admission,
+    metrics: MetricsCollector,
+    /// Drain flag (high bit) + accepted-request count (low bits).
+    state: AtomicU64,
+    /// Requests fully answered.
+    completed: AtomicU64,
+    max_batch: usize,
+    jobs: usize,
+    t_bank: f64,
+}
+
+/// Cloneable client handle: submit requests, read metrics.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    inner: Arc<Inner>,
+}
+
+impl ServiceClient {
+    /// Submit a query. `shard: None` fans out over every bank and
+    /// merges; `Some(s)` pins the query to bank `s` (key-partitioned
+    /// tables — see [`ServiceClient::submit_routed`]).
+    ///
+    /// # Errors
+    /// Typed [`Overloaded`] sheds: draining, tenant throttled, or the
+    /// bounded queue is full. Sheds are counted in the metrics.
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch or out-of-range shard
+    /// (programmer errors, consistent with the core layer).
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        query: Vec<bool>,
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        let inner = &*self.inner;
+        assert_eq!(query.len(), inner.table.width(), "query width mismatch");
+        if let Some(s) = shard {
+            assert!(s < inner.table.shard_count(), "shard {s} out of range");
+        }
+        if let Err(e) = inner.admission.admit(tenant, Instant::now()) {
+            inner.metrics.on_shed(e);
+            return Err(e);
+        }
+        // Accept atomically against the drain flag: either this bumps
+        // the accepted count before the drain begins (the dispatcher
+        // will then wait for it) or the service is already draining.
+        if inner
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                (s & DRAIN_BIT == 0).then_some(s + 1)
+            })
+            .is_err()
+        {
+            inner.metrics.on_shed(Overloaded::ShuttingDown);
+            return Err(Overloaded::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            query,
+            shard,
+            enqueued: Instant::now(),
+            tx,
+        };
+        if inner.queue.push(job).is_err() {
+            // Give the acceptance back before reporting the shed.
+            inner.state.fetch_sub(1, Ordering::AcqRel);
+            inner.metrics.on_shed(Overloaded::QueueFull);
+            return Err(Overloaded::QueueFull);
+        }
+        inner.metrics.on_submit(inner.queue.len());
+        Ok(Ticket { rx })
+    }
+
+    /// Submit a key-partitioned query: the shard is chosen by the
+    /// table's deterministic hash route.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`].
+    pub fn submit_routed(&self, tenant: TenantId, query: Vec<bool>) -> Result<Ticket, Overloaded> {
+        let shard = self.inner.table.route(&query);
+        self.submit(tenant, query, Some(shard))
+    }
+
+    /// Install a per-tenant rate policy.
+    pub fn set_policy(&self, tenant: TenantId, policy: RatePolicy) {
+        self.inner.admission.set_policy(tenant, policy);
+    }
+
+    /// Snapshot the service metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.inner.metrics.snapshot(self.inner.queue.len())
+    }
+
+    /// The served table (shape and attached metrics).
+    #[must_use]
+    pub fn table(&self) -> &ShardedTcam {
+        &self.inner.table
+    }
+}
+
+/// The running service: owns the dispatcher thread.
+#[derive(Debug)]
+pub struct TcamService {
+    inner: Arc<Inner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcamService {
+    /// Start serving `table` under `config`; spawns the dispatcher.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher thread cannot be spawned.
+    #[must_use]
+    pub fn start(table: ShardedTcam, config: &ServiceConfig) -> Self {
+        let t_bank = config
+            .t_bank
+            .or_else(|| table.model_latency())
+            .unwrap_or(1e-9);
+        let jobs = if config.jobs == 0 {
+            default_jobs()
+        } else {
+            config.jobs
+        };
+        let inner = Arc::new(Inner {
+            table,
+            queue: BoundedQueue::new(config.queue_capacity),
+            admission: Admission::new(config.default_policy),
+            metrics: MetricsCollector::new(),
+            state: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            max_batch: config.max_batch.max(1),
+            jobs,
+            t_bank,
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("ferrotcam-serve".into())
+            .spawn(move || dispatch_loop(&worker_inner))
+            .expect("spawn dispatcher");
+        Self {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// A cloneable client handle.
+    #[must_use]
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Snapshot the service metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.inner.metrics.snapshot(self.inner.queue.len())
+    }
+
+    /// Graceful shutdown: refuse new work, answer everything already
+    /// accepted, stop the dispatcher, and return the final metrics.
+    #[must_use]
+    pub fn drain(mut self) -> ServiceMetrics {
+        self.begin_drain_and_join();
+        self.inner.metrics.snapshot(self.inner.queue.len())
+    }
+
+    fn begin_drain_and_join(&mut self) {
+        self.inner.state.fetch_or(DRAIN_BIT, Ordering::AcqRel);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TcamService {
+    fn drop(&mut self) {
+        self.begin_drain_and_join();
+    }
+}
+
+/// Dispatcher main loop: coalesce, execute, answer; exit only when
+/// draining and every accepted request has been answered.
+fn dispatch_loop(inner: &Inner) {
+    loop {
+        let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
+        inner.queue.drain_into(&mut batch, inner.max_batch);
+        if batch.is_empty() {
+            let state = inner.state.load(Ordering::Acquire);
+            let accepted = state & !DRAIN_BIT;
+            if state & DRAIN_BIT != 0
+                && accepted == inner.completed.load(Ordering::Acquire)
+                && inner.queue.is_empty()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(20));
+            continue;
+        }
+        execute_batch(inner, batch);
+    }
+}
+
+/// Run one batch: plan per-bank work, search the shards on the worker
+/// pool, model the bank schedule, attribute energy, resolve tickets.
+fn execute_batch(inner: &Inner, jobs: Vec<Job>) {
+    let n = inner.table.shard_count();
+    // Split the Sync part (queries) from the send side (tickets) so
+    // the worker pool only ever sees the former.
+    let targets: Vec<Option<usize>> = jobs.iter().map(|j| j.shard).collect();
+    let queries: Vec<Vec<bool>> = jobs.iter().map(|j| j.query.clone()).collect();
+    let plan = batch::plan(&targets, n);
+
+    let table = &inner.table;
+    let per_shard_results: Vec<Vec<(usize, SearchOutcome)>> =
+        par_map(&plan.per_shard, inner.jobs, |s, list| {
+            list.iter()
+                .map(|&j| (j, table.search_shard(s, &queries[j])))
+                .collect()
+        });
+
+    // Merge the per-shard outcomes back into one outcome per job.
+    let mut merged: Vec<SearchOutcome> = (0..jobs.len())
+        .map(|_| SearchOutcome {
+            matches: Vec::new(),
+            step1_misses: 0,
+            step2_misses: 0,
+        })
+        .collect();
+    for shard_results in per_shard_results {
+        for (j, out) in shard_results {
+            merged[j].matches.extend(out.matches);
+            merged[j].step1_misses += out.step1_misses;
+            merged[j].step2_misses += out.step2_misses;
+        }
+    }
+
+    let (sched_outcome, per_job_done) = plan.schedule(n, inner.t_bank);
+    inner.metrics.on_batch(jobs.len(), &sched_outcome);
+
+    for (j, job) in jobs.into_iter().enumerate() {
+        let mut outcome = std::mem::replace(
+            &mut merged[j],
+            SearchOutcome {
+                matches: Vec::new(),
+                step1_misses: 0,
+                step2_misses: 0,
+            },
+        );
+        outcome.matches.sort_unstable();
+        let rows_searched = match job.shard {
+            Some(s) => inner.table.shard(s).len(),
+            None => inner.table.len(),
+        };
+        let energy_j = inner.table.energy_of(&outcome);
+        let wall_latency_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let response = SearchResponse {
+            matches: outcome.matches,
+            step1_misses: outcome.step1_misses,
+            step2_misses: outcome.step2_misses,
+            rows_searched,
+            energy_j,
+            model_latency_s: per_job_done[j],
+            wall_latency_ns,
+        };
+        inner.metrics.on_response(&ResponseSample {
+            wall_ns: wall_latency_ns,
+            model_latency_s: Some(response.model_latency_s),
+            rows: rows_searched,
+            step1_misses: response.step1_misses,
+            step2_misses: response.step2_misses,
+            matches: response.matches.len(),
+            energy_j,
+        });
+        // A dropped ticket is fine — the work was still done and
+        // accounted; only the delivery is skipped.
+        let _ = job.tx.send(response);
+        inner.completed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam::TernaryWord;
+
+    fn table(rows: u64, shards: usize) -> ShardedTcam {
+        let mut t = ShardedTcam::new(8, shards);
+        for i in 0..rows {
+            t.store(TernaryWord::from_u64(i * 3, 8));
+        }
+        t
+    }
+
+    fn bits(v: u64) -> Vec<bool> {
+        (0..8).rev().map(|b| (v >> b) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn single_query_roundtrip() {
+        let svc = TcamService::start(table(16, 2), &ServiceConfig::default());
+        let client = svc.client();
+        let resp = client.submit(0, bits(9), None).unwrap().wait();
+        // 9 = 3*3 is stored; fan-out scans all 16 rows.
+        assert!(!resp.matches.is_empty());
+        assert_eq!(resp.rows_searched, 16);
+        assert!(resp.model_latency_s > 0.0);
+        let m = svc.drain();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.submitted, 1);
+    }
+
+    #[test]
+    fn fanout_equals_unsharded_search() {
+        let t = table(32, 4);
+        let reference = {
+            let mut r = ferrotcam::BehavioralTcam::new(8);
+            for i in 0..32u64 {
+                r.store(TernaryWord::from_u64(i * 3, 8));
+            }
+            r
+        };
+        let svc = TcamService::start(t, &ServiceConfig::default());
+        let client = svc.client();
+        for v in [0u64, 3, 30, 93, 200] {
+            let resp = client.submit(0, bits(v), None).unwrap().wait();
+            assert_eq!(resp.matches, reference.search_naive(&bits(v)), "v={v}");
+        }
+        drop(svc);
+    }
+
+    #[test]
+    fn drain_answers_everything_accepted() {
+        let svc = TcamService::start(table(8, 2), &ServiceConfig::default());
+        let client = svc.client();
+        let tickets: Vec<Ticket> = (0..50)
+            .map(|i| client.submit(0, bits(i % 256), None).unwrap())
+            .collect();
+        let m = svc.drain();
+        assert_eq!(m.completed, 50);
+        for t in tickets {
+            let _ = t.wait(); // must not hang or panic
+        }
+        // After drain, new submissions shed as ShuttingDown.
+        assert_eq!(
+            client.submit(0, bits(1), None).unwrap_err(),
+            Overloaded::ShuttingDown
+        );
+        assert_eq!(client.metrics().shed_shutting_down, 1);
+    }
+
+    #[test]
+    fn rate_limited_tenant_sheds_but_others_proceed() {
+        let svc = TcamService::start(table(8, 1), &ServiceConfig::default());
+        let client = svc.client();
+        client.set_policy(1, RatePolicy::per_second(0.0, 1.0));
+        assert!(client.submit(1, bits(0), None).is_ok());
+        assert_eq!(
+            client.submit(1, bits(0), None).unwrap_err(),
+            Overloaded::RateLimited { tenant: 1 }
+        );
+        assert!(client.submit(2, bits(0), None).is_ok());
+        let m = svc.drain();
+        assert_eq!(m.shed_rate_limited, 1);
+        assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn partitioned_submit_scans_one_shard() {
+        let mut t = ShardedTcam::new(8, 4);
+        // Key-partitioned fill: every word lives on its hash shard.
+        for i in 0..64u64 {
+            let word = TernaryWord::from_u64(i, 8);
+            let shard = t.route(&bits(i));
+            t.store_in(shard, word);
+        }
+        let svc = TcamService::start(t, &ServiceConfig::default());
+        let client = svc.client();
+        for i in [0u64, 17, 42, 63] {
+            let resp = client.submit_routed(0, bits(i)).unwrap().wait();
+            assert_eq!(resp.matches.len(), 1, "key {i} found on its shard");
+            assert!(resp.rows_searched < 64, "scans one shard, not the table");
+        }
+        drop(svc);
+    }
+}

@@ -1,0 +1,321 @@
+//! Sharding a large ternary table across TCAM banks.
+//!
+//! A serving-scale table does not fit one subarray, so rows are spread
+//! over `n` behavioural shards, each standing for a physical bank with
+//! its own match lines and priority encoder. Two access patterns are
+//! supported, mirroring `ferrotcam_arch::sched::Query::bank`:
+//!
+//! * **fan-out** — the query searches every shard and the per-shard
+//!   match sets merge into one global result (row-partitioned tables,
+//!   e.g. LPM);
+//! * **partitioned** — a hash routes the query to exactly one shard
+//!   (key-partitioned tables, e.g. exact-match filters), so capacity
+//!   scales with the shard count.
+//!
+//! Energy accounting is *energy-true*: with per-row circuit metrics
+//! attached (from [`ferrotcam::fom::characterize_search`]), the energy
+//! charged to a query is exactly the Table IV early-termination figure
+//! — `step-1 misses × E₁ + surviving rows × E₂` — and, because that sum
+//! is linear over rows, sharding never changes the total a query would
+//! have burned on the unsharded array.
+
+use ferrotcam::fom::SearchMetrics;
+use ferrotcam::{BehavioralTcam, SearchOutcome, TernaryWord};
+use rand::split_mix64;
+
+/// A ternary table split across `n` behavioural shards.
+#[derive(Debug, Clone)]
+pub struct ShardedTcam {
+    width: usize,
+    shards: Vec<BehavioralTcam>,
+    metrics: Option<SearchMetrics>,
+}
+
+/// Deterministic SplitMix64 hash of a query bit-pattern, used for
+/// shard routing and load generation.
+#[must_use]
+pub fn hash_bits(bits: &[bool]) -> u64 {
+    let mut state = 0x9E37_79B9_7F4A_7C15 ^ bits.len() as u64;
+    let mut acc = 0u64;
+    let mut n = 0u32;
+    for &b in bits {
+        acc = (acc << 1) | u64::from(b);
+        n += 1;
+        if n == 64 {
+            state ^= acc;
+            let _ = split_mix64(&mut state);
+            acc = 0;
+            n = 0;
+        }
+    }
+    state ^= acc ^ u64::from(n);
+    split_mix64(&mut state)
+}
+
+impl ShardedTcam {
+    /// Empty table of `width`-digit words over `shards` banks.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(width: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        Self {
+            width,
+            shards: (0..shards).map(|_| BehavioralTcam::new(width)).collect(),
+            metrics: None,
+        }
+    }
+
+    /// Word width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total stored rows across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BehavioralTcam::len).sum()
+    }
+
+    /// Whether no rows are stored anywhere.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(BehavioralTcam::is_empty)
+    }
+
+    /// One shard's contents.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &BehavioralTcam {
+        &self.shards[shard]
+    }
+
+    /// Attach the per-row circuit figures of merit that turn search
+    /// statistics into Joules.
+    pub fn attach_metrics(&mut self, metrics: SearchMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached circuit metrics, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&SearchMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Global slot id of a shard-local row: `local * n + shard`. For
+    /// balanced (round-robin) fills this equals the insertion order.
+    #[must_use]
+    pub fn global_row(&self, shard: usize, local: usize) -> usize {
+        local * self.shards.len() + shard
+    }
+
+    /// Inverse of [`Self::global_row`]: `(shard, local)`.
+    #[must_use]
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        (global % self.shards.len(), global / self.shards.len())
+    }
+
+    /// Store a word in the least-loaded shard (round-robin for
+    /// balanced fills); returns the global slot id.
+    ///
+    /// # Panics
+    /// Panics on word-width mismatch.
+    pub fn store(&mut self, word: TernaryWord) -> usize {
+        let shard = (0..self.shards.len())
+            .min_by_key(|&s| (self.shards[s].len(), s))
+            .expect("at least one shard");
+        self.store_in(shard, word)
+    }
+
+    /// Store a word in a specific shard (key-partitioned tables route
+    /// with [`Self::route`]); returns the global slot id.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or `shard` out of range.
+    pub fn store_in(&mut self, shard: usize, word: TernaryWord) -> usize {
+        let local = self.shards[shard].store(word);
+        self.global_row(shard, local)
+    }
+
+    /// The shard a key-partitioned query belongs to.
+    #[must_use]
+    pub fn route(&self, query: &[bool]) -> usize {
+        (hash_bits(query) % self.shards.len() as u64) as usize
+    }
+
+    /// Search one shard; matches come back as *global* slot ids.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or `shard` out of range.
+    #[must_use]
+    pub fn search_shard(&self, shard: usize, query: &[bool]) -> SearchOutcome {
+        let mut out = self.shards[shard].search(query);
+        for m in &mut out.matches {
+            *m = self.global_row(shard, *m);
+        }
+        out
+    }
+
+    /// Fan-out search of every shard, merged into one outcome with
+    /// globally ascending match ids.
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch.
+    #[must_use]
+    pub fn search_all(&self, query: &[bool]) -> SearchOutcome {
+        let mut merged = SearchOutcome {
+            matches: Vec::new(),
+            step1_misses: 0,
+            step2_misses: 0,
+        };
+        for s in 0..self.shards.len() {
+            let out = self.search_shard(s, query);
+            merged.matches.extend(out.matches);
+            merged.step1_misses += out.step1_misses;
+            merged.step2_misses += out.step2_misses;
+        }
+        merged.matches.sort_unstable();
+        merged
+    }
+
+    /// Energy (J) a search with these statistics burned, per the
+    /// paper's early-termination model: every step-1 miss pays the
+    /// one-step row energy, every surviving row the full two-step
+    /// figure. `None` without attached metrics.
+    ///
+    /// Equals `rows × SearchMetrics::energy_avg(measured miss rate)`
+    /// by construction, so responses can be audited against the
+    /// standalone `core::fom` number.
+    #[must_use]
+    pub fn energy_of(&self, outcome: &SearchOutcome) -> Option<f64> {
+        let m = self.metrics.as_ref()?;
+        let e1 = m.energy_1step;
+        let e2 = m.energy_2step.unwrap_or(m.energy_1step);
+        let survivors = outcome.matches.len() + outcome.step2_misses;
+        Some(outcome.step1_misses as f64 * e1 + survivors as f64 * e2)
+    }
+
+    /// Unloaded per-search silicon latency (s) from the attached
+    /// metrics.
+    #[must_use]
+    pub fn model_latency(&self) -> Option<f64> {
+        self.metrics.as_ref().map(SearchMetrics::latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam::DesignKind;
+
+    fn metrics() -> SearchMetrics {
+        SearchMetrics {
+            design: DesignKind::T15Dg,
+            word_len: 8,
+            latency_1step: 200e-12,
+            latency_2step: Some(450e-12),
+            energy_1step: 1e-15,
+            energy_2step: Some(2e-15),
+        }
+    }
+
+    fn words() -> Vec<TernaryWord> {
+        (0..12u64)
+            .map(|i| TernaryWord::from_u64(i * 7, 8))
+            .collect()
+    }
+
+    #[test]
+    fn fanout_matches_unsharded_reference() {
+        let mut reference = BehavioralTcam::new(8);
+        let mut sharded = ShardedTcam::new(8, 3);
+        for w in words() {
+            let global = sharded.store(w.clone());
+            let row = reference.store(w);
+            assert_eq!(global, row, "round-robin fill keeps insertion ids");
+        }
+        for q in [0u64, 7, 21, 77, 255] {
+            let query: Vec<bool> = (0..8).rev().map(|b| (q >> b) & 1 == 1).collect();
+            let merged = sharded.search_all(&query);
+            let flat = reference.search(&query);
+            assert_eq!(merged.matches, flat.matches, "query {q}");
+            assert_eq!(merged.step1_misses, flat.step1_misses);
+            assert_eq!(merged.step2_misses, flat.step2_misses);
+        }
+    }
+
+    #[test]
+    fn energy_is_shard_invariant() {
+        let query: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        let mut energies = Vec::new();
+        for n in [1usize, 2, 3, 4] {
+            let mut t = ShardedTcam::new(8, n);
+            for w in words() {
+                t.store(w);
+            }
+            t.attach_metrics(metrics());
+            let out = t.search_all(&query);
+            energies.push(t.energy_of(&out).unwrap());
+        }
+        for e in &energies[1..] {
+            assert!((e - energies[0]).abs() < 1e-30, "{energies:?}");
+        }
+    }
+
+    #[test]
+    fn energy_matches_fom_average_formula() {
+        let mut t = ShardedTcam::new(8, 2);
+        for w in words() {
+            t.store(w);
+        }
+        t.attach_metrics(metrics());
+        let query: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let out = t.search_all(&query);
+        let rows = t.len() as f64;
+        let standalone = rows * metrics().energy_avg(out.step1_miss_rate());
+        let served = t.energy_of(&out).unwrap();
+        assert!(
+            (served - standalone).abs() < 1e-9 * standalone.max(1e-30),
+            "served {served:.6e} vs fom {standalone:.6e}"
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let t = ShardedTcam::new(16, 4);
+        let mut seen = [0usize; 4];
+        for i in 0..256u64 {
+            let bits: Vec<bool> = (0..16).rev().map(|b| (i >> b) & 1 == 1).collect();
+            let s = t.route(&bits);
+            assert_eq!(s, t.route(&bits), "routing must be stable");
+            seen[s] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 20),
+            "hash routing badly skewed: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn global_row_roundtrip() {
+        let mut t = ShardedTcam::new(4, 3);
+        for i in 0..7u64 {
+            t.store(TernaryWord::from_u64(i, 4));
+        }
+        for g in 0..7 {
+            let (s, l) = t.locate(g);
+            assert_eq!(t.global_row(s, l), g);
+            assert!(t.shard(s).row(l).is_some());
+        }
+    }
+}

@@ -29,11 +29,13 @@ fn main() -> ferrotcam::Result<()> {
         (ip(172, 16, 0, 0), 12, 6),
     ];
     for (addr, len, hop) in prefixes {
-        table.insert(Route {
-            addr,
-            prefix_len: len,
-            next_hop: hop,
-        });
+        table
+            .insert(Route {
+                addr,
+                prefix_len: len,
+                next_hop: hop,
+            })
+            .expect("distinct prefixes");
     }
     println!("installed {} prefixes", table.len());
 
