@@ -18,7 +18,7 @@ fn level_at(params: &DesignParams, state: VthState, query: bool, temp: f64) -> f
             temp,
             ..NewtonOpts::default()
         },
-        time: 0.0,
+        ..DcOpts::default()
     };
     operating_point(&ckt, &opts).expect("op").voltage(slbar)
 }

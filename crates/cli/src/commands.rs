@@ -35,6 +35,11 @@ USAGE:
   ferrotcam table <file> <query-bits>
       Load a table file (one ternary word per line, # comments) and
       search it; prints matching rows in priority order.
+  ferrotcam lint [--all] [--deny] [--json]
+      Run the ERC static analyzer over every generated netlist (one
+      search row per design; --all adds 1.5T divider cells, full
+      arrays and write arrays). --deny fails on any error-severity
+      diagnostic; --json emits machine-readable reports.
   ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
                         [--width N] [--secs S] [--seed N]
                         [--characterize <design>]
@@ -63,6 +68,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("idvg") => idvg(&args[1..]),
         Some("export") => export(&args[1..]),
         Some("table") => table_lookup(&args[1..]),
+        Some("lint") => crate::lint::run(&args[1..]),
         Some("serve-bench") => crate::serve_bench::run(&args[1..], parse_design),
         Some("help") | None => {
             println!("{USAGE}");

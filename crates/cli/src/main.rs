@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 
 mod commands;
+mod lint;
 mod serve_bench;
 
 fn main() -> ExitCode {

@@ -33,16 +33,17 @@ pub(crate) fn build_search_row(
 ) -> Result<SearchSim> {
     assert_eq!(params.kind, DesignKind::Cmos16t, "cmos16t builder");
     let n = stored.len();
+    assert_eq!(query.len(), n, "query length matches stored word");
     let vdd = params.vdd;
 
     let mut ckt = Circuit::new();
     let scaffold = build_scaffold(&mut ckt, params, n, &timing, &par)?;
     let gnd = Circuit::gnd();
 
-    for c in 0..n {
+    for (c, &qc) in query.iter().enumerate() {
         let sl = ckt.node(&format!("sl{c}"));
         let slb = ckt.node(&format!("slb{c}"));
-        let (v_sl, v_slb) = if query[c] { (vdd, 0.0) } else { (0.0, vdd) };
+        let (v_sl, v_slb) = if qc { (vdd, 0.0) } else { (0.0, vdd) };
         let win = (timing.step1_start(), timing.step1_end());
         ckt.vsource(
             &format!("SL{c}"),

@@ -38,17 +38,18 @@ pub(crate) fn build_search_row(
         "fefet2 builder needs a 2FeFET design"
     );
     let n = stored.len();
+    assert_eq!(query.len(), n, "query length matches stored word");
     let is_dg = params.kind == DesignKind::Dg2;
 
     let mut ckt = Circuit::new();
     let scaffold = build_scaffold(&mut ckt, params, n, &timing, &par)?;
     let gnd = Circuit::gnd();
 
-    for c in 0..n {
+    for (c, &qc) in query.iter().enumerate() {
         let sl = ckt.node(&format!("sl{c}"));
         let slb = ckt.node(&format!("slb{c}"));
         // Table I: search '0' → SL = V_s, SL̄ = 0; search '1' → inverse.
-        let (v_sl, v_slb) = if query[c] {
+        let (v_sl, v_slb) = if qc {
             (0.0, params.v_search)
         } else {
             (params.v_search, 0.0)

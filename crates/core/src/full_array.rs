@@ -29,25 +29,32 @@ pub struct ArraySearchResult {
     pub energy: f64,
 }
 
-/// Build and run a full two-step search over an M×N 1.5T1Fe array.
-///
-/// All rows are searched in parallel (SeL_a/SeL_b span every row, as in
-/// the paper); `enable_step2` emulates the early-termination controller
-/// globally.
+/// A fully built (but not yet simulated) M×N array search circuit.
+#[derive(Debug)]
+pub struct FullArrayCircuit {
+    /// The complete array netlist.
+    pub circuit: Circuit,
+    /// Per-row sense-amplifier output node names.
+    pub sa_outs: Vec<String>,
+}
+
+/// Build the full two-step search circuit over an M×N 1.5T1Fe array
+/// without running it (used by [`search_full_array`] and by
+/// `ferrotcam lint`).
 ///
 /// # Errors
-/// Propagates simulator failures.
+/// Propagates netlist-construction failures.
 ///
 /// # Panics
 /// Panics for non-1.5T designs, empty arrays, or odd word lengths.
-pub fn search_full_array(
+pub fn build_full_array(
     params: &DesignParams,
     rows: &[TernaryWord],
     query: &[bool],
-    timing: SearchTiming,
-    par: RowParasitics,
+    timing: &SearchTiming,
+    par: &RowParasitics,
     enable_step2: bool,
-) -> Result<ArraySearchResult> {
+) -> Result<FullArrayCircuit> {
     assert!(
         params.kind.is_t15(),
         "full-array builder is for 1.5T designs"
@@ -72,10 +79,10 @@ pub fn search_full_array(
         "SELA",
         sela,
         gnd,
-        ops::select_pulse(params.v_search, &timing, false),
+        ops::select_pulse(params.v_search, timing, false),
     );
     let selb_wave = if enable_step2 {
-        ops::select_pulse(params.v_search, &timing, true)
+        ops::select_pulse(params.v_search, timing, true)
     } else {
         Waveform::dc(0.0)
     };
@@ -85,7 +92,7 @@ pub fn search_full_array(
 
     // Per-row ML + precharge + SA.
     let pre = ckt.node("pre");
-    ckt.vsource("PRE", pre, gnd, ops::precharge_gate(vdd, &timing));
+    ckt.vsource("PRE", pre, gnd, ops::precharge_gate(vdd, timing));
     let mut mls = Vec::with_capacity(m);
     let mut sa_outs = Vec::with_capacity(m);
     for r in 0..m {
@@ -115,13 +122,13 @@ pub fn search_full_array(
             &format!("WRSL{p}"),
             wrsl,
             gnd,
-            ops::two_step_wave(0.0, lvl(query[c1]), lvl(query[c2]), &timing, enable_step2),
+            ops::two_step_wave(0.0, lvl(query[c1]), lvl(query[c2]), timing, enable_step2),
         );
         ckt.vsource(
             &format!("SLP{p}"),
             slp,
             gnd,
-            ops::two_step_wave(vdd, lvl(query[c1]), lvl(query[c2]), &timing, enable_step2),
+            ops::two_step_wave(vdd, lvl(query[c1]), lvl(query[c2]), timing, enable_step2),
         );
         // Column BLs (DG only), shared by all rows.
         let (fg1, fg2) = if is_dg {
@@ -199,11 +206,42 @@ pub fn search_full_array(
         }
     }
 
+    Ok(FullArrayCircuit {
+        circuit: ckt,
+        sa_outs,
+    })
+}
+
+/// Build and run a full two-step search over an M×N 1.5T1Fe array.
+///
+/// All rows are searched in parallel (SeL_a/SeL_b span every row, as in
+/// the paper); `enable_step2` emulates the early-termination controller
+/// globally.
+///
+/// # Errors
+/// Propagates simulator failures.
+///
+/// # Panics
+/// Panics for non-1.5T designs, empty arrays, or odd word lengths.
+pub fn search_full_array(
+    params: &DesignParams,
+    rows: &[TernaryWord],
+    query: &[bool],
+    timing: SearchTiming,
+    par: RowParasitics,
+    enable_step2: bool,
+) -> Result<ArraySearchResult> {
+    let vdd = params.vdd;
+    let FullArrayCircuit {
+        mut circuit,
+        sa_outs,
+    } = build_full_array(params, rows, query, &timing, &par, enable_step2)?;
+
     let mut opts = TranOpts::to_time(timing.t_stop(enable_step2));
     opts.dt_init = 1e-12;
     opts.dt_max = 4e-12;
     opts.uic = true;
-    let trace = transient(&mut ckt, &opts)?;
+    let trace = transient(&mut circuit, &opts)?;
 
     let matches = sa_outs
         .iter()

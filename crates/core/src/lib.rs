@@ -43,12 +43,14 @@ pub use array::{build_search_row, SearchRun, SearchSim};
 pub use behav::{BehavioralTcam, SearchOutcome};
 pub use cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 pub use fom::{characterize_search, characterize_write, SearchMetrics, WriteMetrics};
-pub use full_array::{cross_validate_array, search_full_array, ArraySearchResult};
+pub use full_array::{
+    build_full_array, cross_validate_array, search_full_array, ArraySearchResult, FullArrayCircuit,
+};
 pub use margins::{nominal_margins, DividerLevels, SearchMargins};
 pub use mlc::{MlcDigit, MlcTcam};
 pub use table_io::{load_table, parse_table, render_table, save_table};
 pub use ternary::{Ternary, TernaryWord};
-pub use write_array::{simulate_array_write, ArrayWriteResult};
+pub use write_array::{build_array_write, simulate_array_write, ArrayWriteResult};
 
 /// Crate-level result alias (errors come from the simulation substrate).
 pub type Result<T> = ferrotcam_spice::Result<T>;

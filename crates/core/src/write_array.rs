@@ -72,21 +72,20 @@ fn two_phase_wave(v_erase: f64, v_set: f64) -> Waveform {
     Waveform::pwl(pts)
 }
 
-/// Simulate writing `word` into `target_row` of a `rows × word.len()`
-/// array whose cells start in the states given by `initial` (one word
-/// per row). Returns final polarisations and driver energies.
+/// Build the 3-step array-write circuit without running it (used by
+/// [`simulate_array_write`] and by `ferrotcam lint`).
 ///
 /// # Errors
-/// Propagates simulator failures.
+/// Propagates netlist-construction failures.
 ///
 /// # Panics
 /// Panics if dimensions are inconsistent.
-pub fn simulate_array_write(
+pub fn build_array_write(
     params: &DesignParams,
     initial: &[TernaryWord],
     target_row: usize,
     word: &TernaryWord,
-) -> Result<ArrayWriteResult> {
+) -> Result<Circuit> {
     let rows = initial.len();
     let cols = word.len();
     assert!(target_row < rows, "target row in range");
@@ -131,11 +130,11 @@ pub fn simulate_array_write(
 
     // The cell matrix.
     for (r, row_word) in initial.iter().enumerate() {
-        for c in 0..cols {
+        for (c, &bl) in bls.iter().enumerate() {
             let mut dev = Fefet::new(
                 &format!("fe_{r}_{c}"),
                 wrsls[r],
-                bls[c],
+                bl,
                 wrsls[r],
                 gnd,
                 fe.clone(),
@@ -148,6 +147,27 @@ pub fn simulate_array_write(
             ckt.device(Box::new(dev));
         }
     }
+    Ok(ckt)
+}
+
+/// Simulate writing `word` into `target_row` of a `rows × word.len()`
+/// array whose cells start in the states given by `initial` (one word
+/// per row). Returns final polarisations and driver energies.
+///
+/// # Errors
+/// Propagates simulator failures.
+///
+/// # Panics
+/// Panics if dimensions are inconsistent.
+pub fn simulate_array_write(
+    params: &DesignParams,
+    initial: &[TernaryWord],
+    target_row: usize,
+    word: &TernaryWord,
+) -> Result<ArrayWriteResult> {
+    let rows = initial.len();
+    let cols = word.len();
+    let mut ckt = build_array_write(params, initial, target_row, word)?;
 
     let t_stop = phase_window(1).1 + 0.2e-9;
     let mut opts = TranOpts::to_time(t_stop);

@@ -21,6 +21,7 @@
 
 use crate::ferro::{PreisachFilm, PreisachParams};
 use crate::mosfet::{ekv_ids, MosfetParams};
+use ferrotcam_spice::erc::{ErcParam, ParamKind};
 use ferrotcam_spice::nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
 use ferrotcam_spice::NodeId;
 use serde::{Deserialize, Serialize};
@@ -294,6 +295,27 @@ impl NonlinearDevice for Fefet {
             "vth" => Some(self.vth()),
             _ => None,
         }
+    }
+
+    fn dc_paths(&self) -> Vec<(usize, usize)> {
+        // Only the channel conducts at DC; both gates are capacitive.
+        vec![(terminal::D, terminal::S)]
+    }
+
+    fn erc_params(&self) -> Vec<ErcParam> {
+        let p = &self.params;
+        vec![
+            ErcParam::new("w", p.core.w, ParamKind::Geometry),
+            ErcParam::new("l", p.core.l, ParamKind::Geometry),
+            ErcParam::new("area", p.ferro.area, ParamKind::Geometry),
+            ErcParam::new("v_write", p.v_write, ParamKind::WriteVoltage),
+            ErcParam::new("v_mvt", p.v_mvt, ParamKind::Value),
+            ErcParam::new("mw_fg", p.mw_fg, ParamKind::Value),
+            ErcParam::new("bg_coupling", p.bg_coupling, ParamKind::Value),
+            ErcParam::new("c_fg", p.c_fg, ParamKind::Value),
+            ErcParam::new("c_bg", p.c_bg, ParamKind::Value),
+            ErcParam::new("c_junction", p.c_junction, ParamKind::Value),
+        ]
     }
 }
 

@@ -10,6 +10,7 @@
 //! `β = k'·W/L`. The model is symmetric in source/drain and mirrored for
 //! PMOS. Subthreshold slope is `n·U_T·ln 10` per decade.
 
+use ferrotcam_spice::erc::{ErcParam, ParamKind};
 use ferrotcam_spice::nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
 use ferrotcam_spice::units::thermal_voltage;
 use ferrotcam_spice::NodeId;
@@ -318,6 +319,26 @@ impl NonlinearDevice for Mosfet {
         out.add_branch_charge(G, D, cg_half * (v[G] - v[D]), cg_half);
         out.add_branch_charge(D, B, p.c_junction * (v[D] - v[B]), p.c_junction);
         out.add_branch_charge(S, B, p.c_junction * (v[S] - v[B]), p.c_junction);
+    }
+
+    fn dc_paths(&self) -> Vec<(usize, usize)> {
+        // Static conduction only through the channel: a gate or body
+        // node reached through nothing but MOS gates has no DC path.
+        vec![(terminal::D, terminal::S)]
+    }
+
+    fn erc_params(&self) -> Vec<ErcParam> {
+        let p = &self.params;
+        vec![
+            ErcParam::new("w", p.w, ParamKind::Geometry),
+            ErcParam::new("l", p.l, ParamKind::Geometry),
+            ErcParam::new("vth0", p.vth0, ParamKind::Value),
+            ErcParam::new("kp", p.kp, ParamKind::Value),
+            ErcParam::new("n", p.n, ParamKind::Value),
+            ErcParam::new("lambda", p.lambda, ParamKind::Value),
+            ErcParam::new("c_gate", p.c_gate, ParamKind::Value),
+            ErcParam::new("c_junction", p.c_junction, ParamKind::Value),
+        ]
     }
 }
 

@@ -41,12 +41,15 @@
 
 pub mod admission;
 pub mod batch;
+pub mod drain;
 pub mod metrics;
 pub mod queue;
 pub mod service;
 pub mod shard;
+pub(crate) mod sync;
 
 pub use admission::{Admission, Overloaded, RatePolicy, TenantId, TokenBucket};
+pub use drain::DrainGate;
 pub use metrics::{Histogram, LatencySummary, MetricsCollector, ResponseSample, ServiceMetrics};
 pub use queue::BoundedQueue;
 pub use service::{SearchResponse, ServiceClient, ServiceConfig, TcamService, Ticket};

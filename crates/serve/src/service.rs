@@ -29,17 +29,14 @@
 
 use crate::admission::{Admission, Overloaded, RatePolicy, TenantId};
 use crate::batch;
+use crate::drain::DrainGate;
 use crate::metrics::{MetricsCollector, ResponseSample, ServiceMetrics};
 use crate::queue::BoundedQueue;
 use crate::shard::ShardedTcam;
 use ferrotcam::SearchOutcome;
 use ferrotcam_spice::parallel::{default_jobs, par_map};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
-
-/// High bit of the state word: the service is draining.
-const DRAIN_BIT: u64 = 1 << 63;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -132,10 +129,8 @@ struct Inner {
     queue: BoundedQueue<Job>,
     admission: Admission,
     metrics: MetricsCollector,
-    /// Drain flag (high bit) + accepted-request count (low bits).
-    state: AtomicU64,
-    /// Requests fully answered.
-    completed: AtomicU64,
+    /// Drain flag + accepted/completed request accounting.
+    gate: DrainGate,
     max_batch: usize,
     jobs: usize,
     t_bank: f64,
@@ -177,13 +172,7 @@ impl ServiceClient {
         // Accept atomically against the drain flag: either this bumps
         // the accepted count before the drain begins (the dispatcher
         // will then wait for it) or the service is already draining.
-        if inner
-            .state
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
-                (s & DRAIN_BIT == 0).then_some(s + 1)
-            })
-            .is_err()
-        {
+        if !inner.gate.try_accept() {
             inner.metrics.on_shed(Overloaded::ShuttingDown);
             return Err(Overloaded::ShuttingDown);
         }
@@ -196,7 +185,7 @@ impl ServiceClient {
         };
         if inner.queue.push(job).is_err() {
             // Give the acceptance back before reporting the shed.
-            inner.state.fetch_sub(1, Ordering::AcqRel);
+            inner.gate.retract();
             inner.metrics.on_shed(Overloaded::QueueFull);
             return Err(Overloaded::QueueFull);
         }
@@ -260,8 +249,7 @@ impl TcamService {
             queue: BoundedQueue::new(config.queue_capacity),
             admission: Admission::new(config.default_policy),
             metrics: MetricsCollector::new(),
-            state: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
+            gate: DrainGate::new(),
             max_batch: config.max_batch.max(1),
             jobs,
             t_bank,
@@ -300,7 +288,7 @@ impl TcamService {
     }
 
     fn begin_drain_and_join(&mut self) {
-        self.inner.state.fetch_or(DRAIN_BIT, Ordering::AcqRel);
+        self.inner.gate.begin_drain();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
@@ -320,12 +308,7 @@ fn dispatch_loop(inner: &Inner) {
         let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
         inner.queue.drain_into(&mut batch, inner.max_batch);
         if batch.is_empty() {
-            let state = inner.state.load(Ordering::Acquire);
-            let accepted = state & !DRAIN_BIT;
-            if state & DRAIN_BIT != 0
-                && accepted == inner.completed.load(Ordering::Acquire)
-                && inner.queue.is_empty()
-            {
+            if inner.gate.quiescent() && inner.queue.is_empty() {
                 break;
             }
             std::thread::sleep(Duration::from_micros(20));
@@ -409,11 +392,11 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>) {
         // A dropped ticket is fine — the work was still done and
         // accounted; only the delivery is skipped.
         let _ = job.tx.send(response);
-        inner.completed.fetch_add(1, Ordering::AcqRel);
+        inner.gate.complete();
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use ferrotcam::TernaryWord;

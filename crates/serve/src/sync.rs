@@ -1,0 +1,18 @@
+//! Synchronisation façade: `std::sync` in production builds, the loom
+//! model checker's shimmed equivalents under `RUSTFLAGS="--cfg loom"`.
+//!
+//! The concurrency-critical modules ([`crate::queue`],
+//! [`crate::drain`]) import their atomics and mutexes from here, so the
+//! exact same algorithm source is compiled against both substrates: the
+//! real one in production and the exhaustively-scheduled one in the
+//! `tests/loom.rs` models.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;

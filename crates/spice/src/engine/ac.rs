@@ -191,14 +191,14 @@ pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResul
         st.clear();
         let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
         dev.eval(&vt, st, &ctx);
-        for a in 0..t {
-            let Some(ra) = sys.var_of(terms[a]) else {
+        for (a, &term_a) in terms.iter().enumerate() {
+            let Some(ra) = sys.var_of(term_a) else {
                 continue;
             };
-            for b in 0..t {
+            for (b, &term_b) in terms.iter().enumerate() {
                 let c = st.cq[a * t + b];
                 if c != 0.0 {
-                    if let Some(cb) = sys.var_of(terms[b]) {
+                    if let Some(cb) = sys.var_of(term_b) {
                         c_tri.add(ra, cb, c);
                     }
                 }

@@ -1,6 +1,7 @@
 //! DC operating-point analysis with gmin and source stepping fallbacks.
 
 use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
+use crate::erc::{self, ErcMode};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, NodeId};
 
@@ -11,6 +12,9 @@ pub struct DcOpts {
     pub newton: NewtonOpts,
     /// Evaluate sources at this time (default 0).
     pub time: f64,
+    /// ERC pre-flight behaviour; `None` resolves from the
+    /// `FERROTCAM_ERC` environment variable (default: warn).
+    pub erc: Option<ErcMode>,
 }
 
 /// A solved operating point.
@@ -80,9 +84,11 @@ const SRC_STEPS: usize = 10;
 /// stepping.
 ///
 /// # Errors
-/// [`Error::NonConvergence`] if every strategy fails, or
-/// [`Error::SingularMatrix`] for a structurally defective circuit.
+/// [`Error::NonConvergence`] if every strategy fails,
+/// [`Error::SingularMatrix`] for a structurally defective circuit, or
+/// the typed ERC/validation errors of [`erc::preflight`].
 pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
+    erc::preflight(ckt, opts.erc)?;
     let sys = System::new(ckt);
     // One workspace for the whole ladder: the gmin/source-stepping rungs
     // all share the matrix pattern, so only the first solve pays for

@@ -7,6 +7,7 @@
 
 use super::dc::{DcOpts, Solution};
 use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
+use crate::erc;
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, Element, NodeId};
 
@@ -85,6 +86,7 @@ pub fn dc_sweep(
     values: &[f64],
     opts: &NewtonOpts,
 ) -> Result<SweepResult> {
+    erc::preflight(ckt, None)?;
     // Locate the source's branch so we can override its value.
     let branch = ckt
         .elements()

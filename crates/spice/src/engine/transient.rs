@@ -2,6 +2,7 @@
 
 use super::dc::{operating_point, DcOpts};
 use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
+use crate::erc::{self, ErcMode};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, Element};
 use crate::nonlinear::{DeviceStamps, EvalCtx};
@@ -40,6 +41,9 @@ pub struct TranOpts {
     /// Device internal states to record, as `(device_name, state_key)`;
     /// recorded as signal `"<device>.<key>"`.
     pub record_states: Vec<(String, String)>,
+    /// ERC pre-flight behaviour; `None` resolves from the
+    /// `FERROTCAM_ERC` environment variable (default: warn).
+    pub erc: Option<ErcMode>,
 }
 
 impl TranOpts {
@@ -56,6 +60,7 @@ impl TranOpts {
             newton: NewtonOpts::default(),
             uic: false,
             record_states: Vec::new(),
+            erc: None,
         }
     }
 }
@@ -75,6 +80,7 @@ const BP_SNAP: f64 = 1e-12;
 ///   cannot be rescued by step shrinking;
 /// * [`Error::SingularMatrix`] for structurally defective circuits.
 pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
+    erc::preflight(ckt, opts.erc)?;
     let mut stats = SimStats::default();
     // --- Initial solution ------------------------------------------------
     let mut x: Vec<f64> = if opts.uic {
@@ -93,6 +99,8 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
         let dc = DcOpts {
             newton: opts.newton.clone(),
             time: 0.0,
+            // The transient entry already ran its own pre-flight.
+            erc: Some(ErcMode::Off),
         };
         let sol = operating_point(ckt, &dc)?;
         stats.merge(sol.stats());
@@ -387,9 +395,7 @@ fn record_point(
 ) {
     let sys = System::new(ckt);
     let mut row: Vec<f64> = Vec::with_capacity(sys.nvars + vsrc.len() + state_probe.len());
-    for v in 0..sys.num_nodes - 1 {
-        row.push(x[v]);
-    }
+    row.extend_from_slice(&x[..sys.num_nodes - 1]);
     let dt = if first || trace.is_empty() {
         0.0
     } else {

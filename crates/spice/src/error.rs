@@ -47,6 +47,23 @@ pub enum Error {
         /// Requested signal name.
         name: String,
     },
+    /// The circuit has no unknowns to solve for (no non-ground nodes and
+    /// no branch currents).
+    EmptyCircuit,
+    /// Two elements or devices share one instance name, which breaks
+    /// signal probing and ERC attribution.
+    DuplicateName {
+        /// The duplicated instance name.
+        name: String,
+    },
+    /// The ERC pre-flight ran in deny mode and found error-severity
+    /// diagnostics.
+    ErcRejected {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// Rendering of the first error diagnostic.
+        first: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -72,6 +89,13 @@ impl fmt::Display for Error {
                 "transient time step {dt:.3e} s collapsed below minimum at t = {time:.3e} s"
             ),
             Error::UnknownSignal { name } => write!(f, "unknown signal {name:?}"),
+            Error::EmptyCircuit => write!(f, "circuit has no unknowns to solve for"),
+            Error::DuplicateName { name } => {
+                write!(f, "duplicate instance name {name:?}")
+            }
+            Error::ErcRejected { errors, first } => {
+                write!(f, "erc rejected circuit: {errors} error(s); first: {first}")
+            }
         }
     }
 }
@@ -104,6 +128,12 @@ mod tests {
                 dt: 1e-21,
             },
             Error::UnknownSignal { name: "ml".into() },
+            Error::EmptyCircuit,
+            Error::DuplicateName { name: "R1".into() },
+            Error::ErcRejected {
+                errors: 2,
+                first: "error[floating-node]: island".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod erc;
 pub mod error;
 pub mod matrix;
 pub mod netlist;
@@ -54,6 +55,7 @@ pub use engine::dc::{operating_point, DcOpts, Solution};
 pub use engine::sweep::{dc_sweep, dc_sweep_par, linspace, transfer_curve, SweepResult};
 pub use engine::transient::{transient, Integrator, TranOpts};
 pub use engine::{NewtonOpts, SimStats};
+pub use erc::{ErcDiagnostic, ErcMode, ErcParam, ErcReport, ParamKind, Rule, Severity};
 pub use error::{Error, Result};
 pub use matrix::{CachedSolver, SolverStats};
 pub use netlist::{Circuit, Element, NodeId};
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::engine::sweep::{dc_sweep, dc_sweep_par, linspace, transfer_curve, SweepResult};
     pub use crate::engine::transient::{transient, Integrator, TranOpts};
     pub use crate::engine::{NewtonOpts, SimStats};
+    pub use crate::erc::{ErcMode, ErcReport, Rule, Severity};
     pub use crate::error::{Error, Result};
     pub use crate::netlist::{Circuit, NodeId};
     pub use crate::nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};

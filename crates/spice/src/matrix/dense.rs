@@ -96,12 +96,10 @@ impl DenseMatrix {
     #[must_use]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
-        y
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// LU-factorise (in a copy) and solve `self * x = b`.
@@ -198,16 +196,16 @@ impl DenseLu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for r in 1..n {
             let mut s = x[r];
-            for c in 0..r {
-                s -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                s -= self.lu[(r, c)] * xc;
             }
             x[r] = s;
         }
         // Back-substitute U.
         for r in (0..n).rev() {
             let mut s = x[r];
-            for c in r + 1..n {
-                s -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(n).skip(r + 1) {
+                s -= self.lu[(r, c)] * xc;
             }
             x[r] = s / self.lu[(r, r)];
         }

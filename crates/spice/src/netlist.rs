@@ -360,6 +360,18 @@ impl Circuit {
         self.devices.push(dev);
     }
 
+    /// Remove the first linear element named `name`, returning it.
+    ///
+    /// Branch indices of remaining sources are *not* renumbered: a
+    /// removed voltage source leaves its branch unknown behind with no
+    /// stamps, which the ERC matching pass reports as structurally
+    /// singular. Intended for fault-injection and mutation testing, not
+    /// incremental netlist editing.
+    pub fn remove_element(&mut self, name: &str) -> Option<Element> {
+        let idx = self.elements.iter().position(|e| e.name() == name)?;
+        Some(self.elements.remove(idx))
+    }
+
     /// Declare a node initial condition used by `uic` transient runs.
     pub fn initial_condition(&mut self, node: NodeId, volts: f64) {
         self.initial_conditions.push((node, volts));

@@ -126,6 +126,27 @@ pub trait NonlinearDevice: fmt::Debug + Send + Sync {
         let _ = key;
         None
     }
+
+    /// Terminal-index pairs between which the device conducts at DC
+    /// (used by the ERC connectivity pass). The default — every pair —
+    /// is conservative: it can only hide a missing-DC-path defect, never
+    /// invent one. Transistor-like devices should narrow this to the
+    /// channel (e.g. drain–source) so floating gates are caught.
+    fn dc_paths(&self) -> Vec<(usize, usize)> {
+        let t = self.terminals().len();
+        let mut pairs = Vec::new();
+        for a in 0..t {
+            for b in (a + 1)..t {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Model parameters exposed for ERC domain checking. Default: none.
+    fn erc_params(&self) -> Vec<crate::erc::ErcParam> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -65,11 +65,23 @@ fn invalid_elements_rejected_at_construction() {
 }
 
 #[test]
-fn empty_circuit_solves_trivially() {
+fn empty_circuit_is_a_typed_error() {
     let ckt = Circuit::new();
-    // Ground only: zero variables; must not panic.
-    let sol = operating_point(&ckt, &DcOpts::default()).unwrap();
-    assert_eq!(sol.as_vec().len(), 0);
+    // Ground only: zero unknowns. This used to reach the solver and
+    // rely on every downstream loop tolerating n = 0; it is now rejected
+    // up front by the ERC validation pass.
+    let err = operating_point(&ckt, &DcOpts::default()).unwrap_err();
+    assert_eq!(err, Error::EmptyCircuit);
+}
+
+#[test]
+fn duplicate_instance_names_are_a_typed_error() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::gnd(), Waveform::dc(1.0));
+    ckt.resistor("V1", a, Circuit::gnd(), 1e3).unwrap();
+    let err = operating_point(&ckt, &DcOpts::default()).unwrap_err();
+    assert!(matches!(err, Error::DuplicateName { ref name } if name == "V1"));
 }
 
 #[test]

@@ -1,0 +1,718 @@
+//! Offline drop-in subset of the `loom` concurrency model checker.
+//!
+//! [`model`] runs a closure many times, exploring the distinct thread
+//! interleavings of every operation performed through the shimmed
+//! primitives in [`sync`] and [`thread`]. Scheduling is *systematic*:
+//! only one model thread runs at a time, every shimmed operation is a
+//! scheduling point, and the explorer backtracks depth-first over the
+//! scheduling decisions, so an assertion that holds for every explored
+//! execution holds for every interleaving within the bound.
+//!
+//! Exploration is bounded by *preemptions* (forced switches away from a
+//! runnable thread), the CHESS-style bound under which the vast
+//! majority of real concurrency bugs are known to reproduce:
+//!
+//! * `LOOM_MAX_PREEMPTIONS` — preemption budget per execution
+//!   (default 2; voluntary yields and blocking are free),
+//! * `LOOM_MAX_ITERS` — hard cap on explored executions (default
+//!   200000; exceeding it reports the truncation on stderr),
+//! * `LOOM_LOG=1` — print the execution count after a model run.
+//!
+//! Differences from real loom, chosen to keep the subset small and the
+//! workspace offline-buildable: the memory model is sequential
+//! consistency (every `Ordering` is treated as `SeqCst`, which is
+//! *stricter* than C11 — an algorithm may pass here yet still have a
+//! relaxed-ordering bug on weak hardware), `compare_exchange_weak`
+//! never fails spuriously, and `fetch_update` is a single atomic step
+//! rather than a CAS loop.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Marker payload used to unwind secondary threads after another
+/// thread has already panicked; filtered out of the final report.
+struct AbortMarker;
+
+/// What a model thread is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockOn {
+    /// Waiting for a mutex (keyed by address) to be released.
+    Mutex(usize),
+    /// Waiting for a thread to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One recorded scheduling decision with more than one runnable thread.
+#[derive(Debug, Clone)]
+struct Branch {
+    /// Runnable thread ids at the decision, ascending.
+    enabled: Vec<usize>,
+    /// Index into `enabled` that was taken.
+    choice: usize,
+    /// Thread that was running when the decision was made.
+    prev: usize,
+    /// Whether `prev` gave up the CPU voluntarily (yield/block/finish);
+    /// switching away from it then costs no preemption.
+    voluntary: bool,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    status: Vec<Status>,
+    active: usize,
+    /// Prescribed choices (indices into each branch's `enabled`).
+    script: Vec<usize>,
+    /// Decisions recorded this execution.
+    branches: Vec<Branch>,
+    /// Next script position.
+    cursor: usize,
+    /// First real panic payload; secondary aborts are filtered.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    panicked: bool,
+}
+
+impl SchedState {
+    fn all_finished(&self) -> bool {
+        self.status.iter().all(|&s| s == Status::Finished)
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == Status::Runnable).then_some(i))
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// A scheduling point for the current model thread; no-op outside a
+/// model run (so shimmed types stay usable in plain unit tests).
+fn point() {
+    let ctx = CTX.with(|c| c.borrow().clone());
+    if let Some((sched, tid)) = ctx {
+        sched.switch(tid, false, None);
+    }
+}
+
+impl Scheduler {
+    fn new(script: Vec<usize>) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                script,
+                ..SchedState::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().expect("scheduler lock");
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    /// Yield the CPU: optionally change this thread's status, pick the
+    /// next thread to run (scripted or default), then wait for our turn.
+    fn switch(&self, me: usize, voluntary: bool, becoming: Option<Status>) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        if st.panicked {
+            // Abort the execution: every thread marks itself finished
+            // (so the driver can observe completion) and unwinds.
+            st.status[me] = Status::Finished;
+            self.cv.notify_all();
+            if becoming == Some(Status::Finished) {
+                return;
+            }
+            drop(st);
+            std::panic::panic_any(AbortMarker);
+        }
+        if let Some(s) = becoming {
+            st.status[me] = s;
+        }
+        let enabled = st.enabled();
+        if enabled.is_empty() {
+            if st.all_finished() {
+                self.cv.notify_all();
+                return;
+            }
+            // Someone is blocked with nobody left to unblock them.
+            st.panicked = true;
+            self.cv.notify_all();
+            drop(st);
+            panic!("loom model deadlocked: no runnable thread");
+        }
+        let next = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let cursor = st.cursor;
+            let choice = st.script.get(cursor).copied().unwrap_or_else(|| {
+                // Default: stay on the current thread when possible —
+                // the zero-preemption schedule DFS extends from.
+                enabled.iter().position(|&t| t == me).unwrap_or(0)
+            });
+            let gave_up_cpu = voluntary || st.status[me] != Status::Runnable;
+            st.branches.push(Branch {
+                enabled: enabled.clone(),
+                choice,
+                prev: me,
+                voluntary: gave_up_cpu,
+            });
+            st.cursor += 1;
+            enabled[choice]
+        };
+        st.active = next;
+        self.cv.notify_all();
+        if st.status[me] == Status::Finished {
+            return;
+        }
+        while st.active != me {
+            if st.panicked {
+                st.status[me] = Status::Finished;
+                self.cv.notify_all();
+                drop(st);
+                std::panic::panic_any(AbortMarker);
+            }
+            st = self.cv.wait(st).expect("scheduler lock");
+        }
+    }
+
+    /// Park a freshly spawned thread until it is first scheduled.
+    fn wait_first_schedule(&self, me: usize) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        while st.active != me {
+            if st.panicked {
+                st.status[me] = Status::Finished;
+                self.cv.notify_all();
+                drop(st);
+                std::panic::panic_any(AbortMarker);
+            }
+            st = self.cv.wait(st).expect("scheduler lock");
+        }
+    }
+
+    /// Mark `me` finished, record a panic payload if any, wake joiners.
+    fn finish(&self, me: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+        {
+            let mut st = self.state.lock().expect("scheduler lock");
+            if let Some(p) = payload {
+                if !p.is::<AbortMarker>() {
+                    st.panicked = true;
+                    if st.panic.is_none() {
+                        st.panic = Some(p);
+                    }
+                }
+            }
+            for i in 0..st.status.len() {
+                if st.status[i] == Status::Blocked(BlockOn::Join(me)) {
+                    st.status[i] = Status::Runnable;
+                }
+            }
+        }
+        self.switch(me, true, Some(Status::Finished));
+    }
+
+    /// Wake every thread blocked on the mutex at `addr`.
+    fn release_mutex(&self, addr: usize) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        for i in 0..st.status.len() {
+            if st.status[i] == Status::Blocked(BlockOn::Mutex(addr)) {
+                st.status[i] = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        while !st.all_finished() {
+            st = self.cv.wait(st).expect("scheduler lock");
+        }
+    }
+}
+
+/// Preemption cost of taking `choice` at branch `b`.
+fn cost(b: &Branch, choice: usize) -> usize {
+    let stays = b.enabled.get(choice) == Some(&b.prev);
+    usize::from(!(b.voluntary || stays || !b.enabled.contains(&b.prev)))
+}
+
+/// Next depth-first script within the preemption bound, if any.
+fn next_script(branches: &[Branch], bound: usize) -> Option<Vec<usize>> {
+    for k in (0..branches.len()).rev() {
+        let spent: usize = branches[..k].iter().map(|b| cost(b, b.choice)).sum();
+        for c in branches[k].choice + 1..branches[k].enabled.len() {
+            if spent + cost(&branches[k], c) <= bound {
+                let mut script: Vec<usize> = branches[..k].iter().map(|b| b.choice).collect();
+                script.push(c);
+                return Some(script);
+            }
+        }
+    }
+    None
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_once(f: &Arc<dyn Fn() + Send + Sync>, script: Vec<usize>) -> Vec<Branch> {
+    let sched = Arc::new(Scheduler::new(script));
+    let tid = sched.register_thread();
+    let s2 = Arc::clone(&sched);
+    let f2 = Arc::clone(f);
+    let body = std::thread::Builder::new()
+        .name("loom-model".into())
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), tid)));
+            let r = catch_unwind(AssertUnwindSafe(|| f2()));
+            s2.finish(tid, r.err());
+        })
+        .expect("spawn model thread");
+    sched.wait_all_finished();
+    let _ = body.join();
+    let mut st = sched.state.lock().expect("scheduler lock");
+    if let Some(p) = st.panic.take() {
+        resume_unwind(p);
+    }
+    std::mem::take(&mut st.branches)
+}
+
+/// Exhaustively explore the interleavings of `f` within the preemption
+/// bound, re-running it once per distinct schedule.
+///
+/// # Panics
+/// Re-raises the first panic (assertion failure, deadlock) any explored
+/// execution produced, on the caller's thread.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let bound = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iters = env_usize("LOOM_MAX_ITERS", 200_000);
+    let mut script = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let branches = run_once(&f, std::mem::take(&mut script));
+        match next_script(&branches, bound) {
+            Some(s) if iters < max_iters => script = s,
+            Some(_) => {
+                eprintln!(
+                    "loom: exploration truncated at {max_iters} executions (raise LOOM_MAX_ITERS)"
+                );
+                break;
+            }
+            None => break,
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {iters} executions (preemption bound {bound})");
+    }
+}
+
+/// Shimmed `std::thread` subset.
+pub mod thread {
+    use super::{catch_unwind, Arc, AssertUnwindSafe, BlockOn, Scheduler, Status, CTX};
+
+    /// Handle to a model thread; join to retrieve its result.
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<std::sync::Mutex<Option<T>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+        sched: Arc<Scheduler>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            loop {
+                let finished = {
+                    let st = self.sched.state.lock().expect("scheduler lock");
+                    st.status[self.tid] == Status::Finished
+                };
+                if finished {
+                    break;
+                }
+                let me = CTX
+                    .with(|c| c.borrow().as_ref().map(|&(_, t)| t))
+                    .expect("join called outside the model");
+                self.sched
+                    .switch(me, true, Some(Status::Blocked(BlockOn::Join(self.tid))));
+            }
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result.lock().expect("result lock").take().ok_or_else(
+                || -> Box<dyn std::any::Any + Send> { Box::new("model thread panicked") },
+            )
+        }
+    }
+
+    /// Spawn a model thread participating in systematic scheduling.
+    ///
+    /// # Panics
+    /// Panics if called outside [`super::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = CTX
+            .with(|c| c.borrow().clone())
+            .expect("loom::thread::spawn called outside loom::model");
+        let tid = sched.register_thread();
+        let result = Arc::new(std::sync::Mutex::new(None));
+        let r2 = Arc::clone(&result);
+        let s2 = Arc::clone(&sched);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), tid)));
+                s2.wait_first_schedule(tid);
+                let out = catch_unwind(AssertUnwindSafe(f));
+                match out {
+                    Ok(v) => {
+                        *r2.lock().expect("result lock") = Some(v);
+                        s2.finish(tid, None);
+                    }
+                    Err(p) => s2.finish(tid, Some(p)),
+                }
+            })
+            .expect("spawn loom thread");
+        // The new thread is schedulable from this point on.
+        sched.switch(me, false, None);
+        JoinHandle {
+            tid,
+            result,
+            os: Some(os),
+            sched,
+        }
+    }
+
+    /// Voluntarily yield: a free (non-preemptive) scheduling point.
+    pub fn yield_now() {
+        if let Some((sched, me)) = CTX.with(|c| c.borrow().clone()) {
+            sched.switch(me, true, None);
+        }
+    }
+}
+
+/// Shimmed `std::sync` subset.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use super::{BlockOn, Status, CTX};
+
+    /// Mutex whose lock acquisition is a scheduling point and whose
+    /// contention blocks the model thread (so the explorer can schedule
+    /// around it instead of spinning).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releases (and wakes waiters)
+    /// on drop.
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        addr: usize,
+    }
+
+    impl<T> Mutex<T> {
+        /// New unlocked mutex.
+        pub fn new(value: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            std::ptr::from_ref(self) as usize
+        }
+
+        /// Acquire, blocking the model thread on contention.
+        ///
+        /// # Errors
+        /// Mirrors `std`'s poisoning signature; never poisoned in
+        /// practice because the explorer aborts on the first panic.
+        #[allow(clippy::missing_panics_doc)]
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::sync::PoisonError<MutexGuard<'_, T>>> {
+            loop {
+                super::point();
+                match self.inner.try_lock() {
+                    Ok(g) => {
+                        return Ok(MutexGuard {
+                            inner: Some(g),
+                            addr: self.addr(),
+                        })
+                    }
+                    Err(std::sync::TryLockError::Poisoned(_)) => {
+                        panic!("loom mutex poisoned")
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        if let Some((sched, me)) = CTX.with(|c| c.borrow().clone()) {
+                            sched.switch(
+                                me,
+                                true,
+                                Some(Status::Blocked(BlockOn::Mutex(self.addr()))),
+                            );
+                        }
+                        // Re-contend once scheduled again.
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard holds the lock")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None; // release the std lock first
+            if let Some((sched, _)) = CTX.with(|c| c.borrow().clone()) {
+                sched.release_mutex(self.addr);
+            }
+        }
+    }
+
+    /// Shimmed atomics: every operation is a scheduling point executed
+    /// under sequential consistency.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use std::sync::atomic::Ordering::SeqCst;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-checked atomic; see the module docs.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    /// New atomic holding `v`.
+                    #[must_use]
+                    pub fn new(v: $prim) -> Self {
+                        Self { v: <$std>::new(v) }
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        crate::point();
+                        self.v.load(SeqCst)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, val: $prim, _order: Ordering) {
+                        crate::point();
+                        self.v.store(val, SeqCst);
+                    }
+
+                    /// Atomic compare-exchange (scheduling point).
+                    ///
+                    /// # Errors
+                    /// Returns the observed value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::point();
+                        self.v.compare_exchange(current, new, SeqCst, SeqCst)
+                    }
+
+                    /// Like [`Self::compare_exchange`]; this subset
+                    /// never fails spuriously.
+                    ///
+                    /// # Errors
+                    /// Returns the observed value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, val: $prim, _order: Ordering) -> $prim {
+                        crate::point();
+                        self.v.fetch_add(val, SeqCst)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, val: $prim, _order: Ordering) -> $prim {
+                        crate::point();
+                        self.v.fetch_sub(val, SeqCst)
+                    }
+
+                    /// Atomic bitwise or, returning the previous value.
+                    pub fn fetch_or(&self, val: $prim, _order: Ordering) -> $prim {
+                        crate::point();
+                        self.v.fetch_or(val, SeqCst)
+                    }
+
+                    /// Atomic read-modify-write as one step (real loom
+                    /// models the underlying CAS loop).
+                    ///
+                    /// # Errors
+                    /// Returns the unchanged value when `f` yields
+                    /// `None`.
+                    pub fn fetch_update<F>(
+                        &self,
+                        _set: Ordering,
+                        _fetch: Ordering,
+                        f: F,
+                    ) -> Result<$prim, $prim>
+                    where
+                        F: FnMut($prim) -> Option<$prim>,
+                    {
+                        crate::point();
+                        self.v.fetch_update(SeqCst, SeqCst, f)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    /// Two incrementers through a mutex: final count is always 2.
+    #[test]
+    fn mutex_counter_is_atomic() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&n);
+            let t = super::thread::spawn(move || {
+                *n2.lock().expect("lock") += 1;
+            });
+            *n.lock().expect("lock") += 1;
+            t.join().expect("join");
+            assert_eq!(*n.lock().expect("lock"), 2);
+        });
+    }
+
+    /// A seeded load/store race (non-atomic read-modify-write) must be
+    /// caught: some interleaving loses an increment.
+    #[test]
+    fn detects_lost_update() {
+        let caught = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let t = super::thread::spawn(move || {
+                    let v = n2.load(Ordering::SeqCst);
+                    n2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                t.join().expect("join");
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(caught.is_err(), "model failed to find the lost update");
+    }
+
+    /// The same race fixed with fetch_add passes exhaustively.
+    #[test]
+    fn fetch_add_has_no_lost_update() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = super::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().expect("join");
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Self-deadlock (relocking a held mutex) is reported, not hung.
+    #[test]
+    fn reports_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let m = Mutex::new(());
+                let _g = m.lock().expect("lock");
+                let _g2 = m.lock().expect("relock");
+            });
+        });
+        assert!(caught.is_err(), "deadlock not detected");
+    }
+
+    /// Exploration visits more than one schedule for a 2-thread race.
+    #[test]
+    fn explores_multiple_interleavings() {
+        use std::sync::atomic::AtomicUsize as StdAtomic;
+        use std::sync::atomic::Ordering::Relaxed;
+        let runs = std::sync::Arc::new(StdAtomic::new(0));
+        let r2 = std::sync::Arc::clone(&runs);
+        super::model(move || {
+            r2.fetch_add(1, Relaxed);
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = super::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(2, Ordering::SeqCst);
+            t.join().expect("join");
+        });
+        assert!(runs.load(Relaxed) > 1, "only one schedule explored");
+    }
+}
