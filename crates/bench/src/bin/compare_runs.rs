@@ -4,6 +4,7 @@
 //! ```text
 //! compare_runs <old.json> <new.json> [tolerance-percent]
 //! compare_runs --bench <old.json> <new.json> [tolerance-percent]
+//! compare_runs --trace <old.ndjson> <new.ndjson> [tolerance-percent]
 //! ```
 //!
 //! The default mode diffs `table4.json` FoM files; `--bench` diffs the
@@ -11,7 +12,10 @@
 //! harness. Two bench shapes are understood: per-case `results`
 //! (criterion-style `ns_per_iter`, regressions = slowdowns only) and
 //! throughput-latency `curves` as written by `ferrotcam serve-bench`
-//! (regressions = throughput drops or p99 latency rises). Exits
+//! (regressions = throughput drops or p99 latency rises). `--trace`
+//! diffs two `FERROTCAM_TRACE` NDJSON event streams (as written by
+//! `ferrotcam trace --ndjson`) on their per-analysis accepted and
+//! rejected step counts — a stepper-behaviour drift gate. Exits
 //! non-zero when any metric moved more than the tolerance, making it
 //! usable as a CI gate on the measured artefacts.
 
@@ -164,6 +168,98 @@ fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
     regressions
 }
 
+/// Per-analysis accepted/rejected step counts extracted from one trace
+/// NDJSON stream.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct TraceCounts {
+    accepted: u64,
+    rejected: u64,
+}
+
+/// Parse a `FERROTCAM_TRACE` NDJSON file into per-analysis step counts.
+/// Every line must be valid JSON with a string `kind` field (the parse
+/// itself is the CI assertion that the trace format stayed machine
+/// readable); unknown kinds are counted but otherwise ignored.
+fn load_trace(path: &str) -> Result<std::collections::BTreeMap<String, TraceCounts>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut by_analysis: std::collections::BTreeMap<String, TraceCounts> = Default::default();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::JsonValue = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: invalid NDJSON: {e}", ln + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| format!("{path}:{}: event has no \"kind\"", ln + 1))?;
+        if kind == "step_accept" || kind == "step_reject" {
+            let analysis = v
+                .get("analysis")
+                .and_then(|a| a.as_str())
+                .unwrap_or("unknown")
+                .to_string();
+            let c = by_analysis.entry(analysis).or_default();
+            if kind == "step_accept" {
+                c.accepted += 1;
+            } else {
+                c.rejected += 1;
+            }
+        }
+    }
+    Ok(by_analysis)
+}
+
+/// Diff two trace NDJSON streams on accepted/rejected step counts per
+/// analysis. A count moving beyond `tol` percent (or an analysis
+/// appearing/disappearing) is a regression.
+fn compare_trace(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
+    let (old, new) = match (load_trace(old_path), load_trace(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut regressions = 0usize;
+    println!(
+        "{:<16} {:<10} {:>10} {:>10} {:>8}",
+        "analysis", "steps", "old", "new", "Δ%"
+    );
+    for (analysis, o) in &old {
+        let Some(n) = new.get(analysis) else {
+            println!("{analysis:<16} analysis removed");
+            regressions += 1;
+            continue;
+        };
+        for (label, ov, nv) in [
+            ("accepted", o.accepted, n.accepted),
+            ("rejected", o.rejected, n.rejected),
+        ] {
+            let d = pct(ov as f64, nv as f64);
+            let flag = if d.abs() > tol {
+                regressions += 1;
+                "  <-- moved"
+            } else {
+                ""
+            };
+            println!("{analysis:<16} {label:<10} {ov:>10} {nv:>10} {d:>7.1}%{flag}");
+        }
+    }
+    for analysis in new.keys() {
+        if !old.contains_key(analysis) {
+            println!("{analysis:<16} new analysis in trace");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("\n{regressions} step count(s) moved beyond ±{tol}%");
+        ExitCode::FAILURE
+    } else {
+        println!("\nstep counts within ±{tol}%");
+        ExitCode::SUCCESS
+    }
+}
+
 fn pct(old: f64, new: f64) -> f64 {
     if old == 0.0 {
         return if new == 0.0 { 0.0 } else { f64::INFINITY };
@@ -174,13 +270,14 @@ fn pct(old: f64, new: f64) -> f64 {
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let bench_mode = args.first().is_some_and(|a| a == "--bench");
-    if bench_mode {
+    let trace_mode = args.first().is_some_and(|a| a == "--trace");
+    if bench_mode || trace_mode {
         args.remove(0);
     }
     let (old_path, new_path) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a.clone(), b.clone()),
         _ => {
-            eprintln!("usage: compare_runs [--bench] <old.json> <new.json> [tolerance-percent]");
+            eprintln!("usage: compare_runs [--bench|--trace] <old> <new> [tolerance-percent]");
             return ExitCode::FAILURE;
         }
     };
@@ -190,6 +287,9 @@ fn main() -> ExitCode {
         .unwrap_or(if bench_mode { 25.0 } else { 10.0 });
     if bench_mode {
         return compare_bench(&old_path, &new_path, tol);
+    }
+    if trace_mode {
+        return compare_trace(&old_path, &new_path, tol);
     }
 
     let (old, new) = match (load(&old_path), load(&new_path)) {

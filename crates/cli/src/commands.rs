@@ -40,6 +40,13 @@ USAGE:
       search row per design; --all adds 1.5T divider cells, full
       arrays and write arrays). --deny fails on any error-severity
       diagnostic; --json emits machine-readable reports.
+  ferrotcam trace [<design> <stored-word> <query-bits>]
+                  [--summary|--full] [--ndjson] [--out FILE]
+      Run one row-search transient with tracing enabled and render
+      the observability output: span timings plus step accept/reject
+      counters (--summary, default), or the per-step event stream as
+      newline-delimited JSON (--ndjson; --full adds per-step events).
+      Defaults to a 4-bit 2DG row with a one-bit mismatch.
   ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
                         [--width N] [--secs S] [--seed N]
                         [--characterize <design>]
@@ -69,6 +76,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("export") => export(&args[1..]),
         Some("table") => table_lookup(&args[1..]),
         Some("lint") => crate::lint::run(&args[1..]),
+        Some("trace") => crate::trace_cmd::run(&args[1..]),
         Some("serve-bench") => crate::serve_bench::run(&args[1..], parse_design),
         Some("help") | None => {
             println!("{USAGE}");
@@ -78,7 +86,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
     }
 }
 
-fn parse_design(s: &str) -> Result<DesignKind, String> {
+pub(crate) fn parse_design(s: &str) -> Result<DesignKind, String> {
     match s.to_ascii_lowercase().as_str() {
         "2sg" | "2sg-fefet" | "sg2" => Ok(DesignKind::Sg2),
         "2dg" | "2dg-fefet" | "dg2" => Ok(DesignKind::Dg2),
@@ -91,11 +99,11 @@ fn parse_design(s: &str) -> Result<DesignKind, String> {
     }
 }
 
-fn parse_word(s: &str) -> Result<TernaryWord, String> {
+pub(crate) fn parse_word(s: &str) -> Result<TernaryWord, String> {
     s.parse::<TernaryWord>().map_err(|e| e.to_string())
 }
 
-fn parse_query(s: &str, width: usize) -> Result<Vec<bool>, String> {
+pub(crate) fn parse_query(s: &str, width: usize) -> Result<Vec<bool>, String> {
     let q: Result<Vec<bool>, String> = s
         .chars()
         .map(|c| match c {
@@ -139,7 +147,7 @@ fn designs() -> CliResult {
     Ok(())
 }
 
-fn build(
+pub(crate) fn build(
     design: DesignKind,
     stored: &TernaryWord,
     query: &[bool],

@@ -7,6 +7,7 @@
 //! ferrotcam idvg <sg|dg> [--csv]
 //! ferrotcam export <design> <stored-word> <query-bits>
 //! ferrotcam designs
+//! ferrotcam trace [<design> <stored-word> <query-bits>] [--ndjson]
 //! ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
 //! ```
 
@@ -15,6 +16,7 @@ use std::process::ExitCode;
 mod commands;
 mod lint;
 mod serve_bench;
+mod trace_cmd;
 
 fn main() -> ExitCode {
     // Piping into `head` closes stdout early; exit quietly instead of

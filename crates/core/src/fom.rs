@@ -147,6 +147,7 @@ pub fn characterize_search(
         analysis: "transient",
         time: 0.0,
         iterations: 0,
+        forensics: None,
     })?;
 
     // Refit the step window: latency + 15% + 20 ps slack.
@@ -165,6 +166,7 @@ pub fn characterize_search(
             analysis: "transient",
             time: 0.0,
             iterations: 0,
+            forensics: None,
         })?;
         // Full-search energy: average-case data, matching query (both
         // steps run to completion).

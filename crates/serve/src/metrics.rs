@@ -9,86 +9,10 @@ use ferrotcam_arch::sched::ScheduleOutcome;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
-/// Power-of-two bucketed histogram over `u64` samples (nanoseconds for
-/// wall latencies, picoseconds for modelled silicon latencies).
-/// Resolution is one octave, which is plenty for tail percentiles.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum: f64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self {
-            buckets: [0; 64],
-            count: 0,
-            sum: 0.0,
-            max: 0,
-        }
-    }
-}
-
-impl Histogram {
-    /// Record one sample.
-    pub fn record(&mut self, sample: u64) {
-        let idx = (64 - sample.leading_zeros()).min(63) as usize;
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += sample as f64;
-        self.max = self.max.max(sample);
-    }
-
-    /// Number of samples recorded.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of all samples (0 when empty).
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Approximate `p`-quantile (`0 < p <= 1`): the upper edge of the
-    /// bucket holding the p-th sample, clamped to the observed max.
-    #[must_use]
-    pub fn quantile(&self, p: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (p * self.count as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                let upper = if idx == 0 { 0u64 } else { 1u64 << idx };
-                return (upper.min(self.max.max(1))) as f64;
-            }
-        }
-        self.max as f64
-    }
-
-    /// Condensed percentile summary.
-    #[must_use]
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            mean: self.mean(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-            max: self.max as f64,
-        }
-    }
-}
+// The histogram now lives in the simulator's trace layer so service
+// spans and engine spans share one implementation (and one unit
+// discipline); re-exported here for source compatibility.
+pub use ferrotcam_spice::trace::Histogram;
 
 /// Percentile summary of a histogram, in the histogram's native unit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -105,6 +29,21 @@ pub struct LatencySummary {
     pub p99: f64,
     /// Largest sample seen.
     pub max: f64,
+}
+
+impl LatencySummary {
+    /// Condensed percentile summary of `h`.
+    #[must_use]
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max() as f64,
+        }
+    }
 }
 
 /// Batch-size distribution of the dispatcher.
@@ -305,8 +244,8 @@ impl MetricsCollector {
             shed_shutting_down: m.shed_shutting_down,
             queue_depth,
             max_queue_depth: m.max_queue_depth,
-            wall_latency_ns: m.wall.summary(),
-            model_latency_ps: m.model.summary(),
+            wall_latency_ns: LatencySummary::of(&m.wall),
+            model_latency_ps: LatencySummary::of(&m.model),
             batch: BatchStats {
                 batches: m.batches,
                 mean_size: if m.batches == 0 {
@@ -348,7 +287,7 @@ mod tests {
         // Octave resolution: p50 of 1..=1000 lands in the 512 bucket.
         assert_eq!(h.quantile(0.5), 512.0);
         assert_eq!(h.quantile(1.0), 1000.0);
-        assert_eq!(h.summary().max, 1000.0);
+        assert_eq!(LatencySummary::of(&h).max, 1000.0);
     }
 
     #[test]

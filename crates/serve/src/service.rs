@@ -314,6 +314,7 @@ fn dispatch_loop(inner: &Inner) {
             std::thread::sleep(Duration::from_micros(20));
             continue;
         }
+        let _span = ferrotcam_spice::trace::span("serve.dispatch");
         execute_batch(inner, batch);
     }
 }
@@ -321,6 +322,11 @@ fn dispatch_loop(inner: &Inner) {
 /// Run one batch: plan per-bank work, search the shards on the worker
 /// pool, model the bank schedule, attribute energy, resolve tickets.
 fn execute_batch(inner: &Inner, jobs: Vec<Job>) {
+    let _span = ferrotcam_spice::trace::span("serve.batch");
+    for job in &jobs {
+        let wait = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ferrotcam_spice::trace::sample("serve.queue_wait_ns", wait);
+    }
     let n = inner.table.shard_count();
     // Split the Sync part (queries) from the send side (tickets) so
     // the worker pool only ever sees the former.

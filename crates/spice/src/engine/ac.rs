@@ -130,6 +130,7 @@ impl AcResult {
 /// * [`Error::UnknownSignal`] when the source does not exist;
 /// * DC or factorisation errors.
 pub fn ac_analysis(ckt: &Circuit, source: &str, freqs: &[f64]) -> Result<AcResult> {
+    let _span = crate::trace::span("ac");
     let ac_branch = ckt
         .elements()
         .iter()

@@ -88,6 +88,7 @@ const SRC_STEPS: usize = 10;
 /// [`Error::SingularMatrix`] for a structurally defective circuit, or
 /// the typed ERC/validation errors of [`erc::preflight`].
 pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
+    let _span = crate::trace::span("dc");
     erc::preflight(ckt, opts.erc)?;
     let sys = System::new(ckt);
     // One workspace for the whole ladder: the gmin/source-stepping rungs
@@ -116,6 +117,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     }
 
     // 2. Gmin stepping.
+    crate::trace::note("dc.fallback", "plain newton failed; gmin stepping");
     let mut x = x0.clone();
     let mut ok = true;
     for &gmin in &GMIN_LADDER {
@@ -133,6 +135,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     }
 
     // 3. Source stepping.
+    crate::trace::note("dc.fallback", "gmin stepping failed; source stepping");
     let mut x = x0;
     for step in 1..=SRC_STEPS {
         let scale = step as f64 / SRC_STEPS as f64;

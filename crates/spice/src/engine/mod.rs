@@ -6,7 +6,7 @@ pub mod dc;
 pub mod sweep;
 pub mod transient;
 
-use crate::error::{Error, Result};
+use crate::error::{ConvergenceForensics, Error, Result};
 use crate::matrix::cached::CachedSolver;
 use crate::matrix::sparse::Triplets;
 use crate::netlist::{Circuit, Element, NodeId};
@@ -426,6 +426,97 @@ impl<'a> System<'a> {
         }
     }
 
+    /// Worst-residual attribution from the system last assembled into
+    /// `ws` around operating point `x`.
+    ///
+    /// Recomputes the Newton residual `r = b − A·x` from the raw stamp
+    /// buffer (no re-assembly, no factorisation) and blames the row with
+    /// the largest `|r|`. Node rows (KCL, amperes) are scanned before
+    /// branch rows (source constraints, volts) because the two carry
+    /// incomparable units. NaN residuals sort as +∞ so a poisoned row
+    /// always wins.
+    pub(crate) fn forensics(
+        &self,
+        ws: &NewtonWorkspace,
+        x: &[f64],
+        dx_norm: f64,
+    ) -> ConvergenceForensics {
+        let key = |v: f64| if v.is_nan() { f64::INFINITY } else { v.abs() };
+        let mut r = ws.rhs.clone();
+        for (row, col, v) in ws.tri.iter() {
+            r[row] -= v * x[col];
+        }
+        let nnode_vars = self.num_nodes - 1;
+        let scan = if nnode_vars > 0 {
+            0..nnode_vars
+        } else {
+            0..self.nvars
+        };
+        let mut worst = scan.start;
+        let mut f_norm = -1.0f64;
+        for v in scan {
+            let k = key(r[v]);
+            if k > f_norm {
+                f_norm = k;
+                worst = v;
+            }
+        }
+        let node = crate::trace::mna_var_name(self.ckt, worst);
+        // Blame the nonlinear device injecting the largest current at the
+        // worst row; fall back to any linear element touching it.
+        let mut device = String::new();
+        let mut best = -1.0f64;
+        for (di, dev) in self.ckt.devices().iter().enumerate() {
+            for (a, &term) in dev.terminals().iter().enumerate() {
+                if self.var_of(term) == Some(worst) {
+                    let m = key(ws.stamps[di].i[a]);
+                    if m > best {
+                        best = m;
+                        device = dev.name().to_string();
+                    }
+                }
+            }
+        }
+        if device.is_empty() {
+            if let Some(name) = self.element_at_row(worst) {
+                device = name.to_string();
+            }
+        }
+        ConvergenceForensics {
+            node,
+            device,
+            f_norm: f_norm.max(0.0),
+            dx_norm,
+        }
+    }
+
+    /// First linear element whose terminals (or branch row) touch MNA
+    /// row `row`.
+    fn element_at_row(&self, row: usize) -> Option<&str> {
+        let at = |nd: NodeId| self.var_of(nd) == Some(row);
+        self.ckt
+            .elements()
+            .iter()
+            .find(|e| match e {
+                Element::Resistor { p, n, .. }
+                | Element::Capacitor { p, n, .. }
+                | Element::ISource { p, n, .. } => at(*p) || at(*n),
+                Element::VSource { p, n, branch, .. } => {
+                    self.branch_var(*branch) == row || at(*p) || at(*n)
+                }
+                Element::Vcvs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    branch,
+                    ..
+                } => self.branch_var(*branch) == row || at(*p) || at(*n) || at(*cp) || at(*cn),
+                Element::Vccs { p, n, cp, cn, .. } => at(*p) || at(*n) || at(*cp) || at(*cn),
+            })
+            .map(Element::name)
+    }
+
     /// One damped Newton solve. Returns `(x, iterations)` on convergence.
     ///
     /// The workspace carries the assembly buffers and the pattern-cached
@@ -449,6 +540,7 @@ impl<'a> System<'a> {
             gmin,
             time,
         };
+        let mut last_dx = f64::INFINITY;
         for iter in 1..=opts.max_iters {
             self.assemble(
                 &x,
@@ -467,6 +559,7 @@ impl<'a> System<'a> {
             let nnode_vars = self.num_nodes - 1;
             let mut converged = true;
             let mut max_dv = 0.0f64;
+            let mut max_dx = 0.0f64;
             for v in 0..self.nvars {
                 let d = (x_new[v] - x[v]).abs();
                 let (atol, val) = if v < nnode_vars {
@@ -480,14 +573,22 @@ impl<'a> System<'a> {
                 if v < nnode_vars {
                     max_dv = max_dv.max(d);
                 }
+                max_dx = max_dx.max(d);
                 if !x_new[v].is_finite() {
+                    // The workspace still holds the system assembled
+                    // around `x`, so the residual attribution is
+                    // consistent with the failing solve.
+                    let fo = self.forensics(ws, &x, f64::INFINITY);
+                    crate::trace::newton_failure(analysis, time, iter, &fo);
                     return Err(Error::NonConvergence {
                         analysis,
                         time,
                         iterations: iter,
+                        forensics: Some(Box::new(fo)),
                     });
                 }
             }
+            last_dx = max_dx;
             if converged && iter > 1 {
                 return Ok((x_new, iter));
             }
@@ -501,10 +602,26 @@ impl<'a> System<'a> {
                 x = x_new;
             }
         }
+        // Re-assemble around the final iterate so the residual matches
+        // the point Newton was left at (the loop body updated `x` after
+        // the last assembly).
+        self.assemble(
+            &x,
+            time,
+            source_scale,
+            &ctx,
+            companion,
+            &mut ws.tri,
+            &mut ws.rhs,
+            &mut ws.stamps,
+        );
+        let fo = self.forensics(ws, &x, last_dx);
+        crate::trace::newton_failure(analysis, time, opts.max_iters, &fo);
         Err(Error::NonConvergence {
             analysis,
             time,
             iterations: opts.max_iters,
+            forensics: Some(Box::new(fo)),
         })
     }
 }

@@ -86,6 +86,7 @@ pub fn dc_sweep(
     values: &[f64],
     opts: &NewtonOpts,
 ) -> Result<SweepResult> {
+    let _span = crate::trace::span("sweep");
     erc::preflight(ckt, None)?;
     // Locate the source's branch so we can override its value.
     let branch = ckt
@@ -207,6 +208,7 @@ fn solve_newton_override(
         })
         .unwrap_or(0.0);
 
+    let mut last_dx = f64::INFINITY;
     for iter in 1..=opts.max_iters {
         sys.assemble(
             &x,
@@ -223,13 +225,18 @@ fn solve_newton_override(
         let x_new = ws.solver.solve(&ws.tri, &ws.rhs)?;
         let mut converged = true;
         let mut max_dv = 0.0f64;
+        let mut max_dx = 0.0f64;
         for v in 0..sys.nvars {
             let d = (x_new[v] - x[v]).abs();
             if !x_new[v].is_finite() {
+                // `ws` still holds the system assembled around `x`.
+                let fo = sys.forensics(ws, &x, f64::INFINITY);
+                crate::trace::newton_failure("dc-sweep", 0.0, iter, &fo);
                 return Err(Error::NonConvergence {
                     analysis: "dc-sweep",
                     time: 0.0,
                     iterations: iter,
+                    forensics: Some(Box::new(fo)),
                 });
             }
             if d > 1e-6 + 1e-4 * x_new[v].abs().max(x[v].abs()) {
@@ -238,7 +245,9 @@ fn solve_newton_override(
             if v < sys.num_nodes - 1 {
                 max_dv = max_dv.max(d);
             }
+            max_dx = max_dx.max(d);
         }
+        last_dx = max_dx;
         if converged && iter > 1 {
             return Ok(x_new);
         }
@@ -251,10 +260,26 @@ fn solve_newton_override(
             x = x_new;
         }
     }
+    // Re-assemble (with the source override re-applied) around the final
+    // iterate so the forensic residual matches where Newton stopped.
+    sys.assemble(
+        &x,
+        0.0,
+        1.0,
+        &ctx,
+        None,
+        &mut ws.tri,
+        &mut ws.rhs,
+        &mut ws.stamps,
+    );
+    ws.rhs[bv] += ov.value - nominal;
+    let fo = sys.forensics(ws, &x, last_dx);
+    crate::trace::newton_failure("dc-sweep", 0.0, opts.max_iters, &fo);
     Err(Error::NonConvergence {
         analysis: "dc-sweep",
         time: 0.0,
         iterations: opts.max_iters,
+        forensics: Some(Box::new(fo)),
     })
 }
 

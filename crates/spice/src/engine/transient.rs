@@ -68,6 +68,36 @@ impl TranOpts {
 /// Relative slack when deciding whether a step lands on a breakpoint.
 const BP_SNAP: f64 = 1e-12;
 
+/// Merge tolerance for adjacent breakpoints, relative to the breakpoint's
+/// own magnitude (not to `t_stop`).
+const BP_MERGE_REL: f64 = 1e-9;
+
+/// Collect, sort and dedup the source-waveform breakpoints for a run to
+/// `t_stop`; `t_stop` itself is always included (and is the final entry).
+///
+/// Near-duplicate edges are merged with a tolerance relative to the
+/// breakpoint's own value rather than to `t_stop`: on a long run (a
+/// write–verify sequence, say) two distinct nanosecond-spaced edges must
+/// both survive, while the float noise from identical edges computed two
+/// ways still collapses.
+#[must_use]
+pub fn collect_breakpoints(ckt: &Circuit, t_stop: f64) -> Vec<f64> {
+    let mut bps: Vec<f64> = ckt
+        .elements()
+        .iter()
+        .flat_map(|e| match e {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                wave.breakpoints(t_stop)
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+    bps.push(t_stop);
+    bps.sort_by(f64::total_cmp);
+    bps.dedup_by(|a, b| (*a - *b).abs() <= BP_MERGE_REL * b.abs().max(f64::MIN_POSITIVE));
+    bps
+}
+
 /// Run a transient analysis on `ckt` (mutable: history-dependent devices
 /// advance their internal state as time moves forward).
 ///
@@ -80,6 +110,7 @@ const BP_SNAP: f64 = 1e-12;
 ///   cannot be rescued by step shrinking;
 /// * [`Error::SingularMatrix`] for structurally defective circuits.
 pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
+    let _span = crate::trace::span("transient");
     erc::preflight(ckt, opts.erc)?;
     let mut stats = SimStats::default();
     // --- Initial solution ------------------------------------------------
@@ -150,19 +181,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
     let mut trace = Trace::with_signals(signal_names);
 
     // Breakpoints from every source waveform.
-    let mut bps: Vec<f64> = ckt
-        .elements()
-        .iter()
-        .flat_map(|e| match e {
-            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
-                wave.breakpoints(opts.t_stop)
-            }
-            _ => Vec::new(),
-        })
-        .collect();
-    bps.push(opts.t_stop);
-    bps.sort_by(f64::total_cmp);
-    bps.dedup_by(|a, b| (*a - *b).abs() < opts.t_stop * BP_SNAP);
+    let bps = collect_breakpoints(ckt, opts.t_stop);
 
     // --- Companion state ---------------------------------------------------
     // The workspace lives outside the time loop so the scatter plan and
@@ -252,6 +271,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                 x = x_new;
                 t = t_new;
                 stats.accepted_steps += 1;
+                crate::trace::step_accepted("transient", t, dt_eff, iters);
                 record_point(
                     ckt,
                     &x,
@@ -269,12 +289,28 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                     dt *= 0.7;
                 }
             }
-            Err(Error::SingularMatrix { .. }) if dt_eff <= opts.dt_min * 4.0 => {
-                return Err(Error::SingularMatrix { index: 0 });
+            Err(e @ Error::SingularMatrix { .. }) if dt_eff <= opts.dt_min * 4.0 => {
+                // Step shrinking cannot rescue a structural singularity:
+                // propagate the original error (its pivot index is real)
+                // and map the index back to an MNA variable name.
+                if let Error::SingularMatrix { index } = &e {
+                    crate::trace::singular_pivot(
+                        "transient",
+                        t_new,
+                        *index,
+                        crate::trace::mna_var_name(ckt, *index),
+                    );
+                }
+                return Err(e);
             }
-            Err(_) => {
+            Err(e) => {
                 stats.rejected_steps += 1;
-                dt = dt_eff * 0.25;
+                crate::trace::step_rejected("transient", t, dt_eff, &e);
+                // Cut the *pre-clamp* dt, not dt_eff: dt_eff may already
+                // be clamped to a tiny breakpoint gap, and quartering
+                // that would collapse the step size for the rest of the
+                // run after one rejection at a source edge.
+                dt *= 0.25;
                 if dt < opts.dt_min {
                     return Err(Error::TimeStepTooSmall { time: t, dt });
                 }

@@ -7,16 +7,16 @@
 //! which circuit construct is at fault. The ERC passes diagnose these
 //! structurally:
 //!
-//! * **connectivity** ([`graph`]): nodes unreachable from ground,
+//! * **connectivity** (`graph`): nodes unreachable from ground,
 //!   dangling terminals, capacitor-only islands with no DC path to
 //!   ground, current sources driving into DC-isolated islands;
-//! * **KVL/KCL structure** ([`graph`], [`matching`]): loops of
+//! * **KVL/KCL structure** (`graph`, `matching`): loops of
 //!   zero-impedance branches (voltage sources, VCVS outputs),
 //!   driver conflicts (parallel low-impedance drivers with differing
 //!   waveforms on one node), and structurally-singular MNA prediction
 //!   via maximum matching on the gmin-free DC pattern
 //!   (Dulmage–Mendelsohn coarse test);
-//! * **parameter domain** ([`params`]): NaN/non-finite element and
+//! * **parameter domain** (`params`): NaN/non-finite element and
 //!   device parameters, non-positive geometry (W, L, film area), and
 //!   source amplitudes beyond the FeFET write-voltage presets.
 //!

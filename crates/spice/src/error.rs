@@ -3,6 +3,28 @@
 use std::error::Error as StdError;
 use std::fmt;
 
+/// Worst-residual attribution attached to [`Error::NonConvergence`].
+///
+/// Computed from the last assembled Newton system: the KCL residual
+/// `r = b − A·x` is scanned for its largest-magnitude entry (node rows
+/// first — node and branch rows carry different units), the row is
+/// mapped back to its node or branch-current name, and the nonlinear
+/// device contributing the largest stamp current at that row is blamed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceForensics {
+    /// Name of the MNA variable with the worst residual (a node name,
+    /// or `i(<source>)` for a branch current).
+    pub node: String,
+    /// Instance name of the device/element contributing most to that
+    /// residual (empty when nothing stamps the row).
+    pub device: String,
+    /// Final residual max-norm `max|b − A·x|` over node rows.
+    pub f_norm: f64,
+    /// Final Newton update max-norm `max|dx|` (infinite when the solve
+    /// produced non-finite values).
+    pub dx_norm: f64,
+}
+
 /// Errors produced while building or simulating a circuit.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -21,6 +43,8 @@ pub enum Error {
         time: f64,
         /// Iterations spent in the final attempt.
         iterations: usize,
+        /// Worst-residual attribution, when the engine could compute it.
+        forensics: Option<Box<ConvergenceForensics>>,
     },
     /// A node id referenced an element that does not exist in the circuit.
     UnknownNode {
@@ -76,10 +100,21 @@ impl fmt::Display for Error {
                 analysis,
                 time,
                 iterations,
-            } => write!(
-                f,
-                "{analysis} analysis failed to converge at t = {time:.3e} s after {iterations} iterations"
-            ),
+                forensics,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis failed to converge at t = {time:.3e} s after {iterations} iterations"
+                )?;
+                if let Some(fo) = forensics {
+                    write!(
+                        f,
+                        " (worst residual {:.3e} at node {:?}, device {:?}, |dx| = {:.3e})",
+                        fo.f_norm, fo.node, fo.device, fo.dx_norm
+                    )?;
+                }
+                Ok(())
+            }
             Error::UnknownNode { index } => write!(f, "unknown node index {index}"),
             Error::InvalidParameter { what, value } => {
                 write!(f, "invalid parameter {what} = {value:.3e}")
@@ -117,6 +152,12 @@ mod tests {
                 analysis: "dc",
                 time: 0.0,
                 iterations: 100,
+                forensics: Some(Box::new(ConvergenceForensics {
+                    node: "ml".into(),
+                    device: "XF1".into(),
+                    f_norm: 3.2e-3,
+                    dx_norm: 0.7,
+                })),
             },
             Error::UnknownNode { index: 9 },
             Error::InvalidParameter {

@@ -47,6 +47,7 @@ pub mod netlist;
 pub mod nonlinear;
 pub mod parallel;
 pub mod probe;
+pub mod trace;
 pub mod units;
 pub mod waveform;
 
@@ -56,12 +57,13 @@ pub use engine::sweep::{dc_sweep, dc_sweep_par, linspace, transfer_curve, SweepR
 pub use engine::transient::{transient, Integrator, TranOpts};
 pub use engine::{NewtonOpts, SimStats};
 pub use erc::{ErcDiagnostic, ErcMode, ErcParam, ErcReport, ParamKind, Rule, Severity};
-pub use error::{Error, Result};
+pub use error::{ConvergenceForensics, Error, Result};
 pub use matrix::{CachedSolver, SolverStats};
 pub use netlist::{Circuit, Element, NodeId};
 pub use nonlinear::{DeviceStamps, EvalCtx, NonlinearDevice};
 pub use parallel::{default_jobs, par_map};
 pub use probe::{Edge, Trace};
+pub use trace::{Histogram, TraceLevel, TraceSummary};
 pub use waveform::Waveform;
 
 /// Glob-import convenience: `use ferrotcam_spice::prelude::*`.

@@ -48,6 +48,15 @@ impl Triplets {
         self.entries.is_empty()
     }
 
+    /// Iterate the raw (pre-merge, duplicate-carrying) `(row, col, value)`
+    /// stamps in insertion order. Used to recompute `b − A·x` residuals
+    /// for convergence forensics without re-assembling.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
     /// Stamp `v` into `(row, col)`, accumulating with prior stamps.
     ///
     /// # Panics

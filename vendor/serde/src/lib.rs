@@ -107,6 +107,19 @@ impl Serialize for str {
     }
 }
 
+// Identity impls let callers work with the dynamic data model directly
+// (e.g. validating NDJSON lines whose schema varies by event kind).
+impl Serialize for value::Value {
+    fn serialize_value(&self) -> value::Value {
+        self.clone()
+    }
+}
+impl Deserialize for value::Value {
+    fn deserialize_value(v: &value::Value) -> Result<Self, value::DeError> {
+        Ok(v.clone())
+    }
+}
+
 // `&'static str` fields appear in small static context tables
 // (e.g. published-design records). Deserializing one leaks the string;
 // that is bounded by the size of those tables and lets the derive stay
