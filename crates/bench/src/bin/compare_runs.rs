@@ -15,7 +15,9 @@
 //! (regressions = throughput drops or p99 latency rises). `--trace`
 //! diffs two `FERROTCAM_TRACE` NDJSON event streams (as written by
 //! `ferrotcam trace --ndjson`) on their per-analysis accepted and
-//! rejected step counts — a stepper-behaviour drift gate. Exits
+//! rejected step counts — a stepper-behaviour drift gate — and shows
+//! the device-evaluation bypass hit rate per analysis (informational,
+//! summed from the `step_accept` events). Exits
 //! non-zero when any metric moved more than the tolerance, making it
 //! usable as a CI gate on the measured artefacts.
 
@@ -169,11 +171,23 @@ fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
 }
 
 /// Per-analysis accepted/rejected step counts extracted from one trace
-/// NDJSON stream.
+/// NDJSON stream, plus the device-evaluation bypass totals carried on
+/// `step_accept` events.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct TraceCounts {
     accepted: u64,
     rejected: u64,
+    bypass_hits: u64,
+    bypass_misses: u64,
+}
+
+impl TraceCounts {
+    /// Fraction of device evaluations skipped via the bypass cache, or
+    /// `None` when the stream predates the bypass fields.
+    fn bypass_rate(&self) -> Option<f64> {
+        let total = self.bypass_hits + self.bypass_misses;
+        (total > 0).then(|| self.bypass_hits as f64 / total as f64)
+    }
 }
 
 /// Parse a `FERROTCAM_TRACE` NDJSON file into per-analysis step counts.
@@ -202,6 +216,16 @@ fn load_trace(path: &str) -> Result<std::collections::BTreeMap<String, TraceCoun
             let c = by_analysis.entry(analysis).or_default();
             if kind == "step_accept" {
                 c.accepted += 1;
+                c.bypass_hits += v
+                    .get("bypass_hits")
+                    .and_then(|h| h.as_i64())
+                    .and_then(|h| u64::try_from(h).ok())
+                    .unwrap_or(0);
+                c.bypass_misses += v
+                    .get("bypass_misses")
+                    .and_then(|m| m.as_i64())
+                    .and_then(|m| u64::try_from(m).ok())
+                    .unwrap_or(0);
             } else {
                 c.rejected += 1;
             }
@@ -245,6 +269,17 @@ fn compare_trace(old_path: &str, new_path: &str, tol: f64) -> ExitCode {
             };
             println!("{analysis:<16} {label:<10} {ov:>10} {nv:>10} {d:>7.1}%{flag}");
         }
+        // Bypass rate is informational (timestep-dependent), not a gate.
+        let rate = |c: &TraceCounts| {
+            c.bypass_rate()
+                .map_or("n/a".to_string(), |r| format!("{:.1}%", r * 100.0))
+        };
+        println!(
+            "{analysis:<16} {:<10} {:>10} {:>10}",
+            "bypass",
+            rate(o),
+            rate(n)
+        );
     }
     for analysis in new.keys() {
         if !old.contains_key(analysis) {

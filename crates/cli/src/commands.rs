@@ -47,6 +47,13 @@ USAGE:
       counters (--summary, default), or the per-step event stream as
       newline-delimited JSON (--ndjson; --full adds per-step events).
       Defaults to a 4-bit 2DG row with a one-bit mismatch.
+  ferrotcam bench [--smoke] [--bits N] [--reps N] [--design <d>]
+      Benchmark the Newton hot path: one Fig. 7 search transient
+      (default 64-bit 1.5T1DG row) timed under bypass=off/natural,
+      bypass=safe/amd and bypass=aggressive/amd. Writes
+      BENCH_newton.json to $FERROTCAM_RESULTS (default ./results).
+      With --smoke the invariants are hard failures: safe waveforms
+      within 1e-6 V of the baseline and a non-zero bypass-hit count.
   ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
                         [--width N] [--secs S] [--seed N]
                         [--characterize <design>]
@@ -59,6 +66,24 @@ DESIGNS: 2sg | 2dg | 1.5t1sg | 1.5t1dg | cmos (aliases accepted)";
 
 /// A CLI-level error: message shown to the user.
 type CliResult = Result<(), String>;
+
+/// Write a machine-readable body to stdout without panicking: piping
+/// into `head` closes the pipe early, and the resulting
+/// [`std::io::ErrorKind::BrokenPipe`] must surface as a clean non-zero
+/// exit, not a panic (`println!` aborts the process on write failure).
+pub(crate) fn write_stdout(body: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    out.write_all(body.as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                "broken pipe: stdout closed before all output was written".to_string()
+            } else {
+                format!("writing to stdout: {e}")
+            }
+        })
+}
 
 /// Dispatch a command line.
 ///
@@ -77,6 +102,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("table") => table_lookup(&args[1..]),
         Some("lint") => crate::lint::run(&args[1..]),
         Some("trace") => crate::trace_cmd::run(&args[1..]),
+        Some("bench") => crate::newton_bench::run(&args[1..], parse_design),
         Some("serve-bench") => crate::serve_bench::run(&args[1..], parse_design),
         Some("help") | None => {
             println!("{USAGE}");
@@ -195,6 +221,15 @@ fn search(args: &[String]) -> CliResult {
         "  solver: {} Newton iters; {} full factor(s) + {} refactor(s); {} rejected step(s)",
         stats.newton_iters, stats.full_factors, stats.refactors, stats.rejected_steps
     );
+    let evals = stats.bypass_hits + stats.bypass_misses;
+    if evals > 0 {
+        println!(
+            "  bypass: {} hit(s) / {} device eval(s) ({:.0}% skipped)",
+            stats.bypass_hits,
+            evals,
+            100.0 * stats.bypass_hits as f64 / evals as f64
+        );
+    }
     // Sanity: the logic-level verdict must agree.
     let expect = stored.matches_query(&query);
     if matched != expect {

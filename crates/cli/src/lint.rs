@@ -12,6 +12,7 @@ use ferrotcam::{build_array_write, build_full_array, build_search_row, TernaryWo
 use ferrotcam_device::fefet::VthState;
 use ferrotcam_spice::erc;
 use ferrotcam_spice::Circuit;
+use std::fmt::Write as _;
 
 /// One generated netlist with its provenance label.
 struct Entry {
@@ -118,8 +119,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
     let mut first_json = true;
+    // JSON output goes through a checked stdout write at the end: the
+    // machine-readable mode must exit non-zero (not panic) when the
+    // consumer closes the pipe early.
+    let mut json_body = String::new();
     if json {
-        println!("[");
+        json_body.push_str("[\n");
     }
     for e in &entries {
         let report = match erc::check(&e.circuit) {
@@ -131,7 +136,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         if json {
             let sep = if first_json { "" } else { "," };
             first_json = false;
-            println!(
+            let _ = writeln!(
+                json_body,
                 "{sep}{{\"netlist\":\"{}\",\"report\":{}}}",
                 e.label,
                 report.to_json()
@@ -156,7 +162,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
     if json {
-        println!("]");
+        json_body.push_str("]\n");
+        crate::commands::write_stdout(&json_body)?;
     } else {
         println!(
             "linted {} netlist(s): {total_errors} error(s), {total_warnings} warning(s)",

@@ -8,6 +8,7 @@
 //! ferrotcam export <design> <stored-word> <query-bits>
 //! ferrotcam designs
 //! ferrotcam trace [<design> <stored-word> <query-bits>] [--ndjson]
+//! ferrotcam bench [--smoke] [--bits N] [--reps N] [--design <d>]
 //! ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
 //! ```
 
@@ -15,6 +16,7 @@ use std::process::ExitCode;
 
 mod commands;
 mod lint;
+mod newton_bench;
 mod serve_bench;
 mod trace_cmd;
 
@@ -34,8 +36,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
+            // A broken pipe means the consumer went away mid-stream
+            // (e.g. `| head`): the output is truncated, so fail — but
+            // usage text would only be noise at this point.
+            if !e.starts_with("broken pipe") {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
             ExitCode::FAILURE
         }
     }

@@ -95,7 +95,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     stats.rejected_steps
                 );
             }
-            None => print!("{body}"),
+            None => crate::commands::write_stdout(&body)?,
         }
     } else {
         let summary = trace::summary();

@@ -33,6 +33,11 @@ pub struct SearchSim {
     /// Number of back-to-back search cycles (1 for single searches;
     /// see [`build_burst_search`]).
     pub cycles: usize,
+    /// Newton-solver options for the transient (bypass policy, LU
+    /// ordering, damping). Defaults honour the `FERROTCAM_BYPASS` /
+    /// `FERROTCAM_ORDERING` environment knobs; benchmarks overwrite
+    /// this field to pin a configuration explicitly.
+    pub newton: NewtonOpts,
 }
 
 impl SearchSim {
@@ -47,6 +52,7 @@ impl SearchSim {
         opts.dt_max = 4e-12;
         opts.dt_min = 1e-18;
         opts.uic = true; // start with ML discharged so precharge energy is counted
+        opts.newton = self.newton.clone();
         let trace = transient(&mut self.circuit, &opts)?;
         Ok(SearchRun {
             trace,

@@ -1,0 +1,87 @@
+//! Ferroelectric-state safety of the Newton device bypass: a write
+//! pulse on a scaled DG FeFET must leave the film polarization
+//! *bit-identical* whether or not device-evaluation bypass is enabled.
+//! Polarization only advances in `commit`, which always runs from a
+//! fresh evaluation at the accepted solution — a bypassed iteration can
+//! never advance (or skip advancing) hysteretic state.
+
+use ferrotcam::cell::{DesignKind, DesignParams};
+use ferrotcam::ops;
+use ferrotcam_device::{Fefet, VthState};
+use ferrotcam_spice::prelude::*;
+
+/// Run the Table II write condition (BL driver on the front gate,
+/// everything else grounded) and return the final polarization and the
+/// delivered BL energy.
+fn write_once(initial: VthState, pulse_level: f64, bypass: BypassPolicy) -> (f64, f64, SimStats) {
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let fe = params.fefet();
+    let mut ckt = Circuit::new();
+    let bl = ckt.node("bl");
+    let gnd = Circuit::gnd();
+    ckt.vsource(
+        "BL",
+        bl,
+        gnd,
+        ops::write_pulse(pulse_level, 100e-12, 600e-12, 50e-12),
+    );
+    ckt.capacitor("cbl", bl, gnd, 20e-15).unwrap();
+    let mut dev = Fefet::new("fe", gnd, bl, gnd, gnd, fe.clone());
+    dev.program(initial);
+    ckt.device(Box::new(dev));
+    let mut opts = TranOpts::to_time(1e-9);
+    opts.dt_max = 5e-12;
+    opts.newton.bypass = bypass;
+    let tr = transient(&mut ckt, &opts).expect("write transient");
+    let p = ckt.devices()[0]
+        .state("polarization")
+        .expect("fefet exposes polarization");
+    let e = tr.source_energy("BL").expect("BL energy");
+    (p, e, tr.stats())
+}
+
+#[test]
+fn write_pulse_polarization_bit_identical_under_bypass() {
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let vw = params.fefet().v_write;
+    for (initial, level) in [
+        (VthState::Hvt, vw),  // set: HVT → LVT
+        (VthState::Lvt, -vw), // reset: LVT → HVT
+    ] {
+        let (p_off, e_off, s_off) = write_once(initial, level, BypassPolicy::Off);
+        let (p_safe, e_safe, s_safe) = write_once(initial, level, BypassPolicy::Safe);
+        assert_eq!(s_off.bypass_hits, 0, "off policy must never bypass");
+        assert!(
+            s_safe.bypass_hits > 0,
+            "safe policy never engaged on a write pulse: {s_safe:?}"
+        );
+        assert_eq!(
+            p_off.to_bits(),
+            p_safe.to_bits(),
+            "polarization diverged under bypass: {p_off} vs {p_safe}"
+        );
+        // The write *energy* is a waveform integral and is allowed the
+        // waveform tolerance, not bit-identity.
+        assert!(
+            (e_off - e_safe).abs() <= 1e-6 * e_off.abs().max(1e-18),
+            "write energy drifted: {e_off} vs {e_safe}"
+        );
+    }
+}
+
+#[test]
+fn write_pulse_aggressive_bypass_keeps_polarization() {
+    // Aggressive mode persists caches across steps but must still drop
+    // them for history-holding devices at every commit, so the film sees
+    // every accepted operating point.
+    let params = DesignParams::preset(DesignKind::T15Dg);
+    let vw = params.fefet().v_write;
+    let (p_off, _, _) = write_once(VthState::Hvt, vw, BypassPolicy::Off);
+    let (p_aggr, _, s) = write_once(VthState::Hvt, vw, BypassPolicy::Aggressive);
+    assert!(s.bypass_hits > 0);
+    assert_eq!(
+        p_off.to_bits(),
+        p_aggr.to_bits(),
+        "aggressive bypass disturbed polarization: {p_off} vs {p_aggr}"
+    );
+}

@@ -288,6 +288,12 @@ impl NonlinearDevice for Fefet {
         self.film.apply(v_fe);
     }
 
+    fn has_history(&self) -> bool {
+        // Preisach polarisation advances in `commit`, shifting `vth` and
+        // the frozen film charge seen by later `eval`s.
+        true
+    }
+
     fn state(&self, key: &str) -> Option<f64> {
         match key {
             "polarization" => Some(self.film.polarization()),

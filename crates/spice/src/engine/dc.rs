@@ -94,7 +94,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     // One workspace for the whole ladder: the gmin/source-stepping rungs
     // all share the matrix pattern, so only the first solve pays for
     // symbolic analysis.
-    let mut ws = NewtonWorkspace::new(&sys);
+    let mut ws = NewtonWorkspace::with_ordering(&sys, opts.newton.ordering);
     let x0 = vec![0.0; sys.nvars];
 
     // 1. Plain Newton from zero.
@@ -106,6 +106,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
         opts.newton.gmin,
         None,
         &mut ws,
+        None,
         "dc",
     ) {
         Ok((x, _)) => return Ok(Solution::new(x, sys.num_nodes).with_stats(ws.stats())),
@@ -122,7 +123,17 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
     let mut ok = true;
     for &gmin in &GMIN_LADDER {
         let gmin = gmin.max(opts.newton.gmin);
-        match sys.newton(&x, opts.time, 1.0, &opts.newton, gmin, None, &mut ws, "dc") {
+        match sys.newton(
+            &x,
+            opts.time,
+            1.0,
+            &opts.newton,
+            gmin,
+            None,
+            &mut ws,
+            None,
+            "dc",
+        ) {
             Ok((xn, _)) => x = xn,
             Err(_) => {
                 ok = false;
@@ -147,6 +158,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
             opts.newton.gmin.max(1e-9),
             None,
             &mut ws,
+            None,
             "dc",
         )?;
         x = xn;
@@ -160,6 +172,7 @@ pub fn operating_point(ckt: &Circuit, opts: &DcOpts) -> Result<Solution> {
         opts.newton.gmin,
         None,
         &mut ws,
+        None,
         "dc",
     )?;
     Ok(Solution::new(x, sys.num_nodes).with_stats(ws.stats()))

@@ -7,10 +7,10 @@ pub mod sweep;
 pub mod transient;
 
 use crate::error::{ConvergenceForensics, Error, Result};
-use crate::matrix::cached::CachedSolver;
-use crate::matrix::sparse::Triplets;
+use crate::matrix::cached::{CachedSolver, Ordering};
+use crate::matrix::sparse::{Stamper, Triplets};
 use crate::netlist::{Circuit, Element, NodeId};
-use crate::nonlinear::{DeviceStamps, EvalCtx};
+use crate::nonlinear::{BypassPolicy, DeviceStamps, EvalCtx};
 
 /// Absolute node-voltage convergence tolerance (V).
 const VNTOL: f64 = 1e-6;
@@ -32,6 +32,19 @@ pub struct NewtonOpts {
     pub gmin: f64,
     /// Simulation temperature (K).
     pub temp: f64,
+    /// Device-evaluation bypass policy. Defaults from `FERROTCAM_BYPASS`
+    /// (off when unset).
+    pub bypass: BypassPolicy,
+    /// Relative part of the bypass voltage-movement tolerance. A decade
+    /// tighter than the Newton `RELTOL` so bypassed solutions stay well
+    /// inside the convergence band (≤ 1e-6 V waveform deviation).
+    pub bypass_reltol: f64,
+    /// Absolute part (V) of the bypass tolerance; a decade under the
+    /// Newton `VNTOL` for the same reason.
+    pub bypass_vntol: f64,
+    /// Fill-reducing pre-ordering for the linear solver. Defaults from
+    /// `FERROTCAM_ORDERING` (AMD when unset).
+    pub ordering: Ordering,
 }
 
 impl Default for NewtonOpts {
@@ -41,6 +54,10 @@ impl Default for NewtonOpts {
             vlimit: 0.4,
             gmin: 1e-12,
             temp: crate::units::TEMP_NOMINAL,
+            bypass: BypassPolicy::from_env(),
+            bypass_reltol: RELTOL * 0.1,
+            bypass_vntol: VNTOL * 0.1,
+            ordering: Ordering::from_env(),
         }
     }
 }
@@ -65,6 +82,11 @@ pub struct SimStats {
     pub accepted_steps: u64,
     /// Rejected (re-tried with a smaller dt) transient timesteps.
     pub rejected_steps: u64,
+    /// Device evaluations skipped via the operating-point bypass cache
+    /// (see [`crate::nonlinear::BypassPolicy`]). Zero when bypass is off.
+    pub bypass_hits: u64,
+    /// Device evaluations actually performed.
+    pub bypass_misses: u64,
 }
 
 impl SimStats {
@@ -76,6 +98,8 @@ impl SimStats {
         self.pattern_rebuilds += other.pattern_rebuilds;
         self.accepted_steps += other.accepted_steps;
         self.rejected_steps += other.rejected_steps;
+        self.bypass_hits += other.bypass_hits;
+        self.bypass_misses += other.bypass_misses;
     }
 }
 
@@ -91,25 +115,78 @@ pub(crate) struct NewtonWorkspace {
     pub tri: Triplets,
     pub rhs: Vec<f64>,
     pub solver: CachedSolver,
+    /// Per-device stamp buffers. Doubles as the bypass cache: a device
+    /// whose `cache_valid` flag is set still holds the stamps from its
+    /// last evaluation (at the voltages in `vt_cache`).
     pub stamps: Vec<DeviceStamps>,
     /// Newton iterations run through this workspace.
     pub newton_iters: u64,
+    /// Flat terminal-voltage scratch, one slot per device terminal
+    /// (hoists the former per-iteration `Vec` allocation in assembly).
+    vt: Vec<f64>,
+    /// Terminal voltages each device's `stamps` were last evaluated at —
+    /// the linearisation point bypass restamps against.
+    vt_cache: Vec<f64>,
+    /// Start of each device's slice in `vt`/`vt_cache` (len = ndev + 1).
+    vt_offsets: Vec<usize>,
+    /// Whether `stamps[di]`/`vt_cache` hold a valid evaluation.
+    cache_valid: Vec<bool>,
+    /// Triplet entry range holding each device's matrix stamps; valid
+    /// for in-place restamping only while `ranges_valid` (one Newton
+    /// solve — the static prefix may change between solves).
+    dev_ranges: Vec<(usize, usize)>,
+    ranges_valid: bool,
+    /// `(gmin, source_scale)` the aggressive-mode cache was built under.
+    bypass_key: Option<(f64, f64)>,
+    /// Device evaluations skipped thanks to the bypass cache.
+    pub bypass_hits: u64,
+    /// Device evaluations performed.
+    pub bypass_misses: u64,
 }
 
 impl NewtonWorkspace {
+    /// Workspace with the default pre-ordering. Engines pass their
+    /// resolved options through [`Self::with_ordering`] instead.
+    #[cfg(test)]
     pub fn new(sys: &System<'_>) -> Self {
+        Self::with_ordering(sys, Ordering::default())
+    }
+
+    pub fn with_ordering(sys: &System<'_>, ordering: Ordering) -> Self {
+        let devices = sys.ckt.devices();
+        let mut vt_offsets = Vec::with_capacity(devices.len() + 1);
+        let mut total = 0usize;
+        for d in devices {
+            vt_offsets.push(total);
+            total += d.terminals().len();
+        }
+        vt_offsets.push(total);
         Self {
             tri: Triplets::new(sys.nvars),
             rhs: vec![0.0; sys.nvars],
-            solver: CachedSolver::new(),
-            stamps: sys
-                .ckt
-                .devices()
+            solver: CachedSolver::with_ordering(ordering),
+            stamps: devices
                 .iter()
                 .map(|d| DeviceStamps::new(d.terminals().len()))
                 .collect(),
             newton_iters: 0,
+            vt: vec![0.0; total],
+            vt_cache: vec![0.0; total],
+            vt_offsets,
+            cache_valid: vec![false; devices.len()],
+            dev_ranges: vec![(0, 0); devices.len()],
+            ranges_valid: false,
+            bypass_key: None,
+            bypass_hits: 0,
+            bypass_misses: 0,
         }
+    }
+
+    /// Drop every cached device operating point (and the aggressive-mode
+    /// validity key), forcing full evaluations on the next assembly.
+    pub fn invalidate_bypass(&mut self) {
+        self.cache_valid.fill(false);
+        self.bypass_key = None;
     }
 
     /// Snapshot of the counters (step counts are the caller's concern).
@@ -122,8 +199,19 @@ impl NewtonWorkspace {
             pattern_rebuilds: s.pattern_rebuilds,
             accepted_steps: 0,
             rejected_steps: 0,
+            bypass_hits: self.bypass_hits,
+            bypass_misses: self.bypass_misses,
         }
     }
+}
+
+/// Discards matrix stamps; used to replay a bypassed device's RHS
+/// contributions without rewriting its (already correct) matrix range.
+struct NullStamper;
+
+impl Stamper for NullStamper {
+    #[inline]
+    fn add(&mut self, _row: usize, _col: usize, _v: f64) {}
 }
 
 /// Companion-model state for charge storage during transient analysis.
@@ -217,11 +305,14 @@ impl<'a> System<'a> {
         }
     }
 
-    /// Assemble the linearised MNA system around operating point `x`.
+    /// Assemble the linearised MNA system around operating point `x`,
+    /// evaluating every device (no bypass, no incremental reuse).
     ///
     /// `source_scale` scales all independent sources (source stepping);
     /// `companion` enables charge storage (transient); `stamps` is a
-    /// per-device scratch buffer owned by the caller.
+    /// per-device scratch buffer owned by the caller. The Newton loop
+    /// goes through [`System::assemble_newton`] instead; this entry is
+    /// for one-shot assemblies (AC linearisation, reference paths).
     #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         &self,
@@ -236,17 +327,42 @@ impl<'a> System<'a> {
     ) {
         tri.clear();
         rhs.fill(0.0);
-
         // Shunt gmin keeps floating nodes solvable and aids convergence.
         for v in 0..self.num_nodes - 1 {
             tri.add(v, v, ctx.gmin);
         }
+        self.stamp_elements(x, time, source_scale, companion, Some(tri), rhs);
+        for (di, dev) in self.ckt.devices().iter().enumerate() {
+            let terms = dev.terminals();
+            let st = &mut stamps[di];
+            st.clear();
+            let vt: Vec<f64> = terms.iter().map(|&nd| self.voltage(x, nd)).collect();
+            dev.eval(&vt, st, ctx);
+            self.stamp_device(terms, st, &vt, companion.map(|c| (c, di)), tri, rhs);
+        }
+    }
 
+    /// Stamp every linear element. Matrix entries go to `tri` when
+    /// present; RHS contributions always go to `rhs`. The incremental
+    /// path passes `None`: within one Newton solve the linear matrix
+    /// entries (gmin, conductances, companion `geq`, source incidence)
+    /// are constant, only the RHS needs recomputing at the new `x`.
+    fn stamp_elements(
+        &self,
+        x: &[f64],
+        time: f64,
+        source_scale: f64,
+        companion: Option<&Companion>,
+        mut tri: Option<&mut Triplets>,
+        rhs: &mut [f64],
+    ) {
         let mut cap_pos = 0usize;
         for elem in self.ckt.elements() {
             match elem {
                 Element::Resistor { p, n, ohms, .. } => {
-                    self.stamp_conductance(tri, *p, *n, 1.0 / ohms);
+                    if let Some(t) = tri.as_deref_mut() {
+                        self.stamp_conductance(t, *p, *n, 1.0 / ohms);
+                    }
                 }
                 Element::Capacitor { p, n, farads, .. } => {
                     if let Some(comp) = companion {
@@ -254,7 +370,9 @@ impl<'a> System<'a> {
                         let vn = self.voltage(x, *n);
                         let q0 = farads * (vp - vn);
                         let geq = comp.coeff * farads;
-                        self.stamp_conductance(tri, *p, *n, geq);
+                        if let Some(t) = tri.as_deref_mut() {
+                            self.stamp_conductance(t, *p, *n, geq);
+                        }
                         // i ≈ coeff·(q0 + C·Δv − q_prev) [− i_prev if trap]
                         // constants → RHS with opposite sign.
                         let mut i_const =
@@ -270,18 +388,20 @@ impl<'a> System<'a> {
                     p, n, wave, branch, ..
                 } => {
                     let bv = self.branch_var(*branch);
-                    if let Some(vp) = self.var_of(*p) {
-                        tri.add(vp, bv, 1.0);
-                        tri.add(bv, vp, 1.0);
-                    }
-                    if let Some(vn) = self.var_of(*n) {
-                        tri.add(vn, bv, -1.0);
-                        tri.add(bv, vn, -1.0);
-                    }
-                    // Keep the branch row well-scaled even if both ends
-                    // are ground (degenerate but legal).
-                    if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
-                        tri.add(bv, bv, 1.0);
+                    if let Some(t) = tri.as_deref_mut() {
+                        if let Some(vp) = self.var_of(*p) {
+                            t.add(vp, bv, 1.0);
+                            t.add(bv, vp, 1.0);
+                        }
+                        if let Some(vn) = self.var_of(*n) {
+                            t.add(vn, bv, -1.0);
+                            t.add(bv, vn, -1.0);
+                        }
+                        // Keep the branch row well-scaled even if both
+                        // ends are ground (degenerate but legal).
+                        if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
+                            t.add(bv, bv, 1.0);
+                        }
                     }
                     rhs[bv] += wave.value(time) * source_scale;
                 }
@@ -298,84 +418,258 @@ impl<'a> System<'a> {
                     branch,
                     ..
                 } => {
-                    let bv = self.branch_var(*branch);
-                    if let Some(vp) = self.var_of(*p) {
-                        tri.add(vp, bv, 1.0);
-                        tri.add(bv, vp, 1.0);
-                    }
-                    if let Some(vn) = self.var_of(*n) {
-                        tri.add(vn, bv, -1.0);
-                        tri.add(bv, vn, -1.0);
-                    }
-                    // Branch row: v_p − v_n − gain·(v_cp − v_cn) = 0.
-                    if let Some(vc) = self.var_of(*cp) {
-                        tri.add(bv, vc, -gain);
-                    }
-                    if let Some(vc) = self.var_of(*cn) {
-                        tri.add(bv, vc, *gain);
-                    }
-                    if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
-                        tri.add(bv, bv, 1.0);
+                    if let Some(t) = tri.as_deref_mut() {
+                        let bv = self.branch_var(*branch);
+                        if let Some(vp) = self.var_of(*p) {
+                            t.add(vp, bv, 1.0);
+                            t.add(bv, vp, 1.0);
+                        }
+                        if let Some(vn) = self.var_of(*n) {
+                            t.add(vn, bv, -1.0);
+                            t.add(bv, vn, -1.0);
+                        }
+                        // Branch row: v_p − v_n − gain·(v_cp − v_cn) = 0.
+                        if let Some(vc) = self.var_of(*cp) {
+                            t.add(bv, vc, -gain);
+                        }
+                        if let Some(vc) = self.var_of(*cn) {
+                            t.add(bv, vc, *gain);
+                        }
+                        if self.var_of(*p).is_none() && self.var_of(*n).is_none() {
+                            t.add(bv, bv, 1.0);
+                        }
                     }
                 }
                 Element::Vccs {
                     p, n, cp, cn, gm, ..
                 } => {
-                    self.stamp_transconductance(tri, *p, *n, *cp, *cn, *gm);
+                    if let Some(t) = tri.as_deref_mut() {
+                        self.stamp_transconductance(t, *p, *n, *cp, *cn, *gm);
+                    }
                 }
             }
         }
+    }
 
-        // Nonlinear devices.
-        for (di, dev) in self.ckt.devices().iter().enumerate() {
-            let terms = dev.terminals();
-            let t = terms.len();
-            let st = &mut stamps[di];
-            st.clear();
-            let vt: Vec<f64> = terms.iter().map(|&nd| self.voltage(x, nd)).collect();
-            dev.eval(&vt, st, ctx);
-            // Static currents: stamp G and move the Taylor constant to RHS.
+    /// Stamp one evaluated device: Jacobians into `out`, Taylor-constant
+    /// currents into `rhs`. `vt` must be the linearisation point the
+    /// stamps in `st` were evaluated at (for a bypassed device, the
+    /// *cached* voltages — not the current iterate).
+    fn stamp_device<S: Stamper>(
+        &self,
+        terms: &[NodeId],
+        st: &DeviceStamps,
+        vt: &[f64],
+        companion: Option<(&Companion, usize)>,
+        out: &mut S,
+        rhs: &mut [f64],
+    ) {
+        let t = terms.len();
+        // Static currents: stamp G and move the Taylor constant to RHS.
+        for a in 0..t {
+            let Some(ra) = self.var_of(terms[a]) else {
+                continue;
+            };
+            let mut i_const = st.i[a];
+            for b in 0..t {
+                let g = st.gi[a * t + b];
+                if g != 0.0 {
+                    if let Some(cb) = self.var_of(terms[b]) {
+                        out.add(ra, cb, g);
+                    }
+                    i_const -= g * vt[b];
+                }
+            }
+            rhs[ra] -= i_const;
+        }
+        // Charge storage via companion model.
+        if let Some((comp, di)) = companion {
+            let off = comp.dev_offsets[di];
             for a in 0..t {
                 let Some(ra) = self.var_of(terms[a]) else {
                     continue;
                 };
-                let mut i_const = st.i[a];
+                let mut i_const = comp.coeff * (st.q[a] - comp.dev_q_prev[off + a]);
+                if comp.trapezoidal {
+                    i_const -= comp.dev_i_prev[off + a];
+                }
                 for b in 0..t {
-                    let g = st.gi[a * t + b];
-                    if g != 0.0 {
+                    let c = st.cq[a * t + b];
+                    if c != 0.0 {
+                        let geq = comp.coeff * c;
                         if let Some(cb) = self.var_of(terms[b]) {
-                            tri.add(ra, cb, g);
+                            out.add(ra, cb, geq);
                         }
-                        i_const -= g * vt[b];
+                        i_const -= geq * vt[b];
                     }
                 }
                 rhs[ra] -= i_const;
             }
-            // Charge storage via companion model.
-            if let Some(comp) = companion {
-                let off = comp.dev_offsets[di];
-                for a in 0..t {
-                    let Some(ra) = self.var_of(terms[a]) else {
-                        continue;
-                    };
-                    let mut i_const = comp.coeff * (st.q[a] - comp.dev_q_prev[off + a]);
-                    if comp.trapezoidal {
-                        i_const -= comp.dev_i_prev[off + a];
-                    }
-                    for b in 0..t {
-                        let c = st.cq[a * t + b];
-                        if c != 0.0 {
-                            let geq = comp.coeff * c;
-                            if let Some(cb) = self.var_of(terms[b]) {
-                                tri.add(ra, cb, geq);
-                            }
-                            i_const -= geq * vt[b];
-                        }
-                    }
-                    rhs[ra] -= i_const;
+        }
+    }
+
+    /// Load device `di`'s terminal voltages from `x` into `ws.vt` and
+    /// decide whether its cached evaluation can be reused. On a miss the
+    /// device is evaluated and its cache refreshed, so after this call
+    /// `ws.stamps[di]` and `ws.vt_cache` always hold a consistent
+    /// linearisation. Returns `true` when the evaluation was bypassed.
+    fn bypass_or_eval(
+        &self,
+        di: usize,
+        dev: &dyn crate::nonlinear::NonlinearDevice,
+        x: &[f64],
+        ctx: &EvalCtx,
+        opts: &NewtonOpts,
+        ws: &mut NewtonWorkspace,
+    ) -> bool {
+        let terms = dev.terminals();
+        let off = ws.vt_offsets[di];
+        let t = terms.len();
+        for (k, &nd) in terms.iter().enumerate() {
+            ws.vt[off + k] = self.voltage(x, nd);
+        }
+        let hit = opts.bypass.enabled()
+            && ws.cache_valid[di]
+            && (0..t).all(|k| {
+                let a = ws.vt[off + k];
+                let b = ws.vt_cache[off + k];
+                (a - b).abs() <= opts.bypass_vntol + opts.bypass_reltol * a.abs().max(b.abs())
+            });
+        if hit {
+            ws.bypass_hits += 1;
+        } else {
+            ws.bypass_misses += 1;
+            let st = &mut ws.stamps[di];
+            st.clear();
+            dev.eval(&ws.vt[off..off + t], st, ctx);
+            ws.vt_cache[off..off + t].copy_from_slice(&ws.vt[off..off + t]);
+            ws.cache_valid[di] = true;
+        }
+        hit
+    }
+
+    /// Newton-loop assembly: full rebuild on the first iteration of a
+    /// solve (the static matrix prefix may have changed — new gmin rung,
+    /// new companion coefficient), incremental restamping afterwards.
+    /// Produces a `(ws.tri, ws.rhs)` pair bit-identical to
+    /// [`System::assemble`] modulo bypassed evaluations.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_newton(
+        &self,
+        x: &[f64],
+        time: f64,
+        source_scale: f64,
+        ctx: &EvalCtx,
+        companion: Option<&Companion>,
+        opts: &NewtonOpts,
+        ws: &mut NewtonWorkspace,
+        incremental: bool,
+    ) {
+        if incremental
+            && ws.ranges_valid
+            && self.assemble_incremental(x, time, source_scale, ctx, companion, opts, ws)
+        {
+            return;
+        }
+        self.assemble_full(x, time, source_scale, ctx, companion, opts, ws);
+    }
+
+    /// Full Newton assembly with bypass: rebuilds the triplet list and
+    /// records each device's entry range for later in-place restamping.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_full(
+        &self,
+        x: &[f64],
+        time: f64,
+        source_scale: f64,
+        ctx: &EvalCtx,
+        companion: Option<&Companion>,
+        opts: &NewtonOpts,
+        ws: &mut NewtonWorkspace,
+    ) {
+        ws.tri.clear();
+        ws.rhs.fill(0.0);
+        for v in 0..self.num_nodes - 1 {
+            ws.tri.add(v, v, ctx.gmin);
+        }
+        self.stamp_elements(
+            x,
+            time,
+            source_scale,
+            companion,
+            Some(&mut ws.tri),
+            &mut ws.rhs,
+        );
+        for (di, dev) in self.ckt.devices().iter().enumerate() {
+            self.bypass_or_eval(di, dev.as_ref(), x, ctx, opts, ws);
+            let off = ws.vt_offsets[di];
+            let end = ws.vt_offsets[di + 1];
+            let start = ws.tri.len();
+            self.stamp_device(
+                dev.terminals(),
+                &ws.stamps[di],
+                &ws.vt_cache[off..end],
+                companion.map(|c| (c, di)),
+                &mut ws.tri,
+                &mut ws.rhs,
+            );
+            ws.dev_ranges[di] = (start, ws.tri.len());
+        }
+        ws.ranges_valid = true;
+    }
+
+    /// Incremental Newton assembly: the linear matrix prefix is left
+    /// untouched, element RHS contributions are recomputed at `x`, and
+    /// only re-evaluated devices rewrite their matrix ranges (a bypassed
+    /// device costs just its RHS replay). Returns `false` — leaving the
+    /// workspace for [`System::assemble_full`] to rebuild — when a
+    /// device's stamp stream changed shape (a Jacobian entry crossed
+    /// exactly zero, altering the recorded coordinate pattern).
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_incremental(
+        &self,
+        x: &[f64],
+        time: f64,
+        source_scale: f64,
+        ctx: &EvalCtx,
+        companion: Option<&Companion>,
+        opts: &NewtonOpts,
+        ws: &mut NewtonWorkspace,
+    ) -> bool {
+        ws.rhs.fill(0.0);
+        self.stamp_elements(x, time, source_scale, companion, None, &mut ws.rhs);
+        for (di, dev) in self.ckt.devices().iter().enumerate() {
+            let hit = self.bypass_or_eval(di, dev.as_ref(), x, ctx, opts, ws);
+            let off = ws.vt_offsets[di];
+            let end = ws.vt_offsets[di + 1];
+            if hit {
+                // The matrix range still holds this exact linearisation
+                // (every miss restamps it); only the RHS needs replaying.
+                self.stamp_device(
+                    dev.terminals(),
+                    &ws.stamps[di],
+                    &ws.vt_cache[off..end],
+                    companion.map(|c| (c, di)),
+                    &mut NullStamper,
+                    &mut ws.rhs,
+                );
+            } else {
+                let (start, stop) = ws.dev_ranges[di];
+                let mut w = ws.tri.range_writer(start, stop);
+                self.stamp_device(
+                    dev.terminals(),
+                    &ws.stamps[di],
+                    &ws.vt_cache[off..end],
+                    companion.map(|c| (c, di)),
+                    &mut w,
+                    &mut ws.rhs,
+                );
+                if !w.complete() {
+                    return false;
                 }
             }
         }
+        true
     }
 
     #[inline]
@@ -521,7 +815,12 @@ impl<'a> System<'a> {
     ///
     /// The workspace carries the assembly buffers and the pattern-cached
     /// solver across calls: iteration 2..N (and every later solve on the
-    /// same topology) skips symbolic analysis entirely.
+    /// same topology) skips symbolic analysis entirely, restamps only
+    /// re-evaluated devices in place, and — policy permitting — bypasses
+    /// evaluation of devices whose terminal voltages haven't moved.
+    ///
+    /// `rhs_patch` adds `dv` to RHS row `var` after every assembly
+    /// (sweep drivers override one source value without re-stamping).
     #[allow(clippy::too_many_arguments)]
     pub fn newton(
         &self,
@@ -532,6 +831,7 @@ impl<'a> System<'a> {
         gmin: f64,
         companion: Option<&Companion>,
         ws: &mut NewtonWorkspace,
+        rhs_patch: Option<(usize, f64)>,
         analysis: &'static str,
     ) -> Result<(Vec<f64>, usize)> {
         let mut x = x0.to_vec();
@@ -540,18 +840,29 @@ impl<'a> System<'a> {
             gmin,
             time,
         };
+        // Bypass-cache lifetime at solve entry: `Safe` (and `Off`) drop
+        // every cached operating point so iteration 1 fully evaluates;
+        // `Aggressive` keeps caches across solves but must drop them
+        // when the continuation regime (gmin rung, source scale) moved.
+        match opts.bypass {
+            BypassPolicy::Aggressive => {
+                let key = (gmin, source_scale);
+                if ws.bypass_key != Some(key) {
+                    ws.invalidate_bypass();
+                    ws.bypass_key = Some(key);
+                }
+            }
+            BypassPolicy::Off | BypassPolicy::Safe => ws.invalidate_bypass(),
+        }
+        // The static matrix prefix (gmin shunts, companion geq) may have
+        // changed since the last solve: always rebuild on iteration 1.
+        ws.ranges_valid = false;
         let mut last_dx = f64::INFINITY;
         for iter in 1..=opts.max_iters {
-            self.assemble(
-                &x,
-                time,
-                source_scale,
-                &ctx,
-                companion,
-                &mut ws.tri,
-                &mut ws.rhs,
-                &mut ws.stamps,
-            );
+            self.assemble_newton(&x, time, source_scale, &ctx, companion, opts, ws, iter > 1);
+            if let Some((var, dv)) = rhs_patch {
+                ws.rhs[var] += dv;
+            }
             ws.newton_iters += 1;
             let x_new = ws.solver.solve(&ws.tri, &ws.rhs)?;
 
@@ -604,17 +915,15 @@ impl<'a> System<'a> {
         }
         // Re-assemble around the final iterate so the residual matches
         // the point Newton was left at (the loop body updated `x` after
-        // the last assembly).
-        self.assemble(
-            &x,
-            time,
-            source_scale,
-            &ctx,
-            companion,
-            &mut ws.tri,
-            &mut ws.rhs,
-            &mut ws.stamps,
-        );
+        // the last assembly). Drop the bypass cache first: forensics
+        // must attribute blame from *fresh* device evaluations at `x`,
+        // not from cached linearisations.
+        ws.invalidate_bypass();
+        ws.ranges_valid = false;
+        self.assemble_newton(&x, time, source_scale, &ctx, companion, opts, ws, false);
+        if let Some((var, dv)) = rhs_patch {
+            ws.rhs[var] += dv;
+        }
         let fo = self.forensics(ws, &x, last_dx);
         crate::trace::newton_failure(analysis, time, opts.max_iters, &fo);
         Err(Error::NonConvergence {
@@ -651,6 +960,7 @@ mod tests {
                 1e-12,
                 None,
                 &mut ws,
+                None,
                 "dc",
             )
             .unwrap();
@@ -681,6 +991,7 @@ mod tests {
                 1e-12,
                 None,
                 &mut ws,
+                None,
                 "dc",
             )
             .unwrap();
@@ -707,6 +1018,7 @@ mod tests {
                 1e-12,
                 None,
                 &mut ws,
+                None,
                 "dc",
             )
             .unwrap();

@@ -103,7 +103,7 @@ pub fn dc_sweep(
     let sys = System::new(ckt);
     // One workspace for the whole sweep: every point shares the matrix
     // pattern, so points 2..N only refactor numerically.
-    let mut ws = NewtonWorkspace::new(&sys);
+    let mut ws = NewtonWorkspace::with_ordering(&sys, opts.ordering);
 
     let mut solutions = Vec::with_capacity(values.len());
     let mut x = vec![0.0; sys.nvars];
@@ -178,8 +178,11 @@ struct SourceOverride {
     value: f64,
 }
 
-/// Newton iteration with one source value overridden; mirrors
-/// `System::newton` but patches the branch RHS after assembly.
+/// One Newton solve with the overridden source value: delegates to
+/// [`System::newton`] with an RHS patch on the source's branch row
+/// (`override − nominal`, replacing rather than adding to the stamped
+/// t = 0 value). The shared Newton loop brings the bypass cache and
+/// incremental-assembly fast paths to sweeps for free.
 fn solve_newton_override(
     sys: &System<'_>,
     ckt: &Circuit,
@@ -188,14 +191,6 @@ fn solve_newton_override(
     ov: &SourceOverride,
     ws: &mut NewtonWorkspace,
 ) -> Result<Vec<f64>> {
-    use crate::nonlinear::EvalCtx;
-
-    let mut x = x0.to_vec();
-    let ctx = EvalCtx {
-        temp: opts.temp,
-        gmin: opts.gmin,
-        time: 0.0,
-    };
     let bv = sys.branch_var(ov.branch);
     // Find the nominal (t = 0) value of the overridden source so we can
     // replace it rather than add to it.
@@ -207,80 +202,9 @@ fn solve_newton_override(
             _ => None,
         })
         .unwrap_or(0.0);
-
-    let mut last_dx = f64::INFINITY;
-    for iter in 1..=opts.max_iters {
-        sys.assemble(
-            &x,
-            0.0,
-            1.0,
-            &ctx,
-            None,
-            &mut ws.tri,
-            &mut ws.rhs,
-            &mut ws.stamps,
-        );
-        ws.rhs[bv] += ov.value - nominal;
-        ws.newton_iters += 1;
-        let x_new = ws.solver.solve(&ws.tri, &ws.rhs)?;
-        let mut converged = true;
-        let mut max_dv = 0.0f64;
-        let mut max_dx = 0.0f64;
-        for v in 0..sys.nvars {
-            let d = (x_new[v] - x[v]).abs();
-            if !x_new[v].is_finite() {
-                // `ws` still holds the system assembled around `x`.
-                let fo = sys.forensics(ws, &x, f64::INFINITY);
-                crate::trace::newton_failure("dc-sweep", 0.0, iter, &fo);
-                return Err(Error::NonConvergence {
-                    analysis: "dc-sweep",
-                    time: 0.0,
-                    iterations: iter,
-                    forensics: Some(Box::new(fo)),
-                });
-            }
-            if d > 1e-6 + 1e-4 * x_new[v].abs().max(x[v].abs()) {
-                converged = false;
-            }
-            if v < sys.num_nodes - 1 {
-                max_dv = max_dv.max(d);
-            }
-            max_dx = max_dx.max(d);
-        }
-        last_dx = max_dx;
-        if converged && iter > 1 {
-            return Ok(x_new);
-        }
-        if max_dv > opts.vlimit {
-            let scale = opts.vlimit / max_dv;
-            for v in 0..sys.nvars {
-                x[v] += (x_new[v] - x[v]) * scale;
-            }
-        } else {
-            x = x_new;
-        }
-    }
-    // Re-assemble (with the source override re-applied) around the final
-    // iterate so the forensic residual matches where Newton stopped.
-    sys.assemble(
-        &x,
-        0.0,
-        1.0,
-        &ctx,
-        None,
-        &mut ws.tri,
-        &mut ws.rhs,
-        &mut ws.stamps,
-    );
-    ws.rhs[bv] += ov.value - nominal;
-    let fo = sys.forensics(ws, &x, last_dx);
-    crate::trace::newton_failure("dc-sweep", 0.0, opts.max_iters, &fo);
-    Err(Error::NonConvergence {
-        analysis: "dc-sweep",
-        time: 0.0,
-        iterations: opts.max_iters,
-        forensics: Some(Box::new(fo)),
-    })
+    let patch = Some((bv, ov.value - nominal));
+    sys.newton(x0, 0.0, 1.0, opts, opts.gmin, None, ws, patch, "dc-sweep")
+        .map(|(x, _iters)| x)
 }
 
 /// Linearly spaced sweep values, inclusive of both ends.

@@ -5,7 +5,7 @@ use super::{NewtonOpts, NewtonWorkspace, SimStats, System};
 use crate::erc::{self, ErcMode};
 use crate::error::{Error, Result};
 use crate::netlist::{Circuit, Element};
-use crate::nonlinear::{DeviceStamps, EvalCtx};
+use crate::nonlinear::EvalCtx;
 use crate::probe::Trace;
 
 /// Time-integration method for charge storage.
@@ -193,7 +193,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
     let (mut comp, mut ws) = {
         let sys = System::new(ckt);
         let comp = sys.new_companion(0.0, trapezoidal);
-        let ws = NewtonWorkspace::new(&sys);
+        let ws = NewtonWorkspace::with_ordering(&sys, opts.newton.ordering);
         (comp, ws)
     };
     let ctx0 = EvalCtx {
@@ -201,7 +201,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
         gmin: opts.newton.gmin,
         time: 0.0,
     };
-    seed_charges(ckt, &x, &ctx0, &mut comp, &mut ws.stamps);
+    seed_charges(ckt, &x, &ctx0, &mut comp, &mut ws);
 
     // Per-source cumulative delivered energy and last power sample.
     let mut energy = vec![0.0f64; vsrc.len()];
@@ -246,6 +246,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
             1.0 / dt_eff
         };
 
+        let (hits0, misses0) = (ws.bypass_hits, ws.bypass_misses);
         let attempt = {
             let sys = System::new(ckt);
             sys.newton(
@@ -256,6 +257,7 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                 opts.newton.gmin,
                 Some(&comp),
                 &mut ws,
+                None,
                 "transient",
             )
         };
@@ -267,11 +269,18 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
                     gmin: opts.newton.gmin,
                     time: t_new,
                 };
-                advance_state(ckt, &x_new, &ctx, &mut comp, &mut ws.stamps);
+                advance_state(ckt, &x_new, &ctx, &mut comp, &mut ws);
                 x = x_new;
                 t = t_new;
                 stats.accepted_steps += 1;
-                crate::trace::step_accepted("transient", t, dt_eff, iters);
+                crate::trace::step_accepted(
+                    "transient",
+                    t,
+                    dt_eff,
+                    iters,
+                    ws.bypass_hits - hits0,
+                    ws.bypass_misses - misses0,
+                );
                 record_point(
                     ckt,
                     &x,
@@ -306,6 +315,9 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
             Err(e) => {
                 stats.rejected_steps += 1;
                 crate::trace::step_rejected("transient", t, dt_eff, &e);
+                // A rejected step leaves device caches pointing at the
+                // abandoned trajectory; the retry must re-evaluate.
+                ws.invalidate_bypass();
                 // Cut the *pre-clamp* dt, not dt_eff: dt_eff may already
                 // be clamped to a tiny breakpoint gap, and quartering
                 // that would collapse the step size for the rest of the
@@ -324,12 +336,16 @@ pub fn transient(ckt: &mut Circuit, opts: &TranOpts) -> Result<Trace> {
 
 /// Evaluate charge state at `x` and store it as the companion history
 /// (used once at t = 0; charge currents start at zero).
+///
+/// Uses the workspace voltage scratch instead of per-device allocations
+/// and leaves `ws.stamps`/`ws.vt_cache` holding a fresh evaluation at
+/// `x`, so an aggressive bypass policy may reuse it on the next step.
 fn seed_charges(
     ckt: &Circuit,
     x: &[f64],
     ctx: &EvalCtx,
     comp: &mut super::Companion,
-    stamps: &mut [DeviceStamps],
+    ws: &mut NewtonWorkspace,
 ) {
     let sys = System::new(ckt);
     let mut cap_pos = 0usize;
@@ -342,10 +358,16 @@ fn seed_charges(
     }
     for (di, dev) in ckt.devices().iter().enumerate() {
         let terms = dev.terminals();
-        let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
-        let st = &mut stamps[di];
+        let voff = ws.vt_offsets[di];
+        for (k, &nd) in terms.iter().enumerate() {
+            ws.vt[voff + k] = sys.voltage(x, nd);
+        }
+        let vt = &ws.vt[voff..voff + terms.len()];
+        let st = &mut ws.stamps[di];
         st.clear();
-        dev.eval(&vt, st, ctx);
+        dev.eval(vt, st, ctx);
+        ws.vt_cache[voff..voff + terms.len()].copy_from_slice(vt);
+        ws.cache_valid[di] = true;
         let off = comp.dev_offsets[di];
         for a in 0..terms.len() {
             comp.dev_q_prev[off + a] = st.q[a];
@@ -361,7 +383,7 @@ fn advance_state(
     x: &[f64],
     ctx: &EvalCtx,
     comp: &mut super::Companion,
-    stamps: &mut [DeviceStamps],
+    ws: &mut NewtonWorkspace,
 ) {
     let coeff = comp.coeff;
     let trap = comp.trapezoidal;
@@ -382,10 +404,16 @@ fn advance_state(
         }
         for (di, dev) in ckt.devices().iter().enumerate() {
             let terms = dev.terminals();
-            let vt: Vec<f64> = terms.iter().map(|&nd| sys.voltage(x, nd)).collect();
-            let st = &mut stamps[di];
+            let voff = ws.vt_offsets[di];
+            for (k, &nd) in terms.iter().enumerate() {
+                ws.vt[voff + k] = sys.voltage(x, nd);
+            }
+            let vt = &ws.vt[voff..voff + terms.len()];
+            let st = &mut ws.stamps[di];
             st.clear();
-            dev.eval(&vt, st, ctx);
+            dev.eval(vt, st, ctx);
+            ws.vt_cache[voff..voff + terms.len()].copy_from_slice(vt);
+            ws.cache_valid[di] = true;
             let off = comp.dev_offsets[di];
             for a in 0..terms.len() {
                 let q_new = st.q[a];
@@ -398,16 +426,19 @@ fn advance_state(
             }
         }
     }
-    // Device state commit needs &mut: gather terminal voltages first.
-    let volt_sets: Vec<Vec<f64>> = {
-        let sys = System::new(ckt);
-        ckt.devices()
-            .iter()
-            .map(|d| d.terminals().iter().map(|&nd| sys.voltage(x, nd)).collect())
-            .collect()
-    };
-    for (dev, vt) in ckt.devices_mut().iter_mut().zip(&volt_sets) {
-        dev.commit(vt, ctx);
+    // Device state commit needs &mut on the circuit; the terminal
+    // voltages were already gathered into the workspace scratch above.
+    for (di, dev) in ckt.devices_mut().iter_mut().enumerate() {
+        let voff = ws.vt_offsets[di];
+        let end = ws.vt_offsets[di + 1];
+        dev.commit(&ws.vt[voff..end], ctx);
+        // Committing can advance hysteretic state, which changes what a
+        // fresh eval would return at the *same* voltages — drop the
+        // cache for such devices so aggressive bypass never stamps a
+        // stale pre-commit linearisation.
+        if dev.has_history() {
+            ws.cache_valid[di] = false;
+        }
     }
 }
 

@@ -2,14 +2,54 @@
 //!
 //! Newton iterations and consecutive transient timesteps assemble the
 //! same matrix *pattern* over and over with different values. This module
-//! ties [`ScatterMap`] (triplets → CSC without sorting) and
+//! ties [`ScatterMap`] (triplets → CSC without sorting), an optional
+//! fill-reducing pre-ordering ([`amd_order`] + [`PermutePlan`]) and
 //! [`SparseLu::refactor`] (numeric-only LU) into one reusable solver that
 //! engines call per iteration: the first solve pays for symbolic
-//! analysis, every following solve on the same topology is a linear-time
-//! scatter plus a numeric refactorisation.
+//! analysis and ordering, every following solve on the same topology is
+//! a linear-time scatter, a linear-time value permutation and a numeric
+//! refactorisation.
 
-use super::sparse::{CscMatrix, Refactorization, ScatterMap, SparseLu, Triplets};
+use super::sparse::{
+    amd_order, CscMatrix, PermutePlan, Refactorization, ScatterMap, SparseLu, Triplets,
+};
 use crate::error::Result;
+
+/// Which symmetric pre-ordering the solver applies before factoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Ordering {
+    /// Factor in assembly order (no permutation). Bit-identical to the
+    /// plain `SparseLu::factor(&tri.to_csc())` path.
+    Natural,
+    /// Minimum-degree fill-reducing permutation, computed once per
+    /// sparsity pattern. Default: MNA matrices from TCAM arrays have
+    /// hub nodes (matchlines, supply rails) that fill catastrophically
+    /// in natural order.
+    #[default]
+    Amd,
+}
+
+impl Ordering {
+    /// Parse a `natural|amd` option string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "natural" => Some(Self::Natural),
+            "amd" => Some(Self::Amd),
+            _ => None,
+        }
+    }
+
+    /// Resolve the ordering from `FERROTCAM_ORDERING`, defaulting to
+    /// [`Ordering::Amd`] when unset or unrecognised.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FERROTCAM_ORDERING") {
+            Ok(v) => Self::parse(&v).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+}
 
 /// Counters describing how much work the cached pipeline avoided.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,33 +61,80 @@ pub struct SolverStats {
     /// Times the scatter plan had to be rebuilt from a new coordinate
     /// stream.
     pub pattern_rebuilds: u64,
+    /// `nnz(L + U)` of the most recent factorisation (diagonal counted
+    /// once). Zero until a factorisation has run.
+    pub lu_nnz: u64,
+    /// `nnz(A)` of the most recent factorisation. Zero until a
+    /// factorisation has run. `lu_nnz / a_nnz` is the fill-in ratio —
+    /// see [`SolverStats::fill_ratio`].
+    pub a_nnz: u64,
 }
 
 impl SolverStats {
-    /// Accumulate another stats block into this one.
+    /// Accumulate another stats block into this one. Work counters sum;
+    /// the fill snapshot (`lu_nnz`/`a_nnz`) adopts `other`'s most recent
+    /// factorisation when it has one.
     pub fn merge(&mut self, other: SolverStats) {
         self.full_factors += other.full_factors;
         self.refactors += other.refactors;
         self.pattern_rebuilds += other.pattern_rebuilds;
+        if other.a_nnz != 0 {
+            self.lu_nnz = other.lu_nnz;
+            self.a_nnz = other.a_nnz;
+        }
+    }
+
+    /// Fill-in of the most recent factorisation, `nnz(L+U) / nnz(A)`,
+    /// or `None` before any factorisation.
+    #[must_use]
+    pub fn fill_ratio(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match self.a_nnz {
+            0 => None,
+            a => Some(self.lu_nnz as f64 / a as f64),
+        }
     }
 }
 
-/// A linear solver that caches the assembly plan and LU pattern across
-/// calls. Produces bit-identical results to the uncached
-/// `SparseLu::factor(&tri.to_csc())` path.
+/// A linear solver that caches the assembly plan, fill-reducing ordering
+/// and LU pattern across calls. With [`Ordering::Natural`] it produces
+/// bit-identical results to the uncached `SparseLu::factor(&tri.to_csc())`
+/// path; with [`Ordering::Amd`] results agree to solver precision
+/// (different elimination order → different rounding).
 #[derive(Debug, Default)]
 pub struct CachedSolver {
+    ordering: Ordering,
     map: Option<ScatterMap>,
     csc: CscMatrix,
+    /// Permutation plan + permuted matrix, populated for [`Ordering::Amd`].
+    plan: Option<PermutePlan>,
+    perm_csc: CscMatrix,
+    b_perm: Vec<f64>,
     lu: Option<SparseLu>,
     stats: SolverStats,
 }
 
 impl CachedSolver {
-    /// An empty solver; caches fill in on first use.
+    /// An empty solver with the default ([`Ordering::Amd`]) ordering;
+    /// caches fill in on first use.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty solver with an explicit pre-ordering.
+    #[must_use]
+    pub fn with_ordering(ordering: Ordering) -> Self {
+        Self {
+            ordering,
+            ..Self::default()
+        }
+    }
+
+    /// The pre-ordering this solver applies.
+    #[must_use]
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
     }
 
     /// Work counters accumulated so far.
@@ -72,23 +159,49 @@ impl CachedSolver {
                 map.scatter(tri, &mut self.csc);
                 self.map = Some(map);
                 self.stats.pattern_rebuilds += 1;
-                // Keep any existing factors: `refactor` detects pattern
-                // changes itself and may still hit the numeric path when
-                // only the coordinate *stream* changed, not the merged
-                // pattern.
+                // The merged pattern may have changed with the stream;
+                // recompute the ordering from it. Factors are kept:
+                // `refactor` detects pattern changes itself and may still
+                // hit the numeric path when only the coordinate *stream*
+                // changed, not the merged (permuted) pattern.
+                self.plan = None;
             }
         }
+        let a = match self.ordering {
+            Ordering::Natural => &self.csc,
+            Ordering::Amd => {
+                if self.plan.is_none() {
+                    let perm = amd_order(&self.csc);
+                    self.plan = Some(PermutePlan::build(&self.csc, perm));
+                }
+                let plan = self.plan.as_ref().expect("built above");
+                plan.apply(&self.csc, &mut self.perm_csc);
+                &self.perm_csc
+            }
+        };
         match &mut self.lu {
-            Some(lu) => match lu.refactor(&self.csc)? {
+            Some(lu) => match lu.refactor(a)? {
                 Refactorization::Numeric => self.stats.refactors += 1,
                 Refactorization::Full => self.stats.full_factors += 1,
             },
             None => {
-                self.lu = Some(SparseLu::factor(&self.csc)?);
+                self.lu = Some(SparseLu::factor(a)?);
                 self.stats.full_factors += 1;
             }
         }
-        Ok(self.lu.as_ref().expect("factored above").solve(b))
+        let lu = self.lu.as_ref().expect("factored above");
+        self.stats.lu_nnz = lu.lu_nnz() as u64;
+        self.stats.a_nnz = a.nnz() as u64;
+        match (&self.plan, self.ordering) {
+            (Some(plan), Ordering::Amd) => {
+                plan.permute_vec(b, &mut self.b_perm);
+                let xp = lu.solve(&self.b_perm);
+                let mut x = Vec::new();
+                plan.unpermute_vec(&xp, &mut x);
+                Ok(x)
+            }
+            _ => Ok(lu.solve(b)),
+        }
     }
 }
 
@@ -111,7 +224,9 @@ mod tests {
 
     #[test]
     fn cached_matches_uncached_bitwise() {
-        let mut solver = CachedSolver::new();
+        // Natural ordering pins the bit-identity contract with the plain
+        // factor path; AMD agreement (to tolerance) is tested separately.
+        let mut solver = CachedSolver::with_ordering(Ordering::Natural);
         let b = [1.0, 0.5, -0.25, 2.0, 0.0];
         for step in 1..6 {
             let t = stamp(5, f64::from(step));
@@ -126,6 +241,26 @@ mod tests {
     }
 
     #[test]
+    fn amd_matches_natural_to_tolerance() {
+        let mut amd = CachedSolver::new();
+        assert_eq!(amd.ordering(), Ordering::Amd);
+        let mut natural = CachedSolver::with_ordering(Ordering::Natural);
+        let b = [1.0, 0.5, -0.25, 2.0, 0.0];
+        for step in 1..6 {
+            let t = stamp(5, f64::from(step));
+            let xa = amd.solve(&t, &b).unwrap();
+            let xn = natural.solve(&t, &b).unwrap();
+            for (a, n) in xa.iter().zip(&xn) {
+                assert!((a - n).abs() < 1e-12, "step {step}: {a} vs {n}");
+            }
+        }
+        // AMD still rides the numeric-refactor fast path.
+        assert_eq!(amd.stats().full_factors, 1);
+        assert_eq!(amd.stats().refactors, 4);
+        assert!(amd.stats().fill_ratio().is_some());
+    }
+
+    #[test]
     fn pattern_change_rebuilds_then_recaches() {
         let mut solver = CachedSolver::new();
         let b = [1.0, 2.0, 3.0];
@@ -136,12 +271,28 @@ mod tests {
         t.add(0, 2, -0.5);
         t.add(2, 0, -0.5);
         let x = solver.solve(&t, &b).unwrap();
-        assert_eq!(x, solve_triplets(&t, &b).unwrap());
+        let xref = solve_triplets(&t, &b).unwrap();
+        for (a, r) in x.iter().zip(&xref) {
+            assert!((a - r).abs() < 1e-12, "{a} vs {r}");
+        }
         assert_eq!(solver.stats().pattern_rebuilds, 2);
         assert_eq!(solver.stats().full_factors, 2);
         // Same new structure again: back on the fast path.
         solver.solve(&t, &b).unwrap();
         assert_eq!(solver.stats().refactors, 1);
+    }
+
+    #[test]
+    fn fill_stats_reported() {
+        let mut solver = CachedSolver::new();
+        let t = stamp(6, 1.0);
+        let b = [1.0; 6];
+        solver.solve(&t, &b).unwrap();
+        let s = solver.stats();
+        assert_eq!(s.a_nnz, 16); // 6 diagonal + 2*5 off-diagonal
+        assert!(s.lu_nnz >= s.a_nnz.min(11)); // at least the tridiagonal band
+        let ratio = s.fill_ratio().unwrap();
+        assert!(ratio >= 1.0 - 1e-12, "fill ratio {ratio} below 1");
     }
 
     #[test]

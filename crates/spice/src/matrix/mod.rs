@@ -11,6 +11,9 @@ pub mod cached;
 pub mod dense;
 pub mod sparse;
 
-pub use cached::{CachedSolver, SolverStats};
+pub use cached::{CachedSolver, Ordering, SolverStats};
 pub use dense::{DenseLu, DenseMatrix};
-pub use sparse::{solve_triplets, CscMatrix, Refactorization, ScatterMap, SparseLu, Triplets};
+pub use sparse::{
+    amd_order, solve_triplets, CscMatrix, PermutePlan, Refactorization, ScatterMap, SparseLu,
+    Stamper, Triplets,
+};

@@ -93,6 +93,79 @@ impl Triplets {
         compress_ordered(self.n, &self.entries, &order, out);
         self.order = order;
     }
+
+    /// Borrow a [`RangeWriter`] over `entries[start..end]` for in-place
+    /// restamping of a previously recorded coordinate range.
+    ///
+    /// # Panics
+    /// Panics if `start..end` is not a valid entry range.
+    pub fn range_writer(&mut self, start: usize, end: usize) -> RangeWriter<'_> {
+        RangeWriter {
+            n: self.n,
+            entries: &mut self.entries[start..end],
+            pos: 0,
+            ok: true,
+        }
+    }
+}
+
+/// Sink for MNA stamps. Shared by [`Triplets`] (append) and
+/// [`RangeWriter`] (overwrite-in-place), so the engine's stamping code
+/// emits exactly the same value stream to either destination — which is
+/// what keeps the incremental-assembly fast path bit-identical to a full
+/// rebuild.
+pub trait Stamper {
+    /// Stamp `v` into `(row, col)`, accumulating with prior stamps.
+    fn add(&mut self, row: usize, col: usize, v: f64);
+}
+
+impl Stamper for Triplets {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        Triplets::add(self, row, col, v);
+    }
+}
+
+/// Overwrites the values of an existing [`Triplets`] entry range,
+/// verifying that the replayed coordinate stream is identical to the
+/// recorded one. Because [`Triplets::add`] drops exact zeros, a device
+/// whose Jacobian entries cross zero emits a *different* stream; the
+/// writer detects the mismatch (count or coordinates) and the caller
+/// must fall back to a full reassembly for that iteration.
+#[derive(Debug)]
+pub struct RangeWriter<'a> {
+    n: usize,
+    entries: &'a mut [(u32, u32, f64)],
+    pos: usize,
+    ok: bool,
+}
+
+impl RangeWriter<'_> {
+    /// Whether every stamp so far matched the recorded coordinates and
+    /// the range was filled exactly. Call after replaying the stream.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.ok && self.pos == self.entries.len()
+    }
+}
+
+impl Stamper for RangeWriter<'_> {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.n && col < self.n, "stamp out of range");
+        if v == 0.0 {
+            return; // mirror Triplets::add's zero-dropping
+        }
+        if self.pos < self.entries.len() {
+            let e = &mut self.entries[self.pos];
+            if e.0 == row as u32 && e.1 == col as u32 {
+                e.2 = v;
+                self.pos += 1;
+                return;
+            }
+        }
+        self.ok = false;
+    }
 }
 
 /// Column-major sort order of `entries` as an index array. Ties (duplicate
@@ -281,6 +354,172 @@ impl CscMatrix {
     }
 }
 
+/// Fill-reducing symmetric pre-ordering: minimum degree on the adjacency
+/// graph of `A + Aᵀ` (diagonal ignored), the AMD family of heuristics.
+/// Returns `perm` with `perm[new] = old` — eliminate `perm[0]` first.
+///
+/// Elimination merges each pivot's neighbourhood into a clique, exactly
+/// mirroring where LU fill would appear; picking the minimum-degree node
+/// (smallest index on ties, so the order is deterministic) keeps those
+/// cliques small. MNA matrices are small enough (thousands of variables)
+/// that the simple quadratic min-degree scan is irrelevant next to the
+/// factorisations the ordering speeds up.
+#[must_use]
+pub fn amd_order(a: &CscMatrix) -> Vec<usize> {
+    let n = a.n;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for p in a.col_ptr[c]..a.col_ptr[c + 1] {
+            let r = a.row_idx[p];
+            if r != c {
+                adj[r].push(c);
+                adj[c].push(r);
+            }
+        }
+    }
+    // Dedup the symmetrised adjacency with a mark array.
+    let mut mark = vec![usize::MAX; n];
+    for (i, list) in adj.iter_mut().enumerate() {
+        list.retain(|&j| {
+            if mark[j] == i {
+                false
+            } else {
+                mark[j] = i;
+                true
+            }
+        });
+    }
+    let mut eliminated = vec![false; n];
+    let mut perm = Vec::with_capacity(n);
+    let mut gen = n; // marker values 0..n were consumed by the dedup pass
+    for _ in 0..n {
+        let mut k = usize::MAX;
+        let mut deg = usize::MAX;
+        for (v, list) in adj.iter().enumerate() {
+            if !eliminated[v] && list.len() < deg {
+                deg = list.len();
+                k = v;
+            }
+        }
+        eliminated[k] = true;
+        perm.push(k);
+        // Clique-merge: the pivot's (uneliminated) neighbours become
+        // mutually adjacent, and the pivot leaves every list.
+        let nbrs = std::mem::take(&mut adj[k]);
+        for &v in &nbrs {
+            gen += 1;
+            mark[v] = gen; // no self-loops
+            mark[k] = gen; // pivot is gone
+            let mut list = std::mem::take(&mut adj[v]);
+            list.retain(|&j| {
+                if mark[j] == gen || eliminated[j] {
+                    false
+                } else {
+                    mark[j] = gen;
+                    true
+                }
+            });
+            for &w in &nbrs {
+                if mark[w] != gen {
+                    mark[w] = gen;
+                    list.push(w);
+                }
+            }
+            adj[v] = list;
+        }
+    }
+    perm
+}
+
+/// Precomputed symmetric-permutation plan for one sparsity pattern:
+/// maps value slots of the original matrix straight into the permuted
+/// matrix `B = P A Pᵀ` (`B[pinv[r], pinv[c]] = A[r, c]`), so refreshing
+/// the permuted values each Newton iteration is a single linear pass.
+#[derive(Debug, Clone)]
+pub struct PermutePlan {
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// `permuted.vals[k] = a.vals[map[k]]`.
+    map: Vec<usize>,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl PermutePlan {
+    /// Build the plan for `a`'s pattern under `perm` (`perm[new] = old`).
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..a.dim()`.
+    #[must_use]
+    pub fn build(a: &CscMatrix, perm: Vec<usize>) -> Self {
+        let n = a.n;
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut pinv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            pinv[old] = new;
+        }
+        assert!(pinv.iter().all(|&p| p != usize::MAX), "not a permutation");
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(a.nnz());
+        let mut map = Vec::with_capacity(a.nnz());
+        let mut tmp: Vec<(usize, usize)> = Vec::new();
+        for (nc, &oc) in perm.iter().enumerate() {
+            tmp.clear();
+            for p in a.col_ptr[oc]..a.col_ptr[oc + 1] {
+                tmp.push((pinv[a.row_idx[p]], p));
+            }
+            tmp.sort_unstable();
+            for &(r, p) in &tmp {
+                row_idx.push(r);
+                map.push(p);
+            }
+            col_ptr[nc + 1] = row_idx.len();
+        }
+        Self {
+            perm,
+            map,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Whether this plan can permute `a` (dimension and nnz agree; the
+    /// caller is responsible for rebuilding on genuine pattern changes).
+    #[must_use]
+    pub fn compatible(&self, a: &CscMatrix) -> bool {
+        a.n == self.perm.len() && a.nnz() == self.map.len()
+    }
+
+    /// Write `P a Pᵀ` into `out`, reusing its buffers.
+    ///
+    /// # Panics
+    /// Panics if `a` is not [`compatible`](Self::compatible).
+    pub fn apply(&self, a: &CscMatrix, out: &mut CscMatrix) {
+        assert!(self.compatible(a), "permute plan is stale");
+        out.n = self.perm.len();
+        out.col_ptr.clear();
+        out.col_ptr.extend_from_slice(&self.col_ptr);
+        out.row_idx.clear();
+        out.row_idx.extend_from_slice(&self.row_idx);
+        out.vals.clear();
+        out.vals.extend(self.map.iter().map(|&p| a.vals[p]));
+    }
+
+    /// Permute a right-hand side: `out[new] = b[perm[new]]`.
+    pub fn permute_vec(&self, b: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.perm.iter().map(|&old| b[old]));
+    }
+
+    /// Un-permute a solution: `out[perm[new]] = xp[new]`.
+    pub fn unpermute_vec(&self, xp: &[f64], out: &mut Vec<f64>) {
+        out.resize(xp.len(), 0.0);
+        for (new, &old) in self.perm.iter().enumerate() {
+            out[old] = xp[new];
+        }
+    }
+}
+
 /// Left-looking sparse LU factors with partial pivoting.
 ///
 /// Row indices of `L`/`U` are in *pivotal* order after factorisation;
@@ -325,6 +564,14 @@ const PIVOT_TOL: f64 = 0.1;
 const PIVOT_EPS: f64 = 1e-300;
 
 impl SparseLu {
+    /// Stored nonzeros of `L + U`, counting the (shared) diagonal once —
+    /// the numerator of the fill-in ratio `nnz(L+U) / nnz(A)`.
+    #[must_use]
+    pub fn lu_nnz(&self) -> usize {
+        // L carries a unit diagonal and U the pivot diagonal; drop one.
+        (self.l_vals.len() + self.u_vals.len()).saturating_sub(self.n)
+    }
+
     /// Factor `a` (which must be square by construction).
     ///
     /// # Errors
@@ -856,6 +1103,114 @@ mod tests {
         let y = a2.mul_vec(&x);
         for (yi, bi) in y.iter().zip(&b) {
             assert!((yi - bi).abs() < 1e-9, "residual {yi} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn range_writer_overwrites_in_place() {
+        let mut t = sample_triplets();
+        let reference = {
+            let mut r = sample_triplets();
+            r.clear();
+            r.add(0, 0, 9.0);
+            r.add(0, 0, 1.5);
+            r.add(1, 0, -2.0);
+            r.add(0, 1, -2.0);
+            r.add(1, 1, 5.0);
+            r.add(2, 2, 2.0);
+            r.add(3, 2, -0.5);
+            r.add(2, 3, -0.5);
+            r.add(3, 3, 1.5);
+            r.add(3, 0, 0.25);
+            r.to_csc()
+        };
+        // Rewrite only the first five entries (same coordinates).
+        let mut w = t.range_writer(0, 5);
+        w.add(0, 0, 9.0);
+        w.add(0, 0, 1.5);
+        w.add(1, 0, -2.0);
+        w.add(0, 1, -2.0);
+        w.add(1, 1, 5.0);
+        assert!(w.complete());
+        assert_eq!(t.to_csc(), reference);
+    }
+
+    #[test]
+    fn range_writer_rejects_changed_stream() {
+        let mut t = sample_triplets();
+        // Wrong coordinate mid-stream.
+        let mut w = t.range_writer(0, 2);
+        w.add(0, 0, 1.0);
+        w.add(1, 1, 2.0); // recorded stream has (0,0) here
+        assert!(!w.complete());
+        // Zero drop shortens the stream -> incomplete.
+        let mut t2 = sample_triplets();
+        let mut w2 = t2.range_writer(0, 2);
+        w2.add(0, 0, 1.0);
+        w2.add(0, 0, 0.0);
+        assert!(!w2.complete());
+        // Extra stamp overflows the range.
+        let mut t3 = sample_triplets();
+        let mut w3 = t3.range_writer(0, 1);
+        w3.add(0, 0, 1.0);
+        w3.add(0, 0, 2.0);
+        assert!(!w3.complete());
+    }
+
+    #[test]
+    fn amd_order_is_a_permutation_and_reduces_arrow_fill() {
+        // Arrow matrix: dense first row/column. Natural order fills the
+        // whole matrix; eliminating the hub last keeps L+U sparse.
+        let n = 12;
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, 4.0);
+        }
+        for i in 1..n {
+            t.add(0, i, -1.0);
+            t.add(i, 0, -1.0);
+        }
+        let a = t.to_csc();
+        let perm = amd_order(&a);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(!seen[p], "duplicate index {p}");
+            seen[p] = true;
+        }
+        // The dense hub must not be eliminated while leaves remain
+        // cheaper (it surfaces only once its degree ties the leaves').
+        assert!(
+            perm.iter().position(|&p| p == 0).unwrap() >= n - 2,
+            "hub eliminated too early: {perm:?}"
+        );
+        let natural = SparseLu::factor(&a).unwrap().lu_nnz();
+        let plan = PermutePlan::build(&a, perm);
+        let mut pa = CscMatrix::default();
+        plan.apply(&a, &mut pa);
+        let permuted = SparseLu::factor(&pa).unwrap().lu_nnz();
+        assert!(
+            permuted < natural,
+            "AMD fill {permuted} not below natural {natural}"
+        );
+    }
+
+    #[test]
+    fn permute_plan_solves_match_unpermuted() {
+        let t = sample_triplets();
+        let a = t.to_csc();
+        let perm = amd_order(&a);
+        let plan = PermutePlan::build(&a, perm);
+        let mut pa = CscMatrix::default();
+        plan.apply(&a, &mut pa);
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let mut bp = Vec::new();
+        plan.permute_vec(&b, &mut bp);
+        let xp = SparseLu::factor(&pa).unwrap().solve(&bp);
+        let mut x = Vec::new();
+        plan.unpermute_vec(&xp, &mut x);
+        let xref = SparseLu::factor(&a).unwrap().solve(&b);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-12, "permuted {xi} vs natural {ri}");
         }
     }
 

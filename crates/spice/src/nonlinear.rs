@@ -9,6 +9,62 @@
 use crate::netlist::NodeId;
 use std::fmt;
 
+/// How aggressively the Newton loop may skip [`NonlinearDevice::eval`]
+/// calls for devices whose terminal voltages have not moved since their
+/// cached evaluation (the classic SPICE "bypass" optimisation).
+///
+/// Bypassing only skips the *evaluation*; the device is always restamped
+/// from its cached linearisation, and hysteretic state is untouched
+/// because state only ever advances in [`NonlinearDevice::commit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BypassPolicy {
+    /// Never bypass: every device is evaluated at every iteration.
+    /// The default — bypass is strictly opt-in via `FERROTCAM_BYPASS`
+    /// or explicit solver options.
+    #[default]
+    Off,
+    /// Bypass within a Newton solve only. Every solve (every timestep,
+    /// every gmin/source-stepping stage) starts with a full evaluation
+    /// of all devices, so a device can only be bypassed against a cache
+    /// built earlier in the *same* solve.
+    Safe,
+    /// Let caches persist across accepted timesteps: a quiescent device
+    /// skips evaluation even on the first iteration of a step. Caches
+    /// are still dropped after rejected steps and whenever the gmin or
+    /// source-stepping stage changes.
+    Aggressive,
+}
+
+impl BypassPolicy {
+    /// Parse an `off|safe|aggressive` policy string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "safe" => Some(Self::Safe),
+            "aggressive" => Some(Self::Aggressive),
+            _ => None,
+        }
+    }
+
+    /// Resolve the policy from `FERROTCAM_BYPASS`, defaulting to
+    /// [`BypassPolicy::Off`] when unset. Unknown values fall back to
+    /// `Off` too — a typo must never silently enable approximation.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FERROTCAM_BYPASS") {
+            Ok(v) => Self::parse(&v).unwrap_or(Self::Off),
+            Err(_) => Self::Off,
+        }
+    }
+
+    /// Whether this policy permits any bypassing at all.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        !matches!(self, Self::Off)
+    }
+}
+
 /// Evaluation context shared by all devices.
 #[derive(Debug, Clone)]
 pub struct EvalCtx {
@@ -105,6 +161,25 @@ impl DeviceStamps {
 /// terminal voltages; history-dependent devices (ferroelectrics) keep
 /// internal state which is only advanced in [`NonlinearDevice::commit`],
 /// called once per *accepted* time step.
+///
+/// # Bypass safety
+///
+/// The Newton loop may *skip* [`NonlinearDevice::eval`] for devices
+/// whose terminal voltages are within tolerance of a cached operating
+/// point (see [`BypassPolicy`]), reusing the cached [`DeviceStamps`].
+/// Two properties make this sound, and implementations must preserve
+/// them:
+///
+/// 1. `eval` takes `&self` and must be a *pure function* of
+///    `(v, ctx.temp)` and committed state — deterministic, no interior
+///    mutability, no dependence on `ctx.time` or `ctx.gmin` (the engine
+///    stamps gmin itself). Re-evaluating at the cached voltages must
+///    reproduce the cached stamps bit for bit.
+/// 2. History (e.g. Preisach hysteresis) advances **only** in `commit`,
+///    which the engine calls exactly once per accepted timestep with a
+///    freshly evaluated operating point — never from a bypassed
+///    iteration. A skipped `eval` therefore can never advance or skip
+///    ferroelectric state.
 pub trait NonlinearDevice: fmt::Debug + Send + Sync {
     /// Instance name (unique within a circuit by convention).
     fn name(&self) -> &str;
@@ -114,11 +189,21 @@ pub trait NonlinearDevice: fmt::Debug + Send + Sync {
 
     /// Evaluate currents, charges and Jacobians at terminal voltages `v`
     /// (same order as [`Self::terminals`]). Buffers arrive zeroed.
+    /// Must be pure — see the trait-level *Bypass safety* notes.
     fn eval(&self, v: &[f64], out: &mut DeviceStamps, ctx: &EvalCtx);
 
     /// Accept the state at the end of a converged time step. Default: no-op.
     fn commit(&mut self, v: &[f64], ctx: &EvalCtx) {
         let _ = (v, ctx);
+    }
+
+    /// Whether [`Self::commit`] can change what a later `eval` returns at
+    /// the *same* voltages (the device holds history). State-holding
+    /// devices **must** return `true`; the engine drops their bypass
+    /// caches across commits so an aggressive policy never stamps a
+    /// stale pre-commit linearisation. Default: stateless (`false`).
+    fn has_history(&self) -> bool {
+        false
     }
 
     /// Expose a named internal state (e.g. `"polarization"`) for probing.

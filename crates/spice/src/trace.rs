@@ -121,6 +121,12 @@ pub enum Event {
         dt: f64,
         /// Newton iterations the step took.
         iters: usize,
+        /// Device evaluations skipped via the bypass cache during this
+        /// step's Newton solve (0 when `FERROTCAM_BYPASS=off`).
+        bypass_hits: u64,
+        /// Device evaluations actually performed during this step's
+        /// Newton solve.
+        bypass_misses: u64,
     },
     /// A transient timestep was rejected and will be retried smaller.
     StepReject {
@@ -210,8 +216,10 @@ impl Event {
                 t,
                 dt,
                 iters,
+                bypass_hits,
+                bypass_misses,
             } => format!(
-                r#"{{"seq":{seq},"kind":"step_accept","analysis":{},"t":{},"dt":{},"iters":{iters}}}"#,
+                r#"{{"seq":{seq},"kind":"step_accept","analysis":{},"t":{},"dt":{},"iters":{iters},"bypass_hits":{bypass_hits},"bypass_misses":{bypass_misses}}}"#,
                 js(analysis),
                 jf(*t),
                 jf(*dt)
@@ -589,7 +597,16 @@ pub fn note(name: &'static str, detail: impl Into<String>) {
 }
 
 /// Record an accepted transient step (event only at `Full`).
-pub fn step_accepted(analysis: &'static str, t: f64, dt: f64, iters: usize) {
+/// `bypass_hits`/`bypass_misses` are the device-bypass counter deltas
+/// accumulated while solving this step.
+pub fn step_accepted(
+    analysis: &'static str,
+    t: f64,
+    dt: f64,
+    iters: usize,
+    bypass_hits: u64,
+    bypass_misses: u64,
+) {
     let l = level();
     if l == TraceLevel::Off {
         return;
@@ -604,6 +621,8 @@ pub fn step_accepted(analysis: &'static str, t: f64, dt: f64, iters: usize) {
                 t,
                 dt,
                 iters,
+                bypass_hits,
+                bypass_misses,
             });
         }
     });

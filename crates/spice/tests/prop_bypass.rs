@@ -1,0 +1,155 @@
+//! Property tests for the Newton device-evaluation bypass: with zero
+//! bypass tolerances the `safe` policy must be *bit-identical* to
+//! `off` on arbitrary nonlinear netlists (a bypass hit then requires
+//! bitwise-equal terminal voltages, where replaying the cached stamps
+//! and re-evaluating produce the same bits), and with the default
+//! tolerances the waveforms must agree to well under a microvolt while
+//! actually skipping work.
+
+use ferrotcam_spice::prelude::*;
+use proptest::prelude::*;
+
+/// A smooth cubic conductor with a voltage-dependent charge: nonlinear
+/// enough to exercise multi-iteration Newton solves, tame enough to
+/// converge from anywhere. `eval` is a pure function of `v`, as the
+/// bypass contract requires.
+#[derive(Debug)]
+struct CubicConductor {
+    name: String,
+    nodes: [NodeId; 2],
+    g1: f64,
+    g3: f64,
+    c0: f64,
+    c1: f64,
+}
+
+impl NonlinearDevice for CubicConductor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn terminals(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn eval(&self, v: &[f64], out: &mut DeviceStamps, _ctx: &EvalCtx) {
+        let vd = v[0] - v[1];
+        let i = self.g1 * vd + self.g3 * vd * vd * vd;
+        let g = self.g1 + 3.0 * self.g3 * vd * vd;
+        out.add_branch_current(0, 1, i, g);
+        let q = self.c0 * vd + 0.5 * self.c1 * vd * vd;
+        let c = self.c0 + self.c1 * vd;
+        out.add_branch_charge(0, 1, q, c);
+    }
+}
+
+/// Parameters for one random RC + cubic-conductor ladder.
+#[derive(Debug, Clone)]
+struct Ladder {
+    stages: usize,
+    res: Vec<f64>,
+    caps: Vec<f64>,
+    g1s: Vec<f64>,
+    g3s: Vec<f64>,
+    v_hi: f64,
+}
+
+fn ladder() -> impl Strategy<Value = Ladder> {
+    (2usize..=5).prop_flat_map(|stages| {
+        let res = proptest::collection::vec(500.0f64..20e3, stages);
+        let caps = proptest::collection::vec(1e-14f64..5e-13, stages);
+        let g1s = proptest::collection::vec(1e-5f64..1e-3, stages);
+        let g3s = proptest::collection::vec(1e-6f64..5e-4, stages);
+        (Just(stages), res, caps, g1s, g3s, 0.3f64..1.5).prop_map(
+            |(stages, res, caps, g1s, g3s, v_hi)| Ladder {
+                stages,
+                res,
+                caps,
+                g1s,
+                g3s,
+                v_hi,
+            },
+        )
+    })
+}
+
+/// Build the ladder: a pulsed source drives a resistor chain; every
+/// stage node has a capacitor and a cubic conductor to ground.
+fn build(l: &Ladder) -> Circuit {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::gnd();
+    let src = ckt.node("src");
+    ckt.vsource(
+        "VIN",
+        src,
+        gnd,
+        Waveform::pulse(0.0, l.v_hi, 100e-12, 50e-12, 50e-12, 400e-12),
+    );
+    let mut prev = src;
+    for s in 0..l.stages {
+        let node = ckt.node(&format!("n{s}"));
+        ckt.resistor(&format!("R{s}"), prev, node, l.res[s])
+            .unwrap();
+        ckt.capacitor(&format!("C{s}"), node, gnd, l.caps[s])
+            .unwrap();
+        ckt.device(Box::new(CubicConductor {
+            name: format!("X{s}"),
+            nodes: [node, gnd],
+            g1: l.g1s[s],
+            g3: l.g3s[s],
+            c0: 1e-14,
+            c1: 2e-15,
+        }));
+        prev = node;
+    }
+    ckt
+}
+
+fn run(l: &Ladder, bypass: BypassPolicy, reltol: f64, vntol: f64) -> (Trace, SimStats) {
+    let mut ckt = build(l);
+    let mut opts = TranOpts::to_time(1e-9);
+    opts.dt_max = 10e-12;
+    opts.newton.bypass = bypass;
+    opts.newton.bypass_reltol = reltol;
+    opts.newton.bypass_vntol = vntol;
+    opts.newton.ordering = Ordering::Amd;
+    let tr = transient(&mut ckt, &opts).expect("transient");
+    let stats = tr.stats();
+    (tr, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn safe_bypass_with_zero_tolerances_is_bit_identical(l in ladder()) {
+        let (off, s_off) = run(&l, BypassPolicy::Off, 0.0, 0.0);
+        let (safe, _s_safe) = run(&l, BypassPolicy::Safe, 0.0, 0.0);
+        prop_assert_eq!(s_off.bypass_hits, 0);
+        prop_assert_eq!(off.time(), safe.time());
+        for name in off.signal_names() {
+            let a = off.signal(name).expect("off signal");
+            let b = safe.signal(name).expect("safe signal");
+            prop_assert_eq!(a, b, "signal {} diverged", name);
+        }
+    }
+
+    #[test]
+    fn safe_bypass_stays_under_a_microvolt_and_skips_work(l in ladder()) {
+        let (off, _) = run(&l, BypassPolicy::Off, 0.0, 0.0);
+        // Default bypass tolerances: a decade under the Newton tolerances.
+        let (safe, stats) = run(&l, BypassPolicy::Safe, 1e-5, 1e-7);
+        prop_assert!(stats.bypass_hits > 0, "bypass never engaged: {stats:?}");
+        prop_assert_eq!(off.time(), safe.time());
+        for name in off.signal_names() {
+            if !name.starts_with("v(") {
+                continue;
+            }
+            let a = off.signal(name).expect("off signal");
+            let b = safe.signal(name).expect("safe signal");
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() <= 1e-6, "{}: {x} vs {y}", name);
+            }
+        }
+    }
+}
