@@ -9,7 +9,7 @@
 //! ferrotcam designs
 //! ferrotcam trace [<design> <stored-word> <query-bits>] [--ndjson]
 //! ferrotcam bench [--smoke] [--bits N] [--reps N] [--design <d>]
-//! ferrotcam serve-bench [--smoke] [--shards 1,2,4] [--rows N]
+//! ferrotcam serve-bench [--smoke] [--backend spice|behav|both] [--shards 1,2,4]
 //! ```
 
 use std::process::ExitCode;

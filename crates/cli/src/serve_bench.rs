@@ -1,30 +1,42 @@
 //! `ferrotcam serve-bench` — closed-loop + open-loop load generator
-//! for the serving layer.
+//! for the serving layer, per execution tier.
 //!
 //! Builds a key-partitioned random table, starts a [`TcamService`]
-//! per configuration, and measures:
+//! per (backend, configuration), and measures:
 //!
 //! 1. **closed loop** — client threads submit-and-wait as fast as the
 //!    service answers, sweeping the shard count to show throughput
 //!    scaling;
 //! 2. **open loop** — a deterministic SplitMix64 exponential arrival
-//!    process offers load far beyond capacity to show bounded-queue
-//!    load shedding;
+//!    process offers load beyond capacity through the fire-and-forget
+//!    packed path, showing bounded-queue shedding and (on the
+//!    behavioural tier) the bit-parallel kernel's sustained rate;
 //! 3. **energy audit** — every response's energy attribution is
 //!    checked against the standalone `core::fom` figure for the same
-//!    query.
+//!    query;
+//! 4. **audit lane** — behavioural runs report the sampled
+//!    Spice-replay lane: queries replayed, divergences, worst energy
+//!    error.
 //!
-//! Results land in `BENCH_serve.json` (results dir: `$FERROTCAM_RESULTS`
-//! or `./results`), in the throughput-curve format understood by
-//! `compare_runs --bench`. With `--smoke` the run is bounded to a few
-//! seconds and the acceptance invariants (monotone scaling, shedding
-//! under overload, energy match within 1e-9) become hard failures.
+//! Energy/latency attribution is calibrated from the SPICE datasheets
+//! in the results directory (`table4.json`, `fig7_*.csv`, Fig. 4 miss
+//! curves) via [`Calibration::load`]; `--characterize` runs a live
+//! SPICE characterisation instead. Results land in `BENCH_serve.json`
+//! (results dir: `$FERROTCAM_RESULTS` or `./results`), in the
+//! throughput-curve format understood by `compare_runs --bench`, with
+//! every curve id suffixed by its backend tag (`_spice` / `_behav`).
+//! With `--smoke` the run is bounded to a few seconds and the
+//! acceptance invariants (monotone scaling, shedding under overload,
+//! energy match within 1e-9, audit lane sampled and clean) become
+//! hard failures.
 
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{DesignKind, TernaryWord};
+use ferrotcam::{Calibration, DesignKind, PackedQuery, TernaryWord};
 use ferrotcam_eval::parasitics::row_parasitics;
 use ferrotcam_eval::tech::tech_14nm;
-use ferrotcam_serve::{Overloaded, ServiceConfig, ServiceMetrics, ShardedTcam, TcamService};
+use ferrotcam_serve::{
+    BackendKind, Overloaded, ServiceConfig, ServiceMetrics, ShardedTcam, TcamService,
+};
 use rand::split_mix64;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -35,6 +47,7 @@ use std::time::{Duration, Instant};
 struct CurvePoint {
     id: String,
     mode: &'static str,
+    backend: String,
     shards: usize,
     rows: usize,
     offered_qps: Option<f64>,
@@ -64,6 +77,8 @@ struct Opts {
     secs: f64,
     seed: u64,
     characterize: Option<DesignKind>,
+    backends: Vec<BackendKind>,
+    audit_period: u64,
 }
 
 fn parse_opts(
@@ -78,6 +93,8 @@ fn parse_opts(
         secs: 1.5,
         seed: 42,
         characterize: None,
+        backends: vec![BackendKind::Spice, BackendKind::Behavioural],
+        audit_period: 10_000,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -90,6 +107,8 @@ fn parse_opts(
             "--smoke" => {
                 o.smoke = true;
                 o.secs = 0.4;
+                // Smoke must exercise the audit lane, so sample densely.
+                o.audit_period = 500;
             }
             "--rows" => {
                 o.rows = next("a count")?
@@ -111,6 +130,11 @@ fn parse_opts(
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--audit-period" => {
+                o.audit_period = next("a period")?
+                    .parse()
+                    .map_err(|e| format!("--audit-period: {e}"))?
+            }
             "--shards" => {
                 o.shards = next("a list like 1,2,4")?
                     .split(',')
@@ -124,6 +148,14 @@ fn parse_opts(
                     return Err("--shards needs positive counts".into());
                 }
             }
+            "--backend" => {
+                let v = next("spice|behav|both")?;
+                o.backends = match v {
+                    "both" => vec![BackendKind::Spice, BackendKind::Behavioural],
+                    other => vec![BackendKind::parse(other)
+                        .ok_or_else(|| format!("--backend: unknown tier {other:?}"))?],
+                };
+            }
             "--characterize" => o.characterize = Some(parse_design(next("a design")?)?),
             other => return Err(format!("unknown serve-bench flag {other:?}")),
         }
@@ -134,30 +166,19 @@ fn parse_opts(
     Ok(o)
 }
 
-/// Table IV figures for the 1.5T1DG-Fe design at 64-bit words, scaled
-/// from the paper's per-cell numbers — the default energy model when
-/// a live SPICE characterisation is not requested.
-fn paper_metrics(width: usize) -> SearchMetrics {
-    SearchMetrics {
-        design: DesignKind::T15Dg,
-        word_len: width,
-        latency_1step: 231e-12,
-        latency_2step: Some(481e-12),
-        energy_1step: 0.13e-15 * width as f64,
-        energy_2step: Some(0.21e-15 * width as f64),
+/// One random packed query (and nothing else) off the SplitMix64
+/// stream — the open-loop hot path, no per-bit work.
+fn random_packed(state: &mut u64, width: usize) -> PackedQuery {
+    let mut words = [0u64; 8];
+    let n = width.div_ceil(64).min(8);
+    for w in words.iter_mut().take(n) {
+        *w = split_mix64(state);
     }
+    PackedQuery::from_words(width, &words[..n.max(1)])
 }
 
 fn random_query(state: &mut u64, width: usize) -> Vec<bool> {
-    let mut bits = Vec::with_capacity(width);
-    let mut word = 0u64;
-    for i in 0..width {
-        if i % 64 == 0 {
-            word = split_mix64(state);
-        }
-        bits.push((word >> (i % 64)) & 1 == 1);
-    }
-    bits
+    random_packed(state, width).to_bits()
 }
 
 /// Build a key-partitioned table: every stored word lives on the
@@ -167,29 +188,57 @@ fn build_table(opts: &Opts, shards: usize, metrics: &SearchMetrics) -> ShardedTc
     let mut t = ShardedTcam::new(opts.width, shards);
     let mut state = opts.seed;
     for _ in 0..opts.rows {
-        let bits = random_query(&mut state, opts.width);
-        let shard = t.route(&bits);
-        t.store_in(shard, TernaryWord::from_bits(&bits));
+        let q = random_packed(&mut state, opts.width);
+        let shard = t.route_packed(&q);
+        t.store_in(shard, TernaryWord::from_bits(&q.to_bits()));
     }
     t.attach_metrics(metrics.clone());
     t
 }
 
+/// Per-backend service configuration: the behavioural tier runs with
+/// a deeper queue and its preferred (larger) batch so the kernel's
+/// per-query cost, not dispatch overhead, sets the rate.
+fn service_config(backend: BackendKind, opts: &Opts) -> ServiceConfig {
+    let base = ServiceConfig {
+        backend,
+        audit_period: opts.audit_period,
+        ..ServiceConfig::default()
+    };
+    match backend {
+        BackendKind::Spice => base,
+        BackendKind::Behavioural => ServiceConfig {
+            queue_capacity: 16 * 1024,
+            max_batch: 0, // backend preferred (1024)
+            ..base
+        },
+    }
+}
+
+/// Where a curve point was measured: tier, table shape, and the final
+/// service metrics of that run.
+struct PointCtx<'a> {
+    backend: BackendKind,
+    shards: usize,
+    rows: usize,
+    m: &'a ServiceMetrics,
+}
+
 fn curve_point(
     id: String,
     mode: &'static str,
-    shards: usize,
-    rows: usize,
     offered_qps: Option<f64>,
     achieved_qps: f64,
-    m: &ServiceMetrics,
+    ctx: &PointCtx<'_>,
 ) -> CurvePoint {
+    let m = ctx.m;
     let shed = m.shed_queue_full + m.shed_rate_limited + m.shed_shutting_down;
     CurvePoint {
         id,
         mode,
-        shards,
-        rows,
+        backend: ctx.backend.tag().into(),
+        shards: ctx.shards,
+        rows: ctx.rows,
         offered_qps,
         achieved_qps,
         p50_ns: m.wall_latency_ns.p50,
@@ -211,10 +260,11 @@ fn curve_point(
 fn closed_loop(
     table: ShardedTcam,
     opts: &Opts,
+    backend: BackendKind,
     clients: usize,
     secs: f64,
 ) -> (f64, ServiceMetrics) {
-    let svc = TcamService::start(table, &ServiceConfig::default());
+    let svc = TcamService::start(table, &service_config(backend, opts));
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(secs);
     let completions: u64 = std::thread::scope(|scope| {
@@ -226,8 +276,8 @@ fn closed_loop(
                 scope.spawn(move || {
                     let mut done = 0u64;
                     while Instant::now() < deadline {
-                        let q = random_query(&mut state, width);
-                        match client.submit_routed(c as u32, q) {
+                        let q = random_packed(&mut state, width);
+                        match client.submit_packed_routed(c as u32, q) {
                             Ok(ticket) => {
                                 let _ = ticket.wait();
                                 done += 1;
@@ -249,11 +299,23 @@ fn closed_loop(
 }
 
 /// Open loop: offer `offered_qps` with SplitMix64 exponential
-/// inter-arrivals for `secs`, never waiting for responses.
-fn open_loop(table: ShardedTcam, opts: &Opts, offered_qps: f64, secs: f64) -> ServiceMetrics {
+/// inter-arrivals for `secs` through the fire-and-forget packed path,
+/// never waiting for responses. The achieved rate counts the full
+/// elapsed time *including the drain*, so every completed query was
+/// genuinely executed inside the measured window.
+fn open_loop(
+    table: ShardedTcam,
+    opts: &Opts,
+    backend: BackendKind,
+    offered_qps: f64,
+    secs: f64,
+) -> (f64, ServiceMetrics) {
     let cfg = ServiceConfig {
-        queue_capacity: 256,
-        ..ServiceConfig::default()
+        queue_capacity: match backend {
+            BackendKind::Spice => 256,
+            BackendKind::Behavioural => 16 * 1024,
+        },
+        ..service_config(backend, opts)
     };
     let svc = TcamService::start(table, &cfg);
     let client = svc.client();
@@ -261,7 +323,6 @@ fn open_loop(table: ShardedTcam, opts: &Opts, offered_qps: f64, secs: f64) -> Se
     let started = Instant::now();
     let horizon = Duration::from_secs_f64(secs);
     let mut next_arrival = 0.0f64; // seconds since start
-    let mut tickets = Vec::new();
     loop {
         let now = started.elapsed();
         if now >= horizon {
@@ -272,23 +333,30 @@ fn open_loop(table: ShardedTcam, opts: &Opts, offered_qps: f64, secs: f64) -> Se
             // Exponential inter-arrival: -ln(U)/λ, U ∈ (0, 1].
             let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
             next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered_qps;
-            let q = random_query(&mut state, opts.width);
-            match client.submit_routed(0, q) {
-                Ok(t) => tickets.push(t),
+            let q = random_packed(&mut state, opts.width);
+            let shard = client.table().route_packed(&q);
+            match client.submit_noreply(0, q, Some(shard)) {
+                Ok(()) => {}
                 Err(Overloaded::QueueFull) => {} // counted by the service
                 Err(e) => panic!("unexpected shed: {e}"),
             }
         }
         std::thread::sleep(Duration::from_micros(200));
     }
-    drop(tickets); // responses were recorded by the service metrics
-    svc.drain()
+    let metrics = svc.drain();
+    let elapsed = started.elapsed().as_secs_f64();
+    (metrics.completed as f64 / elapsed, metrics)
 }
 
 /// Audit energy attribution against the standalone `core::fom` figure.
 /// Returns the worst relative deviation observed.
-fn energy_audit(table: ShardedTcam, opts: &Opts, metrics: &SearchMetrics) -> f64 {
-    let svc = TcamService::start(table, &ServiceConfig::default());
+fn energy_audit(
+    table: ShardedTcam,
+    opts: &Opts,
+    backend: BackendKind,
+    metrics: &SearchMetrics,
+) -> f64 {
+    let svc = TcamService::start(table, &service_config(backend, opts));
     let client = svc.client();
     let mut state = opts.seed ^ 0xA0D1;
     let mut worst = 0.0f64;
@@ -309,12 +377,195 @@ fn energy_audit(table: ShardedTcam, opts: &Opts, metrics: &SearchMetrics) -> f64
     worst
 }
 
+/// Everything one backend's sweep produced, for the invariant checks.
+struct BackendRun {
+    backend: BackendKind,
+    capacities: Vec<f64>,
+    open_achieved: f64,
+    open_offered: f64,
+    open_metrics: ServiceMetrics,
+    open_queue_bound: usize,
+    energy_worst_rel: f64,
+}
+
+fn run_backend(
+    opts: &Opts,
+    backend: BackendKind,
+    metrics: &SearchMetrics,
+    curves: &mut Vec<CurvePoint>,
+) -> BackendRun {
+    let tag = backend.tag();
+
+    // --- Phase 1: closed-loop shard sweep --------------------------------
+    let mut capacities = Vec::new();
+    for &shards in &opts.shards {
+        let table = build_table(opts, shards, metrics);
+        let (qps, m) = closed_loop(table, opts, backend, 2, opts.secs);
+        println!(
+            "  [{tag}] closed  shards={shards:<2} {qps:>10.0} qps   p50 {:>8.1} us   p99 {:>8.1} us",
+            m.wall_latency_ns.p50 / 1e3,
+            m.wall_latency_ns.p99 / 1e3
+        );
+        capacities.push(qps);
+        curves.push(curve_point(
+            format!("closed_shards{shards}_{tag}"),
+            "closed",
+            None,
+            qps,
+            &PointCtx {
+                backend,
+                shards,
+                rows: opts.rows,
+                m: &m,
+            },
+        ));
+    }
+
+    // --- Phase 2: open-loop overload --------------------------------------
+    let &max_shards = opts.shards.iter().max().expect("non-empty");
+    let capacity = capacities
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1.0);
+    // The behavioural tier's closed-loop rate is round-trip-bound, not
+    // kernel-bound; offer past the 1 Mqps target so the open loop
+    // measures the dispatcher, not the arrival process. Don't offer
+    // much past capacity though — on a shared core every shed
+    // submission steals cycles from the dispatcher being measured.
+    let offered = match backend {
+        BackendKind::Spice => capacity * 3.0,
+        BackendKind::Behavioural => (capacity * 3.0).max(1.8e6),
+    };
+    let table = build_table(opts, max_shards, metrics);
+    let queue_bound = match backend {
+        BackendKind::Spice => 256,
+        BackendKind::Behavioural => 16 * 1024,
+    };
+    let (achieved, m_over) = open_loop(table, opts, backend, offered, opts.secs.max(0.5));
+    let shed_total = m_over.shed_queue_full + m_over.shed_rate_limited + m_over.shed_shutting_down;
+    println!(
+        "  [{tag}] open    shards={max_shards:<2} offered {offered:>9.0} qps -> {achieved:>9.0} qps, shed {shed_total}, max queue depth {}",
+        m_over.max_queue_depth
+    );
+    curves.push(curve_point(
+        format!("open_overload_shards{max_shards}_{tag}"),
+        "open",
+        Some(offered),
+        achieved,
+        &PointCtx {
+            backend,
+            shards: max_shards,
+            rows: opts.rows,
+            m: &m_over,
+        },
+    ));
+
+    // --- Phase 3: energy audit --------------------------------------------
+    let table = build_table(opts, max_shards, metrics);
+    let energy_worst_rel = energy_audit(table, opts, backend, metrics);
+    println!("  [{tag}] energy  worst |served - fom| / fom = {energy_worst_rel:.3e}");
+
+    if backend == BackendKind::Behavioural {
+        println!(
+            "  [{tag}] audit   {} sampled, {} match / {} energy divergences, worst rel {:.3e}",
+            m_over.audit_sampled,
+            m_over.audit_match_divergences,
+            m_over.audit_energy_divergences,
+            m_over.audit_worst_energy_rel
+        );
+    }
+
+    BackendRun {
+        backend,
+        capacities,
+        open_achieved: achieved,
+        open_offered: offered,
+        open_metrics: m_over,
+        open_queue_bound: queue_bound,
+        energy_worst_rel,
+    }
+}
+
+/// Check one backend's invariants, appending failures to `report`.
+fn check_backend(run: &BackendRun, report: &mut String) {
+    let tag = run.backend.tag();
+    let caps = &run.capacities;
+    // The behavioural closed loop is round-trip bound, so its curve is
+    // flat and noisy; allow more jitter before calling it a regression.
+    let tolerance = match run.backend {
+        BackendKind::Spice => 0.9,
+        BackendKind::Behavioural => 0.7,
+    };
+    for w in caps.windows(2) {
+        if w[1] < w[0] * tolerance {
+            let _ = writeln!(
+                report,
+                "[{tag}] throughput regressed across shard sweep: {caps:?}"
+            );
+            break;
+        }
+    }
+    // The Spice tier is kernel-bound, so extra shards must buy real
+    // throughput. The behavioural tier's closed loop is round-trip
+    // bound (the kernel answers in well under the channel cost), so it
+    // only has to hold steady.
+    if run.backend == BackendKind::Spice && caps.len() > 1 && caps[caps.len() - 1] <= caps[0] {
+        let _ = writeln!(report, "[{tag}] no scaling across shard sweep: {caps:?}");
+    }
+    let shed = run.open_metrics.shed_queue_full
+        + run.open_metrics.shed_rate_limited
+        + run.open_metrics.shed_shutting_down;
+    if shed == 0 {
+        let _ = writeln!(
+            report,
+            "[{tag}] overload at {:.0} qps shed nothing",
+            run.open_offered
+        );
+    }
+    if run.open_metrics.max_queue_depth > run.open_queue_bound {
+        let _ = writeln!(
+            report,
+            "[{tag}] queue grew past its bound: {} > {}",
+            run.open_metrics.max_queue_depth, run.open_queue_bound
+        );
+    }
+    if run.energy_worst_rel >= 1e-9 {
+        let _ = writeln!(
+            report,
+            "[{tag}] energy attribution deviates from core::fom by {:.3e} (>= 1e-9)",
+            run.energy_worst_rel
+        );
+    }
+    if run.backend == BackendKind::Behavioural {
+        let m = &run.open_metrics;
+        if m.audit_sampled == 0 {
+            let _ = writeln!(report, "[{tag}] audit lane sampled nothing under load");
+        }
+        if m.audit_match_divergences > 0 || m.audit_energy_divergences > 0 {
+            let _ = writeln!(
+                report,
+                "[{tag}] audit lane divergence: {} match, {} energy (worst rel {:.3e})",
+                m.audit_match_divergences, m.audit_energy_divergences, m.audit_worst_energy_rel
+            );
+        }
+        if m.audit_worst_energy_rel > 1e-9 {
+            let _ = writeln!(
+                report,
+                "[{tag}] audit energy error {:.3e} beyond pinned 1e-9",
+                m.audit_worst_energy_rel
+            );
+        }
+    }
+}
+
 /// Entry point, called from the command dispatcher.
 pub fn run(
     args: &[String],
     parse_design: impl Fn(&str) -> Result<DesignKind, String>,
 ) -> Result<(), String> {
     let opts = parse_opts(args, parse_design)?;
+    let dir = std::env::var("FERROTCAM_RESULTS").unwrap_or_else(|_| "results".into());
     let metrics = match opts.characterize {
         Some(design) => {
             println!(
@@ -326,78 +577,41 @@ pub fn run(
             ferrotcam::fom::characterize_search(design, opts.width, row_parasitics(design, &tech))
                 .map_err(|e| format!("characterisation failed: {e}"))?
         }
-        None => paper_metrics(opts.width),
+        None => {
+            let calib = Calibration::load(std::path::Path::new(&dir), DesignKind::T15Dg);
+            if calib.sources.is_empty() {
+                println!("calibration: no datasheets under {dir}/, using paper defaults");
+            } else {
+                println!("calibration ({}):", calib.design.name());
+                for s in &calib.sources {
+                    println!("  - {s}");
+                }
+            }
+            calib.search_metrics(opts.width)
+        }
     };
     println!(
-        "serve-bench: {} rows x {} digits, shards {:?}, {:.1}s per point{}",
+        "serve-bench: {} rows x {} digits, shards {:?}, backends {:?}, {:.1}s per point{}",
         opts.rows,
         opts.width,
         opts.shards,
+        opts.backends.iter().map(|b| b.tag()).collect::<Vec<_>>(),
         opts.secs,
         if opts.smoke { " (smoke)" } else { "" }
     );
 
     let mut curves = Vec::new();
-
-    // --- Phase 1: closed-loop shard sweep --------------------------------
-    let mut capacities = Vec::new();
-    for &shards in &opts.shards {
-        let table = build_table(&opts, shards, &metrics);
-        let (qps, m) = closed_loop(table, &opts, 2, opts.secs);
-        println!(
-            "  closed  shards={shards:<2} {qps:>10.0} qps   p50 {:>8.1} us   p99 {:>8.1} us",
-            m.wall_latency_ns.p50 / 1e3,
-            m.wall_latency_ns.p99 / 1e3
-        );
-        capacities.push(qps);
-        curves.push(curve_point(
-            format!("closed_shards{shards}"),
-            "closed",
-            shards,
-            opts.rows,
-            None,
-            qps,
-            &m,
-        ));
-    }
-
-    // --- Phase 2: open-loop overload --------------------------------------
-    let &max_shards = opts.shards.iter().max().expect("non-empty");
-    let capacity = capacities
+    let runs: Vec<BackendRun> = opts
+        .backends
         .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max)
-        .max(1.0);
-    let offered = capacity * 3.0;
-    let table = build_table(&opts, max_shards, &metrics);
-    let m_over = open_loop(table, &opts, offered, opts.secs.max(0.5));
-    let achieved = m_over.completed as f64 / opts.secs.max(0.5);
-    let shed_total = m_over.shed_queue_full + m_over.shed_rate_limited + m_over.shed_shutting_down;
-    println!(
-        "  open    shards={max_shards:<2} offered {offered:>8.0} qps -> {achieved:>8.0} qps, shed {shed_total}, max queue depth {}",
-        m_over.max_queue_depth
-    );
-    curves.push(curve_point(
-        format!("open_overload_shards{max_shards}"),
-        "open",
-        max_shards,
-        opts.rows,
-        Some(offered),
-        achieved,
-        &m_over,
-    ));
-
-    // --- Phase 3: energy audit --------------------------------------------
-    let table = build_table(&opts, max_shards, &metrics);
-    let worst_rel = energy_audit(table, &opts, &metrics);
-    println!("  energy  worst |served - fom| / fom = {worst_rel:.3e}");
+        .map(|&b| run_backend(&opts, b, &metrics, &mut curves))
+        .collect();
 
     // --- Artefact ----------------------------------------------------------
     let file = ServeBenchFile {
         target: "serve",
         curves,
     };
-    let dir = std::env::var("FERROTCAM_RESULTS").unwrap_or_else(|_| "results".into());
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
     let path = std::path::Path::new(&dir).join("BENCH_serve.json");
     let json = serde_json::to_string_pretty(&file).expect("serialise bench file");
@@ -406,40 +620,30 @@ pub fn run(
 
     // --- Acceptance invariants --------------------------------------------
     let mut report = String::new();
-    for w in capacities.windows(2) {
-        if w[1] < w[0] * 0.9 {
+    for run in &runs {
+        check_backend(run, &mut report);
+    }
+    // The whole point of the tiered backend: under open-loop load the
+    // bit-parallel tier must decisively outrun the reference tier.
+    let spice_open = runs
+        .iter()
+        .find(|r| r.backend == BackendKind::Spice)
+        .map(|r| r.open_achieved);
+    let behav_open = runs
+        .iter()
+        .find(|r| r.backend == BackendKind::Behavioural)
+        .map(|r| r.open_achieved);
+    if let (Some(s), Some(b)) = (spice_open, behav_open) {
+        println!("  behav/spice open-loop speedup: {:.1}x", b / s.max(1.0));
+        if b < s * 2.0 {
             let _ = writeln!(
                 report,
-                "throughput not monotone across shard sweep: {capacities:?}"
+                "behavioural open loop ({b:.0} qps) is not ahead of spice ({s:.0} qps)"
             );
-            break;
         }
     }
-    if capacities.len() > 1 && capacities[capacities.len() - 1] <= capacities[0] {
-        let _ = writeln!(
-            report,
-            "no scaling from {} to {} shards: {capacities:?}",
-            opts.shards[0], max_shards
-        );
-    }
-    if shed_total == 0 {
-        let _ = writeln!(report, "overload at {offered:.0} qps shed nothing");
-    }
-    if m_over.max_queue_depth > 256 {
-        let _ = writeln!(
-            report,
-            "queue grew past its bound: {}",
-            m_over.max_queue_depth
-        );
-    }
-    if worst_rel >= 1e-9 {
-        let _ = writeln!(
-            report,
-            "energy attribution deviates from core::fom by {worst_rel:.3e} (>= 1e-9)"
-        );
-    }
     if report.is_empty() {
-        println!("serve-bench invariants hold: monotone scaling, bounded shedding, energy-true accounting");
+        println!("serve-bench invariants hold: monotone scaling, bounded shedding, energy-true accounting, audit lane clean");
         Ok(())
     } else if opts.smoke {
         Err(format!("serve-bench smoke failed:\n{report}"))

@@ -29,10 +29,44 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
+    /// Outcome of searching nothing: no matches, no misses.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            matches: Vec::new(),
+            step1_misses: 0,
+            step2_misses: 0,
+        }
+    }
+
     /// Lowest-index (highest-priority) match, if any.
     #[must_use]
     pub fn best(&self) -> Option<usize> {
         self.matches.first().copied()
+    }
+
+    /// Rows that survived step 1 and therefore paid the full two-step
+    /// energy: matches plus step-2 misses. Together with
+    /// `step1_misses` this is the pair the calibrated attribution
+    /// formula (`misses × E₁ + survivors × E₂`) consumes.
+    #[must_use]
+    pub fn survivors(&self) -> usize {
+        self.matches.len() + self.step2_misses
+    }
+
+    /// Total rows this outcome accounts for (misses + survivors).
+    #[must_use]
+    pub fn rows_examined(&self) -> usize {
+        self.step1_misses + self.survivors()
+    }
+
+    /// Fold another outcome (e.g. one shard's) into this one. Match
+    /// ids concatenate unsorted; callers merging shards sort once at
+    /// the end.
+    pub fn absorb(&mut self, other: SearchOutcome) {
+        self.matches.extend(other.matches);
+        self.step1_misses += other.step1_misses;
+        self.step2_misses += other.step2_misses;
     }
 
     /// Fraction of rows early-terminated after step 1 (the paper's
@@ -351,6 +385,20 @@ mod tests {
         assert_eq!(miss.matches, vec![0]);
         assert_eq!(miss.step1_misses, 0);
         assert_eq!(miss.step2_misses, 1);
+    }
+
+    #[test]
+    fn survivor_accounting_and_merge() {
+        let t = array();
+        let out = t.search(&[false, true, true, false]);
+        assert_eq!(out.survivors(), out.matches.len() + out.step2_misses);
+        assert_eq!(out.rows_examined(), t.len());
+        let mut merged = SearchOutcome::empty();
+        merged.absorb(out.clone());
+        merged.absorb(out.clone());
+        assert_eq!(merged.rows_examined(), 2 * t.len());
+        assert_eq!(merged.step1_misses, 2 * out.step1_misses);
+        assert_eq!(merged.matches.len(), 2 * out.matches.len());
     }
 
     #[test]

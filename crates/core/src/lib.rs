@@ -28,12 +28,14 @@
 
 pub mod array;
 pub mod behav;
+pub mod calib;
 pub mod cell;
 pub mod fom;
 pub mod full_array;
 pub mod margins;
 pub mod mlc;
 pub mod ops;
+pub mod packed;
 pub mod senseamp;
 pub mod table_io;
 pub mod ternary;
@@ -41,6 +43,7 @@ pub mod write_array;
 
 pub use array::{build_search_row, SearchRun, SearchSim};
 pub use behav::{BehavioralTcam, SearchOutcome};
+pub use calib::Calibration;
 pub use cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 pub use fom::{characterize_search, characterize_write, SearchMetrics, WriteMetrics};
 pub use full_array::{
@@ -48,6 +51,7 @@ pub use full_array::{
 };
 pub use margins::{nominal_margins, DividerLevels, SearchMargins};
 pub use mlc::{MlcDigit, MlcTcam};
+pub use packed::{BitSlices, PackedQuery, PackedRows, STEP1_MASK, STEP2_MASK};
 pub use table_io::{load_table, parse_table, render_table, save_table};
 pub use ternary::{Ternary, TernaryWord};
 pub use write_array::{build_array_write, simulate_array_write, ArrayWriteResult};

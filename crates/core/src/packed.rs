@@ -1,0 +1,561 @@
+//! Bit-packed two-plane TCAM representation and the word-parallel
+//! behavioural search kernel.
+//!
+//! A ternary row packs into two `u64` planes — a *value* plane and a
+//! *care* plane (`care = 0` for wildcard digits) — so one query checks
+//! 64 digits per instruction: `mismatch = (query ^ value) & care`.
+//! Digit `i` lives in word `i / 64` at bit `i % 64`, and because 64 is
+//! even, the array's two-step digit interleave (step 1 = even digit
+//! positions, step 2 = odd positions; Fig. 5(c)) is a pair of constant
+//! masks: [`STEP1_MASK`] and [`STEP2_MASK`].
+//!
+//! Two layouts share the packing:
+//!
+//! * [`PackedRows`] — row-major, the literal `(q ^ v) & care` scan.
+//!   Exact and simple; the reference the property tests pin against
+//!   and the verifier for step-2 survivors.
+//! * [`BitSlices`] — transposed (bit-sliced) match planes in blocks of
+//!   512 rows. Step 1 is an AND-chain over the even-digit planes with
+//!   early exit on an all-zero accumulator, so a query touches only as
+//!   many planes as it takes to kill every row in the block — the
+//!   in-software analogue of the paper's early-termination search.
+//!   Step-2 survivors (popcount of the accumulator) are verified
+//!   row-major, which is exact and cheap because the step-1 miss rate
+//!   of real workloads leaves few survivors.
+//!
+//! Both return the same [`SearchOutcome`] as [`BehavioralTcam::search`],
+//! bit-identically — including per-step miss counts, which is what the
+//! serving layer's calibrated energy attribution consumes.
+
+use crate::behav::{BehavioralTcam, SearchOutcome};
+use crate::ternary::{Ternary, TernaryWord};
+
+/// Mask selecting the even digit positions (step 1) of any packed word.
+pub const STEP1_MASK: u64 = 0x5555_5555_5555_5555;
+/// Mask selecting the odd digit positions (step 2) of any packed word.
+pub const STEP2_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Rows per bit-slice block word (the accumulator register count).
+const WPB: usize = 8;
+/// Rows per bit-slice block.
+const ROWS_PER_BLOCK: usize = 64 * WPB;
+
+/// A binary query packed LSB-first into `u64` words (digit `i` → word
+/// `i / 64`, bit `i % 64`).
+///
+/// The first word is stored inline so queries up to 64 digits — the
+/// serving hot path — never allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedQuery {
+    width: usize,
+    head: u64,
+    rest: Vec<u64>,
+}
+
+impl PackedQuery {
+    /// Pack a boolean query (`bits[i]` is digit `i`).
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut head = 0u64;
+        let mut rest = Vec::new();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                let w = i / 64;
+                if w == 0 {
+                    head |= 1 << i;
+                } else {
+                    if rest.len() < w {
+                        rest.resize(w, 0);
+                    }
+                    rest[w - 1] |= 1 << (i % 64);
+                }
+            }
+        }
+        let words = bits.len().div_ceil(64);
+        if words > 1 {
+            rest.resize(words - 1, 0);
+        }
+        Self {
+            width: bits.len(),
+            head,
+            rest,
+        }
+    }
+
+    /// Pack from raw little-endian words; tail bits beyond `width` are
+    /// masked off. The fast path for generated workloads: a random
+    /// `u64` is a random 64-digit query with no per-bit loop.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than `width` requires.
+    #[must_use]
+    pub fn from_words(width: usize, words: &[u64]) -> Self {
+        let need = width.div_ceil(64);
+        assert!(words.len() >= need, "need {need} words for width {width}");
+        let mask = |w: usize| -> u64 {
+            let bits = width.saturating_sub(w * 64);
+            match bits {
+                0 => 0,
+                b if b >= 64 => !0,
+                b => (1u64 << b) - 1,
+            }
+        };
+        let head = if need == 0 { 0 } else { words[0] & mask(0) };
+        let rest = (1..need).map(|w| words[w] & mask(w)).collect();
+        Self { width, head, rest }
+    }
+
+    /// Mirror of [`TernaryWord::from_u64`]: digit `i` is bit `n-1-i`
+    /// of `value` (MSB-first display order).
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn from_u64(value: u64, n: usize) -> Self {
+        assert!(n <= 64, "u64 queries are at most 64 digits");
+        let bits: Vec<bool> = (0..n).map(|i| (value >> (n - 1 - i)) & 1 == 1).collect();
+        Self::from_bits(&bits)
+    }
+
+    /// Query width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Packed word `w` (zero beyond the width).
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        if w == 0 {
+            self.head
+        } else {
+            self.rest.get(w - 1).copied().unwrap_or(0)
+        }
+    }
+
+    /// Digit `i` of the query.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "digit {i} out of range");
+        (self.word(i / 64) >> (i % 64)) & 1 == 1
+    }
+
+    /// Unpack to the boolean form the behavioural layer consumes.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.width)
+            .map(|i| (self.word(i / 64) >> (i % 64)) & 1 == 1)
+            .collect()
+    }
+}
+
+/// Row-major two-plane packed table: `value`/`care` words per row.
+#[derive(Debug, Clone, Default)]
+pub struct PackedRows {
+    width: usize,
+    wpr: usize,
+    rows: usize,
+    value: Vec<u64>,
+    care: Vec<u64>,
+}
+
+impl PackedRows {
+    /// Empty packed table of `width`-digit rows.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            wpr: width.div_ceil(64),
+            rows: 0,
+            value: Vec::new(),
+            care: Vec::new(),
+        }
+    }
+
+    /// Pack every row of a behavioural array (same row order).
+    #[must_use]
+    pub fn from_tcam(tcam: &BehavioralTcam) -> Self {
+        let mut p = Self::new(tcam.width());
+        for row in tcam.rows() {
+            p.push(row);
+        }
+        p
+    }
+
+    /// Append one ternary row.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push(&mut self, word: &TernaryWord) {
+        assert_eq!(word.len(), self.width, "row width mismatch");
+        let base = self.value.len();
+        self.value.resize(base + self.wpr, 0);
+        self.care.resize(base + self.wpr, 0);
+        for (i, &d) in word.digits().iter().enumerate() {
+            let (w, bit) = (i / 64, 1u64 << (i % 64));
+            match d {
+                Ternary::One => {
+                    self.value[base + w] |= bit;
+                    self.care[base + w] |= bit;
+                }
+                Ternary::Zero => self.care[base + w] |= bit,
+                Ternary::X => {}
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per packed row.
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// Step-classification of one row against a query:
+    /// `(step1_mismatch, step2_mismatch)`.
+    #[inline]
+    fn classify(&self, row: usize, q: &PackedQuery) -> (bool, bool) {
+        let base = row * self.wpr;
+        let (mut s1, mut s2) = (0u64, 0u64);
+        for w in 0..self.wpr {
+            let mis = (q.word(w) ^ self.value[base + w]) & self.care[base + w];
+            s1 |= mis & STEP1_MASK;
+            s2 |= mis & STEP2_MASK;
+        }
+        (s1 != 0, s2 != 0)
+    }
+
+    /// Word-parallel two-step search over every row — the reference
+    /// bit kernel, bit-identical to [`BehavioralTcam::search`].
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch.
+    #[must_use]
+    pub fn search(&self, q: &PackedQuery) -> SearchOutcome {
+        assert_eq!(q.width(), self.width, "query width mismatch");
+        let mut out = SearchOutcome::empty();
+        for r in 0..self.rows {
+            let (m1, m2) = self.classify(r, q);
+            if m1 {
+                out.step1_misses += 1;
+            } else if m2 {
+                out.step2_misses += 1;
+            } else {
+                out.matches.push(r);
+            }
+        }
+        out
+    }
+}
+
+/// Transposed (bit-sliced) match planes over blocks of 512 rows, plus
+/// the row-major planes for survivor verification.
+///
+/// Per block, per digit (even digits first, then odd), two row-bitmap
+/// planes of [`WPB`] words each: `m0` (rows matching a searched `0`)
+/// and `m1` (rows matching a searched `1`). A wildcard row sets its
+/// bit in both planes; a row absent from the block (tail padding) sets
+/// neither, so padding dies on the first AND.
+#[derive(Debug, Clone)]
+pub struct BitSlices {
+    packed: PackedRows,
+    planes: Vec<u64>,
+    blocks: usize,
+    evens: usize,
+}
+
+impl BitSlices {
+    /// Build the sliced planes from a packed table.
+    #[must_use]
+    pub fn build(packed: PackedRows) -> Self {
+        let width = packed.width();
+        let evens = width.div_ceil(2);
+        let per_block = width * 2 * WPB;
+        let blocks = packed.rows().div_ceil(ROWS_PER_BLOCK);
+        let mut planes = vec![0u64; blocks * per_block];
+        for r in 0..packed.rows() {
+            let b = r / ROWS_PER_BLOCK;
+            let w = (r / 64) % WPB;
+            let bit = 1u64 << (r % 64);
+            let rbase = r * packed.words_per_row();
+            for d in 0..width {
+                let care = (packed.care[rbase + d / 64] >> (d % 64)) & 1 == 1;
+                let val = (packed.value[rbase + d / 64] >> (d % 64)) & 1 == 1;
+                let slot = if d % 2 == 0 { d / 2 } else { evens + d / 2 };
+                let pbase = b * per_block + slot * 2 * WPB + w;
+                if !care || !val {
+                    planes[pbase] |= bit; // matches a searched 0
+                }
+                if !care || val {
+                    planes[pbase + WPB] |= bit; // matches a searched 1
+                }
+            }
+        }
+        Self {
+            packed,
+            planes,
+            blocks,
+            evens,
+        }
+    }
+
+    /// Pack and slice a behavioural array in one step.
+    #[must_use]
+    pub fn from_tcam(tcam: &BehavioralTcam) -> Self {
+        Self::build(PackedRows::from_tcam(tcam))
+    }
+
+    /// The underlying row-major packed table.
+    #[must_use]
+    pub fn packed(&self) -> &PackedRows {
+        &self.packed
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Row width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.packed.width()
+    }
+
+    /// Early-terminating two-step search, bit-identical to
+    /// [`BehavioralTcam::search`] (matches ascending, exact per-step
+    /// miss counts).
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)]
+    pub fn search(&self, q: &PackedQuery) -> SearchOutcome {
+        assert_eq!(q.width(), self.packed.width(), "query width mismatch");
+        let mut out = SearchOutcome::empty();
+        let rows = self.packed.rows();
+        if self.packed.width() == 0 {
+            // Zero-width rows match every query vacuously.
+            out.matches.extend(0..rows);
+            return out;
+        }
+        let evens = self.evens;
+        let per_block = self.packed.width() * 2 * WPB;
+        // Per-query plane offsets: the query bit of each even digit
+        // selects m0 or m1, shared by every block.
+        let mut sel_stack = [0usize; 64];
+        let mut sel_heap;
+        let sel: &mut [usize] = if evens <= 64 {
+            &mut sel_stack[..evens]
+        } else {
+            sel_heap = vec![0usize; evens];
+            &mut sel_heap[..]
+        };
+        for (i, s) in sel.iter_mut().enumerate() {
+            let d = 2 * i;
+            let qbit = (q.word(d / 64) >> (d % 64)) & 1;
+            *s = i * 2 * WPB + (qbit as usize) * WPB;
+        }
+        let mut survivors = 0usize;
+        for b in 0..self.blocks {
+            let bbase = b * per_block;
+            let mut acc = [!0u64; WPB];
+            let mut i = 0;
+            while i < evens {
+                let plane = &self.planes[bbase + sel[i]..bbase + sel[i] + WPB];
+                for w in 0..WPB {
+                    acc[w] &= plane[w];
+                }
+                i += 1;
+                // Early termination: check the accumulator every four
+                // digits (the measured sweet spot — checking oftener
+                // costs more than it saves).
+                if i & 3 == 0 {
+                    let mut any = 0u64;
+                    for &a in &acc {
+                        any |= a;
+                    }
+                    if any == 0 {
+                        break;
+                    }
+                }
+            }
+            // Step 2: verify the step-1 survivors row-major.
+            for (w, &a) in acc.iter().enumerate() {
+                let mut bits = a;
+                while bits != 0 {
+                    let row = b * ROWS_PER_BLOCK + w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    survivors += 1;
+                    if self.packed.classify(row, q).1 {
+                        out.step2_misses += 1;
+                    } else {
+                        out.matches.push(row);
+                    }
+                }
+            }
+        }
+        out.step1_misses = rows - survivors;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_bits(width: usize, seed: u64) -> Vec<bool> {
+        let mut s = seed;
+        (0..width)
+            .map(|i| {
+                if i % 64 == 0 {
+                    s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                }
+                (s >> (i % 64)) & 1 == 1
+            })
+            .collect()
+    }
+
+    fn assert_equivalent(tcam: &BehavioralTcam, q: &[bool]) {
+        let reference = tcam.search(q);
+        let pq = PackedQuery::from_bits(q);
+        let packed = PackedRows::from_tcam(tcam);
+        assert_eq!(packed.search(&pq), reference, "row-major kernel");
+        let sliced = BitSlices::build(packed);
+        assert_eq!(sliced.search(&pq), reference, "bit-sliced kernel");
+    }
+
+    #[test]
+    fn packed_query_roundtrip_and_words() {
+        for width in [0usize, 1, 7, 63, 64, 65, 130] {
+            let bits = query_bits(width, 0xFEED ^ width as u64);
+            let q = PackedQuery::from_bits(&bits);
+            assert_eq!(q.width(), width);
+            assert_eq!(q.to_bits(), bits);
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(q.bit(i), b, "width {width} digit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let q = PackedQuery::from_words(5, &[!0u64]);
+        assert_eq!(q.word(0), 0b11111);
+        assert_eq!(q.to_bits(), vec![true; 5]);
+        let q = PackedQuery::from_words(70, &[!0, !0]);
+        assert_eq!(q.word(1), 0b11_1111);
+    }
+
+    #[test]
+    fn from_u64_matches_ternary_word_convention() {
+        let q = PackedQuery::from_u64(0b1010, 4);
+        let w = TernaryWord::from_u64(0b1010, 4);
+        let bits = q.to_bits();
+        assert!(w.matches_query(&bits));
+        assert_eq!(bits, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn kernels_match_reference_on_mixed_rows() {
+        let mut t = BehavioralTcam::new(4);
+        t.store("1010".parse().unwrap());
+        t.store("10XX".parse().unwrap());
+        t.store("0110".parse().unwrap());
+        t.store("XXXX".parse().unwrap());
+        assert_equivalent(&t, &[true, false, true, false]);
+        assert_equivalent(&t, &[false, true, true, false]);
+    }
+
+    #[test]
+    fn kernels_match_on_wide_and_odd_widths() {
+        for width in [3usize, 63, 64, 65, 100, 129] {
+            let mut t = BehavioralTcam::new(width);
+            for r in 0..700 {
+                let bits = query_bits(width, r as u64);
+                let word: TernaryWord = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| {
+                        if (i + r) % 7 == 0 {
+                            Ternary::X
+                        } else if b {
+                            Ternary::One
+                        } else {
+                            Ternary::Zero
+                        }
+                    })
+                    .collect();
+                t.store(word);
+            }
+            for seed in 0..8u64 {
+                // Stored patterns (hits) and random patterns (misses).
+                let q = if seed % 2 == 0 {
+                    query_bits(width, seed * 3)
+                } else {
+                    query_bits(width, 0xD00D ^ seed)
+                };
+                assert_equivalent(&t, &q);
+            }
+        }
+    }
+
+    #[test]
+    fn all_wildcard_rows_all_match() {
+        let mut t = BehavioralTcam::new(65);
+        for _ in 0..520 {
+            t.store((0..65).map(|_| Ternary::X).collect());
+        }
+        let q = query_bits(65, 9);
+        assert_equivalent(&t, &q);
+        let out = BitSlices::from_tcam(&t).search(&PackedQuery::from_bits(&q));
+        assert_eq!(out.matches.len(), 520);
+        assert_eq!(out.step1_misses, 0);
+    }
+
+    #[test]
+    fn zero_rows_and_zero_width() {
+        let empty = BehavioralTcam::new(16);
+        assert_equivalent(&empty, &query_bits(16, 1));
+        let mut nil = BehavioralTcam::new(0);
+        nil.store(TernaryWord::from_bits(&[]));
+        nil.store(TernaryWord::from_bits(&[]));
+        assert_equivalent(&nil, &[]);
+    }
+
+    #[test]
+    fn block_boundary_rows() {
+        // Rows straddling the 512-row block boundary keep exact ids.
+        let width = 32;
+        let mut t = BehavioralTcam::new(width);
+        for r in 0..(ROWS_PER_BLOCK + 3) {
+            t.store(TernaryWord::from_bits(&query_bits(width, r as u64)));
+        }
+        let q = query_bits(width, ROWS_PER_BLOCK as u64); // row 512's pattern
+        let out = BitSlices::from_tcam(&t).search(&PackedQuery::from_bits(&q));
+        assert!(out.matches.contains(&ROWS_PER_BLOCK));
+        assert_equivalent(&t, &q);
+    }
+}

@@ -9,6 +9,7 @@
 //! keeps them deterministic under test.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -118,6 +119,10 @@ impl TokenBucket {
 #[derive(Debug)]
 pub struct Admission {
     default_policy: RatePolicy,
+    /// `true` while every tenant rides an unlimited default and no
+    /// per-tenant policy exists — admission is then a single relaxed
+    /// load instead of a mutex acquisition (the submit hot path).
+    passthrough: AtomicBool,
     buckets: Mutex<HashMap<TenantId, TokenBucket>>,
 }
 
@@ -127,16 +132,19 @@ impl Admission {
     pub fn new(default_policy: RatePolicy) -> Self {
         Self {
             default_policy,
+            passthrough: AtomicBool::new(default_policy.rate.is_infinite()),
             buckets: Mutex::new(HashMap::new()),
         }
     }
 
     /// Install (or replace) a tenant's policy; the bucket restarts full.
     pub fn set_policy(&self, tenant: TenantId, policy: RatePolicy) {
-        self.buckets
-            .lock()
-            .expect("admission lock")
-            .insert(tenant, TokenBucket::new(policy));
+        let mut buckets = self.buckets.lock().expect("admission lock");
+        buckets.insert(tenant, TokenBucket::new(policy));
+        // Any explicit policy (even an unlimited one) pins admission to
+        // the bucket map; flip while still holding the lock so a racing
+        // admit cannot see the flag before the bucket.
+        self.passthrough.store(false, Ordering::Release);
     }
 
     /// Admit one request from `tenant` at time `now`.
@@ -144,6 +152,9 @@ impl Admission {
     /// # Errors
     /// [`Overloaded::RateLimited`] when the tenant's bucket is dry.
     pub fn admit(&self, tenant: TenantId, now: Instant) -> Result<(), Overloaded> {
+        if self.passthrough.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let mut buckets = self.buckets.lock().expect("admission lock");
         let bucket = buckets
             .entry(tenant)
@@ -206,6 +217,26 @@ mod tests {
         for _ in 0..100 {
             assert!(adm.admit(8, t0).is_ok());
         }
+    }
+
+    #[test]
+    fn passthrough_disengages_on_first_policy() {
+        let t0 = Instant::now();
+        let adm = Admission::new(RatePolicy::unlimited());
+        // Fast path: no buckets exist yet, nothing is created.
+        assert!(adm.admit(3, t0).is_ok());
+        assert!(adm.buckets.lock().unwrap().is_empty());
+        // Installing any policy pins admission to the bucket map.
+        adm.set_policy(3, RatePolicy::per_second(1.0, 1.0));
+        assert!(adm.admit(3, t0).is_ok());
+        assert_eq!(adm.admit(3, t0), Err(Overloaded::RateLimited { tenant: 3 }));
+        // A finite default never engages the fast path.
+        let strict = Admission::new(RatePolicy::per_second(0.0, 1.0));
+        assert!(strict.admit(9, t0).is_ok());
+        assert_eq!(
+            strict.admit(9, t0),
+            Err(Overloaded::RateLimited { tenant: 9 })
+        );
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Tiered execution backends: the same batch plan, two engines.
+//!
+//! Every query batch runs through one of two tiers:
+//!
+//! * **Spice** — the reference tier: per-row boolean two-step search on
+//!   the behavioural shards ([`ShardedTcam::search_shard`]), exactly as
+//!   the circuit would sequence it. Row-by-row, branchy, honest.
+//! * **Behavioural** — the throughput tier: a word-parallel bit-sliced
+//!   kernel ([`ferrotcam::BitSlices`]) that evaluates 64 rows per
+//!   machine word with `(query ^ value) & care` over pre-transposed
+//!   match planes. Same ternary semantics, orders of magnitude faster.
+//!
+//! Both tiers return identical [`SearchOutcome`]s (global ids, sorted)
+//! and both charge the *same* modelled silicon schedule and the same
+//! SPICE-calibrated energy — the fast tier changes how the answer is
+//! computed, never what is attributed to it. That claim is not taken on
+//! faith: the service's sampled audit lane replays a deterministic
+//! fraction of accepted behavioural queries on the Spice tier and
+//! compares match sets bit-for-bit and energies within a pinned
+//! tolerance ([`audit_compare`]).
+
+use crate::batch;
+use crate::shard::ShardedTcam;
+use ferrotcam::{BitSlices, PackedQuery, SearchOutcome};
+use ferrotcam_arch::sched::ScheduleOutcome;
+use ferrotcam_spice::parallel::par_map;
+
+/// Which execution tier answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Reference tier: per-row boolean search (circuit-faithful order).
+    Spice,
+    /// Throughput tier: bit-parallel sliced kernel, SPICE-attributed.
+    Behavioural,
+}
+
+impl BackendKind {
+    /// Parse a CLI/config spelling (`spice`, `behav`, `behavioural`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "spice" => Some(Self::Spice),
+            "behav" | "behavioural" | "behavioral" => Some(Self::Behavioural),
+            _ => None,
+        }
+    }
+
+    /// Short stable tag used in metric/curve ids (`spice` / `behav`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Spice => "spice",
+            Self::Behavioural => "behav",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One executed batch: per-job outcomes plus the modelled bank
+/// schedule, in batch order.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Per-job merged outcome; matches are global slot ids, ascending.
+    pub outcomes: Vec<SearchOutcome>,
+    /// Per-job modelled completion time on the bank pool (s).
+    pub per_job_latency_s: Vec<f64>,
+    /// The batch's bank schedule (utilization, makespan, waits).
+    pub sched: ScheduleOutcome,
+}
+
+/// An execution tier: plans a batch onto the banks and runs it.
+pub trait ExecBackend: Send + Sync + std::fmt::Debug {
+    /// Which tier this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The batch size this tier amortises best at (a hint — the
+    /// dispatcher uses it when the configured `max_batch` is 0).
+    fn preferred_batch(&self) -> usize;
+
+    /// Execute one batch. `queries[j]` visits every shard when
+    /// `targets[j]` is `None`, else only `targets[j]`. `jobs` is the
+    /// worker-pool width, `t_bank` the modelled per-bank busy time (s).
+    fn execute(
+        &self,
+        table: &ShardedTcam,
+        queries: &[PackedQuery],
+        targets: &[Option<usize>],
+        jobs: usize,
+        t_bank: f64,
+    ) -> ExecResult;
+}
+
+/// Shared plan/execute/merge skeleton of both tiers: `search(s, j)`
+/// answers job `j` on shard `s` with *global* match ids.
+fn run_plan<F>(
+    shards: usize,
+    targets: &[Option<usize>],
+    jobs: usize,
+    t_bank: f64,
+    search: F,
+) -> ExecResult
+where
+    F: Fn(usize, usize) -> SearchOutcome + Sync,
+{
+    let plan = batch::plan(targets, shards);
+    let per_shard: Vec<Vec<(usize, SearchOutcome)>> = par_map(&plan.per_shard, jobs, |s, list| {
+        list.iter().map(|&j| (j, search(s, j))).collect()
+    });
+    let mut outcomes: Vec<SearchOutcome> =
+        (0..targets.len()).map(|_| SearchOutcome::empty()).collect();
+    for shard_results in per_shard {
+        for (j, out) in shard_results {
+            outcomes[j].absorb(out);
+        }
+    }
+    for out in &mut outcomes {
+        out.matches.sort_unstable();
+    }
+    let (sched, per_job_latency_s) = plan.schedule(shards, t_bank);
+    ExecResult {
+        outcomes,
+        per_job_latency_s,
+        sched,
+    }
+}
+
+/// The reference tier: boolean per-row search on the behavioural
+/// shards, in circuit order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpiceBackend;
+
+impl ExecBackend for SpiceBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Spice
+    }
+
+    fn preferred_batch(&self) -> usize {
+        64
+    }
+
+    fn execute(
+        &self,
+        table: &ShardedTcam,
+        queries: &[PackedQuery],
+        targets: &[Option<usize>],
+        jobs: usize,
+        t_bank: f64,
+    ) -> ExecResult {
+        // Unpack once per job, not once per (job, shard) unit.
+        let bits: Vec<Vec<bool>> = queries.iter().map(PackedQuery::to_bits).collect();
+        run_plan(table.shard_count(), targets, jobs, t_bank, |s, j| {
+            table.search_shard(s, &bits[j])
+        })
+    }
+}
+
+/// The throughput tier: one bit-sliced plane set per shard, built once
+/// from the served table. Word-parallel step-1 rejection with a
+/// row-major step-2 verify of the survivors.
+#[derive(Debug)]
+pub struct BehaviouralBackend {
+    shards: Vec<BitSlices>,
+}
+
+impl BehaviouralBackend {
+    /// Transpose every shard of `table` into match planes.
+    #[must_use]
+    pub fn build(table: &ShardedTcam) -> Self {
+        Self {
+            shards: (0..table.shard_count())
+                .map(|s| BitSlices::from_tcam(table.shard(s)))
+                .collect(),
+        }
+    }
+}
+
+impl ExecBackend for BehaviouralBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Behavioural
+    }
+
+    fn preferred_batch(&self) -> usize {
+        1024
+    }
+
+    fn execute(
+        &self,
+        table: &ShardedTcam,
+        queries: &[PackedQuery],
+        targets: &[Option<usize>],
+        jobs: usize,
+        t_bank: f64,
+    ) -> ExecResult {
+        run_plan(table.shard_count(), targets, jobs, t_bank, |s, j| {
+            let mut out = self.shards[s].search(&queries[j]);
+            for m in &mut out.matches {
+                *m = table.global_row(s, *m);
+            }
+            out
+        })
+    }
+}
+
+/// The audit lane's verdict on one replayed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditVerdict {
+    /// The match sets (or miss counters) disagreed — a correctness bug.
+    pub match_divergence: bool,
+    /// Energies agreed on the match set but differed beyond tolerance.
+    pub energy_divergence: bool,
+    /// Relative energy error `|fast − ref| / max(|ref|, ε)`.
+    pub energy_rel: f64,
+    /// Human-readable account of the first disagreement, if any.
+    pub detail: Option<String>,
+}
+
+impl AuditVerdict {
+    /// Whether the replay agreed on everything.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        !self.match_divergence && !self.energy_divergence
+    }
+}
+
+/// Replay comparison: the fast tier's outcome/energy against the
+/// reference tier's, with `tolerance` as the relative energy bound.
+/// Match sets and both miss counters must be *bit-identical* — the
+/// kernel computes the same search, so any drift is a bug, not noise.
+#[must_use]
+pub fn audit_compare(
+    fast: &SearchOutcome,
+    fast_energy: Option<f64>,
+    reference: &SearchOutcome,
+    ref_energy: Option<f64>,
+    tolerance: f64,
+) -> AuditVerdict {
+    if fast.matches != reference.matches
+        || fast.step1_misses != reference.step1_misses
+        || fast.step2_misses != reference.step2_misses
+    {
+        return AuditVerdict {
+            match_divergence: true,
+            energy_divergence: false,
+            energy_rel: 0.0,
+            detail: Some(format!(
+                "match sets diverged: fast {}m/{}s1/{}s2 vs ref {}m/{}s1/{}s2",
+                fast.matches.len(),
+                fast.step1_misses,
+                fast.step2_misses,
+                reference.matches.len(),
+                reference.step1_misses,
+                reference.step2_misses,
+            )),
+        };
+    }
+    let energy_rel = match (fast_energy, ref_energy) {
+        (Some(a), Some(b)) => (a - b).abs() / b.abs().max(1e-300),
+        _ => 0.0,
+    };
+    if energy_rel > tolerance {
+        return AuditVerdict {
+            match_divergence: false,
+            energy_divergence: true,
+            energy_rel,
+            detail: Some(format!(
+                "energy diverged: fast {:.6e} J vs ref {:.6e} J (rel {energy_rel:.3e} > tol {tolerance:.1e})",
+                fast_energy.unwrap_or(0.0),
+                ref_energy.unwrap_or(0.0),
+            )),
+        };
+    }
+    AuditVerdict {
+        match_divergence: false,
+        energy_divergence: false,
+        energy_rel,
+        detail: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrotcam::TernaryWord;
+    use rand::split_mix64;
+
+    fn table(rows: u64, shards: usize, width: usize) -> ShardedTcam {
+        let mut t = ShardedTcam::new(width, shards);
+        let mut seed = 0xfeed_0000_0000_0000 ^ rows;
+        for _ in 0..rows {
+            let v = split_mix64(&mut seed);
+            let mut w = TernaryWord::from_u64(v, width.min(64));
+            if width > 64 {
+                w = format!("{}{}", "X".repeat(width - 64), w)
+                    .parse()
+                    .expect("wide word");
+            }
+            // Sprinkle wildcards so step-2 actually fires.
+            t.store(w);
+        }
+        t
+    }
+
+    fn rand_query(width: usize, seed: &mut u64) -> PackedQuery {
+        let words: Vec<u64> = (0..width.div_ceil(64)).map(|_| split_mix64(seed)).collect();
+        PackedQuery::from_words(width, &words)
+    }
+
+    #[test]
+    fn kind_parses_and_tags() {
+        assert_eq!(BackendKind::parse("spice"), Some(BackendKind::Spice));
+        assert_eq!(BackendKind::parse("BEHAV"), Some(BackendKind::Behavioural));
+        assert_eq!(
+            BackendKind::parse("behavioural"),
+            Some(BackendKind::Behavioural)
+        );
+        assert_eq!(BackendKind::parse("fast"), None);
+        assert_eq!(BackendKind::Spice.tag(), "spice");
+        assert_eq!(BackendKind::Behavioural.to_string(), "behav");
+    }
+
+    #[test]
+    fn tiers_agree_on_fanout_and_partitioned_batches() {
+        for width in [8usize, 64, 100] {
+            let t = table(200, 3, width);
+            let behav = BehaviouralBackend::build(&t);
+            let spice = SpiceBackend;
+            let mut seed = 0x1234_5678_9abc_def0 ^ width as u64;
+            let queries: Vec<PackedQuery> = (0..24).map(|_| rand_query(width, &mut seed)).collect();
+            let targets: Vec<Option<usize>> = (0..24)
+                .map(|i| if i % 3 == 0 { None } else { Some(i % 3) })
+                .collect();
+            let a = spice.execute(&t, &queries, &targets, 1, 1e-9);
+            let b = behav.execute(&t, &queries, &targets, 1, 1e-9);
+            for j in 0..queries.len() {
+                assert_eq!(a.outcomes[j].matches, b.outcomes[j].matches, "job {j}");
+                assert_eq!(a.outcomes[j].step1_misses, b.outcomes[j].step1_misses);
+                assert_eq!(a.outcomes[j].step2_misses, b.outcomes[j].step2_misses);
+                assert!((a.per_job_latency_s[j] - b.per_job_latency_s[j]).abs() < 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn audit_compare_flags_divergences() {
+        let base = SearchOutcome {
+            matches: vec![1, 5],
+            step1_misses: 10,
+            step2_misses: 2,
+        };
+        let ok = audit_compare(&base, Some(1e-12), &base.clone(), Some(1e-12), 1e-9);
+        assert!(ok.clean());
+        assert_eq!(ok.energy_rel, 0.0);
+
+        let mut wrong = base.clone();
+        wrong.matches = vec![1];
+        let v = audit_compare(&wrong, Some(1e-12), &base, Some(1e-12), 1e-9);
+        assert!(v.match_divergence && !v.energy_divergence);
+        assert!(v.detail.as_deref().unwrap().contains("match sets diverged"));
+
+        let v = audit_compare(&base, Some(1.1e-12), &base.clone(), Some(1e-12), 1e-9);
+        assert!(!v.match_divergence && v.energy_divergence);
+        assert!((v.energy_rel - 0.1).abs() < 1e-12);
+
+        // Within tolerance: clean, but the rel error is still reported.
+        let v = audit_compare(&base, Some(1e-12 + 1e-25), &base.clone(), Some(1e-12), 1e-9);
+        assert!(v.clean());
+        assert!(v.energy_rel > 0.0);
+    }
+}

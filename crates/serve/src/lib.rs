@@ -10,9 +10,12 @@
 //! pass per-tenant admission control ([`admission`]), queue in a
 //! bounded lock-free ring ([`queue`]), get coalesced into per-bank
 //! batches ([`batch`]), execute on sharded behavioural banks
-//! ([`shard`]) over the `spice::parallel` worker pool, and come back
-//! with the exact Table IV early-termination energy the search would
-//! have burned in silicon. Load beyond capacity is shed with typed
+//! ([`shard`]) through a tiered execution backend ([`backend`]) — the
+//! circuit-order Spice tier or the bit-parallel behavioural tier with
+//! a sampled Spice audit lane — over the `spice::parallel` worker
+//! pool, and come back with the exact Table IV early-termination
+//! energy the search would have burned in silicon. Load beyond
+//! capacity is shed with typed
 //! [`Overloaded`] errors instead of growing queues without bound, and
 //! a [`ServiceMetrics`] snapshot (latency percentiles, queue depth,
 //! batch sizes, shed counts, step-1 early-termination rate) exports as
@@ -40,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod admission;
+pub mod backend;
 pub mod batch;
 pub mod drain;
 pub mod metrics;
@@ -49,8 +53,12 @@ pub mod shard;
 pub(crate) mod sync;
 
 pub use admission::{Admission, Overloaded, RatePolicy, TenantId, TokenBucket};
+pub use backend::{
+    audit_compare, AuditVerdict, BackendKind, BehaviouralBackend, ExecBackend, ExecResult,
+    SpiceBackend,
+};
 pub use drain::DrainGate;
 pub use metrics::{Histogram, LatencySummary, MetricsCollector, ResponseSample, ServiceMetrics};
 pub use queue::BoundedQueue;
 pub use service::{SearchResponse, ServiceClient, ServiceConfig, TcamService, Ticket};
-pub use shard::{hash_bits, ShardedTcam};
+pub use shard::{hash_bits, hash_packed, ShardedTcam};

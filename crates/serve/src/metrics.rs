@@ -1,12 +1,19 @@
 //! Service observability: latency/batch histograms and the exported
 //! [`ServiceMetrics`] snapshot.
 //!
-//! Recording happens on the dispatcher thread (single writer) behind
-//! one uncontended mutex; snapshots are cheap and can be taken from
-//! any thread at any time, including while the service is loaded.
+//! The submission-side counters (`submitted`, the shed counters, the
+//! queue high-water mark) are plain atomics — they sit on the client
+//! hot path and must not serialise submitters against the dispatcher.
+//! Everything recorded by the dispatcher (histograms, batch stats,
+//! energy totals) lives behind one uncontended mutex, locked **once
+//! per batch** ([`MetricsCollector::on_responses`]), not once per
+//! response. Snapshots are cheap and can be taken from any thread at
+//! any time, including while the service is loaded.
 
+use crate::backend::AuditVerdict;
 use ferrotcam_arch::sched::ScheduleOutcome;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 // The histogram now lives in the simulator's trace layer so service
@@ -100,6 +107,18 @@ pub struct ServiceMetrics {
     pub bank_utilization: Vec<f64>,
     /// Longest modelled bank wait of any query (s).
     pub max_sched_wait_s: f64,
+    /// Behavioural queries replayed on the reference tier.
+    #[serde(default)]
+    pub audit_sampled: u64,
+    /// Audit replays whose match sets disagreed (correctness bug).
+    #[serde(default)]
+    pub audit_match_divergences: u64,
+    /// Audit replays whose energies disagreed beyond tolerance.
+    #[serde(default)]
+    pub audit_energy_divergences: u64,
+    /// Worst relative energy error any audit replay observed.
+    #[serde(default)]
+    pub audit_worst_energy_rel: f64,
 }
 
 impl ServiceMetrics {
@@ -133,15 +152,11 @@ pub struct ResponseSample {
     pub energy_j: Option<f64>,
 }
 
-/// Internal accumulator behind the collector's mutex.
+/// Internal accumulator behind the collector's mutex (dispatcher-side
+/// facts only; the submission counters are atomics on the collector).
 #[derive(Debug, Default)]
 struct Inner {
-    submitted: u64,
     completed: u64,
-    shed_queue_full: u64,
-    shed_rate_limited: u64,
-    shed_shutting_down: u64,
-    max_queue_depth: usize,
     wall: Histogram,
     model: Histogram,
     batches: u64,
@@ -156,11 +171,20 @@ struct Inner {
     bank_busy_total: Vec<f64>,
     sched_time_total: f64,
     max_sched_wait_s: f64,
+    audit_sampled: u64,
+    audit_match_divergences: u64,
+    audit_energy_divergences: u64,
+    audit_worst_energy_rel: f64,
 }
 
 /// Thread-safe metrics collector shared by clients and the dispatcher.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
+    submitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_rate_limited: AtomicU64,
+    shed_shutting_down: AtomicU64,
+    max_queue_depth: AtomicUsize,
     inner: Mutex<Inner>,
 }
 
@@ -172,21 +196,20 @@ impl MetricsCollector {
     }
 
     /// A request was accepted into the queue, which then held `depth`
-    /// items.
+    /// items. Lock-free: this runs on every submitter's hot path.
     pub fn on_submit(&self, depth: usize) {
-        let mut m = self.inner.lock().expect("metrics lock");
-        m.submitted += 1;
-        m.max_queue_depth = m.max_queue_depth.max(depth);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// A request was shed with `err`.
+    /// A request was shed with `err`. Lock-free.
     pub fn on_shed(&self, err: crate::admission::Overloaded) {
-        let mut m = self.inner.lock().expect("metrics lock");
-        match err {
-            crate::admission::Overloaded::QueueFull => m.shed_queue_full += 1,
-            crate::admission::Overloaded::RateLimited { .. } => m.shed_rate_limited += 1,
-            crate::admission::Overloaded::ShuttingDown => m.shed_shutting_down += 1,
-        }
+        let counter = match err {
+            crate::admission::Overloaded::QueueFull => &self.shed_queue_full,
+            crate::admission::Overloaded::RateLimited { .. } => &self.shed_rate_limited,
+            crate::admission::Overloaded::ShuttingDown => &self.shed_shutting_down,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The dispatcher pulled and scheduled a batch of `size` queries.
@@ -207,21 +230,40 @@ impl MetricsCollector {
     }
 
     /// One response went out.
-    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     pub fn on_response(&self, sample: &ResponseSample) {
+        self.on_responses(std::slice::from_ref(sample));
+    }
+
+    /// A whole batch of responses went out: one lock for all of them.
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    pub fn on_responses(&self, samples: &[ResponseSample]) {
+        if samples.is_empty() {
+            return;
+        }
         let mut m = self.inner.lock().expect("metrics lock");
-        m.completed += 1;
-        m.wall.record(sample.wall_ns);
-        if let Some(lat) = sample.model_latency_s {
-            m.model.record((lat * 1e12).max(0.0) as u64);
+        for sample in samples {
+            m.completed += 1;
+            m.wall.record(sample.wall_ns);
+            if let Some(lat) = sample.model_latency_s {
+                m.model.record((lat * 1e12).max(0.0) as u64);
+            }
+            m.rows_searched += sample.rows as u64;
+            m.step1_misses += sample.step1_misses as u64;
+            m.step2_misses += sample.step2_misses as u64;
+            m.matches += sample.matches as u64;
+            if let Some(e) = sample.energy_j {
+                m.energy_total_j += e;
+            }
         }
-        m.rows_searched += sample.rows as u64;
-        m.step1_misses += sample.step1_misses as u64;
-        m.step2_misses += sample.step2_misses as u64;
-        m.matches += sample.matches as u64;
-        if let Some(e) = sample.energy_j {
-            m.energy_total_j += e;
-        }
+    }
+
+    /// The audit lane replayed one sampled query and reached `verdict`.
+    pub fn on_audit(&self, verdict: &AuditVerdict) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.audit_sampled += 1;
+        m.audit_match_divergences += u64::from(verdict.match_divergence);
+        m.audit_energy_divergences += u64::from(verdict.energy_divergence);
+        m.audit_worst_energy_rel = m.audit_worst_energy_rel.max(verdict.energy_rel);
     }
 
     /// Snapshot everything; `queue_depth` is sampled by the caller.
@@ -237,13 +279,13 @@ impl MetricsCollector {
             vec![0.0; m.bank_busy_total.len()]
         };
         ServiceMetrics {
-            submitted: m.submitted,
+            submitted: self.submitted.load(Ordering::Relaxed),
             completed: m.completed,
-            shed_queue_full: m.shed_queue_full,
-            shed_rate_limited: m.shed_rate_limited,
-            shed_shutting_down: m.shed_shutting_down,
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
+            shed_shutting_down: self.shed_shutting_down.load(Ordering::Relaxed),
             queue_depth,
-            max_queue_depth: m.max_queue_depth,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             wall_latency_ns: LatencySummary::of(&m.wall),
             model_latency_ps: LatencySummary::of(&m.model),
             batch: BatchStats {
@@ -268,6 +310,10 @@ impl MetricsCollector {
             energy_total_j: m.energy_total_j,
             bank_utilization: utilization,
             max_sched_wait_s: m.max_sched_wait_s,
+            audit_sampled: m.audit_sampled,
+            audit_match_divergences: m.audit_match_divergences,
+            audit_energy_divergences: m.audit_energy_divergences,
+            audit_worst_energy_rel: m.audit_worst_energy_rel,
         }
     }
 }
@@ -284,7 +330,7 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
-        // Octave resolution: p50 of 1..=1000 lands in the 512 bucket.
+        // p50 of 1..=1000 lands in the [496, 512) sub-bucket.
         assert_eq!(h.quantile(0.5), 512.0);
         assert_eq!(h.quantile(1.0), 1000.0);
         assert_eq!(LatencySummary::of(&h).max, 1000.0);
@@ -318,6 +364,64 @@ mod tests {
         let json = snap.to_json();
         let back: ServiceMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_accepts_pre_audit_json() {
+        // Snapshots written before the audit lane existed must still
+        // deserialise; the audit fields default to zero.
+        let snap = MetricsCollector::new().snapshot(0);
+        let json = snap.to_json();
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("audit_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            // The last surviving field keeps its trailing comma.
+            .replace(",\n}", "\n}");
+        assert!(!stripped.contains("audit_"), "fields really removed");
+        let back: ServiceMetrics = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn batched_responses_equal_singles_and_audit_accumulates() {
+        let a = MetricsCollector::new();
+        let b = MetricsCollector::new();
+        let samples: Vec<ResponseSample> = (0..10)
+            .map(|i| ResponseSample {
+                wall_ns: 100 + i,
+                model_latency_s: Some(1e-9),
+                rows: 8,
+                step1_misses: 6,
+                step2_misses: 1,
+                matches: 1,
+                energy_j: Some(1e-15),
+            })
+            .collect();
+        a.on_responses(&samples);
+        for s in &samples {
+            b.on_response(s);
+        }
+        assert_eq!(a.snapshot(0), b.snapshot(0));
+
+        a.on_audit(&AuditVerdict {
+            match_divergence: false,
+            energy_divergence: false,
+            energy_rel: 1e-12,
+            detail: None,
+        });
+        a.on_audit(&AuditVerdict {
+            match_divergence: true,
+            energy_divergence: false,
+            energy_rel: 0.0,
+            detail: Some("boom".into()),
+        });
+        let snap = a.snapshot(0);
+        assert_eq!(snap.audit_sampled, 2);
+        assert_eq!(snap.audit_match_divergences, 1);
+        assert_eq!(snap.audit_energy_divergences, 0);
+        assert!((snap.audit_worst_energy_rel - 1e-12).abs() < 1e-24);
     }
 
     #[test]

@@ -6,19 +6,30 @@
 //!                          ▼                    ▼              ▼
 //!                      Overloaded           Overloaded   batch planner
 //!                                                             │
-//!                                             par_map over shards (banks)
+//!                                     ExecBackend (spice | behav) over shards
 //!                                                             │
 //!                                            merge + energy/latency attribution
+//!                                                             │
+//!                                  sampled audit replay ◀─────┤
 //!                                                             │
 //!                                                  tickets resolve ◀┘
 //! ```
 //!
 //! One dispatcher thread owns the drain side of the queue. It pulls up
 //! to `max_batch` requests, plans them into per-bank work lists,
-//! executes the banks on the `ferrotcam_spice::parallel::par_map`
-//! worker pool, charges each query its modelled bank wait (from
-//! `arch::sched`) and its silicon energy (from the attached
+//! executes them on the configured [`ExecBackend`] tier — the
+//! circuit-order [`SpiceBackend`] or the bit-parallel
+//! [`BehaviouralBackend`] — charges each query its modelled bank wait
+//! (from `arch::sched`) and its silicon energy (from the attached
 //! `core::fom` metrics), and resolves the per-request tickets.
+//!
+//! Queries answered on the behavioural tier pass through a **sampled
+//! audit lane**: a deterministic 1-in-`audit_period` subset (SplitMix64
+//! over an accept counter, so the sample is reproducible and
+//! ungameable by arrival order) is replayed on the Spice tier. Match
+//! sets must be bit-identical and energies must agree within
+//! `audit_tolerance`; divergences are counted in [`ServiceMetrics`]
+//! and emitted as typed `spice::trace` audit events.
 //!
 //! Shutdown is a *drain*: new submissions are refused with
 //! [`Overloaded::ShuttingDown`] while every request already accepted
@@ -28,13 +39,17 @@
 //! request can fall between.
 
 use crate::admission::{Admission, Overloaded, RatePolicy, TenantId};
-use crate::batch;
+use crate::backend::{
+    audit_compare, BackendKind, BehaviouralBackend, ExecBackend, ExecResult, SpiceBackend,
+};
 use crate::drain::DrainGate;
 use crate::metrics::{MetricsCollector, ResponseSample, ServiceMetrics};
 use crate::queue::BoundedQueue;
-use crate::shard::ShardedTcam;
-use ferrotcam::SearchOutcome;
-use ferrotcam_spice::parallel::{default_jobs, par_map};
+use crate::shard::{hash_packed, ShardedTcam};
+use ferrotcam::PackedQuery;
+use ferrotcam_spice::parallel::default_jobs;
+use ferrotcam_spice::trace::{self, TraceLevel};
+use rand::split_mix64;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -43,7 +58,8 @@ use std::time::{Duration, Instant};
 pub struct ServiceConfig {
     /// Bounded submission-queue capacity (the backpressure horizon).
     pub queue_capacity: usize,
-    /// Most queries the dispatcher coalesces into one batch.
+    /// Most queries the dispatcher coalesces into one batch; 0 means
+    /// the backend's preferred batch size.
     pub max_batch: usize,
     /// Worker threads for the per-bank batch execution; 0 means the
     /// `spice::parallel` default (`FERROTCAM_JOBS` or the core count).
@@ -53,6 +69,16 @@ pub struct ServiceConfig {
     /// Override for the modelled per-bank busy time (s); defaults to
     /// the attached metrics' two-step latency, else 1 ns.
     pub t_bank: Option<f64>,
+    /// Which execution tier answers queries.
+    pub backend: BackendKind,
+    /// Audit lane sampling period for behavioural queries: on average
+    /// one in `audit_period` accepted queries is replayed on the Spice
+    /// tier. 0 disables the lane.
+    pub audit_period: u64,
+    /// Relative energy-agreement bound the audit lane enforces.
+    pub audit_tolerance: f64,
+    /// Seed of the deterministic audit sampler.
+    pub audit_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +89,10 @@ impl Default for ServiceConfig {
             jobs: 0,
             default_policy: RatePolicy::unlimited(),
             t_bank: None,
+            backend: BackendKind::Spice,
+            audit_period: 10_000,
+            audit_tolerance: 1e-9,
+            audit_seed: 0xfe77_0ca3_a0d1_7001,
         }
     }
 }
@@ -113,13 +143,15 @@ impl Ticket {
     }
 }
 
-/// One accepted request travelling through the queue.
+/// One accepted request travelling through the queue. `tx: None` is a
+/// fire-and-forget submission: the search still runs and is accounted,
+/// but no response object is built or delivered (open-loop load).
 #[derive(Debug)]
 struct Job {
-    query: Vec<bool>,
+    query: PackedQuery,
     shard: Option<usize>,
     enqueued: Instant,
-    tx: mpsc::Sender<SearchResponse>,
+    tx: Option<mpsc::Sender<SearchResponse>>,
 }
 
 /// Shared state between clients and the dispatcher.
@@ -134,6 +166,21 @@ struct Inner {
     max_batch: usize,
     jobs: usize,
     t_bank: f64,
+    backend_kind: BackendKind,
+    spice: SpiceBackend,
+    behav: Option<BehaviouralBackend>,
+    audit_period: u64,
+    audit_tolerance: f64,
+    audit_seed: u64,
+}
+
+impl Inner {
+    fn backend(&self) -> &dyn ExecBackend {
+        match &self.behav {
+            Some(b) if self.backend_kind == BackendKind::Behavioural => b,
+            _ => &self.spice,
+        }
+    }
 }
 
 /// Cloneable client handle: submit requests, read metrics.
@@ -160,12 +207,61 @@ impl ServiceClient {
         query: Vec<bool>,
         shard: Option<usize>,
     ) -> Result<Ticket, Overloaded> {
+        self.submit_packed(tenant, PackedQuery::from_bits(&query), shard)
+    }
+
+    /// [`Self::submit`] over an already bit-packed query — the
+    /// allocation-light hot path (no `Vec<bool>` unpacking anywhere).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`].
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch or out-of-range shard.
+    pub fn submit_packed(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(tenant, query, shard, Some(tx))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Fire-and-forget submission: the query runs, is fully accounted
+    /// in metrics and the audit lane, but no response is delivered.
+    /// This is the open-loop load-generation path — it skips the
+    /// per-request channel entirely.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`].
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch or out-of-range shard.
+    pub fn submit_noreply(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        shard: Option<usize>,
+    ) -> Result<(), Overloaded> {
+        self.enqueue(tenant, query, shard, None)
+    }
+
+    fn enqueue(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        shard: Option<usize>,
+        tx: Option<mpsc::Sender<SearchResponse>>,
+    ) -> Result<(), Overloaded> {
         let inner = &*self.inner;
-        assert_eq!(query.len(), inner.table.width(), "query width mismatch");
+        assert_eq!(query.width(), inner.table.width(), "query width mismatch");
         if let Some(s) = shard {
             assert!(s < inner.table.shard_count(), "shard {s} out of range");
         }
-        if let Err(e) = inner.admission.admit(tenant, Instant::now()) {
+        let now = Instant::now();
+        if let Err(e) = inner.admission.admit(tenant, now) {
             inner.metrics.on_shed(e);
             return Err(e);
         }
@@ -176,11 +272,10 @@ impl ServiceClient {
             inner.metrics.on_shed(Overloaded::ShuttingDown);
             return Err(Overloaded::ShuttingDown);
         }
-        let (tx, rx) = mpsc::channel();
         let job = Job {
             query,
             shard,
-            enqueued: Instant::now(),
+            enqueued: now,
             tx,
         };
         if inner.queue.push(job).is_err() {
@@ -190,7 +285,7 @@ impl ServiceClient {
             return Err(Overloaded::QueueFull);
         }
         inner.metrics.on_submit(inner.queue.len());
-        Ok(Ticket { rx })
+        Ok(())
     }
 
     /// Submit a key-partitioned query: the shard is chosen by the
@@ -199,8 +294,22 @@ impl ServiceClient {
     /// # Errors
     /// Same sheds as [`ServiceClient::submit`].
     pub fn submit_routed(&self, tenant: TenantId, query: Vec<bool>) -> Result<Ticket, Overloaded> {
-        let shard = self.inner.table.route(&query);
-        self.submit(tenant, query, Some(shard))
+        self.submit_packed_routed(tenant, PackedQuery::from_bits(&query))
+    }
+
+    /// [`Self::submit_routed`] over a packed query: routed by
+    /// [`ShardedTcam::route_packed`], which hashes the packed words
+    /// directly (identical route to the boolean path).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`].
+    pub fn submit_packed_routed(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+    ) -> Result<Ticket, Overloaded> {
+        let shard = self.inner.table.route_packed(&query);
+        self.submit_packed(tenant, query, Some(shard))
     }
 
     /// Install a per-tenant rate policy.
@@ -219,6 +328,12 @@ impl ServiceClient {
     pub fn table(&self) -> &ShardedTcam {
         &self.inner.table
     }
+
+    /// The execution tier this service answers on.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.inner.backend_kind
+    }
 }
 
 /// The running service: owns the dispatcher thread.
@@ -230,6 +345,8 @@ pub struct TcamService {
 
 impl TcamService {
     /// Start serving `table` under `config`; spawns the dispatcher.
+    /// A behavioural-tier service transposes the table into bit-sliced
+    /// match planes here, once.
     ///
     /// # Panics
     /// Panics if the dispatcher thread cannot be spawned.
@@ -244,15 +361,31 @@ impl TcamService {
         } else {
             config.jobs
         };
+        let behav =
+            (config.backend == BackendKind::Behavioural).then(|| BehaviouralBackend::build(&table));
+        let max_batch = if config.max_batch == 0 {
+            match &behav {
+                Some(b) => b.preferred_batch(),
+                None => SpiceBackend.preferred_batch(),
+            }
+        } else {
+            config.max_batch
+        };
         let inner = Arc::new(Inner {
             table,
             queue: BoundedQueue::new(config.queue_capacity),
             admission: Admission::new(config.default_policy),
             metrics: MetricsCollector::new(),
             gate: DrainGate::new(),
-            max_batch: config.max_batch.max(1),
+            max_batch: max_batch.max(1),
             jobs,
             t_bank,
+            backend_kind: config.backend,
+            spice: SpiceBackend,
+            behav,
+            audit_period: config.audit_period,
+            audit_tolerance: config.audit_tolerance,
+            audit_seed: config.audit_seed,
         });
         let worker_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -304,6 +437,10 @@ impl Drop for TcamService {
 /// Dispatcher main loop: coalesce, execute, answer; exit only when
 /// draining and every accepted request has been answered.
 fn dispatch_loop(inner: &Inner) {
+    // The audit sampler's own monotone counter: advancing it per
+    // *accepted behavioural job* makes the 1-in-`period` sample
+    // deterministic for a given seed, independent of batching.
+    let mut audit_counter: u64 = 0;
     loop {
         let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
         inner.queue.drain_into(&mut batch, inner.max_batch);
@@ -314,91 +451,119 @@ fn dispatch_loop(inner: &Inner) {
             std::thread::sleep(Duration::from_micros(20));
             continue;
         }
-        let _span = ferrotcam_spice::trace::span("serve.dispatch");
-        execute_batch(inner, batch);
+        execute_batch(inner, batch, &mut audit_counter);
     }
 }
 
-/// Run one batch: plan per-bank work, search the shards on the worker
-/// pool, model the bank schedule, attribute energy, resolve tickets.
-fn execute_batch(inner: &Inner, jobs: Vec<Job>) {
-    let _span = ferrotcam_spice::trace::span("serve.batch");
-    for job in &jobs {
-        let wait = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        ferrotcam_spice::trace::sample("serve.queue_wait_ns", wait);
-    }
-    let n = inner.table.shard_count();
-    // Split the Sync part (queries) from the send side (tickets) so
-    // the worker pool only ever sees the former.
+/// Run one batch: plan per-bank work, execute on the configured tier,
+/// model the bank schedule, attribute energy, audit a sample, resolve
+/// tickets.
+fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
+    let tracing = trace::level() != TraceLevel::Off;
+    let _span = tracing.then(|| trace::span("serve.batch"));
+    let backend = inner.backend();
+
+    // Split the Sync part (queries/targets) from the send side
+    // (tickets) so the worker pool only ever sees the former.
     let targets: Vec<Option<usize>> = jobs.iter().map(|j| j.shard).collect();
-    let queries: Vec<Vec<bool>> = jobs.iter().map(|j| j.query.clone()).collect();
-    let plan = batch::plan(&targets, n);
+    let queries: Vec<PackedQuery> = jobs.iter().map(|j| j.query.clone()).collect();
 
-    let table = &inner.table;
-    let per_shard_results: Vec<Vec<(usize, SearchOutcome)>> =
-        par_map(&plan.per_shard, inner.jobs, |s, list| {
-            list.iter()
-                .map(|&j| (j, table.search_shard(s, &queries[j])))
-                .collect()
-        });
+    let ExecResult {
+        mut outcomes,
+        per_job_latency_s,
+        sched,
+    } = backend.execute(&inner.table, &queries, &targets, inner.jobs, inner.t_bank);
+    inner.metrics.on_batch(jobs.len(), &sched);
 
-    // Merge the per-shard outcomes back into one outcome per job.
-    let mut merged: Vec<SearchOutcome> = (0..jobs.len())
-        .map(|_| SearchOutcome {
-            matches: Vec::new(),
-            step1_misses: 0,
-            step2_misses: 0,
-        })
-        .collect();
-    for shard_results in per_shard_results {
-        for (j, out) in shard_results {
-            merged[j].matches.extend(out.matches);
-            merged[j].step1_misses += out.step1_misses;
-            merged[j].step2_misses += out.step2_misses;
-        }
-    }
-
-    let (sched_outcome, per_job_done) = plan.schedule(n, inner.t_bank);
-    inner.metrics.on_batch(jobs.len(), &sched_outcome);
-
+    // One clock read for the whole batch: per-job wall latency is pure
+    // arithmetic against it.
+    let now = Instant::now();
+    let audit = backend.kind() == BackendKind::Behavioural && inner.audit_period > 0;
+    let mut samples: Vec<ResponseSample> = Vec::with_capacity(jobs.len());
     for (j, job) in jobs.into_iter().enumerate() {
-        let mut outcome = std::mem::replace(
-            &mut merged[j],
-            SearchOutcome {
-                matches: Vec::new(),
-                step1_misses: 0,
-                step2_misses: 0,
-            },
-        );
-        outcome.matches.sort_unstable();
+        let outcome = std::mem::replace(&mut outcomes[j], ferrotcam::SearchOutcome::empty());
         let rows_searched = match job.shard {
             Some(s) => inner.table.shard(s).len(),
             None => inner.table.len(),
         };
         let energy_j = inner.table.energy_of(&outcome);
-        let wall_latency_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let response = SearchResponse {
-            matches: outcome.matches,
+        let wall_latency_ns = u64::try_from(now.saturating_duration_since(job.enqueued).as_nanos())
+            .unwrap_or(u64::MAX);
+        if tracing {
+            trace::sample("serve.queue_wait_ns", wall_latency_ns);
+        }
+        if audit {
+            // Deterministic 1-in-`period` sample over the accept
+            // counter (SplitMix64-whitened so the sample is spread, not
+            // periodic in arrival order).
+            let mut state = inner.audit_seed ^ *audit_counter;
+            *audit_counter += 1;
+            if split_mix64(&mut state).is_multiple_of(inner.audit_period) {
+                audit_replay(inner, &job, &outcome, energy_j);
+            }
+        }
+        samples.push(ResponseSample {
+            wall_ns: wall_latency_ns,
+            model_latency_s: Some(per_job_latency_s[j]),
+            rows: rows_searched,
             step1_misses: outcome.step1_misses,
             step2_misses: outcome.step2_misses,
-            rows_searched,
-            energy_j,
-            model_latency_s: per_job_done[j],
-            wall_latency_ns,
-        };
-        inner.metrics.on_response(&ResponseSample {
-            wall_ns: wall_latency_ns,
-            model_latency_s: Some(response.model_latency_s),
-            rows: rows_searched,
-            step1_misses: response.step1_misses,
-            step2_misses: response.step2_misses,
-            matches: response.matches.len(),
+            matches: outcome.matches.len(),
             energy_j,
         });
-        // A dropped ticket is fine — the work was still done and
-        // accounted; only the delivery is skipped.
-        let _ = job.tx.send(response);
+        if let Some(tx) = job.tx {
+            // A dropped ticket is fine — the work was still done and
+            // accounted; only the delivery is skipped.
+            let _ = tx.send(SearchResponse {
+                matches: outcome.matches,
+                step1_misses: outcome.step1_misses,
+                step2_misses: outcome.step2_misses,
+                rows_searched,
+                energy_j,
+                model_latency_s: per_job_latency_s[j],
+                wall_latency_ns,
+            });
+        }
         inner.gate.complete();
+    }
+    inner.metrics.on_responses(&samples);
+}
+
+/// Replay one sampled behavioural answer on the Spice (reference)
+/// tier and record the verdict.
+fn audit_replay(
+    inner: &Inner,
+    job: &Job,
+    fast: &ferrotcam::SearchOutcome,
+    fast_energy: Option<f64>,
+) {
+    let bits = job.query.to_bits();
+    let mut reference = match job.shard {
+        Some(s) => inner.table.search_shard(s, &bits),
+        None => inner.table.search_all(&bits),
+    };
+    reference.matches.sort_unstable();
+    let ref_energy = inner.table.energy_of(&reference);
+    let verdict = audit_compare(
+        fast,
+        fast_energy,
+        &reference,
+        ref_energy,
+        inner.audit_tolerance,
+    );
+    inner.metrics.on_audit(&verdict);
+    if !verdict.clean() {
+        let lane = if verdict.match_divergence {
+            "match"
+        } else {
+            "energy"
+        };
+        trace::audit_divergence(
+            lane,
+            hash_packed(&job.query),
+            verdict.energy_rel,
+            verdict.detail.clone().unwrap_or_default(),
+        );
     }
 }
 
@@ -453,6 +618,76 @@ mod tests {
     }
 
     #[test]
+    fn backends_answer_identically() {
+        for backend in [BackendKind::Spice, BackendKind::Behavioural] {
+            let config = ServiceConfig {
+                backend,
+                ..ServiceConfig::default()
+            };
+            let svc = TcamService::start(table(32, 4), &config);
+            let client = svc.client();
+            assert_eq!(client.backend(), backend);
+            let reference = {
+                let mut r = ferrotcam::BehavioralTcam::new(8);
+                for i in 0..32u64 {
+                    r.store(TernaryWord::from_u64(i * 3, 8));
+                }
+                r
+            };
+            for v in [0u64, 3, 30, 93, 200, 255] {
+                let resp = client.submit(0, bits(v), None).unwrap().wait();
+                let flat = reference.search(&bits(v));
+                assert_eq!(resp.matches, flat.matches, "{backend} v={v}");
+                assert_eq!(resp.step1_misses, flat.step1_misses, "{backend} v={v}");
+                assert_eq!(resp.step2_misses, flat.step2_misses, "{backend} v={v}");
+            }
+            drop(svc);
+        }
+    }
+
+    #[test]
+    fn audit_lane_samples_and_stays_clean() {
+        // Period 1 audits *every* behavioural query; any kernel bug
+        // would surface as a divergence here.
+        let config = ServiceConfig {
+            backend: BackendKind::Behavioural,
+            audit_period: 1,
+            ..ServiceConfig::default()
+        };
+        let svc = TcamService::start(table(48, 3), &config);
+        let client = svc.client();
+        for v in 0..64u64 {
+            let _ = client.submit(0, bits(v * 5), None).unwrap().wait();
+        }
+        let m = svc.drain();
+        assert_eq!(m.completed, 64);
+        assert_eq!(m.audit_sampled, 64, "period-1 lane replays everything");
+        assert_eq!(m.audit_match_divergences, 0);
+        assert_eq!(m.audit_energy_divergences, 0);
+        assert!(m.audit_worst_energy_rel <= 1e-9);
+    }
+
+    #[test]
+    fn noreply_submissions_are_counted_not_answered() {
+        let config = ServiceConfig {
+            backend: BackendKind::Behavioural,
+            audit_period: 0,
+            ..ServiceConfig::default()
+        };
+        let svc = TcamService::start(table(16, 2), &config);
+        let client = svc.client();
+        for v in 0..32u64 {
+            client
+                .submit_noreply(0, PackedQuery::from_bits(&bits(v * 7)), None)
+                .unwrap();
+        }
+        let m = svc.drain();
+        assert_eq!(m.completed, 32);
+        assert_eq!(m.audit_sampled, 0, "audit lane disabled at period 0");
+        assert_eq!(m.rows_searched, 32 * 16);
+    }
+
+    #[test]
     fn drain_answers_everything_accepted() {
         let svc = TcamService::start(table(8, 2), &ServiceConfig::default());
         let client = svc.client();
@@ -503,6 +738,27 @@ mod tests {
             let resp = client.submit_routed(0, bits(i)).unwrap().wait();
             assert_eq!(resp.matches.len(), 1, "key {i} found on its shard");
             assert!(resp.rows_searched < 64, "scans one shard, not the table");
+        }
+        drop(svc);
+    }
+
+    #[test]
+    fn packed_routed_equals_boolean_routed() {
+        let mut t = ShardedTcam::new(8, 4);
+        for i in 0..64u64 {
+            let shard = t.route(&bits(i));
+            t.store_in(shard, TernaryWord::from_u64(i, 8));
+        }
+        let svc = TcamService::start(t, &ServiceConfig::default());
+        let client = svc.client();
+        for i in [0u64, 17, 42, 63] {
+            let a = client.submit_routed(0, bits(i)).unwrap().wait();
+            let b = client
+                .submit_packed_routed(0, PackedQuery::from_bits(&bits(i)))
+                .unwrap()
+                .wait();
+            assert_eq!(a.matches, b.matches, "key {i}");
+            assert_eq!(a.rows_searched, b.rows_searched, "same shard routed");
         }
         drop(svc);
     }

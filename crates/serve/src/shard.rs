@@ -20,7 +20,7 @@
 //! have burned on the unsharded array.
 
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{BehavioralTcam, SearchOutcome, TernaryWord};
+use ferrotcam::{BehavioralTcam, PackedQuery, SearchOutcome, TernaryWord};
 use rand::split_mix64;
 
 /// A ternary table split across `n` behavioural shards.
@@ -49,6 +49,31 @@ pub fn hash_bits(bits: &[bool]) -> u64 {
         }
     }
     state ^= acc ^ u64::from(n);
+    split_mix64(&mut state)
+}
+
+/// [`hash_bits`] over a bit-packed query, without unpacking: produces
+/// the *same* hash as `hash_bits(&q.to_bits())`, so packed and boolean
+/// submission paths route identically. The MSB-first fold of
+/// `hash_bits` corresponds to `u64::reverse_bits` on each LSB-first
+/// packed word (a partial tail of `n` bits lands right-aligned after
+/// an extra `64 - n` shift).
+#[must_use]
+pub fn hash_packed(q: &PackedQuery) -> u64 {
+    let width = q.width();
+    let mut state = 0x9E37_79B9_7F4A_7C15 ^ width as u64;
+    let full = width / 64;
+    for w in 0..full {
+        state ^= q.word(w).reverse_bits();
+        let _ = split_mix64(&mut state);
+    }
+    let tail = (width % 64) as u32;
+    let acc = if tail == 0 {
+        0
+    } else {
+        q.word(full).reverse_bits() >> (64 - tail)
+    };
+    state ^= acc ^ u64::from(tail);
     split_mix64(&mut state)
 }
 
@@ -153,6 +178,13 @@ impl ShardedTcam {
         (hash_bits(query) % self.shards.len() as u64) as usize
     }
 
+    /// [`Self::route`] for a packed query — identical routing, no
+    /// unpack.
+    #[must_use]
+    pub fn route_packed(&self, query: &PackedQuery) -> usize {
+        (hash_packed(query) % self.shards.len() as u64) as usize
+    }
+
     /// Search one shard; matches come back as *global* slot ids.
     ///
     /// # Panics
@@ -173,16 +205,9 @@ impl ShardedTcam {
     /// Panics on query-width mismatch.
     #[must_use]
     pub fn search_all(&self, query: &[bool]) -> SearchOutcome {
-        let mut merged = SearchOutcome {
-            matches: Vec::new(),
-            step1_misses: 0,
-            step2_misses: 0,
-        };
+        let mut merged = SearchOutcome::empty();
         for s in 0..self.shards.len() {
-            let out = self.search_shard(s, query);
-            merged.matches.extend(out.matches);
-            merged.step1_misses += out.step1_misses;
-            merged.step2_misses += out.step2_misses;
+            merged.absorb(self.search_shard(s, query));
         }
         merged.matches.sort_unstable();
         merged
@@ -201,8 +226,7 @@ impl ShardedTcam {
         let m = self.metrics.as_ref()?;
         let e1 = m.energy_1step;
         let e2 = m.energy_2step.unwrap_or(m.energy_1step);
-        let survivors = outcome.matches.len() + outcome.step2_misses;
-        Some(outcome.step1_misses as f64 * e1 + survivors as f64 * e2)
+        Some(outcome.step1_misses as f64 * e1 + outcome.survivors() as f64 * e2)
     }
 
     /// Unloaded per-search silicon latency (s) from the attached
@@ -304,6 +328,34 @@ mod tests {
             seen.iter().all(|&c| c > 20),
             "hash routing badly skewed: {seen:?}"
         );
+    }
+
+    #[test]
+    fn hash_packed_equals_hash_bits() {
+        let mut seed = 0x5eed_5eed_5eed_5eedu64;
+        // Widths straddling the 64-bit fold boundary: empty, partial
+        // tail, exactly one word, one word + tail, multiple words.
+        for width in [0usize, 1, 7, 63, 64, 65, 100, 128, 129, 300] {
+            for _ in 0..8 {
+                let bits: Vec<bool> = (0..width)
+                    .map(|_| split_mix64(&mut seed) & 1 == 1)
+                    .collect();
+                let packed = PackedQuery::from_bits(&bits);
+                assert_eq!(
+                    hash_packed(&packed),
+                    hash_bits(&bits),
+                    "width {width}: packed and boolean hashes must agree"
+                );
+            }
+        }
+        let t = ShardedTcam::new(65, 5);
+        for _ in 0..32 {
+            let bits: Vec<bool> = (0..65).map(|_| split_mix64(&mut seed) & 1 == 1).collect();
+            assert_eq!(
+                t.route_packed(&PackedQuery::from_bits(&bits)),
+                t.route(&bits)
+            );
+        }
     }
 
     #[test]

@@ -173,6 +173,23 @@ pub enum Event {
         /// MNA variable name of that index.
         node: String,
     },
+    /// The serving layer's sampled SPICE audit lane caught the fast
+    /// behavioural backend disagreeing with the simulator-calibrated
+    /// reference path.
+    AuditDivergence {
+        /// Monotone sequence number within the collector.
+        seq: u64,
+        /// What diverged: `"match_set"` or `"energy"`.
+        lane: &'static str,
+        /// SplitMix64 hash of the query that diverged (reproducible
+        /// with the run's seed).
+        query_hash: u64,
+        /// Relative deviation (0 for set divergences, which are
+        /// all-or-nothing).
+        rel: f64,
+        /// Human-readable detail.
+        detail: String,
+    },
     /// Free-form low-volume annotation (fallback ladders etc.).
     Note {
         /// Monotone sequence number within the collector.
@@ -195,6 +212,7 @@ impl Event {
             | Event::StepReject { seq, .. }
             | Event::NewtonFail { seq, .. }
             | Event::SingularPivot { seq, .. }
+            | Event::AuditDivergence { seq, .. }
             | Event::Note { seq, .. } => *seq,
         }
     }
@@ -267,6 +285,18 @@ impl Event {
                 jf(*time),
                 js(node)
             ),
+            Event::AuditDivergence {
+                seq,
+                lane,
+                query_hash,
+                rel,
+                detail,
+            } => format!(
+                r#"{{"seq":{seq},"kind":"audit_divergence","lane":{},"query_hash":{query_hash},"rel":{},"detail":{}}}"#,
+                js(lane),
+                jf(*rel),
+                js(detail)
+            ),
             Event::Note { seq, name, detail } => format!(
                 r#"{{"seq":{seq},"kind":"note","name":{},"detail":{}}}"#,
                 js(name),
@@ -317,12 +347,26 @@ pub fn render_ndjson(events: &[Event]) -> String {
     out
 }
 
-/// Power-of-two bucketed histogram over `u64` samples (nanoseconds for
+/// Sub-octave bits of the log-linear histogram: each power-of-two
+/// octave splits into `2^SUB_BITS` equal-width buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+///// Total bucket count: `SUBS` exact buckets below `SUBS`, then one
+/// group of `SUBS` buckets per remaining octave position of the MSB.
+const NBUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// Log-linear bucketed histogram over `u64` samples (nanoseconds for
 /// wall durations, picoseconds for modelled silicon latencies).
-/// Resolution is one octave, which is plenty for tail percentiles.
+///
+/// Values below 16 are exact; above, each power-of-two octave splits
+/// into 16 equal sub-buckets, bounding the quantile quantisation error
+/// to under ~6.3% — fine enough to resolve sub-µs latencies instead of
+/// snapping every percentile to an octave boundary (1048576 ns etc.),
+/// while keeping `record` a few shifts.
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: Box<[u64]>,
     count: u64,
     sum: f64,
     max: u64,
@@ -331,7 +375,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self {
-            buckets: [0; 64],
+            buckets: vec![0; NBUCKETS].into_boxed_slice(),
             count: 0,
             sum: 0.0,
             max: 0,
@@ -339,11 +383,33 @@ impl Default for Histogram {
     }
 }
 
+/// Log-linear bucket index of a sample.
+fn bucket_index(sample: u64) -> usize {
+    if sample < SUBS as u64 {
+        return sample as usize;
+    }
+    let msb = 63 - sample.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as usize;
+    let sub = ((sample >> (msb - SUB_BITS)) as usize) & (SUBS - 1);
+    group * SUBS + sub
+}
+
+/// Exclusive upper edge of a bucket (the value a quantile reports,
+/// before clamping to the observed max).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let (group, sub) = (idx / SUBS, idx % SUBS);
+    // The very top sub-bucket's edge is 2^64; clamp instead of wrapping.
+    let raw = ((SUBS + sub + 1) as u128) << (group - 1);
+    raw.min(u64::MAX as u128) as u64
+}
+
 impl Histogram {
     /// Record one sample.
     pub fn record(&mut self, sample: u64) {
-        let idx = (64 - sample.leading_zeros()).min(63) as usize;
-        self.buckets[idx] += 1;
+        self.buckets[bucket_index(sample)] += 1;
         self.count += 1;
         self.sum += sample as f64;
         self.max = self.max.max(sample);
@@ -383,8 +449,7 @@ impl Histogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= target {
-                let upper = if idx == 0 { 0u64 } else { 1u64 << idx };
-                return (upper.min(self.max.max(1))) as f64;
+                return (bucket_upper(idx).min(self.max)) as f64;
             }
         }
         self.max as f64
@@ -418,6 +483,9 @@ pub struct TraceSummary {
     pub newton_failures: u64,
     /// Singular-pivot events.
     pub singular_pivots: u64,
+    /// Serve-layer audit-lane divergences (behavioural vs calibrated
+    /// reference path).
+    pub audit_divergences: u64,
     /// Per-name span duration histograms (ns), alphabetical.
     pub spans: Vec<SpanSummary>,
     /// Per-name free samples, alphabetical.
@@ -435,6 +503,9 @@ impl TraceSummary {
             "steps: {} accepted, {} rejected; {} newton failure(s), {} singular pivot(s)",
             self.accepted_steps, self.rejected_steps, self.newton_failures, self.singular_pivots
         );
+        if self.audit_divergences > 0 {
+            let _ = writeln!(out, "AUDIT: {} divergence(s)", self.audit_divergences);
+        }
         if !self.spans.is_empty() {
             let _ = writeln!(
                 out,
@@ -475,6 +546,7 @@ struct Collector {
     rejected_steps: u64,
     newton_failures: u64,
     singular_pivots: u64,
+    audit_divergences: u64,
     spans: BTreeMap<&'static str, Histogram>,
     samples: BTreeMap<&'static str, Histogram>,
 }
@@ -528,6 +600,7 @@ pub fn summary() -> TraceSummary {
             rejected_steps: c.rejected_steps,
             newton_failures: c.newton_failures,
             singular_pivots: c.singular_pivots,
+            audit_divergences: c.audit_divergences,
             spans: condense(&c.spans),
             samples: condense(&c.samples),
         }
@@ -593,6 +666,30 @@ pub fn note(name: &'static str, detail: impl Into<String>) {
     with_collector(|c| {
         let seq = c.next_seq();
         c.push(Event::Note { seq, name, detail });
+    });
+}
+
+/// Record a serve-layer audit-lane divergence: a sampled query whose
+/// behavioural (bit-parallel) result disagreed with the reference
+/// SPICE-calibrated path. `lane` tags the comparison ("match" or
+/// "energy"), `query_hash` identifies the query, `rel` is the relative
+/// error observed. Counted at every trace level; the typed event is
+/// kept whenever tracing is on (divergences are rare and load-bearing).
+pub fn audit_divergence(lane: &'static str, query_hash: u64, rel: f64, detail: impl Into<String>) {
+    if level() == TraceLevel::Off {
+        return;
+    }
+    let detail = detail.into();
+    with_collector(|c| {
+        c.audit_divergences += 1;
+        let seq = c.next_seq();
+        c.push(Event::AuditDivergence {
+            seq,
+            lane,
+            query_hash,
+            rel,
+            detail,
+        });
     });
 }
 
@@ -779,10 +876,51 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
-        // Octave resolution: p50 of 1..=1000 lands in the 512 bucket.
+        // p50 of 1..=1000 lands in the [496, 512) sub-bucket.
         assert_eq!(h.quantile(0.5), 512.0);
         assert_eq!(h.quantile(1.0), 1000.0);
         assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_resolves_sub_octave() {
+        // Nine samples at 1500 ns, one at 3000 ns. An octave histogram
+        // would report p50 = 2048; log-linear bucketing must keep the
+        // median inside 1500's own sub-bucket [1472, 1536).
+        let mut h = Histogram::default();
+        for _ in 0..9 {
+            h.record(1500);
+        }
+        h.record(3000);
+        let p50 = h.quantile(0.5);
+        assert!((1500.0..=1536.0).contains(&p50), "p50 = {p50}");
+        // Worst-case relative quantisation error is one sub-bucket of
+        // the lowest split octave: 1/16 of the sample's value.
+        assert!((p50 - 1500.0) / 1500.0 < 1.0 / 16.0 + 1e-12);
+        assert_eq!(h.quantile(1.0), 3000.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_exhaustive_and_monotone() {
+        let mut samples: Vec<u64> = (0..4096).collect();
+        samples.extend([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345]);
+        let mut prev_idx = 0usize;
+        let mut prev_sample = 0u64;
+        for &s in &samples {
+            let idx = bucket_index(s);
+            assert!(idx < NBUCKETS, "sample {s} -> out-of-range bucket {idx}");
+            if s < SUBS as u64 {
+                assert_eq!(bucket_upper(idx), s);
+            } else {
+                assert!(bucket_upper(idx) > s || idx == NBUCKETS - 1);
+                assert!(bucket_upper(idx - 1) <= s);
+            }
+            if s >= prev_sample {
+                assert!(idx >= prev_idx, "bucket_index not monotone at {s}");
+            }
+            prev_idx = idx;
+            prev_sample = s;
+        }
     }
 
     #[test]

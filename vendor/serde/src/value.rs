@@ -121,3 +121,26 @@ pub fn from_field<T: crate::Deserialize>(v: &Value, key: &str) -> Result<T, DeEr
         other => Err(DeError::mismatch("map", other)),
     }
 }
+
+/// [`from_field`] for a `#[serde(default)]` field: a missing key (or a
+/// key that only deserializes as null) yields `Default::default()`
+/// instead of an error, so old snapshots keep reading after the schema
+/// grows.
+///
+/// # Errors
+/// Propagates the field's own deserialization error when the key is
+/// present, or a mismatch when `v` is not a map.
+pub fn from_field_or_default<T: crate::Deserialize + Default>(
+    v: &Value,
+    key: &str,
+) -> Result<T, DeError> {
+    match v {
+        Value::Map(_) => match v.get(key) {
+            Some(field) => {
+                T::deserialize_value(field).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(DeError::mismatch("map", other)),
+    }
+}

@@ -7,6 +7,11 @@
 //! structs (newtypes serialize transparently), unit structs, and enums
 //! with unit / newtype / tuple / struct variants (externally tagged,
 //! like upstream serde's default).
+//!
+//! One field attribute is honoured: `#[serde(default)]` on a named
+//! field makes a missing key deserialize as `Default::default()`
+//! (upstream semantics), which is how snapshots stay readable across
+//! schema growth. All other `serde` attributes are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -28,10 +33,16 @@ enum Mode {
 }
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field plus whether `#[serde(default)]` was on it.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -42,7 +53,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -80,13 +91,23 @@ impl<'a> Cursor<'a> {
     }
 
     fn skip_attributes(&mut self) {
+        let _ = self.take_attributes();
+    }
+
+    /// Skip attributes, reporting whether any was `#[serde(default)]`
+    /// (possibly among a comma list, `#[serde(default, rename = ..)]`).
+    fn take_attributes(&mut self) -> bool {
+        let mut has_default = false;
         while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             self.next();
-            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
-            {
-                self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    has_default |= attr_is_serde_default(&g.stream());
+                    self.next();
+                }
             }
         }
+        has_default
     }
 
     fn skip_visibility(&mut self) {
@@ -159,17 +180,36 @@ fn parse_item(tokens: &[TokenTree]) -> Result<(String, Shape), String> {
     }
 }
 
-fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+/// Whether a single attribute body (the tokens inside `#[...]`) is
+/// `serde(...)` with `default` at the top level of the list.
+fn attr_is_serde_default(body: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
     let mut c = Cursor {
         toks: tokens,
         pos: 0,
     };
     let mut fields = Vec::new();
     loop {
-        c.skip_attributes();
+        let default = c.take_attributes();
         c.skip_visibility();
         match c.next() {
-            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            Some(TokenTree::Ident(i)) => fields.push(Field {
+                name: i.to_string(),
+                default,
+            }),
             _ => break,
         }
         // `: Type` up to the next top-level comma.
@@ -237,11 +277,21 @@ fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
 
 const V: &str = "::serde::value::Value";
 
+/// Which `serde::value` accessor a field deserializes through.
+fn field_helper(f: &Field) -> &'static str {
+    if f.default {
+        "from_field_or_default"
+    } else {
+        "from_field"
+    }
+}
+
 fn gen_serialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
             let mut entries = String::new();
             for f in fields {
+                let f = &f.name;
                 let _ = write!(
                     entries,
                     "(::std::string::String::from({f:?}), \
@@ -295,18 +345,20 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                     VariantKind::Struct(fields) => {
                         let mut entries = String::new();
                         for f in fields {
+                            let f = &f.name;
                             let _ = write!(
                                 entries,
                                 "(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::serialize_value({f})),"
                             );
                         }
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let _ = write!(
                             arms,
                             "{name}::{vn} {{ {} }} => {V}::Map(::std::vec![\
                              (::std::string::String::from({vn:?}), \
                               {V}::Map(::std::vec![{entries}]))]),",
-                            fields.join(",")
+                            names.join(",")
                         );
                     }
                 }
@@ -329,7 +381,8 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let mut inits = String::new();
             for f in fields {
-                let _ = write!(inits, "{f}: ::serde::value::from_field(__v, {f:?})?,");
+                let (f, helper) = (&f.name, field_helper(f));
+                let _ = write!(inits, "{f}: ::serde::value::{helper}(__v, {f:?})?,");
             }
             format!("::core::result::Result::Ok({name} {{ {inits} }})")
         }
@@ -394,8 +447,9 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
+                            let (f, helper) = (&f.name, field_helper(f));
                             let _ =
-                                write!(inits, "{f}: ::serde::value::from_field(__inner, {f:?})?,");
+                                write!(inits, "{f}: ::serde::value::{helper}(__inner, {f:?})?,");
                         }
                         let _ = write!(
                             data_arms,
