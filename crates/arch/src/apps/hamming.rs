@@ -5,8 +5,15 @@
 //! Prototypes are stored as ternary words; classification returns the
 //! nearest stored prototype. Ternary `X` digits implement per-feature
 //! masking (attention), as in CAM-based few-shot learners.
+//!
+//! Classification runs on the packed `core::approx` kernels — the same
+//! popcount masked-Hamming path the serving layer executes — while the
+//! naive [`BehavioralTcam`] scan is kept as the property-test oracle
+//! ([`HammingClassifier::naive_nearest`]). Ties always break to the
+//! lowest row id (a priority encoder), pinned by a regression test.
 
-use ferrotcam::{BehavioralTcam, TernaryWord};
+use ferrotcam::approx::{self, ApproxHit};
+use ferrotcam::{BehavioralTcam, PackedQuery, PackedRows, TernaryWord};
 use serde::{Deserialize, Serialize};
 
 /// A labelled nearest-match result.
@@ -24,6 +31,7 @@ pub struct Classification {
 #[derive(Debug, Clone, Default)]
 pub struct HammingClassifier {
     tcam: BehavioralTcam,
+    packed: PackedRows,
     labels: Vec<u32>,
 }
 
@@ -33,6 +41,7 @@ impl HammingClassifier {
     pub fn new(width: usize) -> Self {
         Self {
             tcam: BehavioralTcam::new(width),
+            packed: PackedRows::new(width),
             labels: Vec::new(),
         }
     }
@@ -54,9 +63,18 @@ impl HammingClassifier {
     /// # Panics
     /// Panics on word-width mismatch.
     pub fn enroll(&mut self, prototype: TernaryWord, label: u32) -> usize {
+        self.packed.push(&prototype);
         self.tcam.store(prototype);
         self.labels.push(label);
         self.labels.len() - 1
+    }
+
+    fn labelled(&self, hit: ApproxHit) -> Classification {
+        Classification {
+            label: self.labels[hit.row],
+            row: hit.row,
+            distance: hit.distance as usize,
+        }
     }
 
     /// Exact-match classification (distance 0 required).
@@ -73,24 +91,38 @@ impl HammingClassifier {
     /// ties break to the lowest row, like a priority encoder).
     #[must_use]
     pub fn classify_nearest(&self, query: &[bool]) -> Option<Classification> {
-        self.tcam
-            .nearest(query)
-            .first()
-            .map(|&(row, distance)| Classification {
-                label: self.labels[row],
-                row,
-                distance,
-            })
+        self.classify_top_k(query, 1).into_iter().next()
+    }
+
+    /// The `k` nearest prototypes, best-first with deterministic
+    /// `(distance, row)` ordering — the packed top-k kernel.
+    #[must_use]
+    pub fn classify_top_k(&self, query: &[bool], k: usize) -> Vec<Classification> {
+        let q = PackedQuery::from_bits(query);
+        approx::top_k(&self.packed, &q, k)
+            .into_iter()
+            .map(|h| self.labelled(h))
+            .collect()
     }
 
     /// All prototypes within `threshold` mismatches (best-first) — the
     /// multi-match primitive of CAM-based similarity search.
     #[must_use]
     pub fn within(&self, query: &[bool], threshold: usize) -> Vec<Classification> {
+        let q = PackedQuery::from_bits(query);
+        let t = u32::try_from(threshold).unwrap_or(u32::MAX);
+        let mut hits = approx::threshold_search(&self.packed, &q, t);
+        hits.sort_unstable();
+        hits.into_iter().map(|h| self.labelled(h)).collect()
+    }
+
+    /// The naive per-digit scan over the behavioural store — the
+    /// property-test oracle the packed kernels are pinned against.
+    #[must_use]
+    pub fn naive_nearest(&self, query: &[bool]) -> Vec<Classification> {
         self.tcam
             .nearest(query)
             .into_iter()
-            .take_while(|&(_, d)| d <= threshold)
             .map(|(row, distance)| Classification {
                 label: self.labels[row],
                 row,
@@ -151,6 +183,27 @@ mod tests {
         let near = c.within(&bits("11110001"), 1);
         assert_eq!(near.len(), 1);
         assert_eq!(near[0].label, 0);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_row() {
+        // Two equidistant prototypes: the lower row must win, in
+        // nearest, top-k order, and within order alike.
+        let mut c = HammingClassifier::new(4);
+        c.enroll("1100".parse().unwrap(), 7); // row 0
+        c.enroll("0011".parse().unwrap(), 8); // row 1, same distance from 1010
+        let q = bits("1010");
+        let hit = c.classify_nearest(&q).unwrap();
+        assert_eq!((hit.row, hit.label, hit.distance), (0, 7, 2));
+        let top = c.classify_top_k(&q, 2);
+        assert_eq!(
+            top.iter().map(|h| h.row).collect::<Vec<_>>(),
+            vec![0, 1],
+            "equidistant rows come back lowest-first"
+        );
+        assert_eq!(c.within(&q, 4)[0].row, 0);
+        // And the packed path agrees with the naive oracle's order.
+        assert_eq!(top, c.naive_nearest(&q));
     }
 
     #[test]

@@ -120,13 +120,28 @@ impl ScheduleOutcome {
 /// Panics if a query names a bank out of range.
 #[must_use]
 pub fn schedule(queries: &[Query], banks: usize, t_bank: f64) -> ScheduleOutcome {
+    schedule_weighted(queries, banks, &vec![t_bank; queries.len()])
+}
+
+/// [`schedule`] with a per-query service time: `t_service[i]` is how
+/// long query `i` occupies its bank. This is the cost-model hook the
+/// serving layer uses for mixed workloads — e.g. a Hamming-threshold
+/// query senses its match line earlier than a two-step exact search
+/// and so frees the bank sooner.
+///
+/// # Panics
+/// Panics if a query names a bank out of range or `t_service` is not
+/// parallel to `queries`.
+#[must_use]
+pub fn schedule_weighted(queries: &[Query], banks: usize, t_service: &[f64]) -> ScheduleOutcome {
+    assert_eq!(queries.len(), t_service.len(), "one service time per query");
     let mut free_at = vec![0.0f64; banks];
     let mut bank_busy = vec![0.0f64; banks];
     let mut completion = Vec::with_capacity(queries.len());
     let mut stalled = 0usize;
     let mut makespan = 0.0f64;
     let mut max_wait = 0.0f64;
-    for q in queries {
+    for (q, &t_bank) in queries.iter().zip(t_service) {
         let bank = match q.bank {
             Some(b) => {
                 assert!(b < banks, "bank {b} out of range");
@@ -224,6 +239,24 @@ mod tests {
         assert!(out.utilization().iter().all(|&u| (u - 1.0).abs() < 1e-12));
         let total_busy: f64 = out.bank_busy.iter().sum();
         assert!((total_busy - 4e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_service_times_shift_the_schedule() {
+        // Two queries pinned to one bank: a cheap one then a dear one.
+        let queries: Vec<Query> = (0..2)
+            .map(|_| Query {
+                arrival: 0.0,
+                bank: Some(0),
+            })
+            .collect();
+        let out = schedule_weighted(&queries, 1, &[0.5e-9, 2e-9]);
+        assert!((out.completion[0] - 0.5e-9).abs() < 1e-15);
+        assert!((out.completion[1] - 2.5e-9).abs() < 1e-15);
+        assert!((out.bank_busy[0] - 2.5e-9).abs() < 1e-15);
+        // Uniform weights reproduce the unweighted scheduler exactly.
+        let uniform = schedule_weighted(&queries, 1, &[1e-9, 1e-9]);
+        assert_eq!(uniform, schedule(&queries, 1, 1e-9));
     }
 
     #[test]

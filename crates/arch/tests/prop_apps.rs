@@ -1,9 +1,19 @@
 //! Property tests of the application layer: TCAM LPM equals the linear
-//! scan reference, and the cache tag store never lies about residency.
+//! scan reference, the cache tag store never lies about residency, and
+//! the packed Hamming classifier equals its naive-scan oracle.
 
-use ferrotcam_arch::apps::{AssocTagStore, Route, RouterTable};
+use ferrotcam::{Ternary, TernaryWord};
+use ferrotcam_arch::apps::{AssocTagStore, HammingClassifier, Route, RouterTable};
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+fn ternary_digit() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        3 => Just(Ternary::Zero),
+        3 => Just(Ternary::One),
+        2 => Just(Ternary::X),
+    ]
+}
 
 fn routes() -> impl Strategy<Value = Vec<Route>> {
     proptest::collection::vec(
@@ -82,5 +92,26 @@ proptest! {
         for &t in &resident.clone() {
             prop_assert!(c.lookup(t).is_some());
         }
+    }
+
+    #[test]
+    fn classifier_top_k_equals_naive_oracle(
+        protos in proptest::collection::vec(
+            proptest::collection::vec(ternary_digit(), 16), 0..24),
+        query in proptest::collection::vec(any::<bool>(), 16),
+        k in 0usize..8,
+        t in 0usize..17,
+    ) {
+        let mut c = HammingClassifier::new(16);
+        for (i, p) in protos.iter().enumerate() {
+            c.enroll(TernaryWord::new(p.clone()), i as u32);
+        }
+        let oracle = c.naive_nearest(&query);
+        // Packed top-k is the oracle prefix, ties and all.
+        prop_assert_eq!(c.classify_top_k(&query, k), oracle[..k.min(oracle.len())].to_vec());
+        prop_assert_eq!(c.classify_nearest(&query), oracle.first().copied());
+        // Threshold search is the `distance ≤ t` prefix of the oracle.
+        let want: Vec<_> = oracle.iter().take_while(|h| h.distance <= t).copied().collect();
+        prop_assert_eq!(c.within(&query, t), want);
     }
 }

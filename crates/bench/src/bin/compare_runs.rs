@@ -12,7 +12,9 @@
 //! harness. Two bench shapes are understood: per-case `results`
 //! (criterion-style `ns_per_iter`, regressions = slowdowns only) and
 //! throughput-latency `curves` as written by `ferrotcam serve-bench`
-//! (regressions = throughput drops or p99 latency rises). Curve ids
+//! (regressions = throughput drops, p99 latency rises, or — on
+//! `*_approx_*` points carrying a `miscls` field — calibrated
+//! misclassification-probability rises). Curve ids
 //! carry an execution-tier tag (`_spice` / `_behav`); legacy untagged
 //! ids are treated as the Spice tier so old baselines keep comparing,
 //! and when both tiers of the same point are present in the new file
@@ -55,12 +57,16 @@ struct BenchEntry {
     throughput: Option<u64>,
 }
 
-/// One throughput-latency curve point in a [`BenchFile`].
+/// One throughput-latency curve point in a [`BenchFile`]. Approximate
+/// workload points (`*_approx_*` ids) may carry a calibrated
+/// misclassification probability; older files lack the field.
 #[derive(Debug, Deserialize)]
 struct CurveEntry {
     id: String,
     achieved_qps: f64,
     p99_ns: f64,
+    #[serde(default)]
+    miscls: Option<f64>,
 }
 
 /// Canonical curve id: serve-bench tags every point with its execution
@@ -165,12 +171,22 @@ fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
         };
         let dq = pct(o.achieved_qps, n.achieved_qps);
         let dl = pct(o.p99_ns, n.p99_ns);
+        // Approximate-workload points also gate on the calibrated
+        // misclassification probability: the sense model getting less
+        // accurate is a regression even at equal throughput.
+        let dm = match (o.miscls, n.miscls) {
+            (Some(om), Some(nm)) => pct(om, nm),
+            _ => 0.0,
+        };
         let flag = if dq < -tol {
             regressions += 1;
             "  <-- slower"
         } else if dl > tol {
             regressions += 1;
             "  <-- higher tail"
+        } else if dm > tol {
+            regressions += 1;
+            "  <-- more misclassification"
         } else {
             ""
         };

@@ -55,18 +55,24 @@ USAGE:
       With --smoke the invariants are hard failures: safe waveforms
       within 1e-6 V of the baseline and a non-zero bypass-hit count.
   ferrotcam serve-bench [--smoke] [--backend spice|behav|both]
+                        [--workload exact|approx|both]
                         [--shards 1,2,4] [--rows N] [--width N]
                         [--secs S] [--seed N] [--audit-period N]
                         [--characterize <design>]
       Load-test the serving layer per execution tier: closed-loop
       shard sweep, open-loop overload, energy audit, and (behavioural
-      tier) the sampled Spice audit lane. Energy attribution is
-      calibrated from the SPICE datasheets in the results directory;
-      --characterize runs live SPICE instead. Writes BENCH_serve.json
-      (curve ids tagged _spice/_behav) to $FERROTCAM_RESULTS (default
-      ./results). With --smoke the run is bounded to a few seconds and
-      the invariants — including a clean audit lane — become hard
-      failures.
+      tier) the sampled Spice audit lane. --workload approx sweeps the
+      approximate-match kinds instead (threshold, top-k, range: one
+      closed point per kind plus the behavioural tier's open-loop
+      sustained-rate gate); both runs the exact sweep then the
+      approximate one. Energy attribution is calibrated from the SPICE
+      datasheets in the results directory; --characterize runs live
+      SPICE instead. Writes BENCH_serve.json (curve ids tagged
+      _spice/_behav, approximate points _approx) to $FERROTCAM_RESULTS
+      (default ./results). With --smoke the run is bounded to a few
+      seconds, the workload defaults to both, and the invariants —
+      including a clean audit lane and the approximate kinds' 100k qps
+      open-loop floor — become hard failures.
 
 DESIGNS: 2sg | 2dg | 1.5t1sg | 1.5t1dg | cmos (aliases accepted)";
 

@@ -18,6 +18,14 @@
 //!    Spice-replay lane: queries replayed, divergences, worst energy
 //!    error.
 //!
+//! With `--workload approx` (or `both`; smoke runs default to `both`)
+//! the sweep also drives the approximate-match kinds — Hamming
+//! threshold, top-k, and FeCAM-style range — one closed-loop point per
+//! kind per tier plus a behavioural open-loop overload point per kind,
+//! written as `closed_approx_*` / `open_approx_*` curves. Threshold
+//! curves carry the sense-model's calibrated misclassification
+//! probability (`miscls`), which `compare_runs --bench` gates on.
+//!
 //! Energy/latency attribution is calibrated from the SPICE datasheets
 //! in the results directory (`table4.json`, `fig7_*.csv`, Fig. 4 miss
 //! curves) via [`Calibration::load`]; `--characterize` runs a live
@@ -31,11 +39,11 @@
 //! hard failures.
 
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{Calibration, DesignKind, PackedQuery, TernaryWord};
+use ferrotcam::{Calibration, DesignKind, PackedQuery, SenseModel, TernaryWord};
 use ferrotcam_eval::parasitics::row_parasitics;
 use ferrotcam_eval::tech::tech_14nm;
 use ferrotcam_serve::{
-    BackendKind, Overloaded, ServiceConfig, ServiceMetrics, ShardedTcam, TcamService,
+    BackendKind, Overloaded, RequestKind, ServiceConfig, ServiceMetrics, ShardedTcam, TcamService,
 };
 use rand::split_mix64;
 use serde::Serialize;
@@ -59,6 +67,11 @@ struct CurvePoint {
     max_queue_depth: usize,
     step1_early_termination_rate: f64,
     energy_per_query_fj: f64,
+    /// Calibrated per-boundary-row misclassification probability of the
+    /// sense-time threshold this curve ran at (approximate threshold
+    /// workloads only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    miscls: Option<f64>,
 }
 
 /// The `BENCH_serve.json` artefact.
@@ -66,6 +79,27 @@ struct CurvePoint {
 struct ServeBenchFile {
     target: &'static str,
     curves: Vec<CurvePoint>,
+}
+
+/// Which request mix the bench drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// Exact-match only (the classic sweep).
+    Exact,
+    /// Approximate kinds only: threshold, top-k, range.
+    Approx,
+    /// Both mixes, back to back.
+    Both,
+}
+
+impl Workload {
+    fn includes_exact(self) -> bool {
+        self != Self::Approx
+    }
+
+    fn includes_approx(self) -> bool {
+        self != Self::Exact
+    }
 }
 
 /// Parsed command-line options.
@@ -79,6 +113,7 @@ struct Opts {
     characterize: Option<DesignKind>,
     backends: Vec<BackendKind>,
     audit_period: u64,
+    workload: Workload,
 }
 
 fn parse_opts(
@@ -95,7 +130,9 @@ fn parse_opts(
         characterize: None,
         backends: vec![BackendKind::Spice, BackendKind::Behavioural],
         audit_period: 10_000,
+        workload: Workload::Exact,
     };
+    let mut explicit_workload = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| {
@@ -157,11 +194,26 @@ fn parse_opts(
                 };
             }
             "--characterize" => o.characterize = Some(parse_design(next("a design")?)?),
+            "--workload" => {
+                explicit_workload = Some(match next("exact|approx|both")? {
+                    "exact" => Workload::Exact,
+                    "approx" => Workload::Approx,
+                    "both" => Workload::Both,
+                    other => return Err(format!("--workload: unknown mix {other:?}")),
+                });
+            }
             other => return Err(format!("unknown serve-bench flag {other:?}")),
         }
     }
     if o.width == 0 || o.rows == 0 {
         return Err("--rows and --width must be positive".into());
+    }
+    // A smoke run must cover the approximate-match path too (the CI
+    // gate asserts its audit lane stays clean); explicit --workload
+    // still wins.
+    o.workload = explicit_workload.unwrap_or(if o.smoke { Workload::Both } else { o.workload });
+    if o.workload.includes_approx() && !o.width.is_multiple_of(2) {
+        return Err("--workload approx needs an even --width (range cells pair digits)".into());
     }
     Ok(o)
 }
@@ -252,15 +304,19 @@ fn curve_point(
         } else {
             m.energy_total_j / m.completed as f64 * 1e15
         },
+        miscls: None,
     }
 }
 
 /// Closed loop: `clients` threads submit-and-wait until the deadline.
+/// Exact queries are key-routed to their shard; approximate kinds fan
+/// out over every bank (a distance / window search has no home shard).
 /// Returns (achieved qps, final metrics).
 fn closed_loop(
     table: ShardedTcam,
     opts: &Opts,
     backend: BackendKind,
+    kind: RequestKind,
     clients: usize,
     secs: f64,
 ) -> (f64, ServiceMetrics) {
@@ -277,7 +333,11 @@ fn closed_loop(
                     let mut done = 0u64;
                     while Instant::now() < deadline {
                         let q = random_packed(&mut state, width);
-                        match client.submit_packed_routed(c as u32, q) {
+                        let submitted = match kind {
+                            RequestKind::Exact => client.submit_packed_routed(c as u32, q),
+                            _ => client.submit_kind(c as u32, q, kind, None),
+                        };
+                        match submitted {
                             Ok(ticket) => {
                                 let _ = ticket.wait();
                                 done += 1;
@@ -307,6 +367,7 @@ fn open_loop(
     table: ShardedTcam,
     opts: &Opts,
     backend: BackendKind,
+    kind: RequestKind,
     offered_qps: f64,
     secs: f64,
 ) -> (f64, ServiceMetrics) {
@@ -334,8 +395,12 @@ fn open_loop(
             let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
             next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered_qps;
             let q = random_packed(&mut state, opts.width);
-            let shard = client.table().route_packed(&q);
-            match client.submit_noreply(0, q, Some(shard)) {
+            // Route every kind, as a sharded deployment would under
+            // overload: per-query work is one shard's rows, and the
+            // fan-out (whole-table) form is covered by the closed
+            // loop's latency points.
+            let shard = Some(client.table().route_packed(&q));
+            match client.submit_noreply_kind(0, q, kind, shard) {
                 Ok(()) => {}
                 Err(Overloaded::QueueFull) => {} // counted by the service
                 Err(e) => panic!("unexpected shed: {e}"),
@@ -400,7 +465,7 @@ fn run_backend(
     let mut capacities = Vec::new();
     for &shards in &opts.shards {
         let table = build_table(opts, shards, metrics);
-        let (qps, m) = closed_loop(table, opts, backend, 2, opts.secs);
+        let (qps, m) = closed_loop(table, opts, backend, RequestKind::Exact, 2, opts.secs);
         println!(
             "  [{tag}] closed  shards={shards:<2} {qps:>10.0} qps   p50 {:>8.1} us   p99 {:>8.1} us",
             m.wall_latency_ns.p50 / 1e3,
@@ -442,7 +507,14 @@ fn run_backend(
         BackendKind::Spice => 256,
         BackendKind::Behavioural => 16 * 1024,
     };
-    let (achieved, m_over) = open_loop(table, opts, backend, offered, opts.secs.max(0.5));
+    let (achieved, m_over) = open_loop(
+        table,
+        opts,
+        backend,
+        RequestKind::Exact,
+        offered,
+        opts.secs.max(0.5),
+    );
     let shed_total = m_over.shed_queue_full + m_over.shed_rate_limited + m_over.shed_shutting_down;
     println!(
         "  [{tag}] open    shards={max_shards:<2} offered {offered:>9.0} qps -> {achieved:>9.0} qps, shed {shed_total}, max queue depth {}",
@@ -484,6 +556,128 @@ fn run_backend(
         open_metrics: m_over,
         open_queue_bound: queue_bound,
         energy_worst_rel,
+    }
+}
+
+/// The approximate-match request mix the bench sweeps: one threshold,
+/// one top-k, one range point per tier.
+const APPROX_KINDS: [(&str, RequestKind); 3] = [
+    ("threshold", RequestKind::Threshold { t: 2 }),
+    ("topk", RequestKind::TopK { k: 8 }),
+    ("range", RequestKind::Range),
+];
+
+/// Everything one backend's approximate sweep produced.
+struct ApproxRun {
+    backend: BackendKind,
+    /// `(kind tag, closed qps, open qps if measured, final open/closed
+    /// metrics)` per approximate kind.
+    per_kind: Vec<(&'static str, f64, Option<f64>, ServiceMetrics)>,
+}
+
+/// Sweep the approximate kinds on one tier: a closed-loop point per
+/// kind at the largest shard count, plus (behavioural tier only) an
+/// open-loop overload point — the sustained-rate acceptance gate.
+fn run_approx_backend(
+    opts: &Opts,
+    backend: BackendKind,
+    metrics: &SearchMetrics,
+    curves: &mut Vec<CurvePoint>,
+) -> ApproxRun {
+    let tag = backend.tag();
+    let &shards = opts.shards.iter().max().expect("non-empty");
+    let sense = SenseModel::analytic(metrics.latency_1step);
+    let mut per_kind = Vec::new();
+    for (ktag, kind) in APPROX_KINDS {
+        let table = build_table(opts, shards, metrics);
+        let (closed_qps, m_closed) = closed_loop(table, opts, backend, kind, 2, opts.secs);
+        println!(
+            "  [{tag}] approx  {ktag:<9} closed {closed_qps:>9.0} qps   p99 {:>8.1} us",
+            m_closed.wall_latency_ns.p99 / 1e3
+        );
+        let mut point = curve_point(
+            format!("closed_approx_{ktag}_shards{shards}_{tag}"),
+            "closed",
+            None,
+            closed_qps,
+            &PointCtx {
+                backend,
+                shards,
+                rows: opts.rows,
+                m: &m_closed,
+            },
+        );
+        if let RequestKind::Threshold { t } = kind {
+            point.miscls = Some(sense.misclassification(t).p_error());
+        }
+        curves.push(point);
+
+        // Open-loop overload only on the throughput tier: the naive
+        // reference tier is row-serial and would just measure shedding.
+        let (open_qps, m_final) = if backend == BackendKind::Behavioural {
+            let offered = (closed_qps * 3.0).max(6e5);
+            let table = build_table(opts, shards, metrics);
+            let (achieved, m_open) =
+                open_loop(table, opts, backend, kind, offered, opts.secs.max(0.5));
+            println!(
+                "  [{tag}] approx  {ktag:<9} open   offered {offered:>9.0} qps -> {achieved:>9.0} qps, audit {} sampled / {} divergent",
+                m_open.audit_sampled,
+                m_open.audit_match_divergences + m_open.audit_energy_divergences
+            );
+            let mut point = curve_point(
+                format!("open_approx_{ktag}_shards{shards}_{tag}"),
+                "open",
+                Some(offered),
+                achieved,
+                &PointCtx {
+                    backend,
+                    shards,
+                    rows: opts.rows,
+                    m: &m_open,
+                },
+            );
+            if let RequestKind::Threshold { t } = kind {
+                point.miscls = Some(sense.misclassification(t).p_error());
+            }
+            curves.push(point);
+            (Some(achieved), m_open)
+        } else {
+            (None, m_closed)
+        };
+        per_kind.push((ktag, closed_qps, open_qps, m_final));
+    }
+    ApproxRun { backend, per_kind }
+}
+
+/// Check one backend's approximate-sweep invariants.
+fn check_approx_backend(opts: &Opts, run: &ApproxRun, report: &mut String) {
+    let tag = run.backend.tag();
+    for (ktag, closed_qps, open_qps, m) in &run.per_kind {
+        if m.completed == 0 || *closed_qps <= 0.0 {
+            let _ = writeln!(report, "[{tag}] approx {ktag}: no queries completed");
+        }
+        if run.backend == BackendKind::Behavioural {
+            if m.audit_sampled == 0 && opts.audit_period > 0 {
+                let _ = writeln!(report, "[{tag}] approx {ktag}: audit lane sampled nothing");
+            }
+            if m.audit_match_divergences > 0 || m.audit_energy_divergences > 0 {
+                let _ = writeln!(
+                    report,
+                    "[{tag}] approx {ktag}: audit divergence ({} match, {} energy)",
+                    m.audit_match_divergences, m.audit_energy_divergences
+                );
+            }
+            // The sustained-rate acceptance gate at the reference shape.
+            if let Some(open) = open_qps {
+                if opts.rows >= 16384 && *open < 1e5 {
+                    let _ = writeln!(
+                        report,
+                        "[{tag}] approx {ktag}: open loop sustained only {open:.0} qps (< 100k at {} rows)",
+                        opts.rows
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -591,21 +785,33 @@ pub fn run(
         }
     };
     println!(
-        "serve-bench: {} rows x {} digits, shards {:?}, backends {:?}, {:.1}s per point{}",
+        "serve-bench: {} rows x {} digits, shards {:?}, backends {:?}, workload {:?}, {:.1}s per point{}",
         opts.rows,
         opts.width,
         opts.shards,
         opts.backends.iter().map(|b| b.tag()).collect::<Vec<_>>(),
+        opts.workload,
         opts.secs,
         if opts.smoke { " (smoke)" } else { "" }
     );
 
     let mut curves = Vec::new();
-    let runs: Vec<BackendRun> = opts
-        .backends
-        .iter()
-        .map(|&b| run_backend(&opts, b, &metrics, &mut curves))
-        .collect();
+    let runs: Vec<BackendRun> = if opts.workload.includes_exact() {
+        opts.backends
+            .iter()
+            .map(|&b| run_backend(&opts, b, &metrics, &mut curves))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let approx_runs: Vec<ApproxRun> = if opts.workload.includes_approx() {
+        opts.backends
+            .iter()
+            .map(|&b| run_approx_backend(&opts, b, &metrics, &mut curves))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- Artefact ----------------------------------------------------------
     let file = ServeBenchFile {
@@ -622,6 +828,9 @@ pub fn run(
     let mut report = String::new();
     for run in &runs {
         check_backend(run, &mut report);
+    }
+    for run in &approx_runs {
+        check_approx_backend(&opts, run, &mut report);
     }
     // The whole point of the tiered backend: under open-loop load the
     // bit-parallel tier must decisively outrun the reference tier.

@@ -1,0 +1,642 @@
+//! Approximate-match kernels over the packed two-plane layout:
+//! masked-Hamming distance (threshold and top-k search) and the
+//! FeCAM-style per-cell range match.
+//!
+//! **Hamming.** A ternary row's mismatch count against a binary query
+//! is `popcount((q ^ value) & care)` per packed word — wildcard digits
+//! never mismatch, exactly [`TernaryWord::mismatch_count`]. In the
+//! array this is TAP-CAM's observation: every mismatching cell pair
+//! adds one match-line pull-down path, so the ML discharge *rate*
+//! encodes the distance and the sense time becomes a tunable distance
+//! threshold (see `calib::SenseModel` for the circuit-fitted timing).
+//! [`threshold_search`] returns every row within distance `t`;
+//! [`top_k`] returns the `k` nearest rows with deterministic
+//! tie-breaking — ordered by `(distance, row)`, so the lowest row id
+//! wins among equidistant rows, matching [`BehavioralTcam::nearest`].
+//!
+//! **Range.** FeCAM stores an analog `[lo, hi]` Vth window per cell
+//! and matches when the query voltage falls inside. Here each ternary
+//! digit *pair* `(2j, 2j+1)` is one 4-level cell: digit `2j` is the
+//! high bit and digit `2j+1` the low bit of level `j`, so a stored
+//! ternary row induces a window per cell (`X` widens the corresponding
+//! bit to both values) and a binary query induces a level per cell.
+//! [`RangeRows`] evaluates all 32 windows of a packed word at once
+//! with a SWAR borrow trick over 2-bit lanes. Range match is a
+//! genuinely different predicate from ternary match: stored `X1` gives
+//! the window `[1, 3]`, which admits query level `2` (`10`) — a query
+//! ternary match rejects.
+//!
+//! [`BehavioralTcam::nearest`]: crate::behav::BehavioralTcam::nearest
+//! [`TernaryWord::mismatch_count`]: crate::ternary::TernaryWord::mismatch_count
+
+use crate::packed::{PackedQuery, PackedRows, STEP1_MASK, STEP2_MASK};
+use crate::ternary::{Ternary, TernaryWord};
+use std::collections::BinaryHeap;
+
+/// One approximate-search hit: a stored row and its masked-Hamming
+/// distance from the query. Orders by `(distance, row)` so sorting a
+/// hit list puts the best match first and breaks distance ties toward
+/// the lowest row id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxHit {
+    /// Stored row index.
+    pub row: usize,
+    /// Masked Hamming distance (mismatching cared digits).
+    pub distance: u32,
+}
+
+impl Ord for ApproxHit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.distance, self.row).cmp(&(other.distance, other.row))
+    }
+}
+
+impl PartialOrd for ApproxHit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bitmask of rows in one ≤64-row block whose masked-Hamming distance
+/// from `qh` is strictly below `lim` (bit `i` set for `vs[i]`/`cs[i]`).
+/// The branchless XOR/AND/POPCNT/compare shape keeps the loop
+/// vectorizable; both block-scan kernels share it.
+#[inline]
+fn block_candidates(qh: u64, vs: &[u64], cs: &[u64], lim: u32) -> u64 {
+    let mut mask = 0u64;
+    for (i, (&v, &c)) in vs.iter().zip(cs.iter()).enumerate() {
+        let d = ((qh ^ v) & c).count_ones();
+        mask |= u64::from(d < lim) << i;
+    }
+    mask
+}
+
+/// Masked Hamming distance of one stored row from a query.
+///
+/// # Panics
+/// Panics if `row` is out of range or the query width mismatches.
+#[must_use]
+pub fn row_distance(rows: &PackedRows, row: usize, q: &PackedQuery) -> u32 {
+    assert_eq!(q.width(), rows.width(), "query width mismatch");
+    assert!(row < rows.rows(), "row {row} out of range");
+    let base = row * rows.wpr;
+    let mut d = 0u32;
+    for w in 0..rows.wpr {
+        d += ((q.word(w) ^ rows.value[base + w]) & rows.care[base + w]).count_ones();
+    }
+    d
+}
+
+/// Every row within masked-Hamming distance `t` of the query, in
+/// ascending row order (each with its distance). Distance-threshold
+/// search is the behavioural mirror of sensing the match line at
+/// `SenseModel` window `t`: rows with ≤ `t` pull-down paths have not
+/// discharged yet when the sense fires.
+///
+/// # Panics
+/// Panics on query-width mismatch.
+#[must_use]
+pub fn threshold_search(rows: &PackedRows, q: &PackedQuery, t: u32) -> Vec<ApproxHit> {
+    assert_eq!(q.width(), rows.width(), "query width mismatch");
+    let mut hits = Vec::new();
+    if rows.wpr == 1 {
+        // Serving hot path (≤64-digit rows). Rows go by in 64-row
+        // blocks: a branchless pass builds a candidate bitmask (one
+        // XOR/AND/POPCNT/compare per row — a shape the compiler can
+        // keep in vector registers), and only blocks that actually
+        // contain a candidate are revisited to emit hits. For small
+        // `t` nearly every block dies in the first pass.
+        let qh = q.word(0);
+        for (block, (vs, cs)) in rows.value.chunks(64).zip(rows.care.chunks(64)).enumerate() {
+            let mut mask = block_candidates(qh, vs, cs, t.saturating_add(1));
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let d = ((qh ^ vs[i]) & cs[i]).count_ones();
+                hits.push(ApproxHit {
+                    row: block * 64 + i,
+                    distance: d,
+                });
+            }
+        }
+    } else {
+        for row in 0..rows.rows() {
+            let d = row_distance(rows, row, q);
+            if d <= t {
+                hits.push(ApproxHit { row, distance: d });
+            }
+        }
+    }
+    hits
+}
+
+/// The `k` nearest stored rows by masked-Hamming distance, sorted by
+/// `(distance, row)` — deterministic tie-breaking, lowest row wins.
+/// Returns fewer than `k` hits only when the table has fewer rows.
+///
+/// # Panics
+/// Panics on query-width mismatch.
+#[must_use]
+pub fn top_k(rows: &PackedRows, q: &PackedQuery, k: usize) -> Vec<ApproxHit> {
+    assert_eq!(q.width(), rows.width(), "query width mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    if rows.wpr == 1 {
+        return top_k_blocked(rows, q, k);
+    }
+    // Bounded max-heap: the root is the current worst of the best k,
+    // replaced whenever a strictly better hit arrives. Row order is
+    // ascending, so on equal distance the incumbent (lower row) wins.
+    let mut heap: BinaryHeap<ApproxHit> = BinaryHeap::with_capacity(k + 1);
+    for row in 0..rows.rows() {
+        let hit = ApproxHit {
+            row,
+            distance: row_distance(rows, row, q),
+        };
+        if heap.len() < k {
+            heap.push(hit);
+        } else if hit < *heap.peek().expect("heap is non-empty at capacity") {
+            heap.pop();
+            heap.push(hit);
+        }
+    }
+    let mut hits = heap.into_vec();
+    hits.sort_unstable();
+    hits
+}
+
+/// Serving hot path for [`top_k`] (≤64-digit rows): a single pass in
+/// 64-row blocks. Each block runs the branchless mask loop (one
+/// XOR/AND/POPCNT/compare per row, a shape the compiler can
+/// vectorize) flagging rows that beat the current k-th best distance;
+/// only flagged rows touch the bounded heap that maintains the best k
+/// and the bound. Rows scan in ascending order, so a later row that
+/// merely ties the k-th best can never displace it — the strict
+/// `d < bound` flag is exact — and once the heap fills the bound is
+/// tight enough that almost every block contributes nothing.
+fn top_k_blocked(rows: &PackedRows, q: &PackedQuery, k: usize) -> Vec<ApproxHit> {
+    let qh = q.word(0);
+    let n = rows.rows();
+    if k >= n {
+        let mut hits: Vec<ApproxHit> = rows
+            .value
+            .iter()
+            .zip(rows.care.iter())
+            .enumerate()
+            .map(|(row, (&v, &c))| ApproxHit {
+                row,
+                distance: ((qh ^ v) & c).count_ones(),
+            })
+            .collect();
+        hits.sort_unstable();
+        return hits;
+    }
+    // Bounded max-heap over flagged rows only: the root is the worst
+    // of the current best k, and `bound` mirrors its distance so the
+    // mask loop skips everything that cannot enter.
+    let mut heap: BinaryHeap<ApproxHit> = BinaryHeap::with_capacity(k + 1);
+    let mut bound = u32::MAX;
+    let blocks = rows.value.chunks(64).zip(rows.care.chunks(64));
+    for (block, (vs, cs)) in blocks.enumerate() {
+        let mut mask = block_candidates(qh, vs, cs, bound);
+        if mask == 0 {
+            continue;
+        }
+        let base = block * 64;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let hit = ApproxHit {
+                row: base + i,
+                distance: ((qh ^ vs[i]) & cs[i]).count_ones(),
+            };
+            if heap.len() < k {
+                heap.push(hit);
+            } else if hit < *heap.peek().expect("heap is non-empty at capacity") {
+                heap.pop();
+                heap.push(hit);
+            } else {
+                continue;
+            }
+            if heap.len() == k {
+                bound = heap.peek().expect("heap holds k hits").distance;
+            }
+        }
+    }
+    let mut hits = heap.into_vec();
+    hits.sort_unstable();
+    hits
+}
+
+/// Merge per-shard top-k hit lists into the global top-k. Each input
+/// must already be sorted by `(distance, row)` (the order [`top_k`]
+/// returns); the merge re-sorts the union and truncates, so local
+/// top-k per shard followed by this merge is exactly the global top-k.
+#[must_use]
+pub fn merge_top_k(lists: &[Vec<ApproxHit>], k: usize) -> Vec<ApproxHit> {
+    let mut all: Vec<ApproxHit> = lists.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+/// Swap the two bits of every 2-bit lane of a packed word, converting
+/// between digit order (even digit at the lane's low bit) and level
+/// order (digit `2j` is the *high* bit of level `j`).
+#[inline]
+#[must_use]
+const fn lane_swap(w: u64) -> u64 {
+    ((w & STEP1_MASK) << 1) | ((w & STEP2_MASK) >> 1)
+}
+
+/// Per-4-bit-lane `a >= b` for lane values ≤ 7: the high bit of each
+/// nibble of the result is set iff that nibble of `a` is ≥ `b`'s.
+/// `a | H` seeds every nibble with +8, so a borrow (clearing the high
+/// bit) occurs exactly when `b > a`, and since `8 - 7 > 0` no borrow
+/// ever crosses a nibble boundary.
+#[inline]
+const fn nibble_ge(a: u64, b: u64) -> u64 {
+    const H: u64 = 0x8888_8888_8888_8888;
+    ((a | H) - b) & H
+}
+
+/// All 32 levels of a lane-ordered word inside their windows at once.
+/// Even and odd 2-bit lanes are spread into the low halves of 4-bit
+/// lanes so [`nibble_ge`] can compare 16 levels per subtraction.
+#[inline]
+fn word_in_window(q: u64, lo: u64, hi: u64) -> bool {
+    const M: u64 = 0x3333_3333_3333_3333;
+    const H: u64 = 0x8888_8888_8888_8888;
+    let (q0, q1) = (q & M, (q >> 2) & M);
+    nibble_ge(q0, lo & M) == H
+        && nibble_ge(q1, (lo >> 2) & M) == H
+        && nibble_ge(hi & M, q0) == H
+        && nibble_ge((hi >> 2) & M, q1) == H
+}
+
+/// FeCAM-style range table: per cell a stored `[lo, hi]` level window
+/// (levels 0–3), matched when every query level falls inside. Stored
+/// as two lane-ordered plane vectors (level `j` in bits `2j..=2j+1`);
+/// tail lanes beyond the cell count hold the full `[0, 3]` window so
+/// they never reject.
+#[derive(Debug, Clone, Default)]
+pub struct RangeRows {
+    cells: usize,
+    wpr: usize,
+    rows: usize,
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+}
+
+impl RangeRows {
+    /// Empty range table of `cells` 4-level cells per row (row width
+    /// `2 * cells` digits).
+    #[must_use]
+    pub fn new(cells: usize) -> Self {
+        Self {
+            cells,
+            wpr: (2 * cells).div_ceil(64),
+            rows: 0,
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
+    /// Append one row of per-cell windows.
+    ///
+    /// # Panics
+    /// Panics on cell-count mismatch or any window with `lo > hi` or a
+    /// bound above level 3.
+    pub fn push(&mut self, windows: &[(u8, u8)]) {
+        assert_eq!(windows.len(), self.cells, "window count mismatch");
+        let base = self.lo.len();
+        self.lo.resize(base + self.wpr, 0);
+        // Tail lanes default to the full window.
+        self.hi.resize(base + self.wpr, !0);
+        for (j, &(lo, hi)) in windows.iter().enumerate() {
+            assert!(lo <= hi && hi <= 3, "bad window [{lo}, {hi}] at cell {j}");
+            let (w, sh) = (j / 32, 2 * (j % 32));
+            self.lo[base + w] |= u64::from(lo) << sh;
+            self.hi[base + w] &= !(0b11u64 << sh);
+            self.hi[base + w] |= u64::from(hi) << sh;
+        }
+        self.rows += 1;
+    }
+
+    /// Reinterpret a packed ternary table as range rows: each digit
+    /// pair is one cell, an `X` digit widens its bit of the window to
+    /// both values (`lo` from the value plane, `hi` from
+    /// `value | !care`).
+    ///
+    /// # Panics
+    /// Panics on odd row width (a trailing half-cell has no level).
+    #[must_use]
+    pub fn from_packed(p: &PackedRows) -> Self {
+        assert!(
+            p.width().is_multiple_of(2),
+            "range mode pairs digits into cells; width must be even"
+        );
+        let mut r = Self::new(p.width() / 2);
+        r.rows = p.rows();
+        r.lo = p.value.iter().map(|&w| lane_swap(w)).collect();
+        // `!care` is 1 beyond the row width too, so tail lanes get the
+        // always-match [0, 3] window for free.
+        r.hi = p
+            .value
+            .iter()
+            .zip(p.care.iter())
+            .map(|(&v, &c)| lane_swap(v | !c))
+            .collect();
+        r
+    }
+
+    /// Cells per row.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row width in digits (two per cell).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        2 * self.cells
+    }
+
+    /// The stored window of one cell.
+    ///
+    /// # Panics
+    /// Panics if `row` or `cell` is out of range.
+    #[must_use]
+    pub fn window(&self, row: usize, cell: usize) -> (u8, u8) {
+        assert!(row < self.rows && cell < self.cells, "window out of range");
+        let (w, sh) = (row * self.wpr + cell / 32, 2 * (cell % 32));
+        (
+            ((self.lo[w] >> sh) & 0b11) as u8,
+            ((self.hi[w] >> sh) & 0b11) as u8,
+        )
+    }
+
+    /// Whether every query level of `row` falls inside its window.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or the query width mismatches.
+    #[must_use]
+    pub fn in_window(&self, row: usize, q: &PackedQuery) -> bool {
+        assert_eq!(q.width(), self.width(), "query width mismatch");
+        assert!(row < self.rows, "row {row} out of range");
+        let base = row * self.wpr;
+        (0..self.wpr)
+            .all(|w| word_in_window(lane_swap(q.word(w)), self.lo[base + w], self.hi[base + w]))
+    }
+
+    /// Every in-window row for the query, ascending.
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch.
+    #[must_use]
+    pub fn search(&self, q: &PackedQuery) -> Vec<usize> {
+        assert_eq!(q.width(), self.width(), "query width mismatch");
+        let mut hits = Vec::new();
+        if self.wpr == 1 {
+            let qw = lane_swap(q.word(0));
+            for (row, (&lo, &hi)) in self.lo.iter().zip(self.hi.iter()).enumerate() {
+                if word_in_window(qw, lo, hi) {
+                    hits.push(row);
+                }
+            }
+        } else {
+            for row in 0..self.rows {
+                if self.in_window(row, q) {
+                    hits.push(row);
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// The 4-level cell levels a binary query drives: level `j` is
+/// `(digit 2j << 1) | digit 2j+1`.
+///
+/// # Panics
+/// Panics on odd query width.
+#[must_use]
+pub fn query_levels(q: &PackedQuery) -> Vec<u8> {
+    assert!(q.width().is_multiple_of(2), "query width must be even");
+    (0..q.width() / 2)
+        .map(|j| (u8::from(q.bit(2 * j)) << 1) | u8::from(q.bit(2 * j + 1)))
+        .collect()
+}
+
+/// Inverse of [`query_levels`]: pack per-cell 4-ary levels into the
+/// two-digit-per-cell binary query a range search drives.
+///
+/// # Panics
+/// Panics if any level exceeds 3.
+#[must_use]
+pub fn levels_to_query(levels: &[u8]) -> PackedQuery {
+    let mut bits = Vec::with_capacity(levels.len() * 2);
+    for &l in levels {
+        assert!(l <= 3, "cell level {l} out of range (0..=3)");
+        bits.push(l & 0b10 != 0);
+        bits.push(l & 0b01 != 0);
+    }
+    PackedQuery::from_bits(&bits)
+}
+
+/// The per-cell windows a stored ternary word induces (the naive
+/// mirror of [`RangeRows::from_packed`], used as the range oracle).
+///
+/// # Panics
+/// Panics on odd word length.
+#[must_use]
+pub fn word_windows(w: &TernaryWord) -> Vec<(u8, u8)> {
+    assert!(w.len().is_multiple_of(2), "word length must be even");
+    let bit = |d: Ternary| -> (u8, u8) {
+        match d {
+            Ternary::One => (1, 1),
+            Ternary::Zero => (0, 0),
+            Ternary::X => (0, 1),
+        }
+    };
+    (0..w.len() / 2)
+        .map(|j| {
+            let (hi_lo, hi_hi) = bit(w.digit(2 * j));
+            let (lo_lo, lo_hi) = bit(w.digit(2 * j + 1));
+            ((hi_lo << 1) | lo_lo, (hi_hi << 1) | lo_hi)
+        })
+        .collect()
+}
+
+/// Whether one stored row's per-cell windows contain the query's
+/// levels — a digit-case evaluation over the packed planes, derived
+/// independently of [`RangeRows`]' SWAR borrow trick so the two stay
+/// separate witnesses of the same predicate. Containment splits by
+/// the cell's care pattern: a cared hi digit pins the level's high
+/// bit (and with the lo digit also cared the window is a point); a
+/// wildcard hi digit over a cared lo value `v` spans `[v, v + 2]`,
+/// which excludes exactly the level whose two bits both equal `!v`;
+/// a fully wildcard cell admits everything.
+///
+/// # Panics
+/// Panics on width mismatch, odd width, or an out-of-range row.
+#[must_use]
+pub fn row_in_windows(rows: &PackedRows, row: usize, q: &PackedQuery) -> bool {
+    assert_eq!(q.width(), rows.width(), "query width mismatch");
+    assert!(rows.width().is_multiple_of(2), "range cells pair digits");
+    assert!(row < rows.rows(), "row {row} out of range");
+    // Even digit lanes hold each cell's hi bit, odd lanes the lo bit;
+    // shifting the odd lanes down aligns both on the hi-lane mask.
+    const HI: u64 = 0x5555_5555_5555_5555;
+    let base = row * rows.wpr;
+    for w in 0..rows.wpr {
+        let (v, c, qw) = (rows.value[base + w], rows.care[base + w], q.word(w));
+        let (vh, vl) = (v & HI, (v >> 1) & HI);
+        let (ch, cl) = (c & HI, (c >> 1) & HI);
+        let (qh, ql) = (qw & HI, (qw >> 1) & HI);
+        let fail = ((qh ^ vh) & ch) | ((ql ^ vl) & cl & ch) | ((ql ^ vl) & (qh ^ vl) & cl & !ch);
+        if fail != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behav::BehavioralTcam;
+
+    fn table() -> (BehavioralTcam, PackedRows) {
+        let mut t = BehavioralTcam::new(6);
+        for s in ["101010", "10XX10", "011001", "XXXXXX", "101011"] {
+            t.store(s.parse().unwrap());
+        }
+        let p = PackedRows::from_tcam(&t);
+        (t, p)
+    }
+
+    #[test]
+    fn distance_matches_mismatch_count() {
+        let (t, p) = table();
+        let q = [true, false, true, false, true, false];
+        let pq = PackedQuery::from_bits(&q);
+        for (r, row) in t.rows().iter().enumerate() {
+            assert_eq!(row_distance(&p, r, &pq) as usize, row.mismatch_count(&q));
+        }
+    }
+
+    #[test]
+    fn threshold_is_distance_filter() {
+        let (t, p) = table();
+        let q = [true, false, true, false, true, false];
+        let pq = PackedQuery::from_bits(&q);
+        for t_d in 0..=6u32 {
+            let hits = threshold_search(&p, &pq, t_d);
+            let want: Vec<usize> = t
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row.mismatch_count(&q) as u32 <= t_d)
+                .map(|(r, _)| r)
+                .collect();
+            assert_eq!(hits.iter().map(|h| h.row).collect::<Vec<_>>(), want);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_nearest_with_lowest_row_ties() {
+        let (t, p) = table();
+        let q = [true, false, true, false, true, false];
+        let pq = PackedQuery::from_bits(&q);
+        let oracle = t.nearest(&q);
+        for k in 0..=6usize {
+            let hits = top_k(&p, &pq, k);
+            let want: Vec<(usize, u32)> =
+                oracle.iter().take(k).map(|&(r, d)| (r, d as u32)).collect();
+            let got: Vec<(usize, u32)> = hits.iter().map(|h| (h.row, h.distance)).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_global_top_k() {
+        let (_, p) = table();
+        let q = PackedQuery::from_bits(&[true, false, true, false, true, false]);
+        let global = top_k(&p, &q, 3);
+        // Split the same rows into two "shards" by parity of row id.
+        let all = threshold_search(&p, &q, u32::MAX);
+        let (mut e, mut o): (Vec<ApproxHit>, Vec<ApproxHit>) =
+            all.into_iter().partition(|h| h.row % 2 == 0);
+        e.sort_unstable();
+        o.sort_unstable();
+        e.truncate(3);
+        o.truncate(3);
+        let merged = merge_top_k(&[e, o], 3);
+        assert_eq!(merged, global);
+    }
+
+    #[test]
+    fn range_window_planes_agree_with_word_windows() {
+        let (t, p) = table();
+        let r = RangeRows::from_packed(&p);
+        for (i, row) in t.rows().iter().enumerate() {
+            let want = word_windows(row);
+            let got: Vec<(u8, u8)> = (0..r.cells()).map(|c| r.window(i, c)).collect();
+            assert_eq!(got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn range_admits_mid_window_levels_ternary_match_rejects() {
+        // Stored "X1" = window [1, 3]: query level 2 ("10") is inside
+        // the window but is not a ternary match of "X1".
+        let mut t = BehavioralTcam::new(2);
+        t.store("X1".parse().unwrap());
+        let p = PackedRows::from_tcam(&t);
+        let r = RangeRows::from_packed(&p);
+        let q = PackedQuery::from_bits(&[true, false]); // level 2
+        assert!(t.search(&[true, false]).matches.is_empty());
+        assert_eq!(r.search(&q), vec![0]);
+        let q0 = PackedQuery::from_bits(&[false, false]); // level 0 < lo
+        assert!(r.search(&q0).is_empty());
+    }
+
+    #[test]
+    fn explicit_windows_round_trip_and_match() {
+        let mut r = RangeRows::new(3);
+        r.push(&[(0, 1), (2, 2), (0, 3)]);
+        r.push(&[(1, 3), (0, 0), (2, 3)]);
+        assert_eq!(r.window(0, 1), (2, 2));
+        assert_eq!(r.window(1, 2), (2, 3));
+        // Query levels [1, 2, 3] → inside row 0, outside row 1 (cell 1).
+        let q = PackedQuery::from_bits(&[false, true, true, false, true, true]);
+        assert_eq!(query_levels(&q), vec![1, 2, 3]);
+        assert_eq!(r.search(&q), vec![0]);
+    }
+
+    #[test]
+    fn range_tail_lanes_never_reject() {
+        // 33 cells → 66 digits → 2 words per row; the 31 tail lanes of
+        // word 1 must stay permissive.
+        let cells = 33;
+        let mut r = RangeRows::new(cells);
+        r.push(&vec![(1u8, 2u8); cells]);
+        let bits: Vec<bool> = (0..2 * cells).map(|i| i % 2 == 1).collect(); // all level 1
+        let q = PackedQuery::from_bits(&bits);
+        assert_eq!(r.search(&q), vec![0]);
+    }
+}

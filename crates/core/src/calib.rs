@@ -19,6 +19,14 @@
 //! query is priced `step1_misses × E₁ + survivors × E₂` with SPICE-
 //! derived constants — identical in form to the simulated path, which
 //! is what makes the sampled audit lane a meaningful check.
+//!
+//! **Approximate match.** `results/sense_time.csv` (written by
+//! `core::sense`) adds a fourth artefact: match-line discharge time vs
+//! mismatch count, with Monte-Carlo spread. [`Calibration::sense_model`]
+//! folds it into a [`SenseModel`] — TAP-CAM's tunable sensing, where
+//! the sense moment picks the accepted Hamming distance — so the
+//! serving layer can attribute a per-distance sense latency and a
+//! calibrated misclassification probability to every approximate query.
 
 use crate::cell::DesignKind;
 use crate::fom::SearchMetrics;
@@ -48,6 +56,9 @@ pub struct Calibration {
     pub step1_sense: Option<f64>,
     /// Fig. 4 step-2 miss sense-amp crossing time (s), when available.
     pub step2_sense: Option<f64>,
+    /// SPICE-measured ML discharge time vs mismatch count (from
+    /// `results/sense_time.csv`); empty when not characterised.
+    pub sense_points: Vec<SensePoint>,
     /// Datasheets the figures actually came from (provenance for the
     /// audit report); empty for paper defaults.
     pub sources: Vec<String>,
@@ -75,6 +86,7 @@ impl Calibration {
             latency_curve: Vec::new(),
             step1_sense: None,
             step2_sense: None,
+            sense_points: Vec::new(),
             sources: Vec::new(),
         }
     }
@@ -123,7 +135,30 @@ impl Calibration {
                 cal.sources.push(path.display().to_string());
             }
         }
+        let sense = dir.join("sense_time.csv");
+        if let Some(points) = std::fs::read_to_string(&sense)
+            .ok()
+            .and_then(|text| parse_sense_csv(&text))
+        {
+            cal.sense_points = points;
+            cal.sources.push(sense.display().to_string());
+        }
         cal
+    }
+
+    /// The sense-time model for approximate (distance-threshold)
+    /// queries: the measured discharge curve when `sense_time.csv` was
+    /// characterised, otherwise the analytic `t(m) = t₁ / m` fallback
+    /// anchored at the step-1 latency (m parallel pull-down paths drain
+    /// the ML capacitance m× faster).
+    #[must_use]
+    pub fn sense_model(&self) -> SenseModel {
+        if self.sense_points.len() >= 2 {
+            SenseModel::from_points(self.sense_points.clone())
+                .unwrap_or_else(|| SenseModel::analytic(self.latency_1step))
+        } else {
+            SenseModel::analytic(self.latency_1step)
+        }
     }
 
     /// Price a word length: the anchor figures scaled along the Fig. 7
@@ -149,6 +184,242 @@ impl Calibration {
             energy_2step: Some(self.energy_2step_per_cell * width as f64 * e_scale),
         }
     }
+}
+
+/// One point of the SPICE-measured sense-time curve: how fast the
+/// match line discharges when `mismatches` cell pairs pull it down,
+/// with the Monte-Carlo spread under V_TH variability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensePoint {
+    /// Mismatching (pull-down) cell count, ≥ 1.
+    pub mismatches: usize,
+    /// Mean ML half-swing discharge time (s).
+    pub mean_s: f64,
+    /// Standard deviation of the discharge time under Monte-Carlo (s).
+    pub sigma_s: f64,
+}
+
+/// Misclassification probabilities of one threshold setting: sensing
+/// at [`MisclassPoint::sense_time_s`] accepts rows of distance ≤ t and
+/// rejects distance ≥ t+1, up to the Gaussian overlap of the two
+/// nearest discharge-time distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MisclassPoint {
+    /// Distance threshold this sense moment implements.
+    pub threshold: u32,
+    /// The sense moment (s): inside `(t_d(t+1), t_d(t))`.
+    pub sense_time_s: f64,
+    /// P(row at distance t+1 has *not* discharged yet) — falsely kept.
+    pub p_false_accept: f64,
+    /// P(row at distance t *has* discharged) — falsely dropped.
+    pub p_false_reject: f64,
+}
+
+impl MisclassPoint {
+    /// Combined per-boundary-row misclassification probability.
+    #[must_use]
+    pub fn p_error(&self) -> f64 {
+        0.5 * (self.p_false_accept + self.p_false_reject)
+    }
+}
+
+/// TAP-CAM-style tunable sensing: the ML discharge time encodes the
+/// Hamming distance (m pull-down paths discharge ~m× faster), so the
+/// *sense moment* selects the accepted distance threshold. Built from
+/// the SPICE characterisation when available, or the analytic `t₁ / m`
+/// law anchored at the calibrated step-1 latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseModel {
+    /// Discharge curve, ascending in mismatch count, strictly
+    /// decreasing in time (monotonicity is validated on construction).
+    points: Vec<SensePoint>,
+}
+
+impl SenseModel {
+    /// Analytic fallback: `t(m) = t₁ / m` with a 5 % relative spread,
+    /// anchored at the single-mismatch (step-1 miss) latency.
+    #[must_use]
+    pub fn analytic(latency_1step: f64) -> Self {
+        let t1 = if latency_1step > 0.0 {
+            latency_1step
+        } else {
+            231e-12
+        };
+        let points = (1..=8usize)
+            .map(|m| SensePoint {
+                mismatches: m,
+                mean_s: t1 / m as f64,
+                sigma_s: 0.05 * t1 / m as f64,
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// Build from measured points; `None` unless there are ≥ 2 points,
+    /// sorted ascending in mismatches with strictly decreasing mean
+    /// discharge time (the physical monotonicity the Monte-Carlo test
+    /// asserts) and positive times.
+    #[must_use]
+    pub fn from_points(mut points: Vec<SensePoint>) -> Option<Self> {
+        points.sort_by_key(|p| p.mismatches);
+        let ok = points.len() >= 2
+            && points.iter().all(|p| p.mismatches >= 1 && p.mean_s > 0.0)
+            && points
+                .windows(2)
+                .all(|w| w[0].mismatches < w[1].mismatches && w[0].mean_s > w[1].mean_s);
+        ok.then_some(Self { points })
+    }
+
+    /// The measured / modelled curve.
+    #[must_use]
+    pub fn points(&self) -> &[SensePoint] {
+        &self.points
+    }
+
+    /// Mean discharge time for `m` mismatches: table interpolation in
+    /// `1/m`, extended by the `1/m` law beyond the last point;
+    /// `+∞` for a full match (no pull-down path ever fires).
+    #[must_use]
+    pub fn discharge_time(&self, m: u32) -> f64 {
+        if m == 0 {
+            return f64::INFINITY;
+        }
+        self.eval(m, |p| p.mean_s)
+    }
+
+    /// Monte-Carlo spread of the discharge time at `m` mismatches.
+    #[must_use]
+    pub fn discharge_sigma(&self, m: u32) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        self.eval(m, |p| p.sigma_s)
+    }
+
+    fn eval(&self, m: u32, f: impl Fn(&SensePoint) -> f64) -> f64 {
+        let m = m as usize;
+        if let Some(p) = self.points.iter().find(|p| p.mismatches == m) {
+            return f(p);
+        }
+        let first = self.points.first().expect("model has points");
+        let last = self.points.last().expect("model has points");
+        if m < first.mismatches {
+            // Below the table: 1/m extrapolation from the first point.
+            return f(first) * first.mismatches as f64 / m as f64;
+        }
+        if m > last.mismatches {
+            return f(last) * last.mismatches as f64 / m as f64;
+        }
+        // Between points: linear in 1/m.
+        let (mut lo, mut hi) = (first, last);
+        for p in &self.points {
+            if p.mismatches <= m {
+                lo = p;
+            }
+            if p.mismatches >= m && hi.mismatches >= p.mismatches {
+                hi = p;
+            }
+        }
+        let (x0, x1, x) = (
+            1.0 / lo.mismatches as f64,
+            1.0 / hi.mismatches as f64,
+            1.0 / m as f64,
+        );
+        let frac = if (x1 - x0).abs() > 0.0 {
+            (x - x0) / (x1 - x0)
+        } else {
+            0.0
+        };
+        f(lo) + frac * (f(hi) - f(lo))
+    }
+
+    /// The sense moment implementing distance threshold `t`: inside
+    /// the window `(t_d(t+1), t_d(t))` — after every row with > t
+    /// mismatches has discharged, before any row with ≤ t has. The
+    /// geometric midpoint splits the (log-scale) window evenly; for
+    /// `t = 0` the window is open-ended above, so the moment sits at
+    /// 1.5× the single-mismatch discharge (the exact-match sense).
+    #[must_use]
+    pub fn sense_time(&self, t: u32) -> f64 {
+        let below = self.discharge_time(t + 1);
+        let above = self.discharge_time(t);
+        if above.is_finite() {
+            (below * above).sqrt()
+        } else {
+            1.5 * below
+        }
+    }
+
+    /// Misclassification probabilities of threshold `t` from the
+    /// Gaussian overlap of the two boundary discharge distributions at
+    /// the sense moment.
+    #[must_use]
+    pub fn misclassification(&self, t: u32) -> MisclassPoint {
+        let s = self.sense_time(t);
+        // A row at distance t+1 is falsely accepted when its (random)
+        // discharge time exceeds the sense moment.
+        let (mu_b, sg_b) = (self.discharge_time(t + 1), self.discharge_sigma(t + 1));
+        let p_false_accept = 1.0 - normal_cdf((s - mu_b) / sg_b.max(1e-18));
+        // A row at distance t is falsely rejected when it discharges
+        // before the sense moment (impossible for exact matches).
+        let p_false_reject = if t == 0 {
+            0.0
+        } else {
+            let (mu_a, sg_a) = (self.discharge_time(t), self.discharge_sigma(t));
+            normal_cdf((s - mu_a) / sg_a.max(1e-18))
+        };
+        MisclassPoint {
+            threshold: t,
+            sense_time_s: s,
+            p_false_accept,
+            p_false_reject,
+        }
+    }
+
+    /// The calibrated misclassification table for thresholds `0..=max_t`.
+    #[must_use]
+    pub fn table(&self, max_t: u32) -> Vec<MisclassPoint> {
+        (0..=max_t).map(|t| self.misclassification(t)).collect()
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7) — no libm dependency.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Parse `sense_time.csv` (`mismatches,mean_ps,sigma_ps`).
+fn parse_sense_csv(text: &str) -> Option<Vec<SensePoint>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let col = |name: &str| header.split(',').position(|h| h.trim() == name);
+    let (mc, tc, sc) = (col("mismatches")?, col("mean_ps")?, col("sigma_ps")?);
+    let mut points = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        points.push(SensePoint {
+            mismatches: cells.get(mc)?.trim().parse().ok()?,
+            mean_s: cells.get(tc)?.trim().parse::<f64>().ok()? * 1e-12,
+            sigma_s: cells.get(sc)?.trim().parse::<f64>().ok()? * 1e-12,
+        });
+    }
+    (!points.is_empty()).then_some(points)
 }
 
 /// The Table-IV fields the calibration consumes.
@@ -292,6 +563,123 @@ mod tests {
         let per_cell_64 = at64.energy_1step / 64.0;
         let per_cell_8 = at8.energy_1step / 8.0;
         assert!((per_cell_8 / per_cell_64 - 0.22 / 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sense_model_orders_thresholds() {
+        let m = SenseModel::analytic(231e-12);
+        // Discharge time strictly decreasing in mismatch count.
+        for k in 1..12u32 {
+            assert!(m.discharge_time(k) > m.discharge_time(k + 1), "m = {k}");
+        }
+        assert!(m.discharge_time(0).is_infinite());
+        // Sense moments: larger thresholds sense earlier, and each
+        // moment sits inside its (t_d(t+1), t_d(t)) window.
+        for t in 0..8u32 {
+            let s = m.sense_time(t);
+            assert!(s > m.discharge_time(t + 1), "t = {t}");
+            assert!(s < m.discharge_time(t), "t = {t}");
+            if t > 0 {
+                assert!(s < m.sense_time(t - 1), "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn misclassification_grows_with_overlap() {
+        let tight = SenseModel::from_points(vec![
+            SensePoint {
+                mismatches: 1,
+                mean_s: 200e-12,
+                sigma_s: 2e-12,
+            },
+            SensePoint {
+                mismatches: 2,
+                mean_s: 100e-12,
+                sigma_s: 1e-12,
+            },
+            SensePoint {
+                mismatches: 3,
+                mean_s: 66e-12,
+                sigma_s: 1e-12,
+            },
+        ])
+        .unwrap();
+        let wide = SenseModel::from_points(vec![
+            SensePoint {
+                mismatches: 1,
+                mean_s: 200e-12,
+                sigma_s: 60e-12,
+            },
+            SensePoint {
+                mismatches: 2,
+                mean_s: 100e-12,
+                sigma_s: 40e-12,
+            },
+            SensePoint {
+                mismatches: 3,
+                mean_s: 66e-12,
+                sigma_s: 30e-12,
+            },
+        ])
+        .unwrap();
+        for t in 0..3u32 {
+            let (a, b) = (tight.misclassification(t), wide.misclassification(t));
+            assert!(
+                a.p_error() < b.p_error(),
+                "t = {t}: {} vs {}",
+                a.p_error(),
+                b.p_error()
+            );
+            assert!(a.p_error() >= 0.0 && b.p_error() <= 1.0);
+        }
+        // Exact match never falsely rejects (no pull-down path).
+        assert_eq!(wide.misclassification(0).p_false_reject, 0.0);
+    }
+
+    #[test]
+    fn from_points_rejects_non_monotone_curves() {
+        assert!(SenseModel::from_points(vec![
+            SensePoint {
+                mismatches: 1,
+                mean_s: 100e-12,
+                sigma_s: 1e-12
+            },
+            SensePoint {
+                mismatches: 2,
+                mean_s: 150e-12,
+                sigma_s: 1e-12
+            },
+        ])
+        .is_none());
+        assert!(SenseModel::from_points(vec![SensePoint {
+            mismatches: 1,
+            mean_s: 100e-12,
+            sigma_s: 1e-12
+        }])
+        .is_none());
+    }
+
+    #[test]
+    fn normal_cdf_is_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959_96) - 0.975).abs() < 1e-4);
+        assert!(normal_cdf(-6.0) < 1e-8);
+        assert!(normal_cdf(6.0) > 1.0 - 1e-8);
+    }
+
+    #[test]
+    fn sense_csv_round_trip() {
+        let csv = "mismatches,mean_ps,sigma_ps\n1,200.0,8.0\n2,100.0,4.0\n4,50.0,2.0\n";
+        let points = parse_sense_csv(csv).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].mean_s - 200e-12).abs() < 1e-24);
+        let model = SenseModel::from_points(points).unwrap();
+        // Interpolation in 1/m between 2 and 4 mismatches.
+        let t3 = model.discharge_time(3);
+        assert!(t3 < 100e-12 && t3 > 50e-12);
+        // 1/m extrapolation beyond the table.
+        assert!((model.discharge_time(8) - 25e-12).abs() < 1e-15);
     }
 
     #[test]

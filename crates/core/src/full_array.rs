@@ -16,6 +16,7 @@ use crate::senseamp::attach_sense_amp;
 use crate::ternary::TernaryWord;
 use ferrotcam_device::fefet::Fefet;
 use ferrotcam_device::mosfet::Mosfet;
+use ferrotcam_device::variability::skewed_fefet;
 use ferrotcam_spice::prelude::*;
 
 use crate::cell::t15::state_for;
@@ -54,6 +55,56 @@ pub fn build_full_array(
     timing: &SearchTiming,
     par: &RowParasitics,
     enable_step2: bool,
+) -> Result<FullArrayCircuit> {
+    build_full_array_inner(params, rows, query, timing, par, enable_step2, None)
+}
+
+/// [`build_full_array`] with a per-device V_TH offset applied to every
+/// FeFET — the Monte-Carlo entry point for sense-time characterisation.
+/// `vth_offsets[r * n + c]` skews the FeFET of row `r`, column `c` (as
+/// drawn by `device::variability::VthVariation::sample_at`).
+///
+/// # Errors
+/// Propagates netlist-construction failures.
+///
+/// # Panics
+/// Panics for non-1.5T designs, empty arrays, odd word lengths, or an
+/// offsets slice shorter than `rows.len() * word_len`.
+pub fn build_full_array_skewed(
+    params: &DesignParams,
+    rows: &[TernaryWord],
+    query: &[bool],
+    timing: &SearchTiming,
+    par: &RowParasitics,
+    enable_step2: bool,
+    vth_offsets: &[f64],
+) -> Result<FullArrayCircuit> {
+    assert!(
+        vth_offsets.len() >= rows.len() * query.len(),
+        "need one V_TH offset per FeFET ({} × {})",
+        rows.len(),
+        query.len()
+    );
+    build_full_array_inner(
+        params,
+        rows,
+        query,
+        timing,
+        par,
+        enable_step2,
+        Some(vth_offsets),
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn build_full_array_inner(
+    params: &DesignParams,
+    rows: &[TernaryWord],
+    query: &[bool],
+    timing: &SearchTiming,
+    par: &RowParasitics,
+    enable_step2: bool,
+    vth_offsets: Option<&[f64]>,
 ) -> Result<FullArrayCircuit> {
     assert!(
         params.kind.is_t15(),
@@ -155,7 +206,12 @@ pub fn build_full_array(
         };
         let (bg1, bg2) = if is_dg { (sela, selb) } else { (gnd, gnd) };
 
-        // One divider per (row, pair).
+        // One divider per (row, pair); Monte-Carlo runs skew each
+        // FeFET's V_TH individually.
+        let fe_params = |r: usize, c: usize| match vth_offsets {
+            Some(o) => skewed_fefet(params.fefet(), o[r * n + c]),
+            None => params.fefet().clone(),
+        };
         for (r, word) in rows.iter().enumerate() {
             let slbar = ckt.node(&format!("slbar{r}_{p}"));
             ckt.capacitor(&format!("cslbar{r}_{p}"), slbar, gnd, par.slbar_wire)?;
@@ -165,7 +221,7 @@ pub fn build_full_array(
                 fg1,
                 slbar,
                 bg1,
-                params.fefet().clone(),
+                fe_params(r, c1),
             );
             f1.program(state_for(word.digit(c1)));
             ckt.device(Box::new(f1));
@@ -175,7 +231,7 @@ pub fn build_full_array(
                 fg2,
                 slbar,
                 bg2,
-                params.fefet().clone(),
+                fe_params(r, c2),
             );
             f2.program(state_for(word.digit(c2)));
             ckt.device(Box::new(f2));

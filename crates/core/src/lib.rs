@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod approx;
 pub mod array;
 pub mod behav;
 pub mod calib;
@@ -36,18 +37,24 @@ pub mod margins;
 pub mod mlc;
 pub mod ops;
 pub mod packed;
+pub mod sense;
 pub mod senseamp;
 pub mod table_io;
 pub mod ternary;
 pub mod write_array;
 
+pub use approx::{
+    levels_to_query, merge_top_k, row_distance, row_in_windows, threshold_search, top_k, ApproxHit,
+    RangeRows,
+};
 pub use array::{build_search_row, SearchRun, SearchSim};
 pub use behav::{BehavioralTcam, SearchOutcome};
-pub use calib::Calibration;
+pub use calib::{Calibration, MisclassPoint, SenseModel, SensePoint};
 pub use cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 pub use fom::{characterize_search, characterize_write, SearchMetrics, WriteMetrics};
 pub use full_array::{
-    build_full_array, cross_validate_array, search_full_array, ArraySearchResult, FullArrayCircuit,
+    build_full_array, build_full_array_skewed, cross_validate_array, search_full_array,
+    ArraySearchResult, FullArrayCircuit,
 };
 pub use margins::{nominal_margins, DividerLevels, SearchMargins};
 pub use mlc::{MlcDigit, MlcTcam};

@@ -156,10 +156,10 @@ impl PackedQuery {
 #[derive(Debug, Clone, Default)]
 pub struct PackedRows {
     width: usize,
-    wpr: usize,
+    pub(crate) wpr: usize,
     rows: usize,
-    value: Vec<u64>,
-    care: Vec<u64>,
+    pub(crate) value: Vec<u64>,
+    pub(crate) care: Vec<u64>,
 }
 
 impl PackedRows {
@@ -273,7 +273,7 @@ impl PackedRows {
 /// the row-major planes for survivor verification.
 ///
 /// Per block, per digit (even digits first, then odd), two row-bitmap
-/// planes of [`WPB`] words each: `m0` (rows matching a searched `0`)
+/// planes of `WPB` (8) words each: `m0` (rows matching a searched `0`)
 /// and `m1` (rows matching a searched `1`). A wildcard row sets its
 /// bit in both planes; a row absent from the block (tail padding) sets
 /// neither, so padding dies on the first AND.

@@ -1,0 +1,333 @@
+//! Circuit-grounded sense-time characterisation for approximate match.
+//!
+//! **Hamming sensing (TAP-CAM).** Every mismatching cell pair of a row
+//! turns on one match-line pull-down, so m mismatches discharge the ML
+//! through m parallel paths — roughly m× faster. [`discharge_times`]
+//! measures this directly: it builds a small single-step array
+//! (via [`build_full_array_skewed`]) whose row m carries exactly m
+//! mismatching pairs against the query, runs the SPICE transient, and
+//! extracts each ML's half-swing falling crossing. The resulting
+//! discharge-time-vs-mismatch curve — nominal plus Monte-Carlo spread
+//! under `device::variability` — is written to `sense_time.csv` and
+//! consumed by [`crate::calib::SenseModel`], which turns a sense
+//! *moment* into a Hamming-distance *threshold* with a calibrated
+//! misclassification probability.
+//!
+//! **Range sensing (FeCAM).** A range cell stores a `[lo, hi]` window
+//! as two programmed thresholds: one FeFET gated by the query voltage
+//! discharges the ML when `v_q` exceeds the upper bound, a second
+//! gated by the complement (`vdd − v_q`) discharges it when `v_q`
+//! falls below the lower bound; the ML stays high exactly inside the
+//! window. [`build_range_cell`] builds that two-FeFET cell (threshold
+//! bounds programmed as V_TH offsets) and [`range_cell_high`]
+//! DC-solves it — the SPICE spot-check behind the behavioural
+//! [`crate::approx::RangeRows`] kernel.
+
+use crate::calib::SensePoint;
+use crate::cell::{DesignParams, RowParasitics, SearchTiming};
+use crate::full_array::{build_full_array, build_full_array_skewed};
+use crate::ternary::{Ternary, TernaryWord};
+use ferrotcam_device::variability::{skewed_fefet, VthVariation};
+use ferrotcam_device::Fefet;
+use ferrotcam_device::VthState;
+use ferrotcam_spice::prelude::*;
+
+/// The mismatch ladder: row m stores exactly m mismatching pairs
+/// against the returned all-zero query, in *even* digit positions so a
+/// single-step (step-1 only) search exercises every pull-down. Returns
+/// `(rows, query)` for `max_mismatch + 1` rows of `word_len` digits.
+///
+/// # Panics
+/// Panics when the ladder does not fit (`max_mismatch > word_len / 2`)
+/// or the word length is odd.
+#[must_use]
+pub fn mismatch_ladder(word_len: usize, max_mismatch: usize) -> (Vec<TernaryWord>, Vec<bool>) {
+    assert!(word_len.is_multiple_of(2), "word length must be even");
+    assert!(
+        max_mismatch <= word_len / 2,
+        "at most one mismatch per even position"
+    );
+    let rows = (0..=max_mismatch)
+        .map(|m| {
+            (0..word_len)
+                .map(|d| {
+                    // Stored One against a searched 0 mismatches.
+                    if d.is_multiple_of(2) && d / 2 < m {
+                        Ternary::One
+                    } else {
+                        Ternary::Zero
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (rows, vec![false; word_len])
+}
+
+/// ML half-swing discharge time per mismatch count: entry m is the
+/// time (s, from search start) at which the ML of the row with m
+/// mismatches falls through `vdd / 2`, or `None` when it never
+/// discharges (always the case for m = 0). With `vth_offsets`, every
+/// FeFET is skewed individually — the Monte-Carlo path.
+///
+/// # Errors
+/// Propagates simulator failures.
+///
+/// # Panics
+/// Panics on an invalid ladder shape (see [`mismatch_ladder`]).
+pub fn discharge_times(
+    params: &DesignParams,
+    word_len: usize,
+    max_mismatch: usize,
+    vth_offsets: Option<&[f64]>,
+) -> Result<Vec<Option<f64>>> {
+    let (rows, query) = mismatch_ladder(word_len, max_mismatch);
+    let timing = SearchTiming::default();
+    let par = RowParasitics::default();
+    let built = match vth_offsets {
+        Some(o) => build_full_array_skewed(params, &rows, &query, &timing, &par, false, o),
+        None => build_full_array(params, &rows, &query, &timing, &par, false),
+    }?;
+    let mut circuit = built.circuit;
+    let mut opts = TranOpts::to_time(timing.t_stop(false));
+    opts.dt_init = 1e-12;
+    opts.dt_max = 4e-12;
+    opts.uic = true;
+    let trace = transient(&mut circuit, &opts)?;
+    let half = params.vdd / 2.0;
+    let start = timing.step1_start();
+    (0..rows.len())
+        .map(|r| {
+            let name = format!("v(ml{r})");
+            // Skip crossings inside the precharge ramp: the first
+            // falling crossing after the search drive begins is the
+            // discharge event.
+            for nth in 1..=8 {
+                match trace.cross(&name, half, Edge::Falling, nth)? {
+                    Some(t) if t >= start => return Ok(Some(t - start)),
+                    Some(_) => continue,
+                    None => return Ok(None),
+                }
+            }
+            Ok(None)
+        })
+        .collect()
+}
+
+/// Deterministic Monte-Carlo variant of [`discharge_times`]: V_TH
+/// offsets drawn per device from `VthVariation::for_fefet` stream
+/// `seed` (same convention as the Fig. 7 grid).
+///
+/// # Errors
+/// Propagates simulator failures.
+pub fn discharge_times_mc(
+    params: &DesignParams,
+    word_len: usize,
+    max_mismatch: usize,
+    seed: u64,
+) -> Result<Vec<Option<f64>>> {
+    let var = VthVariation::for_fefet(params.fefet());
+    let offsets = var.sample_batch(seed, (max_mismatch + 1) * word_len);
+    discharge_times(params, word_len, max_mismatch, Some(&offsets))
+}
+
+/// Characterise the sense-time curve: nominal discharge times plus one
+/// Monte-Carlo run per seed, folded into per-mismatch mean and spread.
+/// Only mismatch counts where *every* run discharged make the curve
+/// (m = 0 never does, by construction).
+///
+/// # Errors
+/// Propagates simulator failures.
+pub fn characterize_sense(
+    params: &DesignParams,
+    word_len: usize,
+    max_mismatch: usize,
+    mc_seeds: &[u64],
+) -> Result<Vec<SensePoint>> {
+    let mut runs = vec![discharge_times(params, word_len, max_mismatch, None)?];
+    for &seed in mc_seeds {
+        runs.push(discharge_times_mc(params, word_len, max_mismatch, seed)?);
+    }
+    let mut points = Vec::new();
+    for m in 1..=max_mismatch {
+        let times: Vec<f64> = runs.iter().filter_map(|run| run[m]).collect();
+        if times.len() < runs.len() {
+            continue; // some run never discharged: outside the curve
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+        // A single run has no measured spread; carry a conservative
+        // 2 % floor so the misclassification table never divides by 0.
+        let sigma = var.sqrt().max(0.02 * mean);
+        points.push(SensePoint {
+            mismatches: m,
+            mean_s: mean,
+            sigma_s: sigma,
+        });
+    }
+    Ok(points)
+}
+
+/// Render the characterised curve as `sense_time.csv` (picoseconds,
+/// the format [`crate::calib::Calibration::load`] consumes).
+#[must_use]
+pub fn render_sense_csv(points: &[SensePoint]) -> String {
+    let mut out = String::from("mismatches,mean_ps,sigma_ps\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            p.mismatches,
+            p.mean_s * 1e12,
+            p.sigma_s * 1e12
+        ));
+    }
+    out
+}
+
+/// A built (unsolved) FeCAM range-sense cell.
+#[derive(Debug)]
+pub struct RangeCell {
+    /// The two-FeFET cell netlist.
+    pub circuit: Circuit,
+    /// The match-line node (high ⇔ query inside the window).
+    pub ml: NodeId,
+}
+
+/// Pull-up sizing the DC spot-check against: far above the FeFET
+/// on-resistance, far below off-leakage.
+const RANGE_PULLUP_OHMS: f64 = 1e6;
+
+/// Build the two-FeFET range cell: `fe_hi` (gate = `v_q`, V_TH skewed
+/// by `dvth_hi`) discharges the ML when the query exceeds the upper
+/// bound; `fe_lo` (gate = `vdd − v_q`, skewed by `dvth_lo`) discharges
+/// it when the query undershoots the lower bound. Both are programmed
+/// to the middle (MVT) state so `core.vth0` is the active threshold.
+///
+/// # Errors
+/// Propagates netlist-construction failures.
+pub fn build_range_cell(
+    params: &DesignParams,
+    dvth_hi: f64,
+    dvth_lo: f64,
+    vq: f64,
+) -> Result<RangeCell> {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::gnd();
+    let vdd_n = ckt.node("vdd");
+    ckt.vsource("VDD", vdd_n, gnd, Waveform::dc(params.vdd));
+    let ml = ckt.node("ml");
+    ckt.resistor("rpu", vdd_n, ml, RANGE_PULLUP_OHMS)?;
+    let qhi = ckt.node("qhi");
+    let qlo = ckt.node("qlo");
+    ckt.vsource("VQHI", qhi, gnd, Waveform::dc(vq));
+    ckt.vsource("VQLO", qlo, gnd, Waveform::dc(params.vdd - vq));
+    let mut f_hi = Fefet::new(
+        "fehi",
+        ml,
+        qhi,
+        gnd,
+        gnd,
+        skewed_fefet(params.fefet(), dvth_hi),
+    );
+    f_hi.program(VthState::Mvt);
+    ckt.device(Box::new(f_hi));
+    let mut f_lo = Fefet::new(
+        "felo",
+        ml,
+        qlo,
+        gnd,
+        gnd,
+        skewed_fefet(params.fefet(), dvth_lo),
+    );
+    f_lo.program(VthState::Mvt);
+    ckt.device(Box::new(f_lo));
+    Ok(RangeCell { circuit: ckt, ml })
+}
+
+/// DC-solve the range cell: whether the ML sits above `vdd / 2`
+/// (query inside the stored window).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn range_cell_high(params: &DesignParams, dvth_hi: f64, dvth_lo: f64, vq: f64) -> Result<bool> {
+    let cell = build_range_cell(params, dvth_hi, dvth_lo, vq)?;
+    let sol = operating_point(&cell.circuit, &DcOpts::default())?;
+    Ok(sol.voltage(cell.ml) > params.vdd / 2.0)
+}
+
+/// Calibrate the cell's switching voltage: the query voltage at which
+/// an unskewed upper-bound FeFET first pulls the ML below half swing
+/// (the lower-bound device is parked far off). Linear sweep + bisection
+/// refinement to `vdd / 256`; `None` when the device never switches
+/// inside `[0, vdd]`.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn range_transition(params: &DesignParams) -> Result<Option<f64>> {
+    let park = 10.0 * params.vdd; // lower-bound device can never turn on
+    let high_at = |vq: f64| range_cell_high(params, 0.0, park, vq);
+    let steps = 32;
+    let mut lo = 0.0;
+    let mut hi = params.vdd;
+    let mut found = false;
+    for k in 1..=steps {
+        let vq = params.vdd * f64::from(k) / f64::from(steps);
+        if !high_at(vq)? {
+            hi = vq;
+            lo = params.vdd * f64::from(k - 1) / f64::from(steps);
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        return Ok(None);
+    }
+    while hi - lo > params.vdd / 256.0 {
+        let mid = 0.5 * (lo + hi);
+        if high_at(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(0.5 * (lo + hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_exact_mismatch_counts() {
+        let (rows, query) = mismatch_ladder(8, 4);
+        assert_eq!(rows.len(), 5);
+        for (m, row) in rows.iter().enumerate() {
+            assert_eq!(row.mismatch_count(&query), m, "row {m}");
+            // All mismatches in even (step-1) positions.
+            for (d, &dig) in row.digits().iter().enumerate() {
+                if d % 2 == 1 {
+                    assert_eq!(dig, Ternary::Zero);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_csv_round_trips_through_calibration() {
+        let points = vec![
+            SensePoint {
+                mismatches: 1,
+                mean_s: 210e-12,
+                sigma_s: 9e-12,
+            },
+            SensePoint {
+                mismatches: 2,
+                mean_s: 110e-12,
+                sigma_s: 5e-12,
+            },
+        ];
+        let csv = render_sense_csv(&points);
+        assert!(csv.starts_with("mismatches,mean_ps,sigma_ps\n"));
+        assert!(csv.contains("1,210.0000,9.0000"));
+    }
+}

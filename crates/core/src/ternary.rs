@@ -198,7 +198,12 @@ impl TernaryWord {
     /// Panics if the query width differs from the word width.
     #[must_use]
     pub fn mismatch_count(&self, query: &[bool]) -> usize {
-        self.mismatch_positions(query).len()
+        assert_eq!(query.len(), self.len(), "query width mismatch");
+        self.0
+            .iter()
+            .zip(query)
+            .filter(|&(&d, &q)| !d.matches(q))
+            .count()
     }
 
     /// Iterate over digits.

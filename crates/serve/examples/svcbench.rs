@@ -1,0 +1,131 @@
+//! Ad-hoc microbenchmark of the behavioural backend's batch path and
+//! the full service loop, per request kind. Not part of the bench
+//! suite — run with `cargo run --release -p ferrotcam-serve --example
+//! svcbench` when hunting serve-path regressions.
+
+use ferrotcam::{Calibration, DesignKind, PackedQuery, TernaryWord};
+use ferrotcam_serve::{
+    BatchSpec, BehaviouralBackend, ExecBackend, RequestKind, ServiceConfig, ShardedTcam,
+    TcamService,
+};
+use std::time::{Duration, Instant};
+
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_query(state: &mut u64, width: usize) -> PackedQuery {
+    let bits: Vec<bool> = (0..width).map(|_| split_mix64(state) & 1 == 1).collect();
+    PackedQuery::from_bits(&bits)
+}
+
+fn build_table(rows: usize, width: usize, shards: usize) -> ShardedTcam {
+    let mut t = ShardedTcam::new(width, shards);
+    let mut state = 42u64;
+    for _ in 0..rows {
+        let q = random_query(&mut state, width);
+        let shard = t.route_packed(&q);
+        t.store_in(shard, TernaryWord::from_bits(&q.to_bits()));
+    }
+    t
+}
+
+fn bench_backend(table: &ShardedTcam, kind: RequestKind, routed: bool, tag: &str) {
+    let backend = BehaviouralBackend::build(table);
+    let mut state = 7u64;
+    let n = 1024usize;
+    let queries: Vec<PackedQuery> = (0..n)
+        .map(|_| random_query(&mut state, table.width()))
+        .collect();
+    let targets: Vec<Option<usize>> = queries
+        .iter()
+        .map(|q| routed.then(|| table.route_packed(q)))
+        .collect();
+    let kinds = vec![kind; n];
+    let costs = vec![1.0f64; n];
+    let spec = BatchSpec {
+        queries: &queries,
+        kinds: &kinds,
+        targets: &targets,
+        costs: &costs,
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..8 {
+        let t0 = Instant::now();
+        let r = backend.execute(table, &spec, 1, 1e-9);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&r.outcomes);
+        best = best.min(dt / n as f64 * 1e6);
+    }
+    println!("backend {tag:<22} {best:8.2} us/job");
+}
+
+/// Open loop paced exactly like serve-bench: Poisson arrivals at
+/// `offered` qps with 200 us producer naps.
+fn bench_service(table: ShardedTcam, kind: RequestKind, offered: f64, secs: f64, tag: &str) {
+    let cfg = ServiceConfig {
+        backend: ferrotcam_serve::BackendKind::Behavioural,
+        queue_capacity: 16 * 1024,
+        max_batch: 0,
+        audit_period: 0,
+        ..ServiceConfig::default()
+    };
+    let svc = TcamService::start(table, &cfg);
+    let client = svc.client();
+    let mut state = 11u64;
+    let started = Instant::now();
+    let horizon = Duration::from_secs_f64(secs);
+    let mut next_arrival = 0.0f64;
+    loop {
+        let now = started.elapsed();
+        if now >= horizon {
+            break;
+        }
+        while next_arrival <= now.as_secs_f64() {
+            let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered;
+            let q = random_query(&mut state, client.table().width());
+            let shard = Some(client.table().route_packed(&q));
+            let _ = client.submit_noreply_kind(0, q, kind, shard);
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let m = svc.drain();
+    let dt = started.elapsed().as_secs_f64();
+    println!(
+        "service {tag:<22} {:8.0} qps  ({} completed, {} shed, {} batches)",
+        m.completed as f64 / dt,
+        m.completed,
+        m.shed_queue_full,
+        m.batch.batches
+    );
+}
+
+fn main() {
+    let (rows, width, shards) = (16384usize, 64usize, 4usize);
+    let metrics = Calibration::paper_defaults(DesignKind::T15Dg).search_metrics(width);
+    let table = build_table(rows, width, shards);
+    for (tag, kind) in [
+        ("exact", RequestKind::Exact),
+        ("threshold t=2", RequestKind::Threshold { t: 2 }),
+        ("topk k=8", RequestKind::TopK { k: 8 }),
+        ("range", RequestKind::Range),
+    ] {
+        bench_backend(&table, kind, true, &format!("{tag} routed"));
+        bench_backend(&table, kind, false, &format!("{tag} fanout"));
+    }
+    for (tag, kind) in [
+        ("exact", RequestKind::Exact),
+        ("threshold t=2", RequestKind::Threshold { t: 2 }),
+        ("topk k=8", RequestKind::TopK { k: 8 }),
+        ("range", RequestKind::Range),
+    ] {
+        let mut t = build_table(rows, width, shards);
+        t.attach_metrics(metrics.clone());
+        bench_service(t, kind, 600_000.0, 1.0, &format!("{tag} routed"));
+    }
+}

@@ -7,7 +7,14 @@
 //! submission queue, so rate-limited work is shed at the cheapest
 //! possible point. Buckets take the current time as an argument, which
 //! keeps them deterministic under test.
+//!
+//! Buckets are keyed by `(tenant, class)`: approximate-match traffic
+//! ([`AdmissionClass::Approx`] — threshold, top-k, range) budgets
+//! separately from exact-match traffic, so a burst of expensive
+//! distance scans cannot drain the tokens the same tenant's exact
+//! lookups run on.
 
+use crate::request::AdmissionClass;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -114,51 +121,79 @@ impl TokenBucket {
     }
 }
 
-/// The service-wide admission controller: one bucket per tenant,
-/// created lazily under the default policy.
+/// The service-wide admission controller: one bucket per
+/// `(tenant, class)`, created lazily under that class's default
+/// policy.
 #[derive(Debug)]
 pub struct Admission {
     default_policy: RatePolicy,
+    approx_policy: RatePolicy,
     /// `true` while every tenant rides an unlimited default and no
     /// per-tenant policy exists — admission is then a single relaxed
     /// load instead of a mutex acquisition (the submit hot path).
     passthrough: AtomicBool,
-    buckets: Mutex<HashMap<TenantId, TokenBucket>>,
+    buckets: Mutex<HashMap<(TenantId, AdmissionClass), TokenBucket>>,
 }
 
 impl Admission {
-    /// Controller whose unknown tenants get `default_policy`.
+    /// Controller whose unknown tenants get `default_policy` for exact
+    /// traffic and `approx_policy` for approximate traffic.
     #[must_use]
-    pub fn new(default_policy: RatePolicy) -> Self {
+    pub fn new(default_policy: RatePolicy, approx_policy: RatePolicy) -> Self {
         Self {
             default_policy,
-            passthrough: AtomicBool::new(default_policy.rate.is_infinite()),
+            approx_policy,
+            passthrough: AtomicBool::new(
+                default_policy.rate.is_infinite() && approx_policy.rate.is_infinite(),
+            ),
             buckets: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Install (or replace) a tenant's policy; the bucket restarts full.
+    /// Install (or replace) a tenant's *exact-class* policy; the
+    /// bucket restarts full. Approximate traffic is unaffected — use
+    /// [`Self::set_class_policy`] for it.
     pub fn set_policy(&self, tenant: TenantId, policy: RatePolicy) {
+        self.set_class_policy(tenant, AdmissionClass::Exact, policy);
+    }
+
+    /// Install (or replace) one `(tenant, class)` policy; the bucket
+    /// restarts full.
+    pub fn set_class_policy(&self, tenant: TenantId, class: AdmissionClass, policy: RatePolicy) {
         let mut buckets = self.buckets.lock().expect("admission lock");
-        buckets.insert(tenant, TokenBucket::new(policy));
+        buckets.insert((tenant, class), TokenBucket::new(policy));
         // Any explicit policy (even an unlimited one) pins admission to
         // the bucket map; flip while still holding the lock so a racing
         // admit cannot see the flag before the bucket.
         self.passthrough.store(false, Ordering::Release);
     }
 
-    /// Admit one request from `tenant` at time `now`.
+    /// The default policy a class falls back to.
+    fn default_for(&self, class: AdmissionClass) -> RatePolicy {
+        match class {
+            AdmissionClass::Exact => self.default_policy,
+            AdmissionClass::Approx => self.approx_policy,
+        }
+    }
+
+    /// Admit one `class` request from `tenant` at time `now`.
     ///
     /// # Errors
-    /// [`Overloaded::RateLimited`] when the tenant's bucket is dry.
-    pub fn admit(&self, tenant: TenantId, now: Instant) -> Result<(), Overloaded> {
+    /// [`Overloaded::RateLimited`] when the tenant's bucket for this
+    /// class is dry.
+    pub fn admit(
+        &self,
+        tenant: TenantId,
+        class: AdmissionClass,
+        now: Instant,
+    ) -> Result<(), Overloaded> {
         if self.passthrough.load(Ordering::Acquire) {
             return Ok(());
         }
         let mut buckets = self.buckets.lock().expect("admission lock");
         let bucket = buckets
-            .entry(tenant)
-            .or_insert_with(|| TokenBucket::new(self.default_policy));
+            .entry((tenant, class))
+            .or_insert_with(|| TokenBucket::new(self.default_for(class)));
         if bucket.try_take(now) {
             Ok(())
         } else {
@@ -209,34 +244,69 @@ mod tests {
     #[test]
     fn admission_isolates_tenants() {
         let t0 = Instant::now();
-        let adm = Admission::new(RatePolicy::unlimited());
+        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
         adm.set_policy(7, RatePolicy::per_second(1.0, 1.0));
-        assert!(adm.admit(7, t0).is_ok());
-        assert_eq!(adm.admit(7, t0), Err(Overloaded::RateLimited { tenant: 7 }));
+        assert!(adm.admit(7, AdmissionClass::Exact, t0).is_ok());
+        assert_eq!(
+            adm.admit(7, AdmissionClass::Exact, t0),
+            Err(Overloaded::RateLimited { tenant: 7 })
+        );
         // Other tenants ride the unlimited default.
         for _ in 0..100 {
-            assert!(adm.admit(8, t0).is_ok());
+            assert!(adm.admit(8, AdmissionClass::Exact, t0).is_ok());
         }
+    }
+
+    #[test]
+    fn classes_budget_independently() {
+        let t0 = Instant::now();
+        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
+        adm.set_class_policy(5, AdmissionClass::Approx, RatePolicy::per_second(0.0, 2.0));
+        // Approximate traffic drains its own bucket...
+        assert!(adm.admit(5, AdmissionClass::Approx, t0).is_ok());
+        assert!(adm.admit(5, AdmissionClass::Approx, t0).is_ok());
+        assert_eq!(
+            adm.admit(5, AdmissionClass::Approx, t0),
+            Err(Overloaded::RateLimited { tenant: 5 })
+        );
+        // ...while the same tenant's exact traffic is untouched.
+        for _ in 0..50 {
+            assert!(adm.admit(5, AdmissionClass::Exact, t0).is_ok());
+        }
+        // And vice versa: a dry exact bucket spares the approx lane.
+        adm.set_class_policy(6, AdmissionClass::Exact, RatePolicy::per_second(0.0, 1.0));
+        assert!(adm.admit(6, AdmissionClass::Exact, t0).is_ok());
+        assert!(adm.admit(6, AdmissionClass::Exact, t0).is_err());
+        assert!(adm.admit(6, AdmissionClass::Approx, t0).is_ok());
     }
 
     #[test]
     fn passthrough_disengages_on_first_policy() {
         let t0 = Instant::now();
-        let adm = Admission::new(RatePolicy::unlimited());
+        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
         // Fast path: no buckets exist yet, nothing is created.
-        assert!(adm.admit(3, t0).is_ok());
+        assert!(adm.admit(3, AdmissionClass::Exact, t0).is_ok());
         assert!(adm.buckets.lock().unwrap().is_empty());
         // Installing any policy pins admission to the bucket map.
         adm.set_policy(3, RatePolicy::per_second(1.0, 1.0));
-        assert!(adm.admit(3, t0).is_ok());
-        assert_eq!(adm.admit(3, t0), Err(Overloaded::RateLimited { tenant: 3 }));
-        // A finite default never engages the fast path.
-        let strict = Admission::new(RatePolicy::per_second(0.0, 1.0));
-        assert!(strict.admit(9, t0).is_ok());
+        assert!(adm.admit(3, AdmissionClass::Exact, t0).is_ok());
         assert_eq!(
-            strict.admit(9, t0),
+            adm.admit(3, AdmissionClass::Exact, t0),
+            Err(Overloaded::RateLimited { tenant: 3 })
+        );
+        // A finite default never engages the fast path.
+        let strict = Admission::new(RatePolicy::per_second(0.0, 1.0), RatePolicy::unlimited());
+        assert!(strict.admit(9, AdmissionClass::Exact, t0).is_ok());
+        assert_eq!(
+            strict.admit(9, AdmissionClass::Exact, t0),
             Err(Overloaded::RateLimited { tenant: 9 })
         );
+        // A finite *approx* default likewise keeps the slow path on.
+        let strict_approx =
+            Admission::new(RatePolicy::unlimited(), RatePolicy::per_second(0.0, 1.0));
+        assert!(strict_approx.admit(9, AdmissionClass::Approx, t0).is_ok());
+        assert!(strict_approx.admit(9, AdmissionClass::Approx, t0).is_err());
+        assert!(strict_approx.admit(9, AdmissionClass::Exact, t0).is_ok());
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //! tolerance ([`audit_compare`]).
 
 use crate::batch;
+use crate::request::RequestKind;
 use crate::shard::ShardedTcam;
-use ferrotcam::{BitSlices, PackedQuery, SearchOutcome};
+use ferrotcam::approx::{query_levels, threshold_search, top_k, word_windows, RangeRows};
+use ferrotcam::{ApproxHit, BitSlices, PackedQuery, SearchOutcome};
 use ferrotcam_arch::sched::ScheduleOutcome;
 use ferrotcam_spice::parallel::par_map;
 
@@ -61,12 +63,30 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// One planned batch handed to an execution tier: parallel arrays,
+/// one entry per job.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSpec<'a> {
+    /// Packed queries (bit queries for exact/threshold/top-k; 2-bit
+    /// level queries for range).
+    pub queries: &'a [PackedQuery],
+    /// What each query asks for.
+    pub kinds: &'a [RequestKind],
+    /// `None` fans the job out over every shard; `Some(s)` pins it.
+    pub targets: &'a [Option<usize>],
+    /// Per-job bank-time multiplier from the dispatcher's cost model.
+    pub costs: &'a [f64],
+}
+
 /// One executed batch: per-job outcomes plus the modelled bank
 /// schedule, in batch order.
 #[derive(Debug, Clone)]
 pub struct ExecResult {
     /// Per-job merged outcome; matches are global slot ids, ascending.
     pub outcomes: Vec<SearchOutcome>,
+    /// Per-job ranked hits for approximate kinds, best-first with ties
+    /// toward the lowest global row; empty for exact and range jobs.
+    pub hits: Vec<Vec<ApproxHit>>,
     /// Per-job modelled completion time on the bank pool (s).
     pub per_job_latency_s: Vec<f64>,
     /// The batch's bank schedule (utilization, makespan, waits).
@@ -82,48 +102,187 @@ pub trait ExecBackend: Send + Sync + std::fmt::Debug {
     /// dispatcher uses it when the configured `max_batch` is 0).
     fn preferred_batch(&self) -> usize;
 
-    /// Execute one batch. `queries[j]` visits every shard when
-    /// `targets[j]` is `None`, else only `targets[j]`. `jobs` is the
-    /// worker-pool width, `t_bank` the modelled per-bank busy time (s).
+    /// Execute one batch. `jobs` is the worker-pool width, `t_bank`
+    /// the modelled per-bank busy time (s) for a unit-cost query.
     fn execute(
         &self,
         table: &ShardedTcam,
-        queries: &[PackedQuery],
-        targets: &[Option<usize>],
+        spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
     ) -> ExecResult;
+}
+
+/// One job's answer on one shard: counters plus (for approximate
+/// kinds) the shard-local ranked hits with *global* row ids.
+#[derive(Debug, Clone)]
+struct ShardAnswer {
+    outcome: SearchOutcome,
+    hits: Vec<ApproxHit>,
+}
+
+/// Merge-and-rank step after every shard answered: sorts matches
+/// globally and applies the kind's final selection (top-k truncation
+/// after the cross-shard merge, so the global ranking — not any one
+/// shard's — decides).
+fn finalize_job(kind: RequestKind, outcome: &mut SearchOutcome, hits: &mut Vec<ApproxHit>) {
+    match kind {
+        RequestKind::Exact | RequestKind::Range => outcome.matches.sort_unstable(),
+        RequestKind::Threshold { .. } => {
+            hits.sort_unstable();
+            outcome.matches.sort_unstable();
+        }
+        RequestKind::TopK { k } => {
+            hits.sort_unstable();
+            hits.truncate(k);
+            // Per-shard answers count every examined row as a step-1
+            // miss; the kept winners move over to the match column.
+            let examined = outcome.step1_misses;
+            outcome.matches = hits.iter().map(|h| h.row).collect();
+            outcome.matches.sort_unstable();
+            outcome.step1_misses = examined - hits.len();
+        }
+    }
+}
+
+/// The reference (naive, circuit-order) answer for one job on one
+/// shard: row-by-row distance / window evaluation over the stored
+/// ternary words, with global row ids.
+fn naive_shard_answer(
+    table: &ShardedTcam,
+    s: usize,
+    kind: RequestKind,
+    query: &PackedQuery,
+) -> ShardAnswer {
+    let shard = table.shard(s);
+    match kind {
+        RequestKind::Exact => ShardAnswer {
+            outcome: table.search_shard(s, &query.to_bits()),
+            hits: Vec::new(),
+        },
+        RequestKind::Threshold { t } => {
+            let bits = query.to_bits();
+            let mut outcome = SearchOutcome::empty();
+            let mut hits = Vec::new();
+            for (l, row) in shard.rows().iter().enumerate() {
+                let d = u32::try_from(row.mismatch_count(&bits)).expect("distance fits u32");
+                if d <= t {
+                    let g = table.global_row(s, l);
+                    outcome.matches.push(g);
+                    hits.push(ApproxHit {
+                        row: g,
+                        distance: d,
+                    });
+                } else {
+                    outcome.step1_misses += 1;
+                }
+            }
+            ShardAnswer { outcome, hits }
+        }
+        RequestKind::TopK { k } => {
+            let bits = query.to_bits();
+            // Global ids preserve the shard-local (distance, row)
+            // order, so the local selection is already globally fair.
+            let mut hits: Vec<ApproxHit> = shard
+                .rows()
+                .iter()
+                .enumerate()
+                .map(|(l, row)| ApproxHit {
+                    row: table.global_row(s, l),
+                    distance: u32::try_from(row.mismatch_count(&bits)).expect("distance fits u32"),
+                })
+                .collect();
+            hits.sort_unstable();
+            hits.truncate(k);
+            ShardAnswer {
+                outcome: SearchOutcome {
+                    matches: Vec::new(),
+                    step1_misses: shard.len(),
+                    step2_misses: 0,
+                },
+                hits,
+            }
+        }
+        RequestKind::Range => {
+            let levels = query_levels(query);
+            let mut outcome = SearchOutcome::empty();
+            for (l, row) in shard.rows().iter().enumerate() {
+                let in_window = word_windows(row)
+                    .iter()
+                    .zip(&levels)
+                    .all(|(&(lo, hi), &q)| lo <= q && q <= hi);
+                if in_window {
+                    outcome.matches.push(table.global_row(s, l));
+                } else {
+                    outcome.step1_misses += 1;
+                }
+            }
+            ShardAnswer {
+                outcome,
+                hits: Vec::new(),
+            }
+        }
+    }
+}
+
+/// The full reference answer for one request: naive per-shard
+/// evaluation over `target` (or a fan-out over every shard), merged
+/// and finalized exactly like a served batch. The audit lane replays
+/// sampled behavioural answers through this.
+#[must_use]
+pub fn reference_search(
+    table: &ShardedTcam,
+    kind: RequestKind,
+    query: &PackedQuery,
+    target: Option<usize>,
+) -> (SearchOutcome, Vec<ApproxHit>) {
+    let mut outcome = SearchOutcome::empty();
+    let mut hits = Vec::new();
+    let shards: Vec<usize> = match target {
+        Some(s) => vec![s],
+        None => (0..table.shard_count()).collect(),
+    };
+    for s in shards {
+        let ans = naive_shard_answer(table, s, kind, query);
+        outcome.absorb(ans.outcome);
+        hits.extend(ans.hits);
+    }
+    finalize_job(kind, &mut outcome, &mut hits);
+    (outcome, hits)
 }
 
 /// Shared plan/execute/merge skeleton of both tiers: `search(s, j)`
 /// answers job `j` on shard `s` with *global* match ids.
 fn run_plan<F>(
     shards: usize,
-    targets: &[Option<usize>],
+    spec: &BatchSpec<'_>,
     jobs: usize,
     t_bank: f64,
     search: F,
 ) -> ExecResult
 where
-    F: Fn(usize, usize) -> SearchOutcome + Sync,
+    F: Fn(usize, usize) -> ShardAnswer + Sync,
 {
-    let plan = batch::plan(targets, shards);
-    let per_shard: Vec<Vec<(usize, SearchOutcome)>> = par_map(&plan.per_shard, jobs, |s, list| {
+    let plan = batch::plan(spec.targets, shards);
+    let per_shard: Vec<Vec<(usize, ShardAnswer)>> = par_map(&plan.per_shard, jobs, |s, list| {
         list.iter().map(|&j| (j, search(s, j))).collect()
     });
-    let mut outcomes: Vec<SearchOutcome> =
-        (0..targets.len()).map(|_| SearchOutcome::empty()).collect();
+    let n = spec.targets.len();
+    let mut outcomes: Vec<SearchOutcome> = (0..n).map(|_| SearchOutcome::empty()).collect();
+    let mut hits: Vec<Vec<ApproxHit>> = (0..n).map(|_| Vec::new()).collect();
     for shard_results in per_shard {
-        for (j, out) in shard_results {
-            outcomes[j].absorb(out);
+        for (j, ans) in shard_results {
+            outcomes[j].absorb(ans.outcome);
+            hits[j].extend(ans.hits);
         }
     }
-    for out in &mut outcomes {
-        out.matches.sort_unstable();
+    for j in 0..n {
+        finalize_job(spec.kinds[j], &mut outcomes[j], &mut hits[j]);
     }
-    let (sched, per_job_latency_s) = plan.schedule(shards, t_bank);
+    let (sched, per_job_latency_s) = plan.schedule_weighted(shards, t_bank, spec.costs);
     ExecResult {
         outcomes,
+        hits,
         per_job_latency_s,
         sched,
     }
@@ -146,36 +305,43 @@ impl ExecBackend for SpiceBackend {
     fn execute(
         &self,
         table: &ShardedTcam,
-        queries: &[PackedQuery],
-        targets: &[Option<usize>],
+        spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
     ) -> ExecResult {
-        // Unpack once per job, not once per (job, shard) unit.
-        let bits: Vec<Vec<bool>> = queries.iter().map(PackedQuery::to_bits).collect();
-        run_plan(table.shard_count(), targets, jobs, t_bank, |s, j| {
-            table.search_shard(s, &bits[j])
+        run_plan(table.shard_count(), spec, jobs, t_bank, |s, j| {
+            naive_shard_answer(table, s, spec.kinds[j], &spec.queries[j])
         })
     }
 }
 
 /// The throughput tier: one bit-sliced plane set per shard, built once
 /// from the served table. Word-parallel step-1 rejection with a
-/// row-major step-2 verify of the survivors.
+/// row-major step-2 verify of the survivors; approximate kinds run on
+/// the popcount Hamming kernel and (for range mode) a lane-packed
+/// `[lo,hi]` window table derived from the same planes.
 #[derive(Debug)]
 pub struct BehaviouralBackend {
     shards: Vec<BitSlices>,
+    /// Per-shard range tables; `None` when the word width is odd (range
+    /// mode pairs digits into multi-bit cells, so it needs an even
+    /// width).
+    ranges: Vec<Option<RangeRows>>,
 }
 
 impl BehaviouralBackend {
     /// Transpose every shard of `table` into match planes.
     #[must_use]
     pub fn build(table: &ShardedTcam) -> Self {
-        Self {
-            shards: (0..table.shard_count())
-                .map(|s| BitSlices::from_tcam(table.shard(s)))
-                .collect(),
-        }
+        let shards: Vec<BitSlices> = (0..table.shard_count())
+            .map(|s| BitSlices::from_tcam(table.shard(s)))
+            .collect();
+        let even = table.width().is_multiple_of(2);
+        let ranges = shards
+            .iter()
+            .map(|sl| even.then(|| RangeRows::from_packed(sl.packed())))
+            .collect();
+        Self { shards, ranges }
     }
 }
 
@@ -191,17 +357,63 @@ impl ExecBackend for BehaviouralBackend {
     fn execute(
         &self,
         table: &ShardedTcam,
-        queries: &[PackedQuery],
-        targets: &[Option<usize>],
+        spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
     ) -> ExecResult {
-        run_plan(table.shard_count(), targets, jobs, t_bank, |s, j| {
-            let mut out = self.shards[s].search(&queries[j]);
-            for m in &mut out.matches {
-                *m = table.global_row(s, *m);
+        run_plan(table.shard_count(), spec, jobs, t_bank, |s, j| {
+            let q = &spec.queries[j];
+            match spec.kinds[j] {
+                RequestKind::Exact => {
+                    let mut out = self.shards[s].search(q);
+                    for m in &mut out.matches {
+                        *m = table.global_row(s, *m);
+                    }
+                    ShardAnswer {
+                        outcome: out,
+                        hits: Vec::new(),
+                    }
+                }
+                RequestKind::Threshold { t } => {
+                    let rows = self.shards[s].packed().rows();
+                    let mut hits = threshold_search(self.shards[s].packed(), q, t);
+                    for h in &mut hits {
+                        h.row = table.global_row(s, h.row);
+                    }
+                    let mut outcome = SearchOutcome::empty();
+                    outcome.matches = hits.iter().map(|h| h.row).collect();
+                    outcome.step1_misses = rows - hits.len();
+                    ShardAnswer { outcome, hits }
+                }
+                RequestKind::TopK { k } => {
+                    let rows = self.shards[s].packed().rows();
+                    let mut hits = top_k(self.shards[s].packed(), q, k);
+                    for h in &mut hits {
+                        h.row = table.global_row(s, h.row);
+                    }
+                    ShardAnswer {
+                        outcome: SearchOutcome {
+                            matches: Vec::new(),
+                            step1_misses: rows,
+                            step2_misses: 0,
+                        },
+                        hits,
+                    }
+                }
+                RequestKind::Range => {
+                    let ranges = self.ranges[s]
+                        .as_ref()
+                        .expect("range queries need an even word width");
+                    let local = ranges.search(q);
+                    let mut outcome = SearchOutcome::empty();
+                    outcome.step1_misses = ranges.rows() - local.len();
+                    outcome.matches = local.iter().map(|&l| table.global_row(s, l)).collect();
+                    ShardAnswer {
+                        outcome,
+                        hits: Vec::new(),
+                    }
+                }
             }
-            out
         })
     }
 }
@@ -229,13 +441,16 @@ impl AuditVerdict {
 
 /// Replay comparison: the fast tier's outcome/energy against the
 /// reference tier's, with `tolerance` as the relative energy bound.
-/// Match sets and both miss counters must be *bit-identical* — the
-/// kernel computes the same search, so any drift is a bug, not noise.
+/// Match sets, ranked hit lists, and both miss counters must be
+/// *bit-identical* — the kernels compute the same search, so any drift
+/// is a bug, not noise.
 #[must_use]
 pub fn audit_compare(
     fast: &SearchOutcome,
+    fast_hits: &[ApproxHit],
     fast_energy: Option<f64>,
     reference: &SearchOutcome,
+    ref_hits: &[ApproxHit],
     ref_energy: Option<f64>,
     tolerance: f64,
 ) -> AuditVerdict {
@@ -255,6 +470,18 @@ pub fn audit_compare(
                 reference.matches.len(),
                 reference.step1_misses,
                 reference.step2_misses,
+            )),
+        };
+    }
+    if fast_hits != ref_hits {
+        return AuditVerdict {
+            match_divergence: true,
+            energy_divergence: false,
+            energy_rel: 0.0,
+            detail: Some(format!(
+                "ranked hits diverged: fast {} hits vs ref {} hits",
+                fast_hits.len(),
+                ref_hits.len(),
             )),
         };
     }
@@ -334,8 +561,16 @@ mod tests {
             let targets: Vec<Option<usize>> = (0..24)
                 .map(|i| if i % 3 == 0 { None } else { Some(i % 3) })
                 .collect();
-            let a = spice.execute(&t, &queries, &targets, 1, 1e-9);
-            let b = behav.execute(&t, &queries, &targets, 1, 1e-9);
+            let kinds = vec![RequestKind::Exact; 24];
+            let costs = vec![1.0; 24];
+            let spec = BatchSpec {
+                queries: &queries,
+                kinds: &kinds,
+                targets: &targets,
+                costs: &costs,
+            };
+            let a = spice.execute(&t, &spec, 1, 1e-9);
+            let b = behav.execute(&t, &spec, 1, 1e-9);
             for j in 0..queries.len() {
                 assert_eq!(a.outcomes[j].matches, b.outcomes[j].matches, "job {j}");
                 assert_eq!(a.outcomes[j].step1_misses, b.outcomes[j].step1_misses);
@@ -346,28 +581,186 @@ mod tests {
     }
 
     #[test]
+    fn tiers_agree_on_mixed_kind_batches() {
+        // Every request kind, fan-out and pinned, on both even widths
+        // (range mode needs an even width; random bit queries are valid
+        // level queries too, since any 2-bit pattern is a level 0..=3).
+        for width in [8usize, 64] {
+            let t = table(160, 4, width);
+            let behav = BehaviouralBackend::build(&t);
+            let spice = SpiceBackend;
+            let mut seed = 0xabcd_ef01_2345_6789 ^ width as u64;
+            let n = 32;
+            let queries: Vec<PackedQuery> = (0..n).map(|_| rand_query(width, &mut seed)).collect();
+            let kinds: Vec<RequestKind> = (0..n)
+                .map(|i| match i % 4 {
+                    0 => RequestKind::Exact,
+                    1 => RequestKind::Threshold { t: (i % 7) as u32 },
+                    2 => RequestKind::TopK { k: 1 + i % 9 },
+                    _ => RequestKind::Range,
+                })
+                .collect();
+            let targets: Vec<Option<usize>> = (0..n)
+                .map(|i| if i % 3 == 0 { None } else { Some(i % 4) })
+                .collect();
+            let costs = vec![1.0; n];
+            let spec = BatchSpec {
+                queries: &queries,
+                kinds: &kinds,
+                targets: &targets,
+                costs: &costs,
+            };
+            let a = spice.execute(&t, &spec, 1, 1e-9);
+            let b = behav.execute(&t, &spec, 1, 1e-9);
+            for j in 0..n {
+                assert_eq!(a.outcomes[j].matches, b.outcomes[j].matches, "job {j}");
+                assert_eq!(
+                    a.outcomes[j].step1_misses, b.outcomes[j].step1_misses,
+                    "job {j}"
+                );
+                assert_eq!(a.outcomes[j].step2_misses, b.outcomes[j].step2_misses);
+                assert_eq!(a.hits[j], b.hits[j], "job {j} hits");
+                // And both tiers agree with the standalone reference.
+                let (ref_out, ref_hits) = reference_search(&t, kinds[j], &queries[j], targets[j]);
+                assert_eq!(a.outcomes[j].matches, ref_out.matches);
+                assert_eq!(a.hits[j], ref_hits);
+                // Top-k hit lists are capped and sorted best-first.
+                if let RequestKind::TopK { k } = kinds[j] {
+                    assert!(b.hits[j].len() <= k);
+                    assert!(b.hits[j].windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_costs_shift_the_batch_schedule() {
+        let t = table(64, 2, 16);
+        let behav = BehaviouralBackend::build(&t);
+        let queries: Vec<PackedQuery> = {
+            let mut seed = 7u64;
+            (0..4).map(|_| rand_query(16, &mut seed)).collect()
+        };
+        let kinds = vec![RequestKind::Exact; 4];
+        let targets = vec![Some(0), Some(0), Some(1), Some(1)];
+        let unit = vec![1.0; 4];
+        let heavy = vec![1.0, 4.0, 1.0, 1.0];
+        let a = behav.execute(
+            &t,
+            &BatchSpec {
+                queries: &queries,
+                kinds: &kinds,
+                targets: &targets,
+                costs: &unit,
+            },
+            1,
+            1e-9,
+        );
+        let b = behav.execute(
+            &t,
+            &BatchSpec {
+                queries: &queries,
+                kinds: &kinds,
+                targets: &targets,
+                costs: &heavy,
+            },
+            1,
+            1e-9,
+        );
+        assert!(
+            b.sched.makespan > a.sched.makespan,
+            "cost 4 job stretches the bank"
+        );
+        assert_eq!(
+            a.outcomes[0].matches, b.outcomes[0].matches,
+            "costs never change answers"
+        );
+    }
+
+    #[test]
     fn audit_compare_flags_divergences() {
         let base = SearchOutcome {
             matches: vec![1, 5],
             step1_misses: 10,
             step2_misses: 2,
         };
-        let ok = audit_compare(&base, Some(1e-12), &base.clone(), Some(1e-12), 1e-9);
+        let ok = audit_compare(
+            &base,
+            &[],
+            Some(1e-12),
+            &base.clone(),
+            &[],
+            Some(1e-12),
+            1e-9,
+        );
         assert!(ok.clean());
         assert_eq!(ok.energy_rel, 0.0);
 
         let mut wrong = base.clone();
         wrong.matches = vec![1];
-        let v = audit_compare(&wrong, Some(1e-12), &base, Some(1e-12), 1e-9);
+        let v = audit_compare(&wrong, &[], Some(1e-12), &base, &[], Some(1e-12), 1e-9);
         assert!(v.match_divergence && !v.energy_divergence);
         assert!(v.detail.as_deref().unwrap().contains("match sets diverged"));
 
-        let v = audit_compare(&base, Some(1.1e-12), &base.clone(), Some(1e-12), 1e-9);
+        // Hit lists are compared too: same counters, different ranking.
+        let h1 = [
+            ApproxHit {
+                row: 1,
+                distance: 0,
+            },
+            ApproxHit {
+                row: 5,
+                distance: 2,
+            },
+        ];
+        let h2 = [
+            ApproxHit {
+                row: 1,
+                distance: 0,
+            },
+            ApproxHit {
+                row: 5,
+                distance: 3,
+            },
+        ];
+        let v = audit_compare(
+            &base,
+            &h1,
+            Some(1e-12),
+            &base.clone(),
+            &h2,
+            Some(1e-12),
+            1e-9,
+        );
+        assert!(v.match_divergence);
+        assert!(v
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("ranked hits diverged"));
+
+        let v = audit_compare(
+            &base,
+            &[],
+            Some(1.1e-12),
+            &base.clone(),
+            &[],
+            Some(1e-12),
+            1e-9,
+        );
         assert!(!v.match_divergence && v.energy_divergence);
         assert!((v.energy_rel - 0.1).abs() < 1e-12);
 
         // Within tolerance: clean, but the rel error is still reported.
-        let v = audit_compare(&base, Some(1e-12 + 1e-25), &base.clone(), Some(1e-12), 1e-9);
+        let v = audit_compare(
+            &base,
+            &[],
+            Some(1e-12 + 1e-25),
+            &base.clone(),
+            &[],
+            Some(1e-12),
+            1e-9,
+        );
         assert!(v.clean());
         assert!(v.energy_rel > 0.0);
     }

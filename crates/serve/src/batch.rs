@@ -9,7 +9,7 @@
 //! dispatcher learns per-bank utilization and the worst wait of the
 //! batch from the extended [`ScheduleOutcome`].
 
-use ferrotcam_arch::sched::{schedule, Query, ScheduleOutcome};
+use ferrotcam_arch::sched::{schedule_weighted, Query, ScheduleOutcome};
 
 /// A planned batch: which shard runs which queries, and the flattened
 /// schedule units.
@@ -64,6 +64,25 @@ impl BatchPlan {
     /// its per-shard units, since a merged answer needs every bank.
     #[must_use]
     pub fn schedule(&self, shards: usize, t_bank: f64) -> (ScheduleOutcome, Vec<f64>) {
+        self.schedule_weighted(shards, t_bank, &vec![1.0; self.jobs])
+    }
+
+    /// [`Self::schedule`] with a per-job cost model: job `j` occupies
+    /// each of its banks for `t_bank * job_cost[j]`. The serving layer
+    /// derives the cost from the request kind and the sense-time model
+    /// — a high-threshold Hamming query senses early and frees its
+    /// bank sooner than a two-step exact search.
+    ///
+    /// # Panics
+    /// Panics if `job_cost` is not parallel to the planned jobs.
+    #[must_use]
+    pub fn schedule_weighted(
+        &self,
+        shards: usize,
+        t_bank: f64,
+        job_cost: &[f64],
+    ) -> (ScheduleOutcome, Vec<f64>) {
+        assert_eq!(job_cost.len(), self.jobs, "one cost per job");
         let queries: Vec<Query> = self
             .units
             .iter()
@@ -72,7 +91,12 @@ impl BatchPlan {
                 bank: Some(s),
             })
             .collect();
-        let outcome = schedule(&queries, shards, t_bank);
+        let t_service: Vec<f64> = self
+            .units
+            .iter()
+            .map(|&(j, _)| t_bank * job_cost[j])
+            .collect();
+        let outcome = schedule_weighted(&queries, shards, &t_service);
         let mut per_job = vec![0.0f64; self.jobs];
         for (u, &(j, _)) in self.units.iter().enumerate() {
             per_job[j] = per_job[j].max(outcome.completion[u]);
@@ -113,6 +137,22 @@ mod tests {
         assert!((per_job[2] - 3e-9).abs() < 1e-15);
         let util = outcome.utilization();
         assert!(util[0] > 0.99 && util[1] == 0.0);
+    }
+
+    #[test]
+    fn weighted_costs_scale_bank_occupancy() {
+        // Two jobs on one shard: an exact query (cost 1) behind a
+        // cheap high-threshold query (cost 0.5).
+        let p = plan(&[Some(0), Some(0)], 1);
+        let (outcome, per_job) = p.schedule_weighted(1, 1e-9, &[0.5, 1.0]);
+        assert!((per_job[0] - 0.5e-9).abs() < 1e-15);
+        assert!((per_job[1] - 1.5e-9).abs() < 1e-15);
+        assert!((outcome.makespan - 1.5e-9).abs() < 1e-15);
+        // Unit costs reproduce the unweighted schedule.
+        let (a, pa) = p.schedule(1, 1e-9);
+        let (b, pb) = p.schedule_weighted(1, 1e-9, &[1.0, 1.0]);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
     }
 
     #[test]

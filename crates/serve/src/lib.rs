@@ -48,17 +48,21 @@ pub mod batch;
 pub mod drain;
 pub mod metrics;
 pub mod queue;
+pub mod request;
 pub mod service;
 pub mod shard;
 pub(crate) mod sync;
 
 pub use admission::{Admission, Overloaded, RatePolicy, TenantId, TokenBucket};
 pub use backend::{
-    audit_compare, AuditVerdict, BackendKind, BehaviouralBackend, ExecBackend, ExecResult,
-    SpiceBackend,
+    audit_compare, reference_search, AuditVerdict, BackendKind, BatchSpec, BehaviouralBackend,
+    ExecBackend, ExecResult, SpiceBackend,
 };
 pub use drain::DrainGate;
-pub use metrics::{Histogram, LatencySummary, MetricsCollector, ResponseSample, ServiceMetrics};
+pub use metrics::{
+    Histogram, KindBreakdown, LatencySummary, MetricsCollector, ResponseSample, ServiceMetrics,
+};
 pub use queue::BoundedQueue;
+pub use request::{AdmissionClass, RequestKind, KIND_COUNT};
 pub use service::{SearchResponse, ServiceClient, ServiceConfig, TcamService, Ticket};
 pub use shard::{hash_bits, hash_packed, ShardedTcam};

@@ -11,6 +11,7 @@
 //! any time, including while the service is loaded.
 
 use crate::backend::AuditVerdict;
+use crate::request::{RequestKind, KIND_COUNT};
 use ferrotcam_arch::sched::ScheduleOutcome;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -49,6 +50,55 @@ impl LatencySummary {
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
             max: h.max() as f64,
+        }
+    }
+}
+
+/// Per-request-kind counter set: exact vs the approximate workloads.
+/// Serialises as named fields so dashboards keep stable keys; absent
+/// in pre-approx snapshots, where the whole breakdown defaults to
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct KindBreakdown {
+    /// Exact ternary matches.
+    pub exact: u64,
+    /// Hamming-threshold searches.
+    pub threshold: u64,
+    /// Top-k nearest searches.
+    pub top_k: u64,
+    /// FeCAM range matches.
+    pub range: u64,
+}
+
+impl KindBreakdown {
+    /// Bump the counter for `kind`.
+    pub fn bump(&mut self, kind: RequestKind) {
+        *self.slot_mut(kind) += 1;
+    }
+
+    /// The counter for `kind`.
+    #[must_use]
+    pub fn get(&self, kind: RequestKind) -> u64 {
+        match kind {
+            RequestKind::Exact => self.exact,
+            RequestKind::Threshold { .. } => self.threshold,
+            RequestKind::TopK { .. } => self.top_k,
+            RequestKind::Range => self.range,
+        }
+    }
+
+    /// Sum over every kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.exact + self.threshold + self.top_k + self.range
+    }
+
+    fn slot_mut(&mut self, kind: RequestKind) -> &mut u64 {
+        match kind {
+            RequestKind::Exact => &mut self.exact,
+            RequestKind::Threshold { .. } => &mut self.threshold,
+            RequestKind::TopK { .. } => &mut self.top_k,
+            RequestKind::Range => &mut self.range,
         }
     }
 }
@@ -119,6 +169,18 @@ pub struct ServiceMetrics {
     /// Worst relative energy error any audit replay observed.
     #[serde(default)]
     pub audit_worst_energy_rel: f64,
+    /// Responses completed, split by request kind.
+    #[serde(default)]
+    pub completed_by_kind: KindBreakdown,
+    /// Sheds (all causes), split by the shed request's kind.
+    #[serde(default)]
+    pub shed_by_kind: KindBreakdown,
+    /// Audit replays, split by the replayed request's kind.
+    #[serde(default)]
+    pub audit_sampled_by_kind: KindBreakdown,
+    /// Audit divergences (match or energy), split by request kind.
+    #[serde(default)]
+    pub audit_divergences_by_kind: KindBreakdown,
 }
 
 impl ServiceMetrics {
@@ -136,6 +198,8 @@ impl ServiceMetrics {
 /// [`MetricsCollector::on_response`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ResponseSample {
+    /// What the request asked for (exact / threshold / top-k / range).
+    pub kind: RequestKind,
     /// Wall-clock submit→response latency (ns).
     pub wall_ns: u64,
     /// Modelled silicon latency (s), if scheduled.
@@ -175,6 +239,9 @@ struct Inner {
     audit_match_divergences: u64,
     audit_energy_divergences: u64,
     audit_worst_energy_rel: f64,
+    completed_by_kind: KindBreakdown,
+    audit_sampled_by_kind: KindBreakdown,
+    audit_divergences_by_kind: KindBreakdown,
 }
 
 /// Thread-safe metrics collector shared by clients and the dispatcher.
@@ -184,6 +251,9 @@ pub struct MetricsCollector {
     shed_queue_full: AtomicU64,
     shed_rate_limited: AtomicU64,
     shed_shutting_down: AtomicU64,
+    /// Sheds by request kind, indexed by [`RequestKind::index`] —
+    /// atomics because shedding happens on the submit hot path.
+    shed_by_kind: [AtomicU64; KIND_COUNT],
     max_queue_depth: AtomicUsize,
     inner: Mutex<Inner>,
 }
@@ -202,14 +272,15 @@ impl MetricsCollector {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// A request was shed with `err`. Lock-free.
-    pub fn on_shed(&self, err: crate::admission::Overloaded) {
+    /// A `kind` request was shed with `err`. Lock-free.
+    pub fn on_shed(&self, err: crate::admission::Overloaded, kind: RequestKind) {
         let counter = match err {
             crate::admission::Overloaded::QueueFull => &self.shed_queue_full,
             crate::admission::Overloaded::RateLimited { .. } => &self.shed_rate_limited,
             crate::admission::Overloaded::ShuttingDown => &self.shed_shutting_down,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        self.shed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// The dispatcher pulled and scheduled a batch of `size` queries.
@@ -243,6 +314,7 @@ impl MetricsCollector {
         let mut m = self.inner.lock().expect("metrics lock");
         for sample in samples {
             m.completed += 1;
+            m.completed_by_kind.bump(sample.kind);
             m.wall.record(sample.wall_ns);
             if let Some(lat) = sample.model_latency_s {
                 m.model.record((lat * 1e12).max(0.0) as u64);
@@ -257,12 +329,17 @@ impl MetricsCollector {
         }
     }
 
-    /// The audit lane replayed one sampled query and reached `verdict`.
-    pub fn on_audit(&self, verdict: &AuditVerdict) {
+    /// The audit lane replayed one sampled `kind` query and reached
+    /// `verdict`.
+    pub fn on_audit(&self, verdict: &AuditVerdict, kind: RequestKind) {
         let mut m = self.inner.lock().expect("metrics lock");
         m.audit_sampled += 1;
+        m.audit_sampled_by_kind.bump(kind);
         m.audit_match_divergences += u64::from(verdict.match_divergence);
         m.audit_energy_divergences += u64::from(verdict.energy_divergence);
+        if !verdict.clean() {
+            m.audit_divergences_by_kind.bump(kind);
+        }
         m.audit_worst_energy_rel = m.audit_worst_energy_rel.max(verdict.energy_rel);
     }
 
@@ -314,6 +391,17 @@ impl MetricsCollector {
             audit_match_divergences: m.audit_match_divergences,
             audit_energy_divergences: m.audit_energy_divergences,
             audit_worst_energy_rel: m.audit_worst_energy_rel,
+            completed_by_kind: m.completed_by_kind,
+            shed_by_kind: KindBreakdown {
+                exact: self.shed_by_kind[RequestKind::Exact.index()].load(Ordering::Relaxed),
+                threshold: self.shed_by_kind[RequestKind::Threshold { t: 0 }.index()]
+                    .load(Ordering::Relaxed),
+                top_k: self.shed_by_kind[RequestKind::TopK { k: 0 }.index()]
+                    .load(Ordering::Relaxed),
+                range: self.shed_by_kind[RequestKind::Range.index()].load(Ordering::Relaxed),
+            },
+            audit_sampled_by_kind: m.audit_sampled_by_kind,
+            audit_divergences_by_kind: m.audit_divergences_by_kind,
         }
     }
 }
@@ -348,6 +436,7 @@ mod tests {
         let c = MetricsCollector::new();
         c.on_submit(1);
         c.on_response(&ResponseSample {
+            kind: RequestKind::Exact,
             wall_ns: 1500,
             model_latency_s: Some(1.2e-9),
             rows: 64,
@@ -368,20 +457,82 @@ mod tests {
 
     #[test]
     fn snapshot_accepts_pre_audit_json() {
-        // Snapshots written before the audit lane existed must still
-        // deserialise; the audit fields default to zero.
+        // Snapshots written before the audit lane / per-kind breakdown
+        // existed must still deserialise; the new fields default to
+        // zero.
         let snap = MetricsCollector::new().snapshot(0);
         let json = snap.to_json();
+        let mut depth = 0usize;
         let stripped: String = json
             .lines()
-            .filter(|l| !l.contains("audit_"))
+            .filter(|l| {
+                // Drop audit scalars and the whole *_by_kind objects
+                // (brace-balanced), exactly as an old snapshot lacks
+                // them.
+                if depth > 0 {
+                    depth += l.matches('{').count();
+                    depth -= l.matches('}').count();
+                    return false;
+                }
+                if l.contains("_by_kind") {
+                    depth += l.matches('{').count();
+                    depth -= l.matches('}').count();
+                    return false;
+                }
+                !l.contains("audit_")
+            })
             .collect::<Vec<_>>()
             .join("\n")
             // The last surviving field keeps its trailing comma.
             .replace(",\n}", "\n}");
         assert!(!stripped.contains("audit_"), "fields really removed");
+        assert!(!stripped.contains("_by_kind"), "breakdowns really removed");
         let back: ServiceMetrics = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn kind_breakdowns_accumulate() {
+        use crate::admission::Overloaded;
+        let c = MetricsCollector::new();
+        c.on_response(&ResponseSample {
+            kind: RequestKind::Threshold { t: 2 },
+            ..ResponseSample::default()
+        });
+        c.on_response(&ResponseSample {
+            kind: RequestKind::TopK { k: 4 },
+            ..ResponseSample::default()
+        });
+        c.on_response(&ResponseSample::default());
+        c.on_shed(Overloaded::QueueFull, RequestKind::Range);
+        c.on_shed(
+            Overloaded::RateLimited { tenant: 1 },
+            RequestKind::Threshold { t: 1 },
+        );
+        c.on_audit(
+            &AuditVerdict {
+                match_divergence: true,
+                energy_divergence: false,
+                energy_rel: 0.0,
+                detail: Some("boom".into()),
+            },
+            RequestKind::TopK { k: 4 },
+        );
+        let snap = c.snapshot(0);
+        assert_eq!(snap.completed_by_kind.exact, 1);
+        assert_eq!(snap.completed_by_kind.threshold, 1);
+        assert_eq!(snap.completed_by_kind.top_k, 1);
+        assert_eq!(snap.completed_by_kind.total(), 3);
+        assert_eq!(snap.shed_by_kind.range, 1);
+        assert_eq!(snap.shed_by_kind.threshold, 1);
+        assert_eq!(snap.audit_sampled_by_kind.top_k, 1);
+        assert_eq!(snap.audit_divergences_by_kind.top_k, 1);
+        assert_eq!(
+            snap.audit_divergences_by_kind
+                .get(RequestKind::TopK { k: 99 }),
+            1,
+            "breakdown keys on kind, not its parameters"
+        );
     }
 
     #[test]
@@ -390,6 +541,7 @@ mod tests {
         let b = MetricsCollector::new();
         let samples: Vec<ResponseSample> = (0..10)
             .map(|i| ResponseSample {
+                kind: RequestKind::Exact,
                 wall_ns: 100 + i,
                 model_latency_s: Some(1e-9),
                 rows: 8,
@@ -405,18 +557,24 @@ mod tests {
         }
         assert_eq!(a.snapshot(0), b.snapshot(0));
 
-        a.on_audit(&AuditVerdict {
-            match_divergence: false,
-            energy_divergence: false,
-            energy_rel: 1e-12,
-            detail: None,
-        });
-        a.on_audit(&AuditVerdict {
-            match_divergence: true,
-            energy_divergence: false,
-            energy_rel: 0.0,
-            detail: Some("boom".into()),
-        });
+        a.on_audit(
+            &AuditVerdict {
+                match_divergence: false,
+                energy_divergence: false,
+                energy_rel: 1e-12,
+                detail: None,
+            },
+            RequestKind::Exact,
+        );
+        a.on_audit(
+            &AuditVerdict {
+                match_divergence: true,
+                energy_divergence: false,
+                energy_rel: 0.0,
+                detail: Some("boom".into()),
+            },
+            RequestKind::Exact,
+        );
         let snap = a.snapshot(0);
         assert_eq!(snap.audit_sampled, 2);
         assert_eq!(snap.audit_match_divergences, 1);
@@ -428,10 +586,10 @@ mod tests {
     fn shed_counters_split_by_kind() {
         use crate::admission::Overloaded;
         let c = MetricsCollector::new();
-        c.on_shed(Overloaded::QueueFull);
-        c.on_shed(Overloaded::QueueFull);
-        c.on_shed(Overloaded::RateLimited { tenant: 1 });
-        c.on_shed(Overloaded::ShuttingDown);
+        c.on_shed(Overloaded::QueueFull, RequestKind::Exact);
+        c.on_shed(Overloaded::QueueFull, RequestKind::Exact);
+        c.on_shed(Overloaded::RateLimited { tenant: 1 }, RequestKind::Exact);
+        c.on_shed(Overloaded::ShuttingDown, RequestKind::Exact);
         let snap = c.snapshot(3);
         assert_eq!(snap.shed_queue_full, 2);
         assert_eq!(snap.shed_rate_limited, 1);

@@ -1,0 +1,116 @@
+//! Request kinds: the exact ternary match plus the approximate-match
+//! workloads (Hamming threshold, exact top-k, FeCAM range match), and
+//! the admission class that separates their rate budgets.
+//!
+//! Every submission carries a [`RequestKind`]. Exact match is the
+//! classic two-step TCAM search; the approximate kinds drive the
+//! `core::approx` kernels and are attributed full-parallel energy (no
+//! early termination — every row's match line participates in the
+//! analog distance race) and a sense-time-derived slice of bank time
+//! by the dispatcher's cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// What a submitted query asks of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Exact ternary match (two-step search with early termination).
+    #[default]
+    Exact,
+    /// All rows within masked Hamming distance `t` of the query.
+    Threshold {
+        /// Largest accepted mismatch count.
+        t: u32,
+    },
+    /// The `k` nearest rows by masked Hamming distance, ties broken
+    /// toward the lowest global row id.
+    TopK {
+        /// How many best rows to return.
+        k: usize,
+    },
+    /// FeCAM range match: every 4-level cell's stored `[lo, hi]`
+    /// window must admit the query level.
+    Range,
+}
+
+/// How many distinct kinds exist (the per-kind counter arity).
+pub const KIND_COUNT: usize = 4;
+
+impl RequestKind {
+    /// Short stable tag used in metric/curve ids.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Threshold { .. } => "threshold",
+            Self::TopK { .. } => "topk",
+            Self::Range => "range",
+        }
+    }
+
+    /// Dense counter index (stable across parameter values).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::Exact => 0,
+            Self::Threshold { .. } => 1,
+            Self::TopK { .. } => 2,
+            Self::Range => 3,
+        }
+    }
+
+    /// The admission class this kind is rate-limited under.
+    #[must_use]
+    pub fn class(self) -> AdmissionClass {
+        match self {
+            Self::Exact => AdmissionClass::Exact,
+            _ => AdmissionClass::Approx,
+        }
+    }
+}
+
+impl std::fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Admission classes: approximate queries budget separately from exact
+/// ones, so a flood of expensive distance scans cannot starve the
+/// exact-match hot path (and vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmissionClass {
+    /// Exact ternary match traffic.
+    Exact,
+    /// Threshold / top-k / range traffic.
+    Approx,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_classes_and_indices_are_stable() {
+        let kinds = [
+            RequestKind::Exact,
+            RequestKind::Threshold { t: 3 },
+            RequestKind::TopK { k: 5 },
+            RequestKind::Range,
+        ];
+        let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags, ["exact", "threshold", "topk", "range"]);
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(k.index() < KIND_COUNT);
+        }
+        assert_eq!(RequestKind::Exact.class(), AdmissionClass::Exact);
+        assert_eq!(
+            RequestKind::Threshold { t: 0 }.class(),
+            AdmissionClass::Approx
+        );
+        assert_eq!(RequestKind::TopK { k: 1 }.class(), AdmissionClass::Approx);
+        assert_eq!(RequestKind::Range.class(), AdmissionClass::Approx);
+        assert_eq!(RequestKind::default(), RequestKind::Exact);
+    }
+}

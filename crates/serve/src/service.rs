@@ -40,13 +40,18 @@
 
 use crate::admission::{Admission, Overloaded, RatePolicy, TenantId};
 use crate::backend::{
-    audit_compare, BackendKind, BehaviouralBackend, ExecBackend, ExecResult, SpiceBackend,
+    audit_compare, reference_search, BackendKind, BatchSpec, BehaviouralBackend, ExecBackend,
+    ExecResult, SpiceBackend,
 };
 use crate::drain::DrainGate;
 use crate::metrics::{MetricsCollector, ResponseSample, ServiceMetrics};
 use crate::queue::BoundedQueue;
+use crate::request::{AdmissionClass, RequestKind};
 use crate::shard::{hash_packed, ShardedTcam};
-use ferrotcam::PackedQuery;
+use ferrotcam::{
+    levels_to_query, row_distance, row_in_windows, ApproxHit, PackedQuery, PackedRows,
+    SearchOutcome, SenseModel,
+};
 use ferrotcam_spice::parallel::default_jobs;
 use ferrotcam_spice::trace::{self, TraceLevel};
 use rand::split_mix64;
@@ -64,8 +69,13 @@ pub struct ServiceConfig {
     /// Worker threads for the per-bank batch execution; 0 means the
     /// `spice::parallel` default (`FERROTCAM_JOBS` or the core count).
     pub jobs: usize,
-    /// Rate policy for tenants without an explicit one.
+    /// Rate policy for tenants without an explicit one (exact traffic).
     pub default_policy: RatePolicy,
+    /// Rate policy for a tenant's *approximate* traffic (threshold /
+    /// top-k / range) when no explicit class policy was installed.
+    /// Approximate queries drive every row fully in parallel — no
+    /// early termination — so they budget separately by default.
+    pub approx_policy: RatePolicy,
     /// Override for the modelled per-bank busy time (s); defaults to
     /// the attached metrics' two-step latency, else 1 ns.
     pub t_bank: Option<f64>,
@@ -88,6 +98,7 @@ impl Default for ServiceConfig {
             max_batch: 64,
             jobs: 0,
             default_policy: RatePolicy::unlimited(),
+            approx_policy: RatePolicy::unlimited(),
             t_bank: None,
             backend: BackendKind::Spice,
             audit_period: 10_000,
@@ -100,8 +111,13 @@ impl Default for ServiceConfig {
 /// A resolved search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResponse {
+    /// What this response answers.
+    pub kind: RequestKind,
     /// Matching rows as global slot ids, ascending.
     pub matches: Vec<usize>,
+    /// Ranked `(distance, row)` hits for threshold and top-k requests,
+    /// best-first with ties toward the lowest row; empty otherwise.
+    pub hits: Vec<ApproxHit>,
     /// Rows early-terminated after step 1.
     pub step1_misses: usize,
     /// Rows that survived step 1 but missed in step 2.
@@ -149,6 +165,7 @@ impl Ticket {
 #[derive(Debug)]
 struct Job {
     query: PackedQuery,
+    kind: RequestKind,
     shard: Option<usize>,
     enqueued: Instant,
     tx: Option<mpsc::Sender<SearchResponse>>,
@@ -166,6 +183,15 @@ struct Inner {
     max_batch: usize,
     jobs: usize,
     t_bank: f64,
+    /// Circuit-grounded sense-time model (from the attached metrics'
+    /// one-step latency): feeds the batch planner's per-kind cost and
+    /// the audit lane's sense-classified threshold reference.
+    sense: Option<SenseModel>,
+    /// Per-shard packed snapshot for the audit lane's scalar replay:
+    /// straight `row_distance` / `row_in_windows` walks stay
+    /// independent of the block-scan kernels' masking and bounds but
+    /// are cheap enough to run inline on the dispatcher thread.
+    audit_packed: Vec<PackedRows>,
     backend_kind: BackendKind,
     spice: SpiceBackend,
     behav: Option<BehaviouralBackend>,
@@ -224,9 +250,82 @@ impl ServiceClient {
         query: PackedQuery,
         shard: Option<usize>,
     ) -> Result<Ticket, Overloaded> {
+        self.submit_kind(tenant, query, RequestKind::Exact, shard)
+    }
+
+    /// Submit any request kind over a packed query: exact match,
+    /// Hamming [`RequestKind::Threshold`] / [`RequestKind::TopK`]
+    /// search, or multi-bit [`RequestKind::Range`] match (the query
+    /// then carries one 2-digit level per cell — see
+    /// [`ServiceClient::submit_range`]).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`]; approximate kinds are
+    /// admitted against the tenant's *approx* token bucket.
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch, out-of-range shard, or a range
+    /// request against an odd-width table.
+    pub fn submit_kind(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        kind: RequestKind,
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(tenant, query, shard, Some(tx))?;
+        self.enqueue(tenant, query, kind, shard, Some(tx))?;
         Ok(Ticket { rx })
+    }
+
+    /// All rows within Hamming distance `t` of `query` (wildcarded
+    /// cells never mismatch), with per-row distances in the response's
+    /// `hits`.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_kind`].
+    pub fn submit_threshold(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        t: u32,
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        self.submit_kind(tenant, query, RequestKind::Threshold { t }, shard)
+    }
+
+    /// The `k` nearest rows to `query` by masked Hamming distance,
+    /// ties broken toward the lowest row id.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_kind`].
+    pub fn submit_top_k(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        k: usize,
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        self.submit_kind(tenant, query, RequestKind::TopK { k }, shard)
+    }
+
+    /// FeCAM-style range match: every row whose per-cell `[lo, hi]`
+    /// windows all contain the corresponding query level (one 4-ary
+    /// level per 2-digit cell).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_kind`].
+    ///
+    /// # Panics
+    /// Panics if a level exceeds 3 or `levels` does not cover the
+    /// table width (one level per two digits).
+    pub fn submit_range(
+        &self,
+        tenant: TenantId,
+        levels: &[u8],
+        shard: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        self.submit_kind(tenant, levels_to_query(levels), RequestKind::Range, shard)
     }
 
     /// Fire-and-forget submission: the query runs, is fully accounted
@@ -245,13 +344,29 @@ impl ServiceClient {
         query: PackedQuery,
         shard: Option<usize>,
     ) -> Result<(), Overloaded> {
-        self.enqueue(tenant, query, shard, None)
+        self.enqueue(tenant, query, RequestKind::Exact, shard, None)
+    }
+
+    /// [`Self::submit_noreply`] for any request kind (open-loop
+    /// approximate load).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_kind`].
+    pub fn submit_noreply_kind(
+        &self,
+        tenant: TenantId,
+        query: PackedQuery,
+        kind: RequestKind,
+        shard: Option<usize>,
+    ) -> Result<(), Overloaded> {
+        self.enqueue(tenant, query, kind, shard, None)
     }
 
     fn enqueue(
         &self,
         tenant: TenantId,
         query: PackedQuery,
+        kind: RequestKind,
         shard: Option<usize>,
         tx: Option<mpsc::Sender<SearchResponse>>,
     ) -> Result<(), Overloaded> {
@@ -260,20 +375,27 @@ impl ServiceClient {
         if let Some(s) = shard {
             assert!(s < inner.table.shard_count(), "shard {s} out of range");
         }
+        if kind == RequestKind::Range {
+            assert!(
+                inner.table.width().is_multiple_of(2),
+                "range queries need an even word width"
+            );
+        }
         let now = Instant::now();
-        if let Err(e) = inner.admission.admit(tenant, now) {
-            inner.metrics.on_shed(e);
+        if let Err(e) = inner.admission.admit(tenant, kind.class(), now) {
+            inner.metrics.on_shed(e, kind);
             return Err(e);
         }
         // Accept atomically against the drain flag: either this bumps
         // the accepted count before the drain begins (the dispatcher
         // will then wait for it) or the service is already draining.
         if !inner.gate.try_accept() {
-            inner.metrics.on_shed(Overloaded::ShuttingDown);
+            inner.metrics.on_shed(Overloaded::ShuttingDown, kind);
             return Err(Overloaded::ShuttingDown);
         }
         let job = Job {
             query,
+            kind,
             shard,
             enqueued: now,
             tx,
@@ -281,7 +403,7 @@ impl ServiceClient {
         if inner.queue.push(job).is_err() {
             // Give the acceptance back before reporting the shed.
             inner.gate.retract();
-            inner.metrics.on_shed(Overloaded::QueueFull);
+            inner.metrics.on_shed(Overloaded::QueueFull, kind);
             return Err(Overloaded::QueueFull);
         }
         inner.metrics.on_submit(inner.queue.len());
@@ -312,9 +434,15 @@ impl ServiceClient {
         self.submit_packed(tenant, query, Some(shard))
     }
 
-    /// Install a per-tenant rate policy.
+    /// Install a per-tenant rate policy for *exact* traffic.
     pub fn set_policy(&self, tenant: TenantId, policy: RatePolicy) {
         self.inner.admission.set_policy(tenant, policy);
+    }
+
+    /// Install a per-tenant rate policy for one admission class
+    /// (exact vs approximate traffic budget independently).
+    pub fn set_class_policy(&self, tenant: TenantId, class: AdmissionClass, policy: RatePolicy) {
+        self.inner.admission.set_class_policy(tenant, class, policy);
     }
 
     /// Snapshot the service metrics.
@@ -371,15 +499,29 @@ impl TcamService {
         } else {
             config.max_batch
         };
+        let sense = table
+            .metrics()
+            .map(|m| SenseModel::analytic(m.latency_1step));
+        let audit_packed = (0..table.shard_count())
+            .map(|s| {
+                let mut p = PackedRows::new(table.width());
+                for row in table.shard(s).rows() {
+                    p.push(row);
+                }
+                p
+            })
+            .collect();
         let inner = Arc::new(Inner {
             table,
             queue: BoundedQueue::new(config.queue_capacity),
-            admission: Admission::new(config.default_policy),
+            admission: Admission::new(config.default_policy, config.approx_policy),
             metrics: MetricsCollector::new(),
             gate: DrainGate::new(),
             max_batch: max_batch.max(1),
             jobs,
             t_bank,
+            sense,
+            audit_packed,
             backend_kind: config.backend,
             spice: SpiceBackend,
             behav,
@@ -455,6 +597,26 @@ fn dispatch_loop(inner: &Inner) {
     }
 }
 
+/// Per-kind bank-occupancy multiplier for the batch planner. With a
+/// sense-time model attached, a threshold query's bank time is its
+/// sense time (high thresholds sense late, low ones early) and a range
+/// query senses at the one-mismatch discharge point; exact and top-k
+/// queries keep the two-step unit cost. Clamped so a degenerate model
+/// can never starve or flood the schedule.
+fn kind_cost(kind: RequestKind, sense: Option<&SenseModel>, t_bank: f64) -> f64 {
+    let Some(model) = sense else {
+        return 1.0;
+    };
+    if t_bank <= 0.0 {
+        return 1.0;
+    }
+    match kind {
+        RequestKind::Exact | RequestKind::TopK { .. } => 1.0,
+        RequestKind::Threshold { t } => (model.sense_time(t) / t_bank).clamp(0.05, 4.0),
+        RequestKind::Range => (model.discharge_time(1) / t_bank).clamp(0.05, 4.0),
+    }
+}
+
 /// Run one batch: plan per-bank work, execute on the configured tier,
 /// model the bank schedule, attribute energy, audit a sample, resolve
 /// tickets.
@@ -463,16 +625,28 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
     let _span = tracing.then(|| trace::span("serve.batch"));
     let backend = inner.backend();
 
-    // Split the Sync part (queries/targets) from the send side
+    // Split the Sync part (queries/kinds/targets) from the send side
     // (tickets) so the worker pool only ever sees the former.
     let targets: Vec<Option<usize>> = jobs.iter().map(|j| j.shard).collect();
     let queries: Vec<PackedQuery> = jobs.iter().map(|j| j.query.clone()).collect();
+    let kinds: Vec<RequestKind> = jobs.iter().map(|j| j.kind).collect();
+    let costs: Vec<f64> = kinds
+        .iter()
+        .map(|&k| kind_cost(k, inner.sense.as_ref(), inner.t_bank))
+        .collect();
+    let spec = BatchSpec {
+        queries: &queries,
+        kinds: &kinds,
+        targets: &targets,
+        costs: &costs,
+    };
 
     let ExecResult {
         mut outcomes,
+        hits: mut all_hits,
         per_job_latency_s,
         sched,
-    } = backend.execute(&inner.table, &queries, &targets, inner.jobs, inner.t_bank);
+    } = backend.execute(&inner.table, &spec, inner.jobs, inner.t_bank);
     inner.metrics.on_batch(jobs.len(), &sched);
 
     // One clock read for the whole batch: per-job wall latency is pure
@@ -481,12 +655,13 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
     let audit = backend.kind() == BackendKind::Behavioural && inner.audit_period > 0;
     let mut samples: Vec<ResponseSample> = Vec::with_capacity(jobs.len());
     for (j, job) in jobs.into_iter().enumerate() {
-        let outcome = std::mem::replace(&mut outcomes[j], ferrotcam::SearchOutcome::empty());
+        let outcome = std::mem::replace(&mut outcomes[j], SearchOutcome::empty());
+        let hits = std::mem::take(&mut all_hits[j]);
         let rows_searched = match job.shard {
             Some(s) => inner.table.shard(s).len(),
             None => inner.table.len(),
         };
-        let energy_j = inner.table.energy_of(&outcome);
+        let energy_j = inner.table.energy_of_kind(job.kind, &outcome);
         let wall_latency_ns = u64::try_from(now.saturating_duration_since(job.enqueued).as_nanos())
             .unwrap_or(u64::MAX);
         if tracing {
@@ -499,10 +674,11 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
             let mut state = inner.audit_seed ^ *audit_counter;
             *audit_counter += 1;
             if split_mix64(&mut state).is_multiple_of(inner.audit_period) {
-                audit_replay(inner, &job, &outcome, energy_j);
+                audit_replay(inner, &job, &outcome, &hits, energy_j);
             }
         }
         samples.push(ResponseSample {
+            kind: job.kind,
             wall_ns: wall_latency_ns,
             model_latency_s: Some(per_job_latency_s[j]),
             rows: rows_searched,
@@ -515,7 +691,9 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
             // A dropped ticket is fine — the work was still done and
             // accounted; only the delivery is skipped.
             let _ = tx.send(SearchResponse {
+                kind: job.kind,
                 matches: outcome.matches,
+                hits,
                 step1_misses: outcome.step1_misses,
                 step2_misses: outcome.step2_misses,
                 rows_searched,
@@ -529,29 +707,145 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
     inner.metrics.on_responses(&samples);
 }
 
-/// Replay one sampled behavioural answer on the Spice (reference)
-/// tier and record the verdict.
+/// The audit lane's sense-classified threshold reference: every row is
+/// accepted iff its modelled match-line discharge time falls *after*
+/// the threshold's sense point — the decision the analog sense
+/// amplifier makes, computed from the SPICE-fitted [`SenseModel`].
+/// Nominally this agrees bit-for-bit with the digital `d <= t` rule
+/// (the sense point sits strictly between the `t` and `t+1` discharge
+/// curves), so any disagreement is a served-kernel bug.
+fn sense_reference(
+    inner: &Inner,
+    job: &Job,
+    t: u32,
+    model: &SenseModel,
+) -> (SearchOutcome, Vec<ApproxHit>) {
+    let sense_at = model.sense_time(t);
+    let mut outcome = SearchOutcome::empty();
+    let mut hits = Vec::new();
+    for s in audit_shards(inner, job) {
+        let p = &inner.audit_packed[s];
+        for l in 0..p.rows() {
+            let d = row_distance(p, l, &job.query);
+            if model.discharge_time(d) > sense_at {
+                let g = inner.table.global_row(s, l);
+                outcome.matches.push(g);
+                hits.push(ApproxHit {
+                    row: g,
+                    distance: d,
+                });
+            } else {
+                outcome.step1_misses += 1;
+            }
+        }
+    }
+    outcome.matches.sort_unstable();
+    hits.sort_unstable();
+    (outcome, hits)
+}
+
+/// The shards a job's audit replay must cover.
+fn audit_shards(inner: &Inner, job: &Job) -> Vec<usize> {
+    match job.shard {
+        Some(s) => vec![s],
+        None => (0..inner.table.shard_count()).collect(),
+    }
+}
+
+/// Scalar packed reference for the audit lane's approximate kinds:
+/// straight per-row [`row_distance`] / [`row_in_windows`] walks over
+/// the shard snapshots — no block masking, no bound bookkeeping —
+/// producing the same outcome shape the serving tiers converge to.
+fn packed_reference(inner: &Inner, job: &Job) -> (SearchOutcome, Vec<ApproxHit>) {
+    let mut outcome = SearchOutcome::empty();
+    let mut hits = Vec::new();
+    match job.kind {
+        RequestKind::Exact => {
+            return reference_search(&inner.table, job.kind, &job.query, job.shard);
+        }
+        RequestKind::Threshold { t } => {
+            for s in audit_shards(inner, job) {
+                let p = &inner.audit_packed[s];
+                for l in 0..p.rows() {
+                    let d = row_distance(p, l, &job.query);
+                    if d <= t {
+                        let g = inner.table.global_row(s, l);
+                        outcome.matches.push(g);
+                        hits.push(ApproxHit {
+                            row: g,
+                            distance: d,
+                        });
+                    } else {
+                        outcome.step1_misses += 1;
+                    }
+                }
+            }
+            outcome.matches.sort_unstable();
+            hits.sort_unstable();
+        }
+        RequestKind::TopK { k } => {
+            let mut examined = 0usize;
+            for s in audit_shards(inner, job) {
+                let p = &inner.audit_packed[s];
+                examined += p.rows();
+                for l in 0..p.rows() {
+                    hits.push(ApproxHit {
+                        row: inner.table.global_row(s, l),
+                        distance: row_distance(p, l, &job.query),
+                    });
+                }
+            }
+            hits.sort_unstable();
+            hits.truncate(k);
+            outcome.matches = hits.iter().map(|h| h.row).collect();
+            outcome.matches.sort_unstable();
+            outcome.step1_misses = examined - hits.len();
+        }
+        RequestKind::Range => {
+            for s in audit_shards(inner, job) {
+                let p = &inner.audit_packed[s];
+                for l in 0..p.rows() {
+                    if row_in_windows(p, l, &job.query) {
+                        outcome.matches.push(inner.table.global_row(s, l));
+                    } else {
+                        outcome.step1_misses += 1;
+                    }
+                }
+            }
+            outcome.matches.sort_unstable();
+        }
+    }
+    (outcome, hits)
+}
+
+/// Replay one sampled behavioural answer on the reference tier and
+/// record the verdict. Exact requests replay through the naive
+/// row-order kernel ([`reference_search`]); top-k / range requests
+/// replay through the scalar packed reference; threshold requests
+/// replay through the sense-time classifier when a model is attached,
+/// grounding the audit in the circuit's analog decision.
 fn audit_replay(
     inner: &Inner,
     job: &Job,
-    fast: &ferrotcam::SearchOutcome,
+    fast: &SearchOutcome,
+    fast_hits: &[ApproxHit],
     fast_energy: Option<f64>,
 ) {
-    let bits = job.query.to_bits();
-    let mut reference = match job.shard {
-        Some(s) => inner.table.search_shard(s, &bits),
-        None => inner.table.search_all(&bits),
+    let (reference, ref_hits) = match (job.kind, inner.sense.as_ref()) {
+        (RequestKind::Threshold { t }, Some(model)) => sense_reference(inner, job, t, model),
+        _ => packed_reference(inner, job),
     };
-    reference.matches.sort_unstable();
-    let ref_energy = inner.table.energy_of(&reference);
+    let ref_energy = inner.table.energy_of_kind(job.kind, &reference);
     let verdict = audit_compare(
         fast,
+        fast_hits,
         fast_energy,
         &reference,
+        &ref_hits,
         ref_energy,
         inner.audit_tolerance,
     );
-    inner.metrics.on_audit(&verdict);
+    inner.metrics.on_audit(&verdict, job.kind);
     if !verdict.clean() {
         let lane = if verdict.match_divergence {
             "match"

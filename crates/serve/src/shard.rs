@@ -235,6 +235,31 @@ impl ShardedTcam {
     pub fn model_latency(&self) -> Option<f64> {
         self.metrics.as_ref().map(SearchMetrics::latency)
     }
+
+    /// Energy (J) of a full-parallel drive over `rows` rows — the
+    /// approximate-match figure. Distance and range sensing race every
+    /// match line to the sense moment, so no row early-terminates:
+    /// each pays the full two-step row energy.
+    #[must_use]
+    pub fn energy_full_parallel(&self, rows: usize) -> Option<f64> {
+        let m = self.metrics.as_ref()?;
+        Some(rows as f64 * m.energy_2step.unwrap_or(m.energy_1step))
+    }
+
+    /// Energy (J) of one answered request: early-termination
+    /// accounting ([`Self::energy_of`]) for exact matches,
+    /// full-parallel accounting for the approximate kinds.
+    #[must_use]
+    pub fn energy_of_kind(
+        &self,
+        kind: crate::request::RequestKind,
+        outcome: &SearchOutcome,
+    ) -> Option<f64> {
+        match kind {
+            crate::request::RequestKind::Exact => self.energy_of(outcome),
+            _ => self.energy_full_parallel(outcome.rows_examined()),
+        }
+    }
 }
 
 #[cfg(test)]
