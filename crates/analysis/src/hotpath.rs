@@ -1,0 +1,286 @@
+//! Hot-path hygiene (`hot-path-unwrap`, `hot-path-alloc`,
+//! `registry-drift` for dangling `[hot]` entries).
+//!
+//! Functions listed in the registry's `[hot]` section sit on the
+//! submit or dispatch hot path: they run once per request (or once
+//! per dispatcher iteration) under load. Inside them the pass denies:
+//!
+//! * `.unwrap()` / `.expect(…)` — a panic here poisons the façade
+//!   mutexes and takes the whole dispatcher down; hot code must
+//!   handle its errors as values. Sites whose invariant genuinely
+//!   cannot fail (e.g. the Vyukov claimed-slot read) carry a
+//!   `// hot-ok: <reason>` waiver, which is itself reviewable text.
+//! * heap allocation **inside a loop body** — `vec!`, `format!`,
+//!   `Vec::new`, `Box::new`, `String::from`, `.to_string()`,
+//!   `.to_vec()`, `.to_owned()`, `.collect()`, `with_capacity` — the
+//!   per-iteration allocations that turn a steady-state dispatcher
+//!   into an allocator benchmark. One-time setup allocation before
+//!   the loop is fine and is the idiom the rule pushes code toward.
+
+use crate::lexer::{self, FnItem, Stripped};
+use crate::registry::Registry;
+use crate::{Diagnostic, Rule};
+use std::ops::Range;
+
+/// Method names that are panic sites.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Method names that allocate.
+const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "collect",
+    "with_capacity",
+];
+/// `Type::ctor` pairs that allocate.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+    ("VecDeque", "new"),
+];
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Run the pass. `fns` is the per-file function index built by the
+/// driver (same order as `files`).
+pub fn check(
+    files: &[(String, Stripped)],
+    fns: &[Vec<FnItem>],
+    registry: &Registry,
+    registry_path: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for hot in &registry.hot {
+        let Some(file_idx) = files
+            .iter()
+            .position(|(path, _)| path.ends_with(&format!("/{}", hot.file)))
+        else {
+            out.push(Diagnostic::new(
+                Rule::RegistryDrift,
+                registry_path,
+                hot.line,
+                format!(
+                    "[hot] entry names `{}`, which is not in the audited tree",
+                    hot.file
+                ),
+            ));
+            continue;
+        };
+        let (path, s) = &files[file_idx];
+        let matching: Vec<&FnItem> = fns[file_idx]
+            .iter()
+            .filter(|f| f.name == hot.func)
+            .collect();
+        if matching.is_empty() {
+            out.push(Diagnostic::new(
+                Rule::RegistryDrift,
+                registry_path,
+                hot.line,
+                format!(
+                    "[hot] entry `{}::{}` matches no function; update the \
+                     registry alongside the rename",
+                    hot.file, hot.func
+                ),
+            ));
+            continue;
+        }
+        for f in matching {
+            check_fn(path, s, f, &hot.func, out);
+        }
+    }
+}
+
+fn check_fn(path: &str, s: &Stripped, f: &FnItem, func: &str, out: &mut Vec<Diagnostic>) {
+    let code = &s.code;
+    let loops = loop_regions(code, f.body.clone());
+    for (at, ident) in lexer::idents(code, f.body.clone()) {
+        let line = s.line_of(at);
+        if PANIC_METHODS.contains(&ident)
+            && is_method_call(code, at, ident)
+            && s.tag_above_or_on(line, "hot-ok:").is_none()
+        {
+            out.push(Diagnostic::new(
+                Rule::HotPathUnwrap,
+                path,
+                line,
+                format!(
+                    "`.{ident}(…)` in hot function `{func}`: a panic here \
+                     poisons the serve locks; handle the error or add a \
+                     reviewed `// hot-ok:` waiver"
+                ),
+            ));
+        }
+        if !loops.iter().any(|r| r.contains(&at)) {
+            continue;
+        }
+        let allocates = (ALLOC_METHODS.contains(&ident) && is_method_call(code, at, ident))
+            || (ALLOC_MACROS.contains(&ident) && is_macro_bang(code, at, ident))
+            || is_alloc_ctor(code, at, ident);
+        if allocates && s.tag_above_or_on(line, "hot-ok:").is_none() {
+            out.push(Diagnostic::new(
+                Rule::HotPathAlloc,
+                path,
+                line,
+                format!(
+                    "per-iteration allocation (`{ident}`) inside a loop in \
+                     hot function `{func}`; hoist the buffer out of the loop \
+                     and reuse it, or add a reviewed `// hot-ok:` waiver"
+                ),
+            ));
+        }
+    }
+}
+
+/// `ident` at `at` is invoked as `.ident(` (whitespace-tolerant on
+/// both sides, so chained multi-line calls match).
+fn is_method_call(code: &str, at: usize, ident: &str) -> bool {
+    let called = matches!(
+        lexer::next_nonspace(code, at + ident.len(), code.len()),
+        Some((_, b'(' | b':')) // `(args…)` or turbofish `::<T>(…)`
+    );
+    called && matches!(lexer::prev_nonspace(code, at), Some((_, b'.')))
+}
+
+/// `ident` at `at` is `ident!`.
+fn is_macro_bang(code: &str, at: usize, ident: &str) -> bool {
+    code.as_bytes().get(at + ident.len()) == Some(&b'!')
+}
+
+/// `ident` at `at` is the ctor in a registered `Type::ctor(` pair.
+fn is_alloc_ctor(code: &str, at: usize, ident: &str) -> bool {
+    if !ALLOC_CTORS.iter().any(|&(_, ctor)| ctor == ident) {
+        return false;
+    }
+    if !matches!(
+        lexer::next_nonspace(code, at + ident.len(), code.len()),
+        Some((_, b'('))
+    ) {
+        return false;
+    }
+    // Expect `Type ::` immediately before the ctor.
+    let Some((colon2, b':')) = lexer::prev_nonspace(code, at) else {
+        return false;
+    };
+    if colon2 == 0 || code.as_bytes()[colon2 - 1] != b':' {
+        return false;
+    }
+    let Some((ty_end, _)) = lexer::prev_nonspace(code, colon2 - 1) else {
+        return false;
+    };
+    let b = code.as_bytes();
+    let mut ty_start = ty_end;
+    while ty_start > 0 && lexer::is_ident_byte(b[ty_start - 1]) {
+        ty_start -= 1;
+    }
+    let ty = &code[ty_start..=ty_end];
+    ALLOC_CTORS.iter().any(|&(t, c)| t == ty && c == ident)
+}
+
+/// Byte ranges of `loop`/`while`/`for` bodies (including nested ones)
+/// within `body`.
+fn loop_regions(code: &str, body: Range<usize>) -> Vec<Range<usize>> {
+    let mut regions = Vec::new();
+    for (at, ident) in lexer::idents(code, body.clone()) {
+        if !matches!(ident, "loop" | "while" | "for") {
+            continue;
+        }
+        // The loop body is the next `{` at or after the keyword; the
+        // headers in this codebase carry no braces of their own.
+        let Some(open_rel) = code[at..body.end].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        if let Some(close) = lexer::match_brace(code, open) {
+            regions.push(open + 1..close.min(body.end));
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scan_fns, strip};
+
+    fn run(src: &str, hot: &str) -> Vec<Diagnostic> {
+        let s = strip(src);
+        let fns = scan_fns(&s.code);
+        let reg = Registry::parse(&format!("[hot]\n{hot}\n")).unwrap();
+        let mut out = Vec::new();
+        check(
+            &[("crates/x/src/a.rs".to_string(), s)],
+            &[fns],
+            &reg,
+            "analysis.registry",
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn unwrap_in_hot_fn_flagged_waiver_respected() {
+        let src = "fn hot(x: Option<u8>) {\n    let _ = x.unwrap();\n}\n\
+                   fn cold(x: Option<u8>) {\n    let _ = x.unwrap();\n}\n";
+        let d = run(src, "a.rs::hot");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::HotPathUnwrap);
+        assert_eq!(d[0].line, 2);
+
+        let waived =
+            "fn hot(x: Option<u8>) {\n    // hot-ok: proven present\n    let _ = x.unwrap();\n}\n";
+        assert!(run(waived, "a.rs::hot").is_empty());
+    }
+
+    #[test]
+    fn expect_chained_across_lines_flagged() {
+        let src = "fn hot(x: Option<u8>) {\n    let _ = x\n        .expect(\"msg\");\n}\n";
+        let d = run(src, "a.rs::hot");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn hot(x: Option<u8>) {\n    let _ = x.unwrap_or(3);\n    let _ = x.unwrap_or_default();\n}\n";
+        assert!(run(src, "a.rs::hot").is_empty());
+    }
+
+    #[test]
+    fn alloc_in_loop_flagged_but_not_outside() {
+        let src = "fn hot(n: usize) {\n    let mut buf: Vec<u8> = Vec::with_capacity(n);\n    loop {\n        let v = vec![0u8; n];\n        buf.extend(v);\n    }\n}\n";
+        let d = run(src, "a.rs::hot");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::HotPathAlloc);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn collect_and_ctor_in_for_loop_flagged() {
+        let src = "fn hot(xs: &[u8]) {\n    for x in xs {\n        let s = String::from(\"a\");\n        let v: Vec<u8> = xs.iter().copied().collect();\n        drop((s, v, x));\n    }\n}\n";
+        let d = run(src, "a.rs::hot");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::HotPathAlloc));
+    }
+
+    #[test]
+    fn struct_literal_and_push_are_not_allocation() {
+        let src = "fn hot(xs: &[u8], out: &mut Vec<u8>) {\n    for x in xs {\n        out.push(*x);\n        let s = Sample { v: *x };\n        drop(s);\n    }\n}\n";
+        assert!(run(src, "a.rs::hot").is_empty());
+    }
+
+    #[test]
+    fn dangling_hot_entry_is_drift() {
+        let d = run("fn real() {}\n", "a.rs::gone");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::RegistryDrift);
+        let d2 = run("fn real() {}\n", "other.rs::real");
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].rule, Rule::RegistryDrift);
+    }
+}

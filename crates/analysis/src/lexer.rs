@@ -1,0 +1,445 @@
+//! A minimal Rust lexer for the concurrency passes.
+//!
+//! This is deliberately *not* a parser: the passes only need
+//! comment-and-literal-free source text, per-line comment text (for
+//! `// ordering:` and `// hot-ok:` tags), function-item extents, and
+//! brace depths. [`strip`] produces a byte-length-preserving view of
+//! the source with every comment and every string/char-literal payload
+//! blanked to spaces, so byte offsets and line numbers in the stripped
+//! text map 1:1 onto the original file.
+//!
+//! Handled: `//` line comments, nested `/* */` block comments, normal
+//! strings with escapes, raw strings (`r"…"`, `r#"…"#`, …), byte
+//! strings, char literals, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `'a`). Exotic forms absent from this workspace (e.g.
+//! `br##"…"##`) degrade gracefully rather than panicking.
+
+/// A stripped view of one source file: code with comments and literal
+/// payloads blanked (same byte length as the original) plus the
+/// comment text collected per line.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Source with comments and string/char payloads replaced by
+    /// spaces; newlines preserved. Same byte length as the input.
+    pub code: String,
+    /// Concatenated comment text of each (1-based) line; empty when
+    /// the line has no comment.
+    comments: Vec<String>,
+    /// Byte offset at which each (1-based) line starts.
+    line_starts: Vec<usize>,
+}
+
+impl Stripped {
+    /// Number of lines in the file.
+    #[must_use]
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// 1-based line containing byte `offset`.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The stripped code of a 1-based line.
+    #[must_use]
+    pub fn code_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.code.len(), |&next| next);
+        self.code[start..end].trim_end_matches('\n')
+    }
+
+    /// The comment text of a 1-based line (empty when none).
+    #[must_use]
+    pub fn comment_line(&self, line: usize) -> &str {
+        &self.comments[line - 1]
+    }
+
+    /// Whether a line holds only comment text (no code tokens).
+    #[must_use]
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.code_line(line).trim().is_empty() && !self.comment_line(line).trim().is_empty()
+    }
+
+    /// Look for `prefix` (e.g. `"ordering:"`) in the comment on `line`
+    /// or in the contiguous run of comment-only lines immediately
+    /// above it (nearest line first), returning the kebab-case token
+    /// that follows it.
+    #[must_use]
+    pub fn tag_above_or_on(&self, line: usize, prefix: &str) -> Option<String> {
+        if let Some(tag) = extract_tag(self.comment_line(line), prefix) {
+            return Some(tag);
+        }
+        let mut l = line;
+        while l > 1 && self.is_comment_only(l - 1) {
+            l -= 1;
+            if let Some(tag) = extract_tag(self.comment_line(l), prefix) {
+                return Some(tag);
+            }
+        }
+        None
+    }
+}
+
+/// The token after `prefix` in `comment`: letters, digits, `-`, `_`.
+fn extract_tag(comment: &str, prefix: &str) -> Option<String> {
+    let at = comment.find(prefix)?;
+    let rest = comment[at + prefix.len()..].trim_start();
+    let tag: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    (!tag.is_empty()).then_some(tag)
+}
+
+/// Whether `b` can appear in an identifier.
+#[must_use]
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and literal payloads out of `src` (see module docs).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn strip(src: &str) -> Stripped {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = vec![b' '; n];
+    let mut line_starts = vec![0usize];
+    let mut comments: Vec<String> = vec![String::new()];
+
+    // Record a newline in the output and the line tables.
+    macro_rules! newline {
+        ($i:expr) => {
+            out[$i] = b'\n';
+            line_starts.push($i + 1);
+            comments.push(String::new());
+        };
+    }
+    // Append src[$r] to the current line's comment text.
+    macro_rules! comment_push {
+        ($r:expr) => {
+            let last = comments.len() - 1;
+            comments[last].push_str(&src[$r]);
+        };
+    }
+
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            newline!(i);
+            i += 1;
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            // Line comment: capture text up to (not including) newline.
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            comment_push!(start..i);
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            // Block comment, nesting per Rust rules.
+            let mut depth = 1;
+            let mut seg = i; // start of the current line's segment
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'\n' {
+                    comment_push!(seg..i);
+                    newline!(i);
+                    i += 1;
+                    seg = i;
+                } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comment_push!(seg..i.min(n));
+        } else if c == b'"' {
+            // String literal (quotes blanked too; escapes honoured).
+            i += 1;
+            while i < n {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        newline!(i);
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+        } else if c == b'r' && (i == 0 || !is_ident_byte(b[i - 1])) && {
+            let mut j = i + 1;
+            while j < n && b[j] == b'#' {
+                j += 1;
+            }
+            j < n && b[j] == b'"' && (j == i + 1 || b[i + 1] == b'#')
+        } {
+            // Raw string r"…" / r#"…"# / r##"…"## …
+            let mut hashes = 0;
+            let mut j = i + 1;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            i = j + 1; // past the opening quote
+            'raw: while i < n {
+                if b[i] == b'\n' {
+                    newline!(i);
+                    i += 1;
+                } else if b[i] == b'"' {
+                    let mut k = i + 1;
+                    let mut seen = 0;
+                    while k < n && seen < hashes && b[k] == b'#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    i = k;
+                    if seen == hashes {
+                        break 'raw;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            // Char literal or lifetime.
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal: consume to the closing quote.
+                i += 2;
+                while i < n && b[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+            } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                // Plain ASCII char literal 'x'.
+                i += 3;
+            } else {
+                // Lifetime: the quote and its identifier are code.
+                out[i] = b'\'';
+                i += 1;
+            }
+        } else {
+            out[i] = c;
+            i += 1;
+        }
+    }
+
+    Stripped {
+        code: String::from_utf8(out).expect("blanked source stays UTF-8"),
+        comments,
+        line_starts,
+    }
+}
+
+/// One `fn` item found in a stripped file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub header_offset: usize,
+    /// Byte range of the body, inside the braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Every `fn` item (free functions, methods, nested fns) in stripped
+/// code, in source order. Bodyless trait signatures are skipped.
+#[must_use]
+pub fn scan_fns(code: &str) -> Vec<FnItem> {
+    let b = code.as_bytes();
+    let mut items = Vec::new();
+    for (kw_at, ident) in idents(code, 0..code.len()) {
+        if ident != "fn" {
+            continue;
+        }
+        // Name: next identifier after `fn`.
+        let mut i = kw_at + 2;
+        while i < b.len() && !is_ident_byte(b[i]) {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        if name_start == i {
+            continue;
+        }
+        let name = code[name_start..i].to_string();
+        // Body: first `{` before any `;` (a `;` first means a bodyless
+        // trait signature).
+        let mut open = None;
+        while i < b.len() {
+            match b[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = match_brace(code, open) else {
+            continue;
+        };
+        items.push(FnItem {
+            name,
+            header_offset: kw_at,
+            body: open + 1..close,
+        });
+    }
+    items
+}
+
+/// Offset of the `}` matching the `{` at `open`, if balanced.
+#[must_use]
+pub fn match_brace(code: &str, open: usize) -> Option<usize> {
+    let b = code.as_bytes();
+    debug_assert_eq!(b[open], b'{');
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All identifiers in `code[range]` as `(offset, text)`, in order.
+#[must_use]
+pub fn idents(code: &str, range: std::ops::Range<usize>) -> Vec<(usize, &str)> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        if is_ident_byte(b[i]) && (i == 0 || !is_ident_byte(b[i - 1])) {
+            let start = i;
+            while i < range.end && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            // A leading digit means a numeric literal, not an ident.
+            if !b[start].is_ascii_digit() {
+                out.push((start, &code[start..i]));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// First non-space byte at or after `i`, staying within `range`.
+#[must_use]
+pub fn next_nonspace(code: &str, mut i: usize, end: usize) -> Option<(usize, u8)> {
+    let b = code.as_bytes();
+    while i < end {
+        if !b[i].is_ascii_whitespace() {
+            return Some((i, b[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Last non-space byte strictly before `i`.
+#[must_use]
+pub fn prev_nonspace(code: &str, i: usize) -> Option<(usize, u8)> {
+    let b = code.as_bytes();
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !b[j].is_ascii_whitespace() {
+            return Some((j, b[j]));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_preserves_length_and_lines() {
+        let src = "let a = \"x\\\"y\"; // tail\n/* b\nlock() */ let c = 'x';\n";
+        let s = strip(src);
+        assert_eq!(s.code.len(), src.len());
+        assert_eq!(s.num_lines(), src.lines().count() + 1);
+        assert!(!s.code.contains('"'));
+        assert!(!s.code.contains("tail"));
+        assert!(!s.code.contains("lock"), "block comments blanked");
+        assert!(s.comment_line(1).contains("tail"));
+        assert!(s.comment_line(2).contains('b'));
+    }
+
+    #[test]
+    fn strip_keeps_lifetimes_but_not_char_literals() {
+        let s = strip("fn f<'a>(x: &'a u8) { let c = 'z'; }");
+        assert!(s.code.contains("'a"), "lifetime survives");
+        assert!(!s.code.contains('z'), "char payload blanked");
+    }
+
+    #[test]
+    fn strip_raw_strings() {
+        let s = strip("let p = r#\"he \"quoted\" llo\"#; let q = 1;");
+        assert!(!s.code.contains("he"));
+        assert!(s.code.contains("let q = 1;"));
+    }
+
+    #[test]
+    fn fn_scanner_finds_methods_and_nested() {
+        let src = "impl X { fn outer(&self) -> usize { fn inner() {} 3 } }\ntrait T { fn sig(); }";
+        let s = strip(src);
+        let fns = scan_fns(&s.code);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"], "bodyless sig skipped");
+        let outer = &fns[0];
+        assert!(src[outer.body.clone()].contains("inner"));
+    }
+
+    #[test]
+    fn tag_lookup_walks_contiguous_comments() {
+        let src = "// hot-ok: the protocol\n// guarantees a value.\nx.expect(1);\n\ny.expect(2); // hot-ok: same-line\nz.expect(3);\n";
+        let s = strip(src);
+        assert_eq!(s.tag_above_or_on(3, "hot-ok:").as_deref(), Some("the"));
+        assert_eq!(
+            s.tag_above_or_on(5, "hot-ok:").as_deref(),
+            Some("same-line")
+        );
+        assert_eq!(
+            s.tag_above_or_on(6, "hot-ok:"),
+            None,
+            "blank line breaks the run"
+        );
+    }
+
+    #[test]
+    fn idents_skip_numbers_and_respect_boundaries() {
+        let toks = idents("ab1 2cd for_x 0x3f", 0..18);
+        let names: Vec<&str> = toks.iter().map(|t| t.1).collect();
+        assert_eq!(names, ["ab1", "for_x"], "numeric-led tokens are not idents");
+    }
+}

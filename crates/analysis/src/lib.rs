@@ -1,0 +1,417 @@
+//! Source-level concurrency lint for the serve layer.
+//!
+//! `ferrotcam analyze` runs four passes over `crates/serve/src`
+//! against the checked-in registry (`crates/serve/analysis.registry`),
+//! mirroring the netlist ERC in `ferrotcam-spice::erc`: typed rules
+//! with stable kebab-case ids, a sorted deterministic report, JSON and
+//! human renderings, and a deny gate for CI.
+//!
+//! * **facade** — every atomic/lock primitive must flow through
+//!   `serve::sync`, the one file that swaps in the loom shim and the
+//!   runtime lock-order shadow ([`Rule::FacadeBypass`]);
+//! * **ordering** — every `Ordering::…` site carries a registered
+//!   `// ordering:` tag, and the registry carries no dead tags
+//!   ([`Rule::UnregisteredOrdering`], [`Rule::StaleOrderingTag`],
+//!   [`Rule::RegistryDrift`]);
+//! * **locks** — the acquisition-order graph built from an
+//!   approximate intra-crate call graph must be acyclic, and no lock
+//!   may be held across a blocking call ([`Rule::LockOrderCycle`],
+//!   [`Rule::LockAcrossBlocking`]);
+//! * **hotpath** — registry-tagged hot functions contain no unwaived
+//!   panic sites and no per-iteration allocation
+//!   ([`Rule::HotPathUnwrap`], [`Rule::HotPathAlloc`]).
+//!
+//! The analyzer is lexical, not syntactic: a hand-rolled
+//! comment/literal stripper and function scanner ([`lexer`]) rather
+//! than a full parser. That keeps the crate dependency-free (it can
+//! never be broken by the code it audits), makes the passes fast
+//! enough to run on every CI job, and is precise enough for the
+//! disciplined subset of Rust the serve layer uses — the passes are
+//! tested against a mutation corpus in `tests/` that seeds each
+//! defect class and expects the exact rule id back.
+
+mod facade;
+pub mod lexer;
+mod locks;
+mod ordering;
+pub mod registry;
+
+mod hotpath;
+
+use lexer::Stripped;
+use registry::Registry;
+use std::fmt;
+use std::path::Path;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but tolerated; never fails the deny gate.
+    Warning,
+    /// A concurrency-discipline violation; fails `analyze --deny`.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// The rule catalogue. Each rule has a stable kebab-case id used in
+/// JSON output, CI logs, and the mutation-corpus tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// A `std::sync` primitive or `loom` path outside the sync façade.
+    FacadeBypass,
+    /// An atomic-ordering site without an `// ordering:` tag.
+    UnregisteredOrdering,
+    /// An `// ordering:` tag that is not in the registry.
+    StaleOrderingTag,
+    /// A registry entry with no remaining code site (dead tag or
+    /// dangling `[hot]` function).
+    RegistryDrift,
+    /// The lock acquisition-order graph has a cycle.
+    LockOrderCycle,
+    /// A lock held across a blocking call.
+    LockAcrossBlocking,
+    /// `.unwrap()`/`.expect()` in a hot function without a waiver.
+    HotPathUnwrap,
+    /// Per-iteration allocation in a hot function's loop.
+    HotPathAlloc,
+}
+
+impl Rule {
+    /// Stable kebab-case identifier.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::FacadeBypass => "facade-bypass",
+            Rule::UnregisteredOrdering => "unregistered-ordering",
+            Rule::StaleOrderingTag => "stale-ordering-tag",
+            Rule::RegistryDrift => "registry-drift",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::LockAcrossBlocking => "lock-across-blocking",
+            Rule::HotPathUnwrap => "hot-path-unwrap",
+            Rule::HotPathAlloc => "hot-path-alloc",
+        }
+    }
+
+    /// Severity class of the rule. Every current rule denies: each one
+    /// flags a discipline the serve layer's correctness argument
+    /// leans on, not a style preference.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        Severity::Deny
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: the violated rule plus where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Severity (derived from the rule).
+    pub severity: Severity,
+    /// File the finding is in (workspace-relative when produced by
+    /// [`analyze_workspace`]).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(rule: Rule, file: &str, line: usize, message: String) -> Self {
+        Self {
+            rule,
+            severity: rule.severity(),
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Result of running every pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// All diagnostics, deny-severity first, then by file and line.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of deny-severity diagnostics.
+    #[must_use]
+    pub fn num_deny(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Whether the report is entirely empty.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any diagnostic matches `rule`.
+    #[must_use]
+    pub fn has_rule(&self, rule: Rule) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Multi-line human-readable rendering with a summary line.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(s, "{d}");
+        }
+        let _ = writeln!(
+            s,
+            "analyze: {} finding(s), {} deny",
+            self.diagnostics.len(),
+            self.num_deny()
+        );
+        s
+    }
+
+    /// JSON rendering (object with `diagnostics`, `deny`, `findings`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(d.rule.id()),
+                json_str(&d.severity.to_string()),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"findings\":{},\"deny\":{}}}",
+            self.diagnostics.len(),
+            self.num_deny()
+        );
+        s
+    }
+
+    fn finish(mut self) -> Self {
+        // Deny first, then file/line/rule: deterministic for tests and
+        // diffing. Overlapping loop regions can double-report a site;
+        // dedup after sorting.
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.file.cmp(&b.file))
+                .then_with(|| a.line.cmp(&b.line))
+                .then_with(|| a.rule.id().cmp(b.rule.id()))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        self.diagnostics.dedup();
+        self
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Run every pass over in-memory `(path, source)` pairs — the API the
+/// mutation-corpus tests drive. `registry_path` names the registry in
+/// drift diagnostics.
+#[must_use]
+pub fn analyze_sources(sources: &[(&str, &str)], reg: &Registry, registry_path: &str) -> Report {
+    let files: Vec<(String, Stripped)> = sources
+        .iter()
+        .map(|(path, text)| ((*path).to_string(), lexer::strip(text)))
+        .collect();
+    let fns: Vec<Vec<lexer::FnItem>> = files
+        .iter()
+        .map(|(_, s)| lexer::scan_fns(&s.code))
+        .collect();
+    let mut out = Vec::new();
+    facade::check(&files, &mut out);
+    ordering::check(&files, reg, registry_path, &mut out);
+    locks::check(&files, &fns, reg, &mut out);
+    hotpath::check(&files, &fns, reg, registry_path, &mut out);
+    Report { diagnostics: out }.finish()
+}
+
+/// The audited source tree and registry, relative to a workspace root.
+const AUDITED_SRC: &str = "crates/serve/src";
+/// The registry location, relative to a workspace root.
+pub const REGISTRY_PATH: &str = "crates/serve/analysis.registry";
+
+/// Run every pass over the workspace at `root` (the directory holding
+/// `Cargo.toml`): reads `crates/serve/analysis.registry` and every
+/// `.rs` file under `crates/serve/src`.
+///
+/// # Errors
+/// An explanatory message when the registry or source tree cannot be
+/// read or the registry is malformed.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let reg_path = root.join(REGISTRY_PATH);
+    let reg_text = std::fs::read_to_string(&reg_path)
+        .map_err(|e| format!("cannot read {}: {e}", reg_path.display()))?;
+    let reg = Registry::parse(&reg_text)?;
+
+    let src_dir = root.join(AUDITED_SRC);
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    collect_rs(&src_dir, &mut paths)?;
+    paths.sort();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .map_or_else(|_| p.display().to_string(), |r| r.display().to_string());
+        sources.push((rel, text));
+    }
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    Ok(analyze_sources(&borrowed, &reg, REGISTRY_PATH))
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sorts_denies_first_and_renders() {
+        let mut r = Report::default();
+        r.diagnostics.push(Diagnostic::new(
+            Rule::HotPathUnwrap,
+            "b.rs",
+            9,
+            "second".to_string(),
+        ));
+        r.diagnostics.push(Diagnostic::new(
+            Rule::FacadeBypass,
+            "a.rs",
+            3,
+            "first".to_string(),
+        ));
+        let r = r.finish();
+        assert_eq!(r.diagnostics()[0].file, "a.rs");
+        assert_eq!(r.num_deny(), 2);
+        assert!(!r.is_clean());
+        assert!(r.has_rule(Rule::FacadeBypass));
+        let human = r.render_human();
+        assert!(human.contains("deny[facade-bypass]: a.rs:3: first"));
+        assert!(human.contains("2 deny"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report::default();
+        r.diagnostics.push(Diagnostic::new(
+            Rule::StaleOrderingTag,
+            "a.rs",
+            1,
+            "quote \" and \\ back".to_string(),
+        ));
+        let json = r.finish().to_json();
+        assert!(json.contains("\"rule\":\"stale-ordering-tag\""));
+        assert!(json.contains("quote \\\" and \\\\ back"));
+        assert!(json.contains("\"deny\":1"));
+    }
+
+    #[test]
+    fn every_rule_id_is_kebab_and_unique() {
+        let all = [
+            Rule::FacadeBypass,
+            Rule::UnregisteredOrdering,
+            Rule::StaleOrderingTag,
+            Rule::RegistryDrift,
+            Rule::LockOrderCycle,
+            Rule::LockAcrossBlocking,
+            Rule::HotPathUnwrap,
+            Rule::HotPathAlloc,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|r| r.id()).collect();
+        for id in &ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{id}"
+            );
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,480 @@
+//! Lock discipline (`lock-order-cycle`, `lock-across-blocking`).
+//!
+//! A conservative, purely lexical model of the crate's lock behaviour:
+//!
+//! * a **lock site** is a `.lock()` call; its identity is the
+//!   *receiver field name* (`self.buckets.lock()` → `buckets`), which
+//!   matches how the runtime shadow in `serve::sync` names mutexes —
+//!   every instance of one field is one lock class;
+//! * a **held region** over-approximates guard lifetime: a `let`-bound
+//!   guard is held to the end of its enclosing block, a temporary
+//!   guard to the end of its statement;
+//! * the **call graph** is name-matched within the audited tree, and
+//!   `fn_locks`/`fn_blocks` are closed over it by fixpoint, so a lock
+//!   acquired (or a blocking call made) three calls deep still counts.
+//!
+//! While lock `A` is held, acquiring lock `B` (directly or
+//! transitively) adds the edge `A → B` to the acquisition-order
+//! graph; a cycle in that graph is a deadlock-in-waiting
+//! (`lock-order-cycle`) even if no execution has hit it yet. A
+//! blocking call (the registry's `[blocking]` names) inside a held
+//! region is `lock-across-blocking`: the dispatcher sleeping or a
+//! channel `recv` while holding a serve mutex stalls every submitter.
+//!
+//! The façade file itself (`sync.rs`) is excluded: it *implements*
+//! the lock primitive, and is audited by its own runtime shadow and
+//! loom models instead.
+
+use crate::lexer::{self, FnItem, Stripped};
+use crate::registry::Registry;
+use crate::{Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// One `.lock()` acquisition and its held region.
+#[derive(Debug)]
+struct LockSite {
+    /// Lock class: the receiver field name.
+    lock: String,
+    /// Byte offset of the `lock` identifier.
+    at: usize,
+    /// Over-approximated held region.
+    region: Range<usize>,
+}
+
+/// Per-function facts for the fixpoint.
+#[derive(Debug)]
+struct FnFacts {
+    file_idx: usize,
+    name: String,
+    sites: Vec<LockSite>,
+    /// `(callee name, call offset)` pairs in the body.
+    calls: Vec<(String, usize)>,
+    /// Locks acquired directly or transitively.
+    locks: BTreeSet<String>,
+    /// Whether the function blocks, directly or transitively.
+    blocks: bool,
+}
+
+/// Run the pass over `(path, stripped)` pairs with the per-file
+/// function index `fns` (same order).
+pub fn check(
+    files: &[(String, Stripped)],
+    fns: &[Vec<FnItem>],
+    registry: &Registry,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for (file_idx, (path, s)) in files.iter().enumerate() {
+        if path.ends_with("sync.rs") {
+            continue;
+        }
+        let depth = brace_depths(&s.code);
+        for f in &fns[file_idx] {
+            facts.push(analyze_fn(s, f, file_idx, &depth, registry));
+        }
+    }
+    // Name → indices of crate functions with that name. `lock` itself
+    // is the acquisition primitive, never a callee.
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        if f.name != "lock" {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+    }
+    fixpoint(&mut facts, &by_name);
+
+    // Edges of the acquisition-order graph, with one witness site per
+    // edge: lock A held → lock B acquired at (file, line).
+    let mut edges: BTreeMap<String, BTreeMap<String, (usize, usize)>> = BTreeMap::new();
+    for f in &facts {
+        let (path_idx, s) = (f.file_idx, &files[f.file_idx].1);
+        for site in &f.sites {
+            // Direct nested acquisition.
+            for other in &f.sites {
+                if other.at != site.at && site.region.contains(&other.at) && other.lock != site.lock
+                {
+                    edges
+                        .entry(site.lock.clone())
+                        .or_default()
+                        .entry(other.lock.clone())
+                        .or_insert((path_idx, s.line_of(other.at)));
+                }
+            }
+            for (callee, call_at) in &f.calls {
+                if !site.region.contains(call_at) {
+                    continue;
+                }
+                // Transitive acquisition through the call graph.
+                if let Some(callee_idxs) = by_name.get(callee.as_str()) {
+                    for &ci in callee_idxs {
+                        for l in &facts[ci].locks {
+                            if *l != site.lock {
+                                edges
+                                    .entry(site.lock.clone())
+                                    .or_default()
+                                    .entry(l.clone())
+                                    .or_insert((path_idx, s.line_of(*call_at)));
+                            }
+                        }
+                    }
+                }
+                // Blocking while held, direct or transitive.
+                let blocks_directly = registry.blocking.contains(callee.as_str());
+                let blocks_transitively = by_name
+                    .get(callee.as_str())
+                    .is_some_and(|idxs| idxs.iter().any(|&ci| facts[ci].blocks));
+                if blocks_directly || blocks_transitively {
+                    out.push(Diagnostic::new(
+                        Rule::LockAcrossBlocking,
+                        &files[path_idx].0,
+                        s.line_of(*call_at),
+                        format!(
+                            "lock `{}` is held across blocking call `{callee}` \
+                             in `{}`; drop the guard before blocking",
+                            site.lock, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    report_cycles(files, &edges, out);
+}
+
+/// Extract lock sites and calls from one function body.
+fn analyze_fn(
+    s: &Stripped,
+    f: &FnItem,
+    file_idx: usize,
+    depth: &[u32],
+    registry: &Registry,
+) -> FnFacts {
+    let code = &s.code;
+    let b = code.as_bytes();
+    let mut sites = Vec::new();
+    let mut calls = Vec::new();
+    let mut locks = BTreeSet::new();
+    let mut blocks = false;
+    for (at, ident) in lexer::idents(code, f.body.clone()) {
+        let is_call = matches!(
+            lexer::next_nonspace(code, at + ident.len(), code.len()),
+            Some((_, b'(' | b'!'))
+        );
+        if !is_call {
+            continue;
+        }
+        let is_method = matches!(lexer::prev_nonspace(code, at), Some((_, b'.')));
+        if ident == "lock" && is_method && b.get(at + ident.len()) == Some(&b'(') {
+            if let Some(lock) = receiver_field(code, at) {
+                let region = held_region(code, at, &f.body, depth);
+                locks.insert(lock.clone());
+                sites.push(LockSite { lock, at, region });
+            }
+        } else if !is_keyword(ident) {
+            if registry.blocking.contains(ident) {
+                blocks = true;
+            }
+            calls.push((ident.to_string(), at));
+        }
+    }
+    FnFacts {
+        file_idx,
+        name: f.name.clone(),
+        sites,
+        calls,
+        locks,
+        blocks,
+    }
+}
+
+/// Close `locks` and `blocks` over the name-matched call graph.
+fn fixpoint(facts: &mut [FnFacts], by_name: &BTreeMap<String, Vec<usize>>) {
+    // Indices are stable; iterate until no set grows. Bounded by the
+    // total number of (fn, lock) pairs, tiny in practice.
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            let mut blocks = facts[i].blocks;
+            for (callee, _) in &facts[i].calls {
+                if let Some(idxs) = by_name.get(callee.as_str()) {
+                    for &ci in idxs {
+                        add.extend(facts[ci].locks.iter().cloned());
+                        blocks |= facts[ci].blocks;
+                    }
+                }
+            }
+            let before = facts[i].locks.len();
+            facts[i].locks.extend(add);
+            if facts[i].locks.len() != before || blocks != facts[i].blocks {
+                facts[i].blocks = blocks;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// The receiver field name of a `.lock()` at `at`: the identifier
+/// immediately left of the dot (`self.buckets.lock()` → `buckets`,
+/// `slot.value.lock()` → `value`). `None` when the receiver is an
+/// expression the lexical model cannot name.
+fn receiver_field(code: &str, lock_at: usize) -> Option<String> {
+    let b = code.as_bytes();
+    let (dot, c) = lexer::prev_nonspace(code, lock_at)?;
+    if c != b'.' {
+        return None;
+    }
+    let (end, c) = lexer::prev_nonspace(code, dot)?;
+    if !lexer::is_ident_byte(c) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && lexer::is_ident_byte(b[start - 1]) {
+        start -= 1;
+    }
+    let name = &code[start..=end];
+    (name != "self").then(|| name.to_string())
+}
+
+/// Over-approximate how long the guard from the `.lock()` at `at`
+/// lives: to the end of the enclosing block for a `let`-bound guard,
+/// to the end of the statement for a temporary.
+fn held_region(code: &str, at: usize, body: &Range<usize>, depth: &[u32]) -> Range<usize> {
+    let b = code.as_bytes();
+    // Statement start: after the nearest `;`, `{` or `}` before `at`.
+    let mut stmt = body.start;
+    let mut i = at;
+    while i > body.start {
+        i -= 1;
+        if matches!(b[i], b';' | b'{' | b'}') {
+            stmt = i + 1;
+            break;
+        }
+    }
+    let is_let = lexer::idents(code, stmt..at).first().map(|t| t.1) == Some("let");
+    if is_let {
+        // Guard lives to the end of the enclosing block: walk right
+        // for the first `}` shallower than the statement's depth.
+        let d = depth[at];
+        for j in at..body.end {
+            if b[j] == b'}' && depth[j] < d {
+                return at..j;
+            }
+        }
+        at..body.end
+    } else {
+        // Temporary: dropped at the end of the statement — the next
+        // `;` at the acquisition's brace depth (skipping closures).
+        let d = depth[at];
+        for j in at..body.end {
+            if b[j] == b';' && depth[j] == d {
+                return at..j + 1;
+            }
+        }
+        at..body.end
+    }
+}
+
+/// Brace depth at each byte (the depth of the region the byte is in;
+/// an opening `{` already counts itself, its `}` does not).
+fn brace_depths(code: &str) -> Vec<u32> {
+    let mut depth = 0u32;
+    code.bytes()
+        .map(|c| {
+            match c {
+                b'{' => depth += 1,
+                b'}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            depth
+        })
+        .collect()
+}
+
+fn is_keyword(ident: &str) -> bool {
+    matches!(
+        ident,
+        "if" | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "let"
+            | "mut"
+            | "ref"
+            | "fn"
+            | "impl"
+            | "pub"
+            | "use"
+            | "mod"
+            | "where"
+            | "dyn"
+    )
+}
+
+/// DFS over the order graph; every cycle is reported once with its
+/// edge witnesses.
+fn report_cycles(
+    files: &[(String, Stripped)],
+    edges: &BTreeMap<String, BTreeMap<String, (usize, usize)>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in edges.keys() {
+        let mut stack: Vec<&str> = vec![start];
+        dfs(start, edges, &mut stack, &mut seen_cycles, files, out);
+    }
+}
+
+fn dfs<'a>(
+    node: &str,
+    edges: &'a BTreeMap<String, BTreeMap<String, (usize, usize)>>,
+    stack: &mut Vec<&'a str>,
+    seen: &mut BTreeSet<Vec<String>>,
+    files: &[(String, Stripped)],
+    out: &mut Vec<Diagnostic>,
+) {
+    // Bounded: each path visits a lock at most once, and the graph is
+    // a handful of named locks.
+    let Some(next) = edges.get(node) else { return };
+    for (to, &(file_idx, line)) in next {
+        if let Some(pos) = stack.iter().position(|n| n == to) {
+            // Normalise the cycle (rotate to the smallest lock name)
+            // so each is reported exactly once.
+            let cycle: Vec<String> = stack[pos..].iter().map(|s| (*s).to_string()).collect();
+            let rot = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.as_str())
+                .map_or(0, |(i, _)| i);
+            let mut norm = cycle[rot..].to_vec();
+            norm.extend_from_slice(&cycle[..rot]);
+            if seen.insert(norm.clone()) {
+                let chain = {
+                    let mut c = norm.clone();
+                    c.push(norm[0].clone());
+                    c.join(" -> ")
+                };
+                out.push(Diagnostic::new(
+                    Rule::LockOrderCycle,
+                    &files[file_idx].0,
+                    line,
+                    format!(
+                        "lock acquisition order forms a cycle ({chain}); two \
+                         threads taking these locks in opposite order deadlock"
+                    ),
+                ));
+            }
+            continue;
+        }
+        stack.push(to);
+        dfs(to, edges, stack, seen, files, out);
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scan_fns, strip};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_reg(src, "[blocking]\nsleep\nrecv\njoin\nwait\npark\n")
+    }
+
+    fn run_reg(src: &str, reg: &str) -> Vec<Diagnostic> {
+        let s = strip(src);
+        let fns = scan_fns(&s.code);
+        let registry = Registry::parse(reg).unwrap();
+        let mut out = Vec::new();
+        check(
+            &[("crates/x/src/a.rs".to_string(), s)],
+            &[fns],
+            &registry,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+fn ab(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n    drop((a, b));\n}\n\
+fn ab2(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n    drop((a, b));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle() {
+        let src = "\
+fn ab(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n    drop((a, b));\n}\n\
+fn ba(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n    drop((a, b));\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::LockOrderCycle);
+        assert!(d[0].message.contains("alpha -> beta -> alpha"));
+    }
+
+    #[test]
+    fn transitive_cycle_through_calls() {
+        let src = "\
+fn outer(&self) {\n    let a = self.alpha.lock();\n    self.helper();\n    drop(a);\n}\n\
+fn helper(&self) {\n    let b = self.beta.lock();\n    drop(b);\n}\n\
+fn other(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n    drop((a, b));\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::LockOrderCycle);
+    }
+
+    #[test]
+    fn blocking_while_held_flagged() {
+        let src = "\
+fn bad(&self) {\n    let g = self.state.lock();\n    std::thread::sleep(d);\n    drop(g);\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::LockAcrossBlocking);
+        assert!(d[0].message.contains("state"));
+        assert!(d[0].message.contains("sleep"));
+    }
+
+    #[test]
+    fn blocking_after_temporary_guard_is_fine() {
+        let src = "\
+fn ok(&self) {\n    *self.state.lock() = 3;\n    std::thread::sleep(d);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn transitive_blocking_through_helper() {
+        let src = "\
+fn bad(&self) {\n    let g = self.state.lock();\n    self.pause();\n    drop(g);\n}\n\
+fn pause(&self) {\n    std::thread::sleep(d);\n}\n";
+        let d = run(src);
+        assert!(
+            d.iter().any(|d| d.rule == Rule::LockAcrossBlocking),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn same_field_pool_has_no_self_edge() {
+        let src = "\
+fn pool(&self, other: &Slot) {\n    let a = self.value.lock();\n    let b = other.value.lock();\n    drop((a, b));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_scoped_to_inner_block_releases() {
+        let src = "\
+fn ok(&self) {\n    {\n        let g = self.state.lock();\n        drop(g);\n    }\n    std::thread::sleep(d);\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Atomic-ordering registry enforcement (`unregistered-ordering`,
+//! `stale-ordering-tag`, `registry-drift`).
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` site
+//! in the audited tree must carry an `// ordering: <tag>` comment on
+//! the same line or in the contiguous comment block directly above,
+//! and the tag must exist in the checked-in registry with a reviewed
+//! justification. The registry is bidirectional: a tag used in code
+//! but missing from the registry is stale, and a registered tag with
+//! no remaining site is drift — deleting the last site of a tag
+//! forces the registry (and its justification) to be revisited in the
+//! same change.
+//!
+//! The unit of tagging is the *line*: a line holding several
+//! `Ordering::` tokens (a `compare_exchange` failure ordering, a
+//! `fetch_update` pair) is one decision and needs one tag.
+
+use crate::lexer::{self, Stripped};
+use crate::registry::Registry;
+use crate::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+
+/// The five ordering variants the pass recognises.
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run the pass; `registry_path` names the registry file in drift
+/// diagnostics.
+pub fn check(
+    files: &[(String, Stripped)],
+    registry: &Registry,
+    registry_path: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut used: BTreeMap<&str, usize> =
+        registry.orderings.keys().map(|k| (k.as_str(), 0)).collect();
+    for (path, s) in files {
+        for line in site_lines(s) {
+            match s.tag_above_or_on(line, "ordering:") {
+                None => out.push(Diagnostic::new(
+                    Rule::UnregisteredOrdering,
+                    path,
+                    line,
+                    "atomic ordering site without an `// ordering: <tag>` \
+                     comment; tag it and register the tag in analysis.registry"
+                        .to_string(),
+                )),
+                Some(tag) => match used.get_mut(tag.as_str()) {
+                    Some(count) => *count += 1,
+                    None => out.push(Diagnostic::new(
+                        Rule::StaleOrderingTag,
+                        path,
+                        line,
+                        format!(
+                            "ordering tag `{tag}` is not registered in \
+                             analysis.registry; add it with a justification \
+                             or retag the site"
+                        ),
+                    )),
+                },
+            }
+        }
+    }
+    for (tag, count) in used {
+        if count == 0 {
+            let entry = &registry.orderings[tag];
+            out.push(Diagnostic::new(
+                Rule::RegistryDrift,
+                registry_path,
+                entry.line,
+                format!(
+                    "registered ordering tag `{tag}` has no remaining site \
+                     in the audited sources; delete the entry or restore the tag"
+                ),
+            ));
+        }
+    }
+}
+
+/// 1-based lines containing at least one `Ordering::<variant>` token.
+fn site_lines(s: &Stripped) -> Vec<usize> {
+    let code = &s.code;
+    let mut lines = Vec::new();
+    for (at, ident) in lexer::idents(code, 0..code.len()) {
+        if ident != "Ordering" {
+            continue;
+        }
+        let after = at + ident.len();
+        if !code[after..].starts_with("::") {
+            continue;
+        }
+        let vstart = after + 2;
+        let vend = code[vstart..]
+            .bytes()
+            .position(|c| !lexer::is_ident_byte(c))
+            .map_or(code.len(), |off| vstart + off);
+        if VARIANTS.contains(&&code[vstart..vend]) {
+            let line = s.line_of(at);
+            if lines.last() != Some(&line) {
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+
+    fn registry() -> Registry {
+        Registry::parse("[orderings]\ngood-tag = fine\nunused-tag = also fine\n").unwrap()
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(
+            &[("a.rs".to_string(), strip(src))],
+            &registry(),
+            "analysis.registry",
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn tagged_site_counts_and_unused_tag_drifts() {
+        let d = run("x.load(Ordering::Acquire); // ordering: good-tag\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::RegistryDrift);
+        assert!(d[0].message.contains("unused-tag"));
+        assert_eq!(d[0].file, "analysis.registry");
+    }
+
+    #[test]
+    fn untagged_site_flagged() {
+        let d = run(
+            "x.load(Ordering::Acquire); // ordering: good-tag\ny.load(Ordering::Relaxed); // ordering: unused-tag\nz.store(1, Ordering::Release);\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnregisteredOrdering);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn unknown_tag_is_stale() {
+        let d = run(
+            "x.load(Ordering::Acquire); // ordering: good-tag\ny.load(Ordering::Relaxed); // ordering: unused-tag\nz.load(Ordering::SeqCst); // ordering: mystery\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::StaleOrderingTag);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn preceding_comment_block_tags_the_site() {
+        let d = run(
+            "// ordering: good-tag\nx.fetch_update(Ordering::AcqRel, Ordering::Acquire, f);\ny.load(Ordering::Relaxed); // ordering: unused-tag\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_line_two_variants_is_one_site() {
+        let d = run("x.compare_exchange(a, b, Ordering::SeqCst, Ordering::SeqCst);\n");
+        assert_eq!(
+            d.iter()
+                .filter(|d| d.rule == Rule::UnregisteredOrdering)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn non_atomic_ordering_enum_ignored() {
+        let d = run("let o = std::cmp::Ordering::Less;\n");
+        assert!(d.iter().all(|d| d.rule != Rule::UnregisteredOrdering));
+    }
+}

@@ -1,0 +1,171 @@
+//! The checked-in concurrency registry (`analysis.registry`).
+//!
+//! An INI-like file with three sections:
+//!
+//! ```text
+//! [orderings]
+//! tag-name = one-line justification
+//! [hot]
+//! file.rs::function
+//! [blocking]
+//! method_name
+//! ```
+//!
+//! `#`-prefixed lines are comments. The registry is the reviewed
+//! source of truth the passes cross-check the code against: ordering
+//! tags must exist here, hot functions are audited for unwraps and
+//! per-iteration allocation, and the blocking names feed the
+//! lock-across-blocking rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `[orderings]` entry.
+#[derive(Debug, Clone)]
+pub struct OrderingEntry {
+    /// The reviewed one-line justification.
+    pub justification: String,
+    /// 1-based registry line, for drift diagnostics.
+    pub line: usize,
+}
+
+/// One `[hot]` entry: `file.rs::function`.
+#[derive(Debug, Clone)]
+pub struct HotFn {
+    /// Bare file name inside the audited source tree.
+    pub file: String,
+    /// Function name inside that file.
+    pub func: String,
+    /// 1-based registry line, for drift diagnostics.
+    pub line: usize,
+}
+
+/// Parsed registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Registered ordering tags (tag → justification + line).
+    pub orderings: BTreeMap<String, OrderingEntry>,
+    /// Hot-path functions, in file order.
+    pub hot: Vec<HotFn>,
+    /// Method/function names treated as blocking.
+    pub blocking: BTreeSet<String>,
+}
+
+impl Registry {
+    /// Parse registry `text`.
+    ///
+    /// # Errors
+    /// A message naming the offending line on malformed input
+    /// (unknown section, entry outside a section, bad `[hot]` shape,
+    /// duplicate ordering tag).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        enum Section {
+            Orderings,
+            Hot,
+            Blocking,
+        }
+        let mut reg = Registry::default();
+        let mut section: Option<Section> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(match name {
+                    "orderings" => Section::Orderings,
+                    "hot" => Section::Hot,
+                    "blocking" => Section::Blocking,
+                    other => {
+                        return Err(format!("registry line {lineno}: unknown section [{other}]"))
+                    }
+                });
+                continue;
+            }
+            match section {
+                Some(Section::Orderings) => {
+                    let Some((tag, just)) = line.split_once('=') else {
+                        return Err(format!(
+                            "registry line {lineno}: expected `tag = justification`"
+                        ));
+                    };
+                    let tag = tag.trim().to_string();
+                    if reg
+                        .orderings
+                        .insert(
+                            tag.clone(),
+                            OrderingEntry {
+                                justification: just.trim().to_string(),
+                                line: lineno,
+                            },
+                        )
+                        .is_some()
+                    {
+                        return Err(format!("registry line {lineno}: duplicate tag `{tag}`"));
+                    }
+                }
+                Some(Section::Hot) => {
+                    let Some((file, func)) = line.split_once("::") else {
+                        return Err(format!(
+                            "registry line {lineno}: expected `file.rs::function`"
+                        ));
+                    };
+                    reg.hot.push(HotFn {
+                        file: file.trim().to_string(),
+                        func: func.trim().to_string(),
+                        line: lineno,
+                    });
+                }
+                Some(Section::Blocking) => {
+                    reg.blocking.insert(line.to_string());
+                }
+                None => {
+                    return Err(format!(
+                        "registry line {lineno}: entry before any [section]"
+                    ));
+                }
+            }
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment
+[orderings]
+a-tag = why it is safe
+b-tag = another reason
+
+[hot]
+queue.rs::push
+service.rs::enqueue
+
+[blocking]
+sleep
+recv
+";
+
+    #[test]
+    fn parses_all_sections() {
+        let r = Registry::parse(SAMPLE).unwrap();
+        assert_eq!(r.orderings.len(), 2);
+        assert_eq!(r.orderings["a-tag"].justification, "why it is safe");
+        assert_eq!(r.hot.len(), 2);
+        assert_eq!(r.hot[1].file, "service.rs");
+        assert_eq!(r.hot[1].func, "enqueue");
+        assert!(r.blocking.contains("sleep"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Registry::parse("stray").is_err());
+        assert!(Registry::parse("[nope]\n").is_err());
+        assert!(Registry::parse("[orderings]\nno-equals\n").is_err());
+        assert!(Registry::parse("[hot]\nmissing-sep\n").is_err());
+        assert!(Registry::parse("[orderings]\nt = a\nt = b\n").is_err());
+    }
+}

@@ -40,6 +40,12 @@ USAGE:
       search row per design; --all adds 1.5T divider cells, full
       arrays and write arrays). --deny fails on any error-severity
       diagnostic; --json emits machine-readable reports.
+  ferrotcam analyze [--deny] [--json] [--root <dir>]
+      Run the concurrency static analyzer over the serving layer's
+      sources: sync-facade enforcement, the atomic-ordering registry,
+      lock-order auditing, and hot-path hygiene. --deny fails on any
+      deny-severity diagnostic; --json emits a machine-readable
+      report; --root overrides workspace discovery.
   ferrotcam trace [<design> <stored-word> <query-bits>]
                   [--summary|--full] [--ndjson] [--out FILE]
       Run one row-search transient with tracing enabled and render
@@ -113,6 +119,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("export") => export(&args[1..]),
         Some("table") => table_lookup(&args[1..]),
         Some("lint") => crate::lint::run(&args[1..]),
+        Some("analyze") => crate::analyze::run(&args[1..]),
         Some("trace") => crate::trace_cmd::run(&args[1..]),
         Some("bench") => crate::newton_bench::run(&args[1..], parse_design),
         Some("serve-bench") => crate::serve_bench::run(&args[1..], parse_design),

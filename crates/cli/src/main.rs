@@ -7,6 +7,7 @@
 //! ferrotcam idvg <sg|dg> [--csv]
 //! ferrotcam export <design> <stored-word> <query-bits>
 //! ferrotcam designs
+//! ferrotcam analyze [--deny] [--json] [--root <dir>]
 //! ferrotcam trace [<design> <stored-word> <query-bits>] [--ndjson]
 //! ferrotcam bench [--smoke] [--bits N] [--reps N] [--design <d>]
 //! ferrotcam serve-bench [--smoke] [--backend spice|behav|both] [--shards 1,2,4]
@@ -14,6 +15,7 @@
 
 use std::process::ExitCode;
 
+mod analyze;
 mod commands;
 mod lint;
 mod newton_bench;

@@ -15,9 +15,8 @@
 //! lookups run on.
 
 use crate::request::AdmissionClass;
+use crate::sync::{AtomicBool, Mutex, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Tenant identity. Plain integers keep the hot path allocation-free;
@@ -146,7 +145,7 @@ impl Admission {
             passthrough: AtomicBool::new(
                 default_policy.rate.is_infinite() && approx_policy.rate.is_infinite(),
             ),
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new("serve.admission.buckets", HashMap::new()),
         }
     }
 
@@ -160,12 +159,12 @@ impl Admission {
     /// Install (or replace) one `(tenant, class)` policy; the bucket
     /// restarts full.
     pub fn set_class_policy(&self, tenant: TenantId, class: AdmissionClass, policy: RatePolicy) {
-        let mut buckets = self.buckets.lock().expect("admission lock");
+        let mut buckets = self.buckets.lock();
         buckets.insert((tenant, class), TokenBucket::new(policy));
         // Any explicit policy (even an unlimited one) pins admission to
         // the bucket map; flip while still holding the lock so a racing
         // admit cannot see the flag before the bucket.
-        self.passthrough.store(false, Ordering::Release);
+        self.passthrough.store(false, Ordering::Release); // ordering: passthrough-release
     }
 
     /// The default policy a class falls back to.
@@ -187,10 +186,11 @@ impl Admission {
         class: AdmissionClass,
         now: Instant,
     ) -> Result<(), Overloaded> {
+        // ordering: passthrough-acquire
         if self.passthrough.load(Ordering::Acquire) {
             return Ok(());
         }
-        let mut buckets = self.buckets.lock().expect("admission lock");
+        let mut buckets = self.buckets.lock();
         let bucket = buckets
             .entry((tenant, class))
             .or_insert_with(|| TokenBucket::new(self.default_for(class)));
@@ -286,7 +286,7 @@ mod tests {
         let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
         // Fast path: no buckets exist yet, nothing is created.
         assert!(adm.admit(3, AdmissionClass::Exact, t0).is_ok());
-        assert!(adm.buckets.lock().unwrap().is_empty());
+        assert!(adm.buckets.lock().is_empty());
         // Installing any policy pins admission to the bucket map.
         adm.set_policy(3, RatePolicy::per_second(1.0, 1.0));
         assert!(adm.admit(3, AdmissionClass::Exact, t0).is_ok());

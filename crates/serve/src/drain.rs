@@ -43,6 +43,7 @@ impl DrainGate {
     /// waited for) or is refused.
     pub fn try_accept(&self) -> bool {
         self.state
+            // ordering: drain-state-acqrel
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
                 (s & DRAIN_BIT == 0).then_some(s + 1)
             })
@@ -53,23 +54,23 @@ impl DrainGate {
     /// dispatcher must not wait for a request that never entered the
     /// queue.
     pub fn retract(&self) {
-        self.state.fetch_sub(1, Ordering::AcqRel);
+        self.state.fetch_sub(1, Ordering::AcqRel); // ordering: drain-state-acqrel
     }
 
     /// Record one accepted request as fully answered.
     pub fn complete(&self) {
-        self.completed.fetch_add(1, Ordering::AcqRel);
+        self.completed.fetch_add(1, Ordering::AcqRel); // ordering: drain-completed-acqrel
     }
 
     /// Set the drain bit: all future [`DrainGate::try_accept`] calls fail.
     pub fn begin_drain(&self) {
-        self.state.fetch_or(DRAIN_BIT, Ordering::AcqRel);
+        self.state.fetch_or(DRAIN_BIT, Ordering::AcqRel); // ordering: drain-state-acqrel
     }
 
     /// Whether the drain bit is set.
     #[must_use]
     pub fn is_draining(&self) -> bool {
-        self.state.load(Ordering::Acquire) & DRAIN_BIT != 0
+        self.state.load(Ordering::Acquire) & DRAIN_BIT != 0 // ordering: drain-quiescent-acquire
     }
 
     /// Whether the service is draining *and* every accepted request has
@@ -78,7 +79,8 @@ impl DrainGate {
     /// in the ring).
     #[must_use]
     pub fn quiescent(&self) -> bool {
-        let state = self.state.load(Ordering::Acquire);
+        let state = self.state.load(Ordering::Acquire); // ordering: drain-quiescent-acquire
+                                                        // ordering: drain-quiescent-acquire
         state & DRAIN_BIT != 0 && state & !DRAIN_BIT == self.completed.load(Ordering::Acquire)
     }
 }

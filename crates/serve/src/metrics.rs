@@ -12,10 +12,9 @@
 
 use crate::backend::AuditVerdict;
 use crate::request::{RequestKind, KIND_COUNT};
+use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 use ferrotcam_arch::sched::ScheduleOutcome;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 // The histogram now lives in the simulator's trace layer so service
 // spans and engine spans share one implementation (and one unit
@@ -245,7 +244,7 @@ struct Inner {
 }
 
 /// Thread-safe metrics collector shared by clients and the dispatcher.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsCollector {
     submitted: AtomicU64,
     shed_queue_full: AtomicU64,
@@ -258,6 +257,22 @@ pub struct MetricsCollector {
     inner: Mutex<Inner>,
 }
 
+impl Default for MetricsCollector {
+    // Hand-written (not derived) because the façade mutex takes its
+    // lock-order-graph name at construction.
+    fn default() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_rate_limited: AtomicU64::new(0),
+            shed_shutting_down: AtomicU64::new(0),
+            shed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_queue_depth: AtomicUsize::new(0),
+            inner: Mutex::new("serve.metrics.inner", Inner::default()),
+        }
+    }
+}
+
 impl MetricsCollector {
     /// Fresh collector.
     #[must_use]
@@ -268,8 +283,8 @@ impl MetricsCollector {
     /// A request was accepted into the queue, which then held `depth`
     /// items. Lock-free: this runs on every submitter's hot path.
     pub fn on_submit(&self, depth: usize) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed); // ordering: stat-relaxed
     }
 
     /// A `kind` request was shed with `err`. Lock-free.
@@ -279,13 +294,13 @@ impl MetricsCollector {
             crate::admission::Overloaded::RateLimited { .. } => &self.shed_rate_limited,
             crate::admission::Overloaded::ShuttingDown => &self.shed_shutting_down,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        self.shed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
+        self.shed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
     }
 
     /// The dispatcher pulled and scheduled a batch of `size` queries.
     pub fn on_batch(&self, size: usize, sched: &ScheduleOutcome) {
-        let mut m = self.inner.lock().expect("metrics lock");
+        let mut m = self.inner.lock();
         m.batches += 1;
         m.batch_size_sum += size as u64;
         m.batch_size_max = m.batch_size_max.max(size as u64);
@@ -311,7 +326,7 @@ impl MetricsCollector {
         if samples.is_empty() {
             return;
         }
-        let mut m = self.inner.lock().expect("metrics lock");
+        let mut m = self.inner.lock();
         for sample in samples {
             m.completed += 1;
             m.completed_by_kind.bump(sample.kind);
@@ -332,7 +347,7 @@ impl MetricsCollector {
     /// The audit lane replayed one sampled `kind` query and reached
     /// `verdict`.
     pub fn on_audit(&self, verdict: &AuditVerdict, kind: RequestKind) {
-        let mut m = self.inner.lock().expect("metrics lock");
+        let mut m = self.inner.lock();
         m.audit_sampled += 1;
         m.audit_sampled_by_kind.bump(kind);
         m.audit_match_divergences += u64::from(verdict.match_divergence);
@@ -346,7 +361,7 @@ impl MetricsCollector {
     /// Snapshot everything; `queue_depth` is sampled by the caller.
     #[must_use]
     pub fn snapshot(&self, queue_depth: usize) -> ServiceMetrics {
-        let m = self.inner.lock().expect("metrics lock");
+        let m = self.inner.lock();
         let utilization = if m.sched_time_total > 0.0 {
             m.bank_busy_total
                 .iter()
@@ -356,13 +371,13 @@ impl MetricsCollector {
             vec![0.0; m.bank_busy_total.len()]
         };
         ServiceMetrics {
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed), // ordering: stat-relaxed
             completed: m.completed,
-            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
-            shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
-            shed_shutting_down: self.shed_shutting_down.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed), // ordering: stat-relaxed
+            shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed), // ordering: stat-relaxed
+            shed_shutting_down: self.shed_shutting_down.load(Ordering::Relaxed), // ordering: stat-relaxed
             queue_depth,
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed), // ordering: stat-relaxed
             wall_latency_ns: LatencySummary::of(&m.wall),
             model_latency_ps: LatencySummary::of(&m.model),
             batch: BatchStats {
@@ -393,11 +408,13 @@ impl MetricsCollector {
             audit_worst_energy_rel: m.audit_worst_energy_rel,
             completed_by_kind: m.completed_by_kind,
             shed_by_kind: KindBreakdown {
+                // ordering: stat-relaxed
                 exact: self.shed_by_kind[RequestKind::Exact.index()].load(Ordering::Relaxed),
                 threshold: self.shed_by_kind[RequestKind::Threshold { t: 0 }.index()]
-                    .load(Ordering::Relaxed),
+                    .load(Ordering::Relaxed), // ordering: stat-relaxed
                 top_k: self.shed_by_kind[RequestKind::TopK { k: 0 }.index()]
-                    .load(Ordering::Relaxed),
+                    .load(Ordering::Relaxed), // ordering: stat-relaxed
+                // ordering: stat-relaxed
                 range: self.shed_by_kind[RequestKind::Range.index()].load(Ordering::Relaxed),
             },
             audit_sampled_by_kind: m.audit_sampled_by_kind,

@@ -52,7 +52,7 @@ impl<T> BoundedQueue<T> {
         let slots = (0..capacity)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
-                value: Mutex::new(None),
+                value: Mutex::new("serve.queue.slot", None),
             })
             .collect();
         Self {
@@ -71,8 +71,8 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued (racy snapshot, exact when quiescent).
     #[must_use]
     pub fn len(&self) -> usize {
-        let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed); // ordering: queue-len-relaxed
+        let head = self.head.load(Ordering::Relaxed); // ordering: queue-len-relaxed
         tail.saturating_sub(head)
     }
 
@@ -89,21 +89,21 @@ impl<T> BoundedQueue<T> {
     /// Returns `Err(value)` when the queue is full.
     pub fn push(&self, value: T) -> Result<(), T> {
         let cap = self.slots.len();
-        let mut tail = self.tail.load(Ordering::Relaxed);
+        let mut tail = self.tail.load(Ordering::Relaxed); // ordering: ticket-relaxed
         loop {
             let slot = &self.slots[tail % cap];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(Ordering::Acquire); // ordering: queue-seq-acquire
             if seq == tail {
                 // Slot is empty and it is our lap: try to claim the ticket.
                 match self.tail.compare_exchange_weak(
                     tail,
                     tail + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // ordering: ticket-relaxed
+                    Ordering::Relaxed, // ordering: ticket-relaxed
                 ) {
                     Ok(_) => {
-                        *slot.value.lock().expect("slot lock") = Some(value);
-                        slot.seq.store(tail + 1, Ordering::Release);
+                        *slot.value.lock() = Some(value);
+                        slot.seq.store(tail + 1, Ordering::Release); // ordering: queue-seq-release
                         return Ok(());
                     }
                     Err(t) => tail = t,
@@ -113,7 +113,7 @@ impl<T> BoundedQueue<T> {
                 return Err(value);
             } else {
                 // Another producer claimed this ticket; move on.
-                tail = self.tail.load(Ordering::Relaxed);
+                tail = self.tail.load(Ordering::Relaxed); // ordering: ticket-relaxed
             }
         }
     }
@@ -121,26 +121,27 @@ impl<T> BoundedQueue<T> {
     /// Non-blocking pop; `None` when the queue is empty.
     pub fn pop(&self) -> Option<T> {
         let cap = self.slots.len();
-        let mut head = self.head.load(Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Relaxed); // ordering: ticket-relaxed
         loop {
             let slot = &self.slots[head % cap];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(Ordering::Acquire); // ordering: queue-seq-acquire
             if seq == head + 1 {
                 // Slot holds a value from this lap: claim it.
                 match self.head.compare_exchange_weak(
                     head,
                     head + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // ordering: ticket-relaxed
+                    Ordering::Relaxed, // ordering: ticket-relaxed
                 ) {
                     Ok(_) => {
                         let value = slot
                             .value
                             .lock()
-                            .expect("slot lock")
                             .take()
+                            // hot-ok: the CAS won this slot, so the Vyukov
+                            // seq protocol guarantees a value is present.
                             .expect("claimed slot holds a value");
-                        slot.seq.store(head + cap, Ordering::Release);
+                        slot.seq.store(head + cap, Ordering::Release); // ordering: queue-seq-release
                         return Some(value);
                     }
                     Err(h) => head = h,
@@ -149,7 +150,7 @@ impl<T> BoundedQueue<T> {
                 // Producer has not filled this slot yet: empty.
                 return None;
             } else {
-                head = self.head.load(Ordering::Relaxed);
+                head = self.head.load(Ordering::Relaxed); // ordering: ticket-relaxed
             }
         }
     }

@@ -583,8 +583,11 @@ fn dispatch_loop(inner: &Inner) {
     // *accepted behavioural job* makes the 1-in-`period` sample
     // deterministic for a given seed, independent of batching.
     let mut audit_counter: u64 = 0;
+    // One batch buffer for the dispatcher's lifetime: `execute_batch`
+    // drains it in place, so the hot loop allocates nothing per
+    // iteration (the analyzer's hot-path-alloc rule keeps it that way).
+    let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
     loop {
-        let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
         inner.queue.drain_into(&mut batch, inner.max_batch);
         if batch.is_empty() {
             if inner.gate.quiescent() && inner.queue.is_empty() {
@@ -593,7 +596,7 @@ fn dispatch_loop(inner: &Inner) {
             std::thread::sleep(Duration::from_micros(20));
             continue;
         }
-        execute_batch(inner, batch, &mut audit_counter);
+        execute_batch(inner, &mut batch, &mut audit_counter);
     }
 }
 
@@ -619,8 +622,9 @@ fn kind_cost(kind: RequestKind, sense: Option<&SenseModel>, t_bank: f64) -> f64 
 
 /// Run one batch: plan per-bank work, execute on the configured tier,
 /// model the bank schedule, attribute energy, audit a sample, resolve
-/// tickets.
-fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
+/// tickets. Drains `jobs` in place so the dispatcher's batch buffer is
+/// reused across iterations.
+fn execute_batch(inner: &Inner, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
     let tracing = trace::level() != TraceLevel::Off;
     let _span = tracing.then(|| trace::span("serve.batch"));
     let backend = inner.backend();
@@ -654,7 +658,7 @@ fn execute_batch(inner: &Inner, jobs: Vec<Job>, audit_counter: &mut u64) {
     let now = Instant::now();
     let audit = backend.kind() == BackendKind::Behavioural && inner.audit_period > 0;
     let mut samples: Vec<ResponseSample> = Vec::with_capacity(jobs.len());
-    for (j, job) in jobs.into_iter().enumerate() {
+    for (j, job) in jobs.drain(..).enumerate() {
         let outcome = std::mem::replace(&mut outcomes[j], SearchOutcome::empty());
         let hits = std::mem::take(&mut all_hits[j]);
         let rows_searched = match job.shard {

@@ -17,10 +17,13 @@
 //!   strands an accepted request: once the dispatcher observes
 //!   quiescence, no request can have been accepted without also having
 //!   been completed.
+//! * [`Admission`] — the passthrough fast-flag and the bucket map stay
+//!   coherent: a finite bucket is never double-spent by racing admits,
+//!   and installing a policy is immediately visible to the installer.
 #![cfg(loom)]
 
 use ferrotcam_serve::queue::BoundedQueue;
-use ferrotcam_serve::DrainGate;
+use ferrotcam_serve::{Admission, AdmissionClass, DrainGate, RatePolicy};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::thread;
@@ -161,6 +164,61 @@ fn drain_retract_releases_quiescence() {
         assert!(
             gate.quiescent(),
             "retracted accept still counted against quiescence"
+        );
+    });
+}
+
+/// Two submitters race one tenant's burst-1 bucket: the token must be
+/// spent exactly once. A lost update inside the bucket map (or an
+/// admit sneaking down the passthrough fast path despite the finite
+/// default) would let both racing requests through.
+#[test]
+fn admission_burst_token_spent_exactly_once() {
+    loom::model(|| {
+        let t0 = std::time::Instant::now();
+        let adm = Arc::new(Admission::new(
+            RatePolicy::per_second(0.0, 1.0),
+            RatePolicy::unlimited(),
+        ));
+        let a2 = Arc::clone(&adm);
+        let t = thread::spawn(move || a2.admit(1, AdmissionClass::Exact, t0).is_ok());
+        let mine = adm.admit(1, AdmissionClass::Exact, t0).is_ok();
+        let theirs = t.join().unwrap();
+        assert!(
+            mine ^ theirs,
+            "burst-1 bucket admitted {} of 2 racing submits",
+            usize::from(mine) + usize::from(theirs)
+        );
+    });
+}
+
+/// The passthrough flip: `set_policy` stores the flag with `Release`
+/// *while still holding* the bucket lock, so the installer's own next
+/// admit — and, after a join, anyone else's — must consult the bucket
+/// it just installed. A racing admit may still ride the old fast path,
+/// but it can never observe `passthrough == false` without also seeing
+/// the bucket.
+#[test]
+fn admission_policy_install_is_immediately_enforced() {
+    loom::model(|| {
+        let t0 = std::time::Instant::now();
+        let adm = Arc::new(Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+        ));
+        let a2 = Arc::clone(&adm);
+        // A concurrent admit may win or lose the race with the install;
+        // either way it must not panic or corrupt the map.
+        let racer = thread::spawn(move || a2.admit(2, AdmissionClass::Exact, t0).is_ok());
+        adm.set_policy(2, RatePolicy::per_second(0.0, 0.0));
+        assert!(
+            adm.admit(2, AdmissionClass::Exact, t0).is_err(),
+            "installer's own admit bypassed the empty bucket it installed"
+        );
+        racer.join().unwrap();
+        assert!(
+            adm.admit(2, AdmissionClass::Exact, t0).is_err(),
+            "post-join admit bypassed the installed policy"
         );
     });
 }

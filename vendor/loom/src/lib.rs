@@ -599,6 +599,12 @@ pub mod sync {
                         self.v.fetch_or(val, SeqCst)
                     }
 
+                    /// Atomic maximum, returning the previous value.
+                    pub fn fetch_max(&self, val: $prim, _order: Ordering) -> $prim {
+                        crate::point();
+                        self.v.fetch_max(val, SeqCst)
+                    }
+
                     /// Atomic read-modify-write as one step (real loom
                     /// models the underlying CAS loop).
                     ///
@@ -624,6 +630,57 @@ pub mod sync {
         shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
         shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
         shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Model-checked boolean atomic (no arithmetic ops, so it lives
+        /// outside the integer shim macro); see the module docs.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            v: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// New atomic holding `v`.
+            #[must_use]
+            pub fn new(v: bool) -> Self {
+                Self {
+                    v: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Atomic load (scheduling point).
+            pub fn load(&self, _order: Ordering) -> bool {
+                crate::point();
+                self.v.load(SeqCst)
+            }
+
+            /// Atomic store (scheduling point).
+            pub fn store(&self, val: bool, _order: Ordering) {
+                crate::point();
+                self.v.store(val, SeqCst);
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+                crate::point();
+                self.v.swap(val, SeqCst)
+            }
+
+            /// Atomic compare-exchange (scheduling point).
+            ///
+            /// # Errors
+            /// Returns the observed value when it differs from
+            /// `current`.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::point();
+                self.v.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
     }
 }
 
