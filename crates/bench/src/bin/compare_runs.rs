@@ -64,7 +64,10 @@ struct BenchEntry {
 struct CurveEntry {
     id: String,
     achieved_qps: f64,
-    p99_ns: f64,
+    /// Absent when the point's window completed nothing — an empty
+    /// latency histogram has no p99 (serve-bench omits the field).
+    #[serde(default)]
+    p99_ns: Option<f64>,
     #[serde(default)]
     miscls: Option<f64>,
 }
@@ -170,7 +173,13 @@ fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
             continue;
         };
         let dq = pct(o.achieved_qps, n.achieved_qps);
-        let dl = pct(o.p99_ns, n.p99_ns);
+        // Latency gates only where both runs actually have a tail; an
+        // empty-window point (no completions, no histogram) is skipped
+        // rather than compared against an invented number.
+        let dl = match (o.p99_ns, n.p99_ns) {
+            (Some(op), Some(np)) => pct(op, np),
+            _ => 0.0,
+        };
         // Approximate-workload points also gate on the calibrated
         // misclassification probability: the sense model getting less
         // accurate is a regression even at equal throughput.
@@ -192,7 +201,12 @@ fn compare_curves(old: &[CurveEntry], new: &[CurveEntry], tol: f64) -> usize {
         };
         println!(
             "{:<28} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>+7.1}%{flag}",
-            o.id, o.achieved_qps, n.achieved_qps, o.p99_ns, n.p99_ns, dq
+            o.id,
+            o.achieved_qps,
+            n.achieved_qps,
+            o.p99_ns.unwrap_or(f64::NAN),
+            n.p99_ns.unwrap_or(f64::NAN),
+            dq
         );
     }
     for n in new {

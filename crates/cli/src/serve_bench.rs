@@ -26,6 +26,16 @@
 //! curves carry the sense-model's calibrated misclassification
 //! probability (`miscls`), which `compare_runs --bench` gates on.
 //!
+//! With `--workload mixed` (also part of `both`) the open loop offers a
+//! live read/write mix — 90% key-routed exact searches, 8% updates, 1%
+//! inserts, 1% deletes — against both tiers, exercising the
+//! copy-on-write snapshot path under churn. Writes are priced by the
+//! calibrated 3-step program; the behavioural tier's audit lane replays
+//! sampled searches against the same captured snapshot, so any torn
+//! word a write exposed would surface as a divergence. Smoke runs gate
+//! on a divergence-free lane and on the behavioural tier sustaining
+//! ≥ 100k searches/s at the reference shape under the 10% write mix.
+//!
 //! Energy/latency attribution is calibrated from the SPICE datasheets
 //! in the results directory (`table4.json`, `fig7_*.csv`, Fig. 4 miss
 //! curves) via [`Calibration::load`]; `--characterize` runs a live
@@ -39,7 +49,7 @@
 //! hard failures.
 
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{Calibration, DesignKind, PackedQuery, SenseModel, TernaryWord};
+use ferrotcam::{Calibration, DesignKind, PackedQuery, RowWriteMetrics, SenseModel, TernaryWord};
 use ferrotcam_eval::parasitics::row_parasitics;
 use ferrotcam_eval::tech::tech_14nm;
 use ferrotcam_serve::{
@@ -60,9 +70,14 @@ struct CurvePoint {
     rows: usize,
     offered_qps: Option<f64>,
     achieved_qps: f64,
-    p50_ns: f64,
-    p95_ns: f64,
-    p99_ns: f64,
+    /// Latency percentiles are absent when the run completed nothing
+    /// inside the measured window (an empty histogram has no quantile).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p50_ns: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p95_ns: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p99_ns: Option<f64>,
     shed: u64,
     max_queue_depth: usize,
     step1_early_termination_rate: f64,
@@ -72,6 +87,15 @@ struct CurvePoint {
     /// workloads only).
     #[serde(skip_serializing_if = "Option::is_none")]
     miscls: Option<f64>,
+    /// Completed write (insert/update/delete) rate, mixed workload only.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    write_qps: Option<f64>,
+}
+
+/// Render an optional nanosecond percentile in microseconds for the
+/// console (NaN marks an empty histogram).
+fn us(v: Option<f64>) -> f64 {
+    v.map_or(f64::NAN, |ns| ns / 1e3)
 }
 
 /// The `BENCH_serve.json` artefact.
@@ -88,17 +112,23 @@ enum Workload {
     Exact,
     /// Approximate kinds only: threshold, top-k, range.
     Approx,
-    /// Both mixes, back to back.
+    /// Live read/write mix: 90% routed searches, 10% online writes.
+    Mixed,
+    /// Every mix, back to back.
     Both,
 }
 
 impl Workload {
     fn includes_exact(self) -> bool {
-        self != Self::Approx
+        matches!(self, Self::Exact | Self::Both)
     }
 
     fn includes_approx(self) -> bool {
-        self != Self::Exact
+        matches!(self, Self::Approx | Self::Both)
+    }
+
+    fn includes_mixed(self) -> bool {
+        matches!(self, Self::Mixed | Self::Both)
     }
 }
 
@@ -195,9 +225,10 @@ fn parse_opts(
             }
             "--characterize" => o.characterize = Some(parse_design(next("a design")?)?),
             "--workload" => {
-                explicit_workload = Some(match next("exact|approx|both")? {
+                explicit_workload = Some(match next("exact|approx|mixed|both")? {
                     "exact" => Workload::Exact,
                     "approx" => Workload::Approx,
+                    "mixed" => Workload::Mixed,
                     "both" => Workload::Both,
                     other => return Err(format!("--workload: unknown mix {other:?}")),
                 });
@@ -305,6 +336,7 @@ fn curve_point(
             m.energy_total_j / m.completed as f64 * 1e15
         },
         miscls: None,
+        write_qps: None,
     }
 }
 
@@ -399,7 +431,7 @@ fn open_loop(
             // overload: per-query work is one shard's rows, and the
             // fan-out (whole-table) form is covered by the closed
             // loop's latency points.
-            let shard = Some(client.table().route_packed(&q));
+            let shard = Some(client.route_packed(&q));
             match client.submit_noreply_kind(0, q, kind, shard) {
                 Ok(()) => {}
                 Err(Overloaded::QueueFull) => {} // counted by the service
@@ -427,7 +459,11 @@ fn energy_audit(
     let mut worst = 0.0f64;
     for _ in 0..64 {
         let q = random_query(&mut state, opts.width);
-        let resp = client.submit_routed(0, q).expect("idle service").wait();
+        let resp = client
+            .submit_routed(0, q)
+            .expect("idle service")
+            .wait()
+            .expect("no deadline configured");
         let total = resp.matches.len() + resp.step1_misses + resp.step2_misses;
         if total == 0 {
             continue;
@@ -468,8 +504,8 @@ fn run_backend(
         let (qps, m) = closed_loop(table, opts, backend, RequestKind::Exact, 2, opts.secs);
         println!(
             "  [{tag}] closed  shards={shards:<2} {qps:>10.0} qps   p50 {:>8.1} us   p99 {:>8.1} us",
-            m.wall_latency_ns.p50 / 1e3,
-            m.wall_latency_ns.p99 / 1e3
+            us(m.wall_latency_ns.p50),
+            us(m.wall_latency_ns.p99)
         );
         capacities.push(qps);
         curves.push(curve_point(
@@ -593,7 +629,7 @@ fn run_approx_backend(
         let (closed_qps, m_closed) = closed_loop(table, opts, backend, kind, 2, opts.secs);
         println!(
             "  [{tag}] approx  {ktag:<9} closed {closed_qps:>9.0} qps   p99 {:>8.1} us",
-            m_closed.wall_latency_ns.p99 / 1e3
+            us(m_closed.wall_latency_ns.p99)
         );
         let mut point = curve_point(
             format!("closed_approx_{ktag}_shards{shards}_{tag}"),
@@ -681,6 +717,162 @@ fn check_approx_backend(opts: &Opts, run: &ApproxRun, report: &mut String) {
     }
 }
 
+/// Everything one backend's mixed read/write sweep produced.
+struct MixedRun {
+    backend: BackendKind,
+    search_qps: f64,
+    write_qps: f64,
+    m: ServiceMetrics,
+}
+
+/// Open-loop mixed read/write point at the largest shard count: 90%
+/// key-routed exact searches, 8% updates, 1% inserts, 1% deletes, all
+/// fire-and-forget. Writes address rows by a locally tracked
+/// (approximate) table size — a stale index past the end is an
+/// `OutOfRange` no-op ack, exactly what a racing real client produces —
+/// and are priced by the calibrated 3-step program.
+fn run_mixed_backend(
+    opts: &Opts,
+    backend: BackendKind,
+    metrics: &SearchMetrics,
+    write_metrics: RowWriteMetrics,
+    curves: &mut Vec<CurvePoint>,
+) -> MixedRun {
+    let tag = backend.tag();
+    let &shards = opts.shards.iter().max().expect("non-empty");
+    let mut table = build_table(opts, shards, metrics);
+    table.attach_write_metrics(write_metrics);
+    // Offer enough that the behavioural tier proves its search floor
+    // under churn; the row-serial reference tier gets a load it sheds
+    // most of (its point documents bounded shedding, not rate).
+    let offered = match backend {
+        BackendKind::Spice => 30_000.0,
+        BackendKind::Behavioural => 1.2e6,
+    };
+    let cfg = ServiceConfig {
+        queue_capacity: match backend {
+            BackendKind::Spice => 256,
+            BackendKind::Behavioural => 16 * 1024,
+        },
+        ..service_config(backend, opts)
+    };
+    let svc = TcamService::start(table, &cfg);
+    let client = svc.client();
+    let mut state = opts.seed ^ 0x3317_ED00;
+    let mut approx_rows = opts.rows;
+    let started = Instant::now();
+    let horizon = Duration::from_secs_f64(opts.secs.max(0.5));
+    let mut next_arrival = 0.0f64;
+    loop {
+        let now = started.elapsed();
+        if now >= horizon {
+            break;
+        }
+        while next_arrival <= now.as_secs_f64() {
+            let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered;
+            let pick = split_mix64(&mut state) % 100;
+            let res = if pick < 90 {
+                let q = random_packed(&mut state, opts.width);
+                let shard = Some(client.route_packed(&q));
+                client.submit_noreply_kind(0, q, RequestKind::Exact, shard)
+            } else if pick < 98 {
+                let row = split_mix64(&mut state) as usize % approx_rows.max(1);
+                let bits = random_packed(&mut state, opts.width).to_bits();
+                client.submit_update_noreply(1, row, TernaryWord::from_bits(&bits))
+            } else if pick < 99 {
+                let bits = random_packed(&mut state, opts.width).to_bits();
+                let r = client.submit_insert_noreply(1, TernaryWord::from_bits(&bits));
+                if r.is_ok() {
+                    approx_rows += 1;
+                }
+                r
+            } else {
+                let row = split_mix64(&mut state) as usize % approx_rows.max(1);
+                let r = client.submit_delete_noreply(1, row);
+                if r.is_ok() {
+                    approx_rows = approx_rows.saturating_sub(1).max(1);
+                }
+                r
+            };
+            match res {
+                Ok(()) | Err(Overloaded::QueueFull) => {}
+                Err(e) => panic!("unexpected shed: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let m = svc.drain();
+    let elapsed = started.elapsed().as_secs_f64();
+    let search_qps = m.completed_by_kind.exact as f64 / elapsed;
+    let writes =
+        m.completed_by_kind.insert + m.completed_by_kind.delete + m.completed_by_kind.update;
+    let write_qps = writes as f64 / elapsed;
+    println!(
+        "  [{tag}] mixed   shards={shards:<2} offered {offered:>9.0} qps -> {search_qps:>9.0} searches/s + {write_qps:>7.0} writes/s, audit {} sampled / {} divergent",
+        m.audit_sampled,
+        m.audit_match_divergences + m.audit_energy_divergences
+    );
+    let mut point = curve_point(
+        format!("mixed_open_shards{shards}_{tag}"),
+        "open",
+        Some(offered),
+        search_qps,
+        &PointCtx {
+            backend,
+            shards,
+            rows: opts.rows,
+            m: &m,
+        },
+    );
+    point.write_qps = Some(write_qps);
+    curves.push(point);
+    MixedRun {
+        backend,
+        search_qps,
+        write_qps,
+        m,
+    }
+}
+
+/// Check one backend's mixed-sweep invariants: writes landed, the
+/// audit lane — which replays sampled searches against the very
+/// snapshot the kernel answered from — saw zero divergences (the
+/// torn-word gate), and the behavioural tier held the reference-shape
+/// search floor under the 10% write mix.
+fn check_mixed_backend(opts: &Opts, run: &MixedRun, report: &mut String) {
+    let tag = run.backend.tag();
+    let m = &run.m;
+    if m.completed_by_kind.exact == 0 {
+        let _ = writeln!(report, "[{tag}] mixed: no searches completed");
+    }
+    if run.write_qps <= 0.0 {
+        let _ = writeln!(report, "[{tag}] mixed: no writes completed");
+    }
+    if run.backend == BackendKind::Behavioural {
+        if m.audit_sampled == 0 && opts.audit_period > 0 {
+            let _ = writeln!(
+                report,
+                "[{tag}] mixed: audit lane sampled nothing under writes"
+            );
+        }
+        if m.audit_match_divergences > 0 || m.audit_energy_divergences > 0 {
+            let _ = writeln!(
+                report,
+                "[{tag}] mixed: torn-word gate tripped — {} match / {} energy audit divergences under live writes",
+                m.audit_match_divergences, m.audit_energy_divergences
+            );
+        }
+        if opts.rows >= 16384 && run.search_qps < 1e5 {
+            let _ = writeln!(
+                report,
+                "[{tag}] mixed: searches sustained only {:.0}/s (< 100k at {} rows under 10% writes)",
+                run.search_qps, opts.rows
+            );
+        }
+    }
+}
+
 /// Check one backend's invariants, appending failures to `report`.
 fn check_backend(run: &BackendRun, report: &mut String) {
     let tag = run.backend.tag();
@@ -760,7 +952,7 @@ pub fn run(
 ) -> Result<(), String> {
     let opts = parse_opts(args, parse_design)?;
     let dir = std::env::var("FERROTCAM_RESULTS").unwrap_or_else(|_| "results".into());
-    let metrics = match opts.characterize {
+    let (metrics, write_metrics) = match opts.characterize {
         Some(design) => {
             println!(
                 "characterising {} at {} cells (SPICE)...",
@@ -768,8 +960,16 @@ pub fn run(
                 opts.width
             );
             let tech = tech_14nm();
-            ferrotcam::fom::characterize_search(design, opts.width, row_parasitics(design, &tech))
-                .map_err(|e| format!("characterisation failed: {e}"))?
+            let m = ferrotcam::fom::characterize_search(
+                design,
+                opts.width,
+                row_parasitics(design, &tech),
+            )
+            .map_err(|e| format!("characterisation failed: {e}"))?;
+            // The search characterisation does not produce write-path
+            // figures; price writes from the paper's program staircase.
+            let wm = Calibration::paper_defaults(design).write_metrics(opts.width);
+            (m, wm)
         }
         None => {
             let calib = Calibration::load(std::path::Path::new(&dir), DesignKind::T15Dg);
@@ -781,7 +981,10 @@ pub fn run(
                     println!("  - {s}");
                 }
             }
-            calib.search_metrics(opts.width)
+            (
+                calib.search_metrics(opts.width),
+                calib.write_metrics(opts.width),
+            )
         }
     };
     println!(
@@ -812,6 +1015,14 @@ pub fn run(
     } else {
         Vec::new()
     };
+    let mixed_runs: Vec<MixedRun> = if opts.workload.includes_mixed() {
+        opts.backends
+            .iter()
+            .map(|&b| run_mixed_backend(&opts, b, &metrics, write_metrics, &mut curves))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- Artefact ----------------------------------------------------------
     let file = ServeBenchFile {
@@ -831,6 +1042,9 @@ pub fn run(
     }
     for run in &approx_runs {
         check_approx_backend(&opts, run, &mut report);
+    }
+    for run in &mixed_runs {
+        check_mixed_backend(&opts, run, &mut report);
     }
     // The whole point of the tiered backend: under open-loop load the
     // bit-parallel tier must decisively outrun the reference tier.

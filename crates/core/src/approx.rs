@@ -241,6 +241,80 @@ pub fn merge_top_k(lists: &[Vec<ApproxHit>], k: usize) -> Vec<ApproxHit> {
     all
 }
 
+/// [`top_k`] over a table stored as discontiguous row chunks (the
+/// serving layer's copy-on-write row blocks): one bounded max-heap and
+/// one distance bound survive across every chunk, so the selection
+/// prunes exactly as hard as a contiguous scan. Per-chunk [`top_k`]
+/// plus [`merge_top_k`] computes the same answer but re-learns the
+/// bound from scratch inside every chunk, which costs several times
+/// more heap traffic on block-sized chunks. Each item is
+/// `(base, rows)`; hit rows are emitted as `base + local`. Chunks must
+/// arrive in ascending row order for the `(distance, row)` tie-break
+/// to match a contiguous [`top_k`] over the concatenation.
+///
+/// # Panics
+/// Panics if any chunk's width mismatches the query's.
+#[must_use]
+pub fn top_k_chunked<'a, I>(chunks: I, q: &PackedQuery, k: usize) -> Vec<ApproxHit>
+where
+    I: IntoIterator<Item = (usize, &'a PackedRows)>,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<ApproxHit> = BinaryHeap::with_capacity(k + 1);
+    let mut bound = u32::MAX;
+    let offer = |heap: &mut BinaryHeap<ApproxHit>, bound: &mut u32, hit: ApproxHit| {
+        if heap.len() < k {
+            heap.push(hit);
+        } else if hit < *heap.peek().expect("heap is non-empty at capacity") {
+            heap.pop();
+            heap.push(hit);
+        } else {
+            return;
+        }
+        if heap.len() == k {
+            *bound = heap.peek().expect("heap holds k hits").distance;
+        }
+    };
+    for (chunk_base, rows) in chunks {
+        assert_eq!(q.width(), rows.width(), "query width mismatch");
+        if rows.wpr == 1 {
+            let qh = q.word(0);
+            let blocks = rows.value.chunks(64).zip(rows.care.chunks(64));
+            for (block, (vs, cs)) in blocks.enumerate() {
+                let mut mask = block_candidates(qh, vs, cs, bound);
+                if mask == 0 {
+                    continue;
+                }
+                let base = chunk_base + block * 64;
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let hit = ApproxHit {
+                        row: base + i,
+                        distance: ((qh ^ vs[i]) & cs[i]).count_ones(),
+                    };
+                    offer(&mut heap, &mut bound, hit);
+                }
+            }
+        } else {
+            for row in 0..rows.rows() {
+                let hit = ApproxHit {
+                    row: chunk_base + row,
+                    distance: row_distance(rows, row, q),
+                };
+                if hit.distance < bound || heap.len() < k {
+                    offer(&mut heap, &mut bound, hit);
+                }
+            }
+        }
+    }
+    let mut hits = heap.into_vec();
+    hits.sort_unstable();
+    hits
+}
+
 /// Swap the two bits of every 2-bit lane of a packed word, converting
 /// between digit order (even digit at the lane's low bit) and level
 /// order (digit `2j` is the *high* bit of level `j`).

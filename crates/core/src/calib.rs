@@ -48,6 +48,9 @@ pub struct Calibration {
     pub energy_1step_per_cell: f64,
     /// Per-cell full two-step row energy at the anchor (J).
     pub energy_2step_per_cell: f64,
+    /// Per-cell 3-step program (write) energy (J), from Table IV's
+    /// write staircase. Prices online `Insert`/`Update`/`Delete`.
+    pub write_energy_per_cell: f64,
     /// Fig. 7 per-cell average-energy scaling curve (fJ vs word length).
     pub energy_curve: Curve,
     /// Fig. 7 search-latency scaling curve (ps vs word length).
@@ -82,6 +85,7 @@ impl Calibration {
             latency_2step: 481e-12,
             energy_1step_per_cell: 0.13e-15,
             energy_2step_per_cell: 0.21e-15,
+            write_energy_per_cell: 0.3816e-15,
             energy_curve: Vec::new(),
             latency_curve: Vec::new(),
             step1_sense: None,
@@ -107,6 +111,9 @@ impl Calibration {
             cal.latency_2step = row.latency_ps * 1e-12;
             cal.energy_1step_per_cell = row.energy_1step_fj * 1e-15;
             cal.energy_2step_per_cell = row.energy_2step_fj.unwrap_or(row.energy_1step_fj) * 1e-15;
+            if let Some(w) = row.write_energy_fj {
+                cal.write_energy_per_cell = w * 1e-15;
+            }
             cal.sources.push(table4.display().to_string());
         }
         for (file, slot) in [
@@ -184,6 +191,40 @@ impl Calibration {
             energy_2step: Some(self.energy_2step_per_cell * width as f64 * e_scale),
         }
     }
+
+    /// Price one online row write: every cell of the row sees the full
+    /// 3-step program (erase / set / release), so energy is linear in
+    /// the word length and latency is the fixed program schedule from
+    /// [`crate::write_array::program_duration`].
+    #[must_use]
+    pub fn write_metrics(&self, width: usize) -> RowWriteMetrics {
+        RowWriteMetrics {
+            design: self.design,
+            word_len: width,
+            energy_per_cell: self.write_energy_per_cell,
+            energy: self.write_energy_per_cell * width as f64,
+            latency: crate::write_array::program_duration(),
+        }
+    }
+}
+
+/// Calibrated cost of programming one row online (the serving layer's
+/// `Insert`/`Update`/`Delete` pricing), derived from Table IV's write
+/// staircase plus the 3-step program schedule. Distinct from the
+/// cell-level [`crate::fom::WriteMetrics`], which characterises single
+/// device writes in SPICE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowWriteMetrics {
+    /// Design the figures describe.
+    pub design: DesignKind,
+    /// Row width the energy was scaled to.
+    pub word_len: usize,
+    /// Per-cell program energy (J).
+    pub energy_per_cell: f64,
+    /// Whole-row program energy (J): `word_len × energy_per_cell`.
+    pub energy: f64,
+    /// Program latency (s): the complete 3-step waveform.
+    pub latency: f64,
 }
 
 /// One point of the SPICE-measured sense-time curve: how fast the
@@ -428,6 +469,7 @@ struct Table4Row {
     latency_ps: f64,
     energy_1step_fj: f64,
     energy_2step_fj: Option<f64>,
+    write_energy_fj: Option<f64>,
 }
 
 /// Pull one design's row out of `table4.json` without depending on the
@@ -443,6 +485,7 @@ fn parse_table4(text: &str, design_name: &str) -> Option<Table4Row> {
         latency_ps: num("latency_ps")?,
         energy_1step_fj: num("energy_1step_fj")?,
         energy_2step_fj: num("energy_2step_fj"),
+        write_energy_fj: num("write_energy_fj"),
     })
 }
 
@@ -549,6 +592,17 @@ mod tests {
         let m = cal.search_metrics(64);
         assert!((m.energy_1step - 0.13e-15 * 64.0).abs() < 1e-30);
         assert_eq!(m.word_len, 64);
+    }
+
+    #[test]
+    fn write_metrics_price_the_3step_program() {
+        let cal = Calibration::paper_defaults(DesignKind::T15Dg);
+        let w = cal.write_metrics(64);
+        assert!((w.energy - 64.0 * cal.write_energy_per_cell).abs() < 1e-28);
+        assert!((w.energy_per_cell - 0.3816e-15).abs() < 1e-30);
+        assert!((w.latency - crate::write_array::program_duration()).abs() < 1e-18);
+        // Two 0.4 ns phase windows plus inter-phase gap and settle.
+        assert!(w.latency > 1.0e-9 && w.latency < 1.5e-9);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use approx::{
 };
 pub use array::{build_search_row, SearchRun, SearchSim};
 pub use behav::{BehavioralTcam, SearchOutcome};
-pub use calib::{Calibration, MisclassPoint, SenseModel, SensePoint};
+pub use calib::{Calibration, MisclassPoint, RowWriteMetrics, SenseModel, SensePoint};
 pub use cell::{DesignKind, DesignParams, RowParasitics, SearchTiming};
 pub use fom::{characterize_search, characterize_write, SearchMetrics, WriteMetrics};
 pub use full_array::{
@@ -61,7 +61,9 @@ pub use mlc::{MlcDigit, MlcTcam};
 pub use packed::{BitSlices, PackedQuery, PackedRows, STEP1_MASK, STEP2_MASK};
 pub use table_io::{load_table, parse_table, render_table, save_table};
 pub use ternary::{Ternary, TernaryWord};
-pub use write_array::{build_array_write, simulate_array_write, ArrayWriteResult};
+pub use write_array::{
+    build_array_write, program_duration, simulate_array_write, ArrayWriteResult,
+};
 
 /// Crate-level result alias (errors come from the simulation substrate).
 pub type Result<T> = ferrotcam_spice::Result<T>;

@@ -208,6 +208,52 @@ impl PackedRows {
         self.rows += 1;
     }
 
+    /// Overwrite row `row` in place with `word`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or an out-of-range row.
+    pub fn write_row(&mut self, row: usize, word: &TernaryWord) {
+        assert!(row < self.rows, "row {row} out of range");
+        assert_eq!(word.len(), self.width, "row width mismatch");
+        let base = row * self.wpr;
+        for w in 0..self.wpr {
+            self.value[base + w] = 0;
+            self.care[base + w] = 0;
+        }
+        for (i, &d) in word.digits().iter().enumerate() {
+            let (w, bit) = (i / 64, 1u64 << (i % 64));
+            match d {
+                Ternary::One => {
+                    self.value[base + w] |= bit;
+                    self.care[base + w] |= bit;
+                }
+                Ternary::Zero => self.care[base + w] |= bit,
+                Ternary::X => {}
+            }
+        }
+    }
+
+    /// Remove row `row` by moving the last row into its slot (O(1) in
+    /// rows; the moved row changes id, which callers surface as the
+    /// slot-reuse semantics of a delete).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range row.
+    pub fn swap_remove_row(&mut self, row: usize) {
+        assert!(row < self.rows, "row {row} out of range");
+        let last = self.rows - 1;
+        if row != last {
+            let (lb, rb) = (last * self.wpr, row * self.wpr);
+            for w in 0..self.wpr {
+                self.value[rb + w] = self.value[lb + w];
+                self.care[rb + w] = self.care[lb + w];
+            }
+        }
+        self.value.truncate(last * self.wpr);
+        self.care.truncate(last * self.wpr);
+        self.rows = last;
+    }
+
     /// Stored row count.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -230,6 +276,30 @@ impl PackedRows {
     #[must_use]
     pub fn words_per_row(&self) -> usize {
         self.wpr
+    }
+
+    /// Reconstruct row `row` as a ternary word: `X` where the care bit
+    /// is clear, else the value bit. Inverse of [`PackedRows::push`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range row.
+    #[must_use]
+    pub fn row_word(&self, row: usize) -> TernaryWord {
+        assert!(row < self.rows, "row {row} out of range");
+        let base = row * self.wpr;
+        let digits = (0..self.width)
+            .map(|i| {
+                let (w, bit) = (i / 64, 1u64 << (i % 64));
+                if self.care[base + w] & bit == 0 {
+                    Ternary::X
+                } else if self.value[base + w] & bit != 0 {
+                    Ternary::One
+                } else {
+                    Ternary::Zero
+                }
+            })
+            .collect();
+        TernaryWord::new(digits)
     }
 
     /// Step-classification of one row against a query:
@@ -342,6 +412,104 @@ impl BitSlices {
     #[must_use]
     pub fn width(&self) -> usize {
         self.packed.width()
+    }
+
+    /// Clear row `r`'s bit from every plane of its block.
+    fn clear_row_planes(&mut self, r: usize) {
+        let width = self.packed.width();
+        let per_block = width * 2 * WPB;
+        let b = r / ROWS_PER_BLOCK;
+        let w = (r / 64) % WPB;
+        let bit = 1u64 << (r % 64);
+        for d in 0..width {
+            let slot = if d % 2 == 0 {
+                d / 2
+            } else {
+                self.evens + d / 2
+            };
+            let pbase = b * per_block + slot * 2 * WPB + w;
+            self.planes[pbase] &= !bit;
+            self.planes[pbase + WPB] &= !bit;
+        }
+    }
+
+    /// Set row `r`'s plane bits from its current packed digits (the
+    /// per-row body of [`BitSlices::build`]).
+    fn set_row_planes(&mut self, r: usize) {
+        let width = self.packed.width();
+        let per_block = width * 2 * WPB;
+        let b = r / ROWS_PER_BLOCK;
+        let w = (r / 64) % WPB;
+        let bit = 1u64 << (r % 64);
+        let rbase = r * self.packed.words_per_row();
+        for d in 0..width {
+            let care = (self.packed.care[rbase + d / 64] >> (d % 64)) & 1 == 1;
+            let val = (self.packed.value[rbase + d / 64] >> (d % 64)) & 1 == 1;
+            let slot = if d % 2 == 0 {
+                d / 2
+            } else {
+                self.evens + d / 2
+            };
+            let pbase = b * per_block + slot * 2 * WPB + w;
+            if !care || !val {
+                self.planes[pbase] |= bit;
+            }
+            if !care || val {
+                self.planes[pbase + WPB] |= bit;
+            }
+        }
+    }
+
+    /// Overwrite row `row` (packed words and plane bits) in place.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or an out-of-range row.
+    pub fn write_row(&mut self, row: usize, word: &TernaryWord) {
+        self.packed.write_row(row, word);
+        self.clear_row_planes(row);
+        self.set_row_planes(row);
+    }
+
+    /// Append one row, growing a fresh plane block when the last one
+    /// is full.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push_row(&mut self, word: &TernaryWord) {
+        let r = self.packed.rows();
+        self.packed.push(word);
+        if r / ROWS_PER_BLOCK >= self.blocks {
+            let per_block = self.packed.width() * 2 * WPB;
+            self.blocks += 1;
+            self.planes.resize(self.blocks * per_block, 0);
+        }
+        self.set_row_planes(r);
+    }
+
+    /// Remove row `row` by moving the last row into its slot, keeping
+    /// planes and packed words in lockstep and dropping a trailing
+    /// plane block once it empties.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range row.
+    pub fn swap_remove_row(&mut self, row: usize) {
+        let rows = self.packed.rows();
+        assert!(row < rows, "row {row} out of range");
+        let last = rows - 1;
+        self.clear_row_planes(last);
+        if row != last {
+            self.clear_row_planes(row);
+        }
+        self.packed.swap_remove_row(row);
+        if row != last {
+            self.set_row_planes(row);
+        }
+        let need = self.packed.rows().div_ceil(ROWS_PER_BLOCK);
+        if need < self.blocks {
+            let per_block = self.packed.width() * 2 * WPB;
+            self.blocks = need;
+            self.planes.truncate(need * per_block);
+        }
     }
 
     /// Early-terminating two-step search, bit-identical to
@@ -543,6 +711,74 @@ mod tests {
         nil.store(TernaryWord::from_bits(&[]));
         nil.store(TernaryWord::from_bits(&[]));
         assert_equivalent(&nil, &[]);
+    }
+
+    #[test]
+    fn mutations_match_a_fresh_rebuild() {
+        // write_row / push_row / swap_remove_row keep packed words and
+        // plane bits identical to rebuilding from the mutated rows,
+        // including across the 512-row block boundary (grow + shrink).
+        let width = 33;
+        let word_at = |seed: u64| -> TernaryWord {
+            query_bits(width, seed)
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| {
+                    if (i as u64 + seed).is_multiple_of(5) {
+                        Ternary::X
+                    } else if b {
+                        Ternary::One
+                    } else {
+                        Ternary::Zero
+                    }
+                })
+                .collect()
+        };
+        let mut mirror: Vec<TernaryWord> =
+            (0..ROWS_PER_BLOCK - 1).map(|r| word_at(r as u64)).collect();
+        let mut t = BehavioralTcam::new(width);
+        for w in &mirror {
+            t.store(w.clone());
+        }
+        let mut live = BitSlices::from_tcam(&t);
+
+        let check = |live: &BitSlices, mirror: &[TernaryWord]| {
+            let mut fresh = PackedRows::new(width);
+            for w in mirror {
+                fresh.push(w);
+            }
+            assert_eq!(live.packed().value, fresh.value, "value planes");
+            assert_eq!(live.packed().care, fresh.care, "care planes");
+            let rebuilt = BitSlices::build(fresh);
+            for seed in 0..6u64 {
+                let q = PackedQuery::from_bits(&query_bits(width, seed.wrapping_mul(0x9E37)));
+                assert_eq!(live.search(&q), rebuilt.search(&q), "seed {seed}");
+            }
+        };
+
+        // Overwrite rows at the front, middle and near the boundary.
+        for (r, seed) in [(0usize, 900u64), (250, 901), (ROWS_PER_BLOCK - 2, 902)] {
+            let w = word_at(seed);
+            live.write_row(r, &w);
+            mirror[r] = w;
+        }
+        check(&live, &mirror);
+        // Push across the block boundary into a second block.
+        for seed in 1000..1003u64 {
+            let w = word_at(seed);
+            live.push_row(&w);
+            mirror.push(w);
+        }
+        assert_eq!(live.rows(), ROWS_PER_BLOCK + 2);
+        check(&live, &mirror);
+        // Swap-remove from the middle (moves the last row down) and
+        // then shrink back below the boundary, dropping a block.
+        for r in [100usize, ROWS_PER_BLOCK, 0] {
+            live.swap_remove_row(r);
+            mirror.swap_remove(r);
+        }
+        assert_eq!(live.rows(), ROWS_PER_BLOCK - 1);
+        check(&live, &mirror);
     }
 
     #[test]

@@ -57,6 +57,15 @@ fn phase_window(phase: usize) -> (f64, f64) {
     (start, start + T_PHASE)
 }
 
+/// Duration (s) of the complete 3-step program: the erase and set
+/// phase windows plus the trailing release/settle the transient runs
+/// to. This is the per-row write latency the serving layer attributes
+/// to online `Insert`/`Update`/`Delete` requests (`calib::WriteMetrics`).
+#[must_use]
+pub fn program_duration() -> f64 {
+    phase_window(1).1 + 0.2e-9
+}
+
 fn two_phase_wave(v_erase: f64, v_set: f64) -> Waveform {
     let (e0, e1) = phase_window(0);
     let (s0, s1) = phase_window(1);
@@ -169,7 +178,7 @@ pub fn simulate_array_write(
     let cols = word.len();
     let mut ckt = build_array_write(params, initial, target_row, word)?;
 
-    let t_stop = phase_window(1).1 + 0.2e-9;
+    let t_stop = program_duration();
     let mut opts = TranOpts::to_time(t_stop);
     opts.dt_max = 10e-12;
     for r in 0..rows {

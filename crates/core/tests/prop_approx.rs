@@ -109,6 +109,34 @@ proptest! {
     }
 
     #[test]
+    fn top_k_chunked_equals_contiguous_top_k(
+        (width, rows, query) in corpus_and_query(),
+        k in 0usize..12,
+        chunk in 1usize..7,
+    ) {
+        let (reference, packed) = build(width, &rows);
+        let q = PackedQuery::from_bits(&query);
+        // Split the corpus into `chunk`-row pieces, as the serving
+        // layer's copy-on-write row blocks do, and check the shared
+        // cross-chunk bound changes nothing about the answer — hits,
+        // distances, and (distance, row) tie order alike.
+        let all = reference.rows();
+        let mut chunks: Vec<(usize, PackedRows)> = Vec::new();
+        let mut base = 0usize;
+        while base < all.len() {
+            let end = (base + chunk).min(all.len());
+            let mut t = BehavioralTcam::new(width);
+            for w in &all[base..end] {
+                t.store(w.clone());
+            }
+            chunks.push((base, PackedRows::from_tcam(&t)));
+            base = end;
+        }
+        let got = approx::top_k_chunked(chunks.iter().map(|(b, p)| (*b, p)), &q, k);
+        prop_assert_eq!(got, approx::top_k(&packed, &q, k));
+    }
+
+    #[test]
     fn sharded_top_k_merge_is_global(
         (width, rows, query) in corpus_and_query(),
         k in 1usize..8,
@@ -132,6 +160,57 @@ proptest! {
                 .map(|h| ApproxHit { row: globals[h.row], distance: h.distance })
                 .collect();
             locals.push(local);
+        }
+        prop_assert_eq!(approx::merge_top_k(&locals, k), approx::top_k(&packed, &q, k));
+    }
+
+    #[test]
+    fn forced_tie_sharded_merge_matches_unsharded_top_k(
+        width in prop_oneof![Just(8usize), Just(64)],
+        pattern_picks in proptest::collection::vec(0usize..3, 4..48),
+        k in 1usize..10,
+        shards in prop_oneof![Just(2usize), Just(4)],
+        seed in any::<u64>(),
+    ) {
+        // Corpus drawn from a 3-pattern alphabet, so by pigeonhole the
+        // distance multiset always collides: the (distance, row)
+        // tie-break must act on *global* slot ids after the shard
+        // merge, or sharded top-k diverges from the single-table
+        // oracle exactly on these ties.
+        let mut state = seed;
+        let query: Vec<bool> =
+            (0..width).map(|_| rand::split_mix64(&mut state) & 1 == 1).collect();
+        let patterns: Vec<Vec<Ternary>> = (0..3).map(|p| {
+            (0..width).map(|i| match (i + p) % 3 {
+                0 => Ternary::X,
+                1 => Ternary::One,
+                _ => Ternary::Zero,
+            }).collect()
+        }).collect();
+        let rows: Vec<Vec<Ternary>> =
+            pattern_picks.iter().map(|&p| patterns[p].clone()).collect();
+        let (reference, packed) = build(width, &rows);
+        let q = PackedQuery::from_bits(&query);
+        // The tie premise really holds: some two rows are equidistant.
+        let dists: Vec<u32> =
+            (0..packed.rows()).map(|r| approx::row_distance(&packed, r, &q)).collect();
+        prop_assert!(
+            dists.iter().any(|d| dists.iter().filter(|&x| x == d).count() > 1),
+            "alphabet corpus must force a distance tie"
+        );
+        let mut locals: Vec<Vec<ApproxHit>> = Vec::new();
+        for s in 0..shards {
+            // The serve layer's row interleave: global = local·n + s.
+            let mut shard = PackedRows::new(width);
+            let globals: Vec<usize> =
+                (0..reference.len()).filter(|r| r % shards == s).collect();
+            for &g in &globals {
+                shard.push(reference.row(g).expect("row exists"));
+            }
+            locals.push(approx::top_k(&shard, &q, k)
+                .into_iter()
+                .map(|h| ApproxHit { row: globals[h.row], distance: h.distance })
+                .collect());
         }
         prop_assert_eq!(approx::merge_top_k(&locals, k), approx::top_k(&packed, &q, k));
     }

@@ -5,7 +5,7 @@
 
 use ferrotcam::{Calibration, DesignKind, PackedQuery, TernaryWord};
 use ferrotcam_serve::{
-    BatchSpec, BehaviouralBackend, ExecBackend, RequestKind, ServiceConfig, ShardedTcam,
+    BatchSpec, BehaviouralBackend, ExecBackend, LiveTable, RequestKind, ServiceConfig, ShardedTcam,
     TcamService,
 };
 use std::time::{Duration, Instant};
@@ -35,7 +35,8 @@ fn build_table(rows: usize, width: usize, shards: usize) -> ShardedTcam {
 }
 
 fn bench_backend(table: &ShardedTcam, kind: RequestKind, routed: bool, tag: &str) {
-    let backend = BehaviouralBackend::build(table);
+    let backend = BehaviouralBackend;
+    let view = LiveTable::from_sharded(table).snapshot();
     let mut state = 7u64;
     let n = 1024usize;
     let queries: Vec<PackedQuery> = (0..n)
@@ -56,7 +57,7 @@ fn bench_backend(table: &ShardedTcam, kind: RequestKind, routed: bool, tag: &str
     let mut best = f64::INFINITY;
     for _ in 0..8 {
         let t0 = Instant::now();
-        let r = backend.execute(table, &spec, 1, 1e-9);
+        let r = backend.execute(&view, &spec, 1, 1e-9);
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(&r.outcomes);
         best = best.min(dt / n as f64 * 1e6);
@@ -88,8 +89,8 @@ fn bench_service(table: ShardedTcam, kind: RequestKind, offered: f64, secs: f64,
         while next_arrival <= now.as_secs_f64() {
             let u = (split_mix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
             next_arrival += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / offered;
-            let q = random_query(&mut state, client.table().width());
-            let shard = Some(client.table().route_packed(&q));
+            let q = random_query(&mut state, client.width());
+            let shard = Some(client.route_packed(&q));
             let _ = client.submit_noreply_kind(0, q, kind, shard);
         }
         std::thread::sleep(Duration::from_micros(200));

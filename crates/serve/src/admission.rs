@@ -9,10 +9,11 @@
 //! keeps them deterministic under test.
 //!
 //! Buckets are keyed by `(tenant, class)`: approximate-match traffic
-//! ([`AdmissionClass::Approx`] — threshold, top-k, range) budgets
+//! ([`AdmissionClass::Approx`] — threshold, top-k, range) and online
+//! writes ([`AdmissionClass::Write`] — insert, delete, update) budget
 //! separately from exact-match traffic, so a burst of expensive
-//! distance scans cannot drain the tokens the same tenant's exact
-//! lookups run on.
+//! distance scans or a bulk-load cannot drain the tokens the same
+//! tenant's exact lookups run on.
 
 use crate::request::AdmissionClass;
 use crate::sync::{AtomicBool, Mutex, Ordering};
@@ -77,10 +78,22 @@ impl RatePolicy {
 }
 
 /// Classic token bucket with explicit time injection.
+///
+/// Refill credits whole tokens and banks the sub-token remainder in a
+/// separate residue, so a stream of refills each worth a fraction of a
+/// token converges on `rate · elapsed` instead of drifting: folding
+/// tiny `dt · rate` increments straight into a large token balance
+/// loses their low bits to float rounding, and across thousands of
+/// sub-token refills the admitted count falls measurably short of the
+/// configured rate.
 #[derive(Debug)]
 pub struct TokenBucket {
     policy: RatePolicy,
     tokens: f64,
+    /// Accrued refill credit below one token, carried to the next
+    /// refill. Always in `[0, 1)`; reset when the bucket clamps at
+    /// `burst` (a full bucket banks nothing).
+    frac: f64,
     last: Option<Instant>,
 }
 
@@ -91,6 +104,7 @@ impl TokenBucket {
         Self {
             policy,
             tokens: policy.burst,
+            frac: 0.0,
             last: None,
         }
     }
@@ -102,7 +116,14 @@ impl TokenBucket {
         }
         if let Some(last) = self.last {
             let dt = now.saturating_duration_since(last).as_secs_f64();
-            self.tokens = (self.tokens + dt * self.policy.rate).min(self.policy.burst);
+            let credit = dt * self.policy.rate + self.frac;
+            let whole = credit.floor();
+            self.frac = credit - whole;
+            self.tokens += whole;
+            if self.tokens >= self.policy.burst {
+                self.tokens = self.policy.burst;
+                self.frac = 0.0;
+            }
         }
         self.last = Some(now);
         if self.tokens >= 1.0 {
@@ -113,7 +134,8 @@ impl TokenBucket {
         }
     }
 
-    /// Tokens currently available (after the last refill).
+    /// Tokens currently available (after the last refill), excluding
+    /// the banked sub-token residue.
     #[must_use]
     pub fn available(&self) -> f64 {
         self.tokens
@@ -127,6 +149,7 @@ impl TokenBucket {
 pub struct Admission {
     default_policy: RatePolicy,
     approx_policy: RatePolicy,
+    write_policy: RatePolicy,
     /// `true` while every tenant rides an unlimited default and no
     /// per-tenant policy exists — admission is then a single relaxed
     /// load instead of a mutex acquisition (the submit hot path).
@@ -136,14 +159,22 @@ pub struct Admission {
 
 impl Admission {
     /// Controller whose unknown tenants get `default_policy` for exact
-    /// traffic and `approx_policy` for approximate traffic.
+    /// traffic, `approx_policy` for approximate traffic, and
+    /// `write_policy` for online writes.
     #[must_use]
-    pub fn new(default_policy: RatePolicy, approx_policy: RatePolicy) -> Self {
+    pub fn new(
+        default_policy: RatePolicy,
+        approx_policy: RatePolicy,
+        write_policy: RatePolicy,
+    ) -> Self {
         Self {
             default_policy,
             approx_policy,
+            write_policy,
             passthrough: AtomicBool::new(
-                default_policy.rate.is_infinite() && approx_policy.rate.is_infinite(),
+                default_policy.rate.is_infinite()
+                    && approx_policy.rate.is_infinite()
+                    && write_policy.rate.is_infinite(),
             ),
             buckets: Mutex::new("serve.admission.buckets", HashMap::new()),
         }
@@ -172,6 +203,7 @@ impl Admission {
         match class {
             AdmissionClass::Exact => self.default_policy,
             AdmissionClass::Approx => self.approx_policy,
+            AdmissionClass::Write => self.write_policy,
         }
     }
 
@@ -233,6 +265,52 @@ mod tests {
     }
 
     #[test]
+    fn sub_token_refills_carry_the_residue() {
+        // 1000 refills of 1.7 ms at 10 tokens/s: each credits 0.017
+        // tokens — far below one token — so an implementation that
+        // floors or otherwise drops sub-token credit admits ~0, and
+        // one that folds tiny increments into the float balance
+        // drifts. The residue-carrying bucket must admit within ±1 of
+        // rate · elapsed = 10 · 1.7 = 17.
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(RatePolicy::per_second(10.0, 1.0));
+        assert!(b.try_take(t0), "drain the initial burst and arm `last`");
+        let mut admitted: i64 = 0;
+        let mut now = t0;
+        for _ in 0..1000 {
+            now += Duration::from_micros(1700);
+            if b.try_take(now) {
+                admitted += 1;
+            }
+        }
+        let expected = 10.0 * (1000.0 * 1700e-6);
+        assert!(
+            (admitted - expected as i64).abs() <= 1,
+            "admitted {admitted}, want {expected} ±1"
+        );
+    }
+
+    #[test]
+    fn residue_resets_when_clamped_at_burst() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(RatePolicy::per_second(10.0, 2.0));
+        assert!(b.try_take(t0));
+        // 130 ms banks 1.3 tokens: one whole plus 0.3 residue.
+        assert!(b.try_take(t0 + Duration::from_millis(130)));
+        // A long idle clamps at burst and must forget the residue: the
+        // next 70 ms credits 0.7, not 0.7 + 0.3.
+        let idle = t0 + Duration::from_secs(10);
+        assert!(b.try_take(idle));
+        assert!(b.try_take(idle));
+        assert!(!b.try_take(idle));
+        assert!(
+            !b.try_take(idle + Duration::from_millis(70)),
+            "residue banked before the clamp must not survive it"
+        );
+        assert!(b.try_take(idle + Duration::from_millis(140)));
+    }
+
+    #[test]
     fn unlimited_never_throttles() {
         let t0 = Instant::now();
         let mut b = TokenBucket::new(RatePolicy::unlimited());
@@ -244,7 +322,11 @@ mod tests {
     #[test]
     fn admission_isolates_tenants() {
         let t0 = Instant::now();
-        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
+        let adm = Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+        );
         adm.set_policy(7, RatePolicy::per_second(1.0, 1.0));
         assert!(adm.admit(7, AdmissionClass::Exact, t0).is_ok());
         assert_eq!(
@@ -260,7 +342,11 @@ mod tests {
     #[test]
     fn classes_budget_independently() {
         let t0 = Instant::now();
-        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
+        let adm = Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+        );
         adm.set_class_policy(5, AdmissionClass::Approx, RatePolicy::per_second(0.0, 2.0));
         // Approximate traffic drains its own bucket...
         assert!(adm.admit(5, AdmissionClass::Approx, t0).is_ok());
@@ -283,7 +369,11 @@ mod tests {
     #[test]
     fn passthrough_disengages_on_first_policy() {
         let t0 = Instant::now();
-        let adm = Admission::new(RatePolicy::unlimited(), RatePolicy::unlimited());
+        let adm = Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+        );
         // Fast path: no buckets exist yet, nothing is created.
         assert!(adm.admit(3, AdmissionClass::Exact, t0).is_ok());
         assert!(adm.buckets.lock().is_empty());
@@ -295,18 +385,47 @@ mod tests {
             Err(Overloaded::RateLimited { tenant: 3 })
         );
         // A finite default never engages the fast path.
-        let strict = Admission::new(RatePolicy::per_second(0.0, 1.0), RatePolicy::unlimited());
+        let strict = Admission::new(
+            RatePolicy::per_second(0.0, 1.0),
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+        );
         assert!(strict.admit(9, AdmissionClass::Exact, t0).is_ok());
         assert_eq!(
             strict.admit(9, AdmissionClass::Exact, t0),
             Err(Overloaded::RateLimited { tenant: 9 })
         );
         // A finite *approx* default likewise keeps the slow path on.
-        let strict_approx =
-            Admission::new(RatePolicy::unlimited(), RatePolicy::per_second(0.0, 1.0));
+        let strict_approx = Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::per_second(0.0, 1.0),
+            RatePolicy::unlimited(),
+        );
         assert!(strict_approx.admit(9, AdmissionClass::Approx, t0).is_ok());
         assert!(strict_approx.admit(9, AdmissionClass::Approx, t0).is_err());
         assert!(strict_approx.admit(9, AdmissionClass::Exact, t0).is_ok());
+    }
+
+    #[test]
+    fn write_class_budgets_independently() {
+        let t0 = Instant::now();
+        let adm = Admission::new(
+            RatePolicy::unlimited(),
+            RatePolicy::unlimited(),
+            RatePolicy::per_second(0.0, 1.0),
+        );
+        // The finite write default keeps the fast path off and dries
+        // after one write...
+        assert!(adm.admit(4, AdmissionClass::Write, t0).is_ok());
+        assert_eq!(
+            adm.admit(4, AdmissionClass::Write, t0),
+            Err(Overloaded::RateLimited { tenant: 4 })
+        );
+        // ...while the same tenant's searches ride untouched budgets.
+        for _ in 0..50 {
+            assert!(adm.admit(4, AdmissionClass::Exact, t0).is_ok());
+            assert!(adm.admit(4, AdmissionClass::Approx, t0).is_ok());
+        }
     }
 
     #[test]

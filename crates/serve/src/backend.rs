@@ -2,28 +2,35 @@
 //!
 //! Every query batch runs through one of two tiers:
 //!
-//! * **Spice** — the reference tier: per-row boolean two-step search on
-//!   the behavioural shards ([`ShardedTcam::search_shard`]), exactly as
-//!   the circuit would sequence it. Row-by-row, branchy, honest.
+//! * **Spice** — the reference tier: per-row scalar evaluation over the
+//!   stored ternary words, exactly as the circuit would sequence it.
+//!   Row-by-row, branchy, honest.
 //! * **Behavioural** — the throughput tier: a word-parallel bit-sliced
 //!   kernel ([`ferrotcam::BitSlices`]) that evaluates 64 rows per
 //!   machine word with `(query ^ value) & care` over pre-transposed
 //!   match planes. Same ternary semantics, orders of magnitude faster.
+//!
+//! Both tiers execute against a [`SnapView`] — the immutable per-shard
+//! snapshot set a dispatcher captured for the batch — so online writes
+//! landing mid-batch can never tear a word under a running search.
+//! Each snapshot block already carries *both* representations (sliced
+//! planes for the fast tier, row-major packed words the reference tier
+//! walks scalar-fashion), so neither tier rebuilds anything per batch.
 //!
 //! Both tiers return identical [`SearchOutcome`]s (global ids, sorted)
 //! and both charge the *same* modelled silicon schedule and the same
 //! SPICE-calibrated energy — the fast tier changes how the answer is
 //! computed, never what is attributed to it. That claim is not taken on
 //! faith: the service's sampled audit lane replays a deterministic
-//! fraction of accepted behavioural queries on the Spice tier and
-//! compares match sets bit-for-bit and energies within a pinned
-//! tolerance ([`audit_compare`]).
+//! fraction of accepted behavioural queries on the Spice tier against
+//! the *same captured view* and compares match sets bit-for-bit and
+//! energies within a pinned tolerance ([`audit_compare`]).
 
 use crate::batch;
 use crate::request::RequestKind;
-use crate::shard::ShardedTcam;
-use ferrotcam::approx::{query_levels, threshold_search, top_k, word_windows, RangeRows};
-use ferrotcam::{ApproxHit, BitSlices, PackedQuery, SearchOutcome};
+use crate::shard::SnapView;
+use ferrotcam::approx::{query_levels, threshold_search, top_k_chunked, word_windows};
+use ferrotcam::{ApproxHit, PackedQuery, SearchOutcome};
 use ferrotcam_arch::sched::ScheduleOutcome;
 use ferrotcam_spice::parallel::par_map;
 
@@ -102,11 +109,12 @@ pub trait ExecBackend: Send + Sync + std::fmt::Debug {
     /// dispatcher uses it when the configured `max_batch` is 0).
     fn preferred_batch(&self) -> usize;
 
-    /// Execute one batch. `jobs` is the worker-pool width, `t_bank`
-    /// the modelled per-bank busy time (s) for a unit-cost query.
+    /// Execute one batch against a captured snapshot view. `jobs` is
+    /// the worker-pool width, `t_bank` the modelled per-bank busy time
+    /// (s) for a unit-cost query.
     fn execute(
         &self,
-        table: &ShardedTcam,
+        view: &SnapView,
         spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
@@ -142,39 +150,62 @@ fn finalize_job(kind: RequestKind, outcome: &mut SearchOutcome, hits: &mut Vec<A
             outcome.matches.sort_unstable();
             outcome.step1_misses = examined - hits.len();
         }
+        _ => unreachable!("write kinds never reach the search backends"),
     }
 }
 
 /// The reference (naive, circuit-order) answer for one job on one
 /// shard: row-by-row distance / window evaluation over the stored
-/// ternary words, with global row ids.
+/// ternary words (reconstructed scalar-fashion from the packed rows,
+/// never through the sliced planes the fast tier uses), with global
+/// row ids.
+///
+/// # Panics
+/// Panics on an out-of-range shard, a query-width mismatch, or a write
+/// kind (writes never reach the search backends).
 fn naive_shard_answer(
-    table: &ShardedTcam,
+    view: &SnapView,
     s: usize,
     kind: RequestKind,
     query: &PackedQuery,
 ) -> ShardAnswer {
-    let shard = table.shard(s);
+    let snap = view.shard(s);
     match kind {
-        RequestKind::Exact => ShardAnswer {
-            outcome: table.search_shard(s, &query.to_bits()),
-            hits: Vec::new(),
-        },
+        RequestKind::Exact => {
+            // Row-serial two-step classification over the packed words
+            // — same circuit order as before, independent of the
+            // sliced-plane kernel.
+            let mut outcome = SearchOutcome::empty();
+            for (base, blk) in snap.blocks() {
+                let mut o = blk.packed().search(query);
+                for m in &mut o.matches {
+                    *m = view.global_row(s, base + *m);
+                }
+                outcome.absorb(o);
+            }
+            ShardAnswer {
+                outcome,
+                hits: Vec::new(),
+            }
+        }
         RequestKind::Threshold { t } => {
             let bits = query.to_bits();
             let mut outcome = SearchOutcome::empty();
             let mut hits = Vec::new();
-            for (l, row) in shard.rows().iter().enumerate() {
-                let d = u32::try_from(row.mismatch_count(&bits)).expect("distance fits u32");
-                if d <= t {
-                    let g = table.global_row(s, l);
-                    outcome.matches.push(g);
-                    hits.push(ApproxHit {
-                        row: g,
-                        distance: d,
-                    });
-                } else {
-                    outcome.step1_misses += 1;
+            for (base, blk) in snap.blocks() {
+                for l in 0..blk.len() {
+                    let word = blk.packed().row_word(l);
+                    let d = u32::try_from(word.mismatch_count(&bits)).expect("distance fits u32");
+                    if d <= t {
+                        let g = view.global_row(s, base + l);
+                        outcome.matches.push(g);
+                        hits.push(ApproxHit {
+                            row: g,
+                            distance: d,
+                        });
+                    } else {
+                        outcome.step1_misses += 1;
+                    }
                 }
             }
             ShardAnswer { outcome, hits }
@@ -183,21 +214,23 @@ fn naive_shard_answer(
             let bits = query.to_bits();
             // Global ids preserve the shard-local (distance, row)
             // order, so the local selection is already globally fair.
-            let mut hits: Vec<ApproxHit> = shard
-                .rows()
-                .iter()
-                .enumerate()
-                .map(|(l, row)| ApproxHit {
-                    row: table.global_row(s, l),
-                    distance: u32::try_from(row.mismatch_count(&bits)).expect("distance fits u32"),
-                })
-                .collect();
+            let mut hits = Vec::with_capacity(snap.rows());
+            for (base, blk) in snap.blocks() {
+                for l in 0..blk.len() {
+                    let word = blk.packed().row_word(l);
+                    hits.push(ApproxHit {
+                        row: view.global_row(s, base + l),
+                        distance: u32::try_from(word.mismatch_count(&bits))
+                            .expect("distance fits u32"),
+                    });
+                }
+            }
             hits.sort_unstable();
             hits.truncate(k);
             ShardAnswer {
                 outcome: SearchOutcome {
                     matches: Vec::new(),
-                    step1_misses: shard.len(),
+                    step1_misses: snap.rows(),
                     step2_misses: 0,
                 },
                 hits,
@@ -206,15 +239,18 @@ fn naive_shard_answer(
         RequestKind::Range => {
             let levels = query_levels(query);
             let mut outcome = SearchOutcome::empty();
-            for (l, row) in shard.rows().iter().enumerate() {
-                let in_window = word_windows(row)
-                    .iter()
-                    .zip(&levels)
-                    .all(|(&(lo, hi), &q)| lo <= q && q <= hi);
-                if in_window {
-                    outcome.matches.push(table.global_row(s, l));
-                } else {
-                    outcome.step1_misses += 1;
+            for (base, blk) in snap.blocks() {
+                for l in 0..blk.len() {
+                    let word = blk.packed().row_word(l);
+                    let in_window = word_windows(&word)
+                        .iter()
+                        .zip(&levels)
+                        .all(|(&(lo, hi), &q)| lo <= q && q <= hi);
+                    if in_window {
+                        outcome.matches.push(view.global_row(s, base + l));
+                    } else {
+                        outcome.step1_misses += 1;
+                    }
                 }
             }
             ShardAnswer {
@@ -222,16 +258,18 @@ fn naive_shard_answer(
                 hits: Vec::new(),
             }
         }
+        _ => unreachable!("write kinds never reach the search backends"),
     }
 }
 
 /// The full reference answer for one request: naive per-shard
 /// evaluation over `target` (or a fan-out over every shard), merged
 /// and finalized exactly like a served batch. The audit lane replays
-/// sampled behavioural answers through this.
+/// sampled behavioural answers through this, against the same captured
+/// view the fast tier answered from.
 #[must_use]
 pub fn reference_search(
-    table: &ShardedTcam,
+    view: &SnapView,
     kind: RequestKind,
     query: &PackedQuery,
     target: Option<usize>,
@@ -240,10 +278,10 @@ pub fn reference_search(
     let mut hits = Vec::new();
     let shards: Vec<usize> = match target {
         Some(s) => vec![s],
-        None => (0..table.shard_count()).collect(),
+        None => (0..view.shard_count()).collect(),
     };
     for s in shards {
-        let ans = naive_shard_answer(table, s, kind, query);
+        let ans = naive_shard_answer(view, s, kind, query);
         outcome.absorb(ans.outcome);
         hits.extend(ans.hits);
     }
@@ -304,46 +342,26 @@ impl ExecBackend for SpiceBackend {
 
     fn execute(
         &self,
-        table: &ShardedTcam,
+        view: &SnapView,
         spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
     ) -> ExecResult {
-        run_plan(table.shard_count(), spec, jobs, t_bank, |s, j| {
-            naive_shard_answer(table, s, spec.kinds[j], &spec.queries[j])
+        run_plan(view.shard_count(), spec, jobs, t_bank, |s, j| {
+            naive_shard_answer(view, s, spec.kinds[j], &spec.queries[j])
         })
     }
 }
 
-/// The throughput tier: one bit-sliced plane set per shard, built once
-/// from the served table. Word-parallel step-1 rejection with a
-/// row-major step-2 verify of the survivors; approximate kinds run on
-/// the popcount Hamming kernel and (for range mode) a lane-packed
-/// `[lo,hi]` window table derived from the same planes.
-#[derive(Debug)]
-pub struct BehaviouralBackend {
-    shards: Vec<BitSlices>,
-    /// Per-shard range tables; `None` when the word width is odd (range
-    /// mode pairs digits into multi-bit cells, so it needs an even
-    /// width).
-    ranges: Vec<Option<RangeRows>>,
-}
-
-impl BehaviouralBackend {
-    /// Transpose every shard of `table` into match planes.
-    #[must_use]
-    pub fn build(table: &ShardedTcam) -> Self {
-        let shards: Vec<BitSlices> = (0..table.shard_count())
-            .map(|s| BitSlices::from_tcam(table.shard(s)))
-            .collect();
-        let even = table.width().is_multiple_of(2);
-        let ranges = shards
-            .iter()
-            .map(|sl| even.then(|| RangeRows::from_packed(sl.packed())))
-            .collect();
-        Self { shards, ranges }
-    }
-}
+/// The throughput tier. Stateless: every snapshot block already holds
+/// its bit-sliced match planes (word-parallel step-1 rejection with a
+/// row-major step-2 verify of the survivors), the packed words the
+/// popcount Hamming kernel scans, and (for even widths) the
+/// lane-packed `[lo,hi]` window table — all maintained incrementally
+/// by the copy-on-write shard snapshots, so nothing is transposed per
+/// batch and writes never invalidate a tier-side cache.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BehaviouralBackend;
 
 impl ExecBackend for BehaviouralBackend {
     fn kind(&self) -> BackendKind {
@@ -356,18 +374,23 @@ impl ExecBackend for BehaviouralBackend {
 
     fn execute(
         &self,
-        table: &ShardedTcam,
+        view: &SnapView,
         spec: &BatchSpec<'_>,
         jobs: usize,
         t_bank: f64,
     ) -> ExecResult {
-        run_plan(table.shard_count(), spec, jobs, t_bank, |s, j| {
+        run_plan(view.shard_count(), spec, jobs, t_bank, |s, j| {
             let q = &spec.queries[j];
+            let snap = view.shard(s);
             match spec.kinds[j] {
                 RequestKind::Exact => {
-                    let mut out = self.shards[s].search(q);
-                    for m in &mut out.matches {
-                        *m = table.global_row(s, *m);
+                    let mut out = SearchOutcome::empty();
+                    for (base, blk) in snap.blocks() {
+                        let mut o = blk.slices().search(q);
+                        for m in &mut o.matches {
+                            *m = view.global_row(s, base + *m);
+                        }
+                        out.absorb(o);
                     }
                     ShardAnswer {
                         outcome: out,
@@ -375,44 +398,58 @@ impl ExecBackend for BehaviouralBackend {
                     }
                 }
                 RequestKind::Threshold { t } => {
-                    let rows = self.shards[s].packed().rows();
-                    let mut hits = threshold_search(self.shards[s].packed(), q, t);
-                    for h in &mut hits {
-                        h.row = table.global_row(s, h.row);
+                    let mut hits = Vec::new();
+                    for (base, blk) in snap.blocks() {
+                        let mut h = threshold_search(blk.packed(), q, t);
+                        for hit in &mut h {
+                            hit.row = view.global_row(s, base + hit.row);
+                        }
+                        hits.extend(h);
                     }
                     let mut outcome = SearchOutcome::empty();
                     outcome.matches = hits.iter().map(|h| h.row).collect();
-                    outcome.step1_misses = rows - hits.len();
+                    outcome.step1_misses = snap.rows() - hits.len();
                     ShardAnswer { outcome, hits }
                 }
                 RequestKind::TopK { k } => {
-                    let rows = self.shards[s].packed().rows();
-                    let mut hits = top_k(self.shards[s].packed(), q, k);
-                    for h in &mut hits {
-                        h.row = table.global_row(s, h.row);
+                    // One selection across every block: the heap's
+                    // distance bound carries from block to block, so
+                    // the copy-on-write layout prunes as hard as a
+                    // contiguous scan. Local rows scan ascending and
+                    // global ids are monotone in them, so the
+                    // (distance, row) tie order is preserved.
+                    let mut hits =
+                        top_k_chunked(snap.blocks().map(|(base, blk)| (base, blk.packed())), q, k);
+                    for hit in &mut hits {
+                        hit.row = view.global_row(s, hit.row);
                     }
                     ShardAnswer {
                         outcome: SearchOutcome {
                             matches: Vec::new(),
-                            step1_misses: rows,
+                            step1_misses: snap.rows(),
                             step2_misses: 0,
                         },
                         hits,
                     }
                 }
                 RequestKind::Range => {
-                    let ranges = self.ranges[s]
-                        .as_ref()
-                        .expect("range queries need an even word width");
-                    let local = ranges.search(q);
                     let mut outcome = SearchOutcome::empty();
-                    outcome.step1_misses = ranges.rows() - local.len();
-                    outcome.matches = local.iter().map(|&l| table.global_row(s, l)).collect();
+                    for (base, blk) in snap.blocks() {
+                        let ranges = blk.ranges().expect("range queries need an even word width");
+                        outcome.matches.extend(
+                            ranges
+                                .search(q)
+                                .iter()
+                                .map(|&l| view.global_row(s, base + l)),
+                        );
+                    }
+                    outcome.step1_misses = snap.rows() - outcome.matches.len();
                     ShardAnswer {
                         outcome,
                         hits: Vec::new(),
                     }
                 }
+                _ => unreachable!("write kinds never reach the search backends"),
             }
         })
     }
@@ -512,8 +549,13 @@ pub fn audit_compare(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::{LiveTable, ShardedTcam};
     use ferrotcam::TernaryWord;
     use rand::split_mix64;
+
+    fn view(table: &ShardedTcam) -> SnapView {
+        LiveTable::from_sharded(table).snapshot()
+    }
 
     fn table(rows: u64, shards: usize, width: usize) -> ShardedTcam {
         let mut t = ShardedTcam::new(width, shards);
@@ -553,8 +595,8 @@ mod tests {
     #[test]
     fn tiers_agree_on_fanout_and_partitioned_batches() {
         for width in [8usize, 64, 100] {
-            let t = table(200, 3, width);
-            let behav = BehaviouralBackend::build(&t);
+            let t = view(&table(200, 3, width));
+            let behav = BehaviouralBackend;
             let spice = SpiceBackend;
             let mut seed = 0x1234_5678_9abc_def0 ^ width as u64;
             let queries: Vec<PackedQuery> = (0..24).map(|_| rand_query(width, &mut seed)).collect();
@@ -586,8 +628,8 @@ mod tests {
         // (range mode needs an even width; random bit queries are valid
         // level queries too, since any 2-bit pattern is a level 0..=3).
         for width in [8usize, 64] {
-            let t = table(160, 4, width);
-            let behav = BehaviouralBackend::build(&t);
+            let t = view(&table(160, 4, width));
+            let behav = BehaviouralBackend;
             let spice = SpiceBackend;
             let mut seed = 0xabcd_ef01_2345_6789 ^ width as u64;
             let n = 32;
@@ -635,8 +677,8 @@ mod tests {
 
     #[test]
     fn weighted_costs_shift_the_batch_schedule() {
-        let t = table(64, 2, 16);
-        let behav = BehaviouralBackend::build(&t);
+        let t = view(&table(64, 2, 16));
+        let behav = BehaviouralBackend;
         let queries: Vec<PackedQuery> = {
             let mut seed = 7u64;
             (0..4).map(|_| rand_query(16, &mut seed)).collect()

@@ -6,20 +6,25 @@
 //! response.
 //!
 //! Where the rest of the workspace *simulates* the paper's TCAM, this
-//! crate *serves* it: queries arrive concurrently from many clients,
-//! pass per-tenant admission control ([`admission`]), queue in a
-//! bounded lock-free ring ([`queue`]), get coalesced into per-bank
-//! batches ([`batch`]), execute on sharded behavioural banks
-//! ([`shard`]) through a tiered execution backend ([`backend`]) — the
-//! circuit-order Spice tier or the bit-parallel behavioural tier with
-//! a sampled Spice audit lane — over the `spice::parallel` worker
-//! pool, and come back with the exact Table IV early-termination
-//! energy the search would have burned in silicon. Load beyond
-//! capacity is shed with typed
-//! [`Overloaded`] errors instead of growing queues without bound, and
-//! a [`ServiceMetrics`] snapshot (latency percentiles, queue depth,
-//! batch sizes, shed counts, step-1 early-termination rate) exports as
-//! JSON at any time.
+//! crate *serves* it: queries and online writes arrive concurrently
+//! from many clients, pass per-tenant admission control
+//! ([`admission`]), queue in per-shard bounded lock-free rings
+//! ([`queue`]), get coalesced into per-bank batches ([`batch`]) by
+//! per-shard work-stealing dispatchers, execute on copy-on-write shard
+//! snapshots ([`shard`]) through a tiered execution backend
+//! ([`backend`]) — the circuit-order Spice tier or the bit-parallel
+//! behavioural tier with a sampled Spice audit lane — over the
+//! `spice::parallel` worker pool, and come back with the exact
+//! Table IV early-termination energy the search would have burned in
+//! silicon. Writes (insert / delete / update) publish fresh per-shard
+//! snapshots behind an epoch counter, so an in-flight search can never
+//! observe a torn word, and are priced by the calibrated 3-step
+//! program. Load beyond capacity is shed with typed [`Overloaded`]
+//! errors instead of growing queues without bound (and, with a
+//! configured deadline, queries whose SLO already expired are shed at
+//! dispatch), and a [`ServiceMetrics`] snapshot (latency percentiles,
+//! queue depth, batch sizes, shed counts, step-1 early-termination
+//! rate) exports as JSON at any time.
 //!
 //! ```
 //! use ferrotcam_serve::{ServiceConfig, ShardedTcam, TcamService};
@@ -32,10 +37,16 @@
 //! let service = TcamService::start(table, &ServiceConfig::default());
 //! let client = service.client();
 //! let query = vec![false, false, false, false, false, true, false, true];
-//! let response = client.submit(0, query, None)?.wait();
+//! let response = client.submit(0, query, None)?.wait().expect("answered");
 //! assert_eq!(response.matches, vec![5]);
+//! // Online write: program a new word, then find it.
+//! let ack = client.submit_insert(0, TernaryWord::from_u64(0xAB, 8))?.wait();
+//! let slot = ack.expect("answered").matches[0];
+//! let probe: Vec<bool> = (0..8).rev().map(|b| (0xABu64 >> b) & 1 == 1).collect();
+//! let hit = client.submit(0, probe, None)?.wait().expect("answered");
+//! assert_eq!(hit.matches, vec![slot]);
 //! let metrics = service.drain();
-//! assert_eq!(metrics.completed, 1);
+//! assert_eq!(metrics.completed, 3);
 //! # Ok::<(), ferrotcam_serve::Overloaded>(())
 //! ```
 
@@ -65,4 +76,7 @@ pub use metrics::{
 pub use queue::BoundedQueue;
 pub use request::{AdmissionClass, RequestKind, KIND_COUNT};
 pub use service::{SearchResponse, ServiceClient, ServiceConfig, TcamService, Ticket};
-pub use shard::{hash_bits, hash_packed, ShardedTcam};
+pub use shard::{
+    hash_bits, hash_packed, EpochCell, LiveTable, RowBlock, ShardSnap, ShardedTcam, SnapView,
+    WriteAck, WriteOp, BLOCK_ROWS,
+};

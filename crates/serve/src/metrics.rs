@@ -22,18 +22,23 @@ use serde::{Deserialize, Serialize};
 pub use ferrotcam_spice::trace::Histogram;
 
 /// Percentile summary of a histogram, in the histogram's native unit.
+///
+/// Percentiles are `None` (serialised as JSON `null`) when the window
+/// recorded no samples: an empty window has no p50/p95/p99, and the old
+/// `0.0` placeholder read as an impossibly good latency to
+/// `compare_runs --bench`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct LatencySummary {
     /// Samples recorded.
     pub count: u64,
     /// Mean sample.
     pub mean: f64,
-    /// Median (bucket upper edge).
-    pub p50: f64,
-    /// 95th percentile (bucket upper edge).
-    pub p95: f64,
-    /// 99th percentile (bucket upper edge).
-    pub p99: f64,
+    /// Median (bucket upper edge); `None` for an empty window.
+    pub p50: Option<f64>,
+    /// 95th percentile (bucket upper edge); `None` for an empty window.
+    pub p95: Option<f64>,
+    /// 99th percentile (bucket upper edge); `None` for an empty window.
+    pub p99: Option<f64>,
     /// Largest sample seen.
     pub max: f64,
 }
@@ -67,6 +72,15 @@ pub struct KindBreakdown {
     pub top_k: u64,
     /// FeCAM range matches.
     pub range: u64,
+    /// Online row inserts (absent in read-only-era snapshots).
+    #[serde(default)]
+    pub insert: u64,
+    /// Online row deletes (absent in read-only-era snapshots).
+    #[serde(default)]
+    pub delete: u64,
+    /// Online row updates (absent in read-only-era snapshots).
+    #[serde(default)]
+    pub update: u64,
 }
 
 impl KindBreakdown {
@@ -83,13 +97,22 @@ impl KindBreakdown {
             RequestKind::Threshold { .. } => self.threshold,
             RequestKind::TopK { .. } => self.top_k,
             RequestKind::Range => self.range,
+            RequestKind::Insert => self.insert,
+            RequestKind::Delete { .. } => self.delete,
+            RequestKind::Update { .. } => self.update,
         }
     }
 
     /// Sum over every kind.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.exact + self.threshold + self.top_k + self.range
+        self.exact
+            + self.threshold
+            + self.top_k
+            + self.range
+            + self.insert
+            + self.delete
+            + self.update
     }
 
     fn slot_mut(&mut self, kind: RequestKind) -> &mut u64 {
@@ -98,6 +121,9 @@ impl KindBreakdown {
             RequestKind::Threshold { .. } => &mut self.threshold,
             RequestKind::TopK { .. } => &mut self.top_k,
             RequestKind::Range => &mut self.range,
+            RequestKind::Insert => &mut self.insert,
+            RequestKind::Delete { .. } => &mut self.delete,
+            RequestKind::Update { .. } => &mut self.update,
         }
     }
 }
@@ -111,8 +137,9 @@ pub struct BatchStats {
     pub mean_size: f64,
     /// Largest batch executed.
     pub max_size: u64,
-    /// Median batch size (octave resolution).
-    pub p50_size: f64,
+    /// Median batch size (octave resolution); `None` before the first
+    /// batch.
+    pub p50_size: Option<f64>,
 }
 
 /// A point-in-time snapshot of everything the service measures,
@@ -129,6 +156,11 @@ pub struct ServiceMetrics {
     pub shed_rate_limited: u64,
     /// Sheds: service draining.
     pub shed_shutting_down: u64,
+    /// Sheds: SLO deadline already expired when the dispatcher popped
+    /// the query (`ServiceConfig::deadline`). Write kinds are never
+    /// deadline-shed. Absent in pre-deadline snapshots.
+    #[serde(default)]
+    pub shed_deadline: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Deepest queue ever observed by the dispatcher (bounded by the
@@ -250,6 +282,9 @@ pub struct MetricsCollector {
     shed_queue_full: AtomicU64,
     shed_rate_limited: AtomicU64,
     shed_shutting_down: AtomicU64,
+    /// Deadline sheds happen on the dispatcher pop path, which is just
+    /// as hot as submission.
+    shed_deadline: AtomicU64,
     /// Sheds by request kind, indexed by [`RequestKind::index`] —
     /// atomics because shedding happens on the submit hot path.
     shed_by_kind: [AtomicU64; KIND_COUNT],
@@ -266,6 +301,7 @@ impl Default for MetricsCollector {
             shed_queue_full: AtomicU64::new(0),
             shed_rate_limited: AtomicU64::new(0),
             shed_shutting_down: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
             shed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             max_queue_depth: AtomicUsize::new(0),
             inner: Mutex::new("serve.metrics.inner", Inner::default()),
@@ -295,6 +331,13 @@ impl MetricsCollector {
             crate::admission::Overloaded::ShuttingDown => &self.shed_shutting_down,
         };
         counter.fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
+        self.shed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
+    }
+
+    /// A `kind` query was dropped at dispatch because its SLO deadline
+    /// had already expired. Lock-free: runs on the dispatcher pop path.
+    pub fn on_deadline_shed(&self, kind: RequestKind) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
         self.shed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed); // ordering: stat-relaxed
     }
 
@@ -376,6 +419,7 @@ impl MetricsCollector {
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed), // ordering: stat-relaxed
             shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed), // ordering: stat-relaxed
             shed_shutting_down: self.shed_shutting_down.load(Ordering::Relaxed), // ordering: stat-relaxed
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed), // ordering: stat-relaxed
             queue_depth,
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed), // ordering: stat-relaxed
             wall_latency_ns: LatencySummary::of(&m.wall),
@@ -416,6 +460,12 @@ impl MetricsCollector {
                     .load(Ordering::Relaxed), // ordering: stat-relaxed
                 // ordering: stat-relaxed
                 range: self.shed_by_kind[RequestKind::Range.index()].load(Ordering::Relaxed),
+                // ordering: stat-relaxed
+                insert: self.shed_by_kind[RequestKind::Insert.index()].load(Ordering::Relaxed),
+                delete: self.shed_by_kind[RequestKind::Delete { row: 0 }.index()]
+                    .load(Ordering::Relaxed), // ordering: stat-relaxed
+                update: self.shed_by_kind[RequestKind::Update { row: 0 }.index()]
+                    .load(Ordering::Relaxed), // ordering: stat-relaxed
             },
             audit_sampled_by_kind: m.audit_sampled_by_kind,
             audit_divergences_by_kind: m.audit_divergences_by_kind,
@@ -436,16 +486,32 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
         // p50 of 1..=1000 lands in the [496, 512) sub-bucket.
-        assert_eq!(h.quantile(0.5), 512.0);
-        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.5), Some(512.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
         assert_eq!(LatencySummary::of(&h).max, 1000.0);
     }
 
     #[test]
-    fn histogram_empty_is_zero() {
+    fn empty_window_reports_null_percentiles() {
+        // Regression: empty windows must not report p50/p95/p99 = 0.0
+        // (compare_runs read that as a latency improvement). They are
+        // `None`, serialised as JSON null, and round-trip as such.
         let h = Histogram::default();
-        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantile(0.99), None);
         assert_eq!(h.mean(), 0.0);
+        let s = LatencySummary::of(&h);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p95, None);
+        assert_eq!(s.p99, None);
+        let snap = MetricsCollector::new().snapshot(0);
+        let json = snap.to_json();
+        assert!(json.contains("\"p99\": null"), "null percentile: {json}");
+        let back: ServiceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.wall_latency_ns.p99, None);
+        // Old snapshots carried 0.0 there; they still deserialise.
+        let legacy = json.replace("null", "0.0");
+        let back: ServiceMetrics = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.wall_latency_ns.p99, Some(0.0));
     }
 
     #[test]
@@ -550,6 +616,36 @@ mod tests {
             1,
             "breakdown keys on kind, not its parameters"
         );
+    }
+
+    #[test]
+    fn deadline_sheds_and_write_kinds_are_counted() {
+        let c = MetricsCollector::new();
+        c.on_deadline_shed(RequestKind::Exact);
+        c.on_deadline_shed(RequestKind::TopK { k: 3 });
+        c.on_response(&ResponseSample {
+            kind: RequestKind::Insert,
+            ..ResponseSample::default()
+        });
+        c.on_response(&ResponseSample {
+            kind: RequestKind::Update { row: 7 },
+            ..ResponseSample::default()
+        });
+        c.on_response(&ResponseSample {
+            kind: RequestKind::Delete { row: 1 },
+            ..ResponseSample::default()
+        });
+        let snap = c.snapshot(0);
+        assert_eq!(snap.shed_deadline, 2);
+        assert_eq!(snap.shed_by_kind.exact, 1);
+        assert_eq!(snap.shed_by_kind.top_k, 1);
+        assert_eq!(snap.completed_by_kind.insert, 1);
+        assert_eq!(snap.completed_by_kind.update, 1);
+        assert_eq!(snap.completed_by_kind.delete, 1);
+        assert_eq!(snap.completed_by_kind.total(), 3);
+        // Snapshot JSON round-trips with the new fields in place.
+        let back: ServiceMetrics = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Request kinds: the exact ternary match plus the approximate-match
-//! workloads (Hamming threshold, exact top-k, FeCAM range match), and
-//! the admission class that separates their rate budgets.
+//! workloads (Hamming threshold, exact top-k, FeCAM range match), the
+//! online write kinds (insert / delete / update), and the admission
+//! class that separates their rate budgets.
 //!
 //! Every submission carries a [`RequestKind`]. Exact match is the
 //! classic two-step TCAM search; the approximate kinds drive the
 //! `core::approx` kernels and are attributed full-parallel energy (no
 //! early termination — every row's match line participates in the
 //! analog distance race) and a sense-time-derived slice of bank time
-//! by the dispatcher's cost model.
+//! by the dispatcher's cost model. The write kinds mutate the table
+//! through the per-shard epoch/snapshot cells and are priced by the
+//! calibrated 3-step program (`core::calib::RowWriteMetrics`); their
+//! row payload travels on the job, so the kind itself stays `Copy`.
 
 use serde::{Deserialize, Serialize};
 
@@ -31,10 +35,24 @@ pub enum RequestKind {
     /// FeCAM range match: every 4-level cell's stored `[lo, hi]`
     /// window must admit the query level.
     Range,
+    /// Program the submitted word into a fresh row of the least-loaded
+    /// shard; the response's match list carries the assigned global id.
+    Insert,
+    /// Retire global row `row` (slot-reuse delete: the shard's last
+    /// local row moves into the freed slot).
+    Delete {
+        /// Global row id to remove.
+        row: usize,
+    },
+    /// Re-program global row `row` with the submitted word.
+    Update {
+        /// Global row id to overwrite.
+        row: usize,
+    },
 }
 
 /// How many distinct kinds exist (the per-kind counter arity).
-pub const KIND_COUNT: usize = 4;
+pub const KIND_COUNT: usize = 7;
 
 impl RequestKind {
     /// Short stable tag used in metric/curve ids.
@@ -45,6 +63,9 @@ impl RequestKind {
             Self::Threshold { .. } => "threshold",
             Self::TopK { .. } => "topk",
             Self::Range => "range",
+            Self::Insert => "insert",
+            Self::Delete { .. } => "delete",
+            Self::Update { .. } => "update",
         }
     }
 
@@ -56,6 +77,9 @@ impl RequestKind {
             Self::Threshold { .. } => 1,
             Self::TopK { .. } => 2,
             Self::Range => 3,
+            Self::Insert => 4,
+            Self::Delete { .. } => 5,
+            Self::Update { .. } => 6,
         }
     }
 
@@ -64,8 +88,19 @@ impl RequestKind {
     pub fn class(self) -> AdmissionClass {
         match self {
             Self::Exact => AdmissionClass::Exact,
+            Self::Insert | Self::Delete { .. } | Self::Update { .. } => AdmissionClass::Write,
             _ => AdmissionClass::Approx,
         }
+    }
+
+    /// Whether this kind mutates the table (never deadline-shed, never
+    /// routed through the search backends).
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            Self::Insert | Self::Delete { .. } | Self::Update { .. }
+        )
     }
 }
 
@@ -75,15 +110,18 @@ impl std::fmt::Display for RequestKind {
     }
 }
 
-/// Admission classes: approximate queries budget separately from exact
-/// ones, so a flood of expensive distance scans cannot starve the
-/// exact-match hot path (and vice versa).
+/// Admission classes: approximate queries and online writes budget
+/// separately from exact matches, so a flood of expensive distance
+/// scans — or a bulk-load of writes — cannot starve the exact-match
+/// hot path (and vice versa).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdmissionClass {
     /// Exact ternary match traffic.
     Exact,
     /// Threshold / top-k / range traffic.
     Approx,
+    /// Insert / delete / update traffic.
+    Write,
 }
 
 #[cfg(test)]
@@ -97,9 +135,23 @@ mod tests {
             RequestKind::Threshold { t: 3 },
             RequestKind::TopK { k: 5 },
             RequestKind::Range,
+            RequestKind::Insert,
+            RequestKind::Delete { row: 9 },
+            RequestKind::Update { row: 2 },
         ];
         let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags, ["exact", "threshold", "topk", "range"]);
+        assert_eq!(
+            tags,
+            [
+                "exact",
+                "threshold",
+                "topk",
+                "range",
+                "insert",
+                "delete",
+                "update"
+            ]
+        );
         for (i, k) in kinds.iter().enumerate() {
             assert_eq!(k.index(), i);
             assert!(k.index() < KIND_COUNT);
@@ -111,6 +163,15 @@ mod tests {
         );
         assert_eq!(RequestKind::TopK { k: 1 }.class(), AdmissionClass::Approx);
         assert_eq!(RequestKind::Range.class(), AdmissionClass::Approx);
+        for w in [
+            RequestKind::Insert,
+            RequestKind::Delete { row: 0 },
+            RequestKind::Update { row: 0 },
+        ] {
+            assert_eq!(w.class(), AdmissionClass::Write);
+            assert!(w.is_write());
+        }
+        assert!(!RequestKind::Range.is_write());
         assert_eq!(RequestKind::default(), RequestKind::Exact);
     }
 }

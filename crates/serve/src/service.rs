@@ -1,35 +1,56 @@
-//! The associative-search service: submission, dispatch, drain.
+//! The associative-search service: submission, dispatch, writes, drain.
 //!
 //! ```text
-//!  clients ──submit──▶ [admission] ──▶ [bounded queue] ──▶ dispatcher
-//!                          │shed                │shed          │
-//!                          ▼                    ▼              ▼
-//!                      Overloaded           Overloaded   batch planner
-//!                                                             │
-//!                                     ExecBackend (spice | behav) over shards
-//!                                                             │
-//!                                            merge + energy/latency attribution
-//!                                                             │
-//!                                  sampled audit replay ◀─────┤
-//!                                                             │
-//!                                                  tickets resolve ◀┘
+//!  clients ──submit──▶ [admission] ──▶ [queue 0] ──▶ dispatcher 0 ─┐
+//!                          │shed       [queue 1] ──▶ dispatcher 1 ─┤ work-
+//!                          ▼              ⋮               ⋮        │ stealing
+//!                      Overloaded      [queue n] ──▶ dispatcher n ─┘
+//!                                                         │
+//!                                 writes → LiveTable::apply (epoch bump)
+//!                                                         │
+//!                                     capture SnapView ───┤
+//!                                                         │
+//!                            deadline shed ◀──────────────┤
+//!                                                         │
+//!                             ExecBackend (spice | behav) over the view
+//!                                                         │
+//!                            merge + energy/latency attribution
+//!                                                         │
+//!                            sampled audit replay (same view) ◀─┤
+//!                                                         │
+//!                                              tickets resolve ◀┘
 //! ```
 //!
-//! One dispatcher thread owns the drain side of the queue. It pulls up
-//! to `max_batch` requests, plans them into per-bank work lists,
-//! executes them on the configured [`ExecBackend`] tier — the
-//! circuit-order [`SpiceBackend`] or the bit-parallel
-//! [`BehaviouralBackend`] — charges each query its modelled bank wait
-//! (from `arch::sched`) and its silicon energy (from the attached
-//! `core::fom` metrics), and resolves the per-request tickets.
+//! Dispatch is **per-shard**: one bounded queue and one dispatcher
+//! thread per shard. Pinned (key-routed) queries and row-addressed
+//! writes land on their shard's queue; fan-out queries round-robin.
+//! An idle dispatcher **steals** from its peers' queues before
+//! sleeping, so a hot shard's backlog spreads over the whole pool. A
+//! dispatcher pulls up to `max_batch` requests, applies the batch's
+//! writes through [`crate::shard::LiveTable`] (publishing one fresh
+//! epoch per touched shard), then captures a [`crate::shard::SnapView`]
+//! and executes every search of the batch against that immutable view
+//! — a search can observe the table before or after any write, never a
+//! torn word. Writes are priced by the calibrated 3-step program
+//! ([`ferrotcam::RowWriteMetrics`]); searches charge their modelled
+//! bank wait (from `arch::sched`) and silicon energy (from the
+//! attached `core::fom` metrics).
+//!
+//! With a [`ServiceConfig::deadline`] configured, queries whose
+//! submit-to-dispatch wait already exceeds it are **shed at dispatch**
+//! instead of executed: their tickets resolve to `None` and the drop is
+//! counted per kind in [`ServiceMetrics::shed_deadline`]. Writes are
+//! never deadline-shed — an accepted mutation must land.
 //!
 //! Queries answered on the behavioural tier pass through a **sampled
 //! audit lane**: a deterministic 1-in-`audit_period` subset (SplitMix64
-//! over an accept counter, so the sample is reproducible and
-//! ungameable by arrival order) is replayed on the Spice tier. Match
-//! sets must be bit-identical and energies must agree within
-//! `audit_tolerance`; divergences are counted in [`ServiceMetrics`]
-//! and emitted as typed `spice::trace` audit events.
+//! over a per-dispatcher accept counter, so the sample is reproducible
+//! and ungameable by arrival order) is replayed on the Spice tier
+//! *against the same captured view* the fast tier answered from —
+//! exact under concurrent writes by construction. Match sets must be
+//! bit-identical and energies must agree within `audit_tolerance`;
+//! divergences are counted in [`ServiceMetrics`] and emitted as typed
+//! `spice::trace` audit events.
 //!
 //! Shutdown is a *drain*: new submissions are refused with
 //! [`Overloaded::ShuttingDown`] while every request already accepted
@@ -47,10 +68,11 @@ use crate::drain::DrainGate;
 use crate::metrics::{MetricsCollector, ResponseSample, ServiceMetrics};
 use crate::queue::BoundedQueue;
 use crate::request::{AdmissionClass, RequestKind};
-use crate::shard::{hash_packed, ShardedTcam};
+use crate::shard::{hash_packed, LiveTable, ShardedTcam, SnapView, WriteAck, WriteOp};
+use crate::sync::{self, AtomicUsize, Ordering};
 use ferrotcam::{
-    levels_to_query, row_distance, row_in_windows, ApproxHit, PackedQuery, PackedRows,
-    SearchOutcome, SenseModel,
+    levels_to_query, program_duration, row_distance, row_in_windows, ApproxHit, PackedQuery,
+    SearchOutcome, SenseModel, TernaryWord,
 };
 use ferrotcam_spice::parallel::default_jobs;
 use ferrotcam_spice::trace::{self, TraceLevel};
@@ -61,7 +83,10 @@ use std::time::{Duration, Instant};
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Bounded submission-queue capacity (the backpressure horizon).
+    /// Total bounded submission capacity (the backpressure horizon),
+    /// split evenly across the per-shard rings — so the aggregate
+    /// buffering, and with it the worst-case queue wait, does not grow
+    /// with the shard count. Each ring gets at least 2 slots.
     pub queue_capacity: usize,
     /// Most queries the dispatcher coalesces into one batch; 0 means
     /// the backend's preferred batch size.
@@ -76,6 +101,15 @@ pub struct ServiceConfig {
     /// Approximate queries drive every row fully in parallel — no
     /// early termination — so they budget separately by default.
     pub approx_policy: RatePolicy,
+    /// Rate policy for a tenant's *write* traffic (insert / delete /
+    /// update) when no explicit class policy was installed, so a
+    /// bulk-load cannot starve the search path.
+    pub write_policy: RatePolicy,
+    /// Queries whose submit-to-dispatch wait already exceeds this are
+    /// shed at dispatch (their SLO has expired; answering late helps
+    /// nobody and steals bank time from queries that can still make
+    /// it). `None` disables shedding; writes are never deadline-shed.
+    pub deadline: Option<Duration>,
     /// Override for the modelled per-bank busy time (s); defaults to
     /// the attached metrics' two-step latency, else 1 ns.
     pub t_bank: Option<f64>,
@@ -99,6 +133,8 @@ impl Default for ServiceConfig {
             jobs: 0,
             default_policy: RatePolicy::unlimited(),
             approx_policy: RatePolicy::unlimited(),
+            write_policy: RatePolicy::unlimited(),
+            deadline: None,
             t_bank: None,
             backend: BackendKind::Spice,
             audit_period: 10_000,
@@ -108,7 +144,10 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A resolved search.
+/// A resolved request. For write kinds, `matches` carries the affected
+/// global row (the assigned slot for an insert, the addressed row for
+/// an applied update/delete) and is empty when the addressed row was
+/// out of range; the search counters are zero.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResponse {
     /// What this response answers.
@@ -139,17 +178,14 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the response arrives. Every accepted request is
-    /// answered, even across a drain.
-    ///
-    /// # Panics
-    /// Panics if the service was torn down without drain (a bug — the
-    /// service's `Drop` drains).
+    /// Block until the request resolves. `None` means the query was
+    /// deadline-shed at dispatch ([`ServiceConfig::deadline`]) — the
+    /// request was accepted and accounted, but its SLO expired before a
+    /// dispatcher reached it, so no answer was computed. Every accepted
+    /// request resolves one way or the other, even across a drain.
     #[must_use]
-    pub fn wait(self) -> SearchResponse {
-        self.rx
-            .recv()
-            .expect("dispatcher answers every accepted request")
+    pub fn wait(self) -> Option<SearchResponse> {
+        self.rx.recv().ok()
     }
 
     /// Non-blocking poll.
@@ -166,35 +202,43 @@ impl Ticket {
 struct Job {
     query: PackedQuery,
     kind: RequestKind,
+    /// Write kinds carry their row payload here (insert/update word);
+    /// searches carry `None`.
+    word: Option<TernaryWord>,
     shard: Option<usize>,
     enqueued: Instant,
     tx: Option<mpsc::Sender<SearchResponse>>,
 }
 
-/// Shared state between clients and the dispatcher.
+/// Shared state between clients and the dispatchers.
 #[derive(Debug)]
 struct Inner {
-    table: ShardedTcam,
-    queue: BoundedQueue<Job>,
+    table: LiveTable,
+    /// One bounded queue per shard: pinned queries and row-addressed
+    /// writes land on their shard's queue, fan-out queries round-robin.
+    /// Any dispatcher may drain any queue (work stealing), which the
+    /// MPMC queue is built for.
+    queues: Vec<BoundedQueue<Job>>,
+    /// Round-robin cursor spreading fan-out queries over the queues.
+    /// Pure load-balancing state — no ordering is derived from it.
+    route_counter: AtomicUsize,
     admission: Admission,
     metrics: MetricsCollector,
-    /// Drain flag + accepted/completed request accounting.
+    /// Drain flag + accepted/completed request accounting, global
+    /// across every queue and dispatcher.
     gate: DrainGate,
     max_batch: usize,
     jobs: usize,
     t_bank: f64,
+    /// Queries older than this at dispatch are shed unanswered.
+    deadline: Option<Duration>,
     /// Circuit-grounded sense-time model (from the attached metrics'
     /// one-step latency): feeds the batch planner's per-kind cost and
     /// the audit lane's sense-classified threshold reference.
     sense: Option<SenseModel>,
-    /// Per-shard packed snapshot for the audit lane's scalar replay:
-    /// straight `row_distance` / `row_in_windows` walks stay
-    /// independent of the block-scan kernels' masking and bounds but
-    /// are cheap enough to run inline on the dispatcher thread.
-    audit_packed: Vec<PackedRows>,
     backend_kind: BackendKind,
     spice: SpiceBackend,
-    behav: Option<BehaviouralBackend>,
+    behav: BehaviouralBackend,
     audit_period: u64,
     audit_tolerance: f64,
     audit_seed: u64,
@@ -202,10 +246,15 @@ struct Inner {
 
 impl Inner {
     fn backend(&self) -> &dyn ExecBackend {
-        match &self.behav {
-            Some(b) if self.backend_kind == BackendKind::Behavioural => b,
-            _ => &self.spice,
+        match self.backend_kind {
+            BackendKind::Behavioural => &self.behav,
+            BackendKind::Spice => &self.spice,
         }
+    }
+
+    /// Total backlog across every per-shard queue.
+    fn queue_depth(&self) -> usize {
+        self.queues.iter().map(BoundedQueue::len).sum()
     }
 }
 
@@ -274,8 +323,124 @@ impl ServiceClient {
         shard: Option<usize>,
     ) -> Result<Ticket, Overloaded> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(tenant, query, kind, shard, Some(tx))?;
+        self.enqueue(tenant, query, kind, None, shard, Some(tx))?;
         Ok(Ticket { rx })
+    }
+
+    /// Program `word` into a fresh row of the least-loaded shard. The
+    /// response's `matches` carries the assigned global slot id.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit`]; writes are admitted
+    /// against the tenant's *write* token bucket.
+    ///
+    /// # Panics
+    /// Panics on a word-width mismatch.
+    pub fn submit_insert(&self, tenant: TenantId, word: TernaryWord) -> Result<Ticket, Overloaded> {
+        self.submit_write(tenant, RequestKind::Insert, word, None)
+    }
+
+    /// Re-program global row `row` with `word`. The response's
+    /// `matches` echoes the row when applied and is empty when the row
+    /// was out of range.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_insert`].
+    ///
+    /// # Panics
+    /// Panics on a word-width mismatch.
+    pub fn submit_update(
+        &self,
+        tenant: TenantId,
+        row: usize,
+        word: TernaryWord,
+    ) -> Result<Ticket, Overloaded> {
+        self.submit_write(tenant, RequestKind::Update { row }, word, Some(row))
+    }
+
+    /// Retire global row `row` (slot-reuse delete: the shard's last
+    /// local row moves into the freed slot, so *that* row's global id
+    /// changes). The response's `matches` echoes the row when applied
+    /// and is empty when it was out of range.
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_insert`].
+    pub fn submit_delete(&self, tenant: TenantId, row: usize) -> Result<Ticket, Overloaded> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue_write(
+            tenant,
+            RequestKind::Delete { row },
+            None,
+            Some(row),
+            Some(tx),
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    fn submit_write(
+        &self,
+        tenant: TenantId,
+        kind: RequestKind,
+        word: TernaryWord,
+        row: Option<usize>,
+    ) -> Result<Ticket, Overloaded> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue_write(tenant, kind, Some(word), row, Some(tx))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Fire-and-forget insert (open-loop write load).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_insert`].
+    pub fn submit_insert_noreply(
+        &self,
+        tenant: TenantId,
+        word: TernaryWord,
+    ) -> Result<(), Overloaded> {
+        self.enqueue_write(tenant, RequestKind::Insert, Some(word), None, None)
+    }
+
+    /// Fire-and-forget update (open-loop write load).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_insert`].
+    pub fn submit_update_noreply(
+        &self,
+        tenant: TenantId,
+        row: usize,
+        word: TernaryWord,
+    ) -> Result<(), Overloaded> {
+        self.enqueue_write(
+            tenant,
+            RequestKind::Update { row },
+            Some(word),
+            Some(row),
+            None,
+        )
+    }
+
+    /// Fire-and-forget delete (open-loop write load).
+    ///
+    /// # Errors
+    /// Same sheds as [`ServiceClient::submit_insert`].
+    pub fn submit_delete_noreply(&self, tenant: TenantId, row: usize) -> Result<(), Overloaded> {
+        self.enqueue_write(tenant, RequestKind::Delete { row }, None, Some(row), None)
+    }
+
+    /// Shared write-submission path: row-addressed writes queue on
+    /// their row's shard (dispatch affinity — any dispatcher may still
+    /// steal them), inserts round-robin like fan-out queries.
+    fn enqueue_write(
+        &self,
+        tenant: TenantId,
+        kind: RequestKind,
+        word: Option<TernaryWord>,
+        row: Option<usize>,
+        tx: Option<mpsc::Sender<SearchResponse>>,
+    ) -> Result<(), Overloaded> {
+        let shard = row.map(|r| r % self.inner.table.shard_count());
+        self.enqueue(tenant, PackedQuery::from_bits(&[]), kind, word, shard, tx)
     }
 
     /// All rows within Hamming distance `t` of `query` (wildcarded
@@ -344,7 +509,7 @@ impl ServiceClient {
         query: PackedQuery,
         shard: Option<usize>,
     ) -> Result<(), Overloaded> {
-        self.enqueue(tenant, query, RequestKind::Exact, shard, None)
+        self.enqueue(tenant, query, RequestKind::Exact, None, shard, None)
     }
 
     /// [`Self::submit_noreply`] for any request kind (open-loop
@@ -359,7 +524,7 @@ impl ServiceClient {
         kind: RequestKind,
         shard: Option<usize>,
     ) -> Result<(), Overloaded> {
-        self.enqueue(tenant, query, kind, shard, None)
+        self.enqueue(tenant, query, kind, None, shard, None)
     }
 
     fn enqueue(
@@ -367,11 +532,18 @@ impl ServiceClient {
         tenant: TenantId,
         query: PackedQuery,
         kind: RequestKind,
+        word: Option<TernaryWord>,
         shard: Option<usize>,
         tx: Option<mpsc::Sender<SearchResponse>>,
     ) -> Result<(), Overloaded> {
         let inner = &*self.inner;
-        assert_eq!(query.width(), inner.table.width(), "query width mismatch");
+        if kind.is_write() {
+            if let Some(w) = &word {
+                assert_eq!(w.len(), inner.table.width(), "word width mismatch");
+            }
+        } else {
+            assert_eq!(query.width(), inner.table.width(), "query width mismatch");
+        }
         if let Some(s) = shard {
             assert!(s < inner.table.shard_count(), "shard {s} out of range");
         }
@@ -387,26 +559,33 @@ impl ServiceClient {
             return Err(e);
         }
         // Accept atomically against the drain flag: either this bumps
-        // the accepted count before the drain begins (the dispatcher
+        // the accepted count before the drain begins (a dispatcher
         // will then wait for it) or the service is already draining.
         if !inner.gate.try_accept() {
             inner.metrics.on_shed(Overloaded::ShuttingDown, kind);
             return Err(Overloaded::ShuttingDown);
         }
+        // Pinned work queues on its shard's dispatcher; fan-out work
+        // round-robins so no single dispatcher owns the merge load.
+        let qi = shard.unwrap_or_else(|| {
+            inner.route_counter.fetch_add(1, Ordering::Relaxed) // ordering: route-relaxed
+                % inner.queues.len()
+        });
         let job = Job {
             query,
             kind,
+            word,
             shard,
             enqueued: now,
             tx,
         };
-        if inner.queue.push(job).is_err() {
+        if inner.queues[qi].push(job).is_err() {
             // Give the acceptance back before reporting the shed.
             inner.gate.retract();
             inner.metrics.on_shed(Overloaded::QueueFull, kind);
             return Err(Overloaded::QueueFull);
         }
-        inner.metrics.on_submit(inner.queue.len());
+        inner.metrics.on_submit(inner.queues[qi].len());
         Ok(())
     }
 
@@ -434,6 +613,24 @@ impl ServiceClient {
         self.submit_packed(tenant, query, Some(shard))
     }
 
+    /// The shard a key-partitioned packed query routes to.
+    #[must_use]
+    pub fn route_packed(&self, query: &PackedQuery) -> usize {
+        self.inner.table.route_packed(query)
+    }
+
+    /// Served word width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.inner.table.width()
+    }
+
+    /// Number of shards (and dispatchers).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.table.shard_count()
+    }
+
     /// Install a per-tenant rate policy for *exact* traffic.
     pub fn set_policy(&self, tenant: TenantId, policy: RatePolicy) {
         self.inner.admission.set_policy(tenant, policy);
@@ -448,13 +645,15 @@ impl ServiceClient {
     /// Snapshot the service metrics.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        self.inner.metrics.snapshot(self.inner.queue.len())
+        self.inner.metrics.snapshot(self.inner.queue_depth())
     }
 
-    /// The served table (shape and attached metrics).
+    /// A consistent point-in-time view of the served table (shape,
+    /// rows, attached metrics, per-shard epochs). The view is immutable
+    /// — later writes publish new snapshots and never touch it.
     #[must_use]
-    pub fn table(&self) -> &ShardedTcam {
-        &self.inner.table
+    pub fn table(&self) -> SnapView {
+        self.inner.table.snapshot()
     }
 
     /// The execution tier this service answers on.
@@ -464,20 +663,22 @@ impl ServiceClient {
     }
 }
 
-/// The running service: owns the dispatcher thread.
+/// The running service: owns one dispatcher thread per shard.
 #[derive(Debug)]
 pub struct TcamService {
     inner: Arc<Inner>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl TcamService {
-    /// Start serving `table` under `config`; spawns the dispatcher.
-    /// A behavioural-tier service transposes the table into bit-sliced
-    /// match planes here, once.
+    /// Start serving `table` under `config`; converts the table into
+    /// its live (write-accepting) form and spawns one dispatcher per
+    /// shard. Attach [`ferrotcam::RowWriteMetrics`] to the table first
+    /// (via [`ShardedTcam::attach_write_metrics`]) to have writes
+    /// priced by the calibrated 3-step program.
     ///
     /// # Panics
-    /// Panics if the dispatcher thread cannot be spawned.
+    /// Panics if a dispatcher thread cannot be spawned.
     #[must_use]
     pub fn start(table: ShardedTcam, config: &ServiceConfig) -> Self {
         let t_bank = config
@@ -489,12 +690,10 @@ impl TcamService {
         } else {
             config.jobs
         };
-        let behav =
-            (config.backend == BackendKind::Behavioural).then(|| BehaviouralBackend::build(&table));
         let max_batch = if config.max_batch == 0 {
-            match &behav {
-                Some(b) => b.preferred_batch(),
-                None => SpiceBackend.preferred_batch(),
+            match config.backend {
+                BackendKind::Behavioural => BehaviouralBackend.preferred_batch(),
+                BackendKind::Spice => SpiceBackend.preferred_batch(),
             }
         } else {
             config.max_batch
@@ -502,42 +701,42 @@ impl TcamService {
         let sense = table
             .metrics()
             .map(|m| SenseModel::analytic(m.latency_1step));
-        let audit_packed = (0..table.shard_count())
-            .map(|s| {
-                let mut p = PackedRows::new(table.width());
-                for row in table.shard(s).rows() {
-                    p.push(row);
-                }
-                p
-            })
-            .collect();
+        let shards = table.shard_count();
         let inner = Arc::new(Inner {
-            table,
-            queue: BoundedQueue::new(config.queue_capacity),
-            admission: Admission::new(config.default_policy, config.approx_policy),
+            table: LiveTable::from_sharded(&table),
+            queues: (0..shards)
+                .map(|_| BoundedQueue::new((config.queue_capacity / shards).max(2)))
+                .collect(),
+            route_counter: AtomicUsize::new(0),
+            admission: Admission::new(
+                config.default_policy,
+                config.approx_policy,
+                config.write_policy,
+            ),
             metrics: MetricsCollector::new(),
             gate: DrainGate::new(),
             max_batch: max_batch.max(1),
             jobs,
             t_bank,
+            deadline: config.deadline,
             sense,
-            audit_packed,
             backend_kind: config.backend,
             spice: SpiceBackend,
-            behav,
+            behav: BehaviouralBackend,
             audit_period: config.audit_period,
             audit_tolerance: config.audit_tolerance,
             audit_seed: config.audit_seed,
         });
-        let worker_inner = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name("ferrotcam-serve".into())
-            .spawn(move || dispatch_loop(&worker_inner))
-            .expect("spawn dispatcher");
-        Self {
-            inner,
-            worker: Some(worker),
-        }
+        let workers = (0..shards)
+            .map(|me| {
+                let worker_inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ferrotcam-serve-{me}"))
+                    .spawn(move || dispatch_loop(&worker_inner, me))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        Self { inner, workers }
     }
 
     /// A cloneable client handle.
@@ -551,20 +750,20 @@ impl TcamService {
     /// Snapshot the service metrics.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        self.inner.metrics.snapshot(self.inner.queue.len())
+        self.inner.metrics.snapshot(self.inner.queue_depth())
     }
 
     /// Graceful shutdown: refuse new work, answer everything already
-    /// accepted, stop the dispatcher, and return the final metrics.
+    /// accepted, stop every dispatcher, and return the final metrics.
     #[must_use]
     pub fn drain(mut self) -> ServiceMetrics {
         self.begin_drain_and_join();
-        self.inner.metrics.snapshot(self.inner.queue.len())
+        self.inner.metrics.snapshot(self.inner.queue_depth())
     }
 
     fn begin_drain_and_join(&mut self) {
         self.inner.gate.begin_drain();
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -576,27 +775,42 @@ impl Drop for TcamService {
     }
 }
 
-/// Dispatcher main loop: coalesce, execute, answer; exit only when
-/// draining and every accepted request has been answered.
-fn dispatch_loop(inner: &Inner) {
-    // The audit sampler's own monotone counter: advancing it per
-    // *accepted behavioural job* makes the 1-in-`period` sample
-    // deterministic for a given seed, independent of batching.
+/// Dispatcher `me`'s main loop: drain the own queue first; when it is
+/// empty, steal a batch from a peer's queue (cyclic scan starting at
+/// the next shard, so thieves spread instead of convoying); execute;
+/// exit only when draining and every accepted request has resolved.
+fn dispatch_loop(inner: &Inner, me: usize) {
+    // The audit sampler's per-dispatcher monotone counter: advancing it
+    // per accepted behavioural job makes the 1-in-`period` sample
+    // deterministic for a given seed, independent of batching and of
+    // which queue the job was stolen from.
     let mut audit_counter: u64 = 0;
     // One batch buffer for the dispatcher's lifetime: `execute_batch`
     // drains it in place, so the hot loop allocates nothing per
     // iteration (the analyzer's hot-path-alloc rule keeps it that way).
     let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
+    let n = inner.queues.len();
     loop {
-        inner.queue.drain_into(&mut batch, inner.max_batch);
+        inner.queues[me].drain_into(&mut batch, inner.max_batch);
         if batch.is_empty() {
-            if inner.gate.quiescent() && inner.queue.is_empty() {
+            // Work stealing: take a whole batch from the first
+            // non-empty peer. The queue is MPMC, so concurrent thieves
+            // are safe; at worst two dispatchers split one backlog.
+            for off in 1..n {
+                inner.queues[(me + off) % n].drain_into(&mut batch, inner.max_batch);
+                if !batch.is_empty() {
+                    break;
+                }
+            }
+        }
+        if batch.is_empty() {
+            if inner.gate.quiescent() && inner.queues.iter().all(BoundedQueue::is_empty) {
                 break;
             }
-            std::thread::sleep(Duration::from_micros(20));
+            sync::idle_wait();
             continue;
         }
-        execute_batch(inner, &mut batch, &mut audit_counter);
+        execute_batch(inner, me, &mut batch, &mut audit_counter);
     }
 }
 
@@ -617,23 +831,68 @@ fn kind_cost(kind: RequestKind, sense: Option<&SenseModel>, t_bank: f64) -> f64 
         RequestKind::Exact | RequestKind::TopK { .. } => 1.0,
         RequestKind::Threshold { t } => (model.sense_time(t) / t_bank).clamp(0.05, 4.0),
         RequestKind::Range => (model.discharge_time(1) / t_bank).clamp(0.05, 4.0),
+        // Writes never enter the search batch plan.
+        _ => 1.0,
     }
 }
 
-/// Run one batch: plan per-bank work, execute on the configured tier,
-/// model the bank schedule, attribute energy, audit a sample, resolve
-/// tickets. Drains `jobs` in place so the dispatcher's batch buffer is
-/// reused across iterations.
-fn execute_batch(inner: &Inner, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
+/// Run one batch: apply its writes first (one epoch bump per touched
+/// shard), capture a snapshot view, deadline-shed expired queries, plan
+/// and execute the remaining searches on the configured tier against
+/// that view, model the bank schedule, attribute energy, audit a
+/// sample, resolve tickets. Drains `jobs` in place so the dispatcher's
+/// batch buffer is reused across iterations.
+///
+/// Ordering: writes-before-searches within one batch is a valid
+/// linearization — every job in the batch was accepted before any of
+/// them executed, and searches then observe all of the batch's writes.
+fn execute_batch(inner: &Inner, me: usize, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
     let tracing = trace::level() != TraceLevel::Off;
     let _span = tracing.then(|| trace::span("serve.batch"));
     let backend = inner.backend();
 
+    // Writes first, in batch order.
+    let mut writes: Vec<Job> = Vec::new();
+    let mut searches: Vec<Job> = Vec::new();
+    for job in jobs.drain(..) {
+        if job.kind.is_write() {
+            writes.push(job);
+        } else {
+            searches.push(job);
+        }
+    }
+    if !writes.is_empty() {
+        apply_writes(inner, writes);
+    }
+
+    // Capture the view every search of this batch answers from. Taken
+    // *after* the writes so the batch's own mutations are visible; an
+    // in-flight search on another dispatcher keeps its own older view.
+    let view = inner.table.snapshot();
+
+    // Deadline shedding: a query whose SLO already expired in the
+    // queue is dropped here, before it can occupy a bank.
+    if let Some(deadline) = inner.deadline {
+        let now = Instant::now();
+        searches.retain(|job| {
+            if now.saturating_duration_since(job.enqueued) <= deadline {
+                return true;
+            }
+            inner.metrics.on_deadline_shed(job.kind);
+            // Dropping `tx` unanswered resolves the ticket to `None`.
+            inner.gate.complete();
+            false
+        });
+    }
+    if searches.is_empty() {
+        return;
+    }
+
     // Split the Sync part (queries/kinds/targets) from the send side
     // (tickets) so the worker pool only ever sees the former.
-    let targets: Vec<Option<usize>> = jobs.iter().map(|j| j.shard).collect();
-    let queries: Vec<PackedQuery> = jobs.iter().map(|j| j.query.clone()).collect();
-    let kinds: Vec<RequestKind> = jobs.iter().map(|j| j.kind).collect();
+    let targets: Vec<Option<usize>> = searches.iter().map(|j| j.shard).collect();
+    let queries: Vec<PackedQuery> = searches.iter().map(|j| j.query.clone()).collect();
+    let kinds: Vec<RequestKind> = searches.iter().map(|j| j.kind).collect();
     let costs: Vec<f64> = kinds
         .iter()
         .map(|&k| kind_cost(k, inner.sense.as_ref(), inner.t_bank))
@@ -650,35 +909,36 @@ fn execute_batch(inner: &Inner, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
         hits: mut all_hits,
         per_job_latency_s,
         sched,
-    } = backend.execute(&inner.table, &spec, inner.jobs, inner.t_bank);
-    inner.metrics.on_batch(jobs.len(), &sched);
+    } = backend.execute(&view, &spec, inner.jobs, inner.t_bank);
+    inner.metrics.on_batch(searches.len(), &sched);
 
     // One clock read for the whole batch: per-job wall latency is pure
     // arithmetic against it.
     let now = Instant::now();
     let audit = backend.kind() == BackendKind::Behavioural && inner.audit_period > 0;
-    let mut samples: Vec<ResponseSample> = Vec::with_capacity(jobs.len());
-    for (j, job) in jobs.drain(..).enumerate() {
+    let mut samples: Vec<ResponseSample> = Vec::with_capacity(searches.len());
+    for (j, job) in searches.drain(..).enumerate() {
         let outcome = std::mem::replace(&mut outcomes[j], SearchOutcome::empty());
         let hits = std::mem::take(&mut all_hits[j]);
         let rows_searched = match job.shard {
-            Some(s) => inner.table.shard(s).len(),
-            None => inner.table.len(),
+            Some(s) => view.shard(s).rows(),
+            None => view.len(),
         };
-        let energy_j = inner.table.energy_of_kind(job.kind, &outcome);
+        let energy_j = view.energy_of_kind(job.kind, &outcome);
         let wall_latency_ns = u64::try_from(now.saturating_duration_since(job.enqueued).as_nanos())
             .unwrap_or(u64::MAX);
         if tracing {
             trace::sample("serve.queue_wait_ns", wall_latency_ns);
         }
         if audit {
-            // Deterministic 1-in-`period` sample over the accept
-            // counter (SplitMix64-whitened so the sample is spread, not
-            // periodic in arrival order).
-            let mut state = inner.audit_seed ^ *audit_counter;
+            // Deterministic 1-in-`period` sample over the per-
+            // dispatcher accept counter (SplitMix64-whitened so the
+            // sample is spread, not periodic in arrival order; the
+            // shard id folds in so dispatchers sample independently).
+            let mut state = inner.audit_seed ^ ((me as u64) << 48) ^ *audit_counter;
             *audit_counter += 1;
             if split_mix64(&mut state).is_multiple_of(inner.audit_period) {
-                audit_replay(inner, &job, &outcome, &hits, energy_j);
+                audit_replay(inner, &view, &job, &outcome, &hits, energy_j);
             }
         }
         samples.push(ResponseSample {
@@ -711,6 +971,74 @@ fn execute_batch(inner: &Inner, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
     inner.metrics.on_responses(&samples);
 }
 
+/// Commit one batch's writes through the live table and resolve their
+/// tickets. Each write is priced by the calibrated 3-step program
+/// (energy = per-cell write energy × width, latency = the program's
+/// three phase windows) when [`ferrotcam::RowWriteMetrics`] are
+/// attached; without metrics the latency falls back to the design's
+/// nominal program duration and the energy is `None`, mirroring how
+/// searches degrade without attached search metrics.
+fn apply_writes(inner: &Inner, mut writes: Vec<Job>) {
+    let ops: Vec<WriteOp> = writes
+        .iter()
+        .map(|job| match job.kind {
+            RequestKind::Insert => {
+                WriteOp::Insert(job.word.clone().expect("insert jobs carry their word"))
+            }
+            RequestKind::Update { row } => WriteOp::Update {
+                row,
+                word: job.word.clone().expect("update jobs carry their word"),
+            },
+            RequestKind::Delete { row } => WriteOp::Delete { row },
+            _ => unreachable!("search kinds never reach the write path"),
+        })
+        .collect();
+    let acks = inner.table.apply(&ops);
+    let (energy_j, model_latency_s) = match inner.table.write_metrics() {
+        Some(m) => (Some(m.energy), m.latency),
+        None => (None, program_duration()),
+    };
+    let now = Instant::now();
+    let mut samples: Vec<ResponseSample> = Vec::with_capacity(writes.len());
+    for (job, ack) in writes.drain(..).zip(acks) {
+        let matches = match ack {
+            WriteAck::Inserted { row } => vec![row],
+            WriteAck::Applied => match job.kind {
+                RequestKind::Update { row } | RequestKind::Delete { row } => vec![row],
+                _ => Vec::new(),
+            },
+            WriteAck::OutOfRange => Vec::new(),
+        };
+        let wall_latency_ns = u64::try_from(now.saturating_duration_since(job.enqueued).as_nanos())
+            .unwrap_or(u64::MAX);
+        samples.push(ResponseSample {
+            kind: job.kind,
+            wall_ns: wall_latency_ns,
+            model_latency_s: Some(model_latency_s),
+            rows: 0,
+            step1_misses: 0,
+            step2_misses: 0,
+            matches: matches.len(),
+            energy_j,
+        });
+        if let Some(tx) = job.tx {
+            let _ = tx.send(SearchResponse {
+                kind: job.kind,
+                matches,
+                hits: Vec::new(),
+                step1_misses: 0,
+                step2_misses: 0,
+                rows_searched: 0,
+                energy_j,
+                model_latency_s,
+                wall_latency_ns,
+            });
+        }
+        inner.gate.complete();
+    }
+    inner.metrics.on_responses(&samples);
+}
+
 /// The audit lane's sense-classified threshold reference: every row is
 /// accepted iff its modelled match-line discharge time falls *after*
 /// the threshold's sense point — the decision the analog sense
@@ -719,7 +1047,7 @@ fn execute_batch(inner: &Inner, jobs: &mut Vec<Job>, audit_counter: &mut u64) {
 /// (the sense point sits strictly between the `t` and `t+1` discharge
 /// curves), so any disagreement is a served-kernel bug.
 fn sense_reference(
-    inner: &Inner,
+    view: &SnapView,
     job: &Job,
     t: u32,
     model: &SenseModel,
@@ -727,19 +1055,21 @@ fn sense_reference(
     let sense_at = model.sense_time(t);
     let mut outcome = SearchOutcome::empty();
     let mut hits = Vec::new();
-    for s in audit_shards(inner, job) {
-        let p = &inner.audit_packed[s];
-        for l in 0..p.rows() {
-            let d = row_distance(p, l, &job.query);
-            if model.discharge_time(d) > sense_at {
-                let g = inner.table.global_row(s, l);
-                outcome.matches.push(g);
-                hits.push(ApproxHit {
-                    row: g,
-                    distance: d,
-                });
-            } else {
-                outcome.step1_misses += 1;
+    for s in audit_shards(view, job) {
+        for (base, blk) in view.shard(s).blocks() {
+            let p = blk.packed();
+            for l in 0..p.rows() {
+                let d = row_distance(p, l, &job.query);
+                if model.discharge_time(d) > sense_at {
+                    let g = view.global_row(s, base + l);
+                    outcome.matches.push(g);
+                    hits.push(ApproxHit {
+                        row: g,
+                        distance: d,
+                    });
+                } else {
+                    outcome.step1_misses += 1;
+                }
             }
         }
     }
@@ -749,38 +1079,40 @@ fn sense_reference(
 }
 
 /// The shards a job's audit replay must cover.
-fn audit_shards(inner: &Inner, job: &Job) -> Vec<usize> {
+fn audit_shards(view: &SnapView, job: &Job) -> Vec<usize> {
     match job.shard {
         Some(s) => vec![s],
-        None => (0..inner.table.shard_count()).collect(),
+        None => (0..view.shard_count()).collect(),
     }
 }
 
 /// Scalar packed reference for the audit lane's approximate kinds:
 /// straight per-row [`row_distance`] / [`row_in_windows`] walks over
-/// the shard snapshots — no block masking, no bound bookkeeping —
-/// producing the same outcome shape the serving tiers converge to.
-fn packed_reference(inner: &Inner, job: &Job) -> (SearchOutcome, Vec<ApproxHit>) {
+/// the captured snapshot blocks — no block-scan masking, no bound
+/// bookkeeping — producing the same outcome shape the serving tiers
+/// converge to. Replaying against the batch's own view makes the lane
+/// exact under concurrent writes: both sides answered from the same
+/// immutable rows.
+fn packed_reference(view: &SnapView, job: &Job) -> (SearchOutcome, Vec<ApproxHit>) {
     let mut outcome = SearchOutcome::empty();
     let mut hits = Vec::new();
     match job.kind {
-        RequestKind::Exact => {
-            return reference_search(&inner.table, job.kind, &job.query, job.shard);
-        }
         RequestKind::Threshold { t } => {
-            for s in audit_shards(inner, job) {
-                let p = &inner.audit_packed[s];
-                for l in 0..p.rows() {
-                    let d = row_distance(p, l, &job.query);
-                    if d <= t {
-                        let g = inner.table.global_row(s, l);
-                        outcome.matches.push(g);
-                        hits.push(ApproxHit {
-                            row: g,
-                            distance: d,
-                        });
-                    } else {
-                        outcome.step1_misses += 1;
+            for s in audit_shards(view, job) {
+                for (base, blk) in view.shard(s).blocks() {
+                    let p = blk.packed();
+                    for l in 0..p.rows() {
+                        let d = row_distance(p, l, &job.query);
+                        if d <= t {
+                            let g = view.global_row(s, base + l);
+                            outcome.matches.push(g);
+                            hits.push(ApproxHit {
+                                row: g,
+                                distance: d,
+                            });
+                        } else {
+                            outcome.step1_misses += 1;
+                        }
                     }
                 }
             }
@@ -789,14 +1121,16 @@ fn packed_reference(inner: &Inner, job: &Job) -> (SearchOutcome, Vec<ApproxHit>)
         }
         RequestKind::TopK { k } => {
             let mut examined = 0usize;
-            for s in audit_shards(inner, job) {
-                let p = &inner.audit_packed[s];
-                examined += p.rows();
-                for l in 0..p.rows() {
-                    hits.push(ApproxHit {
-                        row: inner.table.global_row(s, l),
-                        distance: row_distance(p, l, &job.query),
-                    });
+            for s in audit_shards(view, job) {
+                for (base, blk) in view.shard(s).blocks() {
+                    let p = blk.packed();
+                    examined += p.rows();
+                    for l in 0..p.rows() {
+                        hits.push(ApproxHit {
+                            row: view.global_row(s, base + l),
+                            distance: row_distance(p, l, &job.query),
+                        });
+                    }
                 }
             }
             hits.sort_unstable();
@@ -806,17 +1140,24 @@ fn packed_reference(inner: &Inner, job: &Job) -> (SearchOutcome, Vec<ApproxHit>)
             outcome.step1_misses = examined - hits.len();
         }
         RequestKind::Range => {
-            for s in audit_shards(inner, job) {
-                let p = &inner.audit_packed[s];
-                for l in 0..p.rows() {
-                    if row_in_windows(p, l, &job.query) {
-                        outcome.matches.push(inner.table.global_row(s, l));
-                    } else {
-                        outcome.step1_misses += 1;
+            for s in audit_shards(view, job) {
+                for (base, blk) in view.shard(s).blocks() {
+                    let p = blk.packed();
+                    for l in 0..p.rows() {
+                        if row_in_windows(p, l, &job.query) {
+                            outcome.matches.push(view.global_row(s, base + l));
+                        } else {
+                            outcome.step1_misses += 1;
+                        }
                     }
                 }
             }
             outcome.matches.sort_unstable();
+        }
+        // Exact replays through the naive row-order kernel; writes
+        // never enter the audit lane.
+        _ => {
+            return reference_search(view, job.kind, &job.query, job.shard);
         }
     }
     (outcome, hits)
@@ -827,19 +1168,21 @@ fn packed_reference(inner: &Inner, job: &Job) -> (SearchOutcome, Vec<ApproxHit>)
 /// row-order kernel ([`reference_search`]); top-k / range requests
 /// replay through the scalar packed reference; threshold requests
 /// replay through the sense-time classifier when a model is attached,
-/// grounding the audit in the circuit's analog decision.
+/// grounding the audit in the circuit's analog decision. All replays
+/// run against the same captured view the fast tier answered from.
 fn audit_replay(
     inner: &Inner,
+    view: &SnapView,
     job: &Job,
     fast: &SearchOutcome,
     fast_hits: &[ApproxHit],
     fast_energy: Option<f64>,
 ) {
     let (reference, ref_hits) = match (job.kind, inner.sense.as_ref()) {
-        (RequestKind::Threshold { t }, Some(model)) => sense_reference(inner, job, t, model),
-        _ => packed_reference(inner, job),
+        (RequestKind::Threshold { t }, Some(model)) => sense_reference(view, job, t, model),
+        _ => packed_reference(view, job),
     };
-    let ref_energy = inner.table.energy_of_kind(job.kind, &reference);
+    let ref_energy = view.energy_of_kind(job.kind, &reference);
     let verdict = audit_compare(
         fast,
         fast_hits,
@@ -882,11 +1225,18 @@ mod tests {
         (0..8).rev().map(|b| (v >> b) & 1 == 1).collect()
     }
 
+    /// `Ticket::wait` for tests without a deadline configured: every
+    /// accepted request is answered.
+    fn answered(t: Ticket) -> SearchResponse {
+        t.wait()
+            .expect("no deadline configured; every ticket answers")
+    }
+
     #[test]
     fn single_query_roundtrip() {
         let svc = TcamService::start(table(16, 2), &ServiceConfig::default());
         let client = svc.client();
-        let resp = client.submit(0, bits(9), None).unwrap().wait();
+        let resp = answered(client.submit(0, bits(9), None).unwrap());
         // 9 = 3*3 is stored; fan-out scans all 16 rows.
         assert!(!resp.matches.is_empty());
         assert_eq!(resp.rows_searched, 16);
@@ -909,7 +1259,7 @@ mod tests {
         let svc = TcamService::start(t, &ServiceConfig::default());
         let client = svc.client();
         for v in [0u64, 3, 30, 93, 200] {
-            let resp = client.submit(0, bits(v), None).unwrap().wait();
+            let resp = answered(client.submit(0, bits(v), None).unwrap());
             assert_eq!(resp.matches, reference.search_naive(&bits(v)), "v={v}");
         }
         drop(svc);
@@ -933,7 +1283,7 @@ mod tests {
                 r
             };
             for v in [0u64, 3, 30, 93, 200, 255] {
-                let resp = client.submit(0, bits(v), None).unwrap().wait();
+                let resp = answered(client.submit(0, bits(v), None).unwrap());
                 let flat = reference.search(&bits(v));
                 assert_eq!(resp.matches, flat.matches, "{backend} v={v}");
                 assert_eq!(resp.step1_misses, flat.step1_misses, "{backend} v={v}");
@@ -955,7 +1305,7 @@ mod tests {
         let svc = TcamService::start(table(48, 3), &config);
         let client = svc.client();
         for v in 0..64u64 {
-            let _ = client.submit(0, bits(v * 5), None).unwrap().wait();
+            let _ = answered(client.submit(0, bits(v * 5), None).unwrap());
         }
         let m = svc.drain();
         assert_eq!(m.completed, 64);
@@ -995,7 +1345,7 @@ mod tests {
         let m = svc.drain();
         assert_eq!(m.completed, 50);
         for t in tickets {
-            let _ = t.wait(); // must not hang or panic
+            let _ = t.wait().expect("drain answers"); // must not hang or panic
         }
         // After drain, new submissions shed as ShuttingDown.
         assert_eq!(
@@ -1033,7 +1383,7 @@ mod tests {
         let svc = TcamService::start(t, &ServiceConfig::default());
         let client = svc.client();
         for i in [0u64, 17, 42, 63] {
-            let resp = client.submit_routed(0, bits(i)).unwrap().wait();
+            let resp = answered(client.submit_routed(0, bits(i)).unwrap());
             assert_eq!(resp.matches.len(), 1, "key {i} found on its shard");
             assert!(resp.rows_searched < 64, "scans one shard, not the table");
         }
@@ -1050,11 +1400,12 @@ mod tests {
         let svc = TcamService::start(t, &ServiceConfig::default());
         let client = svc.client();
         for i in [0u64, 17, 42, 63] {
-            let a = client.submit_routed(0, bits(i)).unwrap().wait();
-            let b = client
-                .submit_packed_routed(0, PackedQuery::from_bits(&bits(i)))
-                .unwrap()
-                .wait();
+            let a = answered(client.submit_routed(0, bits(i)).unwrap());
+            let b = answered(
+                client
+                    .submit_packed_routed(0, PackedQuery::from_bits(&bits(i)))
+                    .unwrap(),
+            );
             assert_eq!(a.matches, b.matches, "key {i}");
             assert_eq!(a.rows_searched, b.rows_searched, "same shard routed");
         }

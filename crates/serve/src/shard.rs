@@ -18,10 +18,38 @@
 //! — `step-1 misses × E₁ + surviving rows × E₂` — and, because that sum
 //! is linear over rows, sharding never changes the total a query would
 //! have burned on the unsharded array.
+//!
+//! # Online writes: the epoch/snapshot layer
+//!
+//! [`ShardedTcam`] is the *build-time* table. The serve layer does not
+//! search it directly any more; at service start it is converted into a
+//! [`LiveTable`] — one [`EpochCell`] per shard, each holding an
+//! `Arc<`[`ShardSnap`]`>` — and every dispatched batch searches a
+//! captured [`SnapView`]. The invariant the whole write path hangs on:
+//!
+//! * a snapshot, once captured, **never mutates** — a write commits by
+//!   publishing a *successor* snapshot into the cell and bumping the
+//!   shard's epoch, so an in-flight search can never observe a torn
+//!   word (half old row, half new row);
+//! * snapshots copy-on-write at [`BLOCK_ROWS`]-row granularity: the
+//!   successor shares every untouched [`RowBlock`] `Arc` with its
+//!   predecessor, so a write clones one block (and its sliced planes),
+//!   not the shard.
+//!
+//! Cross-shard atomicity is deliberately *not* promised: a fan-out
+//! search sees each shard at its own epoch (the view records them).
+//! Per shard, reads are linearizable — a search observes exactly the
+//! table as of some committed write batch.
 
+use crate::request::RequestKind;
+use crate::sync::{AtomicU64, Mutex, Ordering};
+use ferrotcam::approx::RangeRows;
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{BehavioralTcam, PackedQuery, SearchOutcome, TernaryWord};
+use ferrotcam::{
+    BehavioralTcam, BitSlices, PackedQuery, PackedRows, RowWriteMetrics, SearchOutcome, TernaryWord,
+};
 use rand::split_mix64;
+use std::sync::Arc;
 
 /// A ternary table split across `n` behavioural shards.
 #[derive(Debug, Clone)]
@@ -29,6 +57,7 @@ pub struct ShardedTcam {
     width: usize,
     shards: Vec<BehavioralTcam>,
     metrics: Option<SearchMetrics>,
+    write_metrics: Option<RowWriteMetrics>,
 }
 
 /// Deterministic SplitMix64 hash of a query bit-pattern, used for
@@ -89,6 +118,7 @@ impl ShardedTcam {
             width,
             shards: (0..shards).map(|_| BehavioralTcam::new(width)).collect(),
             metrics: None,
+            write_metrics: None,
         }
     }
 
@@ -135,6 +165,18 @@ impl ShardedTcam {
     #[must_use]
     pub fn metrics(&self) -> Option<&SearchMetrics> {
         self.metrics.as_ref()
+    }
+
+    /// Attach the calibrated 3-step program figures that price online
+    /// writes (from [`ferrotcam::Calibration::write_metrics`]).
+    pub fn attach_write_metrics(&mut self, metrics: RowWriteMetrics) {
+        self.write_metrics = Some(metrics);
+    }
+
+    /// The attached write-pricing metrics, if any.
+    #[must_use]
+    pub fn write_metrics(&self) -> Option<&RowWriteMetrics> {
+        self.write_metrics.as_ref()
     }
 
     /// Global slot id of a shard-local row: `local * n + shard`. For
@@ -248,7 +290,8 @@ impl ShardedTcam {
 
     /// Energy (J) of one answered request: early-termination
     /// accounting ([`Self::energy_of`]) for exact matches,
-    /// full-parallel accounting for the approximate kinds.
+    /// full-parallel accounting for the approximate kinds, `None` for
+    /// writes (priced by the 3-step program, not a search model).
     #[must_use]
     pub fn energy_of_kind(
         &self,
@@ -257,6 +300,623 @@ impl ShardedTcam {
     ) -> Option<f64> {
         match kind {
             crate::request::RequestKind::Exact => self.energy_of(outcome),
+            k if k.is_write() => None,
+            _ => self.energy_full_parallel(outcome.rows_examined()),
+        }
+    }
+}
+
+/// Rows per copy-on-write block of a [`ShardSnap`].
+pub const BLOCK_ROWS: usize = 512;
+
+/// One copy-on-write unit of a shard snapshot: up to [`BLOCK_ROWS`]
+/// rows as bit-sliced match planes (with the row-major packed words
+/// backing survivor verification and the scalar reference walks) plus,
+/// for even widths, the lane-packed `[lo, hi]` range table.
+#[derive(Debug, Clone)]
+pub struct RowBlock {
+    slices: BitSlices,
+    /// `None` for odd widths (range mode pairs digits into cells).
+    ranges: Option<RangeRows>,
+}
+
+impl RowBlock {
+    fn new(width: usize) -> Self {
+        Self {
+            slices: BitSlices::build(PackedRows::new(width)),
+            ranges: width.is_multiple_of(2).then(|| RangeRows::new(width / 2)),
+        }
+    }
+
+    /// Rows stored in this block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slices.rows()
+    }
+
+    /// Whether the block holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bit-sliced match planes (the behavioural tier's exact
+    /// kernel).
+    #[must_use]
+    pub fn slices(&self) -> &BitSlices {
+        &self.slices
+    }
+
+    /// The row-major packed words (scalar reference walks and the
+    /// popcount approximate kernels).
+    #[must_use]
+    pub fn packed(&self) -> &PackedRows {
+        self.slices.packed()
+    }
+
+    /// The lane-packed range table; `None` for odd widths.
+    #[must_use]
+    pub fn ranges(&self) -> Option<&RangeRows> {
+        self.ranges.as_ref()
+    }
+}
+
+/// An immutable snapshot of one shard's rows, chunked into
+/// [`BLOCK_ROWS`]-row [`RowBlock`]s behind `Arc`s. Successor snapshots
+/// (built by [`EpochCell::update`]) share every untouched block with
+/// their predecessor, so cloning a snapshot and patching a few rows is
+/// cheap regardless of the shard size.
+#[derive(Debug, Clone)]
+pub struct ShardSnap {
+    width: usize,
+    rows: usize,
+    blocks: Vec<Arc<RowBlock>>,
+}
+
+/// One shard-local mutation inside a committed write batch.
+#[derive(Debug, Clone)]
+enum LocalOp {
+    /// Append a row at the tail.
+    Push(TernaryWord),
+    /// Overwrite local row `.0`.
+    Write(usize, TernaryWord),
+    /// Remove local row `.0`, moving the shard's last row into the
+    /// freed slot.
+    SwapRemove(usize),
+}
+
+impl ShardSnap {
+    /// Empty snapshot of `width`-digit rows.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            rows: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Snapshot one behavioural shard's rows.
+    #[must_use]
+    pub fn from_tcam(tcam: &BehavioralTcam) -> Self {
+        let mut snap = Self::new(tcam.width());
+        for row in tcam.rows() {
+            snap.push(row);
+        }
+        snap.rebuild_unique_ranges();
+        snap
+    }
+
+    /// Row width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The blocks with their base row offsets, in row order.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, &RowBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(b, blk)| (b * BLOCK_ROWS, &**blk))
+    }
+
+    /// Reconstruct local row `row`'s stored word.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range row.
+    #[must_use]
+    pub fn row_word(&self, row: usize) -> TernaryWord {
+        assert!(row < self.rows, "row {row} out of range");
+        self.blocks[row / BLOCK_ROWS]
+            .packed()
+            .row_word(row % BLOCK_ROWS)
+    }
+
+    /// Exact two-step search over every block's sliced planes, with
+    /// shard-local match ids.
+    ///
+    /// # Panics
+    /// Panics on query-width mismatch.
+    #[must_use]
+    pub fn search(&self, q: &PackedQuery) -> SearchOutcome {
+        let mut out = SearchOutcome::empty();
+        for (base, blk) in self.blocks() {
+            let mut o = blk.slices().search(q);
+            for m in &mut o.matches {
+                *m += base;
+            }
+            out.absorb(o);
+        }
+        out.matches.sort_unstable();
+        out
+    }
+
+    fn block_mut(&mut self, b: usize) -> &mut RowBlock {
+        Arc::make_mut(&mut self.blocks[b])
+    }
+
+    fn push(&mut self, word: &TernaryWord) {
+        assert_eq!(word.len(), self.width, "row width mismatch");
+        let b = self.rows / BLOCK_ROWS;
+        if b == self.blocks.len() {
+            self.blocks.push(Arc::new(RowBlock::new(self.width)));
+        }
+        self.block_mut(b).slices.push_row(word);
+        self.rows += 1;
+    }
+
+    fn write(&mut self, row: usize, word: &TernaryWord) {
+        assert!(row < self.rows, "row {row} out of range");
+        assert_eq!(word.len(), self.width, "row width mismatch");
+        self.block_mut(row / BLOCK_ROWS)
+            .slices
+            .write_row(row % BLOCK_ROWS, word);
+    }
+
+    fn swap_remove(&mut self, row: usize) {
+        assert!(row < self.rows, "row {row} out of range");
+        let last = self.rows - 1;
+        let (rb, lb) = (row / BLOCK_ROWS, last / BLOCK_ROWS);
+        if rb == lb {
+            self.block_mut(rb).slices.swap_remove_row(row % BLOCK_ROWS);
+        } else {
+            // The moved row crosses blocks: pop it off the tail block,
+            // write it into the freed slot's block.
+            let moved = self.blocks[lb].packed().row_word(last % BLOCK_ROWS);
+            self.block_mut(lb).slices.swap_remove_row(last % BLOCK_ROWS);
+            self.block_mut(rb)
+                .slices
+                .write_row(row % BLOCK_ROWS, &moved);
+        }
+        if self.blocks.last().is_some_and(|blk| blk.is_empty()) {
+            self.blocks.pop();
+        }
+        self.rows -= 1;
+    }
+
+    /// Rebuild the range table of every uniquely-owned block. A block
+    /// is uniquely owned exactly when this batch mutated it (untouched
+    /// blocks still share their `Arc` with the predecessor snapshot),
+    /// so this re-derives `[lo, hi]` windows only where rows changed —
+    /// once per batch, not once per write.
+    fn rebuild_unique_ranges(&mut self) {
+        for blk in &mut self.blocks {
+            if let Some(b) = Arc::get_mut(blk) {
+                if b.ranges.is_some() {
+                    b.ranges = Some(RangeRows::from_packed(b.slices.packed()));
+                }
+            }
+        }
+    }
+
+    /// Apply one shard's slice of a write batch, in order.
+    fn apply(&mut self, ops: &[LocalOp]) {
+        for op in ops {
+            match op {
+                LocalOp::Push(word) => self.push(word),
+                LocalOp::Write(row, word) => self.write(*row, word),
+                LocalOp::SwapRemove(row) => self.swap_remove(*row),
+            }
+        }
+        self.rebuild_unique_ranges();
+    }
+}
+
+/// One shard's atomically-swappable snapshot plus its write epoch.
+///
+/// Readers ([`EpochCell::load`]) take the cell lock just long enough to
+/// clone the `Arc` and read the matching epoch — they never block on a
+/// write's snapshot *construction*, only on the pointer swap. Writers
+/// ([`EpochCell::update`]) hold the lock across read-build-swap, which
+/// serializes concurrent updaters: with work-stealing, any dispatcher
+/// may write any shard, and an unserialized read-modify-write would
+/// silently drop one side's rows.
+///
+/// Generic over the payload so the loom model can check the
+/// snapshot/epoch consistency protocol on a payload whose invariant is
+/// trivially decidable (a pair that must stay internally consistent).
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    snap: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell at epoch 0 holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Self {
+            snap: Mutex::new("serve.shard.snap", Arc::new(value)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot and the epoch it was published at; the two
+    /// are read under the cell lock, so they always correspond.
+    #[must_use]
+    pub fn load(&self) -> (Arc<T>, u64) {
+        let guard = self.snap.lock();
+        let snap = Arc::clone(&guard);
+        let epoch = self.epoch.load(Ordering::Acquire); // ordering: epoch-acquire
+        (snap, epoch)
+    }
+
+    /// The published epoch (bumps once per committed update).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire) // ordering: epoch-acquire
+    }
+
+    /// Publish a successor snapshot built from the current one, bumping
+    /// the epoch. The cell lock is held across read-build-swap (see the
+    /// type docs); loads observe either the full predecessor or the
+    /// full successor, never a half-built state.
+    pub fn update<R>(&self, f: impl FnOnce(&T) -> (T, R)) -> R {
+        let mut guard = self.snap.lock();
+        let (next, out) = f(&guard);
+        *guard = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release); // ordering: epoch-release
+        out
+    }
+}
+
+/// One online mutation of the served table, in global-row coordinates.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Program `word` into a fresh row of the least-loaded shard.
+    Insert(TernaryWord),
+    /// Re-program global row `row` with `word`.
+    Update {
+        /// Global row id to overwrite.
+        row: usize,
+        /// Replacement word.
+        word: TernaryWord,
+    },
+    /// Retire global row `row`. Slot-reuse semantics: the shard's last
+    /// local row moves into the freed slot, so that row's *global id
+    /// changes* — callers tracking ids must re-resolve after a delete.
+    Delete {
+        /// Global row id to remove.
+        row: usize,
+    },
+}
+
+/// What one [`WriteOp`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAck {
+    /// Insert landed; the new row's global id.
+    Inserted {
+        /// Assigned global slot id.
+        row: usize,
+    },
+    /// Update/delete applied to its addressed row.
+    Applied,
+    /// The addressed global row did not exist; nothing changed.
+    OutOfRange,
+}
+
+/// The served table: one [`EpochCell`] per shard, accepting online
+/// writes while searches run against captured [`SnapView`]s.
+#[derive(Debug)]
+pub struct LiveTable {
+    width: usize,
+    cells: Vec<EpochCell<ShardSnap>>,
+    /// Serializes write *planning* across dispatchers: least-loaded
+    /// insert placement and delete's moved-row bookkeeping read shard
+    /// lengths that must not race another writer's commits.
+    write_order: Mutex<()>,
+    metrics: Option<SearchMetrics>,
+    write_metrics: Option<RowWriteMetrics>,
+}
+
+impl LiveTable {
+    /// Empty live table of `width`-digit words over `shards` cells.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(width: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        Self {
+            width,
+            cells: (0..shards)
+                .map(|_| EpochCell::new(ShardSnap::new(width)))
+                .collect(),
+            write_order: Mutex::new("serve.table.write", ()),
+            metrics: None,
+            write_metrics: None,
+        }
+    }
+
+    /// Convert a built table into its served (write-accepting) form,
+    /// carrying over both metric attachments.
+    #[must_use]
+    pub fn from_sharded(table: &ShardedTcam) -> Self {
+        Self {
+            width: table.width(),
+            cells: (0..table.shard_count())
+                .map(|s| EpochCell::new(ShardSnap::from_tcam(table.shard(s))))
+                .collect(),
+            write_order: Mutex::new("serve.table.write", ()),
+            metrics: table.metrics().cloned(),
+            write_metrics: table.write_metrics().copied(),
+        }
+    }
+
+    /// Word width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Attach the calibrated 3-step program figures pricing writes.
+    pub fn attach_write_metrics(&mut self, metrics: RowWriteMetrics) {
+        self.write_metrics = Some(metrics);
+    }
+
+    /// The attached write-pricing metrics, if any.
+    #[must_use]
+    pub fn write_metrics(&self) -> Option<&RowWriteMetrics> {
+        self.write_metrics.as_ref()
+    }
+
+    /// The shard a key-partitioned query belongs to.
+    #[must_use]
+    pub fn route(&self, query: &[bool]) -> usize {
+        (hash_bits(query) % self.cells.len() as u64) as usize
+    }
+
+    /// [`Self::route`] for a packed query — identical routing.
+    #[must_use]
+    pub fn route_packed(&self, query: &PackedQuery) -> usize {
+        (hash_packed(query) % self.cells.len() as u64) as usize
+    }
+
+    /// Inverse of the global interleave: `(shard, local)`.
+    #[must_use]
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        (global % self.cells.len(), global / self.cells.len())
+    }
+
+    /// Per-shard write epochs, in shard order.
+    #[must_use]
+    pub fn epochs(&self) -> Vec<u64> {
+        self.cells.iter().map(EpochCell::epoch).collect()
+    }
+
+    /// Capture an immutable view of every shard for one batch.
+    #[must_use]
+    pub fn snapshot(&self) -> SnapView {
+        let mut shards = Vec::with_capacity(self.cells.len());
+        let mut epochs = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let (snap, epoch) = cell.load();
+            shards.push(snap);
+            epochs.push(epoch);
+        }
+        SnapView {
+            width: self.width,
+            shards,
+            epochs,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Commit one ordered batch of writes. Ops are planned into
+    /// per-shard slices under the write-order lock, then each touched
+    /// shard publishes exactly one successor snapshot (one epoch bump
+    /// per shard per batch, however many ops landed on it).
+    ///
+    /// Returns one [`WriteAck`] per op, in op order.
+    ///
+    /// # Panics
+    /// Panics on a word-width mismatch (programmer error, consistent
+    /// with the core layer).
+    pub fn apply(&self, ops: &[WriteOp]) -> Vec<WriteAck> {
+        let _order = self.write_order.lock();
+        let n = self.cells.len();
+        let mut lens: Vec<usize> = self.cells.iter().map(|c| c.load().0.rows()).collect();
+        let mut plans: Vec<Vec<LocalOp>> = vec![Vec::new(); n];
+        let mut acks = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                WriteOp::Insert(word) => {
+                    assert_eq!(word.len(), self.width, "row width mismatch");
+                    let s = (0..n)
+                        .min_by_key(|&s| (lens[s], s))
+                        .expect("at least one shard");
+                    let local = lens[s];
+                    plans[s].push(LocalOp::Push(word.clone()));
+                    lens[s] += 1;
+                    acks.push(WriteAck::Inserted { row: local * n + s });
+                }
+                WriteOp::Update { row, word } => {
+                    assert_eq!(word.len(), self.width, "row width mismatch");
+                    let (s, l) = (row % n, row / n);
+                    if l < lens[s] {
+                        plans[s].push(LocalOp::Write(l, word.clone()));
+                        acks.push(WriteAck::Applied);
+                    } else {
+                        acks.push(WriteAck::OutOfRange);
+                    }
+                }
+                WriteOp::Delete { row } => {
+                    let (s, l) = (row % n, row / n);
+                    if l < lens[s] {
+                        plans[s].push(LocalOp::SwapRemove(l));
+                        lens[s] -= 1;
+                        acks.push(WriteAck::Applied);
+                    } else {
+                        acks.push(WriteAck::OutOfRange);
+                    }
+                }
+            }
+        }
+        for (s, plan) in plans.iter().enumerate() {
+            if plan.is_empty() {
+                continue;
+            }
+            self.cells[s].update(|snap| {
+                let mut next = snap.clone();
+                next.apply(plan);
+                (next, ())
+            });
+        }
+        acks
+    }
+}
+
+/// An immutable view of every shard, captured at one instant by
+/// [`LiveTable::snapshot`]. A dispatcher executes a whole batch against
+/// one view, so a search can never observe a torn word — it sees each
+/// shard exactly as of that shard's recorded epoch. The accessors
+/// mirror [`ShardedTcam`]'s so the execution backends are agnostic to
+/// whether the table is live.
+#[derive(Debug, Clone)]
+pub struct SnapView {
+    width: usize,
+    shards: Vec<Arc<ShardSnap>>,
+    epochs: Vec<u64>,
+    metrics: Option<SearchMetrics>,
+}
+
+impl SnapView {
+    /// Word width in digits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total stored rows across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.rows()).sum()
+    }
+
+    /// Whether no rows are stored anywhere.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// One shard's snapshot.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &ShardSnap {
+        &self.shards[shard]
+    }
+
+    /// The per-shard write epochs this view was captured at.
+    #[must_use]
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// The attached circuit metrics, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&SearchMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Global slot id of a shard-local row: `local * n + shard`.
+    #[must_use]
+    pub fn global_row(&self, shard: usize, local: usize) -> usize {
+        local * self.shards.len() + shard
+    }
+
+    /// Inverse of [`Self::global_row`]: `(shard, local)`.
+    #[must_use]
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        (global % self.shards.len(), global / self.shards.len())
+    }
+
+    /// [`ShardedTcam::route_packed`] over this view's shard count.
+    #[must_use]
+    pub fn route_packed(&self, query: &PackedQuery) -> usize {
+        (hash_packed(query) % self.shards.len() as u64) as usize
+    }
+
+    /// Energy (J) of a search per the early-termination model; `None`
+    /// without attached metrics. See [`ShardedTcam::energy_of`].
+    #[must_use]
+    pub fn energy_of(&self, outcome: &SearchOutcome) -> Option<f64> {
+        let m = self.metrics.as_ref()?;
+        let e1 = m.energy_1step;
+        let e2 = m.energy_2step.unwrap_or(m.energy_1step);
+        Some(outcome.step1_misses as f64 * e1 + outcome.survivors() as f64 * e2)
+    }
+
+    /// Unloaded per-search silicon latency (s) from the attached
+    /// metrics.
+    #[must_use]
+    pub fn model_latency(&self) -> Option<f64> {
+        self.metrics.as_ref().map(SearchMetrics::latency)
+    }
+
+    /// Energy (J) of a full-parallel drive over `rows` rows (the
+    /// approximate-match figure). See
+    /// [`ShardedTcam::energy_full_parallel`].
+    #[must_use]
+    pub fn energy_full_parallel(&self, rows: usize) -> Option<f64> {
+        let m = self.metrics.as_ref()?;
+        Some(rows as f64 * m.energy_2step.unwrap_or(m.energy_1step))
+    }
+
+    /// Energy (J) of one answered request by kind. Write kinds return
+    /// `None` here — they are priced by the 3-step program figures
+    /// ([`LiveTable::write_metrics`]), not by a search model.
+    #[must_use]
+    pub fn energy_of_kind(&self, kind: RequestKind, outcome: &SearchOutcome) -> Option<f64> {
+        match kind {
+            RequestKind::Exact => self.energy_of(outcome),
+            k if k.is_write() => None,
             _ => self.energy_full_parallel(outcome.rows_examined()),
         }
     }
@@ -394,5 +1054,306 @@ mod tests {
             assert_eq!(t.global_row(s, l), g);
             assert!(t.shard(s).row(l).is_some());
         }
+    }
+
+    fn rand_word(seed: &mut u64, width: usize) -> TernaryWord {
+        use ferrotcam::Ternary;
+        let digits = (0..width)
+            .map(|_| match split_mix64(seed) % 3 {
+                0 => Ternary::Zero,
+                1 => Ternary::One,
+                _ => Ternary::X,
+            })
+            .collect();
+        TernaryWord::new(digits)
+    }
+
+    fn bits(v: u64, width: usize) -> Vec<bool> {
+        (0..width).rev().map(|b| (v >> b) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn live_writes_update_searches_and_old_views_stay_frozen() {
+        let mut sharded = ShardedTcam::new(8, 2);
+        for w in words() {
+            sharded.store(w);
+        }
+        let live = LiveTable::from_sharded(&sharded);
+        let before = live.snapshot();
+        assert_eq!(before.len(), 12);
+        assert_eq!(before.epochs(), &[0, 0]);
+
+        let probe = PackedQuery::from_bits(&bits(0xAB, 8));
+        let miss_everywhere =
+            |v: &SnapView| (0..2).all(|s| v.shard(s).search(&probe).matches.is_empty());
+        assert!(miss_everywhere(&before), "probe must start absent");
+
+        let acks = live.apply(&[WriteOp::Insert(TernaryWord::from_u64(0xAB, 8))]);
+        let [WriteAck::Inserted { row }] = acks[..] else {
+            panic!("insert must ack with a slot id, got {acks:?}");
+        };
+        let after = live.snapshot();
+        let (s, l) = live.locate(row);
+        assert_eq!(after.shard(s).search(&probe).matches, vec![l]);
+        assert!(
+            miss_everywhere(&before),
+            "the view captured before the write must stay frozen"
+        );
+        assert_eq!(before.epochs(), &[0, 0]);
+        // Only the shard that took the insert bumped its epoch.
+        let bumped: Vec<u64> = (0..2).map(|i| after.epochs()[i]).collect();
+        assert_eq!(bumped.iter().sum::<u64>(), 1);
+        assert_eq!(bumped[s], 1);
+
+        // Update then delete through global ids, re-checking both views.
+        live.apply(&[WriteOp::Update {
+            row,
+            word: TernaryWord::from_u64(0xCD, 8),
+        }]);
+        let updated = live.snapshot();
+        assert!(updated.shard(s).search(&probe).matches.is_empty());
+        assert_eq!(
+            updated
+                .shard(s)
+                .search(&PackedQuery::from_bits(&bits(0xCD, 8)))
+                .matches,
+            vec![l]
+        );
+        assert_eq!(after.shard(s).search(&probe).matches, vec![l]);
+        assert_eq!(updated.epochs()[s], 2);
+    }
+
+    #[test]
+    fn successor_snapshots_share_untouched_blocks() {
+        let live = LiveTable::new(8, 1);
+        let rows = BLOCK_ROWS + 100;
+        let ops: Vec<WriteOp> = (0..rows)
+            .map(|i| WriteOp::Insert(TernaryWord::from_u64(i as u64, 8)))
+            .collect();
+        live.apply(&ops);
+        let before = live.snapshot();
+        live.apply(&[WriteOp::Update {
+            row: 0,
+            word: TernaryWord::from_u64(0xFF, 8),
+        }]);
+        let after = live.snapshot();
+        let old: Vec<_> = before.shard(0).blocks().collect();
+        let new: Vec<_> = after.shard(0).blocks().collect();
+        assert_eq!(old.len(), 2);
+        assert_eq!(new.len(), 2);
+        assert!(
+            !std::ptr::eq(old[0].1, new[0].1),
+            "the written block must be copied"
+        );
+        assert!(
+            std::ptr::eq(old[1].1, new[1].1),
+            "the untouched block must be shared with the predecessor"
+        );
+    }
+
+    #[test]
+    fn inserts_fill_the_least_loaded_shard_and_ids_roundtrip() {
+        let live = LiveTable::new(4, 3);
+        let mut ids = Vec::new();
+        for i in 0..9u64 {
+            let acks = live.apply(&[WriteOp::Insert(TernaryWord::from_u64(i, 4))]);
+            let [WriteAck::Inserted { row }] = acks[..] else {
+                panic!("expected an inserted ack");
+            };
+            ids.push(row);
+        }
+        // Least-loaded placement with the shard-id tie-break fills
+        // round-robin from empty, so ids are dense.
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        let view = live.snapshot();
+        for (i, &g) in ids.iter().enumerate() {
+            let (s, l) = view.locate(g);
+            assert_eq!(view.global_row(s, l), g);
+            assert_eq!(
+                view.shard(s).row_word(l),
+                TernaryWord::from_u64(i as u64, 4)
+            );
+        }
+    }
+
+    #[test]
+    fn delete_moves_the_last_local_row_into_the_freed_slot() {
+        let live = LiveTable::new(8, 1);
+        // Span two blocks so the moved row crosses a block boundary.
+        let rows = BLOCK_ROWS + 3;
+        let ops: Vec<WriteOp> = (0..rows)
+            .map(|i| WriteOp::Insert(TernaryWord::from_u64(i as u64, 8)))
+            .collect();
+        live.apply(&ops);
+        let acks = live.apply(&[WriteOp::Delete { row: 1 }]);
+        assert_eq!(acks, vec![WriteAck::Applied]);
+        let view = live.snapshot();
+        assert_eq!(view.len(), rows - 1);
+        // The last row (first block 1 tail) moved into slot 1.
+        assert_eq!(
+            view.shard(0).row_word(1),
+            TernaryWord::from_u64((rows - 1) as u64, 8)
+        );
+        // Deleting down past the block boundary drops the empty block.
+        let drops: Vec<WriteOp> = (0..3).map(|_| WriteOp::Delete { row: 0 }).collect();
+        live.apply(&drops);
+        let trimmed = live.snapshot();
+        assert_eq!(trimmed.len(), BLOCK_ROWS - 1);
+        assert_eq!(trimmed.shard(0).blocks().count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_writes_are_acknowledged_not_applied() {
+        let live = LiveTable::new(4, 2);
+        live.apply(&[
+            WriteOp::Insert(TernaryWord::from_u64(1, 4)),
+            WriteOp::Insert(TernaryWord::from_u64(2, 4)),
+        ]);
+        let before = live.snapshot();
+        let acks = live.apply(&[
+            WriteOp::Update {
+                row: 99,
+                word: TernaryWord::from_u64(3, 4),
+            },
+            WriteOp::Delete { row: 42 },
+        ]);
+        assert_eq!(acks, vec![WriteAck::OutOfRange, WriteAck::OutOfRange]);
+        let after = live.snapshot();
+        assert_eq!(after.epochs(), before.epochs(), "no shard may bump");
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn random_write_batches_match_a_scalar_mirror() {
+        let width = 10;
+        let shards = 3;
+        let live = LiveTable::new(width, shards);
+        let mut mirror: Vec<Vec<TernaryWord>> = vec![Vec::new(); shards];
+        let mut seed = 0x5eed_dac2_2023u64;
+        for round in 0..40 {
+            let mut batch = Vec::new();
+            for _ in 0..split_mix64(&mut seed) % 6 + 1 {
+                let total: usize = mirror.iter().map(Vec::len).sum();
+                match split_mix64(&mut seed) % 4 {
+                    0 | 1 => batch.push(WriteOp::Insert(rand_word(&mut seed, width))),
+                    2 if total > 0 => {
+                        let row = (split_mix64(&mut seed) % (2 * total as u64)) as usize;
+                        batch.push(WriteOp::Update {
+                            row,
+                            word: rand_word(&mut seed, width),
+                        });
+                    }
+                    _ if total > 0 => {
+                        let row = (split_mix64(&mut seed) % (2 * total as u64)) as usize;
+                        batch.push(WriteOp::Delete { row });
+                    }
+                    _ => batch.push(WriteOp::Insert(rand_word(&mut seed, width))),
+                }
+            }
+            // Mirror the batch with the documented semantics.
+            for op in &batch {
+                match op {
+                    WriteOp::Insert(word) => {
+                        let s = (0..shards)
+                            .min_by_key(|&s| (mirror[s].len(), s))
+                            .expect("shards > 0");
+                        mirror[s].push(word.clone());
+                    }
+                    WriteOp::Update { row, word } => {
+                        let (s, l) = (row % shards, row / shards);
+                        if l < mirror[s].len() {
+                            mirror[s][l] = word.clone();
+                        }
+                    }
+                    WriteOp::Delete { row } => {
+                        let (s, l) = (row % shards, row / shards);
+                        if l < mirror[s].len() {
+                            mirror[s].swap_remove(l);
+                        }
+                    }
+                }
+            }
+            live.apply(&batch);
+            let view = live.snapshot();
+            for (s, rows) in mirror.iter().enumerate() {
+                let snap = view.shard(s);
+                assert_eq!(snap.rows(), rows.len(), "round {round} shard {s}");
+                let mut reference = BehavioralTcam::new(width);
+                for (l, w) in rows.iter().enumerate() {
+                    assert_eq!(&snap.row_word(l), w, "round {round} shard {s} row {l}");
+                    reference.store(w.clone());
+                }
+                let q = bits(split_mix64(&mut seed), width);
+                let got = snap.search(&PackedQuery::from_bits(&q));
+                let want = reference.search(&q);
+                assert_eq!(got.matches, want.matches, "round {round} shard {s}");
+                assert_eq!(got.step1_misses, want.step1_misses);
+                assert_eq!(got.step2_misses, want.step2_misses);
+                // Range tables stay current with the rows (even width).
+                for (_, blk) in snap.blocks() {
+                    let rebuilt = RangeRows::from_packed(blk.packed());
+                    let probe = PackedQuery::from_bits(&q);
+                    assert_eq!(
+                        blk.ranges().expect("even width has ranges").search(&probe),
+                        rebuilt.search(&probe),
+                        "round {round} shard {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_cell_pairs_load_consistently() {
+        let cell = EpochCell::new((0u64, 0u64));
+        for i in 1..=10u64 {
+            let prev = cell.epoch();
+            let echoed = cell.update(|&(a, _)| ((a + 1, a + 1), a + 1));
+            assert_eq!(echoed, i);
+            let (snap, epoch) = cell.load();
+            assert_eq!(*snap, (i, i), "payload halves must agree");
+            assert_eq!(epoch, prev + 1, "every update bumps exactly once");
+        }
+    }
+
+    #[test]
+    fn from_sharded_carries_rows_and_metric_attachments() {
+        let mut sharded = ShardedTcam::new(8, 2);
+        for w in words() {
+            sharded.store(w);
+        }
+        sharded.attach_metrics(metrics());
+        let wm = RowWriteMetrics {
+            design: DesignKind::T15Dg,
+            word_len: 8,
+            energy_per_cell: 0.3816e-15,
+            energy: 8.0 * 0.3816e-15,
+            latency: 1.15e-9,
+        };
+        sharded.attach_write_metrics(wm);
+        let live = LiveTable::from_sharded(&sharded);
+        assert_eq!(live.width(), 8);
+        assert_eq!(live.shard_count(), 2);
+        assert_eq!(live.write_metrics(), Some(&wm));
+        let view = live.snapshot();
+        assert_eq!(view.len(), sharded.len());
+        for g in 0..sharded.len() {
+            let (s, l) = view.locate(g);
+            assert_eq!(
+                Some(&view.shard(s).row_word(l)),
+                sharded.shard(s).row(l),
+                "row {g}"
+            );
+        }
+        assert_eq!(view.metrics(), sharded.metrics());
+        // The view prices searches exactly like the built table.
+        let q = bits(0x15, 8);
+        let outcome = sharded.search_all(&q);
+        assert_eq!(view.energy_of(&outcome), sharded.energy_of(&outcome));
+        assert_eq!(
+            view.energy_of_kind(RequestKind::Insert, &outcome),
+            None,
+            "writes are priced by the program model, not the search model"
+        );
     }
 }

@@ -131,6 +131,19 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// One idle beat of a dispatcher that found every queue empty: a short
+/// real sleep in production, a scheduler yield under loom (where
+/// sleeping has no meaning and the model checker owns time).
+#[cfg(not(loom))]
+pub(crate) fn idle_wait() {
+    std::thread::sleep(std::time::Duration::from_micros(20));
+}
+
+#[cfg(loom)]
+pub(crate) fn idle_wait() {
+    loom::thread::yield_now();
+}
+
 /// The lock-order shadow. Compiled to no-ops in release builds and
 /// under loom (where the model checker owns scheduling); in debug
 /// builds it maintains a global order graph and a per-thread stack of

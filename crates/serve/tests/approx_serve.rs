@@ -78,8 +78,9 @@ fn tiers_serve_identical_approximate_answers() {
             let resp = client
                 .submit_kind(7, q.clone(), kind, shard)
                 .unwrap()
-                .wait();
-            let (ref_out, ref_hits) = reference_search(client.table(), kind, q, shard);
+                .wait()
+                .expect("no deadline configured");
+            let (ref_out, ref_hits) = reference_search(&client.table(), kind, q, shard);
             assert_eq!(resp.matches, ref_out.matches, "{backend} {kind} q{i}");
             assert_eq!(resp.hits, ref_hits, "{backend} {kind} q{i}");
             assert_eq!(resp.step1_misses, ref_out.step1_misses, "{backend} {kind}");
@@ -103,13 +104,18 @@ fn threshold_zero_equals_exact_and_grows_monotonically() {
     let mut seed = 0x70_70_70;
     for _ in 0..6 {
         let q = rand_query(&mut seed);
-        let exact = client.submit_packed(0, q.clone(), None).unwrap().wait();
+        let exact = client
+            .submit_packed(0, q.clone(), None)
+            .unwrap()
+            .wait()
+            .expect("no deadline configured");
         let mut prev = Vec::new();
         for t in 0..4u32 {
             let resp = client
                 .submit_threshold(0, q.clone(), t, None)
                 .unwrap()
-                .wait();
+                .wait()
+                .expect("no deadline configured");
             if t == 0 {
                 assert_eq!(resp.matches, exact.matches, "t=0 is exact match");
             }
@@ -144,10 +150,14 @@ fn range_requests_honour_cell_windows() {
     let client = svc.client();
     // Level 3 in both cells: rows "11XX" (windows [3,3],[0,3]) and
     // "XXXX" ([0,3],[0,3]) contain (3,3); "0110" and "10X1" don't.
-    let resp = client.submit_range(0, &[3, 3, 3, 3], None).unwrap().wait();
+    let resp = client
+        .submit_range(0, &[3, 3, 3, 3], None)
+        .unwrap()
+        .wait()
+        .expect("no deadline configured");
     assert_eq!(resp.kind, RequestKind::Range);
     let (ref_out, _) = reference_search(
-        client.table(),
+        &client.table(),
         RequestKind::Range,
         &ferrotcam::levels_to_query(&[3, 3, 3, 3]),
         None,
@@ -181,7 +191,11 @@ fn approx_audit_lane_stays_clean_at_period_one() {
             2 => RequestKind::Range,
             _ => RequestKind::Exact,
         };
-        let _ = client.submit_kind(0, q, kind, None).unwrap().wait();
+        let _ = client
+            .submit_kind(0, q, kind, None)
+            .unwrap()
+            .wait()
+            .expect("no deadline configured");
         sent += 1;
     }
     let m = svc.drain();

@@ -2,9 +2,10 @@
 //! overload shedding, and energy-true accounting against `core::fom`.
 
 use ferrotcam::fom::SearchMetrics;
-use ferrotcam::{DesignKind, TernaryWord};
+use ferrotcam::{program_duration, DesignKind, RowWriteMetrics, TernaryWord};
 use ferrotcam_serve::{Overloaded, RatePolicy, ServiceConfig, ShardedTcam, TcamService};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bits(v: u64, width: usize) -> Vec<bool> {
     (0..width).rev().map(|b| (v >> b) & 1 == 1).collect()
@@ -60,7 +61,7 @@ fn n_threads_yield_exactly_n_responses() {
                         let ticket = client
                             .submit(p as u32, bits(key, 16), None)
                             .expect("unlimited tenants, roomy queue");
-                        out.push((key, ticket.wait()));
+                        out.push((key, ticket.wait().expect("no deadline configured")));
                     }
                     out
                 })
@@ -157,7 +158,8 @@ fn response_energy_matches_standalone_fom() {
             let resp = client
                 .submit(0, bits((q * 37) & 0xFFFF, 16), None)
                 .unwrap()
-                .wait();
+                .wait()
+                .expect("no deadline configured");
             let total = resp.matches.len() + resp.step1_misses + resp.step2_misses;
             assert_eq!(total, resp.rows_searched);
             let miss_rate = resp.step1_misses as f64 / total as f64;
@@ -216,4 +218,156 @@ fn tenant_isolation_under_concurrency() {
     let m = svc.drain();
     assert_eq!(m.completed, 64 + 4);
     assert_eq!(m.shed_rate_limited, 60);
+}
+
+/// The torn-word detector: one writer flips row 0 between all-zeros and
+/// all-ones while searchers probe the half-and-half pattern 0x00FF. A
+/// snapshot-consistent table can only ever hold one of the two extremes,
+/// so the torn pattern must never match — a single hit would mean a
+/// search observed a row mid-program. The sampled audit lane replays
+/// against the same captured snapshot and must stay divergence-free.
+#[test]
+fn concurrent_writes_never_expose_a_torn_word() {
+    const FLIPS: usize = 400;
+    const PROBES: usize = 400;
+
+    let mut t = ShardedTcam::new(16, 1);
+    t.store(TernaryWord::from_u64(0, 16));
+    t.attach_metrics(metrics());
+    let cfg = ServiceConfig {
+        backend: ferrotcam_serve::BackendKind::Behavioural,
+        audit_period: 4,
+        ..ServiceConfig::default()
+    };
+    let svc = TcamService::start(t, &cfg);
+    let client = svc.client();
+
+    let writer = std::thread::spawn({
+        let c = client.clone();
+        move || {
+            for i in 0..FLIPS {
+                let v = if i % 2 == 0 { 0xFFFFu64 } else { 0 };
+                let ack = c
+                    .submit_update(0, 0, TernaryWord::from_u64(v, 16))
+                    .expect("unlimited write policy")
+                    .wait()
+                    .expect("writes are never deadline-shed");
+                assert_eq!(ack.matches, vec![0], "update acks the addressed row");
+            }
+        }
+    });
+    let searchers: Vec<_> = (0..2)
+        .map(|p| {
+            let c = client.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PROBES {
+                    let resp = c
+                        .submit(p + 1, bits(0x00FF, 16), None)
+                        .expect("roomy queue")
+                        .wait()
+                        .expect("no deadline configured");
+                    assert!(
+                        resp.matches.is_empty(),
+                        "torn word observed: half-zeros/half-ones probe matched {:?}",
+                        resp.matches
+                    );
+                    assert_eq!(resp.rows_searched, 1);
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer");
+    for s in searchers {
+        s.join().expect("searcher");
+    }
+
+    let m = svc.drain();
+    assert_eq!(m.completed, (FLIPS + 2 * PROBES) as u64);
+    assert!(m.audit_sampled > 0, "audit lane sampled under writes");
+    assert_eq!(
+        m.audit_match_divergences, 0,
+        "audit replays agree on the snapshot"
+    );
+    assert_eq!(m.audit_energy_divergences, 0);
+}
+
+/// With an already-expired deadline every *search* is shed at dispatch
+/// (its ticket resolves `None`) while writes — which are never
+/// deadline-shed — still land and still answer.
+#[test]
+fn expired_deadline_sheds_searches_but_never_writes() {
+    let cfg = ServiceConfig {
+        deadline: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    };
+    let svc = TcamService::start(table(64, 2), &cfg);
+    let client = svc.client();
+
+    let mut searches = Vec::new();
+    for i in 0..32u64 {
+        searches.push(client.submit(0, bits(i, 16), None).unwrap());
+    }
+    let ack = client
+        .submit_insert(0, TernaryWord::from_u64(0xBEEF, 16))
+        .unwrap()
+        .wait()
+        .expect("writes bypass the deadline");
+    assert_eq!(ack.matches.len(), 1, "insert acks the assigned slot");
+
+    let mut shed = 0u64;
+    for t in searches {
+        if t.wait().is_none() {
+            shed += 1;
+        }
+    }
+    assert_eq!(shed, 32, "a zero deadline has always expired at dispatch");
+
+    let m = svc.drain();
+    assert_eq!(m.shed_deadline, 32);
+    assert_eq!(m.completed, 1, "only the write completed");
+}
+
+/// Write responses are priced by the calibrated 3-step program: energy
+/// is `energy_per_cell x width` and the modelled latency is the fixed
+/// program schedule, independent of table size or shard count.
+#[test]
+fn write_responses_price_the_three_step_program() {
+    let wm = RowWriteMetrics {
+        design: DesignKind::T15Dg,
+        word_len: 16,
+        energy_per_cell: 0.3816e-15,
+        energy: 0.3816e-15 * 16.0,
+        latency: program_duration(),
+    };
+    let mut t = table(32, 2);
+    t.attach_write_metrics(wm);
+    let svc = TcamService::start(t, &ServiceConfig::default());
+    let client = svc.client();
+
+    let ins = client
+        .submit_insert(0, TernaryWord::from_u64(0x1234, 16))
+        .unwrap()
+        .wait()
+        .expect("answered");
+    let energy = ins.energy_j.expect("write metrics attached");
+    assert!(
+        (energy - wm.energy).abs() < 1e-30,
+        "3-step energy: {energy:e}"
+    );
+
+    let del = client
+        .submit_delete(0, ins.matches[0])
+        .unwrap()
+        .wait()
+        .expect("answered");
+    assert_eq!(del.matches, vec![ins.matches[0]]);
+    assert_eq!(del.energy_j, Some(wm.energy));
+
+    let m = svc.drain();
+    assert_eq!(m.completed, 2);
+    let writes = (m.energy_total_j - 2.0 * wm.energy).abs();
+    assert!(
+        writes < 1e-28,
+        "drained energy is the two programs: {writes:e}"
+    );
 }

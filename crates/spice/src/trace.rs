@@ -439,20 +439,23 @@ impl Histogram {
 
     /// Approximate `p`-quantile (`0 < p <= 1`): the upper edge of the
     /// bucket holding the p-th sample, clamped to the observed max.
+    /// `None` when no samples were recorded — an empty window has no
+    /// percentile, and reporting `0.0` instead reads as an impossibly
+    /// good latency to downstream comparisons.
     #[must_use]
-    pub fn quantile(&self, p: f64) -> f64 {
+    pub fn quantile(&self, p: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let target = (p * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return (bucket_upper(idx).min(self.max)) as f64;
+                return Some((bucket_upper(idx).min(self.max)) as f64);
             }
         }
-        self.max as f64
+        Some(self.max as f64)
     }
 }
 
@@ -590,7 +593,9 @@ pub fn summary() -> TraceSummary {
                     name,
                     count: h.count(),
                     mean: h.mean(),
-                    p95: h.quantile(0.95),
+                    // Span histograms exist only once recorded into, so
+                    // the quantile is always present; 0.0 is unreachable.
+                    p95: h.quantile(0.95).unwrap_or(0.0),
                     max: h.max(),
                 })
                 .collect()
@@ -877,8 +882,8 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
         // p50 of 1..=1000 lands in the [496, 512) sub-bucket.
-        assert_eq!(h.quantile(0.5), 512.0);
-        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.5), Some(512.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
         assert_eq!(h.max(), 1000);
     }
 
@@ -892,12 +897,12 @@ mod tests {
             h.record(1500);
         }
         h.record(3000);
-        let p50 = h.quantile(0.5);
+        let p50 = h.quantile(0.5).expect("non-empty");
         assert!((1500.0..=1536.0).contains(&p50), "p50 = {p50}");
         // Worst-case relative quantisation error is one sub-bucket of
         // the lowest split octave: 1/16 of the sample's value.
         assert!((p50 - 1500.0) / 1500.0 < 1.0 / 16.0 + 1e-12);
-        assert_eq!(h.quantile(1.0), 3000.0);
+        assert_eq!(h.quantile(1.0), Some(3000.0));
     }
 
     #[test]
@@ -924,9 +929,12 @@ mod tests {
     }
 
     #[test]
-    fn histogram_empty_is_zero() {
+    fn histogram_empty_has_no_quantile() {
+        // Regression: an empty window must report `None`, not 0.0 — a
+        // zero percentile reads as a latency improvement downstream.
         let h = Histogram::default();
-        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.mean(), 0.0);
     }
 
